@@ -1,0 +1,35 @@
+//! Criterion: Planar index construction (paper §4.2: loglinear build).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use planar_core::{IndexConfig, PlanarIndexSet, VecStore};
+use planar_datagen::queries::eq18_domain;
+use planar_datagen::synthetic::{SyntheticConfig, SyntheticKind};
+use std::hint::black_box;
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("index_build");
+    group.sample_size(10);
+    for n in [10_000usize, 50_000] {
+        for dim in [2usize, 6, 14] {
+            let table = SyntheticConfig::paper(SyntheticKind::Independent, n, dim).generate();
+            group.bench_with_input(
+                BenchmarkId::new(format!("n{n}"), format!("dim{dim}")),
+                &table,
+                |b, table| {
+                    b.iter(|| {
+                        PlanarIndexSet::<VecStore>::build(
+                            black_box(table.clone()),
+                            eq18_domain(dim, 4),
+                            IndexConfig::with_budget(10),
+                        )
+                        .unwrap()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_build);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Criterion: moving-object intersection queries — Planar vs all-pairs
+//! baseline vs the MBR R-tree specialist (Fig. 14 kernels).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use planar_core::VecStore;
+use planar_moving::intersection::{CircularIntersectionIndex, LinearIntersectionIndex};
+use planar_moving::rtree::mbr_intersection;
+use planar_moving::{baseline, workload};
+use std::hint::black_box;
+
+const INSTANTS: [f64; 6] = [10.0, 11.0, 12.0, 13.0, 14.0, 15.0];
+const N_OBJECTS: usize = 400; // 160K pairs
+
+fn bench_linear(c: &mut Criterion) {
+    let mut group = c.benchmark_group("moving_linear");
+    group.sample_size(20);
+    let a = workload::linear_objects(N_OBJECTS, 1000.0, 1);
+    let b_set = workload::linear_objects(N_OBJECTS, 1000.0, 2);
+    let idx: LinearIntersectionIndex<VecStore> =
+        LinearIntersectionIndex::build(a.clone(), b_set.clone(), &INSTANTS).unwrap();
+    for t in [12.0, 12.5] {
+        group.bench_function(BenchmarkId::new("planar", t), |bch| {
+            bch.iter(|| black_box(idx.query(t, 10.0).unwrap()))
+        });
+        group.bench_function(BenchmarkId::new("baseline", t), |bch| {
+            bch.iter(|| black_box(baseline::linear_pairs_within(&a, &b_set, t, 10.0)))
+        });
+        group.bench_function(BenchmarkId::new("mbr", t), |bch| {
+            bch.iter(|| black_box(mbr_intersection(&a, &b_set, t, 10.0)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_circular(c: &mut Criterion) {
+    let mut group = c.benchmark_group("moving_circular");
+    group.sample_size(10);
+    let circles = workload::circular_objects(N_OBJECTS / 2, 3);
+    let lines = workload::linear_objects(N_OBJECTS / 2, 100.0, 4);
+    let idx: CircularIntersectionIndex<VecStore> =
+        CircularIntersectionIndex::build(&circles, &lines, &INSTANTS).unwrap();
+    for t in [12.0, 12.5] {
+        group.bench_function(BenchmarkId::new("planar", t), |bch| {
+            bch.iter(|| black_box(idx.query(t, 10.0).unwrap()))
+        });
+        group.bench_function(BenchmarkId::new("baseline", t), |bch| {
+            bch.iter(|| black_box(baseline::circular_pairs_within(&circles, &lines, t, 10.0)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_linear, bench_circular);
+criterion_main!(benches);

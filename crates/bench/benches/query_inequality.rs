@@ -1,0 +1,47 @@
+//! Criterion: inequality-query kernels (Algorithm 1) vs the sequential
+//! scan, across dimensionality and query randomness.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use planar_core::{IndexConfig, PlanarIndexSet, SeqScan, VecStore};
+use planar_datagen::queries::{eq18_domain, Eq18Generator};
+use planar_datagen::synthetic::{SyntheticConfig, SyntheticKind};
+use std::hint::black_box;
+
+const N: usize = 100_000;
+
+fn bench_queries(c: &mut Criterion) {
+    let mut group = c.benchmark_group("query_inequality");
+    group.sample_size(20);
+    for dim in [2usize, 6, 14] {
+        for rq in [2usize, 8] {
+            let table = SyntheticConfig::paper(SyntheticKind::Independent, N, dim).generate();
+            let scan_table = table.clone();
+            let set: PlanarIndexSet<VecStore> = PlanarIndexSet::build(
+                table,
+                eq18_domain(dim, rq),
+                IndexConfig::with_budget(50),
+            )
+            .unwrap();
+            let queries = Eq18Generator::new(set.table(), rq, 7).queries(32);
+            let mut i = 0;
+            group.bench_function(BenchmarkId::new(format!("planar_d{dim}"), format!("rq{rq}")), |b| {
+                b.iter(|| {
+                    i = (i + 1) % queries.len();
+                    black_box(set.query(&queries[i]).unwrap())
+                })
+            });
+            let scan = SeqScan::new(&scan_table);
+            let mut j = 0;
+            group.bench_function(BenchmarkId::new(format!("scan_d{dim}"), format!("rq{rq}")), |b| {
+                b.iter(|| {
+                    j = (j + 1) % queries.len();
+                    black_box(scan.evaluate(&queries[j]).unwrap())
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_queries);
+criterion_main!(benches);

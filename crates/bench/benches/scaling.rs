@@ -1,0 +1,40 @@
+//! Criterion: query-time scaling with n — the empirical check of the
+//! paper's Table 1 bounds (`O(d' log n + t)` vs `O(n d')`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use planar_core::{IndexConfig, PlanarIndexSet, SeqScan, VecStore};
+use planar_datagen::queries::{eq18_domain, Eq18Generator};
+use planar_datagen::synthetic::{SyntheticConfig, SyntheticKind};
+use std::hint::black_box;
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling");
+    group.sample_size(20);
+    for n in [10_000usize, 40_000, 160_000] {
+        group.throughput(Throughput::Elements(n as u64));
+        let table = SyntheticConfig::paper(SyntheticKind::Independent, n, 6).generate();
+        let scan_table = table.clone();
+        let set: PlanarIndexSet<VecStore> =
+            PlanarIndexSet::build(table, eq18_domain(6, 2), IndexConfig::with_budget(50)).unwrap();
+        let queries = Eq18Generator::new(set.table(), 2, 5).queries(16);
+        let mut i = 0;
+        group.bench_function(BenchmarkId::new("planar", n), |b| {
+            b.iter(|| {
+                i = (i + 1) % queries.len();
+                black_box(set.query(&queries[i]).unwrap())
+            })
+        });
+        let scan = SeqScan::new(&scan_table);
+        let mut j = 0;
+        group.bench_function(BenchmarkId::new("scan", n), |b| {
+            b.iter(|| {
+                j = (j + 1) % queries.len();
+                black_box(scan.evaluate(&queries[j]).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion: best-index selection strategies (paper §5.1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use planar_core::{IndexConfig, PlanarIndexSet, SelectionStrategy, VecStore};
+use planar_datagen::queries::{eq18_domain, Eq18Generator};
+use planar_datagen::synthetic::{SyntheticConfig, SyntheticKind};
+use std::hint::black_box;
+
+fn bench_selection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("selection");
+    group.sample_size(30);
+    let table = SyntheticConfig::paper(SyntheticKind::Independent, 50_000, 6).generate();
+    let mut set: PlanarIndexSet<VecStore> =
+        PlanarIndexSet::build(table, eq18_domain(6, 8), IndexConfig::with_budget(100)).unwrap();
+    let queries = Eq18Generator::new(set.table(), 8, 3).queries(32);
+    for strategy in [
+        SelectionStrategy::MinStretch,
+        SelectionStrategy::MinAngle,
+        SelectionStrategy::OracleCount,
+    ] {
+        set.set_strategy(strategy);
+        // Clone the set per strategy so the closure owns an immutable view.
+        let view = set.clone();
+        let mut i = 0;
+        group.bench_function(BenchmarkId::from_parameter(format!("{strategy:?}")), |b| {
+            b.iter(|| {
+                i = (i + 1) % queries.len();
+                black_box(view.query(&queries[i]).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_selection);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion: top-k nearest-neighbor queries (Algorithm 2) vs brute force,
+//! with and without the Claim-3 lower-bound pruning.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use planar_core::{IndexConfig, PlanarIndexSet, SeqScan, TopKQuery, VecStore};
+use planar_datagen::queries::{eq18_domain, Eq18Generator};
+use planar_datagen::synthetic::{SyntheticConfig, SyntheticKind};
+use std::hint::black_box;
+
+const N: usize = 100_000;
+
+fn bench_topk(c: &mut Criterion) {
+    let mut group = c.benchmark_group("topk");
+    group.sample_size(20);
+    let table = SyntheticConfig::paper(SyntheticKind::Independent, N, 6).generate();
+    let scan_table = table.clone();
+    let set: PlanarIndexSet<VecStore> =
+        PlanarIndexSet::build(table, eq18_domain(6, 4), IndexConfig::with_budget(100)).unwrap();
+    let scan = SeqScan::new(&scan_table);
+    let queries = Eq18Generator::new(set.table(), 4, 11).queries(16);
+    for k in [5usize, 100, 1_000] {
+        let tks: Vec<TopKQuery> = queries
+            .iter()
+            .map(|q| TopKQuery::new(q.clone(), k).unwrap())
+            .collect();
+        let mut i = 0;
+        group.bench_function(BenchmarkId::new("planar", k), |b| {
+            b.iter(|| {
+                i = (i + 1) % tks.len();
+                black_box(set.top_k(&tks[i]).unwrap())
+            })
+        });
+        let mut j = 0;
+        group.bench_function(BenchmarkId::new("planar_unpruned", k), |b| {
+            b.iter(|| {
+                j = (j + 1) % tks.len();
+                black_box(set.top_k_unpruned(&tks[j]).unwrap())
+            })
+        });
+        let mut l = 0;
+        group.bench_function(BenchmarkId::new("scan", k), |b| {
+            b.iter(|| {
+                l = (l + 1) % tks.len();
+                black_box(scan.top_k(&tks[l]).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_topk);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! The experiment harness: regenerates every table and figure of the paper.
+//!
+//! ```text
+//! harness [--scale F] [--queries N] [--seed S] <experiment>|all|list
+//! ```
+
+use planar_bench::{experiments, Config};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: harness [--scale F] [--queries N] [--seed S] <experiment>|all|list");
+    eprintln!("       --scale   dataset-size multiplier, 1.0 = paper scale (default 0.05)");
+    eprintln!("       --queries queries per configuration (default 20)");
+    eprintln!("       --seed    RNG seed (default 42)");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let mut cfg = Config::default();
+    let mut targets: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => match args.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(v) if v > 0.0 => cfg.scale = v,
+                _ => return usage(),
+            },
+            "--queries" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(v) if v > 0 => cfg.queries = v,
+                _ => return usage(),
+            },
+            "--seed" => match args.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(v) => cfg.seed = v,
+                _ => return usage(),
+            },
+            "-h" | "--help" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => return usage(),
+            other => targets.push(other.to_string()),
+        }
+    }
+    if targets.is_empty() {
+        return usage();
+    }
+    if targets.iter().any(|t| t == "list") {
+        println!("available experiments (harness <name>):");
+        for e in experiments::registry() {
+            println!("  {:<20} {}", e.name, e.description);
+        }
+        return ExitCode::SUCCESS;
+    }
+    eprintln!(
+        "[harness] scale={} (paper=1.0), queries/config={}, seed={}",
+        cfg.scale, cfg.queries, cfg.seed
+    );
+    for target in &targets {
+        if !experiments::run(target, &cfg) {
+            eprintln!("unknown experiment `{target}` — try `harness list`");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

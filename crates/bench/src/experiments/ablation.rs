@@ -1,0 +1,215 @@
+//! Ablation studies for the design decisions called out in DESIGN.md §5.
+
+use crate::report::{ms, Table};
+use crate::{mean_time_ms, time_ms, Config};
+use planar_core::{
+    Cmp, IndexConfig, ParameterDomain, PlanarIndexSet, SelectionStrategy, TopKQuery, VecStore,
+};
+use planar_datagen::queries::{eq18_domain, Eq18Generator};
+use planar_datagen::synthetic::{SyntheticConfig, SyntheticKind};
+use planar_datagen::SYNTHETIC_N;
+
+fn standard_set(cfg: &Config, rq: usize, budget: usize) -> PlanarIndexSet<VecStore> {
+    let n = cfg.scaled(SYNTHETIC_N);
+    let table = SyntheticConfig::paper(SyntheticKind::Independent, n, 6).generate();
+    PlanarIndexSet::build(
+        table,
+        eq18_domain(6, rq),
+        IndexConfig::with_budget(budget).seed(cfg.seed),
+    )
+    .expect("build")
+}
+
+/// Best-index selection: stretch vs angle vs the exact oracle count.
+pub fn selection(cfg: &Config) {
+    let mut set = standard_set(cfg, 8, 50);
+    let mut generator = Eq18Generator::new(set.table(), 8, cfg.seed ^ 0xAB1);
+    let queries = generator.queries(cfg.queries);
+    let mut t = Table::new(
+        &format!(
+            "Ablation: best-index selection, indp n={}, dim=6, RQ=8, #index={}",
+            set.len(),
+            set.num_indices()
+        ),
+        &["strategy", "mean_II", "mean_pruning_%", "query_ms"],
+    );
+    for strategy in [
+        SelectionStrategy::MinStretch,
+        SelectionStrategy::MinAngle,
+        SelectionStrategy::OracleCount,
+    ] {
+        set.set_strategy(strategy);
+        let mut ii = 0.0;
+        let mut pruning = 0.0;
+        let mut total_ms = 0.0;
+        for q in &queries {
+            let (out, tq) = time_ms(|| set.query(q).expect("query"));
+            total_ms += tq;
+            ii += out.stats.intermediate as f64;
+            pruning += out.stats.pruning_percentage();
+        }
+        let m = queries.len() as f64;
+        t.row(vec![
+            format!("{strategy:?}"),
+            format!("{:.0}", ii / m),
+            format!("{:.1}", pruning / m),
+            ms(total_ms / m),
+        ]);
+    }
+    t.print();
+}
+
+/// Redundant-normal removal (paper §5.2) on vs off on a tight discrete
+/// domain where duplicates are common.
+pub fn dedup(cfg: &Config) {
+    let n = cfg.scaled(SYNTHETIC_N);
+    let table = SyntheticConfig::paper(SyntheticKind::Independent, n, 4).generate();
+    let mut t = Table::new(
+        &format!("Ablation: redundant-normal dedup, indp n={n}, dim=4, RQ=2, budget=100"),
+        &["dedup", "#indices_built", "build_s", "query_ms"],
+    );
+    for dedup in [true, false] {
+        let (set, build_ms) = time_ms(|| {
+            PlanarIndexSet::<VecStore>::build(
+                table.clone(),
+                eq18_domain(4, 2),
+                IndexConfig::with_budget(100).seed(cfg.seed).dedup(dedup),
+            )
+            .expect("build")
+        });
+        let mut generator = Eq18Generator::new(set.table(), 2, cfg.seed ^ 0xDD);
+        let queries = generator.queries(cfg.queries);
+        let mut total_ms = 0.0;
+        for q in &queries {
+            let (_, tq) = time_ms(|| set.query(q).expect("query"));
+            total_ms += tq;
+        }
+        t.row(vec![
+            dedup.to_string(),
+            set.num_indices().to_string(),
+            format!("{:.2}", build_ms / 1e3),
+            ms(total_ms / queries.len() as f64),
+        ]);
+    }
+    t.print();
+}
+
+/// Claim-3 lower-bound pruning in Algorithm 2, on vs off.
+pub fn topk_pruning(cfg: &Config) {
+    let set = standard_set(cfg, 4, 100);
+    let mut generator = Eq18Generator::new(set.table(), 4, cfg.seed ^ 0x70);
+    let queries = generator.queries(cfg.queries);
+    let mut t = Table::new(
+        &format!("Ablation: Algorithm 2 LBS pruning, indp n={}, #index=100", set.len()),
+        &["k", "pruned_checked_%", "unpruned_checked_%", "pruned_ms", "unpruned_ms"],
+    );
+    for k in [10usize, 100, 1_000] {
+        let mut pruned_checked = 0.0;
+        let mut unpruned_checked = 0.0;
+        let mut pruned_ms = 0.0;
+        let mut unpruned_ms = 0.0;
+        for q in &queries {
+            let tk = TopKQuery::new(q.clone(), k).expect("k");
+            let (a, ta) = time_ms(|| set.top_k(&tk).expect("top_k"));
+            let (b, tb) = time_ms(|| set.top_k_unpruned(&tk).expect("top_k_unpruned"));
+            assert_eq!(a.neighbors, b.neighbors, "pruning must not change answers");
+            pruned_checked += a.stats.checked_percentage();
+            unpruned_checked += b.stats.checked_percentage();
+            pruned_ms += ta;
+            unpruned_ms += tb;
+        }
+        let m = queries.len() as f64;
+        t.row(vec![
+            k.to_string(),
+            format!("{:.2}", pruned_checked / m),
+            format!("{:.2}", unpruned_checked / m),
+            ms(pruned_ms / m),
+            ms(unpruned_ms / m),
+        ]);
+    }
+    t.print();
+}
+
+/// Interval-boundary search: the paper-literal d' binary searches vs the
+/// reduced two-search form.
+pub fn search(cfg: &Config) {
+    let mut t = Table::new(
+        "Ablation: boundary search — per-axis (paper Eq. 7) vs reduced thresholds",
+        &["dim", "literal_us", "reduced_us", "identical_bounds"],
+    );
+    for dim in [2usize, 6, 10, 14] {
+        let n = cfg.scaled(SYNTHETIC_N);
+        let table = SyntheticConfig::paper(SyntheticKind::Independent, n, dim).generate();
+        let set: PlanarIndexSet<VecStore> = PlanarIndexSet::build(
+            table,
+            eq18_domain(dim, 4),
+            IndexConfig::with_budget(1).seed(cfg.seed),
+        )
+        .expect("build");
+        let idx = set.index_at(0).expect("one index");
+        let mut generator = Eq18Generator::new(set.table(), 4, cfg.seed ^ 0x5EA);
+        let queries = generator.queries(cfg.queries.max(10));
+        let shift = set.normalizer().key_shift(idx.normal());
+        let normalized: Vec<_> = queries
+            .iter()
+            .map(|q| set.normalize_query(q).expect("in-octant").1)
+            .collect();
+        let mut identical = true;
+        for nq in &normalized {
+            identical &= idx.boundaries(nq, shift, Cmp::Leq) == idx.boundaries_literal(nq, shift, Cmp::Leq);
+        }
+        let literal_us = 1e3
+            * mean_time_ms(50, || {
+                for nq in &normalized {
+                    std::hint::black_box(idx.boundaries_literal(nq, shift, Cmp::Leq));
+                }
+            })
+            / normalized.len() as f64;
+        let reduced_us = 1e3
+            * mean_time_ms(50, || {
+                for nq in &normalized {
+                    std::hint::black_box(idx.boundaries(nq, shift, Cmp::Leq));
+                }
+            })
+            / normalized.len() as f64;
+        t.row(vec![
+            dim.to_string(),
+            format!("{literal_us:.2}"),
+            format!("{reduced_us:.2}"),
+            identical.to_string(),
+        ]);
+    }
+    t.print();
+}
+
+/// Quiet the unused import when tests are compiled out.
+#[allow(dead_code)]
+fn _types(_: Option<ParameterDomain>) {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Config {
+        Config {
+            scale: 0.0005,
+            queries: 2,
+            seed: 13,
+        }
+    }
+
+    #[test]
+    fn selection_smoke() {
+        selection(&tiny());
+    }
+
+    #[test]
+    fn topk_pruning_smoke() {
+        topk_pruning(&tiny());
+    }
+
+    #[test]
+    fn search_smoke() {
+        search(&tiny());
+    }
+}

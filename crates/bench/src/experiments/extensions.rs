@@ -1,0 +1,206 @@
+//! Experiments for the extension features (the paper's §8 future-work
+//! directions and §2 suggestions, implemented in this repository).
+
+use crate::report::{ms, Table};
+use crate::{time_ms, Config};
+use planar_core::{
+    AdaptiveConfig, AdaptivePlanarIndexSet, AxisReductionRouter, Cmp, ConjunctionQuery,
+    IndexConfig, InequalityQuery, ParameterDomain, PlanarIndexSet, VecStore,
+};
+use planar_datagen::drift::DriftingWorkload;
+use planar_datagen::queries::eq18_domain;
+use planar_datagen::synthetic::{SyntheticConfig, SyntheticKind};
+use planar_datagen::SYNTHETIC_N;
+
+/// Adaptive retuning under query drift: static index set vs
+/// `AdaptivePlanarIndexSet` on the same drifting stream.
+pub fn adaptive(cfg: &Config) {
+    let n = cfg.scaled(SYNTHETIC_N);
+    let dim = 6;
+    let table = SyntheticConfig::paper(SyntheticKind::Independent, n, dim).generate();
+    let initial = ParameterDomain::uniform_continuous(dim, 1.0, 100.0).expect("domain");
+    let phases = 6usize;
+    let queries_per_phase = (cfg.queries * 4).max(32);
+
+    let make_stream = |seed: u64| {
+        DriftingWorkload::new(
+            &table,
+            vec![1.0; dim],
+            (0..dim)
+                .map(|i| if i % 2 == 0 { 100.0 } else { 1.0 })
+                .collect(),
+            phases * queries_per_phase,
+            0.02,
+            seed,
+        )
+    };
+
+    let static_set: PlanarIndexSet<VecStore> = PlanarIndexSet::build(
+        table.clone(),
+        initial.clone(),
+        IndexConfig::with_budget(20).seed(cfg.seed),
+    )
+    .expect("build");
+    let mut adaptive_set: AdaptivePlanarIndexSet = AdaptivePlanarIndexSet::build(
+        table.clone(),
+        initial,
+        AdaptiveConfig {
+            pruning_threshold: 0.95,
+            cooldown: queries_per_phase / 2,
+            min_queries: 16,
+            ..AdaptiveConfig::with_budget(20)
+        },
+    )
+    .expect("build");
+
+    let mut t = Table::new(
+        &format!("Extension: adaptive retuning under drift, indp n={n}, dim={dim}, budget=20"),
+        &["phase", "static_pruning_%", "adaptive_pruning_%", "static_ms", "adaptive_ms", "rebuilds"],
+    );
+    let mut static_stream = make_stream(cfg.seed ^ 0xD1);
+    let mut adaptive_stream = make_stream(cfg.seed ^ 0xD1);
+    for phase in 1..=phases {
+        let mut sp = 0.0;
+        let mut ap = 0.0;
+        let mut sms = 0.0;
+        let mut ams = 0.0;
+        for _ in 0..queries_per_phase {
+            let q = static_stream.next_query();
+            let (out, tq) = time_ms(|| static_set.query(&q).expect("query"));
+            sp += out.stats.pruning_percentage();
+            sms += tq;
+            let q = adaptive_stream.next_query();
+            let (out, tq) = time_ms(|| adaptive_set.query(&q).expect("query"));
+            ap += out.stats.pruning_percentage();
+            ams += tq;
+        }
+        let m = queries_per_phase as f64;
+        t.row(vec![
+            phase.to_string(),
+            format!("{:.1}", sp / m),
+            format!("{:.1}", ap / m),
+            ms(sms / m),
+            ms(ams / m),
+            adaptive_set.rebuilds().to_string(),
+        ]);
+    }
+    t.print();
+}
+
+/// Conjunction (linear constraint) queries: interval-pruned evaluation vs
+/// per-constraint scans.
+pub fn conjunction(cfg: &Config) {
+    let n = cfg.scaled(SYNTHETIC_N);
+    let dim = 6;
+    let table = SyntheticConfig::paper(SyntheticKind::Independent, n, dim).generate();
+    let maxima = table.max_per_dim();
+    let set: PlanarIndexSet<VecStore> = PlanarIndexSet::build(
+        table,
+        eq18_domain(dim, 4),
+        IndexConfig::with_budget(50).seed(cfg.seed),
+    )
+    .expect("build");
+    let mut t = Table::new(
+        &format!("Extension: conjunction (band) queries, indp n={n}, dim={dim}, #index=50"),
+        &["band_width", "matches", "conjunction_ms", "scan_ms", "pruning_%"],
+    );
+    for width in [0.05, 0.15, 0.3] {
+        let a: Vec<f64> = vec![2.0; dim];
+        let mid = 0.4 * a.iter().zip(&maxima).map(|(ai, mi)| ai * mi).sum::<f64>();
+        let span = width * mid;
+        let q = ConjunctionQuery::new(vec![
+            InequalityQuery::new(a.clone(), Cmp::Geq, mid - span).expect("query"),
+            InequalityQuery::new(a.clone(), Cmp::Leq, mid + span).expect("query"),
+        ])
+        .expect("conjunction");
+        let (out, conj_ms) = time_ms(|| set.query_conjunction(&q).expect("query"));
+        // Baseline: scan evaluating both constraints per point.
+        let (scan_matches, scan_ms) = time_ms(|| {
+            set.table()
+                .iter()
+                .filter(|(_, row)| q.satisfies(row))
+                .count()
+        });
+        assert_eq!(out.matches.len(), scan_matches);
+        t.row(vec![
+            format!("{width:.2}"),
+            out.matches.len().to_string(),
+            ms(conj_ms),
+            ms(scan_ms),
+            format!("{:.1}", out.stats.pruning_percentage()),
+        ]);
+    }
+    t.print();
+}
+
+/// The axis-reduction router: zero-coefficient queries with and without
+/// reduced indexes.
+pub fn router(cfg: &Config) {
+    let n = cfg.scaled(SYNTHETIC_N);
+    let dim = 8;
+    let table = SyntheticConfig::paper(SyntheticKind::Independent, n, dim).generate();
+    let maxima = table.max_per_dim();
+    let base: PlanarIndexSet<VecStore> = PlanarIndexSet::build(
+        table,
+        eq18_domain(dim, 4),
+        IndexConfig::with_budget(20).seed(cfg.seed),
+    )
+    .expect("build");
+    let mut routed =
+        AxisReductionRouter::new(base, IndexConfig::with_budget(20).seed(cfg.seed)).expect("router");
+    let mut t = Table::new(
+        &format!("Extension: axis-reduction router, indp n={n}, dim={dim}"),
+        &["zero_axes", "plain_ms(scan)", "routed_ms", "routed_pruning_%", "build_ms(once)"],
+    );
+    for zeros in [1usize, 3, 5] {
+        let mut a = vec![2.0; dim];
+        for slot in a.iter_mut().take(zeros) {
+            *slot = 0.0;
+        }
+        let b = 0.25 * a.iter().zip(&maxima).map(|(ai, mi)| ai * mi).sum::<f64>();
+        let q = InequalityQuery::leq(a, b).expect("query");
+        // Plain set: falls back to a scan.
+        let (plain, plain_ms) = time_ms(|| routed.base().query(&q).expect("query"));
+        assert!(!plain.stats.used_index());
+        // First routed call builds the reduction; measure it separately.
+        let (_, build_ms) = time_ms(|| routed.query(&q).expect("query"));
+        let (out, routed_ms) = time_ms(|| routed.query(&q).expect("query"));
+        assert_eq!(out.sorted_ids(), plain.sorted_ids());
+        t.row(vec![
+            zeros.to_string(),
+            ms(plain_ms),
+            ms(routed_ms),
+            format!("{:.1}", out.stats.pruning_percentage()),
+            ms(build_ms),
+        ]);
+    }
+    t.print();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Config {
+        Config {
+            scale: 0.0005,
+            queries: 2,
+            seed: 19,
+        }
+    }
+
+    #[test]
+    fn adaptive_smoke() {
+        adaptive(&tiny());
+    }
+
+    #[test]
+    fn conjunction_smoke() {
+        conjunction(&tiny());
+    }
+
+    #[test]
+    fn router_smoke() {
+        router(&tiny());
+    }
+}

@@ -1,0 +1,154 @@
+//! Moving-object intersection experiments (Figure 14).
+//!
+//! Object-set sizes scale with `sqrt(scale)` so the *pair* count — the
+//! quantity that actually drives cost — scales linearly with `--scale`
+//! (paper scale: 5,000 objects per set → 25M pairs).
+
+use crate::report::{ms, Table};
+use crate::{time_ms, Config};
+use planar_moving::baseline;
+use planar_moving::intersection::{
+    AcceleratingIntersectionIndex, CircularIntersectionIndex, LinearIntersectionIndex,
+};
+use planar_moving::rtree::mbr_intersection;
+use planar_moving::workload;
+
+const PAPER_OBJECTS: usize = 5_000;
+const INSTANTS: [f64; 6] = [10.0, 11.0, 12.0, 13.0, 14.0, 15.0];
+const QUERY_TIMES: [f64; 11] = [10.0, 10.5, 11.0, 11.5, 12.0, 12.5, 13.0, 13.5, 14.0, 14.5, 15.0];
+
+fn objects_per_set(cfg: &Config) -> usize {
+    ((PAPER_OBJECTS as f64 * cfg.scale.sqrt()) as usize).max(50)
+}
+
+/// Figure 14a: linear motion — Planar vs all-pairs baseline vs MBR R-tree.
+pub fn fig14a(cfg: &Config) {
+    let n = objects_per_set(cfg);
+    let set_a = workload::linear_objects(n, 1000.0, cfg.seed);
+    let set_b = workload::linear_objects(n, 1000.0, cfg.seed ^ 1);
+    let (idx, build_ms) = time_ms(|| {
+        LinearIntersectionIndex::<planar_core::VecStore>::build(
+            set_a.clone(),
+            set_b.clone(),
+            &INSTANTS,
+        )
+        .expect("build")
+    });
+    let mut t = Table::new(
+        &format!(
+            "Fig 14a: linear moving objects, {n}x{n} pairs (index build {:.1}s)",
+            build_ms / 1e3
+        ),
+        &["t_min", "planar_ms", "baseline_ms", "mbr_ms", "matches", "pruning_%"],
+    );
+    for qt in QUERY_TIMES {
+        let ((pairs, stats), planar_ms) = time_ms(|| idx.query(qt, 10.0).expect("query"));
+        let (base_pairs, baseline_ms) =
+            time_ms(|| baseline::linear_pairs_within(&set_a, &set_b, qt, 10.0));
+        let (mbr_pairs, mbr_ms) = time_ms(|| mbr_intersection(&set_a, &set_b, qt, 10.0));
+        assert_eq!(pairs.len(), base_pairs.len(), "exactness at t={qt}");
+        assert_eq!(pairs.len(), mbr_pairs.len(), "MBR exactness at t={qt}");
+        t.row(vec![
+            format!("{qt:.1}"),
+            ms(planar_ms),
+            ms(baseline_ms),
+            ms(mbr_ms),
+            pairs.len().to_string(),
+            format!("{:.1}", stats.pruning_percentage()),
+        ]);
+    }
+    t.print();
+}
+
+/// Figure 14b: circular vs linear motion — Planar vs baseline (no MBR
+/// method applies: future positions are not affine in t).
+pub fn fig14b(cfg: &Config) {
+    let n = objects_per_set(cfg);
+    let circles = workload::circular_objects(n, cfg.seed);
+    let lines = workload::linear_objects(n, 100.0, cfg.seed ^ 2);
+    let (idx, build_ms) = time_ms(|| {
+        CircularIntersectionIndex::<planar_core::VecStore>::build(&circles, &lines, &INSTANTS)
+            .expect("build")
+    });
+    let mut t = Table::new(
+        &format!(
+            "Fig 14b: circular moving objects, {n}x{n} pairs (index build {:.1}s)",
+            build_ms / 1e3
+        ),
+        &["t_min", "planar_ms", "baseline_ms", "matches", "pruning_%"],
+    );
+    for qt in QUERY_TIMES {
+        let ((pairs, stats), planar_ms) = time_ms(|| idx.query(qt, 10.0).expect("query"));
+        let (base_pairs, baseline_ms) =
+            time_ms(|| baseline::circular_pairs_within(&circles, &lines, qt, 10.0));
+        assert_eq!(pairs.len(), base_pairs.len(), "exactness at t={qt}");
+        t.row(vec![
+            format!("{qt:.1}"),
+            ms(planar_ms),
+            ms(baseline_ms),
+            pairs.len().to_string(),
+            format!("{:.1}", stats.pruning_percentage()),
+        ]);
+    }
+    t.print();
+}
+
+/// Figure 14c: accelerating (3D) vs linear motion — Planar vs baseline.
+pub fn fig14c(cfg: &Config) {
+    let n = objects_per_set(cfg);
+    let accel = workload::accelerating_objects(n, 1000.0, cfg.seed);
+    let lines = workload::linear_objects_3d(n, 1000.0, cfg.seed ^ 3);
+    let (idx, build_ms) = time_ms(|| {
+        AcceleratingIntersectionIndex::<planar_core::VecStore>::build(&accel, &lines, &INSTANTS)
+            .expect("build")
+    });
+    let mut t = Table::new(
+        &format!(
+            "Fig 14c: accelerating objects (3D), {n}x{n} pairs (index build {:.1}s)",
+            build_ms / 1e3
+        ),
+        &["t_min", "planar_ms", "baseline_ms", "matches", "pruning_%"],
+    );
+    for qt in QUERY_TIMES {
+        let ((pairs, stats), planar_ms) = time_ms(|| idx.query(qt, 10.0).expect("query"));
+        let (base_pairs, baseline_ms) =
+            time_ms(|| baseline::accelerating_pairs_within(&accel, &lines, qt, 10.0));
+        assert_eq!(pairs.len(), base_pairs.len(), "exactness at t={qt}");
+        t.row(vec![
+            format!("{qt:.1}"),
+            ms(planar_ms),
+            ms(baseline_ms),
+            pairs.len().to_string(),
+            format!("{:.1}", stats.pruning_percentage()),
+        ]);
+    }
+    t.print();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Config {
+        Config {
+            scale: 0.0002,
+            queries: 1,
+            seed: 5,
+        }
+    }
+
+    #[test]
+    fn fig14a_smoke() {
+        fig14a(&tiny());
+    }
+
+    #[test]
+    fn fig14b_smoke() {
+        fig14b(&tiny());
+    }
+
+    #[test]
+    fn fig14c_smoke() {
+        fig14c(&tiny());
+    }
+}

@@ -1,0 +1,203 @@
+//! Real-world-dataset experiments (simulated datasets, see DESIGN.md §4):
+//! Table 2 and Figure 6.
+
+use crate::report::{ms, Table};
+use crate::{time_ms, Config};
+use planar_core::{FeatureTable, IndexConfig, ParameterDomain, PlanarIndexSet, SeqScan, VecStore};
+use planar_datagen::consumption::{
+    consumption_domain, critical_consume_query, sample_threshold, ConsumptionGenerator,
+};
+use planar_datagen::queries::{eq18_domain, Eq18Generator};
+use planar_datagen::synthetic::{SyntheticConfig, SyntheticKind};
+use planar_datagen::{cmoment, ctexture, DatasetSummary, CONSUMPTION_N, IMAGE_N, SYNTHETIC_N};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Table 2: characteristics of every dataset.
+pub fn table2(cfg: &Config) {
+    let mut t = Table::new(
+        "Table 2: dataset characteristics (scaled)",
+        &["dataset", "#points", "#dim", "attr_min", "attr_max"],
+    );
+    let n_syn = cfg.scaled(SYNTHETIC_N);
+    for kind in SyntheticKind::ALL {
+        let table = SyntheticConfig::paper(kind, n_syn, 6).generate();
+        push_summary(&mut t, &DatasetSummary::of(kind.name(), &table));
+    }
+    let n_img = cfg.scaled(IMAGE_N);
+    push_summary(
+        &mut t,
+        &DatasetSummary::of("CMoment", &cmoment(n_img, cfg.seed)),
+    );
+    push_summary(
+        &mut t,
+        &DatasetSummary::of("CTexture", &ctexture(n_img, cfg.seed)),
+    );
+    let consumption = ConsumptionGenerator::new(cfg.scaled(CONSUMPTION_N)).raw_table();
+    push_summary(&mut t, &DatasetSummary::of("Consumption", &consumption));
+    t.print();
+}
+
+fn push_summary(t: &mut Table, s: &DatasetSummary) {
+    t.row(vec![
+        s.name.clone(),
+        s.n.to_string(),
+        s.dim.to_string(),
+        format!("{:.2}", s.min),
+        format!("{:.2}", s.max),
+    ]);
+}
+
+/// Figure 6a: the Critical_Consume SQL function over the consumption data.
+pub fn fig6a(cfg: &Config) {
+    let n = cfg.scaled(CONSUMPTION_N);
+    let table = ConsumptionGenerator::new(n).feature_table();
+    let scan_table = table.clone();
+    let scan = SeqScan::new(&scan_table);
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x6A);
+    let thresholds: Vec<f64> = (0..cfg.queries).map(|_| sample_threshold(&mut rng)).collect();
+
+    let mut baseline_ms = 0.0;
+    for th in &thresholds {
+        let q = critical_consume_query(*th);
+        let (_, tb) = time_ms(|| scan.evaluate(&q).expect("scan"));
+        baseline_ms += tb;
+    }
+    baseline_ms /= thresholds.len() as f64;
+
+    let mut t = Table::new(
+        &format!("Fig 6a: Consumption SQL function, n={n}"),
+        &["#index", "query_ms", "baseline_ms", "speedup"],
+    );
+    for n_index in [10usize, 50, 100, 200] {
+        let set: PlanarIndexSet<VecStore> = PlanarIndexSet::build(
+            table.clone(),
+            consumption_domain(),
+            IndexConfig::with_budget(n_index).seed(cfg.seed),
+        )
+        .expect("build");
+        let mut planar_ms = 0.0;
+        for th in &thresholds {
+            let q = critical_consume_query(*th);
+            let (out, tq) = time_ms(|| set.query(&q).expect("query"));
+            assert!(out.stats.used_index());
+            planar_ms += tq;
+        }
+        planar_ms /= thresholds.len() as f64;
+        t.row(vec![
+            n_index.to_string(),
+            ms(planar_ms),
+            ms(baseline_ms),
+            crate::report::speedup(baseline_ms, planar_ms),
+        ]);
+    }
+    t.print();
+}
+
+fn image_figure(cfg: &Config, name: &str, table: FeatureTable) {
+    let scan_table = table.clone();
+    let scan = SeqScan::new(&scan_table);
+    let dim = table.dim();
+    let mut t = Table::new(
+        &format!("Fig 6: {name}, n={}", table.len()),
+        &["RQ", "#index=1", "#index=10", "#index=50", "#index=100", "baseline"],
+    );
+    for rq in [2usize, 4, 8, 12] {
+        let mut cells = vec![rq.to_string()];
+        let mut generator = Eq18Generator::new(&table, rq, cfg.seed ^ 0x16);
+        let queries = generator.queries(cfg.queries);
+        let mut baseline_ms = 0.0;
+        for q in &queries {
+            let (_, tb) = time_ms(|| scan.evaluate(q).expect("scan"));
+            baseline_ms += tb;
+        }
+        baseline_ms /= queries.len() as f64;
+        for n_index in [1usize, 10, 50, 100] {
+            let set: PlanarIndexSet<VecStore> = PlanarIndexSet::build(
+                table.clone(),
+                eq18_domain(dim, rq),
+                IndexConfig::with_budget(n_index).seed(cfg.seed),
+            )
+            .expect("build");
+            let mut planar_ms = 0.0;
+            for q in &queries {
+                let (_, tq) = time_ms(|| set.query(q).expect("query"));
+                planar_ms += tq;
+            }
+            cells.push(ms(planar_ms / queries.len() as f64));
+        }
+        cells.push(ms(baseline_ms));
+        t.row(cells);
+    }
+    t.print();
+}
+
+/// Figure 6b: CMoment query times.
+pub fn fig6b(cfg: &Config) {
+    image_figure(cfg, "CMoment", cmoment(cfg.scaled(IMAGE_N), cfg.seed));
+}
+
+/// Figure 6c: CTexture query times.
+pub fn fig6c(cfg: &Config) {
+    image_figure(cfg, "CTexture", ctexture(cfg.scaled(IMAGE_N), cfg.seed));
+}
+
+/// Figure 6d: index construction time on the real datasets.
+pub fn fig6d(cfg: &Config) {
+    let mut t = Table::new(
+        "Fig 6d: index build time (s), real datasets",
+        &["#index", "CMoment", "CTexture", "Consumption"],
+    );
+    let n_img = cfg.scaled(IMAGE_N);
+    let cm = cmoment(n_img, cfg.seed);
+    let ct = ctexture(n_img, cfg.seed);
+    let cons = ConsumptionGenerator::new(cfg.scaled(CONSUMPTION_N)).feature_table();
+    for n_index in [1usize, 10, 50, 100, 200] {
+        let mut cells = vec![n_index.to_string()];
+        for (table, domain) in [
+            (&cm, eq18_domain(cm.dim(), 4)),
+            (&ct, eq18_domain(ct.dim(), 4)),
+            (&cons, consumption_domain()),
+        ] {
+            let (_, build_ms) = time_ms(|| {
+                PlanarIndexSet::<VecStore>::build(
+                    table.clone(),
+                    domain.clone(),
+                    IndexConfig::with_budget(n_index).seed(cfg.seed),
+                )
+                .expect("build")
+            });
+            cells.push(format!("{:.2}", build_ms / 1e3));
+        }
+        t.row(cells);
+    }
+    t.print();
+}
+
+/// Keep the unused-import lint honest for ParameterDomain in rustdoc
+/// examples.
+#[allow(dead_code)]
+fn _types(_: Option<ParameterDomain>) {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Config {
+        Config {
+            scale: 0.002,
+            queries: 2,
+            seed: 3,
+        }
+    }
+
+    #[test]
+    fn table2_smoke() {
+        table2(&tiny());
+    }
+
+    #[test]
+    fn fig6a_smoke() {
+        fig6a(&tiny());
+    }
+}

@@ -1,0 +1,131 @@
+//! Top-k nearest-neighbor experiments: Table 3 and the §7.5.2
+//! active-learning study.
+
+use crate::report::{ms, Table};
+use crate::{time_ms, Config};
+use planar_core::{IndexConfig, PlanarIndexSet, SeqScan, TopKQuery, VecStore};
+use planar_datagen::queries::{eq18_domain, Eq18Generator};
+use planar_datagen::synthetic::{SyntheticConfig, SyntheticKind};
+use planar_datagen::SYNTHETIC_N;
+use planar_learning::hashing::{recall, HyperplaneHash};
+use planar_learning::{ActiveLearner, LinearClassifier};
+
+/// Table 3: top-k nearest-neighbor time on Indp (dim 6, RQ 4, #index 100).
+pub fn table3(cfg: &Config) {
+    let n = cfg.scaled(SYNTHETIC_N);
+    let table = SyntheticConfig::paper(SyntheticKind::Independent, n, 6).generate();
+    let scan_table = table.clone();
+    let set: PlanarIndexSet<VecStore> = PlanarIndexSet::build(
+        table,
+        eq18_domain(6, 4),
+        IndexConfig::with_budget(100).seed(cfg.seed),
+    )
+    .expect("build");
+    let scan = SeqScan::new(&scan_table);
+    let mut generator = Eq18Generator::new(set.table(), 4, cfg.seed ^ 0x73);
+    let queries = generator.queries(cfg.queries);
+
+    let mut t = Table::new(
+        &format!("Table 3: top-k NN on indp, n={n}, dim=6, RQ=4, #index=100"),
+        &["k", "checked_%", "planar_ms", "baseline_ms"],
+    );
+    // The paper's k values, scaled with the dataset.
+    for paper_k in [50usize, 1_000, 10_000] {
+        let k = ((paper_k as f64 * cfg.scale) as usize).max(1);
+        let mut planar_ms = 0.0;
+        let mut baseline_ms = 0.0;
+        let mut checked = 0.0;
+        for q in &queries {
+            let tk = TopKQuery::new(q.clone(), k).expect("k > 0");
+            let (out, tq) = time_ms(|| set.top_k(&tk).expect("top_k"));
+            planar_ms += tq;
+            checked += out.stats.checked_percentage();
+            let (base, tb) = time_ms(|| scan.top_k(&tk).expect("scan top_k"));
+            baseline_ms += tb;
+            assert_eq!(out.neighbors, base, "exactness for k={k}");
+        }
+        let m = queries.len() as f64;
+        t.row(vec![
+            k.to_string(),
+            format!("{:.2}", checked / m),
+            ms(planar_ms / m),
+            ms(baseline_ms / m),
+        ]);
+    }
+    t.print();
+}
+
+/// §7.5.2: pool-based active learning with exact Planar retrieval, plus the
+/// recall of a hashing-based approximate retriever (the paper's
+/// exact-vs-approximate contrast with [14, 18]).
+pub fn active_learning(cfg: &Config) {
+    let n = cfg.scaled(SYNTHETIC_N / 10);
+    let pool = SyntheticConfig::paper(SyntheticKind::Independent, n, 4).generate();
+
+    // --- Active-learning accuracy curve -------------------------------
+    let domain = planar_core::ParameterDomain::uniform_continuous(4, 0.2, 5.0).expect("domain");
+    let mut learner = ActiveLearner::new(pool.clone(), domain, 20, 150.0, |x| {
+        2.0 * x[0] + x[1] + 3.0 * x[2] + 0.5 * x[3] >= 320.0
+    })
+    .expect("learner");
+    let mut t = Table::new(
+        &format!("Active learning on indp n={n}: accuracy vs labels (exact Planar retrieval)"),
+        &["round", "labels", "accuracy_%", "checked_%_of_pool"],
+    );
+    let reports = learner.run(30, 5).expect("run");
+    for r in reports.iter().step_by(5).chain(reports.last().into_iter().filter(|r| r.round % 5 != 0)) {
+        t.row(vec![
+            r.round.to_string(),
+            r.labels_used.to_string(),
+            format!("{:.1}", 100.0 * r.accuracy),
+            format!("{:.1}", r.checked_percentage),
+        ]);
+    }
+    t.print();
+
+    // --- Exact vs approximate retrieval -------------------------------
+    let mut t = Table::new(
+        "Hyperplane top-k retrieval: exact Planar vs approximate hashing (recall@k, k=50)",
+        &["hash_tables", "recall_%", "planar is exact"],
+    );
+    let k = 50usize.min(n / 10).max(1);
+    let classifier = LinearClassifier::new(4, 180.0, 1.0).expect("classifier");
+    let q = planar_core::InequalityQuery::leq(classifier.weights().to_vec(), classifier.bias())
+        .expect("query");
+    let exact = SeqScan::new(&pool)
+        .top_k(&TopKQuery::new(q.clone(), k).expect("k"))
+        .expect("exact");
+    for tables in [2usize, 8, 32, 128] {
+        let hash = HyperplaneHash::build(&pool, tables, cfg.seed);
+        let approx = hash.top_k(&pool, q.a(), q.b(), k, |row| q.satisfies(row));
+        t.row(vec![
+            tables.to_string(),
+            format!("{:.1}", 100.0 * recall(&exact, &approx)),
+            "100.0".to_string(),
+        ]);
+    }
+    t.print();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Config {
+        Config {
+            scale: 0.001,
+            queries: 2,
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn table3_smoke() {
+        table3(&tiny());
+    }
+
+    #[test]
+    fn active_learning_smoke() {
+        active_learning(&tiny());
+    }
+}

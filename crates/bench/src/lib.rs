@@ -1,0 +1,102 @@
+//! # planar-bench
+//!
+//! The benchmark harness that regenerates **every table and figure** of the
+//! paper's evaluation (§7), plus the ablation studies called out in
+//! `DESIGN.md`.
+//!
+//! Run experiments with the `harness` binary:
+//!
+//! ```text
+//! cargo run -p planar-bench --release --bin harness -- list
+//! cargo run -p planar-bench --release --bin harness -- fig7
+//! cargo run -p planar-bench --release --bin harness -- --scale 1.0 all
+//! ```
+//!
+//! `--scale` multiplies every dataset cardinality (1.0 = paper scale:
+//! 1M-point synthetics, 2M-row consumption, 5K×5K moving-object pairs).
+//! The default 0.05 finishes the full suite on a laptop in minutes while
+//! preserving every qualitative shape; `EXPERIMENTS.md` records both.
+//!
+//! Timing-critical kernels additionally have Criterion micro-benchmarks in
+//! `benches/`.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod experiments;
+pub mod report;
+
+use std::time::Instant;
+
+/// Harness configuration shared by all experiments.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Dataset-size multiplier (1.0 = paper scale).
+    pub scale: f64,
+    /// Queries per measured configuration (the paper averages 100 runs).
+    pub queries: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            scale: 0.05,
+            queries: 20,
+            seed: 42,
+        }
+    }
+}
+
+impl Config {
+    /// A cardinality scaled by the configured factor (at least 100).
+    pub fn scaled(&self, paper_n: usize) -> usize {
+        ((paper_n as f64 * self.scale) as usize).max(100)
+    }
+}
+
+/// Time a closure, returning its result and elapsed milliseconds.
+pub fn time_ms<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64() * 1e3)
+}
+
+/// Mean elapsed milliseconds of `f` over `iters` calls (each call may
+/// return a value that is consumed to keep the optimizer honest).
+pub fn mean_time_ms<T>(iters: usize, mut f: impl FnMut() -> T) -> f64 {
+    assert!(iters > 0);
+    let start = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
+    }
+    start.elapsed().as_secs_f64() * 1e3 / iters as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_has_floor() {
+        let c = Config {
+            scale: 0.0001,
+            ..Config::default()
+        };
+        assert_eq!(c.scaled(1_000_000), 100);
+        let c = Config {
+            scale: 0.5,
+            ..Config::default()
+        };
+        assert_eq!(c.scaled(1_000_000), 500_000);
+    }
+
+    #[test]
+    fn timers_return_positive() {
+        let ((), ms) = time_ms(|| std::thread::sleep(std::time::Duration::from_millis(2)));
+        assert!(ms >= 1.0);
+        let mean = mean_time_ms(3, || 1 + 1);
+        assert!(mean >= 0.0);
+    }
+}

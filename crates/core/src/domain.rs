@@ -1,0 +1,439 @@
+//! Query-parameter domains (paper §4.1).
+//!
+//! The exact query parameters `a` are unknown until query time, but their
+//! *domains* `Δaᵢ` are either application-specific (the power-factor
+//! threshold lies in (0, 1); intersection times of interest lie in the next
+//! few minutes) or learned from past queries. Index normals `c` are sampled
+//! from these same domains (§5.2), which is what makes it likely that some
+//! index is nearly parallel to an incoming query.
+//!
+//! The paper's synthetic experiments use *discrete* domains: each `aᵢ` is
+//! drawn from a set of `RQ` values ("randomness of the query"), giving
+//! `RQ^d` possible query normals — [`Domain::Discrete`] models this, and
+//! [`Domain::Continuous`] models interval domains like the SQL-function
+//! threshold.
+//!
+//! Every domain must exclude zero and have a fixed sign: the sign of each
+//! coefficient determines the hyper-octant in which queries intersect the
+//! axes (§4.5), and an index can only be prepared for a known octant.
+
+use crate::query::InequalityQuery;
+use crate::{PlanarError, Result};
+use planar_geom::{Octant, Sign, SignVector};
+use rand::Rng;
+use std::collections::VecDeque;
+
+/// The domain `Δaᵢ` of one query parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Domain {
+    /// A finite set of possible values (the paper's `RQ`-valued domains).
+    Discrete(Vec<f64>),
+    /// A closed interval `[lo, hi]`.
+    Continuous {
+        /// Lower bound (inclusive).
+        lo: f64,
+        /// Upper bound (inclusive).
+        hi: f64,
+    },
+}
+
+impl Domain {
+    /// The discrete domain `{1, 2, …, rq}` used by the paper's synthetic
+    /// query workloads.
+    pub fn randomness(rq: usize) -> Domain {
+        Domain::Discrete((1..=rq).map(|v| v as f64).collect())
+    }
+
+    fn validate(&self, axis: usize) -> Result<()> {
+        match self {
+            Domain::Discrete(vals) => {
+                if vals.is_empty() {
+                    return Err(PlanarError::EmptyDomain { axis });
+                }
+                if vals.iter().any(|v| !v.is_finite()) {
+                    return Err(PlanarError::NotFinite);
+                }
+                if vals.contains(&0.0) {
+                    return Err(PlanarError::DomainContainsZero { axis });
+                }
+                let first_pos = vals[0] > 0.0;
+                if vals.iter().any(|&v| (v > 0.0) != first_pos) {
+                    return Err(PlanarError::DomainContainsZero { axis });
+                }
+                Ok(())
+            }
+            Domain::Continuous { lo, hi } => {
+                if !lo.is_finite() || !hi.is_finite() {
+                    return Err(PlanarError::NotFinite);
+                }
+                if lo > hi {
+                    return Err(PlanarError::EmptyDomain { axis });
+                }
+                if *lo <= 0.0 && *hi >= 0.0 {
+                    return Err(PlanarError::DomainContainsZero { axis });
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// The common sign of every value in the domain.
+    pub fn sign(&self) -> Sign {
+        match self {
+            Domain::Discrete(vals) => Sign::of_lenient(vals[0]),
+            Domain::Continuous { lo, .. } => Sign::of_lenient(*lo),
+        }
+    }
+
+    /// Sample one value uniformly from the domain.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        match self {
+            Domain::Discrete(vals) => vals[rng.random_range(0..vals.len())],
+            Domain::Continuous { lo, hi } => {
+                if lo == hi {
+                    *lo
+                } else {
+                    rng.random_range(*lo..=*hi)
+                }
+            }
+        }
+    }
+
+    /// Does the domain contain `v` (up to a small relative tolerance for
+    /// discrete values)?
+    pub fn contains(&self, v: f64) -> bool {
+        match self {
+            Domain::Discrete(vals) => vals.iter().any(|&d| planar_geom::approx_eq(d, v)),
+            Domain::Continuous { lo, hi } => (*lo..=*hi).contains(&v),
+        }
+    }
+
+    /// Number of distinct values for discrete domains (`RQ` in the paper),
+    /// `None` for continuous ones.
+    pub fn cardinality(&self) -> Option<usize> {
+        match self {
+            Domain::Discrete(vals) => Some(vals.len()),
+            Domain::Continuous { .. } => None,
+        }
+    }
+}
+
+/// The joint domain of all `d'` query coefficients.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParameterDomain {
+    axes: Vec<Domain>,
+}
+
+impl ParameterDomain {
+    /// Build from per-axis domains.
+    ///
+    /// # Errors
+    ///
+    /// [`PlanarError::EmptyDataset`] for zero axes, plus per-axis
+    /// validation: domains must be non-empty, finite, zero-free and
+    /// sign-fixed.
+    pub fn new(axes: Vec<Domain>) -> Result<Self> {
+        if axes.is_empty() {
+            return Err(PlanarError::EmptyDataset);
+        }
+        for (i, d) in axes.iter().enumerate() {
+            d.validate(i)?;
+        }
+        Ok(Self { axes })
+    }
+
+    /// The same continuous interval `[lo, hi]` on every axis.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::new`].
+    pub fn uniform_continuous(dim: usize, lo: f64, hi: f64) -> Result<Self> {
+        Self::new(vec![Domain::Continuous { lo, hi }; dim])
+    }
+
+    /// The paper's synthetic-workload domain: every axis draws from
+    /// `{1, …, rq}`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::new`].
+    pub fn uniform_randomness(dim: usize, rq: usize) -> Result<Self> {
+        Self::new(vec![Domain::randomness(rq); dim])
+    }
+
+    /// Dimensionality `d'`.
+    pub fn dim(&self) -> usize {
+        self.axes.len()
+    }
+
+    /// The per-axis domains.
+    pub fn axes(&self) -> &[Domain] {
+        &self.axes
+    }
+
+    /// The per-axis coefficient signs.
+    pub fn signs(&self) -> SignVector {
+        self.axes.iter().map(Domain::sign).collect()
+    }
+
+    /// The hyper-octant in which every query from this domain intersects
+    /// the coordinate axes (§4.5).
+    pub fn octant(&self) -> Octant {
+        Octant::from_signs(self.signs())
+    }
+
+    /// Sample a query coefficient vector.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<f64> {
+        self.axes.iter().map(|d| d.sample(rng)).collect()
+    }
+
+    /// Sample an index normal in *normalized* space: component-wise absolute
+    /// values, so the normal is strictly positive regardless of the domain's
+    /// octant. This is how [`crate::PlanarIndexSet`] draws its budget of
+    /// normals (§5.2).
+    pub fn sample_normal_abs<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<f64> {
+        self.axes.iter().map(|d| d.sample(rng).abs()).collect()
+    }
+
+    /// Does a coefficient vector lie inside the domain?
+    pub fn contains(&self, a: &[f64]) -> bool {
+        a.len() == self.dim() && a.iter().zip(&self.axes).all(|(&v, d)| d.contains(v))
+    }
+
+    /// Do the signs of `a` match the domain's octant? (Cheaper than
+    /// [`Self::contains`]; this is the requirement for the indexed path.)
+    pub fn signs_match(&self, a: &[f64]) -> bool {
+        a.len() == self.dim()
+            && a.iter()
+                .zip(&self.axes)
+                .all(|(&v, d)| v != 0.0 && Sign::of_lenient(v) == d.sign())
+    }
+
+    /// The number of possible query normals, `Πᵢ RQᵢ`, when all axes are
+    /// discrete (the paper's `|Δᵢ|^d`); `None` if any axis is continuous.
+    pub fn possible_normals(&self) -> Option<u128> {
+        self.axes
+            .iter()
+            .map(|d| d.cardinality().map(|c| c as u128))
+            .try_fold(1u128, |acc, c| c.map(|c| acc.saturating_mul(c)))
+    }
+}
+
+/// Online tracker that *learns* parameter domains from past queries
+/// (§4.1(1): "one may learn the domain Δaᵢ … based on the past queries, and
+/// dynamically update their domains with time").
+///
+/// Keeps a sliding window of the last `capacity` observed coefficient
+/// vectors and exposes their per-axis envelope, slightly widened, as a
+/// [`ParameterDomain`]. When the workload drifts, old queries fall out of
+/// the window and the domain follows — the index set can then be rebuilt
+/// cheaply (index construction is loglinear, §4.2).
+#[derive(Debug, Clone)]
+pub struct DomainTracker {
+    window: VecDeque<Vec<f64>>,
+    capacity: usize,
+    widen: f64,
+}
+
+impl DomainTracker {
+    /// Track the last `capacity` queries, widening the learned envelope by
+    /// the fraction `widen` (e.g. `0.1` = 10 % slack on each side).
+    pub fn new(capacity: usize, widen: f64) -> Self {
+        Self {
+            window: VecDeque::with_capacity(capacity.max(1)),
+            capacity: capacity.max(1),
+            widen: widen.max(0.0),
+        }
+    }
+
+    /// Record a query's coefficients.
+    pub fn observe(&mut self, query: &InequalityQuery) {
+        if self.window.len() == self.capacity {
+            self.window.pop_front();
+        }
+        self.window.push_back(query.a().to_vec());
+    }
+
+    /// Number of queries currently in the window.
+    pub fn len(&self) -> usize {
+        self.window.len()
+    }
+
+    /// True when no queries have been observed.
+    pub fn is_empty(&self) -> bool {
+        self.window.is_empty()
+    }
+
+    /// The learned domain: the per-axis envelope of the windowed queries,
+    /// widened by the configured fraction (never across zero).
+    ///
+    /// # Errors
+    ///
+    /// [`PlanarError::EmptyDataset`] when no queries were observed,
+    /// [`PlanarError::DimensionMismatch`] when observed queries disagree on
+    /// dimensionality, and [`PlanarError::DomainContainsZero`] when the
+    /// window contains both signs on some axis (two octants — the caller
+    /// should split the workload into one tracker per octant).
+    pub fn learned_domain(&self) -> Result<ParameterDomain> {
+        let first = self.window.front().ok_or(PlanarError::EmptyDataset)?;
+        let dim = first.len();
+        let mut lo = vec![f64::INFINITY; dim];
+        let mut hi = vec![f64::NEG_INFINITY; dim];
+        for q in &self.window {
+            if q.len() != dim {
+                return Err(PlanarError::DimensionMismatch {
+                    expected: dim,
+                    found: q.len(),
+                });
+            }
+            for i in 0..dim {
+                lo[i] = lo[i].min(q[i]);
+                hi[i] = hi[i].max(q[i]);
+            }
+        }
+        let axes = (0..dim)
+            .map(|i| {
+                let span = (hi[i] - lo[i]).max(hi[i].abs() * 1e-6);
+                let mut l = lo[i] - self.widen * span;
+                let mut h = hi[i] + self.widen * span;
+                // Never widen across zero: that would lose the octant. (A
+                // window that already straddles zero is reported as such by
+                // the Domain validation below.)
+                if lo[i] > 0.0 {
+                    l = l.max(lo[i] * 1e-3);
+                } else if hi[i] < 0.0 {
+                    h = h.min(hi[i] * 1e-3);
+                }
+                Domain::Continuous { lo: l, hi: h }
+            })
+            .collect();
+        ParameterDomain::new(axes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::Cmp;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn domain_validation() {
+        assert!(ParameterDomain::new(vec![]).is_err());
+        assert!(ParameterDomain::new(vec![Domain::Discrete(vec![])]).is_err());
+        assert_eq!(
+            ParameterDomain::new(vec![Domain::Discrete(vec![1.0, 0.0])]).unwrap_err(),
+            PlanarError::DomainContainsZero { axis: 0 }
+        );
+        assert_eq!(
+            ParameterDomain::new(vec![
+                Domain::Continuous { lo: 1.0, hi: 2.0 },
+                Domain::Continuous { lo: -1.0, hi: 1.0 }
+            ])
+            .unwrap_err(),
+            PlanarError::DomainContainsZero { axis: 1 }
+        );
+        assert!(
+            ParameterDomain::new(vec![Domain::Continuous { lo: 2.0, hi: 1.0 }]).is_err(),
+            "inverted interval"
+        );
+        assert!(ParameterDomain::new(vec![Domain::Discrete(vec![1.0, -2.0])]).is_err());
+        assert!(ParameterDomain::uniform_continuous(3, 0.5, 2.0).is_ok());
+    }
+
+    #[test]
+    fn randomness_domain_matches_paper() {
+        let d = Domain::randomness(4);
+        assert_eq!(d, Domain::Discrete(vec![1.0, 2.0, 3.0, 4.0]));
+        let pd = ParameterDomain::uniform_randomness(6, 2).unwrap();
+        // RQ=2, d=6 → 2^6 = 64 possible query normals.
+        assert_eq!(pd.possible_normals(), Some(64));
+        assert_eq!(
+            ParameterDomain::uniform_continuous(2, 1.0, 2.0)
+                .unwrap()
+                .possible_normals(),
+            None
+        );
+    }
+
+    #[test]
+    fn sampling_stays_in_domain() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let pd = ParameterDomain::new(vec![
+            Domain::randomness(3),
+            Domain::Continuous { lo: -2.0, hi: -0.5 },
+        ])
+        .unwrap();
+        for _ in 0..200 {
+            let a = pd.sample(&mut rng);
+            assert!(pd.contains(&a), "{a:?}");
+            assert!(pd.signs_match(&a));
+            let c = pd.sample_normal_abs(&mut rng);
+            assert!(c.iter().all(|&v| v > 0.0), "{c:?}");
+        }
+    }
+
+    #[test]
+    fn octant_follows_signs() {
+        let pd = ParameterDomain::new(vec![
+            Domain::Continuous { lo: 1.0, hi: 2.0 },
+            Domain::Continuous { lo: -3.0, hi: -1.0 },
+        ])
+        .unwrap();
+        let o = pd.octant();
+        assert_eq!(o.signs(), &[Sign::Pos, Sign::Neg]);
+        assert!(pd.signs_match(&[1.5, -2.0]));
+        assert!(!pd.signs_match(&[1.5, 2.0]));
+        assert!(!pd.signs_match(&[0.0, -2.0]));
+    }
+
+    #[test]
+    fn tracker_learns_envelope() {
+        let mut t = DomainTracker::new(10, 0.0);
+        assert!(t.learned_domain().is_err());
+        for b in [2.0_f64, 5.0, 3.0] {
+            let q = InequalityQuery::new(vec![b, -2.0 * b], Cmp::Leq, 1.0).unwrap();
+            t.observe(&q);
+        }
+        let d = t.learned_domain().unwrap();
+        assert!(d.contains(&[2.0, -4.0]));
+        assert!(d.contains(&[5.0, -10.0]));
+        assert!(!d.contains(&[6.0, -4.0]));
+        assert_eq!(d.octant().signs(), &[Sign::Pos, Sign::Neg]);
+    }
+
+    #[test]
+    fn tracker_window_slides() {
+        let mut t = DomainTracker::new(2, 0.0);
+        for v in [1.0_f64, 10.0, 2.0] {
+            t.observe(&InequalityQuery::leq(vec![v], 0.0).unwrap());
+        }
+        assert_eq!(t.len(), 2);
+        // The envelope now only covers {10, 2}; 1.0 slid out.
+        let d = t.learned_domain().unwrap();
+        assert!(!d.contains(&[1.0]));
+        assert!(d.contains(&[2.0]));
+        assert!(d.contains(&[10.0]));
+    }
+
+    #[test]
+    fn tracker_rejects_mixed_signs() {
+        let mut t = DomainTracker::new(4, 0.1);
+        t.observe(&InequalityQuery::leq(vec![1.0], 0.0).unwrap());
+        t.observe(&InequalityQuery::leq(vec![-1.0], 0.0).unwrap());
+        assert!(matches!(
+            t.learned_domain(),
+            Err(PlanarError::DomainContainsZero { axis: 0 })
+        ));
+    }
+
+    #[test]
+    fn tracker_widening_never_crosses_zero() {
+        let mut t = DomainTracker::new(4, 0.5);
+        t.observe(&InequalityQuery::leq(vec![0.1, -0.1], 0.0).unwrap());
+        t.observe(&InequalityQuery::leq(vec![0.2, -0.3], 0.0).unwrap());
+        let d = t.learned_domain().unwrap();
+        assert!(d.signs_match(&[0.15, -0.2]));
+    }
+}

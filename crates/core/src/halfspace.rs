@@ -1,0 +1,170 @@
+//! Half-space range searching — the identity-φ special case (paper
+//! Remark 3 and Table 1).
+//!
+//! When `φ` is the identity, Problem 1 reduces to the classical half-space
+//! range searching problem of Agarwal et al. / Matoušek / Arya et al., and
+//! Problem 2 to the hyperplane-to-nearest-point query. This thin wrapper
+//! fixes `φ = id` and speaks in points and hyperplanes rather than feature
+//! rows — the API a computational-geometry user expects.
+
+use crate::domain::ParameterDomain;
+use crate::multi::{IndexConfig, PlanarIndexSet, QueryOutcome, TopKOutcome};
+use crate::query::{Cmp, InequalityQuery, TopKQuery};
+use crate::store::KeyStore;
+use crate::table::{FeatureTable, PointId};
+use crate::{Result, VecStore};
+use planar_geom::Hyperplane;
+
+/// Which closed half-space of a hyperplane to report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HalfSpace {
+    /// `⟨a, x⟩ ≤ b`.
+    Below,
+    /// `⟨a, x⟩ ≥ b`.
+    Above,
+}
+
+/// A half-space range searching index over a fixed point set.
+#[derive(Debug, Clone)]
+pub struct HalfSpaceIndex<S: KeyStore = VecStore> {
+    set: PlanarIndexSet<S>,
+}
+
+impl<S: KeyStore> HalfSpaceIndex<S> {
+    /// Index `points` for query hyperplanes whose normals fall in `domain`.
+    ///
+    /// # Errors
+    ///
+    /// Table/domain validation and index-construction errors.
+    pub fn build(
+        points: Vec<Vec<f64>>,
+        domain: ParameterDomain,
+        config: IndexConfig,
+    ) -> Result<Self> {
+        let dim = domain.dim();
+        let table = FeatureTable::from_rows(dim, points)?;
+        Ok(Self {
+            set: PlanarIndexSet::build(table, domain, config)?,
+        })
+    }
+
+    /// All points in the chosen closed half-space of `plane`.
+    ///
+    /// # Errors
+    ///
+    /// Dimensionality mismatch.
+    pub fn report(&self, plane: &Hyperplane, side: HalfSpace) -> Result<QueryOutcome> {
+        self.set.query(&self.to_query(plane, side))
+    }
+
+    /// The `k` points of the chosen half-space nearest to `plane`.
+    ///
+    /// # Errors
+    ///
+    /// Dimensionality mismatch; `k = 0`.
+    pub fn nearest(
+        &self,
+        plane: &Hyperplane,
+        side: HalfSpace,
+        k: usize,
+    ) -> Result<TopKOutcome> {
+        self.set.top_k(&TopKQuery::new(self.to_query(plane, side), k)?)
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    /// True when no points are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.set.is_empty()
+    }
+
+    /// The underlying index set.
+    pub fn index_set(&self) -> &PlanarIndexSet<S> {
+        &self.set
+    }
+
+    /// Access a point by id.
+    pub fn point(&self, id: PointId) -> &[f64] {
+        self.set.table().row(id)
+    }
+
+    fn to_query(&self, plane: &Hyperplane, side: HalfSpace) -> InequalityQuery {
+        let cmp = match side {
+            HalfSpace::Below => Cmp::Leq,
+            HalfSpace::Above => Cmp::Geq,
+        };
+        InequalityQuery::new(plane.normal().as_slice().to_vec(), cmp, plane.offset())
+            .expect("hyperplane normals are validated finite and non-empty")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use planar_geom::Vector;
+
+    fn index() -> HalfSpaceIndex {
+        let points: Vec<Vec<f64>> = (0..200)
+            .map(|i| vec![1.0 + (i % 14) as f64, 1.0 + (i % 11) as f64])
+            .collect();
+        HalfSpaceIndex::build(
+            points,
+            ParameterDomain::uniform_continuous(2, 0.5, 2.0).unwrap(),
+            IndexConfig::with_budget(8),
+        )
+        .unwrap()
+    }
+
+    fn plane(a: &[f64], b: f64) -> Hyperplane {
+        Hyperplane::new(Vector::new(a.to_vec()).unwrap(), b).unwrap()
+    }
+
+    #[test]
+    fn report_splits_the_point_set() {
+        let idx = index();
+        let h = plane(&[1.0, 1.0], 14.0);
+        let below = idx.report(&h, HalfSpace::Below).unwrap();
+        let above = idx.report(&h, HalfSpace::Above).unwrap();
+        // Every point is on at least one side; points exactly on the plane
+        // are on both.
+        assert!(below.matches.len() + above.matches.len() >= idx.len());
+        for &id in &below.matches {
+            assert!(h.eval(idx.point(id)).unwrap() <= 1e-9);
+        }
+        for &id in &above.matches {
+            assert!(h.eval(idx.point(id)).unwrap() >= -1e-9);
+        }
+    }
+
+    #[test]
+    fn nearest_returns_closest_points() {
+        let idx = index();
+        let h = plane(&[1.0, 2.0], 20.0);
+        let out = idx.nearest(&h, HalfSpace::Below, 4).unwrap();
+        assert_eq!(out.neighbors.len(), 4);
+        // Distances ascend and match the hyperplane distance formula.
+        for w in out.neighbors.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+        for (id, d) in &out.neighbors {
+            let true_d = h.distance_to(idx.point(*id)).unwrap();
+            assert!((true_d - d).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn empty_index() {
+        let idx = HalfSpaceIndex::<VecStore>::build(
+            vec![],
+            ParameterDomain::uniform_continuous(2, 0.5, 2.0).unwrap(),
+            IndexConfig::with_budget(2),
+        )
+        .unwrap();
+        assert!(idx.is_empty());
+        let h = plane(&[1.0, 1.0], 5.0);
+        assert!(idx.report(&h, HalfSpace::Below).unwrap().matches.is_empty());
+    }
+}

@@ -1,0 +1,188 @@
+//! # planar-core
+//!
+//! The **Planar index** of *"Towards Indexing Functions: Answering Scalar
+//! Product Queries"* (Khan, Yanki, Dimcheva, Kossmann — SIGMOD 2014).
+//!
+//! Given `n` data points `x` and an application-specific feature map
+//! `φ : R^d → R^{d'}` known ahead of time, the index answers — online, and
+//! exactly — queries whose parameters only become known at query time:
+//!
+//! * **Inequality queries** (paper Problem 1): all `x` with
+//!   `⟨a, φ(x)⟩ ≤ b` (or `≥ b`);
+//! * **Top-k nearest-neighbor queries** (paper Problem 2): the `k`
+//!   satisfying points closest to the query hyperplane, i.e. minimizing
+//!   `|⟨a, φ(x)⟩ − b| / |a|`.
+//!
+//! ## How it works
+//!
+//! One *Planar index* is a set of parallel hyperplanes with a common normal
+//! `c` — concretely, the points sorted by their key `⟨c, φ(x)⟩` (paper §4.2).
+//! At query time the per-axis intercept thresholds `tᵢ = cᵢ·b/aᵢ` split the
+//! sorted order into three runs (paper §4.3):
+//!
+//! * the **smaller interval** `key ≤ min tᵢ` — every point provably
+//!   satisfies a `≤` query and is accepted without computing its scalar
+//!   product;
+//! * the **larger interval** `key > max tᵢ` — every point provably violates
+//!   it and is rejected outright;
+//! * the **intermediate interval** in between — verified exactly.
+//!
+//! A [`PlanarIndexSet`] keeps a small budget of such indices with different
+//! normals sampled from the query-parameter domains (§5.2) and picks the
+//! best one per query by stretch minimization (§5.1.1) or angle
+//! minimization (§5.1.2). Queries and data outside the first hyper-octant
+//! are handled by the translation of §4.5 (see [`planar_geom::Normalizer`]).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use planar_core::{Cmp, FeatureTable, InequalityQuery, IndexConfig, ParameterDomain,
+//!                   PlanarIndexSet};
+//!
+//! // φ(x) already applied: three 2-d feature rows.
+//! let table = FeatureTable::from_rows(2, vec![
+//!     vec![1.0, 1.0],
+//!     vec![4.0, 2.0],
+//!     vec![9.0, 9.0],
+//! ]).unwrap();
+//!
+//! // Query coefficients will be drawn from [0.5, 2] on both axes.
+//! let domain = ParameterDomain::uniform_continuous(2, 0.5, 2.0).unwrap();
+//! let set: PlanarIndexSet = PlanarIndexSet::build(table, domain, IndexConfig::with_budget(8)).unwrap();
+//!
+//! // ⟨(1, 2), φ(x)⟩ ≤ 9
+//! let q = InequalityQuery::new(vec![1.0, 2.0], Cmp::Leq, 9.0).unwrap();
+//! let out = set.query(&q).unwrap();
+//! assert_eq!(out.sorted_ids(), vec![0, 1]);
+//! ```
+//!
+//! ## Crate layout
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`table`] | flat row-major feature storage ([`FeatureTable`]) |
+//! | [`query`] | query types and exact predicate evaluation |
+//! | [`domain`] | parameter domains, sampling, online domain tracking (§4.1) |
+//! | [`store`] | sorted key stores: packed [`store::VecStore`] and a B+-tree ([`store::BPlusTree`]) for dynamic workloads (§4.4) |
+//! | [`index`] | one Planar index: intervals + Algorithm 1 + Algorithm 2 |
+//! | [`selection`] | best-index selection heuristics (§5.1) |
+//! | [`multi`] | [`PlanarIndexSet`]: budgeted multi-index structure (§5) |
+//! | [`scan`] | the sequential-scan baseline the paper compares against |
+//! | [`feature`] | the `φ` feature-map abstraction |
+//! | [`stats`] | per-query pruning statistics |
+//! | [`memory`] | heap accounting for the memory experiments (Fig. 13b) |
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod adaptive;
+pub mod conjunction;
+pub mod domain;
+pub mod feature;
+pub mod halfspace;
+pub mod index;
+pub mod memory;
+pub mod multi;
+pub mod persist;
+pub mod query;
+pub mod router;
+pub mod scan;
+pub mod selection;
+pub mod stats;
+pub mod store;
+pub mod table;
+
+pub use adaptive::{AdaptiveConfig, AdaptivePlanarIndexSet};
+pub use conjunction::{ConjunctionOutcome, ConjunctionQuery};
+pub use domain::{Domain, DomainTracker, ParameterDomain};
+pub use feature::{FeatureMap, FnFeatureMap, IdentityMap};
+pub use halfspace::{HalfSpace, HalfSpaceIndex};
+pub use index::{IntervalBounds, SingleIndex, TopKStats};
+pub use memory::HeapSize;
+pub use multi::{DynamicPlanarIndexSet, IndexConfig, PlanarIndexSet, QueryOutcome, TopKOutcome};
+pub use query::{Cmp, InequalityQuery, TopKQuery};
+pub use router::AxisReductionRouter;
+pub use scan::SeqScan;
+pub use selection::SelectionStrategy;
+pub use stats::{ExecutionPath, QueryStats};
+pub use store::{BPlusTree, EytzingerStore, KeyStore, VecStore};
+pub use table::FeatureTable;
+
+use planar_geom::GeomError;
+
+/// Errors produced by index construction and querying.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanarError {
+    /// An underlying geometry error.
+    Geom(GeomError),
+    /// Operands disagree on dimensionality.
+    DimensionMismatch {
+        /// expected dimensionality
+        expected: usize,
+        /// dimensionality found
+        found: usize,
+    },
+    /// The dataset is empty where at least one point is required.
+    EmptyDataset,
+    /// A parameter domain was empty or inverted.
+    EmptyDomain {
+        /// the offending axis
+        axis: usize,
+    },
+    /// A parameter domain straddles zero: the sign of that query coefficient
+    /// would be unknown, so no octant can be fixed (§4.5).
+    DomainContainsZero {
+        /// the offending axis
+        axis: usize,
+    },
+    /// The index budget must be at least 1.
+    InvalidBudget,
+    /// A supplied value was NaN or infinite.
+    NotFinite,
+    /// No point with this identifier exists (or it was deleted).
+    PointNotFound(u32),
+    /// `k` must be at least 1 for a top-k query.
+    KNotPositive,
+    /// Persistence failure: I/O, truncation, corruption, or version
+    /// mismatch (see `crate::persist`).
+    Persist(String),
+}
+
+impl core::fmt::Display for PlanarError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            PlanarError::Geom(e) => write!(f, "geometry error: {e}"),
+            PlanarError::DimensionMismatch { expected, found } => {
+                write!(f, "dimension mismatch: expected {expected}, found {found}")
+            }
+            PlanarError::EmptyDataset => write!(f, "dataset must contain at least one point"),
+            PlanarError::EmptyDomain { axis } => write!(f, "empty parameter domain on axis {axis}"),
+            PlanarError::DomainContainsZero { axis } => {
+                write!(f, "parameter domain on axis {axis} contains zero")
+            }
+            PlanarError::InvalidBudget => write!(f, "index budget must be at least 1"),
+            PlanarError::NotFinite => write!(f, "value must be finite"),
+            PlanarError::PointNotFound(id) => write!(f, "no point with id {id}"),
+            PlanarError::KNotPositive => write!(f, "k must be at least 1"),
+            PlanarError::Persist(msg) => write!(f, "persistence error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PlanarError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PlanarError::Geom(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GeomError> for PlanarError {
+    fn from(e: GeomError) -> Self {
+        PlanarError::Geom(e)
+    }
+}
+
+/// Convenience alias for results in this crate.
+pub type Result<T> = core::result::Result<T, PlanarError>;

@@ -1,0 +1,46 @@
+//! Heap-size accounting.
+//!
+//! The paper's Figure 13b reports the memory consumption of the index
+//! structure as the number of indices and the data dimensionality vary.
+//! Rather than measuring RSS (noisy, allocator-dependent), every structure
+//! in this workspace reports the exact number of heap bytes it owns.
+
+/// Structures that can report the heap bytes they own (excluding the size of
+/// the value itself, i.e. `size_of::<Self>()` is *not* included).
+pub trait HeapSize {
+    /// Number of heap-allocated bytes owned by `self`.
+    fn heap_size(&self) -> usize;
+
+    /// Heap bytes plus the inline size of the value itself.
+    fn total_size(&self) -> usize
+    where
+        Self: Sized,
+    {
+        self.heap_size() + core::mem::size_of::<Self>()
+    }
+}
+
+impl<T: Copy> HeapSize for Vec<T> {
+    fn heap_size(&self) -> usize {
+        self.capacity() * core::mem::size_of::<T>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_heap_size_counts_capacity() {
+        let v: Vec<f64> = Vec::with_capacity(10);
+        assert_eq!(v.heap_size(), 80);
+        let w: Vec<u32> = vec![1, 2, 3];
+        assert!(w.heap_size() >= 12);
+    }
+
+    #[test]
+    fn total_size_adds_inline_part() {
+        let v: Vec<u8> = Vec::new();
+        assert_eq!(v.total_size(), core::mem::size_of::<Vec<u8>>());
+    }
+}

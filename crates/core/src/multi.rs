@@ -1,0 +1,959 @@
+//! The multi-index Planar structure (paper §5): a budget of Planar indices
+//! with different normals, best-index selection per query, octant handling,
+//! and dynamic maintenance.
+//!
+//! [`PlanarIndexSet`] is the type applications use. It owns the feature
+//! table, a `planar_geom::Normalizer` fitted to the parameter domain's
+//! octant, and `budget` [`SingleIndex`]es whose normals are sampled from the
+//! parameter domains (§5.2) with redundant (parallel) normals removed.
+
+use crate::domain::ParameterDomain;
+use crate::index::{SingleIndex, TopKStats};
+use crate::query::{Cmp, InequalityQuery, TopKQuery};
+use crate::scan::TopKBuffer;
+use crate::selection::{angle_score, argmin_by_score, stretch_score, SelectionStrategy};
+use crate::stats::{ExecutionPath, QueryStats, ScanReason};
+use crate::store::{KeyStore, VecStore};
+use crate::table::{FeatureTable, PointId};
+use crate::{BPlusTree, HeapSize, PlanarError, Result};
+use planar_geom::{NormalizedQuery, Normalizer};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Tolerance on the absolute cosine for declaring two normals parallel
+/// (redundant-index removal, §5.2).
+const PARALLEL_EPS: f64 = 1e-9;
+
+/// How many times the builder re-samples before accepting fewer than
+/// `budget` distinct normals (small discrete domains may not have `budget`
+/// non-parallel normals at all — e.g. RQ=2 in 2 dimensions).
+const RESAMPLE_FACTOR: usize = 8;
+
+/// Construction parameters for a [`PlanarIndexSet`].
+#[derive(Debug, Clone)]
+pub struct IndexConfig {
+    /// Number of Planar indices to build (the paper's budget `b`).
+    pub budget: usize,
+    /// Best-index selection heuristic (§5.1). Defaults to stretch
+    /// minimization, which the paper found superior.
+    pub strategy: SelectionStrategy,
+    /// Seed for normal sampling — index construction is deterministic
+    /// given the seed.
+    pub seed: u64,
+    /// Remove redundant (parallel) normals (§5.2). On by default; the
+    /// `ablation-dedup` bench turns it off.
+    pub dedup: bool,
+}
+
+impl IndexConfig {
+    /// A config with the given budget and the paper's defaults otherwise.
+    pub fn with_budget(budget: usize) -> Self {
+        Self {
+            budget,
+            strategy: SelectionStrategy::MinStretch,
+            seed: 0x9E37_79B9,
+            dedup: true,
+        }
+    }
+
+    /// Override the selection strategy.
+    pub fn strategy(mut self, strategy: SelectionStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Override the sampling seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Enable/disable redundant-normal removal.
+    pub fn dedup(mut self, dedup: bool) -> Self {
+        self.dedup = dedup;
+        self
+    }
+}
+
+/// Result of an inequality query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryOutcome {
+    /// Ids of all satisfying points. Order is unspecified (interval order
+    /// for indexed execution, id order for scans) — use
+    /// [`Self::sorted_ids`] for a canonical order.
+    pub matches: Vec<PointId>,
+    /// Execution statistics.
+    pub stats: QueryStats,
+}
+
+impl QueryOutcome {
+    /// The matching ids in ascending order.
+    pub fn sorted_ids(&self) -> Vec<PointId> {
+        let mut ids = self.matches.clone();
+        ids.sort_unstable();
+        ids
+    }
+}
+
+/// Result of a top-k nearest-neighbor query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopKOutcome {
+    /// `(id, distance)` pairs sorted by ascending distance to the query
+    /// hyperplane; at most `k` entries, all satisfying the inequality.
+    pub neighbors: Vec<(PointId, f64)>,
+    /// Execution statistics (`checked()` is Table 3's "checked points").
+    pub stats: TopKStats,
+}
+
+/// A budget of Planar indices over one dataset — the main entry point of
+/// this crate. Generic over the key store: [`VecStore`] (default) for
+/// read-heavy workloads, [`BPlusTree`] for update-heavy ones.
+#[derive(Debug, Clone)]
+pub struct PlanarIndexSet<S: KeyStore = VecStore> {
+    table: FeatureTable,
+    domain: ParameterDomain,
+    normalizer: Normalizer,
+    indices: Vec<SingleIndex<S>>,
+    strategy: SelectionStrategy,
+    deleted: Vec<bool>,
+    n_live: usize,
+}
+
+/// A [`PlanarIndexSet`] backed by the B+-tree store: `O(d'·log n)` dynamic
+/// point updates (paper §4.4).
+pub type DynamicPlanarIndexSet = PlanarIndexSet<BPlusTree>;
+
+impl<S: KeyStore> PlanarIndexSet<S> {
+    /// Build an index set over `table` for queries drawn from `domain`.
+    ///
+    /// Normals are sampled uniformly from the domain (§5.2), redundant
+    /// (parallel) ones removed. Construction is `O(budget · n log n)`.
+    ///
+    /// # Errors
+    ///
+    /// [`PlanarError::InvalidBudget`] on a zero budget, and
+    /// [`PlanarError::DimensionMismatch`] when domain and table disagree.
+    pub fn build(table: FeatureTable, domain: ParameterDomain, config: IndexConfig) -> Result<Self> {
+        if config.budget == 0 {
+            return Err(PlanarError::InvalidBudget);
+        }
+        if domain.dim() != table.dim() {
+            return Err(PlanarError::DimensionMismatch {
+                expected: table.dim(),
+                found: domain.dim(),
+            });
+        }
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut normals: Vec<Vec<f64>> = Vec::with_capacity(config.budget);
+        let mut attempts = 0;
+        let max_attempts = config.budget * RESAMPLE_FACTOR;
+        while normals.len() < config.budget && attempts < max_attempts {
+            attempts += 1;
+            let c = domain.sample_normal_abs(&mut rng);
+            if config.dedup && Self::is_redundant(&normals, &c) {
+                continue;
+            }
+            normals.push(c);
+        }
+        if normals.is_empty() {
+            // Degenerate domain (single possible normal): keep one sample.
+            normals.push(domain.sample_normal_abs(&mut rng));
+        }
+        Self::with_normals(table, domain, normals, config.strategy)
+    }
+
+    /// Build with explicit normalized-space normals (each strictly
+    /// positive). Useful when good normals are known — e.g. the
+    /// moving-object application uses the exact parameter vectors of a few
+    /// future time instants.
+    ///
+    /// # Errors
+    ///
+    /// [`PlanarError::InvalidBudget`] when `normals` is empty, plus
+    /// [`SingleIndex::build`] validation per normal.
+    pub fn with_normals(
+        table: FeatureTable,
+        domain: ParameterDomain,
+        normals: Vec<Vec<f64>>,
+        strategy: SelectionStrategy,
+    ) -> Result<Self> {
+        if normals.is_empty() {
+            return Err(PlanarError::InvalidBudget);
+        }
+        if domain.dim() != table.dim() {
+            return Err(PlanarError::DimensionMismatch {
+                expected: table.dim(),
+                found: domain.dim(),
+            });
+        }
+        let octant = domain.octant();
+        let normalizer = Normalizer::fit(&octant, table.iter().map(|(_, r)| r));
+        let indices = normals
+            .into_iter()
+            .map(|c| SingleIndex::build(&table, &normalizer, c))
+            .collect::<Result<Vec<_>>>()?;
+        let n = table.len();
+        Ok(Self {
+            table,
+            domain,
+            normalizer,
+            indices,
+            strategy,
+            deleted: vec![false; n],
+            n_live: n,
+        })
+    }
+
+    /// Reassemble a set from persisted parts (see `crate::persist`).
+    pub(crate) fn assemble(
+        table: FeatureTable,
+        domain: ParameterDomain,
+        strategy: SelectionStrategy,
+        tombstones: Vec<bool>,
+        normals: Vec<Vec<f64>>,
+        entry_lists: Vec<Vec<crate::store::Entry>>,
+    ) -> Result<Self> {
+        if domain.dim() != table.dim() {
+            return Err(PlanarError::DimensionMismatch {
+                expected: table.dim(),
+                found: domain.dim(),
+            });
+        }
+        if tombstones.len() != table.len() {
+            return Err(PlanarError::Persist(
+                "tombstone vector length mismatch".into(),
+            ));
+        }
+        let normalizer = Normalizer::fit(&domain.octant(), table.iter().map(|(_, r)| r));
+        let mut indices = Vec::with_capacity(normals.len());
+        for (normal, entries) in normals.into_iter().zip(entry_lists) {
+            if normal.len() != table.dim()
+                || normal.iter().any(|&v| !v.is_finite() || v <= 0.0)
+            {
+                return Err(PlanarError::Persist("invalid stored index normal".into()));
+            }
+            let raw_normal = normalizer.raw_normal(&normal);
+            indices.push(SingleIndex::from_parts(normal, raw_normal, S::build(entries)));
+        }
+        if indices.is_empty() {
+            return Err(PlanarError::InvalidBudget);
+        }
+        let n_live = tombstones.iter().filter(|&&t| !t).count();
+        Ok(Self {
+            table,
+            domain,
+            normalizer,
+            indices,
+            strategy,
+            deleted: tombstones,
+            n_live,
+        })
+    }
+
+    fn is_redundant(normals: &[Vec<f64>], c: &[f64]) -> bool {
+        normals.iter().any(|existing| {
+            let cos = planar_geom::dot_slices(existing, c)
+                / (planar_geom::norm(existing) * planar_geom::norm(c));
+            (cos.abs() - 1.0).abs() <= PARALLEL_EPS
+        })
+    }
+
+    /// Number of live (non-deleted) points.
+    pub fn len(&self) -> usize {
+        self.n_live
+    }
+
+    /// True when no live points remain.
+    pub fn is_empty(&self) -> bool {
+        self.n_live == 0
+    }
+
+    /// Feature dimensionality `d'`.
+    pub fn dim(&self) -> usize {
+        self.table.dim()
+    }
+
+    /// Number of Planar indices in the set.
+    pub fn num_indices(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// The normals of all indices (normalized space).
+    pub fn normals(&self) -> impl Iterator<Item = &[f64]> {
+        self.indices.iter().map(|i| i.normal())
+    }
+
+    /// The underlying feature table (rows of deleted points persist but are
+    /// never returned by queries).
+    pub fn table(&self) -> &FeatureTable {
+        &self.table
+    }
+
+    /// The parameter domain the set was built for.
+    pub fn domain(&self) -> &ParameterDomain {
+        &self.domain
+    }
+
+    /// The selection strategy in use.
+    pub fn strategy(&self) -> SelectionStrategy {
+        self.strategy
+    }
+
+    /// Change the selection strategy (no rebuild needed).
+    pub fn set_strategy(&mut self, strategy: SelectionStrategy) {
+        self.strategy = strategy;
+    }
+
+    /// Heap bytes owned by the whole structure (table + all indices) — the
+    /// quantity of paper Fig. 13b.
+    pub fn memory_usage(&self) -> usize {
+        self.table.heap_size()
+            + self.deleted.capacity()
+            + self
+                .indices
+                .iter()
+                .map(|i| i.heap_size())
+                .sum::<usize>()
+    }
+
+    /// Prepare a query for indexed execution: handle octant mismatches via
+    /// negation, normalize, or report why a scan is needed.
+    ///
+    /// The first element is `None` when the original query is already in
+    /// the indexed octant — the common case, kept allocation-free because
+    /// workloads like circular moving-object intersection issue one query
+    /// per object group.
+    fn prepare(
+        &self,
+        q: &InequalityQuery,
+    ) -> core::result::Result<(Option<InequalityQuery>, NormalizedQuery), ScanReason> {
+        if q.a().contains(&0.0) {
+            return Err(ScanReason::ZeroCoefficient);
+        }
+        let effective = if self.domain.signs_match(q.a()) {
+            None
+        } else {
+            // ⟨a,φ⟩ ≤ b ⇔ ⟨−a,φ⟩ ≥ −b: the mirrored form may fall into the
+            // indexed octant.
+            let neg = q.negated();
+            if self.domain.signs_match(neg.a()) {
+                Some(neg)
+            } else {
+                return Err(ScanReason::OctantMismatch);
+            }
+        };
+        let view = effective.as_ref().unwrap_or(q);
+        match self.normalizer.normalize_query(view.a(), view.b()) {
+            Ok(nq) => Ok((effective, nq)),
+            Err(_) => Err(ScanReason::OctantMismatch),
+        }
+    }
+
+    /// Pick the best index for a normalized query (§5.1) along with its key
+    /// shift.
+    fn select_index(&self, nq: &NormalizedQuery, cmp: Cmp) -> (usize, f64) {
+        let pos = match self.strategy {
+            SelectionStrategy::MinStretch => argmin_by_score(self.indices.len(), |i| {
+                stretch_score(self.indices[i].normal(), &nq.a, nq.b)
+            }),
+            SelectionStrategy::MinAngle => argmin_by_score(self.indices.len(), |i| {
+                angle_score(self.indices[i].normal(), &nq.a)
+            }),
+            SelectionStrategy::OracleCount => argmin_by_score(self.indices.len(), |i| {
+                let shift = self.normalizer.key_shift(self.indices[i].normal());
+                self.indices[i].ii_size(nq, shift, cmp) as f64
+            }),
+        }
+        .expect("index set is never empty");
+        let shift = self.normalizer.key_shift(self.indices[pos].normal());
+        (pos, shift)
+    }
+
+    /// Answer an inequality query (paper Problem 1, Algorithm 1).
+    ///
+    /// Falls back to an exact sequential scan — with the reason recorded in
+    /// the stats — when the query cannot use the indexed path (zero
+    /// coefficients or octant mismatch).
+    ///
+    /// # Errors
+    ///
+    /// [`PlanarError::DimensionMismatch`] when the query dimensionality
+    /// differs from the table's.
+    pub fn query(&self, q: &InequalityQuery) -> Result<QueryOutcome> {
+        self.check_dim(q)?;
+        match self.prepare(q) {
+            Ok((effective, nq)) => {
+                let view = effective.as_ref().unwrap_or(q);
+                let (pos, shift) = self.select_index(&nq, view.cmp());
+                let (matches, stats) =
+                    self.indices[pos].evaluate(view, &nq, shift, &self.table, pos);
+                Ok(QueryOutcome { matches, stats })
+            }
+            Err(reason) => Ok(self.scan_fallback(q, reason)),
+        }
+    }
+
+    /// Answer a query with a forced sequential scan (the baseline).
+    ///
+    /// # Errors
+    ///
+    /// [`PlanarError::DimensionMismatch`] on dimensionality mismatch.
+    pub fn query_scan(&self, q: &InequalityQuery) -> Result<QueryOutcome> {
+        self.check_dim(q)?;
+        Ok(self.scan_fallback(q, ScanReason::Requested))
+    }
+
+    fn scan_fallback(&self, q: &InequalityQuery, reason: ScanReason) -> QueryOutcome {
+        let matches: Vec<PointId> = self
+            .table
+            .iter()
+            .filter(|(id, row)| !self.deleted[*id as usize] && q.satisfies(row))
+            .map(|(id, _)| id)
+            .collect();
+        let stats = QueryStats {
+            n: self.n_live,
+            smaller: 0,
+            intermediate: self.n_live,
+            larger: 0,
+            verified: self.n_live,
+            matched: matches.len(),
+            path: ExecutionPath::ScanFallback(reason),
+        };
+        QueryOutcome { matches, stats }
+    }
+
+    /// Answer a top-k nearest-neighbor query (paper Problem 2,
+    /// Algorithm 2).
+    ///
+    /// # Errors
+    ///
+    /// [`PlanarError::DimensionMismatch`] on dimensionality mismatch.
+    pub fn top_k(&self, q: &TopKQuery) -> Result<TopKOutcome> {
+        self.check_dim(&q.query)?;
+        match self.prepare(&q.query) {
+            Ok((effective, nq)) => {
+                let eff_q = TopKQuery {
+                    query: effective.unwrap_or_else(|| q.query.clone()),
+                    k: q.k,
+                };
+                let (pos, shift) = self.select_index(&nq, eff_q.query.cmp());
+                let (neighbors, stats) = self.indices[pos].top_k(&eff_q, &nq, shift, &self.table);
+                Ok(TopKOutcome { neighbors, stats })
+            }
+            Err(_) => Ok(self.top_k_scan(q)),
+        }
+    }
+
+    /// [`Self::top_k`] with the Claim-3 pruning disabled (walks the entire
+    /// accepting interval). Identical answers; exists for the
+    /// `ablation-topk` benchmark.
+    ///
+    /// # Errors
+    ///
+    /// [`PlanarError::DimensionMismatch`] on dimensionality mismatch.
+    pub fn top_k_unpruned(&self, q: &TopKQuery) -> Result<TopKOutcome> {
+        self.check_dim(&q.query)?;
+        match self.prepare(&q.query) {
+            Ok((effective, nq)) => {
+                let eff_q = TopKQuery {
+                    query: effective.unwrap_or_else(|| q.query.clone()),
+                    k: q.k,
+                };
+                let (pos, shift) = self.select_index(&nq, eff_q.query.cmp());
+                let (neighbors, stats) =
+                    self.indices[pos].top_k_unpruned(&eff_q, &nq, shift, &self.table);
+                Ok(TopKOutcome { neighbors, stats })
+            }
+            Err(_) => Ok(self.top_k_scan(q)),
+        }
+    }
+
+    /// Borrow the index at `pos` (for diagnostics and ablation benches).
+    pub fn index_at(&self, pos: usize) -> Option<&SingleIndex<S>> {
+        self.indices.get(pos)
+    }
+
+    /// Is the point with this id present and not tombstoned?
+    pub fn is_live(&self, id: PointId) -> bool {
+        (id as usize) < self.deleted.len() && !self.deleted[id as usize]
+    }
+
+    /// The best index position, interval bounds and effective comparison
+    /// for a constraint, without touching any data — the planning step of
+    /// the conjunction evaluator. `None` when the constraint cannot take
+    /// the indexed path.
+    pub(crate) fn constraint_plan(
+        &self,
+        q: &InequalityQuery,
+    ) -> Option<(usize, crate::index::IntervalBounds, Cmp)> {
+        match self.prepare(q) {
+            Ok((effective, nq)) => {
+                let cmp = effective.as_ref().unwrap_or(q).cmp();
+                let (pos, shift) = self.select_index(&nq, cmp);
+                let bounds = self.indices[pos].boundaries(&nq, shift, cmp);
+                Some((pos, bounds, cmp))
+            }
+            Err(_) => None,
+        }
+    }
+
+    /// The normalizer fitted to this set's octant and data (for ablation
+    /// benches that drive [`SingleIndex`] directly).
+    pub fn normalizer(&self) -> &Normalizer {
+        &self.normalizer
+    }
+
+    /// Normalize a query for this set's octant, as the indexed path would.
+    ///
+    /// # Errors
+    ///
+    /// [`PlanarError::NotFinite`] when the query cannot take the indexed
+    /// path (zero coefficient or octant mismatch).
+    pub fn normalize_query(
+        &self,
+        q: &InequalityQuery,
+    ) -> Result<(InequalityQuery, NormalizedQuery)> {
+        self.check_dim(q)?;
+        let (effective, nq) = self.prepare(q).map_err(|_| PlanarError::NotFinite)?;
+        Ok((effective.unwrap_or_else(|| q.clone()), nq))
+    }
+
+    fn top_k_scan(&self, q: &TopKQuery) -> TopKOutcome {
+        let mut buf = TopKBuffer::new(q.k);
+        for (id, row) in self.table.iter() {
+            if !self.deleted[id as usize] && q.query.satisfies(row) {
+                buf.offer(q.query.distance(row), id);
+            }
+        }
+        TopKOutcome {
+            neighbors: buf.into_sorted(),
+            stats: TopKStats {
+                n: self.n_live,
+                intermediate: self.n_live,
+                walked: 0,
+                verified: self.n_live,
+            },
+        }
+    }
+
+    /// Insert a new point; `O(budget · (d' + log n))` with a tree store.
+    ///
+    /// # Errors
+    ///
+    /// Table validation errors (arity, NaN).
+    pub fn insert_point(&mut self, row: &[f64]) -> Result<PointId> {
+        let id = self.table.push_row(row)?;
+        // Growing the translation deltas only changes the query-time key
+        // shift — stored keys are raw-space and unaffected (see
+        // `planar_geom::translation` module docs).
+        self.normalizer.absorb(row);
+        for idx in &mut self.indices {
+            idx.insert_point(id, row);
+        }
+        self.deleted.push(false);
+        self.n_live += 1;
+        Ok(id)
+    }
+
+    /// Update a point's feature row (paper §4.4: `O(d' log n)` per index).
+    ///
+    /// # Errors
+    ///
+    /// [`PlanarError::PointNotFound`] for unknown/deleted ids, plus table
+    /// validation errors.
+    pub fn update_point(&mut self, id: PointId, row: &[f64]) -> Result<()> {
+        self.check_live(id)?;
+        let old = self.table.try_row(id)?.to_vec();
+        self.table.update_row(id, row)?;
+        self.normalizer.absorb(row);
+        for idx in &mut self.indices {
+            idx.update_point(id, &old, row);
+        }
+        Ok(())
+    }
+
+    /// Delete a point. Its table row is tombstoned; it disappears from all
+    /// indices and future query results.
+    ///
+    /// # Errors
+    ///
+    /// [`PlanarError::PointNotFound`] for unknown or already-deleted ids.
+    pub fn delete_point(&mut self, id: PointId) -> Result<()> {
+        self.check_live(id)?;
+        let row = self.table.try_row(id)?.to_vec();
+        for idx in &mut self.indices {
+            idx.remove_point(id, &row);
+        }
+        self.deleted[id as usize] = true;
+        self.n_live -= 1;
+        Ok(())
+    }
+
+    /// Add one more Planar index with the given normalized-space normal;
+    /// returns its position. `O(n log n)` (paper §4.4: "when we dynamically
+    /// introduce a new Planar index").
+    ///
+    /// # Errors
+    ///
+    /// [`SingleIndex::build`] validation.
+    pub fn add_index(&mut self, normal: Vec<f64>) -> Result<usize> {
+        let mut idx = SingleIndex::build(&self.table, &self.normalizer, normal)?;
+        // The bulk build indexed every table row; drop tombstoned ones.
+        for (id, flag) in self.deleted.iter().enumerate() {
+            if *flag {
+                idx.remove_point(id as PointId, self.table.row(id as PointId));
+            }
+        }
+        self.indices.push(idx);
+        Ok(self.indices.len() - 1)
+    }
+
+    /// Drop the index at `pos` (e.g. when the query distribution drifted
+    /// away from its normal). The last index cannot be removed.
+    ///
+    /// # Errors
+    ///
+    /// [`PlanarError::InvalidBudget`] when removing the last index,
+    /// [`PlanarError::PointNotFound`] never; out-of-range `pos` yields
+    /// [`PlanarError::DimensionMismatch`].
+    pub fn remove_index(&mut self, pos: usize) -> Result<()> {
+        if self.indices.len() <= 1 {
+            return Err(PlanarError::InvalidBudget);
+        }
+        if pos >= self.indices.len() {
+            return Err(PlanarError::DimensionMismatch {
+                expected: self.indices.len(),
+                found: pos,
+            });
+        }
+        self.indices.remove(pos);
+        Ok(())
+    }
+
+    /// Replace the parameter domain and resample all indices — the paper's
+    /// recommended response to query drift (§7.2.2: "it is more beneficial
+    /// to dynamically update our indices based on the recent queries").
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::build`].
+    pub fn rebuild_for_domain(&mut self, domain: ParameterDomain, config: IndexConfig) -> Result<()> {
+        let rebuilt = Self::build(self.table.clone(), domain, config)?;
+        let deleted = self.deleted.clone();
+        *self = rebuilt;
+        // Reapply tombstones.
+        for (id, flag) in deleted.iter().enumerate() {
+            if *flag {
+                let row = self.table.row(id as PointId).to_vec();
+                for idx in &mut self.indices {
+                    idx.remove_point(id as PointId, &row);
+                }
+                self.deleted[id] = true;
+                self.n_live -= 1;
+            }
+        }
+        Ok(())
+    }
+
+    fn check_dim(&self, q: &InequalityQuery) -> Result<()> {
+        if q.dim() != self.table.dim() {
+            return Err(PlanarError::DimensionMismatch {
+                expected: self.table.dim(),
+                found: q.dim(),
+            });
+        }
+        Ok(())
+    }
+
+    fn check_live(&self, id: PointId) -> Result<()> {
+        if (id as usize) < self.deleted.len() && !self.deleted[id as usize] {
+            Ok(())
+        } else {
+            Err(PlanarError::PointNotFound(id))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::Domain;
+    use rand::Rng;
+
+    fn small_set(budget: usize) -> PlanarIndexSet {
+        let table = FeatureTable::from_rows(
+            2,
+            vec![
+                vec![1.0, 1.0],
+                vec![2.0, 3.0],
+                vec![4.0, 4.0],
+                vec![0.5, 0.5],
+                vec![3.0, 1.0],
+            ],
+        )
+        .unwrap();
+        let domain = ParameterDomain::uniform_continuous(2, 0.5, 3.0).unwrap();
+        PlanarIndexSet::build(table, domain, IndexConfig::with_budget(budget)).unwrap()
+    }
+
+    #[test]
+    fn build_validates() {
+        let table = FeatureTable::from_rows(2, vec![vec![1.0, 1.0]]).unwrap();
+        let domain = ParameterDomain::uniform_continuous(2, 0.5, 3.0).unwrap();
+        assert_eq!(
+            PlanarIndexSet::<VecStore>::build(table.clone(), domain.clone(), IndexConfig::with_budget(0))
+                .unwrap_err(),
+            PlanarError::InvalidBudget
+        );
+        let bad_domain = ParameterDomain::uniform_continuous(3, 0.5, 3.0).unwrap();
+        assert!(PlanarIndexSet::<VecStore>::build(table, bad_domain, IndexConfig::with_budget(1)).is_err());
+    }
+
+    #[test]
+    fn query_matches_scan_on_both_cmps() {
+        let set = small_set(8);
+        for (a, b) in [(vec![1.0, 1.0], 5.0), (vec![2.5, 0.6], 4.0)] {
+            for cmp in [Cmp::Leq, Cmp::Geq] {
+                let q = InequalityQuery::new(a.clone(), cmp, b).unwrap();
+                let idx = set.query(&q).unwrap();
+                let scan = set.query_scan(&q).unwrap();
+                assert!(idx.stats.used_index(), "{:?}", idx.stats.path);
+                assert_eq!(idx.sorted_ids(), scan.sorted_ids());
+            }
+        }
+    }
+
+    #[test]
+    fn zero_coefficient_falls_back_to_scan() {
+        let set = small_set(4);
+        let q = InequalityQuery::leq(vec![0.0, 1.0], 2.0).unwrap();
+        let out = set.query(&q).unwrap();
+        assert_eq!(
+            out.stats.path,
+            ExecutionPath::ScanFallback(ScanReason::ZeroCoefficient)
+        );
+        assert_eq!(out.sorted_ids(), vec![0, 3, 4]);
+    }
+
+    #[test]
+    fn octant_mismatch_negates_or_scans() {
+        let set = small_set(4);
+        // a = (−1, −1): negating gives (1, 1) ≥ −b — in the indexed octant.
+        let q = InequalityQuery::leq(vec![-1.0, -1.0], -5.0).unwrap();
+        let out = set.query(&q).unwrap();
+        assert!(out.stats.used_index());
+        let scan = set.query_scan(&q).unwrap();
+        assert_eq!(out.sorted_ids(), scan.sorted_ids());
+
+        // a = (1, −1): neither it nor its negation matches (+,+).
+        let q = InequalityQuery::leq(vec![1.0, -1.0], 0.0).unwrap();
+        let out = set.query(&q).unwrap();
+        assert_eq!(
+            out.stats.path,
+            ExecutionPath::ScanFallback(ScanReason::OctantMismatch)
+        );
+        assert_eq!(out.sorted_ids(), set.query_scan(&q).unwrap().sorted_ids());
+    }
+
+    #[test]
+    fn dedup_removes_parallel_normals() {
+        let table = FeatureTable::from_rows(2, vec![vec![1.0, 1.0], vec![2.0, 2.0]]).unwrap();
+        // Discrete domain with a single value per axis: every sample is the
+        // same normal.
+        let domain = ParameterDomain::new(vec![
+            Domain::Discrete(vec![2.0]),
+            Domain::Discrete(vec![3.0]),
+        ])
+        .unwrap();
+        let set = PlanarIndexSet::<VecStore>::build(table, domain, IndexConfig::with_budget(10)).unwrap();
+        assert_eq!(set.num_indices(), 1, "parallel normals must be deduped");
+    }
+
+    #[test]
+    fn dedup_can_be_disabled() {
+        let table = FeatureTable::from_rows(2, vec![vec![1.0, 1.0]]).unwrap();
+        let domain = ParameterDomain::new(vec![
+            Domain::Discrete(vec![2.0]),
+            Domain::Discrete(vec![3.0]),
+        ])
+        .unwrap();
+        let set = PlanarIndexSet::<VecStore>::build(
+            table,
+            domain,
+            IndexConfig::with_budget(10).dedup(false),
+        )
+        .unwrap();
+        assert_eq!(set.num_indices(), 10);
+    }
+
+    #[test]
+    fn strategies_agree_with_scan() {
+        for strategy in [
+            SelectionStrategy::MinStretch,
+            SelectionStrategy::MinAngle,
+            SelectionStrategy::OracleCount,
+        ] {
+            let table = FeatureTable::from_rows(
+                2,
+                (0..50).map(|i| vec![(i % 7) as f64 + 1.0, (i % 11) as f64 + 1.0]).collect::<Vec<_>>(),
+            )
+            .unwrap();
+            let domain = ParameterDomain::uniform_randomness(2, 4).unwrap();
+            let set = PlanarIndexSet::<VecStore>::build(
+                table,
+                domain,
+                IndexConfig::with_budget(6).strategy(strategy),
+            )
+            .unwrap();
+            let q = InequalityQuery::leq(vec![2.0, 3.0], 25.0).unwrap();
+            let idx = set.query(&q).unwrap();
+            let scan = set.query_scan(&q).unwrap();
+            assert_eq!(idx.sorted_ids(), scan.sorted_ids(), "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn insert_update_delete_roundtrip() {
+        let mut set: DynamicPlanarIndexSet = {
+            let table = FeatureTable::from_rows(2, vec![vec![1.0, 1.0], vec![5.0, 5.0]]).unwrap();
+            let domain = ParameterDomain::uniform_continuous(2, 0.5, 2.0).unwrap();
+            PlanarIndexSet::build(table, domain, IndexConfig::with_budget(3)).unwrap()
+        };
+        let q = InequalityQuery::leq(vec![1.0, 1.0], 4.0).unwrap();
+        assert_eq!(set.query(&q).unwrap().sorted_ids(), vec![0]);
+
+        let id = set.insert_point(&[0.5, 0.5]).unwrap();
+        assert_eq!(set.len(), 3);
+        assert_eq!(set.query(&q).unwrap().sorted_ids(), vec![0, id]);
+
+        set.update_point(0, &[9.0, 9.0]).unwrap();
+        assert_eq!(set.query(&q).unwrap().sorted_ids(), vec![id]);
+
+        set.delete_point(id).unwrap();
+        assert_eq!(set.len(), 2);
+        assert!(set.query(&q).unwrap().sorted_ids().is_empty());
+        assert_eq!(
+            set.delete_point(id).unwrap_err(),
+            PlanarError::PointNotFound(id)
+        );
+        // Scans must also skip tombstones.
+        assert!(set.query_scan(&q).unwrap().sorted_ids().is_empty());
+        // Top-k must also skip tombstones.
+        let tk = TopKQuery::new(q.clone(), 5).unwrap();
+        assert!(set.top_k(&tk).unwrap().neighbors.is_empty());
+    }
+
+    #[test]
+    fn insert_outside_translation_range_stays_exact() {
+        // Start with non-negative data, then insert a point with negative
+        // coordinates: the normalizer deltas must grow and answers stay
+        // exact. (Needs a domain octant that covers it — use a negative
+        // second axis.)
+        let table = FeatureTable::from_rows(2, vec![vec![1.0, -1.0], vec![2.0, -2.0]]).unwrap();
+        let domain = ParameterDomain::new(vec![
+            Domain::Continuous { lo: 0.5, hi: 2.0 },
+            Domain::Continuous { lo: -2.0, hi: -0.5 },
+        ])
+        .unwrap();
+        let mut set =
+            PlanarIndexSet::<VecStore>::build(table, domain, IndexConfig::with_budget(4)).unwrap();
+        let id = set.insert_point(&[-7.0, 5.0]).unwrap();
+        for b in [-10.0, -3.0, 0.0, 3.0, 10.0] {
+            let q = InequalityQuery::leq(vec![1.0, -1.0], b).unwrap();
+            let idx = set.query(&q).unwrap();
+            assert_eq!(
+                idx.sorted_ids(),
+                set.query_scan(&q).unwrap().sorted_ids(),
+                "b={b}"
+            );
+        }
+        let _ = id;
+    }
+
+    #[test]
+    fn add_and_remove_index() {
+        let mut set = small_set(2);
+        assert_eq!(set.num_indices(), 2);
+        let pos = set.add_index(vec![1.0, 1.0]).unwrap();
+        assert_eq!(pos, 2);
+        assert_eq!(set.num_indices(), 3);
+        set.remove_index(0).unwrap();
+        assert_eq!(set.num_indices(), 2);
+        set.remove_index(0).unwrap();
+        assert_eq!(set.remove_index(0).unwrap_err(), PlanarError::InvalidBudget);
+        // Still answers correctly with one index.
+        let q = InequalityQuery::leq(vec![1.0, 1.0], 5.0).unwrap();
+        assert_eq!(
+            set.query(&q).unwrap().sorted_ids(),
+            set.query_scan(&q).unwrap().sorted_ids()
+        );
+    }
+
+    #[test]
+    fn added_index_respects_tombstones() {
+        let mut set = small_set(1);
+        set.delete_point(2).unwrap();
+        set.add_index(vec![1.0, 2.0]).unwrap();
+        let q = InequalityQuery::geq(vec![1.0, 1.0], 0.0).unwrap(); // everything
+        let ids = set.query(&q).unwrap().sorted_ids();
+        assert_eq!(ids, vec![0, 1, 3, 4]);
+    }
+
+    #[test]
+    fn rebuild_for_domain_preserves_tombstones() {
+        let mut set = small_set(2);
+        set.delete_point(1).unwrap();
+        let new_domain = ParameterDomain::uniform_randomness(2, 4).unwrap();
+        set.rebuild_for_domain(new_domain, IndexConfig::with_budget(5))
+            .unwrap();
+        assert_eq!(set.len(), 4);
+        let q = InequalityQuery::geq(vec![1.0, 1.0], 0.0).unwrap();
+        assert_eq!(set.query(&q).unwrap().sorted_ids(), vec![0, 2, 3, 4]);
+    }
+
+    #[test]
+    fn top_k_matches_scan_top_k() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let rows: Vec<Vec<f64>> = (0..200)
+            .map(|_| vec![rng.random_range(1.0..100.0), rng.random_range(1.0..100.0)])
+            .collect();
+        let table = FeatureTable::from_rows(2, rows).unwrap();
+        let domain = ParameterDomain::uniform_randomness(2, 4).unwrap();
+        let set =
+            PlanarIndexSet::<VecStore>::build(table.clone(), domain, IndexConfig::with_budget(10))
+                .unwrap();
+        let scan = crate::scan::SeqScan::new(&table);
+        for k in [1, 5, 50, 500] {
+            let q = TopKQuery::new(InequalityQuery::leq(vec![2.0, 3.0], 300.0).unwrap(), k).unwrap();
+            let got = set.top_k(&q).unwrap();
+            let want = scan.top_k(&q).unwrap();
+            assert_eq!(got.neighbors, want, "k={k}");
+        }
+    }
+
+    #[test]
+    fn memory_usage_grows_with_budget() {
+        let a = small_set(1).memory_usage();
+        let b = small_set(10).memory_usage();
+        assert!(b > a);
+    }
+
+    #[test]
+    fn stats_report_full_pruning_for_parallel_query() {
+        let rows: Vec<Vec<f64>> = (1..=100).map(|i| vec![i as f64, (101 - i) as f64]).collect();
+        let table = FeatureTable::from_rows(2, rows).unwrap();
+        let domain = ParameterDomain::uniform_randomness(2, 2).unwrap();
+        // RQ=2 in 2-d: only 4 possible normals; budget 8 covers all of them.
+        let set = PlanarIndexSet::<VecStore>::build(table, domain, IndexConfig::with_budget(8)).unwrap();
+        let q = InequalityQuery::leq(vec![2.0, 1.0], 150.0).unwrap();
+        let out = set.query(&q).unwrap();
+        assert!(out.stats.used_index());
+        // A parallel index exists, so pruning should be (near-)total.
+        assert!(
+            out.stats.pruning_percentage() > 95.0,
+            "pruning {}",
+            out.stats.pruning_percentage()
+        );
+        assert_eq!(out.sorted_ids(), set.query_scan(&q).unwrap().sorted_ids());
+    }
+}

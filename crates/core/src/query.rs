@@ -1,0 +1,245 @@
+//! Scalar product query types (paper Problems 1 and 2) and their exact,
+//! scan-side evaluation.
+
+use crate::{PlanarError, Result};
+use planar_geom::{dot_slices, Hyperplane, Vector};
+
+/// Direction of the scalar-product inequality.
+///
+/// The paper's Remark 2: both "≤" and "≥" constraints are supported by the
+/// same index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Cmp {
+    /// `⟨a, φ(x)⟩ ≤ b`
+    Leq,
+    /// `⟨a, φ(x)⟩ ≥ b`
+    Geq,
+}
+
+impl Cmp {
+    /// The opposite direction.
+    pub fn flip(self) -> Cmp {
+        match self {
+            Cmp::Leq => Cmp::Geq,
+            Cmp::Geq => Cmp::Leq,
+        }
+    }
+}
+
+/// An inequality query `⟨a, φ(x)⟩ {≤,≥} b` (paper Problem 1).
+///
+/// Both `a` and `b` are unknown until query time; the index was built only
+/// from their *domains*.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InequalityQuery {
+    a: Vec<f64>,
+    cmp: Cmp,
+    b: f64,
+    a_norm: f64,
+}
+
+impl InequalityQuery {
+    /// Create a query.
+    ///
+    /// # Errors
+    ///
+    /// [`PlanarError::NotFinite`] on NaN/∞ coefficients or offset, and
+    /// [`PlanarError::EmptyDataset`] is never returned here but a
+    /// zero-dimensional `a` yields [`PlanarError::DimensionMismatch`].
+    pub fn new(a: Vec<f64>, cmp: Cmp, b: f64) -> Result<Self> {
+        if a.is_empty() {
+            return Err(PlanarError::DimensionMismatch {
+                expected: 1,
+                found: 0,
+            });
+        }
+        if a.iter().any(|v| !v.is_finite()) || !b.is_finite() {
+            return Err(PlanarError::NotFinite);
+        }
+        let a_norm = planar_geom::norm(&a);
+        Ok(Self { a, cmp, b, a_norm })
+    }
+
+    /// Shorthand for a `≤` query.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::new`].
+    pub fn leq(a: Vec<f64>, b: f64) -> Result<Self> {
+        Self::new(a, Cmp::Leq, b)
+    }
+
+    /// Shorthand for a `≥` query.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::new`].
+    pub fn geq(a: Vec<f64>, b: f64) -> Result<Self> {
+        Self::new(a, Cmp::Geq, b)
+    }
+
+    /// The coefficient vector `a`.
+    #[inline]
+    pub fn a(&self) -> &[f64] {
+        &self.a
+    }
+
+    /// The inequality direction.
+    #[inline]
+    pub fn cmp(&self) -> Cmp {
+        self.cmp
+    }
+
+    /// The offset `b`.
+    #[inline]
+    pub fn b(&self) -> f64 {
+        self.b
+    }
+
+    /// Dimensionality `d'` of the query space.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.a.len()
+    }
+
+    /// `|a|`, cached at construction (used by every distance computation).
+    #[inline]
+    pub fn a_norm(&self) -> f64 {
+        self.a_norm
+    }
+
+    /// Signed margin `⟨a, φ(x)⟩ − b` of a feature row.
+    #[inline]
+    pub fn margin(&self, phi: &[f64]) -> f64 {
+        dot_slices(&self.a, phi) - self.b
+    }
+
+    /// Exact predicate: does this feature row satisfy the query?
+    #[inline]
+    pub fn satisfies(&self, phi: &[f64]) -> bool {
+        match self.cmp {
+            Cmp::Leq => self.margin(phi) <= 0.0,
+            Cmp::Geq => self.margin(phi) >= 0.0,
+        }
+    }
+
+    /// Distance `|⟨a, φ(x)⟩ − b| / |a|` of `φ(x)` from the query hyperplane
+    /// (the ranking criterion of Problem 2).
+    #[inline]
+    pub fn distance(&self, phi: &[f64]) -> f64 {
+        self.margin(phi).abs() / self.a_norm
+    }
+
+    /// The query hyperplane `H(q) : ⟨a, Y⟩ = b` (paper Eq. 2).
+    ///
+    /// # Errors
+    ///
+    /// Propagates geometry validation (zero normal) — cannot happen for a
+    /// query constructed through [`Self::new`] with a non-zero `a`.
+    pub fn hyperplane(&self) -> Result<Hyperplane> {
+        let v = Vector::new(self.a.clone()).map_err(PlanarError::Geom)?;
+        Hyperplane::new(v, self.b).map_err(PlanarError::Geom)
+    }
+
+    /// The logically equivalent query with the opposite comparison:
+    /// `⟨a,φ⟩ ≤ b  ⇔  ⟨−a,φ⟩ ≥ −b`.
+    ///
+    /// The two forms accept exactly the same points; this is occasionally
+    /// useful to move a query into the octant an index was built for.
+    pub fn negated(&self) -> InequalityQuery {
+        InequalityQuery {
+            a: self.a.iter().map(|v| -v).collect(),
+            cmp: self.cmp.flip(),
+            b: -self.b,
+            a_norm: self.a_norm,
+        }
+    }
+}
+
+/// A top-k nearest-neighbor query (paper Problem 2): among points satisfying
+/// the inequality, the `k` with smallest distance to the query hyperplane.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopKQuery {
+    /// The underlying inequality constraint.
+    pub query: InequalityQuery,
+    /// How many nearest satisfying points to return.
+    pub k: usize,
+}
+
+impl TopKQuery {
+    /// Create a top-k query.
+    ///
+    /// # Errors
+    ///
+    /// [`PlanarError::KNotPositive`] when `k == 0`.
+    pub fn new(query: InequalityQuery, k: usize) -> Result<Self> {
+        if k == 0 {
+            return Err(PlanarError::KNotPositive);
+        }
+        Ok(Self { query, k })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use planar_geom::approx_eq;
+
+    #[test]
+    fn construction_validates() {
+        assert!(InequalityQuery::new(vec![], Cmp::Leq, 0.0).is_err());
+        assert!(InequalityQuery::new(vec![f64::NAN], Cmp::Leq, 0.0).is_err());
+        assert!(InequalityQuery::new(vec![1.0], Cmp::Leq, f64::INFINITY).is_err());
+        assert!(InequalityQuery::leq(vec![1.0, 2.0], 3.0).is_ok());
+    }
+
+    #[test]
+    fn satisfies_leq_and_geq() {
+        let q = InequalityQuery::leq(vec![1.0, 1.0], 5.0).unwrap();
+        assert!(q.satisfies(&[2.0, 2.0]));
+        assert!(q.satisfies(&[2.0, 3.0])); // boundary counts for ≤
+        assert!(!q.satisfies(&[3.0, 3.0]));
+
+        let g = InequalityQuery::geq(vec![1.0, 1.0], 5.0).unwrap();
+        assert!(!g.satisfies(&[2.0, 2.0]));
+        assert!(g.satisfies(&[2.0, 3.0])); // boundary counts for ≥
+        assert!(g.satisfies(&[3.0, 3.0]));
+    }
+
+    #[test]
+    fn margin_and_distance() {
+        let q = InequalityQuery::leq(vec![3.0, 4.0], 10.0).unwrap();
+        assert!(approx_eq(q.margin(&[2.0, 1.0]), 0.0));
+        assert!(approx_eq(q.a_norm(), 5.0));
+        assert!(approx_eq(q.distance(&[0.0, 0.0]), 2.0));
+    }
+
+    #[test]
+    fn negation_preserves_answers() {
+        let q = InequalityQuery::leq(vec![1.0, -2.0], 3.0).unwrap();
+        let n = q.negated();
+        assert_eq!(n.cmp(), Cmp::Geq);
+        for phi in [[0.0, 0.0], [5.0, 1.0], [1.5, 0.0], [10.0, -3.0]] {
+            assert_eq!(q.satisfies(&phi), n.satisfies(&phi), "{phi:?}");
+            assert!(approx_eq(q.distance(&phi), n.distance(&phi)));
+        }
+    }
+
+    #[test]
+    fn hyperplane_roundtrip() {
+        let q = InequalityQuery::leq(vec![1.0, 2.0, 5.0], 10.0).unwrap();
+        let h = q.hyperplane().unwrap();
+        assert_eq!(h.axis_intercept(0), Some(10.0));
+        assert_eq!(h.axis_intercept(2), Some(2.0));
+    }
+
+    #[test]
+    fn topk_requires_positive_k() {
+        let q = InequalityQuery::leq(vec![1.0], 1.0).unwrap();
+        assert_eq!(
+            TopKQuery::new(q.clone(), 0).unwrap_err(),
+            PlanarError::KNotPositive
+        );
+        assert!(TopKQuery::new(q, 3).is_ok());
+    }
+}

@@ -1,0 +1,281 @@
+//! Axis reduction for queries with zero coefficients.
+//!
+//! The paper's §4.1 assumes `aᵢ ≠ 0` for every axis: "otherwise, one can
+//! simply ignore the corresponding axis during index construction and query
+//! processing". Ignoring an axis is *not* free with a full-dimensional
+//! index — the key `⟨c, φ(x)⟩` of a point mixes in the ignored axis, so the
+//! larger-interval rejection becomes unsound. The plain
+//! [`PlanarIndexSet`] therefore answers such queries with an exact scan.
+//!
+//! [`AxisReductionRouter`] implements the paper's remark properly: it keeps
+//! the base index set for full queries and lazily builds *reduced* index
+//! sets over the non-zero axis subsets that actually occur, caching them by
+//! axis mask. Point ids are shared across all sets, and mutations propagate
+//! to every cached reduction, so answers remain exact everywhere.
+
+use crate::domain::ParameterDomain;
+use crate::multi::{IndexConfig, PlanarIndexSet, QueryOutcome};
+use crate::query::InequalityQuery;
+use crate::store::KeyStore;
+use crate::table::{FeatureTable, PointId};
+use crate::{PlanarError, Result, VecStore};
+use std::collections::HashMap;
+
+/// A [`PlanarIndexSet`] wrapper that routes zero-coefficient queries to
+/// lazily-built reduced-axis index sets.
+pub struct AxisReductionRouter<S: KeyStore = VecStore> {
+    base: PlanarIndexSet<S>,
+    config: IndexConfig,
+    /// Cached reduced sets keyed by the bitmask of *kept* axes.
+    reduced: HashMap<u64, PlanarIndexSet<S>>,
+}
+
+impl<S: KeyStore> AxisReductionRouter<S> {
+    /// Wrap an existing index set. `config` governs reduced-set builds.
+    ///
+    /// # Errors
+    ///
+    /// [`PlanarError::DimensionMismatch`] for dimensionality above 64 (the
+    /// axis-mask width; far beyond any workload in this domain).
+    pub fn new(base: PlanarIndexSet<S>, config: IndexConfig) -> Result<Self> {
+        if base.dim() > 64 {
+            return Err(PlanarError::DimensionMismatch {
+                expected: 64,
+                found: base.dim(),
+            });
+        }
+        Ok(Self {
+            base,
+            config,
+            reduced: HashMap::new(),
+        })
+    }
+
+    /// The base (full-dimensional) index set.
+    pub fn base(&self) -> &PlanarIndexSet<S> {
+        &self.base
+    }
+
+    /// Number of reduced index sets currently cached.
+    pub fn cached_reductions(&self) -> usize {
+        self.reduced.len()
+    }
+
+    /// Answer a query; zero-coefficient queries take (or build) the reduced
+    /// index set over their non-zero axes.
+    ///
+    /// # Errors
+    ///
+    /// [`PlanarError::DimensionMismatch`] on dimensionality mismatch.
+    pub fn query(&mut self, q: &InequalityQuery) -> Result<QueryOutcome> {
+        let dim = self.base.dim();
+        if q.dim() != dim {
+            return Err(PlanarError::DimensionMismatch {
+                expected: dim,
+                found: q.dim(),
+            });
+        }
+        let kept: Vec<usize> = (0..dim).filter(|&i| q.a()[i] != 0.0).collect();
+        if kept.len() == dim {
+            return self.base.query(q);
+        }
+        if kept.is_empty() {
+            // ⟨0, φ(x)⟩ {≤,≥} b: all live points or none, by sign of b.
+            return self.base.query_scan(q);
+        }
+        let mask = kept.iter().fold(0u64, |m, &i| m | 1 << i);
+        if !self.reduced.contains_key(&mask) {
+            let set = self.build_reduction(&kept)?;
+            self.reduced.insert(mask, set);
+        }
+        let reduced_q = InequalityQuery::new(
+            kept.iter().map(|&i| q.a()[i]).collect(),
+            q.cmp(),
+            q.b(),
+        )?;
+        self.reduced
+            .get(&mask)
+            .expect("inserted above")
+            .query(&reduced_q)
+    }
+
+    fn build_reduction(&self, kept: &[usize]) -> Result<PlanarIndexSet<S>> {
+        // Project every row (including tombstoned ones, to keep ids
+        // aligned), then re-apply tombstones.
+        let base_table = self.base.table();
+        let mut table = FeatureTable::with_capacity(kept.len(), base_table.len())?;
+        let mut row = vec![0.0; kept.len()];
+        for (_, full_row) in base_table.iter() {
+            for (slot, &axis) in row.iter_mut().zip(kept) {
+                *slot = full_row[axis];
+            }
+            table.push_row(&row)?;
+        }
+        let domain = ParameterDomain::new(
+            kept.iter()
+                .map(|&i| self.base.domain().axes()[i].clone())
+                .collect(),
+        )?;
+        let mut set = PlanarIndexSet::build(table, domain, self.config.clone())?;
+        for id in 0..base_table.len() as PointId {
+            if !self.base.is_live(id) {
+                set.delete_point(id)?;
+            }
+        }
+        Ok(set)
+    }
+
+    /// Insert a point everywhere (base + cached reductions).
+    ///
+    /// # Errors
+    ///
+    /// Table validation errors.
+    pub fn insert_point(&mut self, row: &[f64]) -> Result<PointId> {
+        let id = self.base.insert_point(row)?;
+        for (mask, set) in &mut self.reduced {
+            let projected = project(row, *mask);
+            let rid = set.insert_point(&projected)?;
+            debug_assert_eq!(rid, id, "id alignment across reductions");
+        }
+        Ok(id)
+    }
+
+    /// Update a point everywhere.
+    ///
+    /// # Errors
+    ///
+    /// [`PlanarError::PointNotFound`], table validation errors.
+    pub fn update_point(&mut self, id: PointId, row: &[f64]) -> Result<()> {
+        self.base.update_point(id, row)?;
+        for (mask, set) in &mut self.reduced {
+            set.update_point(id, &project(row, *mask))?;
+        }
+        Ok(())
+    }
+
+    /// Delete a point everywhere.
+    ///
+    /// # Errors
+    ///
+    /// [`PlanarError::PointNotFound`].
+    pub fn delete_point(&mut self, id: PointId) -> Result<()> {
+        self.base.delete_point(id)?;
+        for set in self.reduced.values_mut() {
+            set.delete_point(id)?;
+        }
+        Ok(())
+    }
+}
+
+fn project(row: &[f64], mask: u64) -> Vec<f64> {
+    row.iter()
+        .enumerate()
+        .filter(|(i, _)| mask & (1 << i) != 0)
+        .map(|(_, &v)| v)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::Cmp;
+    use crate::store::VecStore;
+
+    fn router() -> AxisReductionRouter<VecStore> {
+        let rows: Vec<Vec<f64>> = (0..300)
+            .map(|i| {
+                vec![
+                    1.0 + (i % 13) as f64,
+                    1.0 + (i % 17) as f64,
+                    1.0 + (i % 23) as f64,
+                ]
+            })
+            .collect();
+        let table = FeatureTable::from_rows(3, rows).unwrap();
+        let domain = ParameterDomain::uniform_continuous(3, 0.5, 3.0).unwrap();
+        let base = PlanarIndexSet::build(table, domain, IndexConfig::with_budget(8)).unwrap();
+        AxisReductionRouter::new(base, IndexConfig::with_budget(8)).unwrap()
+    }
+
+    #[test]
+    fn full_queries_use_base() {
+        let mut r = router();
+        let q = InequalityQuery::leq(vec![1.0, 1.0, 1.0], 30.0).unwrap();
+        let out = r.query(&q).unwrap();
+        assert!(out.stats.used_index());
+        assert_eq!(r.cached_reductions(), 0);
+        assert_eq!(
+            out.sorted_ids(),
+            r.base().query_scan(&q).unwrap().sorted_ids()
+        );
+    }
+
+    #[test]
+    fn zero_coefficient_queries_take_indexed_reduction() {
+        let mut r = router();
+        let q = InequalityQuery::leq(vec![1.0, 0.0, 2.0], 25.0).unwrap();
+        // The plain set would scan...
+        let plain = r.base().query(&q).unwrap();
+        assert!(!plain.stats.used_index());
+        // ...the router builds a 2-axis reduction and indexes it.
+        let out = r.query(&q).unwrap();
+        assert!(out.stats.used_index(), "{:?}", out.stats.path);
+        assert_eq!(r.cached_reductions(), 1);
+        assert_eq!(out.sorted_ids(), plain.sorted_ids());
+    }
+
+    #[test]
+    fn reductions_are_cached_per_mask() {
+        let mut r = router();
+        r.query(&InequalityQuery::leq(vec![1.0, 0.0, 2.0], 25.0).unwrap())
+            .unwrap();
+        r.query(&InequalityQuery::leq(vec![3.0, 0.0, 1.0], 40.0).unwrap())
+            .unwrap();
+        assert_eq!(r.cached_reductions(), 1, "same mask reused");
+        r.query(&InequalityQuery::leq(vec![0.0, 1.0, 1.0], 25.0).unwrap())
+            .unwrap();
+        assert_eq!(r.cached_reductions(), 2, "new mask builds a new set");
+    }
+
+    #[test]
+    fn all_zero_query_is_degenerate_but_exact() {
+        let mut r = router();
+        let all = InequalityQuery::new(vec![0.0; 3], Cmp::Leq, 1.0).unwrap();
+        assert_eq!(r.query(&all).unwrap().matches.len(), 300);
+        let none = InequalityQuery::new(vec![0.0; 3], Cmp::Leq, -1.0).unwrap();
+        assert!(r.query(&none).unwrap().matches.is_empty());
+    }
+
+    #[test]
+    fn mutations_propagate_to_cached_reductions() {
+        let mut r = router();
+        let q = InequalityQuery::leq(vec![1.0, 0.0, 1.0], 10.0).unwrap();
+        r.query(&q).unwrap(); // builds the reduction
+        let id = r.insert_point(&[2.0, 50.0, 2.0]).unwrap();
+        assert!(r.query(&q).unwrap().sorted_ids().contains(&id));
+        r.update_point(id, &[90.0, 50.0, 90.0]).unwrap();
+        assert!(!r.query(&q).unwrap().sorted_ids().contains(&id));
+        r.update_point(id, &[2.0, 50.0, 2.0]).unwrap();
+        r.delete_point(id).unwrap();
+        assert!(!r.query(&q).unwrap().sorted_ids().contains(&id));
+        // Reduced answers still equal brute force over live points.
+        let expect: Vec<PointId> = r
+            .base()
+            .table()
+            .iter()
+            .filter(|(pid, row)| r.base().is_live(*pid) && q.satisfies(row))
+            .map(|(pid, _)| pid)
+            .collect();
+        assert_eq!(r.query(&q).unwrap().sorted_ids(), expect);
+    }
+
+    #[test]
+    fn tombstones_respected_when_reduction_is_built_late() {
+        let mut r = router();
+        r.delete_point(5).unwrap();
+        let q = InequalityQuery::leq(vec![0.0, 1.0, 1.0], 1000.0).unwrap();
+        let ids = r.query(&q).unwrap().sorted_ids();
+        assert!(!ids.contains(&5));
+        assert_eq!(ids.len(), 299);
+    }
+}

@@ -1,0 +1,132 @@
+//! Best-index selection at query time (paper §5.1).
+//!
+//! With multiple Planar indices available, the one whose hyperplanes are
+//! closest to parallel with the query hyperplane yields the smallest
+//! intermediate interval — zero, when exactly parallel (paper Corollary 1).
+//! Counting the intermediate interval for every index reintroduces the cost
+//! we are trying to avoid ("chicken and egg", §5.1), so the paper proposes
+//! two O(r·d') heuristics; we implement both, plus an exact counter that
+//! our order-statistics stores make cheap (O(r·(d' + log n))) — useful as an
+//! ablation upper bound.
+
+use planar_geom::dot_slices;
+
+/// Strategy for picking the best index for a query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SelectionStrategy {
+    /// Volume/stretch minimization (§5.1.1, Problem 3): minimize the
+    /// maximum stretch of the intermediate interval along any axis. The
+    /// paper found this usually wins; it is the default.
+    #[default]
+    MinStretch,
+    /// Angle minimization (§5.1.2): minimize the angle between the query
+    /// hyperplane and the index hyperplanes.
+    MinAngle,
+    /// Exact intermediate-interval cardinality via rank queries. The paper
+    /// dismisses counting as requiring `O(|II|)` per index; with
+    /// order-statistics stores it costs two rank queries per index, so we
+    /// expose it as the oracle the heuristics are measured against.
+    OracleCount,
+}
+
+/// The maximum stretch (paper Eq. 15–16) of the intermediate interval
+/// induced by index normal `c` for the normalized query `(a, b)`:
+///
+/// `max_i (1/cᵢ)·(max_k cₖ·I(q,k) − min_k cₖ·I(q,k))`, with
+/// `I(q,k) = b/aₖ`.
+///
+/// Lower is better; exactly parallel normals score 0 (Corollary 1).
+pub fn stretch_score(c: &[f64], a: &[f64], b: f64) -> f64 {
+    debug_assert_eq!(c.len(), a.len());
+    let mut tmin = f64::INFINITY;
+    let mut tmax = f64::NEG_INFINITY;
+    let mut cmin = f64::INFINITY;
+    for (&ci, &ai) in c.iter().zip(a) {
+        let t = ci * b / ai;
+        tmin = tmin.min(t);
+        tmax = tmax.max(t);
+        cmin = cmin.min(ci);
+    }
+    (tmax - tmin) / cmin
+}
+
+/// The angle-minimization score (§5.1.2): the negated cosine between the
+/// query normal `a` and the index normal `c`. Lower is better (both vectors
+/// are strictly positive in normalized space, so the cosine is in `(0, 1]`
+/// and a parallel pair scores −1, the minimum).
+pub fn angle_score(c: &[f64], a: &[f64]) -> f64 {
+    debug_assert_eq!(c.len(), a.len());
+    let denom = planar_geom::norm(c) * planar_geom::norm(a);
+    if denom == 0.0 {
+        return 0.0;
+    }
+    -(dot_slices(c, a) / denom)
+}
+
+/// Pick the index minimizing `score`; ties broken by the lowest position
+/// (deterministic). Returns `None` for an empty candidate list.
+pub(crate) fn argmin_by_score(count: usize, mut score: impl FnMut(usize) -> f64) -> Option<usize> {
+    (0..count)
+        .map(|i| (i, score(i)))
+        .min_by(|(_, x), (_, y)| x.total_cmp(y))
+        .map(|(i, _)| i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use planar_geom::approx_eq;
+
+    #[test]
+    fn stretch_matches_paper_example4() {
+        // Query Y1 + 2·Y2 + 5·Y3 = 10, index normal (1, 1, 2).
+        // Paper Example 4: maximum stretch along any axis is 6.
+        let score = stretch_score(&[1.0, 1.0, 2.0], &[1.0, 2.0, 5.0], 10.0);
+        assert!(approx_eq(score, 6.0), "got {score}");
+    }
+
+    #[test]
+    fn corollary1_parallel_index_scores_zero_stretch() {
+        let a = [1.0, 2.0, 5.0];
+        // c parallel to a (scaled by 3).
+        let c = [3.0, 6.0, 15.0];
+        assert!(approx_eq(stretch_score(&c, &a, 10.0), 0.0));
+        // And minimal angle score (cos = 1 → score −1).
+        assert!(approx_eq(angle_score(&c, &a), -1.0));
+    }
+
+    #[test]
+    fn stretch_prefers_nearer_parallel() {
+        let a = [1.0, 2.0];
+        let near = [1.1, 2.0];
+        let far = [2.0, 1.0];
+        assert!(stretch_score(&near, &a, 5.0) < stretch_score(&far, &a, 5.0));
+    }
+
+    #[test]
+    fn angle_prefers_nearer_parallel() {
+        let a = [1.0, 2.0];
+        let near = [1.1, 2.0];
+        let far = [2.0, 1.0];
+        assert!(angle_score(&near, &a) < angle_score(&far, &a));
+    }
+
+    #[test]
+    fn zero_offset_makes_all_stretches_zero() {
+        // b = 0: every threshold is 0, so every index is "perfect" — the
+        // interval collapses to the key 0 boundary for all of them.
+        assert!(approx_eq(stretch_score(&[1.0, 3.0], &[2.0, 1.0], 0.0), 0.0));
+    }
+
+    #[test]
+    fn argmin_deterministic_tie_break() {
+        let scores = [3.0, 1.0, 1.0, 2.0];
+        assert_eq!(argmin_by_score(4, |i| scores[i]), Some(1));
+        assert_eq!(argmin_by_score(0, |_| 0.0), None);
+    }
+
+    #[test]
+    fn default_strategy_is_min_stretch() {
+        assert_eq!(SelectionStrategy::default(), SelectionStrategy::MinStretch);
+    }
+}

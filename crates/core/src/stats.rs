@@ -1,0 +1,232 @@
+//! Per-query execution statistics.
+//!
+//! The paper's Figures 9 and 10 report the *pruning percentage* — the share
+//! of points accepted or rejected without computing their scalar product.
+//! Every query in this crate returns a [`QueryStats`] carrying exactly the
+//! quantities those figures plot, plus which execution path was taken.
+
+/// How a query was executed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecutionPath {
+    /// Served by the Planar index number `index` of the set.
+    Index {
+        /// Position of the chosen index within the [`crate::PlanarIndexSet`].
+        index: usize,
+    },
+    /// Fell back to a sequential scan, with the reason.
+    ScanFallback(ScanReason),
+}
+
+/// Why a query could not use the indexed path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScanReason {
+    /// Some query coefficient is zero: the query hyperplane never meets
+    /// that axis, so interval pruning on a full-dimensional index would be
+    /// unsound (§4.1 tells us to drop the axis — which needs an index built
+    /// without it).
+    ZeroCoefficient,
+    /// The coefficient signs do not match the octant the set was built for
+    /// (§4.5: the octant is fixed by the parameter domains).
+    OctantMismatch,
+    /// The caller explicitly requested a scan.
+    Requested,
+}
+
+impl core::fmt::Display for ScanReason {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ScanReason::ZeroCoefficient => write!(f, "zero query coefficient"),
+            ScanReason::OctantMismatch => write!(f, "coefficient signs outside indexed octant"),
+            ScanReason::Requested => write!(f, "scan requested"),
+        }
+    }
+}
+
+/// Counters describing one query execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryStats {
+    /// Total points in the dataset.
+    pub n: usize,
+    /// Points in the smaller interval (accepted or rejected wholesale).
+    pub smaller: usize,
+    /// Points in the intermediate interval (each verified exactly).
+    pub intermediate: usize,
+    /// Points in the larger interval (accepted or rejected wholesale).
+    pub larger: usize,
+    /// Scalar products actually computed.
+    pub verified: usize,
+    /// Points in the answer set (`t` in the paper's complexity bounds).
+    pub matched: usize,
+    /// Execution path taken.
+    pub path: ExecutionPath,
+}
+
+impl QueryStats {
+    /// A stats record for a pure sequential scan.
+    pub fn scan(n: usize, matched: usize, reason: ScanReason) -> Self {
+        Self {
+            n,
+            smaller: 0,
+            intermediate: n,
+            larger: 0,
+            verified: n,
+            matched,
+            path: ExecutionPath::ScanFallback(reason),
+        }
+    }
+
+    /// Fraction of points pruned (accepted/rejected without a scalar
+    /// product): `(smaller + larger) / n`. This is the quantity of Figures
+    /// 9 and 10, as a value in `[0, 1]`.
+    pub fn pruned_fraction(&self) -> f64 {
+        if self.n == 0 {
+            return 1.0;
+        }
+        (self.smaller + self.larger) as f64 / self.n as f64
+    }
+
+    /// Pruning percentage in `[0, 100]` (the paper's y-axis).
+    pub fn pruning_percentage(&self) -> f64 {
+        100.0 * self.pruned_fraction()
+    }
+
+    /// Was the indexed path used?
+    pub fn used_index(&self) -> bool {
+        matches!(self.path, ExecutionPath::Index { .. })
+    }
+}
+
+/// Aggregates [`QueryStats`] across a workload (the paper reports averages
+/// over 100 runs).
+#[derive(Debug, Clone, Default)]
+pub struct StatsAggregator {
+    count: usize,
+    pruned_sum: f64,
+    verified_sum: usize,
+    matched_sum: usize,
+    intermediate_sum: usize,
+    index_hits: usize,
+}
+
+impl StatsAggregator {
+    /// Fresh aggregator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold in one query's stats.
+    pub fn add(&mut self, s: &QueryStats) {
+        self.count += 1;
+        self.pruned_sum += s.pruned_fraction();
+        self.verified_sum += s.verified;
+        self.matched_sum += s.matched;
+        self.intermediate_sum += s.intermediate;
+        if s.used_index() {
+            self.index_hits += 1;
+        }
+    }
+
+    /// Number of queries aggregated.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Mean pruning percentage.
+    pub fn mean_pruning_percentage(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        100.0 * self.pruned_sum / self.count as f64
+    }
+
+    /// Mean number of verified points per query.
+    pub fn mean_verified(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        self.verified_sum as f64 / self.count as f64
+    }
+
+    /// Mean intermediate-interval size per query.
+    pub fn mean_intermediate(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        self.intermediate_sum as f64 / self.count as f64
+    }
+
+    /// Mean answer-set size per query.
+    pub fn mean_matched(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        self.matched_sum as f64 / self.count as f64
+    }
+
+    /// Fraction of queries that used the indexed path.
+    pub fn index_hit_rate(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        self.index_hits as f64 / self.count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn indexed(n: usize, s: usize, i: usize, l: usize, matched: usize) -> QueryStats {
+        QueryStats {
+            n,
+            smaller: s,
+            intermediate: i,
+            larger: l,
+            verified: i,
+            matched,
+            path: ExecutionPath::Index { index: 0 },
+        }
+    }
+
+    #[test]
+    fn pruning_fraction() {
+        let s = indexed(100, 30, 20, 50, 35);
+        assert_eq!(s.pruned_fraction(), 0.8);
+        assert_eq!(s.pruning_percentage(), 80.0);
+        assert!(s.used_index());
+    }
+
+    #[test]
+    fn scan_stats_have_zero_pruning() {
+        let s = QueryStats::scan(50, 10, ScanReason::Requested);
+        assert_eq!(s.pruned_fraction(), 0.0);
+        assert!(!s.used_index());
+        assert_eq!(s.verified, 50);
+    }
+
+    #[test]
+    fn empty_dataset_counts_as_fully_pruned() {
+        let s = indexed(0, 0, 0, 0, 0);
+        assert_eq!(s.pruned_fraction(), 1.0);
+    }
+
+    #[test]
+    fn aggregator_means() {
+        let mut agg = StatsAggregator::new();
+        agg.add(&indexed(100, 50, 0, 50, 50));
+        agg.add(&QueryStats::scan(100, 10, ScanReason::ZeroCoefficient));
+        assert_eq!(agg.count(), 2);
+        assert_eq!(agg.mean_pruning_percentage(), 50.0);
+        assert_eq!(agg.mean_verified(), 50.0);
+        assert_eq!(agg.mean_matched(), 30.0);
+        assert_eq!(agg.index_hit_rate(), 0.5);
+    }
+
+    #[test]
+    fn aggregator_empty_is_zero() {
+        let agg = StatsAggregator::new();
+        assert_eq!(agg.mean_pruning_percentage(), 0.0);
+        assert_eq!(agg.mean_verified(), 0.0);
+        assert_eq!(agg.index_hit_rate(), 0.0);
+    }
+}

@@ -1,0 +1,813 @@
+//! An order-statistics B+-tree [`KeyStore`], built from scratch.
+//!
+//! The paper's §4.4 claims `O(d' log n)` per-point dynamic updates; a packed
+//! sorted array cannot deliver that, so this tree is the store of choice for
+//! update-heavy workloads (moving objects whose `φ` changes continuously).
+//!
+//! Design notes:
+//!
+//! * Entries are totally ordered by `(key, id)` — see [`super::Entry`].
+//! * Internal nodes carry per-child **subtree counts**, making the rank
+//!   queries of Algorithm 1 (`j_min`, `j_max`) and rank-positioned scans
+//!   O(log n) — the order-statistics part.
+//! * Separators follow the copy-up convention: `seps[i]` equals the
+//!   smallest entry of child `i+1`, and entries equal to a separator are
+//!   routed right.
+//! * Deletion rebalances eagerly (borrow from a sibling, else merge), so
+//!   every non-root node stays at least half full and the height bound is
+//!   honest.
+//! * `build` bulk-loads bottom-up at ~¾ fill, leaving room for inserts.
+
+use super::{canon, Entry, KeyStore};
+use crate::memory::HeapSize;
+use core::cmp::Ordering;
+
+/// Maximum number of entries per leaf / children per internal node.
+const MAX_FANOUT: usize = 32;
+/// Underflow threshold for non-root nodes.
+const MIN_FANOUT: usize = MAX_FANOUT / 2;
+/// Bulk-load fill (entries per leaf, children per internal node).
+const BULK_FILL: usize = MAX_FANOUT * 3 / 4;
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf(Vec<Entry>),
+    Internal(Internal),
+}
+
+#[derive(Debug, Clone)]
+struct Internal {
+    /// `seps[i]` = smallest entry in `children[i + 1]`.
+    seps: Vec<Entry>,
+    children: Vec<Node>,
+    /// `counts[i]` = number of entries in the subtree `children[i]`.
+    counts: Vec<usize>,
+}
+
+impl Internal {
+    /// Index of the child an entry routes to: `#{seps ≤ e}`.
+    #[inline]
+    fn child_of(&self, e: &Entry) -> usize {
+        self.seps
+            .partition_point(|s| s.total_cmp(e) != Ordering::Greater)
+    }
+
+    #[inline]
+    fn total(&self) -> usize {
+        self.counts.iter().sum()
+    }
+}
+
+impl Node {
+    fn len(&self) -> usize {
+        match self {
+            Node::Leaf(v) => v.len(),
+            Node::Internal(n) => n.total(),
+        }
+    }
+
+    fn fanout(&self) -> usize {
+        match self {
+            Node::Leaf(v) => v.len(),
+            Node::Internal(n) => n.children.len(),
+        }
+    }
+
+    fn smallest(&self) -> Entry {
+        match self {
+            Node::Leaf(v) => v[0],
+            Node::Internal(n) => n.children[0].smallest(),
+        }
+    }
+}
+
+/// Order-statistics B+-tree over `(key, id)` entries.
+#[derive(Debug, Clone)]
+pub struct BPlusTree {
+    root: Node,
+    len: usize,
+}
+
+impl Default for BPlusTree {
+    fn default() -> Self {
+        Self {
+            root: Node::Leaf(Vec::new()),
+            len: 0,
+        }
+    }
+}
+
+impl BPlusTree {
+    /// Height of the tree (a single leaf has height 1). Exposed for tests
+    /// and diagnostics.
+    pub fn height(&self) -> usize {
+        let mut h = 1;
+        let mut node = &self.root;
+        while let Node::Internal(n) = node {
+            h += 1;
+            node = &n.children[0];
+        }
+        h
+    }
+
+    /// Count entries strictly below `bound` in `(key, id)` order.
+    fn rank_below(&self, bound: &Entry) -> usize {
+        let mut acc = 0;
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Leaf(v) => {
+                    acc += v.partition_point(|x| x.total_cmp(bound) == Ordering::Less);
+                    return acc;
+                }
+                Node::Internal(n) => {
+                    let i = n.child_of(bound);
+                    // `child_of` routes entries equal to a separator right;
+                    // for a strict bound every child j < i is entirely
+                    // below `bound` only if its entries are < bound. Child
+                    // j's entries are < seps[j] ≤ bound, so they are < bound
+                    // unless equal — but equality with the bound is decided
+                    // inside the recursion on child i; children left of i
+                    // satisfy entries < seps[j] ≤ bound... strictness at
+                    // the separator needs care: seps[j] ≤ bound and entries
+                    // of child j are < seps[j], hence < bound. Safe.
+                    acc += n.counts[..i].iter().sum::<usize>();
+                    node = &n.children[i];
+                }
+            }
+        }
+    }
+
+    fn insert_rec(node: &mut Node, e: Entry) -> Option<(Entry, Node)> {
+        match node {
+            Node::Leaf(v) => {
+                let pos = v.partition_point(|x| x.total_cmp(&e) == Ordering::Less);
+                v.insert(pos, e);
+                if v.len() > MAX_FANOUT {
+                    let right = v.split_off(v.len() / 2);
+                    let sep = right[0];
+                    Some((sep, Node::Leaf(right)))
+                } else {
+                    None
+                }
+            }
+            Node::Internal(n) => {
+                let i = n.child_of(&e);
+                n.counts[i] += 1;
+                if let Some((sep, right)) = Self::insert_rec(&mut n.children[i], e) {
+                    let right_count = right.len();
+                    n.counts[i] -= right_count;
+                    n.seps.insert(i, sep);
+                    n.children.insert(i + 1, right);
+                    n.counts.insert(i + 1, right_count);
+                    if n.children.len() > MAX_FANOUT {
+                        let mid = n.children.len() / 2;
+                        let right_children = n.children.split_off(mid);
+                        let right_counts = n.counts.split_off(mid);
+                        let right_seps = n.seps.split_off(mid);
+                        let promote = n.seps.pop().expect("left half keeps ≥ 2 children");
+                        return Some((
+                            promote,
+                            Node::Internal(Internal {
+                                seps: right_seps,
+                                children: right_children,
+                                counts: right_counts,
+                            }),
+                        ));
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    fn remove_rec(node: &mut Node, e: &Entry) -> bool {
+        match node {
+            Node::Leaf(v) => {
+                let pos = v.partition_point(|x| x.total_cmp(e) == Ordering::Less);
+                if pos < v.len() && v[pos] == *e {
+                    v.remove(pos);
+                    true
+                } else {
+                    false
+                }
+            }
+            Node::Internal(n) => {
+                let i = n.child_of(e);
+                let found = Self::remove_rec(&mut n.children[i], e);
+                if found {
+                    n.counts[i] -= 1;
+                    if n.children[i].fanout() < MIN_FANOUT {
+                        Self::rebalance(n, i);
+                    }
+                }
+                found
+            }
+        }
+    }
+
+    /// Fix an underflowing child `i`: borrow from a richer sibling or merge.
+    fn rebalance(n: &mut Internal, i: usize) {
+        // Try borrowing from the left sibling.
+        if i > 0 && n.children[i - 1].fanout() > MIN_FANOUT {
+            Self::borrow_from_left(n, i);
+            return;
+        }
+        // Try borrowing from the right sibling.
+        if i + 1 < n.children.len() && n.children[i + 1].fanout() > MIN_FANOUT {
+            Self::borrow_from_right(n, i);
+            return;
+        }
+        // Merge with a sibling (prefer left).
+        if i > 0 {
+            Self::merge_children(n, i - 1);
+        } else if i + 1 < n.children.len() {
+            Self::merge_children(n, i);
+        }
+        // A root child may legitimately have no sibling; the tree-level
+        // `shrink_root` handles the root collapsing to one child.
+    }
+
+    /// Move the greatest element/child of `children[i-1]` into `children[i]`.
+    fn borrow_from_left(n: &mut Internal, i: usize) {
+        let (left_half, right_half) = n.children.split_at_mut(i);
+        let left = &mut left_half[i - 1];
+        let child = &mut right_half[0];
+        match (left, child) {
+            (Node::Leaf(lv), Node::Leaf(cv)) => {
+                let moved = lv.pop().expect("left sibling above minimum");
+                cv.insert(0, moved);
+                n.seps[i - 1] = moved;
+                n.counts[i - 1] -= 1;
+                n.counts[i] += 1;
+            }
+            (Node::Internal(ln), Node::Internal(cn)) => {
+                let moved_child = ln.children.pop().expect("left sibling above minimum");
+                let moved_count = ln.counts.pop().expect("counts parallel to children");
+                let moved_sep = ln.seps.pop().expect("seps parallel to children");
+                // Parent separator rotates down; left's last separator
+                // rotates up.
+                let parent_sep = n.seps[i - 1];
+                n.seps[i - 1] = moved_sep;
+                cn.seps.insert(0, parent_sep);
+                cn.children.insert(0, moved_child);
+                cn.counts.insert(0, moved_count);
+                n.counts[i - 1] -= moved_count;
+                n.counts[i] += moved_count;
+            }
+            _ => unreachable!("siblings are at the same level"),
+        }
+    }
+
+    /// Move the smallest element/child of `children[i+1]` into `children[i]`.
+    fn borrow_from_right(n: &mut Internal, i: usize) {
+        let (left_half, right_half) = n.children.split_at_mut(i + 1);
+        let child = &mut left_half[i];
+        let right = &mut right_half[0];
+        match (child, right) {
+            (Node::Leaf(cv), Node::Leaf(rv)) => {
+                let moved = rv.remove(0);
+                cv.push(moved);
+                n.seps[i] = rv[0];
+                n.counts[i] += 1;
+                n.counts[i + 1] -= 1;
+            }
+            (Node::Internal(cn), Node::Internal(rn)) => {
+                let moved_child = rn.children.remove(0);
+                let moved_count = rn.counts.remove(0);
+                let moved_sep = rn.seps.remove(0);
+                let parent_sep = n.seps[i];
+                n.seps[i] = moved_sep;
+                cn.seps.push(parent_sep);
+                cn.children.push(moved_child);
+                cn.counts.push(moved_count);
+                n.counts[i] += moved_count;
+                n.counts[i + 1] -= moved_count;
+            }
+            _ => unreachable!("siblings are at the same level"),
+        }
+    }
+
+    /// Merge `children[i+1]` into `children[i]` and drop the separator.
+    fn merge_children(n: &mut Internal, i: usize) {
+        let right = n.children.remove(i + 1);
+        let right_count = n.counts.remove(i + 1);
+        let sep = n.seps.remove(i);
+        n.counts[i] += right_count;
+        match (&mut n.children[i], right) {
+            (Node::Leaf(lv), Node::Leaf(rv)) => {
+                lv.extend(rv);
+            }
+            (Node::Internal(ln), Node::Internal(rn)) => {
+                ln.seps.push(sep);
+                ln.seps.extend(rn.seps);
+                ln.children.extend(rn.children);
+                ln.counts.extend(rn.counts);
+            }
+            _ => unreachable!("siblings are at the same level"),
+        }
+    }
+
+    fn shrink_root(&mut self) {
+        while let Node::Internal(n) = &mut self.root {
+            if n.children.len() == 1 {
+                self.root = n.children.pop().expect("one child present");
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Split `total` items into chunks near [`BULK_FILL`] such that every
+    /// chunk (when more than one) holds at least [`MIN_FANOUT`] items.
+    fn chunk_sizes(total: usize) -> Vec<usize> {
+        if total == 0 {
+            return Vec::new();
+        }
+        let mut k = total.div_ceil(BULK_FILL);
+        if k > 1 && total / k < MIN_FANOUT {
+            // Too few items for k half-full nodes; use fewer, fuller nodes.
+            k = (total / MIN_FANOUT).max(1);
+        }
+        let base = total / k;
+        let rem = total % k;
+        (0..k).map(|i| base + usize::from(i < rem)).collect()
+    }
+
+    /// Bulk-load from sorted entries, bottom-up near [`BULK_FILL`] fill.
+    fn bulk_load(sorted: Vec<Entry>) -> Node {
+        if sorted.is_empty() {
+            return Node::Leaf(Vec::new());
+        }
+        // Leaf level.
+        let sizes = Self::chunk_sizes(sorted.len());
+        let mut level: Vec<Node> = Vec::with_capacity(sizes.len());
+        let mut items = sorted.into_iter();
+        for s in sizes {
+            level.push(Node::Leaf(items.by_ref().take(s).collect()));
+        }
+        // Internal levels.
+        while level.len() > 1 {
+            let sizes = Self::chunk_sizes(level.len());
+            let mut next: Vec<Node> = Vec::with_capacity(sizes.len());
+            let mut nodes = level.into_iter();
+            for s in sizes {
+                let group: Vec<Node> = nodes.by_ref().take(s).collect();
+                let seps = group[1..].iter().map(Node::smallest).collect();
+                let counts = group.iter().map(Node::len).collect();
+                next.push(Node::Internal(Internal {
+                    seps,
+                    children: group,
+                    counts,
+                }));
+            }
+            level = next;
+        }
+        level.pop().expect("at least one node")
+    }
+
+    #[cfg(test)]
+    fn check_invariants(&self) {
+        fn walk(node: &Node, is_root: bool, lo: Option<&Entry>, hi: Option<&Entry>) -> usize {
+            match node {
+                Node::Leaf(v) => {
+                    if !is_root {
+                        assert!(v.len() >= MIN_FANOUT, "underfull leaf: {}", v.len());
+                    }
+                    assert!(v.len() <= MAX_FANOUT);
+                    for w in v.windows(2) {
+                        assert!(w[0].total_cmp(&w[1]) == Ordering::Less, "unsorted leaf");
+                    }
+                    if let (Some(lo), Some(first)) = (lo, v.first()) {
+                        assert!(lo.total_cmp(first) != Ordering::Greater, "lo bound violated");
+                    }
+                    if let (Some(hi), Some(last)) = (hi, v.last()) {
+                        assert!(last.total_cmp(hi) == Ordering::Less, "hi bound violated");
+                    }
+                    v.len()
+                }
+                Node::Internal(n) => {
+                    assert_eq!(n.children.len(), n.counts.len());
+                    assert_eq!(n.children.len(), n.seps.len() + 1);
+                    if !is_root {
+                        assert!(n.children.len() >= MIN_FANOUT, "underfull internal");
+                    }
+                    assert!(n.children.len() <= MAX_FANOUT);
+                    let mut total = 0;
+                    for (i, child) in n.children.iter().enumerate() {
+                        let clo = if i == 0 { lo } else { Some(&n.seps[i - 1]) };
+                        let chi = if i == n.seps.len() { hi } else { Some(&n.seps[i]) };
+                        let sz = walk(child, false, clo, chi);
+                        assert_eq!(sz, n.counts[i], "stale subtree count");
+                        total += sz;
+                    }
+                    // Separators may go *stale* after deletions (the entry
+                    // equal to a separator can be removed); they must still
+                    // partition: sep ≤ min of the right child. The strict
+                    // lo/hi range checks above already enforce the rest.
+                    for (i, s) in n.seps.iter().enumerate() {
+                        assert_ne!(
+                            s.total_cmp(&n.children[i + 1].smallest()),
+                            Ordering::Greater,
+                            "separator exceeds min of right child"
+                        );
+                    }
+                    total
+                }
+            }
+        }
+        let total = walk(&self.root, true, None, None);
+        assert_eq!(total, self.len, "tree len out of sync");
+    }
+}
+
+impl KeyStore for BPlusTree {
+    fn build(mut entries: Vec<Entry>) -> Self {
+        for e in &mut entries {
+            e.key = canon(e.key);
+        }
+        entries.sort_unstable_by(Entry::total_cmp);
+        let len = entries.len();
+        Self {
+            root: Self::bulk_load(entries),
+            len,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn rank_leq(&self, threshold: f64) -> usize {
+        // Entries with key ≤ t are exactly those strictly below
+        // (t, u32::MAX] — i.e. ≤ (t, u32::MAX) since ids are ≤ u32::MAX;
+        // count strictly-below (t, MAX) then add matches of (t, MAX) itself.
+        // Simpler: strictly below the successor bound (t, u32::MAX) counts
+        // every id < MAX; treat the (t, MAX) entry via rank_below on a bound
+        // just above. We avoid the edge by counting `< (next_up(t), 0)`.
+        let t = canon(threshold);
+        self.rank_below(&Entry {
+            key: next_up(t),
+            id: 0,
+        })
+    }
+
+    fn rank_lt(&self, threshold: f64) -> usize {
+        let t = canon(threshold);
+        self.rank_below(&Entry { key: t, id: 0 })
+    }
+
+    fn iter_asc(&self, from: usize, to: usize) -> impl Iterator<Item = Entry> + '_ {
+        let to = to.min(self.len);
+        let from = from.min(to);
+        AscIter::positioned(&self.root, from, to - from)
+    }
+
+    fn iter_desc(&self, below: usize) -> impl Iterator<Item = Entry> + '_ {
+        let below = below.min(self.len);
+        DescIter::positioned(&self.root, below)
+    }
+
+    fn insert(&mut self, e: Entry) {
+        let e = Entry::new(e.key, e.id);
+        if let Some((sep, right)) = Self::insert_rec(&mut self.root, e) {
+            let old_root = core::mem::replace(&mut self.root, Node::Leaf(Vec::new()));
+            let counts = vec![old_root.len(), right.len()];
+            self.root = Node::Internal(Internal {
+                seps: vec![sep],
+                children: vec![old_root, right],
+                counts,
+            });
+        }
+        self.len += 1;
+    }
+
+    fn remove(&mut self, e: Entry) -> bool {
+        let e = Entry::new(e.key, e.id);
+        let found = Self::remove_rec(&mut self.root, &e);
+        if found {
+            self.len -= 1;
+            self.shrink_root();
+        }
+        found
+    }
+}
+
+/// The next representable f64 above `x` (for finite `x`).
+fn next_up(x: f64) -> f64 {
+    // f64::next_up is stable since 1.86; implemented here for clarity and
+    // because we only need the finite case.
+    debug_assert!(x.is_finite());
+    let bits = x.to_bits();
+    let next = if x == 0.0 {
+        1 // smallest positive subnormal
+    } else if bits >> 63 == 0 {
+        bits + 1
+    } else {
+        bits - 1
+    };
+    f64::from_bits(next)
+}
+
+struct AscIter<'a> {
+    stack: Vec<(&'a Internal, usize)>,
+    leaf: &'a [Entry],
+    leaf_idx: usize,
+    remaining: usize,
+}
+
+impl<'a> AscIter<'a> {
+    fn positioned(root: &'a Node, mut rank: usize, remaining: usize) -> Self {
+        let mut stack = Vec::new();
+        let mut node = root;
+        loop {
+            match node {
+                Node::Leaf(v) => {
+                    return Self {
+                        stack,
+                        leaf: v,
+                        leaf_idx: rank,
+                        remaining,
+                    };
+                }
+                Node::Internal(n) => {
+                    let mut j = 0;
+                    while j + 1 < n.counts.len() && rank >= n.counts[j] {
+                        rank -= n.counts[j];
+                        j += 1;
+                    }
+                    stack.push((n, j));
+                    node = &n.children[j];
+                }
+            }
+        }
+    }
+
+    fn descend_leftmost(&mut self, mut node: &'a Node) {
+        loop {
+            match node {
+                Node::Leaf(v) => {
+                    self.leaf = v;
+                    self.leaf_idx = 0;
+                    return;
+                }
+                Node::Internal(n) => {
+                    self.stack.push((n, 0));
+                    node = &n.children[0];
+                }
+            }
+        }
+    }
+}
+
+impl<'a> Iterator for AscIter<'a> {
+    type Item = Entry;
+
+    fn next(&mut self) -> Option<Entry> {
+        if self.remaining == 0 {
+            return None;
+        }
+        while self.leaf_idx >= self.leaf.len() {
+            // Climb until some ancestor has a next child, then descend.
+            let next_child: Option<&'a Node> = {
+                let top = self.stack.last_mut()?;
+                let parent: &'a Internal = top.0;
+                if top.1 + 1 < parent.children.len() {
+                    top.1 += 1;
+                    Some(&parent.children[top.1])
+                } else {
+                    None
+                }
+            };
+            match next_child {
+                Some(child) => self.descend_leftmost(child),
+                None => {
+                    self.stack.pop();
+                }
+            }
+        }
+        let e = self.leaf[self.leaf_idx];
+        self.leaf_idx += 1;
+        self.remaining -= 1;
+        Some(e)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+struct DescIter<'a> {
+    stack: Vec<(&'a Internal, usize)>,
+    leaf: &'a [Entry],
+    /// Next position to yield is `leaf_pos - 1`; 0 means leaf exhausted.
+    leaf_pos: usize,
+    remaining: usize,
+}
+
+impl<'a> DescIter<'a> {
+    fn positioned(root: &'a Node, below: usize) -> Self {
+        if below == 0 {
+            return Self {
+                stack: Vec::new(),
+                leaf: &[],
+                leaf_pos: 0,
+                remaining: 0,
+            };
+        }
+        // Position on rank `below - 1` and yield downward.
+        let mut rank = below - 1;
+        let mut stack = Vec::new();
+        let mut node = root;
+        loop {
+            match node {
+                Node::Leaf(v) => {
+                    return Self {
+                        stack,
+                        leaf: v,
+                        leaf_pos: rank + 1,
+                        remaining: below,
+                    };
+                }
+                Node::Internal(n) => {
+                    let mut j = 0;
+                    while j + 1 < n.counts.len() && rank >= n.counts[j] {
+                        rank -= n.counts[j];
+                        j += 1;
+                    }
+                    stack.push((n, j));
+                    node = &n.children[j];
+                }
+            }
+        }
+    }
+
+    fn descend_rightmost(&mut self, mut node: &'a Node) {
+        loop {
+            match node {
+                Node::Leaf(v) => {
+                    self.leaf = v;
+                    self.leaf_pos = v.len();
+                    return;
+                }
+                Node::Internal(n) => {
+                    self.stack.push((n, n.children.len() - 1));
+                    node = &n.children[n.children.len() - 1];
+                }
+            }
+        }
+    }
+}
+
+impl<'a> Iterator for DescIter<'a> {
+    type Item = Entry;
+
+    fn next(&mut self) -> Option<Entry> {
+        if self.remaining == 0 {
+            return None;
+        }
+        while self.leaf_pos == 0 {
+            let prev_child: Option<&'a Node> = {
+                let top = self.stack.last_mut()?;
+                let parent: &'a Internal = top.0;
+                if top.1 > 0 {
+                    top.1 -= 1;
+                    Some(&parent.children[top.1])
+                } else {
+                    None
+                }
+            };
+            match prev_child {
+                Some(child) => self.descend_rightmost(child),
+                None => {
+                    self.stack.pop();
+                }
+            }
+        }
+        self.leaf_pos -= 1;
+        self.remaining -= 1;
+        Some(self.leaf[self.leaf_pos])
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl HeapSize for BPlusTree {
+    fn heap_size(&self) -> usize {
+        fn node_heap(node: &Node) -> usize {
+            match node {
+                Node::Leaf(v) => v.capacity() * core::mem::size_of::<Entry>(),
+                Node::Internal(n) => {
+                    n.seps.capacity() * core::mem::size_of::<Entry>()
+                        + n.counts.capacity() * core::mem::size_of::<usize>()
+                        + n.children.capacity() * core::mem::size_of::<Node>()
+                        + n.children.iter().map(node_heap).sum::<usize>()
+                }
+            }
+        }
+        node_heap(&self.root)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::test_support::conformance;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn bptree_conformance() {
+        conformance::<BPlusTree>();
+    }
+
+    #[test]
+    fn bulk_load_respects_invariants() {
+        for n in [0usize, 1, 5, 31, 32, 33, 100, 1000, 10_000] {
+            let t = BPlusTree::build((0..n as u32).map(|i| Entry::new(i as f64, i)).collect());
+            t.check_invariants();
+            assert_eq!(t.len(), n);
+        }
+    }
+
+    #[test]
+    fn height_is_logarithmic() {
+        let t = BPlusTree::build((0..100_000u32).map(|i| Entry::new(i as f64, i)).collect());
+        // fill 24 per leaf → ~4167 leaves → ≤ 3 internal levels.
+        assert!(t.height() <= 4, "height {}", t.height());
+    }
+
+    #[test]
+    fn random_ops_maintain_invariants() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut t = BPlusTree::build(vec![]);
+        let mut model: Vec<Entry> = Vec::new();
+        for step in 0..4000u32 {
+            if model.is_empty() || rng.random_bool(0.6) {
+                let e = Entry::new(rng.random_range(0..500) as f64, step);
+                t.insert(e);
+                model.push(e);
+            } else {
+                let pos = rng.random_range(0..model.len());
+                let e = model.swap_remove(pos);
+                assert!(t.remove(e));
+            }
+            if step % 500 == 0 {
+                t.check_invariants();
+            }
+        }
+        t.check_invariants();
+        model.sort_by(Entry::total_cmp);
+        let got: Vec<Entry> = t.iter_asc(0, t.len()).collect();
+        assert_eq!(got, model);
+        let mut desc: Vec<Entry> = t.iter_desc(t.len()).collect();
+        desc.reverse();
+        assert_eq!(desc, model);
+    }
+
+    #[test]
+    fn drain_to_empty_and_refill() {
+        let entries: Vec<Entry> = (0..300u32).map(|i| Entry::new(i as f64, i)).collect();
+        let mut t = BPlusTree::build(entries.clone());
+        for e in &entries {
+            assert!(t.remove(*e));
+        }
+        t.check_invariants();
+        assert_eq!(t.len(), 0);
+        assert!(t.is_empty());
+        for e in &entries {
+            t.insert(*e);
+        }
+        t.check_invariants();
+        assert_eq!(t.len(), 300);
+        assert_eq!(t.iter_asc(0, 300).count(), 300);
+    }
+
+    #[test]
+    fn rank_mid_key_gap() {
+        // keys 0, 2, 4, ... — thresholds falling in gaps.
+        let t = BPlusTree::build((0..100u32).map(|i| Entry::new(2.0 * i as f64, i)).collect());
+        assert_eq!(t.rank_leq(3.0), 2);
+        assert_eq!(t.rank_lt(4.0), 2);
+        assert_eq!(t.rank_leq(4.0), 3);
+        assert_eq!(t.rank_leq(-1.0), 0);
+        assert_eq!(t.rank_leq(1e9), 100);
+    }
+
+    #[test]
+    fn next_up_behaves() {
+        assert!(next_up(0.0) > 0.0);
+        assert!(next_up(1.0) > 1.0);
+        assert!(next_up(-1.0) > -1.0);
+        assert_eq!(next_up(1.0), f64::from_bits(1.0f64.to_bits() + 1));
+    }
+
+    #[test]
+    fn heap_size_grows_with_content() {
+        let small = BPlusTree::build((0..10u32).map(|i| Entry::new(i as f64, i)).collect());
+        let big = BPlusTree::build((0..10_000u32).map(|i| Entry::new(i as f64, i)).collect());
+        assert!(big.heap_size() > small.heap_size() * 100);
+    }
+}

@@ -1,0 +1,243 @@
+//! A [`KeyStore`] with an Eytzinger-layout search accelerator.
+//!
+//! The Planar index's query hot path is two rank queries (binary searches)
+//! per index per query. A classical binary search over a large sorted array
+//! takes one hard-to-predict cache miss per probe; laying the probe
+//! sequence out in BFS (Eytzinger) order makes successive probes land in
+//! predictable, prefetchable locations — the standard static-search-layout
+//! trick from the cache-efficient-search literature.
+//!
+//! `EytzingerStore` keeps the plain sorted entry array (for range scans,
+//! exactly like [`super::VecStore`]) plus a BFS-ordered copy of the keys
+//! used only to answer rank queries. Point mutations rebuild the
+//! accelerator (O(n)) — the same asymptotic cost as the underlying sorted
+//! `Vec` mutation, so this store targets the paper's read-heavy main
+//! evaluation; use [`super::BPlusTree`] for update-heavy workloads.
+
+use super::{canon, Entry, KeyStore};
+use crate::memory::HeapSize;
+
+/// Sorted entries + Eytzinger key accelerator.
+#[derive(Debug, Clone, Default)]
+pub struct EytzingerStore {
+    entries: Vec<Entry>,
+    /// Keys in BFS order; `bfs[0]` is the root. 1-based navigation uses
+    /// index arithmetic `2i+1 / 2i+2` on this 0-based vector.
+    bfs: Vec<f64>,
+}
+
+impl EytzingerStore {
+    fn rebuild_bfs(&mut self) {
+        self.bfs.clear();
+        self.bfs.resize(self.entries.len(), 0.0);
+        // In-order walk of the implicit BFS tree assigns sorted keys.
+        fn fill(entries: &[Entry], bfs: &mut [f64], node: usize, next: &mut usize) {
+            if node >= bfs.len() {
+                return;
+            }
+            fill(entries, bfs, 2 * node + 1, next);
+            bfs[node] = entries[*next].key;
+            *next += 1;
+            fill(entries, bfs, 2 * node + 2, next);
+        }
+        let mut next = 0;
+        let entries = std::mem::take(&mut self.entries);
+        fill(&entries, &mut self.bfs, 0, &mut next);
+        self.entries = entries;
+    }
+
+    /// Number of keys strictly less than `t` (when `or_equal` is false) or
+    /// less-or-equal (when true), via branch-light Eytzinger descent.
+    fn bfs_rank(&self, t: f64, or_equal: bool) -> usize {
+        // Descend the implicit tree; track how many keys are known ≤/< t.
+        // Classic trick: walk to a leaf, counting via the final position.
+        let n = self.bfs.len();
+        let mut i = 0usize;
+        while i < n {
+            let key = self.bfs[i];
+            let go_right = if or_equal { key <= t } else { key < t };
+            i = 2 * i + 1 + usize::from(go_right);
+        }
+        // The 1-based path word `k = i+1` records the turns taken (0 = left,
+        // 1 = right). The answer — the first element on the "wrong" side of
+        // `t` — is the node where the *last left turn* was taken: strip the
+        // trailing right-turns and that final left bit (the classic
+        // `k >>= ffs(~k)` of Eytzinger lower-bound).
+        let k = i + 1;
+        let j = k >> (k.trailing_ones() + 1);
+        if j == 0 {
+            // No left turn was ever taken: every probed key was on the
+            // ≤/< side, so all n keys rank below the threshold.
+            n
+        } else {
+            // j is the 1-based BFS index of the boundary node; its in-order
+            // rank equals the count of keys before it.
+            self.inorder_rank(j - 1)
+        }
+    }
+
+    /// The in-order rank of BFS node `node` (0-based): number of keys
+    /// strictly before it in sorted order.
+    fn inorder_rank(&self, node: usize) -> usize {
+        // Rank = size of left subtree + (for each ancestor where we are in
+        // the right subtree, size of the ancestor's left subtree + 1).
+        // Computing subtree sizes of an implicit complete-ish tree is
+        // O(log²n); cheap next to the search itself.
+        let n = self.bfs.len();
+        let mut rank = subtree_size(n, 2 * node + 1);
+        let mut current = node;
+        while current > 0 {
+            let parent = (current - 1) / 2;
+            if 2 * parent + 2 == current {
+                rank += subtree_size(n, 2 * parent + 1) + 1;
+            }
+            current = parent;
+        }
+        rank
+    }
+}
+
+/// Size of the subtree rooted at `node` in an implicit tree of `n` nodes.
+fn subtree_size(n: usize, node: usize) -> usize {
+    if node >= n {
+        return 0;
+    }
+    // The implicit tree is complete: count full levels then the partial one.
+    let mut size = 0usize;
+    let mut first = node;
+    let mut width = 1usize;
+    loop {
+        if first >= n {
+            break;
+        }
+        let last = (first + width - 1).min(n - 1);
+        size += last - first + 1;
+        first = 2 * first + 1;
+        width *= 2;
+    }
+    size
+}
+
+impl KeyStore for EytzingerStore {
+    fn build(mut entries: Vec<Entry>) -> Self {
+        for e in &mut entries {
+            e.key = canon(e.key);
+        }
+        entries.sort_unstable_by(Entry::total_cmp);
+        let mut s = Self {
+            entries,
+            bfs: Vec::new(),
+        };
+        s.rebuild_bfs();
+        s
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    #[inline]
+    fn rank_leq(&self, threshold: f64) -> usize {
+        self.bfs_rank(canon(threshold), true)
+    }
+
+    #[inline]
+    fn rank_lt(&self, threshold: f64) -> usize {
+        self.bfs_rank(canon(threshold), false)
+    }
+
+    fn iter_asc(&self, from: usize, to: usize) -> impl Iterator<Item = Entry> + '_ {
+        let to = to.min(self.entries.len());
+        let from = from.min(to);
+        self.entries[from..to].iter().copied()
+    }
+
+    fn iter_desc(&self, below: usize) -> impl Iterator<Item = Entry> + '_ {
+        let below = below.min(self.entries.len());
+        self.entries[..below].iter().rev().copied()
+    }
+
+    fn insert(&mut self, e: Entry) {
+        let e = Entry::new(e.key, e.id);
+        let pos = self
+            .entries
+            .partition_point(|x| x.total_cmp(&e) == core::cmp::Ordering::Less);
+        self.entries.insert(pos, e);
+        self.rebuild_bfs();
+    }
+
+    fn remove(&mut self, e: Entry) -> bool {
+        let e = Entry::new(e.key, e.id);
+        let pos = self
+            .entries
+            .partition_point(|x| x.total_cmp(&e) == core::cmp::Ordering::Less);
+        if pos < self.entries.len() && self.entries[pos] == e {
+            self.entries.remove(pos);
+            self.rebuild_bfs();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn min_key(&self) -> Option<f64> {
+        self.entries.first().map(|e| e.key)
+    }
+
+    fn max_key(&self) -> Option<f64> {
+        self.entries.last().map(|e| e.key)
+    }
+}
+
+impl HeapSize for EytzingerStore {
+    fn heap_size(&self) -> usize {
+        self.entries.capacity() * core::mem::size_of::<Entry>()
+            + self.bfs.capacity() * core::mem::size_of::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::test_support::conformance;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn eytzinger_conformance() {
+        conformance::<EytzingerStore>();
+    }
+
+    #[test]
+    fn ranks_agree_with_vec_store_on_random_data() {
+        use crate::store::VecStore;
+        let mut rng = StdRng::seed_from_u64(17);
+        for n in [0usize, 1, 2, 3, 7, 8, 9, 100, 1023, 1024, 1025] {
+            let entries: Vec<Entry> = (0..n as u32)
+                .map(|i| Entry::new((rng.random_range(0..200) as f64) * 0.5, i))
+                .collect();
+            let ey = EytzingerStore::build(entries.clone());
+            let vs = VecStore::build(entries);
+            for t in 0..60 {
+                let t = t as f64 * 1.7 - 2.0;
+                assert_eq!(ey.rank_leq(t), vs.rank_leq(t), "n={n} leq t={t}");
+                assert_eq!(ey.rank_lt(t), vs.rank_lt(t), "n={n} lt t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn subtree_size_complete_tree() {
+        // n = 7: perfect tree, every subtree size is known.
+        assert_eq!(subtree_size(7, 0), 7);
+        assert_eq!(subtree_size(7, 1), 3);
+        assert_eq!(subtree_size(7, 2), 3);
+        assert_eq!(subtree_size(7, 3), 1);
+        assert_eq!(subtree_size(7, 7), 0);
+        // n = 5: last level partial.
+        assert_eq!(subtree_size(5, 0), 5);
+        assert_eq!(subtree_size(5, 1), 3);
+        assert_eq!(subtree_size(5, 2), 1);
+    }
+}

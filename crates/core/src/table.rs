@@ -1,0 +1,269 @@
+//! Flat, row-major storage for the feature images `φ(x)` of all data points.
+//!
+//! The Planar index never needs the original points `x` — only their images
+//! under the application-specific feature map `φ` (and applications usually
+//! keep `x` themselves). `FeatureTable` therefore stores exactly the `n × d'`
+//! matrix of feature values, contiguously, so that sequential verification
+//! scans are cache-friendly and the memory accounting of Fig. 13b is exact.
+
+use crate::memory::HeapSize;
+use crate::{PlanarError, Result};
+
+/// Identifier of a data point: its row position in the [`FeatureTable`].
+pub type PointId = u32;
+
+/// An `n × d'` row-major table of feature values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureTable {
+    dim: usize,
+    data: Vec<f64>,
+}
+
+impl FeatureTable {
+    /// An empty table for `dim`-dimensional features.
+    ///
+    /// # Errors
+    ///
+    /// [`PlanarError::DimensionMismatch`] if `dim == 0`.
+    pub fn new(dim: usize) -> Result<Self> {
+        if dim == 0 {
+            return Err(PlanarError::DimensionMismatch {
+                expected: 1,
+                found: 0,
+            });
+        }
+        Ok(Self {
+            dim,
+            data: Vec::new(),
+        })
+    }
+
+    /// An empty table with room for `capacity` rows.
+    ///
+    /// # Errors
+    ///
+    /// [`PlanarError::DimensionMismatch`] if `dim == 0`.
+    pub fn with_capacity(dim: usize, capacity: usize) -> Result<Self> {
+        let mut t = Self::new(dim)?;
+        t.data.reserve(capacity * dim);
+        Ok(t)
+    }
+
+    /// Build a table from explicit rows.
+    ///
+    /// # Errors
+    ///
+    /// [`PlanarError::DimensionMismatch`] on ragged input or `dim == 0`,
+    /// [`PlanarError::NotFinite`] on NaN/∞ values.
+    pub fn from_rows(dim: usize, rows: impl IntoIterator<Item = Vec<f64>>) -> Result<Self> {
+        let mut t = Self::new(dim)?;
+        for row in rows {
+            t.push_row(&row)?;
+        }
+        Ok(t)
+    }
+
+    /// Append a row, returning its [`PointId`].
+    ///
+    /// # Errors
+    ///
+    /// [`PlanarError::DimensionMismatch`] on wrong arity,
+    /// [`PlanarError::NotFinite`] on NaN/∞ values.
+    pub fn push_row(&mut self, row: &[f64]) -> Result<PointId> {
+        self.validate(row)?;
+        let id = self.len() as PointId;
+        self.data.extend_from_slice(row);
+        Ok(id)
+    }
+
+    /// Replace the row of point `id` in place.
+    ///
+    /// # Errors
+    ///
+    /// [`PlanarError::PointNotFound`] for an out-of-range id, plus the
+    /// validation errors of [`Self::push_row`].
+    pub fn update_row(&mut self, id: PointId, row: &[f64]) -> Result<()> {
+        self.validate(row)?;
+        let start = self.offset_of(id)?;
+        self.data[start..start + self.dim].copy_from_slice(row);
+        Ok(())
+    }
+
+    /// The feature row of point `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range — table rows are never removed, so an
+    /// out-of-range id is a logic error in the caller.
+    #[inline]
+    pub fn row(&self, id: PointId) -> &[f64] {
+        let start = id as usize * self.dim;
+        &self.data[start..start + self.dim]
+    }
+
+    /// Fallible row access.
+    ///
+    /// # Errors
+    ///
+    /// [`PlanarError::PointNotFound`] for an out-of-range id.
+    pub fn try_row(&self, id: PointId) -> Result<&[f64]> {
+        let start = self.offset_of(id)?;
+        Ok(&self.data[start..start + self.dim])
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len() / self.dim
+    }
+
+    /// True when the table holds no rows.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Feature dimensionality `d'`.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Iterate over `(id, row)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (PointId, &[f64])> {
+        self.data
+            .chunks_exact(self.dim)
+            .enumerate()
+            .map(|(i, r)| (i as PointId, r))
+    }
+
+    /// Per-dimension maxima — `max(i)` in the paper's Eq. 18 query template.
+    ///
+    /// Returns an empty vector for an empty table.
+    pub fn max_per_dim(&self) -> Vec<f64> {
+        self.fold_per_dim(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Per-dimension minima.
+    pub fn min_per_dim(&self) -> Vec<f64> {
+        self.fold_per_dim(f64::INFINITY, f64::min)
+    }
+
+    fn fold_per_dim(&self, init: f64, f: impl Fn(f64, f64) -> f64) -> Vec<f64> {
+        if self.is_empty() {
+            return Vec::new();
+        }
+        let mut acc = vec![init; self.dim];
+        for row in self.data.chunks_exact(self.dim) {
+            for (a, &v) in acc.iter_mut().zip(row) {
+                *a = f(*a, v);
+            }
+        }
+        acc
+    }
+
+    fn validate(&self, row: &[f64]) -> Result<()> {
+        if row.len() != self.dim {
+            return Err(PlanarError::DimensionMismatch {
+                expected: self.dim,
+                found: row.len(),
+            });
+        }
+        if row.iter().any(|v| !v.is_finite()) {
+            return Err(PlanarError::NotFinite);
+        }
+        Ok(())
+    }
+
+    fn offset_of(&self, id: PointId) -> Result<usize> {
+        let start = id as usize * self.dim;
+        if start + self.dim > self.data.len() {
+            return Err(PlanarError::PointNotFound(id));
+        }
+        Ok(start)
+    }
+}
+
+impl HeapSize for FeatureTable {
+    fn heap_size(&self) -> usize {
+        self.data.heap_size()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table3x2() -> FeatureTable {
+        FeatureTable::from_rows(2, vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 0.5]]).unwrap()
+    }
+
+    #[test]
+    fn construction_and_access() {
+        let t = table3x2();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.dim(), 2);
+        assert!(!t.is_empty());
+        assert_eq!(t.row(1), &[3.0, 4.0]);
+        assert_eq!(t.try_row(2).unwrap(), &[5.0, 0.5]);
+        assert_eq!(t.try_row(3), Err(PlanarError::PointNotFound(3)));
+    }
+
+    #[test]
+    fn zero_dim_rejected() {
+        assert!(FeatureTable::new(0).is_err());
+    }
+
+    #[test]
+    fn ragged_and_nonfinite_rows_rejected() {
+        let mut t = FeatureTable::new(2).unwrap();
+        assert_eq!(
+            t.push_row(&[1.0]),
+            Err(PlanarError::DimensionMismatch {
+                expected: 2,
+                found: 1
+            })
+        );
+        assert_eq!(t.push_row(&[1.0, f64::NAN]), Err(PlanarError::NotFinite));
+        assert_eq!(
+            t.push_row(&[1.0, f64::INFINITY]),
+            Err(PlanarError::NotFinite)
+        );
+        assert_eq!(t.push_row(&[1.0, 2.0]), Ok(0));
+        assert_eq!(t.push_row(&[3.0, 4.0]), Ok(1));
+    }
+
+    #[test]
+    fn update_row_in_place() {
+        let mut t = table3x2();
+        t.update_row(1, &[9.0, 9.5]).unwrap();
+        assert_eq!(t.row(1), &[9.0, 9.5]);
+        assert_eq!(
+            t.update_row(7, &[0.0, 0.0]),
+            Err(PlanarError::PointNotFound(7))
+        );
+    }
+
+    #[test]
+    fn per_dim_extremes() {
+        let t = table3x2();
+        assert_eq!(t.max_per_dim(), vec![5.0, 4.0]);
+        assert_eq!(t.min_per_dim(), vec![1.0, 0.5]);
+        assert!(FeatureTable::new(3).unwrap().max_per_dim().is_empty());
+    }
+
+    #[test]
+    fn iter_yields_ids_in_order() {
+        let t = table3x2();
+        let ids: Vec<u32> = t.iter().map(|(id, _)| id).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+        let (_, row) = t.iter().nth(2).unwrap();
+        assert_eq!(row, &[5.0, 0.5]);
+    }
+
+    #[test]
+    fn heap_size_tracks_data() {
+        let t = table3x2();
+        assert!(t.heap_size() >= 6 * 8);
+    }
+}

@@ -1,0 +1,131 @@
+//! Property tests for the extension modules: conjunction (linear
+//! constraint) queries, the axis-reduction router, and the adaptive set —
+//! all must preserve the core contract: answers ≡ brute force.
+
+use planar_core::{
+    AdaptiveConfig, AdaptivePlanarIndexSet, AxisReductionRouter, Cmp, ConjunctionQuery,
+    FeatureTable, IndexConfig, InequalityQuery, ParameterDomain, PlanarIndexSet, VecStore,
+};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct Scenario {
+    dim: usize,
+    rows: Vec<Vec<f64>>,
+    constraints: Vec<(Vec<f64>, f64, bool)>, // (a, b, leq)
+}
+
+fn scenario() -> impl Strategy<Value = Scenario> {
+    (2..=4usize)
+        .prop_flat_map(|dim| {
+            (
+                Just(dim),
+                prop::collection::vec(prop::collection::vec(0.0..100.0_f64, dim), 5..80),
+                prop::collection::vec(
+                    (
+                        prop::collection::vec(0.1..5.0_f64, dim),
+                        -50.0..400.0_f64,
+                        any::<bool>(),
+                    ),
+                    1..5,
+                ),
+            )
+        })
+        .prop_map(|(dim, rows, constraints)| Scenario {
+            dim,
+            rows,
+            constraints,
+        })
+}
+
+fn build_set(s: &Scenario) -> PlanarIndexSet<VecStore> {
+    let table = FeatureTable::from_rows(s.dim, s.rows.clone()).unwrap();
+    let domain = ParameterDomain::uniform_continuous(s.dim, 0.1, 5.0).unwrap();
+    PlanarIndexSet::build(table, domain, IndexConfig::with_budget(5)).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Conjunctions of arbitrary constraints answer exactly like brute
+    /// force over the table.
+    #[test]
+    fn conjunction_equals_brute_force(s in scenario()) {
+        let set = build_set(&s);
+        let constraints: Vec<InequalityQuery> = s
+            .constraints
+            .iter()
+            .map(|(a, b, leq)| {
+                InequalityQuery::new(a.clone(), if *leq { Cmp::Leq } else { Cmp::Geq }, *b).unwrap()
+            })
+            .collect();
+        let q = ConjunctionQuery::new(constraints).unwrap();
+        let got = set.query_conjunction(&q).unwrap();
+        let want: Vec<u32> = set
+            .table()
+            .iter()
+            .filter(|(_, row)| q.satisfies(row))
+            .map(|(id, _)| id)
+            .collect();
+        prop_assert_eq!(got.sorted_ids(), want);
+        // Stats partition the dataset.
+        let st = &got.stats;
+        prop_assert_eq!(st.smaller + st.intermediate + st.larger, st.n);
+    }
+
+    /// Zeroing out arbitrary coefficient subsets and routing through the
+    /// axis-reduction cache stays exact.
+    #[test]
+    fn router_is_exact_for_any_zero_pattern(
+        s in scenario(),
+        zero_mask in prop::collection::vec(any::<bool>(), 4),
+    ) {
+        let set = build_set(&s);
+        let mut router = AxisReductionRouter::new(set, IndexConfig::with_budget(4)).unwrap();
+        for (a, b, leq) in &s.constraints {
+            let mut masked = a.clone();
+            for (i, v) in masked.iter_mut().enumerate() {
+                if zero_mask[i % zero_mask.len()] {
+                    *v = 0.0;
+                }
+            }
+            let q = InequalityQuery::new(masked, if *leq { Cmp::Leq } else { Cmp::Geq }, *b)
+                .unwrap();
+            let got = router.query(&q).unwrap();
+            let want: Vec<u32> = router
+                .base()
+                .table()
+                .iter()
+                .filter(|(_, row)| q.satisfies(row))
+                .map(|(id, _)| id)
+                .collect();
+            prop_assert_eq!(got.sorted_ids(), want);
+        }
+    }
+
+    /// The adaptive wrapper never changes answers, whatever it decides to
+    /// do about rebuilding.
+    #[test]
+    fn adaptive_preserves_exactness(s in scenario()) {
+        let table = FeatureTable::from_rows(s.dim, s.rows.clone()).unwrap();
+        let domain = ParameterDomain::uniform_continuous(s.dim, 0.1, 5.0).unwrap();
+        let mut adaptive: AdaptivePlanarIndexSet = AdaptivePlanarIndexSet::build(
+            table,
+            domain,
+            AdaptiveConfig {
+                cooldown: 2,
+                min_queries: 2,
+                pruning_threshold: 1.1, // always willing to rebuild
+                ..AdaptiveConfig::with_budget(4)
+            },
+        )
+        .unwrap();
+        for (a, b, leq) in &s.constraints {
+            let q = InequalityQuery::new(a.clone(), if *leq { Cmp::Leq } else { Cmp::Geq }, *b)
+                .unwrap();
+            let got = adaptive.query(&q).unwrap().sorted_ids();
+            let want = adaptive.inner().query_scan(&q).unwrap().sorted_ids();
+            prop_assert_eq!(got, want);
+        }
+    }
+}

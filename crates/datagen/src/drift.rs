@@ -1,0 +1,171 @@
+//! Drifting query workloads (paper §4.1/§8: domains learned from past
+//! queries and updated over time).
+//!
+//! The generator emits a stream of inequality queries whose coefficient
+//! distribution slides through the parameter space — the scenario in which
+//! static index normals decay and the adaptive retuning of
+//! `planar_core::AdaptivePlanarIndexSet` earns its keep.
+
+use planar_core::{Cmp, FeatureTable, InequalityQuery};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A query stream whose coefficient center drifts linearly from a start to
+/// an end direction over `duration` queries, with multiplicative jitter.
+#[derive(Debug, Clone)]
+pub struct DriftingWorkload {
+    start: Vec<f64>,
+    end: Vec<f64>,
+    duration: usize,
+    emitted: usize,
+    jitter: f64,
+    selectivity: f64,
+    maxima: Vec<f64>,
+    rng: StdRng,
+}
+
+impl DriftingWorkload {
+    /// Drift from coefficient center `start` to `end` over `duration`
+    /// queries against `table` (its per-dimension maxima size the offsets,
+    /// as in the paper's Eq. 18). `jitter` is the relative spread around
+    /// the drifting center (e.g. 0.05 = ±5 %).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start`/`end` dimensionality differs from the table's.
+    pub fn new(
+        table: &FeatureTable,
+        start: Vec<f64>,
+        end: Vec<f64>,
+        duration: usize,
+        jitter: f64,
+        seed: u64,
+    ) -> Self {
+        assert_eq!(start.len(), table.dim(), "start center dimensionality");
+        assert_eq!(end.len(), table.dim(), "end center dimensionality");
+        Self {
+            start,
+            end,
+            duration: duration.max(1),
+            emitted: 0,
+            jitter: jitter.abs(),
+            selectivity: 0.25,
+            maxima: table.max_per_dim(),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Override the Eq. 18 inequality parameter (default 0.25).
+    #[must_use]
+    pub fn with_selectivity(mut self, s: f64) -> Self {
+        self.selectivity = s;
+        self
+    }
+
+    /// Progress of the drift in `[0, 1]`.
+    pub fn progress(&self) -> f64 {
+        (self.emitted as f64 / self.duration as f64).min(1.0)
+    }
+
+    /// The current (drifted) coefficient center.
+    pub fn center(&self) -> Vec<f64> {
+        let t = self.progress();
+        self.start
+            .iter()
+            .zip(&self.end)
+            .map(|(s, e)| s + t * (e - s))
+            .collect()
+    }
+
+    /// Emit the next query.
+    pub fn next_query(&mut self) -> InequalityQuery {
+        let center = self.center();
+        self.emitted += 1;
+        let a: Vec<f64> = center
+            .iter()
+            .map(|c| {
+                let f = 1.0 + self.jitter * (2.0 * self.rng.random::<f64>() - 1.0);
+                (c * f).max(f64::MIN_POSITIVE)
+            })
+            .collect();
+        let b = self.selectivity
+            * a.iter()
+                .zip(&self.maxima)
+                .map(|(ai, mi)| ai * mi)
+                .sum::<f64>();
+        InequalityQuery::new(a, Cmp::Leq, b).expect("drift centers are positive finite")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::{SyntheticConfig, SyntheticKind};
+
+    fn table() -> FeatureTable {
+        SyntheticConfig::paper(SyntheticKind::Independent, 500, 3).generate()
+    }
+
+    #[test]
+    fn drift_moves_from_start_to_end() {
+        let t = table();
+        let mut w = DriftingWorkload::new(
+            &t,
+            vec![1.0, 1.0, 1.0],
+            vec![10.0, 1.0, 1.0],
+            100,
+            0.0,
+            7,
+        );
+        let first = w.next_query();
+        assert!((first.a()[0] - 1.0).abs() < 0.1, "{:?}", first.a());
+        for _ in 0..150 {
+            w.next_query();
+        }
+        assert_eq!(w.progress(), 1.0);
+        let last = w.next_query();
+        assert!((last.a()[0] - 10.0).abs() < 0.1, "{:?}", last.a());
+        // Non-drifting axes stay put.
+        assert!((last.a()[1] - 1.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn jitter_spreads_but_respects_center() {
+        let t = table();
+        let mut w = DriftingWorkload::new(
+            &t,
+            vec![5.0, 5.0, 5.0],
+            vec![5.0, 5.0, 5.0],
+            10,
+            0.1,
+            9,
+        );
+        let mut distinct = std::collections::HashSet::new();
+        for _ in 0..50 {
+            let q = w.next_query();
+            for &a in q.a() {
+                assert!((4.4..=5.6).contains(&a), "coefficient {a}");
+                distinct.insert(a.to_bits());
+            }
+        }
+        assert!(distinct.len() > 10, "jitter must vary coefficients");
+    }
+
+    #[test]
+    fn offsets_follow_eq18() {
+        let t = table();
+        let maxima = t.max_per_dim();
+        let mut w = DriftingWorkload::new(
+            &t,
+            vec![2.0, 2.0, 2.0],
+            vec![2.0, 2.0, 2.0],
+            10,
+            0.0,
+            3,
+        )
+        .with_selectivity(0.5);
+        let q = w.next_query();
+        let expect = 0.5 * q.a().iter().zip(&maxima).map(|(a, m)| a * m).sum::<f64>();
+        assert!((q.b() - expect).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,92 @@
+//! # planar-datagen
+//!
+//! Dataset and query-workload generators reproducing the experimental setup
+//! of the Planar-index paper (§7.1, Table 2).
+//!
+//! ## Datasets
+//!
+//! | name | kind | n (paper) | dims | attribute range |
+//! |---|---|---|---|---|
+//! | `Indp` | synthetic, independent | 1,000,000 | 2–14 | (1, 100) |
+//! | `Corr` | synthetic, correlated | 1,000,000 | 2–14 | (1, 100) |
+//! | `Anti` | synthetic, anti-correlated | 1,000,000 | 2–14 | (1, 100) |
+//! | `CMoment` | simulated Corel color moments | 68,040 | 9 | (−4.15, 4.59) |
+//! | `CTexture` | simulated Corel co-occurrence texture | 68,040 | 16 | (−5.25, 50.21) |
+//! | `Consumption` | simulated household electric power | 2,075,259 | 4 | see [`consumption`] |
+//!
+//! The three synthetic families follow the skyline-operator generator of
+//! Börzsönyi et al. that the paper cites \[4\]. The "real" datasets are
+//! *simulated*: we cannot ship the Corel/UCI files, so we generate tables
+//! with the same cardinality, dimensionality, attribute ranges, and the
+//! distributional features that drive index behaviour (sign structure,
+//! skew, inter-attribute coupling). See `DESIGN.md` §4 for the substitution
+//! rationale.
+//!
+//! ## Query workloads
+//!
+//! [`queries::Eq18Generator`] produces the paper's generalized scalar
+//! product query (Eq. 18): `Σ aᵢxᵢ ≤ s·(Σ aᵢ·max(i))` with each `aᵢ` drawn
+//! from the discrete domain `{1, …, RQ}` and `s` the *inequality parameter*
+//! (0.25 by default; swept in Fig. 11).
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod consumption;
+pub mod drift;
+pub mod image;
+pub mod queries;
+pub mod rng;
+pub mod synthetic;
+pub mod timeseries;
+
+pub use consumption::ConsumptionGenerator;
+pub use drift::DriftingWorkload;
+pub use image::{cmoment, ctexture};
+pub use queries::{eq18_domain, Eq18Generator};
+pub use synthetic::{SyntheticConfig, SyntheticKind};
+
+use planar_core::FeatureTable;
+
+/// Paper-scale cardinality of the synthetic datasets.
+pub const SYNTHETIC_N: usize = 1_000_000;
+/// Paper-scale cardinality of the image datasets.
+pub const IMAGE_N: usize = 68_040;
+/// Paper-scale cardinality of the consumption dataset.
+pub const CONSUMPTION_N: usize = 2_075_259;
+
+/// Summary of a generated dataset — the rows of the paper's Table 2.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetSummary {
+    /// Dataset name.
+    pub name: String,
+    /// Number of data points.
+    pub n: usize,
+    /// Dimensionality.
+    pub dim: usize,
+    /// Smallest attribute value over all dimensions.
+    pub min: f64,
+    /// Largest attribute value over all dimensions.
+    pub max: f64,
+}
+
+impl DatasetSummary {
+    /// Summarize a feature table.
+    pub fn of(name: &str, table: &FeatureTable) -> Self {
+        let min = table
+            .min_per_dim()
+            .into_iter()
+            .fold(f64::INFINITY, f64::min);
+        let max = table
+            .max_per_dim()
+            .into_iter()
+            .fold(f64::NEG_INFINITY, f64::max);
+        Self {
+            name: name.to_string(),
+            n: table.len(),
+            dim: table.dim(),
+            min,
+            max,
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! The paper's generalized query workload (Eq. 18, §7.1):
+//!
+//! ```text
+//! Σᵢ aᵢ·xᵢ  ≤  s · (Σᵢ aᵢ·max(i))
+//! ```
+//!
+//! Each coefficient `aᵢ` is drawn uniformly from the discrete domain
+//! `{1, …, RQ}` — `RQ` is the *randomness of the query*, giving `RQ^d`
+//! possible query normals — and `s` is the *inequality parameter*
+//! (0.25 by default, swept over 0.10–1.00 in Fig. 11 to control query
+//! selectivity). `max(i)` is the per-dimension maximum of the dataset.
+
+use planar_core::{Cmp, FeatureTable, InequalityQuery, ParameterDomain};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The index-side parameter domain matching Eq. 18 queries: every axis
+/// draws from `{1, …, rq}`.
+pub fn eq18_domain(dim: usize, rq: usize) -> ParameterDomain {
+    ParameterDomain::uniform_randomness(dim, rq).expect("rq ≥ 1, dim ≥ 1")
+}
+
+/// Generator of Eq. 18 queries over a fixed dataset.
+#[derive(Debug, Clone)]
+pub struct Eq18Generator {
+    maxima: Vec<f64>,
+    rq: usize,
+    /// The inequality parameter `s`.
+    pub inequality_parameter: f64,
+    rng: StdRng,
+}
+
+impl Eq18Generator {
+    /// A generator for the given dataset with randomness `rq` and the
+    /// paper's default inequality parameter 0.25.
+    pub fn new(table: &FeatureTable, rq: usize, seed: u64) -> Self {
+        Self {
+            maxima: table.max_per_dim(),
+            rq: rq.max(1),
+            inequality_parameter: 0.25,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Override the inequality parameter `s` (Fig. 11 sweeps 0.10–1.00).
+    pub fn with_inequality_parameter(mut self, s: f64) -> Self {
+        self.inequality_parameter = s;
+        self
+    }
+
+    /// The query randomness `RQ`.
+    pub fn rq(&self) -> usize {
+        self.rq
+    }
+
+    /// Draw the next query.
+    pub fn next_query(&mut self) -> InequalityQuery {
+        let a: Vec<f64> = (0..self.maxima.len())
+            .map(|_| self.rng.random_range(1..=self.rq) as f64)
+            .collect();
+        let b = self.inequality_parameter
+            * a.iter()
+                .zip(&self.maxima)
+                .map(|(ai, mi)| ai * mi)
+                .sum::<f64>();
+        InequalityQuery::new(a, Cmp::Leq, b).expect("coefficients ≥ 1 are valid")
+    }
+
+    /// Draw a batch of queries.
+    pub fn queries(&mut self, count: usize) -> Vec<InequalityQuery> {
+        (0..count).map(|_| self.next_query()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::{SyntheticConfig, SyntheticKind};
+    use planar_core::SeqScan;
+
+    fn table() -> FeatureTable {
+        SyntheticConfig::paper(SyntheticKind::Independent, 2000, 4).generate()
+    }
+
+    #[test]
+    fn coefficients_come_from_rq_grid() {
+        let t = table();
+        let mut g = Eq18Generator::new(&t, 4, 7);
+        for _ in 0..50 {
+            let q = g.next_query();
+            for &a in q.a() {
+                assert!((1.0..=4.0).contains(&a));
+                assert_eq!(a.fract(), 0.0, "coefficient {a} not on grid");
+            }
+            assert!(eq18_domain(4, 4).contains(q.a()));
+        }
+    }
+
+    #[test]
+    fn rq_one_gives_single_normal() {
+        let t = table();
+        let mut g = Eq18Generator::new(&t, 1, 7);
+        let q1 = g.next_query();
+        let q2 = g.next_query();
+        assert_eq!(q1.a(), q2.a());
+        assert!(q1.a().iter().all(|&a| a == 1.0));
+    }
+
+    #[test]
+    fn offset_follows_eq18() {
+        let t = table();
+        let mut g = Eq18Generator::new(&t, 2, 3).with_inequality_parameter(0.5);
+        let maxima = t.max_per_dim();
+        let q = g.next_query();
+        let expect = 0.5
+            * q.a()
+                .iter()
+                .zip(&maxima)
+                .map(|(a, m)| a * m)
+                .sum::<f64>();
+        assert!((q.b() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn selectivity_grows_with_inequality_parameter() {
+        let t = table();
+        let scan = SeqScan::new(&t);
+        let mut counts = Vec::new();
+        for s in [0.1, 0.25, 0.5, 0.75, 1.0] {
+            let mut g = Eq18Generator::new(&t, 1, 11).with_inequality_parameter(s);
+            let q = g.next_query();
+            counts.push(scan.count(&q).unwrap());
+        }
+        // Monotone nondecreasing, ~0 at s=0.1 and everything at s=1.0.
+        for w in counts.windows(2) {
+            assert!(w[0] <= w[1], "{counts:?}");
+        }
+        assert_eq!(*counts.last().unwrap(), t.len());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let t = table();
+        let a: Vec<_> = Eq18Generator::new(&t, 4, 42).queries(5);
+        let b: Vec<_> = Eq18Generator::new(&t, 4, 42).queries(5);
+        assert_eq!(a, b);
+    }
+}

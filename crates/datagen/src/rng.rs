@@ -1,0 +1,137 @@
+//! Distribution sampling helpers.
+//!
+//! The permitted dependency set includes `rand` but not `rand_distr`, so the
+//! handful of non-uniform distributions the generators need are implemented
+//! here (Box–Muller Gaussians, clamped/truncated variants, a two-parameter
+//! beta-like skew sampler).
+
+use rand::Rng;
+
+/// One standard-normal sample via the Box–Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Avoid u1 == 0 (log singularity).
+    let u1: f64 = loop {
+        let u: f64 = rng.random();
+        if u > f64::MIN_POSITIVE {
+            break u;
+        }
+    };
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// A `N(mean, sd²)` sample.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, sd: f64) -> f64 {
+    mean + sd * standard_normal(rng)
+}
+
+/// A `N(mean, sd²)` sample clamped into `[lo, hi]`.
+pub fn clamped_normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, sd: f64, lo: f64, hi: f64) -> f64 {
+    normal(rng, mean, sd).clamp(lo, hi)
+}
+
+/// A lognormal-shaped sample `exp(N(mu, sigma²))`, clamped to `[lo, hi]` —
+/// used for skewed, heavy-right-tail attributes (texture energies, household
+/// currents).
+pub fn clamped_lognormal<R: Rng + ?Sized>(
+    rng: &mut R,
+    mu: f64,
+    sigma: f64,
+    lo: f64,
+    hi: f64,
+) -> f64 {
+    normal(rng, mu, sigma).exp().clamp(lo, hi)
+}
+
+/// A cheap Beta(α, β)-shaped sample on (0, 1) via the ratio of gamma-like
+/// sums (Jöhnk's method degenerates for large parameters; the generators
+/// here only use small α, β where it is exact).
+pub fn beta_like<R: Rng + ?Sized>(rng: &mut R, alpha: f64, beta: f64) -> f64 {
+    // Jöhnk's algorithm: valid for alpha, beta ≤ 1 is the classic
+    // constraint, but rejection keeps it correct for moderate parameters
+    // too; the loop terminates fast for the small parameters we use.
+    for _ in 0..256 {
+        let u: f64 = rng.random::<f64>().powf(1.0 / alpha);
+        let v: f64 = rng.random::<f64>().powf(1.0 / beta);
+        if u + v <= 1.0 && u + v > 0.0 {
+            return u / (u + v);
+        }
+    }
+    // Fallback: mean of the distribution.
+    alpha / (alpha + beta)
+}
+
+/// A standard-exponential sample (rate 1).
+pub fn exponential<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u: f64 = loop {
+        let u: f64 = rng.random();
+        if u > f64::MIN_POSITIVE {
+            break u;
+        }
+    };
+    -u.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(12345)
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut r = rng();
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut r)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn clamped_normal_respects_bounds() {
+        let mut r = rng();
+        for _ in 0..10_000 {
+            let v = clamped_normal(&mut r, 0.0, 10.0, -1.0, 1.0);
+            assert!((-1.0..=1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn lognormal_is_positive_and_skewed() {
+        let mut r = rng();
+        let samples: Vec<f64> = (0..20_000)
+            .map(|_| clamped_lognormal(&mut r, 0.0, 1.0, 0.0, 1e9))
+            .collect();
+        assert!(samples.iter().all(|&v| v >= 0.0));
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let mut sorted = samples.clone();
+        sorted.sort_by(f64::total_cmp);
+        let median = sorted[sorted.len() / 2];
+        // Right skew: mean > median.
+        assert!(mean > median, "mean {mean} median {median}");
+    }
+
+    #[test]
+    fn beta_like_in_unit_interval_with_right_shape() {
+        let mut r = rng();
+        let hi_skew: Vec<f64> = (0..20_000).map(|_| beta_like(&mut r, 0.9, 0.3)).collect();
+        assert!(hi_skew.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        let mean = hi_skew.iter().sum::<f64>() / hi_skew.len() as f64;
+        // Beta(0.9, 0.3) has mean 0.75.
+        assert!((mean - 0.75).abs() < 0.03, "mean {mean}");
+    }
+
+    #[test]
+    fn exponential_mean_is_one() {
+        let mut r = rng();
+        let n = 50_000;
+        let mean = (0..n).map(|_| exponential(&mut r)).sum::<f64>() / n as f64;
+        assert!((mean - 1.0).abs() < 0.03, "mean {mean}");
+    }
+}

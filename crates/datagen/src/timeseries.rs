@@ -1,0 +1,136 @@
+//! Time-series workloads (the paper's time-series-prediction application,
+//! intro citation \[5\]).
+//!
+//! A forecast that is *linear in the recent window* — weighted moving
+//! averages, exponential smoothing, AR predictors — is a scalar product
+//! `⟨w, window⟩`, so "find all series whose forecast crosses a threshold"
+//! is exactly a Problem-1 query with `φ(series) = (xₜ, xₜ₋₁, …)` known at
+//! index time and the analyst's weights `w` known only at query time.
+
+use crate::rng::{clamped_normal, standard_normal};
+use planar_core::FeatureTable;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Generate `m` mean-reverting, strictly-positive series of length `len`
+/// (an Ornstein–Uhlenbeck-style level process — think sensor readings or
+/// demand curves).
+pub fn generate_series(m: usize, len: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x7153);
+    (0..m)
+        .map(|_| {
+            let level = clamped_normal(&mut rng, 50.0, 20.0, 5.0, 95.0);
+            let vol = clamped_normal(&mut rng, 2.0, 1.0, 0.2, 5.0);
+            let mut x = level;
+            (0..len)
+                .map(|_| {
+                    x += 0.2 * (level - x) + vol * standard_normal(&mut rng);
+                    x = x.clamp(0.1, 200.0);
+                    x
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Build the index table: one row per series holding its last `window`
+/// values, most recent first — the `φ` of the forecasting query.
+///
+/// # Panics
+///
+/// Panics if any series is shorter than `window`.
+pub fn window_table(series: &[Vec<f64>], window: usize) -> FeatureTable {
+    let mut table = FeatureTable::with_capacity(window, series.len()).expect("window > 0");
+    let mut row = vec![0.0; window];
+    for s in series {
+        assert!(s.len() >= window, "series shorter than window");
+        for (k, slot) in row.iter_mut().enumerate() {
+            *slot = s[s.len() - 1 - k];
+        }
+        table.push_row(&row).expect("series values are finite");
+    }
+    table
+}
+
+/// Exponential-smoothing forecast weights for decay `lambda ∈ (0, 1)`:
+/// `wₖ ∝ λ(1−λ)ᵏ`, normalized to sum 1 over the window. All positive —
+/// a one-parameter family of query normals in the first octant.
+pub fn exponential_weights(lambda: f64, window: usize) -> Vec<f64> {
+    let raw: Vec<f64> = (0..window)
+        .map(|k| lambda * (1.0 - lambda).powi(k as i32))
+        .collect();
+    let sum: f64 = raw.iter().sum();
+    raw.into_iter().map(|w| w / sum).collect()
+}
+
+/// Per-axis `[lo, hi]` envelope of [`exponential_weights`] over a λ grid —
+/// the parameter domain the index is built for.
+pub fn weight_envelope(lambdas: &[f64], window: usize) -> Vec<(f64, f64)> {
+    let mut lo = vec![f64::INFINITY; window];
+    let mut hi = vec![f64::NEG_INFINITY; window];
+    for &l in lambdas {
+        for (k, w) in exponential_weights(l, window).into_iter().enumerate() {
+            lo[k] = lo[k].min(w);
+            hi[k] = hi[k].max(w);
+        }
+    }
+    lo.into_iter().zip(hi).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_are_positive_and_mean_reverting() {
+        let series = generate_series(50, 200, 3);
+        assert_eq!(series.len(), 50);
+        for s in &series {
+            assert_eq!(s.len(), 200);
+            assert!(s.iter().all(|&v| v > 0.0));
+            // Mean reversion keeps the long-run spread finite: the last
+            // value stays within the clamped band.
+            assert!(*s.last().unwrap() <= 200.0);
+        }
+    }
+
+    #[test]
+    fn window_table_takes_most_recent_first() {
+        let series = vec![vec![1.0, 2.0, 3.0, 4.0, 5.0]];
+        let t = window_table(&series, 3);
+        assert_eq!(t.row(0), &[5.0, 4.0, 3.0]);
+    }
+
+    #[test]
+    fn weights_are_normalized_and_decaying() {
+        for lambda in [0.3, 0.5, 0.9] {
+            let w = exponential_weights(lambda, 8);
+            assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+            for pair in w.windows(2) {
+                assert!(pair[0] > pair[1], "λ={lambda}: {pair:?}");
+            }
+            assert!(w.iter().all(|&v| v > 0.0));
+        }
+    }
+
+    #[test]
+    fn envelope_brackets_every_grid_member() {
+        let lambdas = [0.3, 0.5, 0.7, 0.9];
+        let env = weight_envelope(&lambdas, 6);
+        for &l in &lambdas {
+            for (k, w) in exponential_weights(l, 6).into_iter().enumerate() {
+                // Tolerance: optimizers may fold the two computations of
+                // the same weight differently (vectorized vs scalar sums).
+                let eps = 1e-12;
+                assert!(env[k].0 - eps <= w && w <= env[k].1 + eps, "k={k} w={w} env={:?}", env[k]);
+            }
+        }
+        assert!(env.iter().all(|&(lo, hi)| lo > 0.0 && hi >= lo));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(generate_series(5, 50, 1), generate_series(5, 50, 1));
+        assert_ne!(generate_series(5, 50, 1), generate_series(5, 50, 2));
+    }
+}

@@ -1,0 +1,63 @@
+//! Floating-point comparison helpers used by the geometry layer and tests.
+
+/// Default absolute/relative tolerance for floating-point comparisons.
+pub const DEFAULT_EPS: f64 = 1e-9;
+
+/// Compare two floats with a combined absolute + relative tolerance of
+/// [`DEFAULT_EPS`].
+#[inline]
+pub fn approx_eq(a: f64, b: f64) -> bool {
+    approx_eq_eps(a, b, DEFAULT_EPS)
+}
+
+/// Compare two floats with a combined absolute + relative tolerance `eps`.
+///
+/// Returns `true` when `|a − b| ≤ eps · max(1, |a|, |b|)`. This behaves as an
+/// absolute tolerance near zero and a relative one for large magnitudes,
+/// which is the right shape for the scalar products in this workspace whose
+/// magnitudes range from `1e-3` (power factors) to `1e8` (squared distances
+/// between moving objects).
+#[inline]
+pub fn approx_eq_eps(a: f64, b: f64, eps: f64) -> bool {
+    if a == b {
+        return true; // fast path, also handles ±inf equal to itself
+    }
+    let scale = 1.0_f64.max(a.abs()).max(b.abs());
+    (a - b).abs() <= eps * scale
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_equality() {
+        assert!(approx_eq(1.0, 1.0));
+        assert!(approx_eq(0.0, 0.0));
+        assert!(approx_eq(f64::INFINITY, f64::INFINITY));
+    }
+
+    #[test]
+    fn absolute_near_zero() {
+        assert!(approx_eq(1e-12, 0.0));
+        assert!(!approx_eq(1e-6, 0.0));
+    }
+
+    #[test]
+    fn relative_for_large_values() {
+        assert!(approx_eq(1e12, 1e12 + 1.0));
+        assert!(!approx_eq(1e12, 1.001e12));
+    }
+
+    #[test]
+    fn nan_never_equal() {
+        assert!(!approx_eq(f64::NAN, f64::NAN));
+        assert!(!approx_eq(f64::NAN, 0.0));
+    }
+
+    #[test]
+    fn custom_eps() {
+        assert!(approx_eq_eps(1.0, 1.05, 0.1));
+        assert!(!approx_eq_eps(1.0, 1.05, 0.01));
+    }
+}

@@ -1,0 +1,182 @@
+//! Hyperplanes `⟨normal, y⟩ = offset` in `R^{d'}`.
+//!
+//! Both the query hyperplane `H(q)` (Eq. 2 of the paper) and the per-point
+//! index hyperplanes `H(x)` (Eq. 3) are instances of this type.
+
+use crate::{dot, GeomError, Result, Vector};
+
+/// A hyperplane `⟨normal, y⟩ = offset`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hyperplane {
+    normal: Vector,
+    offset: f64,
+}
+
+impl Hyperplane {
+    /// Create a hyperplane from its normal vector and offset.
+    ///
+    /// # Errors
+    ///
+    /// [`GeomError::NotFinite`] if `offset` is not finite, or
+    /// [`GeomError::ZeroCoordinate`] if the normal has zero norm.
+    pub fn new(normal: Vector, offset: f64) -> Result<Self> {
+        if !offset.is_finite() {
+            return Err(GeomError::NotFinite);
+        }
+        if normal.norm() == 0.0 {
+            return Err(GeomError::ZeroCoordinate { axis: 0 });
+        }
+        Ok(Self { normal, offset })
+    }
+
+    /// The normal vector `a` (for a query, the coefficient vector).
+    #[inline]
+    pub fn normal(&self) -> &Vector {
+        &self.normal
+    }
+
+    /// The offset `b`.
+    #[inline]
+    pub fn offset(&self) -> f64 {
+        self.offset
+    }
+
+    /// Dimensionality of the ambient space.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.normal.dim()
+    }
+
+    /// The intercept `I(·, i) = offset / normalᵢ` of this hyperplane with
+    /// axis `Yᵢ` — `I(q, i) = b / aᵢ` in the paper's notation.
+    ///
+    /// Returns `None` when the hyperplane is parallel to the axis
+    /// (`normalᵢ = 0`).
+    #[inline]
+    pub fn axis_intercept(&self, i: usize) -> Option<f64> {
+        let ni = self.normal[i];
+        if ni == 0.0 {
+            None
+        } else {
+            Some(self.offset / ni)
+        }
+    }
+
+    /// All `d'` axis intercepts; `None` entries mark axes the hyperplane is
+    /// parallel to.
+    pub fn axis_intercepts(&self) -> Vec<Option<f64>> {
+        (0..self.dim()).map(|i| self.axis_intercept(i)).collect()
+    }
+
+    /// Signed evaluation `⟨normal, p⟩ − offset`; negative on the "≤" side.
+    ///
+    /// # Errors
+    ///
+    /// [`GeomError::DimensionMismatch`] if `p` has the wrong dimension.
+    #[inline]
+    pub fn eval(&self, p: &[f64]) -> Result<f64> {
+        Ok(dot(self.normal.as_slice(), p)? - self.offset)
+    }
+
+    /// Euclidean distance from point `p` to the hyperplane,
+    /// `|⟨a, p⟩ − b| / |a|` (used by the top-k nearest-neighbor query,
+    /// Problem 2).
+    ///
+    /// # Errors
+    ///
+    /// [`GeomError::DimensionMismatch`] if `p` has the wrong dimension.
+    #[inline]
+    pub fn distance_to(&self, p: &[f64]) -> Result<f64> {
+        Ok(self.eval(p)?.abs() / self.normal.norm())
+    }
+
+    /// The angle in radians between this hyperplane and `other`, defined as
+    /// the principal angle between their normals:
+    /// `acos(|⟨a, c⟩| / (|a||c|))` ∈ [0, π/2].
+    ///
+    /// This is the quantity minimized by the angle-minimization index
+    /// selection heuristic (§5.1.2). Parallel hyperplanes have angle 0.
+    ///
+    /// # Errors
+    ///
+    /// [`GeomError::DimensionMismatch`] if dimensions differ.
+    pub fn angle_to(&self, other: &Hyperplane) -> Result<f64> {
+        let c = self.normal.cosine(&other.normal)?;
+        // Clamp against tiny float excursions outside [-1, 1].
+        Ok(c.abs().clamp(0.0, 1.0).acos())
+    }
+
+    /// True when the two hyperplanes are parallel within tolerance `eps` on
+    /// the absolute cosine of their normals.
+    pub fn is_parallel_to(&self, other: &Hyperplane, eps: f64) -> bool {
+        self.normal.is_parallel_to(&other.normal, eps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    fn hp(n: &[f64], b: f64) -> Hyperplane {
+        Hyperplane::new(Vector::new(n.to_vec()).unwrap(), b).unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(Hyperplane::new(Vector::zeros(2), 1.0).is_err());
+        assert!(Hyperplane::new(Vector::ones(2), f64::NAN).is_err());
+        assert!(Hyperplane::new(Vector::ones(2), 0.0).is_ok());
+    }
+
+    #[test]
+    fn intercepts_match_paper_example4() {
+        // Example 4 of the paper: H(q): Y1 + 2 Y2 + 5 Y3 = 10 intersects the
+        // axes at 10, 5 and 2.
+        let q = hp(&[1.0, 2.0, 5.0], 10.0);
+        assert_eq!(q.axis_intercept(0), Some(10.0));
+        assert_eq!(q.axis_intercept(1), Some(5.0));
+        assert_eq!(q.axis_intercept(2), Some(2.0));
+    }
+
+    #[test]
+    fn intercept_none_for_parallel_axis() {
+        let q = hp(&[0.0, 1.0], 3.0);
+        assert_eq!(q.axis_intercept(0), None);
+        assert_eq!(q.axis_intercept(1), Some(3.0));
+        assert_eq!(q.axis_intercepts(), vec![None, Some(3.0)]);
+    }
+
+    #[test]
+    fn eval_and_distance() {
+        let q = hp(&[3.0, 4.0], 10.0);
+        // point on the plane
+        assert!(approx_eq(q.eval(&[2.0, 1.0]).unwrap(), 0.0));
+        assert!(approx_eq(q.distance_to(&[2.0, 1.0]).unwrap(), 0.0));
+        // |3·0 + 4·0 − 10| / 5 = 2
+        assert!(approx_eq(q.distance_to(&[0.0, 0.0]).unwrap(), 2.0));
+        assert!(q.eval(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn angle_between_hyperplanes() {
+        let a = hp(&[1.0, 0.0], 1.0);
+        let b = hp(&[0.0, 1.0], 1.0);
+        let c = hp(&[2.0, 0.0], 5.0);
+        let d = hp(&[-1.0, 0.0], 5.0);
+        assert!(approx_eq(a.angle_to(&b).unwrap(), std::f64::consts::FRAC_PI_2));
+        assert!(approx_eq(a.angle_to(&c).unwrap(), 0.0));
+        // Anti-parallel normals describe parallel hyperplanes: angle 0.
+        assert!(approx_eq(a.angle_to(&d).unwrap(), 0.0));
+        assert!(a.is_parallel_to(&c, 1e-12));
+        assert!(a.is_parallel_to(&d, 1e-12));
+        assert!(!a.is_parallel_to(&b, 1e-12));
+    }
+
+    #[test]
+    fn angle_45_degrees() {
+        let a = hp(&[1.0, 0.0], 1.0);
+        let b = hp(&[1.0, 1.0], 1.0);
+        assert!(approx_eq(a.angle_to(&b).unwrap(), std::f64::consts::FRAC_PI_4));
+    }
+}

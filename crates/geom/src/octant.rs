@@ -1,0 +1,217 @@
+//! Hyper-octant bookkeeping (§4.5 of the paper).
+//!
+//! A hyper-octant of `R^{d'}` is identified by the sign of each axis,
+//! `sign(O, i) ∈ {+1, −1}`. Queries whose coefficient signs are fixed by
+//! their parameter domains intersect the axes in one known octant `O`; the
+//! index translates all data into `O` (see [`crate::Translation`]) and then
+//! *reflects* `O` onto the first octant so the core query machinery only
+//! ever deals with non-negative coordinates.
+
+use crate::{GeomError, Result};
+
+/// The sign of one axis of a hyper-octant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Sign {
+    /// Positive half of the axis (`sign(O, i) = +1`).
+    Pos,
+    /// Negative half of the axis (`sign(O, i) = −1`).
+    Neg,
+}
+
+impl Sign {
+    /// The sign as `+1.0` or `−1.0`.
+    #[inline]
+    pub fn as_f64(self) -> f64 {
+        match self {
+            Sign::Pos => 1.0,
+            Sign::Neg => -1.0,
+        }
+    }
+
+    /// The sign of a non-zero float.
+    ///
+    /// # Errors
+    ///
+    /// [`GeomError::ZeroCoordinate`] for `0.0` (a zero has no octant side)
+    /// and [`GeomError::NotFinite`] for NaN.
+    pub fn of(v: f64) -> Result<Self> {
+        if v.is_nan() {
+            Err(GeomError::NotFinite)
+        } else if v > 0.0 {
+            Ok(Sign::Pos)
+        } else if v < 0.0 {
+            Ok(Sign::Neg)
+        } else {
+            Err(GeomError::ZeroCoordinate { axis: 0 })
+        }
+    }
+
+    /// The sign of a float, treating zero as positive. Used for data
+    /// coordinates, where `0` sits on the octant boundary and either side
+    /// works.
+    #[inline]
+    pub fn of_lenient(v: f64) -> Self {
+        if v < 0.0 {
+            Sign::Neg
+        } else {
+            Sign::Pos
+        }
+    }
+}
+
+/// A vector of per-axis signs; the identity of a hyper-octant.
+pub type SignVector = Vec<Sign>;
+
+/// A hyper-octant of `R^{d'}`, identified by its per-axis signs.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Octant {
+    signs: SignVector,
+}
+
+impl Octant {
+    /// The first hyper-octant (all axes positive) in dimension `d`.
+    pub fn first(d: usize) -> Self {
+        Self {
+            signs: vec![Sign::Pos; d],
+        }
+    }
+
+    /// Build an octant from explicit per-axis signs.
+    pub fn from_signs(signs: SignVector) -> Self {
+        Self { signs }
+    }
+
+    /// The octant in which a query hyperplane with coefficient vector `a`
+    /// (and offset `b ≥ 0`) intersects the coordinate axes: the intercept on
+    /// axis `i` is `b / aᵢ`, whose sign is the sign of `aᵢ`.
+    ///
+    /// # Errors
+    ///
+    /// [`GeomError::ZeroCoordinate`] if some `aᵢ = 0` (the hyperplane never
+    /// meets that axis) or [`GeomError::NotFinite`] on NaN coefficients.
+    pub fn of_coefficients(a: &[f64]) -> Result<Self> {
+        let signs = a
+            .iter()
+            .enumerate()
+            .map(|(axis, &ai)| Sign::of(ai).map_err(|e| match e {
+                GeomError::ZeroCoordinate { .. } => GeomError::ZeroCoordinate { axis },
+                other => other,
+            }))
+            .collect::<Result<SignVector>>()?;
+        Ok(Self { signs })
+    }
+
+    /// Dimensionality.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.signs.len()
+    }
+
+    /// `sign(O, i)` as an enum.
+    #[inline]
+    pub fn sign(&self, i: usize) -> Sign {
+        self.signs[i]
+    }
+
+    /// `sign(O, i)` as `±1.0`.
+    #[inline]
+    pub fn sign_f64(&self, i: usize) -> f64 {
+        self.signs[i].as_f64()
+    }
+
+    /// The per-axis signs.
+    #[inline]
+    pub fn signs(&self) -> &[Sign] {
+        &self.signs
+    }
+
+    /// True if this is the first octant.
+    pub fn is_first(&self) -> bool {
+        self.signs.iter().all(|&s| s == Sign::Pos)
+    }
+
+    /// Reflect a point of this octant onto the first octant:
+    /// `y'ᵢ = sign(O, i) · yᵢ`. The map is an isometry and an involution, so
+    /// it also maps first-octant points back into `O`.
+    pub fn reflect(&self, p: &[f64]) -> Vec<f64> {
+        debug_assert_eq!(p.len(), self.dim());
+        p.iter()
+            .zip(&self.signs)
+            .map(|(&v, s)| s.as_f64() * v)
+            .collect()
+    }
+
+    /// Reflect in place (hot path during index construction over large
+    /// feature tables).
+    pub fn reflect_in_place(&self, p: &mut [f64]) {
+        debug_assert_eq!(p.len(), self.dim());
+        for (v, s) in p.iter_mut().zip(&self.signs) {
+            *v *= s.as_f64();
+        }
+    }
+
+    /// True when point `p` lies (weakly) inside this octant.
+    pub fn contains(&self, p: &[f64]) -> bool {
+        p.iter()
+            .zip(&self.signs)
+            .all(|(&v, s)| s.as_f64() * v >= 0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sign_of() {
+        assert_eq!(Sign::of(3.5), Ok(Sign::Pos));
+        assert_eq!(Sign::of(-0.1), Ok(Sign::Neg));
+        assert!(Sign::of(0.0).is_err());
+        assert!(Sign::of(f64::NAN).is_err());
+        assert_eq!(Sign::of_lenient(0.0), Sign::Pos);
+        assert_eq!(Sign::of_lenient(-1.0), Sign::Neg);
+    }
+
+    #[test]
+    fn octant_of_coefficients() {
+        let o = Octant::of_coefficients(&[1.0, -2.0, 3.0]).unwrap();
+        assert_eq!(o.signs(), &[Sign::Pos, Sign::Neg, Sign::Pos]);
+        assert!(!o.is_first());
+        assert!(Octant::first(3).is_first());
+
+        let err = Octant::of_coefficients(&[1.0, 0.0]).unwrap_err();
+        assert_eq!(err, GeomError::ZeroCoordinate { axis: 1 });
+    }
+
+    #[test]
+    fn reflect_is_involution() {
+        let o = Octant::from_signs(vec![Sign::Neg, Sign::Pos, Sign::Neg]);
+        let p = vec![-1.0, 2.0, -3.0];
+        let r = o.reflect(&p);
+        assert_eq!(r, vec![1.0, 2.0, 3.0]);
+        assert_eq!(o.reflect(&r), p);
+        let mut q = p.clone();
+        o.reflect_in_place(&mut q);
+        assert_eq!(q, r);
+    }
+
+    #[test]
+    fn contains_checks_signs() {
+        let o = Octant::from_signs(vec![Sign::Neg, Sign::Pos]);
+        assert!(o.contains(&[-1.0, 2.0]));
+        assert!(o.contains(&[0.0, 0.0])); // boundary is weakly inside
+        assert!(!o.contains(&[1.0, 2.0]));
+        assert!(!o.contains(&[-1.0, -2.0]));
+    }
+
+    #[test]
+    fn reflected_points_land_in_first_octant() {
+        let o = Octant::of_coefficients(&[-2.0, 5.0, -1.0]).unwrap();
+        // A point inside O...
+        let p = vec![-3.0, 4.0, -0.5];
+        assert!(o.contains(&p));
+        // ...reflects into the first octant.
+        let r = o.reflect(&p);
+        assert!(Octant::first(3).contains(&r));
+    }
+}

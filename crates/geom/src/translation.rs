@@ -1,0 +1,384 @@
+//! The translation operation of §4.5 (Eq. 9–12, Claim 1) and the full
+//! normalization pipeline used by the index.
+//!
+//! Given a query octant `O` (fixed by the signs of the parameter domains)
+//! and a set of data images `φ(x)`, the paper translates every `φ(x)` into
+//! `O`; Claim 1 shows the query hyperplane still intersects the axes inside
+//! `O` afterwards. We add one more step — reflecting `O` onto the first
+//! octant — so that downstream code only ever sees non-negative data
+//! coordinates and strictly positive query coefficients.
+//!
+//! A useful consequence exploited by `planar-core`: the index key of a point
+//! in normalized space decomposes as
+//!
+//! ```text
+//! ⟨c, φ''(x)⟩ = ⟨c_raw, φ(x)⟩ + shift,      c_rawᵢ = cᵢ·sign(O,i),
+//!                                            shift  = Σᵢ cᵢ·δᵢ,
+//! ```
+//!
+//! so raw-space keys order points identically and a *change of the
+//! translation deltas only shifts every key by the same constant*. The core
+//! index therefore stores raw keys and applies the shift to query
+//! thresholds, making delta growth (new data further outside the octant) an
+//! O(1) index update.
+
+use crate::{GeomError, Octant, Result, Sign};
+
+/// The translation `φ'ᵢ(x) = φᵢ(x) + sign(O, i)·δᵢ` of Eq. 11.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Translation {
+    octant: Octant,
+    deltas: Vec<f64>,
+}
+
+impl Translation {
+    /// Compute the translation parameters `δᵢ` (Eq. 9–10) for the given
+    /// octant from an iterator of data rows in raw `φ` space:
+    /// `δᵢ = max { |φᵢ(x)| : sign(φᵢ(x)) ≠ sign(O, i) }`, or 0 when no point
+    /// lies on the wrong side of axis `i`.
+    pub fn fit<'a>(octant: &Octant, rows: impl IntoIterator<Item = &'a [f64]>) -> Self {
+        let d = octant.dim();
+        let mut deltas = vec![0.0; d];
+        for row in rows {
+            debug_assert_eq!(row.len(), d, "row dimension mismatch");
+            for (i, &v) in row.iter().enumerate() {
+                let wrong_side = match octant.sign(i) {
+                    Sign::Pos => v < 0.0,
+                    Sign::Neg => v > 0.0,
+                };
+                if wrong_side && v.abs() > deltas[i] {
+                    deltas[i] = v.abs();
+                }
+            }
+        }
+        Self {
+            octant: octant.clone(),
+            deltas,
+        }
+    }
+
+    /// A translation with explicit deltas (used when deltas are maintained
+    /// incrementally across updates).
+    pub fn with_deltas(octant: Octant, deltas: Vec<f64>) -> Self {
+        debug_assert_eq!(octant.dim(), deltas.len());
+        Self { octant, deltas }
+    }
+
+    /// The identity translation (all `δᵢ = 0`).
+    pub fn identity(octant: Octant) -> Self {
+        let d = octant.dim();
+        Self {
+            octant,
+            deltas: vec![0.0; d],
+        }
+    }
+
+    /// The octant this translation targets.
+    pub fn octant(&self) -> &Octant {
+        &self.octant
+    }
+
+    /// The translation parameters `δᵢ`.
+    pub fn deltas(&self) -> &[f64] {
+        &self.deltas
+    }
+
+    /// Grow deltas to also cover `row`; returns `true` if any delta changed.
+    ///
+    /// Called on dynamic inserts/updates; per the module docs a delta change
+    /// is an O(1) key-shift for the index, not a rebuild.
+    pub fn absorb(&mut self, row: &[f64]) -> bool {
+        debug_assert_eq!(row.len(), self.deltas.len());
+        let mut changed = false;
+        for (i, &v) in row.iter().enumerate() {
+            let wrong_side = match self.octant.sign(i) {
+                Sign::Pos => v < 0.0,
+                Sign::Neg => v > 0.0,
+            };
+            if wrong_side && v.abs() > self.deltas[i] {
+                self.deltas[i] = v.abs();
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    /// Apply the translation: `φ'ᵢ = φᵢ + sign(O, i)·δᵢ`.
+    pub fn apply(&self, row: &[f64]) -> Vec<f64> {
+        row.iter()
+            .enumerate()
+            .map(|(i, &v)| v + self.octant.sign_f64(i) * self.deltas[i])
+            .collect()
+    }
+
+    /// The translated query offset of Eq. 12:
+    /// `b' = b + Σᵢ sign(O, i)·aᵢ·δᵢ`.
+    pub fn translate_offset(&self, a: &[f64], b: f64) -> f64 {
+        debug_assert_eq!(a.len(), self.deltas.len());
+        b + a
+            .iter()
+            .enumerate()
+            .map(|(i, &ai)| self.octant.sign_f64(i) * ai * self.deltas[i])
+            .sum::<f64>()
+    }
+}
+
+/// A query mapped into normalized (first-octant) space: all coefficients
+/// strictly positive and data coordinates non-negative.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NormalizedQuery {
+    /// Positive coefficient vector `a''ᵢ = sign(O, i)·aᵢ`.
+    pub a: Vec<f64>,
+    /// Normalized offset `b'' = b + Σᵢ a''ᵢ·δᵢ`.
+    pub b: f64,
+}
+
+/// The full normalization pipeline: translation into octant `O` followed by
+/// reflection of `O` onto the first octant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Normalizer {
+    translation: Translation,
+}
+
+impl Normalizer {
+    /// Fit a normalizer for queries living in `octant` over the given data
+    /// rows (raw `φ` space).
+    pub fn fit<'a>(octant: &Octant, rows: impl IntoIterator<Item = &'a [f64]>) -> Self {
+        Self {
+            translation: Translation::fit(octant, rows),
+        }
+    }
+
+    /// A normalizer that performs no translation (first octant, clean data).
+    pub fn identity(dim: usize) -> Self {
+        Self {
+            translation: Translation::identity(Octant::first(dim)),
+        }
+    }
+
+    /// Build from an existing translation.
+    pub fn from_translation(translation: Translation) -> Self {
+        Self { translation }
+    }
+
+    /// The underlying translation.
+    pub fn translation(&self) -> &Translation {
+        &self.translation
+    }
+
+    /// The target octant.
+    pub fn octant(&self) -> &Octant {
+        self.translation.octant()
+    }
+
+    /// Ambient dimensionality.
+    pub fn dim(&self) -> usize {
+        self.octant().dim()
+    }
+
+    /// Grow the translation to cover a new raw data row. Returns `true` when
+    /// the deltas changed (the index must then refresh its key shifts).
+    pub fn absorb(&mut self, row: &[f64]) -> bool {
+        self.translation.absorb(row)
+    }
+
+    /// Map a raw data row to normalized space: translate into `O`, then
+    /// reflect onto the first octant. All outputs are ≥ 0 for rows covered
+    /// by the fitted deltas.
+    pub fn normalize_point(&self, row: &[f64]) -> Vec<f64> {
+        let translated = self.translation.apply(row);
+        self.octant().reflect(&translated)
+    }
+
+    /// Map a raw query `⟨a, φ(x)⟩ {≤,≥} b` to normalized space.
+    ///
+    /// # Errors
+    ///
+    /// [`GeomError::ZeroCoordinate`] if some `aᵢ = 0`, or
+    /// [`GeomError::DimensionMismatch`] if `a` has the wrong dimension.
+    /// Returns [`GeomError::NotFinite`] if `sign(aᵢ)` disagrees with the
+    /// octant the normalizer was fitted for — such a query belongs to a
+    /// different octant and needs a different (or no) index.
+    pub fn normalize_query(&self, a: &[f64], b: f64) -> Result<NormalizedQuery> {
+        if a.len() != self.dim() {
+            return Err(GeomError::DimensionMismatch {
+                left: a.len(),
+                right: self.dim(),
+            });
+        }
+        let mut a_pos = Vec::with_capacity(a.len());
+        for (i, &ai) in a.iter().enumerate() {
+            if ai == 0.0 {
+                return Err(GeomError::ZeroCoordinate { axis: i });
+            }
+            let s = self.octant().sign_f64(i);
+            let v = s * ai;
+            if v <= 0.0 || !v.is_finite() {
+                // Sign disagrees with the fitted octant (or NaN).
+                return Err(GeomError::NotFinite);
+            }
+            a_pos.push(v);
+        }
+        // b'' = b + Σ a''ᵢ δᵢ — equal to Eq. 12's b' because
+        // sign(O,i)·aᵢ = a''ᵢ; reflection leaves the offset unchanged.
+        let b_norm = b
+            + a_pos
+                .iter()
+                .zip(self.translation.deltas())
+                .map(|(ap, d)| ap * d)
+                .sum::<f64>();
+        Ok(NormalizedQuery { a: a_pos, b: b_norm })
+    }
+
+    /// The raw-space key normal `c_rawᵢ = cᵢ·sign(O, i)` for a normalized
+    /// index normal `c` (all positive), such that
+    /// `⟨c, normalize_point(x)⟩ = ⟨c_raw, x⟩ + key_shift(c)`.
+    pub fn raw_normal(&self, c: &[f64]) -> Vec<f64> {
+        debug_assert_eq!(c.len(), self.dim());
+        c.iter()
+            .enumerate()
+            .map(|(i, &ci)| ci * self.octant().sign_f64(i))
+            .collect()
+    }
+
+    /// The constant key shift `Σᵢ cᵢ·δᵢ` (see module docs).
+    pub fn key_shift(&self, c: &[f64]) -> f64 {
+        debug_assert_eq!(c.len(), self.dim());
+        c.iter()
+            .zip(self.translation.deltas())
+            .map(|(ci, d)| ci * d)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{approx_eq, dot_slices};
+
+    #[test]
+    fn fit_deltas_eq9_eq10() {
+        // Octant (+,−): points with negative φ1 or positive φ2 are on the
+        // wrong side.
+        let o = Octant::from_signs(vec![Sign::Pos, Sign::Neg]);
+        let rows: Vec<Vec<f64>> = vec![
+            vec![3.0, -1.0],  // fine
+            vec![-2.0, -4.0], // φ1 wrong
+            vec![-5.0, 2.5],  // both wrong
+            vec![1.0, 7.0],   // φ2 wrong
+        ];
+        let t = Translation::fit(&o, rows.iter().map(|r| r.as_slice()));
+        assert_eq!(t.deltas(), &[5.0, 7.0]);
+        // Every translated point lies in O.
+        for r in &rows {
+            let tr = t.apply(r);
+            assert!(o.contains(&tr), "{tr:?} not in octant");
+        }
+    }
+
+    #[test]
+    fn identity_translation_is_noop() {
+        let t = Translation::identity(Octant::first(3));
+        assert_eq!(t.apply(&[1.0, 2.0, 3.0]), vec![1.0, 2.0, 3.0]);
+        assert_eq!(t.translate_offset(&[1.0, 1.0, 1.0], 5.0), 5.0);
+    }
+
+    #[test]
+    fn absorb_grows_monotonically() {
+        let o = Octant::first(2);
+        let mut t = Translation::fit(&o, [[1.0, -2.0].as_slice()]);
+        assert_eq!(t.deltas(), &[0.0, 2.0]);
+        assert!(!t.absorb(&[5.0, -1.0])); // covered already
+        assert!(t.absorb(&[-3.0, -4.0])); // grows both
+        assert_eq!(t.deltas(), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn claim1_query_stays_in_octant() {
+        // Query with mixed signs; b ≥ 0. After translation the offset b'
+        // must keep every intercept b'/aᵢ on the octant side sign(O, i).
+        let a = [2.0, -3.0, 0.5];
+        let b = 4.0;
+        let o = Octant::of_coefficients(&a).unwrap();
+        let rows: Vec<Vec<f64>> = vec![
+            vec![-1.0, 2.0, 3.0],
+            vec![4.0, -5.0, -6.0],
+            vec![-7.0, 8.0, 0.0],
+        ];
+        let t = Translation::fit(&o, rows.iter().map(|r| r.as_slice()));
+        let b_prime = t.translate_offset(&a, b);
+        assert!(b_prime >= b); // Claim 1: b' adds only non-negative terms
+        for (i, &ai) in a.iter().enumerate() {
+            let intercept = b_prime / ai;
+            assert!(
+                intercept * o.sign_f64(i) >= 0.0,
+                "intercept {intercept} leaves octant on axis {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn normalizer_points_nonnegative_and_queries_positive() {
+        let a = [-1.5, 2.0];
+        let o = Octant::of_coefficients(&a).unwrap();
+        let rows: Vec<Vec<f64>> = vec![vec![3.0, -2.0], vec![-1.0, 4.0], vec![0.5, 0.0]];
+        let n = Normalizer::fit(&o, rows.iter().map(|r| r.as_slice()));
+        for r in &rows {
+            let p = n.normalize_point(r);
+            assert!(p.iter().all(|&v| v >= 0.0), "{p:?}");
+        }
+        let q = n.normalize_query(&a, 1.0).unwrap();
+        assert!(q.a.iter().all(|&v| v > 0.0));
+        assert_eq!(q.a, vec![1.5, 2.0]);
+    }
+
+    #[test]
+    fn normalization_preserves_query_satisfaction() {
+        // The fundamental invariant: ⟨a, φ(x)⟩ − b = ⟨a'', φ''(x)⟩ − b''.
+        let a = [2.0, -1.0, 3.0];
+        let b = 2.5;
+        let o = Octant::of_coefficients(&a).unwrap();
+        let rows: Vec<Vec<f64>> = vec![
+            vec![1.0, 1.0, 1.0],
+            vec![-2.0, 3.0, -4.0],
+            vec![0.0, -0.5, 2.0],
+        ];
+        let n = Normalizer::fit(&o, rows.iter().map(|r| r.as_slice()));
+        let nq = n.normalize_query(&a, b).unwrap();
+        for r in &rows {
+            let raw = dot_slices(&a, r) - b;
+            let p = n.normalize_point(r);
+            let norm = dot_slices(&nq.a, &p) - nq.b;
+            assert!(approx_eq(raw, norm), "raw {raw} vs normalized {norm}");
+        }
+    }
+
+    #[test]
+    fn key_decomposition_matches_normalized_key() {
+        // ⟨c, φ''(x)⟩ = ⟨c_raw, φ(x)⟩ + shift.
+        let a = [1.0, -2.0];
+        let o = Octant::of_coefficients(&a).unwrap();
+        let rows: Vec<Vec<f64>> = vec![vec![-1.0, 3.0], vec![2.0, -1.0]];
+        let n = Normalizer::fit(&o, rows.iter().map(|r| r.as_slice()));
+        let c = [0.7, 1.3];
+        let c_raw = n.raw_normal(&c);
+        let shift = n.key_shift(&c);
+        for r in &rows {
+            let lhs = dot_slices(&c, &n.normalize_point(r));
+            let rhs = dot_slices(&c_raw, r) + shift;
+            assert!(approx_eq(lhs, rhs), "{lhs} vs {rhs}");
+        }
+    }
+
+    #[test]
+    fn normalize_query_rejects_bad_queries() {
+        let n = Normalizer::identity(2);
+        assert!(matches!(
+            n.normalize_query(&[1.0, 0.0], 1.0),
+            Err(GeomError::ZeroCoordinate { axis: 1 })
+        ));
+        assert!(n.normalize_query(&[1.0, -1.0], 1.0).is_err()); // wrong octant
+        assert!(n.normalize_query(&[1.0], 1.0).is_err()); // wrong dim
+        assert!(n.normalize_query(&[1.0, 2.0], 1.0).is_ok());
+    }
+}

@@ -1,0 +1,142 @@
+//! Property-based tests for the geometry substrate.
+//!
+//! These pin down the invariants the Planar index relies on: translation
+//! places data in the target octant (Eq. 9–11), normalization preserves the
+//! signed query margin exactly, and the raw-key decomposition used by
+//! `planar-core` agrees with the normalized key.
+
+use planar_geom::{approx_eq_eps, dot_slices, Hyperplane, Normalizer, Octant, Translation, Vector};
+use proptest::prelude::*;
+
+const DIM_RANGE: std::ops::RangeInclusive<usize> = 1..=8;
+
+fn finite_coord() -> impl Strategy<Value = f64> {
+    // Moderate magnitudes: the invariants are exact algebra; huge exponents
+    // only test float cancellation, which approx_eq_eps already absorbs.
+    -1e6..1e6_f64
+}
+
+fn nonzero_coord() -> impl Strategy<Value = f64> {
+    prop_oneof![0.01..1e4_f64, -1e4..-0.01_f64]
+}
+
+prop_compose! {
+    fn dim_and_rows()(d in DIM_RANGE)(
+        d in Just(d),
+        rows in prop::collection::vec(prop::collection::vec(finite_coord(), d), 1..40),
+        a in prop::collection::vec(nonzero_coord(), d),
+        b in 0.0..1e6_f64,
+    ) -> (usize, Vec<Vec<f64>>, Vec<f64>, f64) {
+        (d, rows, a, b)
+    }
+}
+
+proptest! {
+    #[test]
+    fn translation_places_all_rows_in_octant((_d, rows, a, _b) in dim_and_rows()) {
+        let octant = Octant::of_coefficients(&a).unwrap();
+        let t = Translation::fit(&octant, rows.iter().map(|r| r.as_slice()));
+        for r in &rows {
+            let tr = t.apply(r);
+            prop_assert!(octant.contains(&tr), "translated {tr:?} escapes octant");
+        }
+    }
+
+    #[test]
+    fn claim1_offset_keeps_intercepts_in_octant((_d, rows, a, b) in dim_and_rows()) {
+        let octant = Octant::of_coefficients(&a).unwrap();
+        let t = Translation::fit(&octant, rows.iter().map(|r| r.as_slice()));
+        let b_prime = t.translate_offset(&a, b);
+        prop_assert!(b_prime >= b - 1e-9 * b.abs().max(1.0));
+        for (i, &ai) in a.iter().enumerate() {
+            let intercept = b_prime / ai;
+            prop_assert!(intercept * octant.sign_f64(i) >= -1e-9);
+        }
+    }
+
+    #[test]
+    fn normalization_preserves_margin((_d, rows, a, b) in dim_and_rows()) {
+        let octant = Octant::of_coefficients(&a).unwrap();
+        let n = Normalizer::fit(&octant, rows.iter().map(|r| r.as_slice()));
+        let nq = n.normalize_query(&a, b).unwrap();
+        prop_assert!(nq.a.iter().all(|&v| v > 0.0));
+        for r in &rows {
+            let raw = dot_slices(&a, r) - b;
+            let p = n.normalize_point(r);
+            prop_assert!(p.iter().all(|&v| v >= -1e-9), "normalized coord negative: {p:?}");
+            let norm = dot_slices(&nq.a, &p) - nq.b;
+            // Tolerance scaled by the magnitude of the terms involved.
+            let scale = dot_slices(&a, r).abs().max(b.abs()).max(1.0);
+            prop_assert!((raw - norm).abs() <= 1e-7 * scale, "margin {raw} vs {norm}");
+        }
+    }
+
+    #[test]
+    fn key_decomposition_always_holds((d, rows, a, _b) in dim_and_rows()) {
+        let octant = Octant::of_coefficients(&a).unwrap();
+        let n = Normalizer::fit(&octant, rows.iter().map(|r| r.as_slice()));
+        let c: Vec<f64> = (0..d).map(|i| 0.5 + i as f64 * 0.25).collect();
+        let c_raw = n.raw_normal(&c);
+        let shift = n.key_shift(&c);
+        for r in &rows {
+            let lhs = dot_slices(&c, &n.normalize_point(r));
+            let rhs = dot_slices(&c_raw, r) + shift;
+            let scale = lhs.abs().max(rhs.abs()).max(1.0);
+            prop_assert!((lhs - rhs).abs() <= 1e-7 * scale);
+        }
+    }
+
+    #[test]
+    fn reflect_is_isometric_involution((_d, rows, a, _b) in dim_and_rows()) {
+        let octant = Octant::of_coefficients(&a).unwrap();
+        for r in &rows {
+            let refl = octant.reflect(r);
+            // Involution
+            let back = octant.reflect(&refl);
+            for (x, y) in r.iter().zip(&back) {
+                prop_assert_eq!(x, y);
+            }
+            // Isometry (norm preserved exactly: only sign flips)
+            prop_assert_eq!(
+                planar_geom::norm(r).to_bits(),
+                planar_geom::norm(&refl).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn hyperplane_distance_is_nonnegative_and_zero_on_plane(
+        (a, b, p) in (2..=6usize).prop_flat_map(|d| (
+            prop::collection::vec(nonzero_coord(), d),
+            -1e4..1e4_f64,
+            prop::collection::vec(finite_coord(), d),
+        )),
+    ) {
+        let h = Hyperplane::new(Vector::new(a.clone()).unwrap(), b).unwrap();
+        let dist = h.distance_to(&p).unwrap();
+        prop_assert!(dist >= 0.0);
+        // Project p onto the plane and check the distance there is ~0.
+        let n2 = dot_slices(&a, &a);
+        let t = (dot_slices(&a, &p) - b) / n2;
+        let proj: Vec<f64> = p.iter().zip(&a).map(|(pi, ai)| pi - t * ai).collect();
+        let dp = h.distance_to(&proj).unwrap();
+        let scale = p.iter().fold(1.0_f64, |m, v| m.max(v.abs()));
+        prop_assert!(approx_eq_eps(dp, 0.0, 1e-6 * scale.max(1.0)), "dist {dp}");
+    }
+
+    #[test]
+    fn angle_is_symmetric_and_bounded(
+        a in prop::collection::vec(nonzero_coord(), 3),
+        c in prop::collection::vec(nonzero_coord(), 3),
+    ) {
+        let ha = Hyperplane::new(Vector::new(a).unwrap(), 1.0).unwrap();
+        let hc = Hyperplane::new(Vector::new(c).unwrap(), 2.0).unwrap();
+        let t1 = ha.angle_to(&hc).unwrap();
+        let t2 = hc.angle_to(&ha).unwrap();
+        prop_assert!(approx_eq_eps(t1, t2, 1e-9));
+        prop_assert!((0.0..=std::f64::consts::FRAC_PI_2 + 1e-12).contains(&t1));
+        // Scaling a normal never changes the angle.
+        let scaled = Hyperplane::new(ha.normal().scale(3.5), 1.0).unwrap();
+        prop_assert!(approx_eq_eps(scaled.angle_to(&hc).unwrap(), t1, 1e-9));
+    }
+}

@@ -1,0 +1,212 @@
+//! A hashing-based *approximate* hyperplane-to-nearest-point baseline, in
+//! the spirit of the two-vector hyperplane hash of Jain et al. \[14\].
+//!
+//! The paper's §7.5.2 contrasts the Planar index's exact top-k retrieval
+//! with approximate hashing methods; this module provides such a method so
+//! the recall gap can be measured (see the `fig_table3` harness and the
+//! `active_learning` example).
+//!
+//! Construction: `L` hash tables, each defined by two random unit vectors
+//! `(u, v)` in homogeneous space `(x, 1)` (so hyperplane offsets are
+//! handled uniformly). A data point hashes to the 2-bit bucket
+//! `[sign(u·x̃), sign(v·x̃)]`; a query hyperplane with normal `w̃ = (w, −b)`
+//! probes the bucket `[sign(u·w̃), −sign(v·w̃)]`. Points nearly
+//! perpendicular to `w̃` (i.e. near the hyperplane) collide with elevated
+//! probability. Candidates from all tables are deduplicated and ranked by
+//! true distance; the method is approximate because near points may hash
+//! elsewhere in every table.
+
+use planar_core::FeatureTable;
+use planar_geom::dot_slices;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One hash table: two homogeneous projection vectors and four 2-bit
+/// sign buckets of point ids.
+type HashTable = ([Vec<f64>; 2], [Vec<u32>; 4]);
+
+/// A two-vector hyperplane hash index over a fixed pool.
+#[derive(Debug, Clone)]
+pub struct HyperplaneHash {
+    /// Per table: the two projection vectors (homogeneous, dim+1).
+    tables: Vec<HashTable>,
+    dim: usize,
+}
+
+impl HyperplaneHash {
+    /// Build `tables` hash tables over the pool.
+    pub fn build(pool: &FeatureTable, tables: usize, seed: u64) -> Self {
+        let dim = pool.dim();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let random_unit = |rng: &mut StdRng| -> Vec<f64> {
+            let v: Vec<f64> = (0..dim + 1)
+                .map(|_| crate::hashing::gaussian(rng))
+                .collect();
+            let norm = planar_geom::norm(&v).max(f64::MIN_POSITIVE);
+            v.into_iter().map(|x| x / norm).collect()
+        };
+        let mut built = Vec::with_capacity(tables);
+        for _ in 0..tables {
+            let u = random_unit(&mut rng);
+            let v = random_unit(&mut rng);
+            let mut buckets: [Vec<u32>; 4] = Default::default();
+            for (id, row) in pool.iter() {
+                let b = Self::data_bucket(&u, &v, row);
+                buckets[b].push(id);
+            }
+            built.push(([u, v], buckets));
+        }
+        Self {
+            tables: built,
+            dim,
+        }
+    }
+
+    fn homogeneous_dot(vector: &[f64], point: &[f64]) -> f64 {
+        dot_slices(&vector[..point.len()], point) + vector[point.len()]
+    }
+
+    fn data_bucket(u: &[f64], v: &[f64], row: &[f64]) -> usize {
+        let b0 = usize::from(Self::homogeneous_dot(u, row) >= 0.0);
+        let b1 = usize::from(Self::homogeneous_dot(v, row) >= 0.0);
+        b0 << 1 | b1
+    }
+
+    fn query_bucket(u: &[f64], v: &[f64], w: &[f64], b: f64) -> usize {
+        // Homogeneous query normal (w, −b).
+        let mut wt = w.to_vec();
+        wt.push(-b);
+        let q0 = usize::from(dot_slices(u, &wt) >= 0.0);
+        let q1 = usize::from(dot_slices(v, &wt) < 0.0); // flipped second bit
+        q0 << 1 | q1
+    }
+
+    /// Approximate top-k nearest satisfying points: collect bucket
+    /// candidates from every table, rank by true distance, keep `k`.
+    /// `satisfies`/`distance` come from the caller's query semantics.
+    pub fn top_k(
+        &self,
+        pool: &FeatureTable,
+        w: &[f64],
+        b: f64,
+        k: usize,
+        satisfies: impl Fn(&[f64]) -> bool,
+    ) -> Vec<(u32, f64)> {
+        debug_assert_eq!(w.len(), self.dim);
+        let norm = planar_geom::norm(w).max(f64::MIN_POSITIVE);
+        let mut seen = std::collections::HashSet::new();
+        let mut candidates: Vec<(u32, f64)> = Vec::new();
+        for ([u, v], buckets) in &self.tables {
+            let bucket = Self::query_bucket(u, v, w, b);
+            for &id in &buckets[bucket] {
+                if seen.insert(id) {
+                    let row = pool.row(id);
+                    if satisfies(row) {
+                        let dist = (dot_slices(w, row) - b).abs() / norm;
+                        candidates.push((id, dist));
+                    }
+                }
+            }
+        }
+        candidates.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        candidates.truncate(k);
+        candidates
+    }
+
+    /// Number of hash tables.
+    pub fn table_count(&self) -> usize {
+        self.tables.len()
+    }
+}
+
+/// One standard Gaussian sample (Box–Muller; local copy to keep this crate
+/// independent of `planar-datagen`).
+pub(crate) fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = loop {
+        let u: f64 = rng.random();
+        if u > f64::MIN_POSITIVE {
+            break u;
+        }
+    };
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Recall of an approximate top-k result against the exact one: the
+/// fraction of exact ids that the approximate result found.
+pub fn recall(exact: &[(u32, f64)], approx: &[(u32, f64)]) -> f64 {
+    if exact.is_empty() {
+        return 1.0;
+    }
+    let approx_ids: std::collections::HashSet<u32> = approx.iter().map(|(id, _)| *id).collect();
+    let hit = exact.iter().filter(|(id, _)| approx_ids.contains(id)).count();
+    hit as f64 / exact.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use planar_core::{Cmp, InequalityQuery, SeqScan, TopKQuery};
+
+    fn pool(n: usize) -> FeatureTable {
+        let mut rng = StdRng::seed_from_u64(77);
+        FeatureTable::from_rows(
+            3,
+            (0..n)
+                .map(|_| (0..3).map(|_| rng.random_range(0.0..10.0)).collect())
+                .collect::<Vec<Vec<f64>>>(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn candidates_are_ranked_and_satisfying() {
+        let p = pool(500);
+        let h = HyperplaneHash::build(&p, 8, 1);
+        let (w, b) = (vec![1.0, 1.0, 1.0], 15.0);
+        let q = InequalityQuery::new(w.clone(), Cmp::Leq, b).unwrap();
+        let got = h.top_k(&p, &w, b, 10, |row| q.satisfies(row));
+        assert!(got.len() <= 10);
+        for pair in got.windows(2) {
+            assert!(pair[0].1 <= pair[1].1);
+        }
+        for (id, _) in &got {
+            assert!(q.satisfies(p.row(*id)));
+        }
+    }
+
+    #[test]
+    fn more_tables_no_worse_recall_on_average() {
+        let p = pool(2000);
+        let (w, b) = (vec![1.0, 2.0, 0.5], 18.0);
+        let q = InequalityQuery::new(w.clone(), Cmp::Leq, b).unwrap();
+        let exact = SeqScan::new(&p)
+            .top_k(&TopKQuery::new(q.clone(), 20).unwrap())
+            .unwrap();
+        let mut recalls = Vec::new();
+        for tables in [1, 4, 16, 64] {
+            let mut sum = 0.0;
+            for seed in 0..5 {
+                let h = HyperplaneHash::build(&p, tables, seed);
+                let approx = h.top_k(&p, &w, b, 20, |row| q.satisfies(row));
+                sum += recall(&exact, &approx);
+            }
+            recalls.push(sum / 5.0);
+        }
+        // Monotone trend (allowing small noise): last ≥ first, and the
+        // 64-table variant should recover most of the exact set.
+        assert!(recalls[3] >= recalls[0], "{recalls:?}");
+        assert!(recalls[3] > 0.5, "{recalls:?}");
+        // But it is genuinely approximate — typically below-perfect with
+        // few tables.
+        assert!(recalls[0] < 1.0, "{recalls:?}");
+    }
+
+    #[test]
+    fn recall_helper() {
+        let exact = vec![(1, 0.1), (2, 0.2)];
+        assert_eq!(recall(&exact, &[(1, 0.1)]), 0.5);
+        assert_eq!(recall(&exact, &exact), 1.0);
+        assert_eq!(recall(&[], &[]), 1.0);
+    }
+}

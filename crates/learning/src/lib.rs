@@ -1,0 +1,78 @@
+//! # planar-learning
+//!
+//! The pool-based active-learning application of the Planar index (paper
+//! §7.5.2, Table 3).
+//!
+//! In pool-based active learning with uncertainty sampling, each round asks
+//! for the unlabeled points *closest to the current classifier hyperplane*
+//! on each side — exactly the paper's top-k nearest-neighbor query
+//! (Problem 2) with the identity feature map. The paper's point is that the
+//! Planar index answers this **exactly** for any `k`, unlike the
+//! hashing-based approximate methods of Jain et al. \[14\] and Liu et
+//! al. \[18\], while still beating a sequential scan.
+//!
+//! This crate provides:
+//!
+//! * [`classifier::LinearClassifier`] — a perceptron-trained linear model
+//!   (weights kept positive so its hyperplane stays inside the indexed
+//!   octant; see the module docs for why this is the right setup here);
+//! * [`retrieval::TopKRetriever`] — exact hyperplane-to-closest-points
+//!   retrieval through a `PlanarIndexSet`, with a scan twin for timing
+//!   comparisons;
+//! * [`hashing::HyperplaneHash`] — a simplified two-vector hyperplane hash
+//!   in the spirit of \[14\], the *approximate* baseline whose recall the
+//!   exact index is compared against;
+//! * [`active::ActiveLearner`] — the full uncertainty-sampling loop
+//!   producing per-round accuracy and retrieval statistics.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod active;
+pub mod classifier;
+pub mod hashing;
+pub mod retrieval;
+
+pub use active::{ActiveLearner, RoundReport};
+pub use classifier::LinearClassifier;
+pub use hashing::HyperplaneHash;
+pub use retrieval::{Side, TopKRetriever};
+
+/// Errors of the learning layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LearningError {
+    /// The pool is empty.
+    EmptyPool,
+    /// Dimensionality mismatch between pool and classifier.
+    DimensionMismatch {
+        /// expected dimensionality
+        expected: usize,
+        /// found dimensionality
+        found: usize,
+    },
+    /// An underlying index error.
+    Index(planar_core::PlanarError),
+}
+
+impl core::fmt::Display for LearningError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            LearningError::EmptyPool => write!(f, "pool must be non-empty"),
+            LearningError::DimensionMismatch { expected, found } => {
+                write!(f, "dimension mismatch: expected {expected}, found {found}")
+            }
+            LearningError::Index(e) => write!(f, "index error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LearningError {}
+
+impl From<planar_core::PlanarError> for LearningError {
+    fn from(e: planar_core::PlanarError) -> Self {
+        LearningError::Index(e)
+    }
+}
+
+/// Result alias for this crate.
+pub type Result<T> = core::result::Result<T, LearningError>;

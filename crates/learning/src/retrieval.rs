@@ -1,0 +1,149 @@
+//! Exact hyperplane-to-closest-points retrieval through the Planar index.
+//!
+//! Given the classifier hyperplane `⟨w, x⟩ = b`, uncertainty sampling wants
+//! the `k` unlabeled points nearest the hyperplane on each side: the
+//! positive side is the top-k query with constraint `⟨w, x⟩ ≥ b`, the
+//! negative side with `≤` (paper §6). The identity feature map applies —
+//! Problem 2 reduces to the hyperplane-to-nearest-point query of [14, 18],
+//! answered here exactly.
+
+use crate::Result;
+use planar_core::{
+    Cmp, FeatureTable, IndexConfig, InequalityQuery, ParameterDomain, PlanarIndexSet, SeqScan,
+    TopKQuery, VecStore,
+};
+
+/// Which side of the hyperplane to retrieve from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Side {
+    /// Points with `⟨w, x⟩ ≥ b` (predicted positive).
+    Positive,
+    /// Points with `⟨w, x⟩ ≤ b` (predicted negative).
+    Negative,
+}
+
+/// Exact top-k retriever over a fixed pool.
+#[derive(Debug, Clone)]
+pub struct TopKRetriever {
+    set: PlanarIndexSet<VecStore>,
+    pool: FeatureTable,
+}
+
+impl TopKRetriever {
+    /// Index a pool of points for hyperplanes whose weights fall in
+    /// `domain`.
+    ///
+    /// # Errors
+    ///
+    /// Index-construction errors.
+    pub fn build(pool: FeatureTable, domain: ParameterDomain, budget: usize) -> Result<Self> {
+        let set = PlanarIndexSet::build(pool.clone(), domain, IndexConfig::with_budget(budget))?;
+        Ok(Self { set, pool })
+    }
+
+    /// The `k` points nearest the hyperplane `⟨w, x⟩ = b` on `side`,
+    /// sorted by ascending distance — via the Planar index (Algorithm 2).
+    ///
+    /// # Errors
+    ///
+    /// Query validation errors.
+    pub fn closest(
+        &self,
+        w: &[f64],
+        b: f64,
+        side: Side,
+        k: usize,
+    ) -> Result<(Vec<(u32, f64)>, planar_core::index::TopKStats)> {
+        let cmp = match side {
+            Side::Positive => Cmp::Geq,
+            Side::Negative => Cmp::Leq,
+        };
+        let q = TopKQuery::new(InequalityQuery::new(w.to_vec(), cmp, b)?, k)?;
+        let out = self.set.top_k(&q)?;
+        Ok((out.neighbors, out.stats))
+    }
+
+    /// The same retrieval by brute force (the baseline of Table 3).
+    ///
+    /// # Errors
+    ///
+    /// Query validation errors.
+    pub fn closest_scan(&self, w: &[f64], b: f64, side: Side, k: usize) -> Result<Vec<(u32, f64)>> {
+        let cmp = match side {
+            Side::Positive => Cmp::Geq,
+            Side::Negative => Cmp::Leq,
+        };
+        let q = TopKQuery::new(InequalityQuery::new(w.to_vec(), cmp, b)?, k)?;
+        Ok(SeqScan::new(&self.pool).top_k(&q)?)
+    }
+
+    /// The pool being indexed.
+    pub fn pool(&self) -> &FeatureTable {
+        &self.pool
+    }
+
+    /// The underlying index set.
+    pub fn index_set(&self) -> &PlanarIndexSet<VecStore> {
+        &self.set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool() -> FeatureTable {
+        FeatureTable::from_rows(
+            2,
+            vec![
+                vec![1.0, 1.0],  // margin to x+y=5: -3
+                vec![2.0, 2.9],  // -0.1
+                vec![2.6, 2.5],  // +0.1
+                vec![6.0, 6.0],  // +7
+                vec![2.5, 2.5],  // 0 (on the plane)
+            ],
+        )
+        .unwrap()
+    }
+
+    fn retriever() -> TopKRetriever {
+        TopKRetriever::build(
+            pool(),
+            ParameterDomain::uniform_continuous(2, 0.5, 2.0).unwrap(),
+            8,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn closest_on_each_side() {
+        let r = retriever();
+        let (pos, _) = r.closest(&[1.0, 1.0], 5.0, Side::Positive, 2).unwrap();
+        // On-plane point satisfies ≥ and has distance 0.
+        assert_eq!(pos[0].0, 4);
+        assert_eq!(pos[1].0, 2);
+        let (neg, _) = r.closest(&[1.0, 1.0], 5.0, Side::Negative, 2).unwrap();
+        assert_eq!(neg[0].0, 4); // on-plane also satisfies ≤
+        assert_eq!(neg[1].0, 1);
+    }
+
+    #[test]
+    fn index_and_scan_agree() {
+        let r = retriever();
+        for side in [Side::Positive, Side::Negative] {
+            for k in [1, 3, 10] {
+                let (idx, _) = r.closest(&[1.3, 0.8], 4.0, side, k).unwrap();
+                let scan = r.closest_scan(&[1.3, 0.8], 4.0, side, k).unwrap();
+                assert_eq!(idx, scan, "side {side:?} k {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn stats_track_checked_points() {
+        let r = retriever();
+        let (_, stats) = r.closest(&[1.0, 1.0], 5.0, Side::Negative, 1).unwrap();
+        assert!(stats.checked() <= r.pool().len());
+        assert!(stats.checked_percentage() <= 100.0);
+    }
+}

@@ -1,0 +1,80 @@
+//! The naïve all-pairs baseline the paper compares against (§7.5.1: "a
+//! baseline method which verifies all 5K×5K object pairs").
+
+use crate::kinematics::{dist_sq, AcceleratingMotion, CircularMotion, LinearMotion};
+use crate::Pair;
+
+/// All linear–linear pairs within `s` at time `t`, by exhaustive check.
+pub fn linear_pairs_within(
+    set_a: &[LinearMotion],
+    set_b: &[LinearMotion],
+    t: f64,
+    s: f64,
+) -> Vec<Pair> {
+    let positions_a: Vec<_> = set_a.iter().map(|m| m.position(t)).collect();
+    let positions_b: Vec<_> = set_b.iter().map(|m| m.position(t)).collect();
+    pairs_within(&positions_a, &positions_b, s)
+}
+
+/// All accelerating–linear pairs within `s` at time `t`.
+pub fn accelerating_pairs_within(
+    set_a: &[AcceleratingMotion],
+    set_b: &[LinearMotion],
+    t: f64,
+    s: f64,
+) -> Vec<Pair> {
+    let positions_a: Vec<_> = set_a.iter().map(|m| m.position(t)).collect();
+    let positions_b: Vec<_> = set_b.iter().map(|m| m.position(t)).collect();
+    pairs_within(&positions_a, &positions_b, s)
+}
+
+/// All circular–linear pairs within `s` at time `t`.
+pub fn circular_pairs_within(
+    set_a: &[CircularMotion],
+    set_b: &[LinearMotion],
+    t: f64,
+    s: f64,
+) -> Vec<Pair> {
+    let positions_a: Vec<_> = set_a.iter().map(|m| m.position(t)).collect();
+    let positions_b: Vec<_> = set_b.iter().map(|m| m.position(t)).collect();
+    pairs_within(&positions_a, &positions_b, s)
+}
+
+/// Exhaustive distance check over two position sets.
+pub fn pairs_within(a: &[[f64; 3]], b: &[[f64; 3]], s: f64) -> Vec<Pair> {
+    let s2 = s * s;
+    let mut out = Vec::new();
+    for (i, pa) in a.iter().enumerate() {
+        for (j, pb) in b.iter().enumerate() {
+            if dist_sq(pa, pb) <= s2 {
+                out.push((i as u32, j as u32));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pairs_within_basic() {
+        let a = [[0.0, 0.0, 0.0], [100.0, 0.0, 0.0]];
+        let b = [[3.0, 4.0, 0.0], [100.0, 5.0, 0.0]];
+        let got = pairs_within(&a, &b, 5.0);
+        assert_eq!(got, vec![(0, 0), (1, 1)]);
+        // boundary: distance exactly 5 counts (≤).
+        assert!(pairs_within(&[[0.0; 3]], &[[5.0, 0.0, 0.0]], 5.0).len() == 1);
+        assert!(pairs_within(&[[0.0; 3]], &[[5.001, 0.0, 0.0]], 5.0).is_empty());
+    }
+
+    #[test]
+    fn linear_baseline_moves_objects() {
+        let a = vec![LinearMotion::planar(0.0, 0.0, 1.0, 0.0)];
+        let b = vec![LinearMotion::planar(20.0, 0.0, -1.0, 0.0)];
+        // They meet at t = 10.
+        assert!(linear_pairs_within(&a, &b, 0.0, 5.0).is_empty());
+        assert_eq!(linear_pairs_within(&a, &b, 10.0, 5.0), vec![(0, 0)]);
+    }
+}

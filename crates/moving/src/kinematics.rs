@@ -1,0 +1,147 @@
+//! Motion models and their exact kinematics.
+//!
+//! All positions are 3-vectors; planar (2D) scenarios use `z = 0`. The
+//! models match the paper's workloads (§7.5.1): constant-velocity lines,
+//! origin-centered concentric circles, and constant acceleration.
+
+/// A 3-vector.
+pub type Vec3 = [f64; 3];
+
+/// Dot product of two 3-vectors.
+#[inline]
+pub fn dot3(a: &Vec3, b: &Vec3) -> f64 {
+    a[0] * b[0] + a[1] * b[1] + a[2] * b[2]
+}
+
+/// Component-wise difference.
+#[inline]
+pub fn sub3(a: &Vec3, b: &Vec3) -> Vec3 {
+    [a[0] - b[0], a[1] - b[1], a[2] - b[2]]
+}
+
+/// Squared Euclidean distance between two positions.
+#[inline]
+pub fn dist_sq(a: &Vec3, b: &Vec3) -> f64 {
+    let d = sub3(a, b);
+    dot3(&d, &d)
+}
+
+/// Constant-velocity motion: `pos(t) = p + u·t`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearMotion {
+    /// Initial position.
+    pub p: Vec3,
+    /// Velocity.
+    pub u: Vec3,
+}
+
+impl LinearMotion {
+    /// Planar (z = 0) constructor.
+    pub fn planar(px: f64, py: f64, ux: f64, uy: f64) -> Self {
+        Self {
+            p: [px, py, 0.0],
+            u: [ux, uy, 0.0],
+        }
+    }
+
+    /// Position at time `t`.
+    pub fn position(&self, t: f64) -> Vec3 {
+        [
+            self.p[0] + self.u[0] * t,
+            self.p[1] + self.u[1] * t,
+            self.p[2] + self.u[2] * t,
+        ]
+    }
+}
+
+/// Constant-acceleration motion: `pos(t) = p + u·t + ½·a·t²`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AcceleratingMotion {
+    /// Initial position.
+    pub p: Vec3,
+    /// Initial velocity.
+    pub u: Vec3,
+    /// Acceleration.
+    pub a: Vec3,
+}
+
+impl AcceleratingMotion {
+    /// Position at time `t`.
+    pub fn position(&self, t: f64) -> Vec3 {
+        let h = 0.5 * t * t;
+        [
+            self.p[0] + self.u[0] * t + self.a[0] * h,
+            self.p[1] + self.u[1] * t + self.a[1] * h,
+            self.p[2] + self.u[2] * t + self.a[2] * h,
+        ]
+    }
+}
+
+/// Origin-centered circular motion (the paper's "concentric circles",
+/// Example 2): `pos(t) = (r·sin ωt, r·cos ωt, 0)` with `ω` in radians per
+/// minute.
+///
+/// The sine-first convention matches the paper's Example 2 monomials
+/// exactly (their `C = 1 + sin ωt` multiplies the x-cross-terms).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CircularMotion {
+    /// Radius of the circle.
+    pub r: f64,
+    /// Angular velocity, radians per time unit.
+    pub omega: f64,
+}
+
+impl CircularMotion {
+    /// Position at time `t`.
+    pub fn position(&self, t: f64) -> Vec3 {
+        let angle = self.omega * t;
+        [self.r * angle.sin(), self.r * angle.cos(), 0.0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_position() {
+        let m = LinearMotion::planar(1.0, 2.0, 0.5, -0.25);
+        assert_eq!(m.position(0.0), [1.0, 2.0, 0.0]);
+        assert_eq!(m.position(4.0), [3.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn accelerating_position() {
+        let m = AcceleratingMotion {
+            p: [0.0, 0.0, 1.0],
+            u: [1.0, 0.0, 0.0],
+            a: [0.0, 2.0, 0.0],
+        };
+        assert_eq!(m.position(0.0), [0.0, 0.0, 1.0]);
+        // x = t, y = t², z = 1
+        assert_eq!(m.position(3.0), [3.0, 9.0, 1.0]);
+    }
+
+    #[test]
+    fn circular_position_stays_on_circle() {
+        let m = CircularMotion {
+            r: 5.0,
+            omega: 0.3,
+        };
+        for t in [0.0, 1.0, 7.3, 100.0] {
+            let p = m.position(t);
+            let norm = (p[0] * p[0] + p[1] * p[1]).sqrt();
+            assert!((norm - 5.0).abs() < 1e-9, "t={t}: radius {norm}");
+            assert_eq!(p[2], 0.0);
+        }
+        // At t = 0 the object sits at angle 0: (0, r).
+        assert_eq!(m.position(0.0), [0.0, 5.0, 0.0]);
+    }
+
+    #[test]
+    fn distance_helpers() {
+        assert_eq!(dist_sq(&[0.0, 0.0, 0.0], &[3.0, 4.0, 0.0]), 25.0);
+        assert_eq!(dot3(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert_eq!(sub3(&[1.0, 1.0, 1.0], &[0.5, 2.0, 1.0]), [0.5, -1.0, 0.0]);
+    }
+}

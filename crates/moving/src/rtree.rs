@@ -1,0 +1,319 @@
+//! An STR-bulk-loaded R-tree over 2D points, plus the MBR-based
+//! intersection join of Fig. 14a.
+//!
+//! This is the *linear-motion specialist* the paper compares against
+//! (standing in for the highly optimized intersection-join code of Zhang et
+//! al. \[33\], which the authors obtained privately). For constant-velocity
+//! objects and a single future instant `t`, positions at `t` are computed
+//! exactly, set B is packed into an R-tree with Sort-Tile-Recursive
+//! loading, and each A object probes a square window of half-width `S`
+//! followed by an exact distance check. This is the textbook fast path —
+//! and it is *only* applicable to motions whose future positions are affine
+//! in `t`; the Planar index's generality over circular/accelerating motion
+//! is exactly what Fig. 14b/c demonstrates.
+
+use crate::kinematics::LinearMotion;
+use crate::Pair;
+
+/// Node capacity (entries per leaf, children per inner node).
+const NODE_CAP: usize = 16;
+
+/// An axis-aligned 2D rectangle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rect {
+    /// Lower-left corner.
+    pub lo: [f64; 2],
+    /// Upper-right corner.
+    pub hi: [f64; 2],
+}
+
+impl Rect {
+    /// The empty rectangle (inverted bounds; absorbs on expand).
+    pub fn empty() -> Self {
+        Self {
+            lo: [f64::INFINITY; 2],
+            hi: [f64::NEG_INFINITY; 2],
+        }
+    }
+
+    /// A point rectangle.
+    pub fn point(p: [f64; 2]) -> Self {
+        Self { lo: p, hi: p }
+    }
+
+    /// A square window of half-width `r` around `center`.
+    pub fn window(center: [f64; 2], r: f64) -> Self {
+        Self {
+            lo: [center[0] - r, center[1] - r],
+            hi: [center[0] + r, center[1] + r],
+        }
+    }
+
+    /// Expand to cover `other`.
+    pub fn expand(&mut self, other: &Rect) {
+        for d in 0..2 {
+            self.lo[d] = self.lo[d].min(other.lo[d]);
+            self.hi[d] = self.hi[d].max(other.hi[d]);
+        }
+    }
+
+    /// Do two rectangles overlap (closed bounds)?
+    pub fn intersects(&self, other: &Rect) -> bool {
+        (0..2).all(|d| self.lo[d] <= other.hi[d] && self.hi[d] >= other.lo[d])
+    }
+
+    /// Does the rectangle contain a point?
+    pub fn contains_point(&self, p: [f64; 2]) -> bool {
+        (0..2).all(|d| self.lo[d] <= p[d] && p[d] <= self.hi[d])
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        rect: Rect,
+        entries: Vec<([f64; 2], u32)>,
+    },
+    Inner {
+        rect: Rect,
+        children: Vec<Node>,
+    },
+}
+
+impl Node {
+    fn rect(&self) -> &Rect {
+        match self {
+            Node::Leaf { rect, .. } | Node::Inner { rect, .. } => rect,
+        }
+    }
+}
+
+/// A static R-tree over 2D points, bulk-loaded with Sort-Tile-Recursive
+/// packing.
+#[derive(Debug, Clone)]
+pub struct RTree {
+    root: Option<Node>,
+    len: usize,
+}
+
+impl RTree {
+    /// Bulk-load from `(position, id)` points.
+    pub fn build(mut points: Vec<([f64; 2], u32)>) -> Self {
+        let len = points.len();
+        if points.is_empty() {
+            return Self { root: None, len };
+        }
+        // STR leaf packing: sort by x, tile into vertical slabs, sort each
+        // slab by y, chunk into leaves.
+        let leaf_count = len.div_ceil(NODE_CAP);
+        let slabs = (leaf_count as f64).sqrt().ceil() as usize;
+        let per_slab = len.div_ceil(slabs);
+        points.sort_by(|a, b| a.0[0].total_cmp(&b.0[0]));
+        let mut leaves: Vec<Node> = Vec::with_capacity(leaf_count);
+        for slab in points.chunks_mut(per_slab) {
+            slab.sort_by(|a, b| a.0[1].total_cmp(&b.0[1]));
+            for chunk in slab.chunks(NODE_CAP) {
+                let mut rect = Rect::empty();
+                for (p, _) in chunk {
+                    rect.expand(&Rect::point(*p));
+                }
+                leaves.push(Node::Leaf {
+                    rect,
+                    entries: chunk.to_vec(),
+                });
+            }
+        }
+        // Pack upper levels the same way on rect centers.
+        let mut level = leaves;
+        while level.len() > 1 {
+            let node_count = level.len().div_ceil(NODE_CAP);
+            let slabs = (node_count as f64).sqrt().ceil() as usize;
+            let per_slab = level.len().div_ceil(slabs);
+            level.sort_by(|a, b| {
+                let ca = a.rect().lo[0] + a.rect().hi[0];
+                let cb = b.rect().lo[0] + b.rect().hi[0];
+                ca.total_cmp(&cb)
+            });
+            let mut next: Vec<Node> = Vec::with_capacity(node_count);
+            let mut level_iter = level.into_iter().peekable();
+            while level_iter.peek().is_some() {
+                let mut slab: Vec<Node> = level_iter.by_ref().take(per_slab).collect();
+                slab.sort_by(|a, b| {
+                    let ca = a.rect().lo[1] + a.rect().hi[1];
+                    let cb = b.rect().lo[1] + b.rect().hi[1];
+                    ca.total_cmp(&cb)
+                });
+                let mut slab_iter = slab.into_iter().peekable();
+                while slab_iter.peek().is_some() {
+                    let children: Vec<Node> = slab_iter.by_ref().take(NODE_CAP).collect();
+                    let mut rect = Rect::empty();
+                    for c in &children {
+                        rect.expand(c.rect());
+                    }
+                    next.push(Node::Inner { rect, children });
+                }
+            }
+            level = next;
+        }
+        Self {
+            root: level.pop(),
+            len,
+        }
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Visit every point inside `window`.
+    pub fn search(&self, window: &Rect, visit: &mut impl FnMut([f64; 2], u32)) {
+        if let Some(root) = &self.root {
+            Self::search_node(root, window, visit);
+        }
+    }
+
+    /// Collect the ids of all points inside `window`.
+    pub fn query_window(&self, window: &Rect) -> Vec<u32> {
+        let mut out = Vec::new();
+        self.search(window, &mut |_, id| out.push(id));
+        out
+    }
+
+    fn search_node(node: &Node, window: &Rect, visit: &mut impl FnMut([f64; 2], u32)) {
+        match node {
+            Node::Leaf { rect, entries } => {
+                if rect.intersects(window) {
+                    for (p, id) in entries {
+                        if window.contains_point(*p) {
+                            visit(*p, *id);
+                        }
+                    }
+                }
+            }
+            Node::Inner { rect, children } => {
+                if rect.intersects(window) {
+                    for c in children {
+                        Self::search_node(c, window, visit);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The MBR-tree intersection method of Fig. 14a: exact positions at `t`,
+/// R-tree over set B, window probe + exact distance check per A object.
+pub fn mbr_intersection(
+    set_a: &[LinearMotion],
+    set_b: &[LinearMotion],
+    t: f64,
+    s: f64,
+) -> Vec<Pair> {
+    let positions_b: Vec<([f64; 2], u32)> = set_b
+        .iter()
+        .enumerate()
+        .map(|(j, m)| {
+            let p = m.position(t);
+            ([p[0], p[1]], j as u32)
+        })
+        .collect();
+    let tree = RTree::build(positions_b);
+    let s2 = s * s;
+    let mut out = Vec::new();
+    for (i, m) in set_a.iter().enumerate() {
+        let p = m.position(t);
+        let center = [p[0], p[1]];
+        tree.search(&Rect::window(center, s), &mut |q, j| {
+            let (dx, dy) = (center[0] - q[0], center[1] - q[1]);
+            if dx * dx + dy * dy <= s2 {
+                out.push((i as u32, j));
+            }
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{baseline, workload};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn rect_operations() {
+        let mut r = Rect::empty();
+        r.expand(&Rect::point([1.0, 2.0]));
+        r.expand(&Rect::point([-1.0, 5.0]));
+        assert_eq!(r.lo, [-1.0, 2.0]);
+        assert_eq!(r.hi, [1.0, 5.0]);
+        assert!(r.intersects(&Rect::window([0.0, 3.0], 0.5)));
+        assert!(!r.intersects(&Rect::window([10.0, 10.0], 0.5)));
+        assert!(r.contains_point([0.0, 3.0]));
+        assert!(!r.contains_point([0.0, 1.0]));
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t = RTree::build(vec![]);
+        assert!(t.is_empty());
+        assert!(t.query_window(&Rect::window([0.0, 0.0], 1e9)).is_empty());
+    }
+
+    #[test]
+    fn window_queries_match_linear_scan() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let points: Vec<([f64; 2], u32)> = (0..3000)
+            .map(|i| {
+                (
+                    [rng.random_range(-100.0..100.0), rng.random_range(-100.0..100.0)],
+                    i,
+                )
+            })
+            .collect();
+        let tree = RTree::build(points.clone());
+        assert_eq!(tree.len(), 3000);
+        for _ in 0..25 {
+            let center = [rng.random_range(-100.0..100.0), rng.random_range(-100.0..100.0)];
+            let w = Rect::window(center, rng.random_range(1.0..40.0));
+            let mut got = tree.query_window(&w);
+            got.sort_unstable();
+            let mut want: Vec<u32> = points
+                .iter()
+                .filter(|(p, _)| w.contains_point(*p))
+                .map(|(_, id)| *id)
+                .collect();
+            want.sort_unstable();
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn mbr_intersection_matches_baseline() {
+        let a = workload::linear_objects(60, 300.0, 21);
+        let b = workload::linear_objects(50, 300.0, 22);
+        for t in [10.0, 12.5, 15.0] {
+            let mut got = mbr_intersection(&a, &b, t, 12.0);
+            got.sort_unstable();
+            let mut want = baseline::linear_pairs_within(&a, &b, t, 12.0);
+            want.sort_unstable();
+            assert_eq!(got, want, "t={t}");
+        }
+    }
+
+    #[test]
+    fn boundary_points_are_included() {
+        // Distance exactly s.
+        let a = vec![LinearMotion::planar(0.0, 0.0, 0.0, 0.0)];
+        let b = vec![LinearMotion::planar(5.0, 0.0, 0.0, 0.0)];
+        // Use tiny-but-nonzero velocities? Not needed: static objects work.
+        let got = mbr_intersection(&a, &b, 10.0, 5.0);
+        assert_eq!(got, vec![(0, 0)]);
+    }
+}

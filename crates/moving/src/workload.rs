@@ -1,0 +1,148 @@
+//! Workload generators matching the paper's simulation setups (§7.5.1).
+//!
+//! * Linear objects: positions uniform in a square (or cube) of the given
+//!   extent centered at the origin; per-axis speed uniform in 0.1–1
+//!   mile/min with random sign.
+//! * Circular objects: origin-centered concentric circles, radius uniform
+//!   in 1–100 miles, angular velocity uniform in 1–5 degrees/min.
+//! * Accelerating objects: 3D, initial speed 0.1–1 mile/min and
+//!   acceleration 0.01–0.05 mile/min² per axis, random signs.
+
+use crate::kinematics::{AcceleratingMotion, CircularMotion, LinearMotion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn signed_uniform<R: Rng + ?Sized>(rng: &mut R, lo: f64, hi: f64) -> f64 {
+    let magnitude = rng.random_range(lo..=hi);
+    if rng.random_bool(0.5) {
+        magnitude
+    } else {
+        -magnitude
+    }
+}
+
+/// `n` planar constant-velocity objects in an `extent × extent` square
+/// centered at the origin (paper: 1000×1000 mile², speed 0.1–1 mile/min).
+pub fn linear_objects(n: usize, extent: f64, seed: u64) -> Vec<LinearMotion> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x0011_AEA2);
+    let half = extent / 2.0;
+    (0..n)
+        .map(|_| {
+            LinearMotion::planar(
+                rng.random_range(-half..=half),
+                rng.random_range(-half..=half),
+                signed_uniform(&mut rng, 0.1, 1.0),
+                signed_uniform(&mut rng, 0.1, 1.0),
+            )
+        })
+        .collect()
+}
+
+/// `n` 3D constant-velocity objects in an `extent³` cube centered at the
+/// origin (the second set of the accelerating workload, Fig. 14c).
+pub fn linear_objects_3d(n: usize, extent: f64, seed: u64) -> Vec<LinearMotion> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x0011_AEA3);
+    let half = extent / 2.0;
+    (0..n)
+        .map(|_| LinearMotion {
+            p: [
+                rng.random_range(-half..=half),
+                rng.random_range(-half..=half),
+                rng.random_range(-half..=half),
+            ],
+            u: [
+                signed_uniform(&mut rng, 0.1, 1.0),
+                signed_uniform(&mut rng, 0.1, 1.0),
+                signed_uniform(&mut rng, 0.1, 1.0),
+            ],
+        })
+        .collect()
+}
+
+/// `n` origin-centered circular objects: radius uniform in 1–100 miles,
+/// angular velocity uniform in 1–5 degrees/min (Fig. 14b).
+pub fn circular_objects(n: usize, seed: u64) -> Vec<CircularMotion> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x00C1_AC1E);
+    (0..n)
+        .map(|_| CircularMotion {
+            r: rng.random_range(1.0..=100.0),
+            omega: rng.random_range(1.0..=5.0_f64).to_radians(),
+        })
+        .collect()
+}
+
+/// `n` 3D accelerating objects in an `extent³` cube: initial speed 0.1–1
+/// mile/min, acceleration 0.01–0.05 mile/min² per axis (Fig. 14c).
+pub fn accelerating_objects(n: usize, extent: f64, seed: u64) -> Vec<AcceleratingMotion> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x000A_CCE1);
+    let half = extent / 2.0;
+    (0..n)
+        .map(|_| AcceleratingMotion {
+            p: [
+                rng.random_range(-half..=half),
+                rng.random_range(-half..=half),
+                rng.random_range(-half..=half),
+            ],
+            u: [
+                signed_uniform(&mut rng, 0.1, 1.0),
+                signed_uniform(&mut rng, 0.1, 1.0),
+                signed_uniform(&mut rng, 0.1, 1.0),
+            ],
+            a: [
+                signed_uniform(&mut rng, 0.01, 0.05),
+                signed_uniform(&mut rng, 0.01, 0.05),
+                signed_uniform(&mut rng, 0.01, 0.05),
+            ],
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_objects_respect_parameters() {
+        let objs = linear_objects(500, 1000.0, 1);
+        assert_eq!(objs.len(), 500);
+        for o in &objs {
+            assert!(o.p[0].abs() <= 500.0 && o.p[1].abs() <= 500.0);
+            assert_eq!(o.p[2], 0.0);
+            for axis in 0..2 {
+                let speed = o.u[axis].abs();
+                assert!((0.1..=1.0).contains(&speed), "speed {speed}");
+            }
+            assert_eq!(o.u[2], 0.0);
+        }
+        // Signs must vary.
+        assert!(objs.iter().any(|o| o.u[0] > 0.0) && objs.iter().any(|o| o.u[0] < 0.0));
+    }
+
+    #[test]
+    fn circular_objects_respect_parameters() {
+        let objs = circular_objects(300, 2);
+        for o in &objs {
+            assert!((1.0..=100.0).contains(&o.r));
+            let deg = o.omega.to_degrees();
+            assert!((1.0..=5.0).contains(&deg), "omega {deg} deg/min");
+        }
+    }
+
+    #[test]
+    fn accelerating_objects_respect_parameters() {
+        let objs = accelerating_objects(300, 1000.0, 3);
+        for o in &objs {
+            for axis in 0..3 {
+                assert!(o.p[axis].abs() <= 500.0);
+                assert!((0.1..=1.0).contains(&o.u[axis].abs()));
+                assert!((0.01..=0.05).contains(&o.a[axis].abs()));
+            }
+        }
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(linear_objects(10, 100.0, 5), linear_objects(10, 100.0, 5));
+        assert_ne!(linear_objects(10, 100.0, 5), linear_objects(10, 100.0, 6));
+    }
+}

@@ -1,0 +1,390 @@
+//! Automatic scalar-product-form compilation.
+//!
+//! The paper observes (Example 1) that a predicate like
+//!
+//! ```text
+//! active - threshold * voltage * current <= 0
+//! ```
+//!
+//! "consists of two components — a function over the database attributes …
+//! and a parameter set" — and builds the index over the former. Doing that
+//! split *by hand* is mechanical, so this module automates it: given the
+//! predicate text, the schema, and the declared parameters, it
+//!
+//! 1. parses both sides and forms the polynomial `lhs − rhs` over columns
+//!    **and** parameters;
+//! 2. expands it into monomials — every monomial factors uniquely into a
+//!    column-only and a parameter-only part;
+//! 3. groups by column part, yielding
+//!    `Σᵢ coefᵢ(params)·φᵢ(columns) {≤,≥} offset(params)`;
+//! 4. derives each coefficient's domain from the parameter domains by
+//!    interval arithmetic (the index normals are sampled from these,
+//!    paper §5.2) and rejects axes whose coefficient could be zero or
+//!    change sign (no octant could be fixed, §4.5).
+//!
+//! The result is a ready-to-build [`FunctionSpec`]. The `CREATE FUNCTION`
+//! statements of [`crate::sql`] are compiled through this path.
+
+use crate::expr::{BinOp, Expr};
+use crate::function::{Coef, FunctionSpec};
+use crate::parse::{parse_raw, RawExpr};
+use crate::poly::{Monomial, Poly, Var};
+use crate::schema::Schema;
+use crate::{RelationError, Result};
+use planar_core::{Cmp, Domain};
+
+/// Maximum integer exponent accepted in predicates (polynomial blow-up
+/// guard).
+const MAX_EXPONENT: u32 = 16;
+
+/// A predicate compiled to scalar-product form.
+#[derive(Debug, Clone)]
+pub struct AnalyzedPredicate {
+    /// The buildable function spec (axes, coefficients, offset, cmp).
+    pub spec: FunctionSpec,
+    /// Human-readable rendering of each axis expression `φᵢ`.
+    pub axes_display: Vec<String>,
+    /// The comparison direction.
+    pub cmp: Cmp,
+}
+
+/// Compile `predicate` (e.g. `"active - threshold * voltage * current <= 0"`)
+/// against `schema`, with `params` declaring the run-time parameters and
+/// their domains in positional order.
+///
+/// # Errors
+///
+/// Parse errors, [`RelationError::UnknownIdentifier`],
+/// [`RelationError::NotPolynomial`] (division by variables, fractional or
+/// huge exponents), [`RelationError::EmptyFunction`] (no column terms), and
+/// [`RelationError::CoefficientStraddlesZero`] when a derived coefficient
+/// domain contains zero.
+pub fn analyze_predicate(
+    predicate: &str,
+    schema: &Schema,
+    params: &[(&str, Domain)],
+) -> Result<AnalyzedPredicate> {
+    // --- split on the comparator --------------------------------------
+    let (lhs_text, rhs_text, cmp) = split_comparator(predicate)?;
+    let lhs = lower_poly(&parse_raw(lhs_text)?, schema, params)?;
+    let rhs = lower_poly(&parse_raw(rhs_text)?, schema, params)?;
+    let full = lhs.sub(&rhs); // full {≤,≥} 0
+
+    // --- group monomials by column part --------------------------------
+    // Axis order: BTreeMap iteration gives a deterministic spec.
+    let mut axes: std::collections::BTreeMap<Monomial, Poly> = std::collections::BTreeMap::new();
+    let mut offset = Poly::zero(); // accumulated on the LEFT; negated at the end
+    for (monomial, coef) in full.terms() {
+        let (col_part, param_part) = monomial.split();
+        let contribution = Poly::constant(coef).mul(&monomial_poly(&param_part));
+        if col_part.is_one() {
+            offset = offset.add(&contribution);
+        } else {
+            let slot = axes.entry(col_part).or_default();
+            *slot = slot.add(&contribution);
+        }
+    }
+    if axes.is_empty() {
+        return Err(RelationError::EmptyFunction);
+    }
+
+    // --- derive coefficient domains and assemble the spec --------------
+    let param_intervals: Vec<(f64, f64)> = params.iter().map(|(_, d)| domain_bounds(d)).collect();
+    let mut spec = FunctionSpec::new().cmp(cmp);
+    let mut axes_display = Vec::new();
+    for (col_part, coef_poly) in axes {
+        let display = display_monomial(&col_part, schema);
+        let phi = monomial_expr(&col_part);
+        let coef = match coef_poly.as_constant() {
+            Some(c) if c != 0.0 => Coef::constant(c),
+            Some(_) => continue, // exact zero coefficient: axis vanishes
+            None => {
+                let (lo, hi) = coef_poly.param_bounds(&param_intervals);
+                if lo <= 0.0 && hi >= 0.0 {
+                    return Err(RelationError::CoefficientStraddlesZero(display));
+                }
+                Coef::computed(coef_poly, Domain::Continuous { lo, hi })
+            }
+        };
+        spec = spec.axis(phi, coef);
+        axes_display.push(display);
+    }
+
+    // `Σ coef·φ + offset {≤,≥} 0` ⇔ `Σ coef·φ {≤,≥} −offset`.
+    let rhs_poly = offset.neg();
+    spec = match rhs_poly.as_constant() {
+        Some(c) => spec.offset(c),
+        None => spec.offset_poly(rhs_poly),
+    };
+
+    Ok(AnalyzedPredicate {
+        spec,
+        axes_display,
+        cmp,
+    })
+}
+
+fn split_comparator(text: &str) -> Result<(&str, &str, Cmp)> {
+    // The expression grammar contains no `<`/`>`/`=`, so a plain scan is
+    // unambiguous.
+    for (needle, cmp) in [("<=", Cmp::Leq), (">=", Cmp::Geq)] {
+        if let Some(pos) = text.find(needle) {
+            return Ok((&text[..pos], &text[pos + needle.len()..], cmp));
+        }
+    }
+    Err(RelationError::Parse {
+        message: "predicate must contain `<=` or `>=`".into(),
+        position: text.len(),
+    })
+}
+
+/// Lower an unresolved tree to a polynomial over columns and parameters.
+fn lower_poly(raw: &RawExpr, schema: &Schema, params: &[(&str, Domain)]) -> Result<Poly> {
+    match raw {
+        RawExpr::Number(v) => Ok(Poly::constant(*v)),
+        RawExpr::Ident(name) => {
+            if let Ok(i) = schema.index_of(name) {
+                Ok(Poly::var(Var::Col(i)))
+            } else if let Some(j) = params.iter().position(|(p, _)| p == name) {
+                Ok(Poly::var(Var::Param(j)))
+            } else {
+                Err(RelationError::UnknownIdentifier(name.clone()))
+            }
+        }
+        RawExpr::Neg(inner) => Ok(lower_poly(inner, schema, params)?.neg()),
+        RawExpr::Binary { op, left, right } => {
+            let l = lower_poly(left, schema, params)?;
+            let r = lower_poly(right, schema, params)?;
+            match op {
+                BinOp::Add => Ok(l.add(&r)),
+                BinOp::Sub => Ok(l.sub(&r)),
+                BinOp::Mul => Ok(l.mul(&r)),
+                BinOp::Div => l.div(&r),
+                BinOp::Pow => {
+                    let exp = r.as_constant().ok_or_else(|| {
+                        RelationError::NotPolynomial("exponent must be a constant".into())
+                    })?;
+                    if exp.fract() != 0.0 || exp < 0.0 {
+                        return Err(RelationError::NotPolynomial(format!(
+                            "exponent {exp} is not a non-negative integer"
+                        )));
+                    }
+                    if exp > MAX_EXPONENT as f64 {
+                        return Err(RelationError::NotPolynomial(format!(
+                            "exponent {exp} exceeds the limit of {MAX_EXPONENT}"
+                        )));
+                    }
+                    Ok(l.powi(exp as u32))
+                }
+            }
+        }
+    }
+}
+
+/// A monomial lifted back to a polynomial (coefficient 1).
+fn monomial_poly(m: &Monomial) -> Poly {
+    let mut p = Poly::constant(1.0);
+    for &(v, pow) in m.factors() {
+        p = p.mul(&Poly::var(v).powi(pow));
+    }
+    p
+}
+
+/// Reconstruct a column-only monomial as an [`Expr`].
+fn monomial_expr(m: &Monomial) -> Expr {
+    let mut parts = m.factors().iter().map(|&(v, pow)| {
+        let col = match v {
+            Var::Col(i) => Expr::Column(i),
+            Var::Param(_) => unreachable!("column part contains no parameters"),
+        };
+        if pow == 1 {
+            col
+        } else {
+            Expr::binary(BinOp::Pow, col, Expr::Literal(pow as f64))
+        }
+    });
+    let first = parts.next().expect("non-constant monomial");
+    parts.fold(first, |acc, p| Expr::binary(BinOp::Mul, acc, p))
+}
+
+fn display_monomial(m: &Monomial, schema: &Schema) -> String {
+    m.factors()
+        .iter()
+        .map(|&(v, pow)| {
+            let name = match v {
+                Var::Col(i) => schema.name_of(i).to_string(),
+                Var::Param(_) => unreachable!("column part contains no parameters"),
+            };
+            if pow == 1 {
+                name
+            } else {
+                format!("{name}^{pow}")
+            }
+        })
+        .collect::<Vec<_>>()
+        .join("*")
+}
+
+fn domain_bounds(d: &Domain) -> (f64, f64) {
+    match d {
+        Domain::Continuous { lo, hi } => (*lo, *hi),
+        Domain::Discrete(vals) => (
+            vals.iter().cloned().fold(f64::INFINITY, f64::min),
+            vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::Relation;
+
+    fn consumption() -> (Schema, Relation) {
+        let schema = Schema::new(["active", "reactive", "voltage", "current"]).unwrap();
+        let mut rel = Relation::new(schema.clone());
+        rel.insert(&[120.0, 0.2, 240.0, 1.0]).unwrap(); // pf 0.5
+        rel.insert(&[470.0, 0.1, 235.0, 2.0]).unwrap(); // pf 1.0
+        rel.insert(&[60.0, 0.5, 240.0, 1.0]).unwrap(); // pf 0.25
+        (schema, rel)
+    }
+
+    #[test]
+    fn example1_compiles_to_two_axes() {
+        let (schema, rel) = consumption();
+        let analyzed = analyze_predicate(
+            "active - threshold * voltage * current <= 0",
+            &schema,
+            &[("threshold", Domain::Continuous { lo: 0.1, hi: 1.0 })],
+        )
+        .unwrap();
+        assert_eq!(analyzed.cmp, Cmp::Leq);
+        assert_eq!(analyzed.axes_display, vec!["active", "voltage*current"]);
+        let index = analyzed.spec.build(&rel, 8).unwrap();
+        assert_eq!(index.call(&[0.6]).unwrap().sorted_ids(), vec![0, 2]);
+        assert_eq!(index.call(&[0.3]).unwrap().sorted_ids(), vec![2]);
+    }
+
+    #[test]
+    fn expansion_handles_squares_and_cross_terms() {
+        // (x + p)^2 <= 25  ⇔  x² + 2p·x <= 25 − p²
+        let schema = Schema::new(["x"]).unwrap();
+        let mut rel = Relation::new(schema.clone());
+        for v in [1.0, 2.0, 3.0, 4.0, 6.0] {
+            rel.insert(&[v]).unwrap();
+        }
+        let analyzed = analyze_predicate(
+            "(x + p) ^ 2 <= 25",
+            &schema,
+            &[("p", Domain::Continuous { lo: 0.5, hi: 2.0 })],
+        )
+        .unwrap();
+        assert_eq!(analyzed.axes_display, vec!["x", "x^2"]);
+        let index = analyzed.spec.build(&rel, 6).unwrap();
+        // p = 1: (x+1)² ≤ 25 ⇔ x ≤ 4 → ids 0..=3
+        assert_eq!(index.call(&[1.0]).unwrap().sorted_ids(), vec![0, 1, 2, 3]);
+        // p = 2: x ≤ 3 → ids 0..=2
+        assert_eq!(index.call(&[2.0]).unwrap().sorted_ids(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn geq_and_parameter_only_offsets() {
+        let schema = Schema::new(["x", "y"]).unwrap();
+        let mut rel = Relation::new(schema.clone());
+        rel.insert(&[10.0, 1.0]).unwrap();
+        rel.insert(&[1.0, 10.0]).unwrap();
+        let analyzed = analyze_predicate(
+            "2 * x + y >= 10 * p + p ^ 2",
+            &schema,
+            &[("p", Domain::Continuous { lo: 0.5, hi: 1.0 })],
+        )
+        .unwrap();
+        assert_eq!(analyzed.cmp, Cmp::Geq);
+        let index = analyzed.spec.build(&rel, 4).unwrap();
+        // p = 1: 2x + y ≥ 11 → only row 0 (21 ≥ 11; row 1: 12 ≥ 11 also!)
+        assert_eq!(index.call(&[1.0]).unwrap().sorted_ids(), vec![0, 1]);
+        // p = 0.5 → rhs = 5.25: both qualify; check exactness against scan.
+        assert_eq!(
+            index.call(&[0.5]).unwrap().sorted_ids(),
+            index.call_scan(&[0.5]).unwrap().sorted_ids()
+        );
+    }
+
+    #[test]
+    fn constant_cancellation_drops_axes() {
+        // x·p − x·p + y <= 5 → single axis y.
+        let schema = Schema::new(["x", "y"]).unwrap();
+        let analyzed = analyze_predicate(
+            "x * p - x * p + y <= 5",
+            &schema,
+            &[("p", Domain::Continuous { lo: 1.0, hi: 2.0 })],
+        )
+        .unwrap();
+        assert_eq!(analyzed.axes_display, vec!["y"]);
+    }
+
+    #[test]
+    fn rejects_non_scalar_product_forms() {
+        let schema = Schema::new(["x", "y"]).unwrap();
+        let p = [("p", Domain::Continuous { lo: 1.0, hi: 2.0 })];
+        // Division by a column.
+        assert!(matches!(
+            analyze_predicate("p / x <= 1", &schema, &p),
+            Err(RelationError::NotPolynomial(_))
+        ));
+        // Fractional exponent.
+        assert!(matches!(
+            analyze_predicate("x ^ 0.5 <= 1", &schema, &p),
+            Err(RelationError::NotPolynomial(_))
+        ));
+        // Variable exponent.
+        assert!(matches!(
+            analyze_predicate("x ^ p <= 1", &schema, &p),
+            Err(RelationError::NotPolynomial(_))
+        ));
+        // Unknown identifier.
+        assert!(matches!(
+            analyze_predicate("z <= 1", &schema, &p),
+            Err(RelationError::UnknownIdentifier(_))
+        ));
+        // No comparator.
+        assert!(matches!(
+            analyze_predicate("x + 1", &schema, &p),
+            Err(RelationError::Parse { .. })
+        ));
+        // No column terms at all.
+        assert!(matches!(
+            analyze_predicate("p <= 1", &schema, &p),
+            Err(RelationError::EmptyFunction)
+        ));
+    }
+
+    #[test]
+    fn straddling_coefficient_is_rejected_with_axis_name() {
+        let schema = Schema::new(["x"]).unwrap();
+        // coefficient (p − 1) over p ∈ [0.5, 2] straddles zero.
+        let err = analyze_predicate(
+            "(p - 1) * x <= 3",
+            &schema,
+            &[("p", Domain::Continuous { lo: 0.5, hi: 2.0 })],
+        )
+        .unwrap_err();
+        assert_eq!(err, RelationError::CoefficientStraddlesZero("x".into()));
+    }
+
+    #[test]
+    fn division_by_constant_is_fine() {
+        let schema = Schema::new(["x"]).unwrap();
+        let analyzed = analyze_predicate(
+            "x / 2 <= p",
+            &schema,
+            &[("p", Domain::Continuous { lo: 1.0, hi: 5.0 })],
+        )
+        .unwrap();
+        let mut rel = Relation::new(schema);
+        rel.insert(&[4.0]).unwrap(); // x/2 = 2
+        rel.insert(&[12.0]).unwrap(); // x/2 = 6
+        let index = analyzed.spec.build(&rel, 2).unwrap();
+        assert_eq!(index.call(&[3.0]).unwrap().sorted_ids(), vec![0]);
+    }
+}

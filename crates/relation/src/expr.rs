@@ -1,0 +1,228 @@
+//! Arithmetic expressions over relation columns — the bodies of the complex
+//! SQL functions the paper indexes (Example 1's `voltage * current`,
+//! Example 2's kinematic monomials).
+
+use crate::relation::Relation;
+use crate::schema::Schema;
+use crate::{RelationError, Result};
+
+/// A binary arithmetic operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `^` (right-associative power)
+    Pow,
+}
+
+impl BinOp {
+    fn apply(self, l: f64, r: f64) -> f64 {
+        match self {
+            BinOp::Add => l + r,
+            BinOp::Sub => l - r,
+            BinOp::Mul => l * r,
+            BinOp::Div => l / r,
+            BinOp::Pow => l.powf(r),
+        }
+    }
+}
+
+/// An arithmetic expression tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A column reference (by position in the schema).
+    Column(usize),
+    /// A literal constant.
+    Literal(f64),
+    /// Unary negation.
+    Neg(Box<Expr>),
+    /// A binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        left: Box<Expr>,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+}
+
+impl Expr {
+    /// A column reference by name.
+    ///
+    /// # Errors
+    ///
+    /// [`RelationError::UnknownColumn`].
+    pub fn col(name: &str, schema: &Schema) -> Result<Expr> {
+        Ok(Expr::Column(schema.index_of(name)?))
+    }
+
+    /// A literal.
+    pub fn lit(v: f64) -> Expr {
+        Expr::Literal(v)
+    }
+
+    /// Parse an expression from text — see [`crate::parse`] for the
+    /// grammar.
+    ///
+    /// # Errors
+    ///
+    /// [`RelationError::Parse`] with a byte position, or
+    /// [`RelationError::UnknownColumn`].
+    pub fn parse(text: &str, schema: &Schema) -> Result<Expr> {
+        crate::parse::parse_expr(text, schema)
+    }
+
+    /// Combine two expressions.
+    pub fn binary(op: BinOp, left: Expr, right: Expr) -> Expr {
+        Expr::Binary {
+            op,
+            left: Box::new(left),
+            right: Box::new(right),
+        }
+    }
+
+    /// Evaluate on one materialized row.
+    pub fn eval_row(&self, row: &[f64]) -> f64 {
+        match self {
+            Expr::Column(i) => row[*i],
+            Expr::Literal(v) => *v,
+            Expr::Neg(e) => -e.eval_row(row),
+            Expr::Binary { op, left, right } => {
+                op.apply(left.eval_row(row), right.eval_row(row))
+            }
+        }
+    }
+
+    /// Evaluate over a whole relation, column-at-a-time, into `out`
+    /// (cleared first). Infinite/NaN results (e.g. division by zero) are
+    /// reported with the offending row.
+    ///
+    /// # Errors
+    ///
+    /// [`RelationError::EvalNotFinite`].
+    pub fn eval_relation(&self, rel: &Relation, out: &mut Vec<f64>) -> Result<()> {
+        out.clear();
+        out.resize(rel.len(), 0.0);
+        self.eval_into(rel, out);
+        if let Some(row) = out.iter().position(|v| !v.is_finite()) {
+            return Err(RelationError::EvalNotFinite { row: row as u32 });
+        }
+        Ok(())
+    }
+
+    /// Vectorized evaluation kernel: fills `out[i]` with the value on row
+    /// `i`. Allocates scratch per binary node; expression trees here are
+    /// tiny (a handful of nodes) so clarity wins over a full bytecode VM.
+    fn eval_into(&self, rel: &Relation, out: &mut [f64]) {
+        match self {
+            Expr::Column(i) => out.copy_from_slice(rel.column(*i)),
+            Expr::Literal(v) => out.fill(*v),
+            Expr::Neg(e) => {
+                e.eval_into(rel, out);
+                for v in out.iter_mut() {
+                    *v = -*v;
+                }
+            }
+            Expr::Binary { op, left, right } => {
+                left.eval_into(rel, out);
+                let mut rhs = vec![0.0; out.len()];
+                right.eval_into(rel, &mut rhs);
+                for (l, r) in out.iter_mut().zip(&rhs) {
+                    *l = op.apply(*l, *r);
+                }
+            }
+        }
+    }
+
+    /// The set of column indices the expression references.
+    pub fn referenced_columns(&self) -> Vec<usize> {
+        let mut cols = Vec::new();
+        self.collect_columns(&mut cols);
+        cols.sort_unstable();
+        cols.dedup();
+        cols
+    }
+
+    fn collect_columns(&self, cols: &mut Vec<usize>) {
+        match self {
+            Expr::Column(i) => cols.push(*i),
+            Expr::Literal(_) => {}
+            Expr::Neg(e) => e.collect_columns(cols),
+            Expr::Binary { left, right, .. } => {
+                left.collect_columns(cols);
+                right.collect_columns(cols);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::new(["x", "y", "z"]).unwrap()
+    }
+
+    #[test]
+    fn eval_row_arithmetic() {
+        let s = schema();
+        // x * y - 2 ^ z
+        let e = Expr::binary(
+            BinOp::Sub,
+            Expr::binary(
+                BinOp::Mul,
+                Expr::col("x", &s).unwrap(),
+                Expr::col("y", &s).unwrap(),
+            ),
+            Expr::binary(BinOp::Pow, Expr::lit(2.0), Expr::col("z", &s).unwrap()),
+        );
+        assert_eq!(e.eval_row(&[3.0, 4.0, 2.0]), 8.0);
+        assert_eq!(Expr::Neg(Box::new(Expr::lit(5.0))).eval_row(&[]), -5.0);
+    }
+
+    #[test]
+    fn eval_relation_is_columnar_and_matches_rowwise() {
+        let s = schema();
+        let mut rel = Relation::new(s.clone());
+        for i in 0..20 {
+            rel.insert(&[i as f64, (i * 2) as f64, 1.0 + i as f64]).unwrap();
+        }
+        let e = Expr::parse("x * y + z / 2", &s).unwrap();
+        let mut out = Vec::new();
+        e.eval_relation(&rel, &mut out).unwrap();
+        for (i, v) in out.iter().enumerate() {
+            let row = rel.row(i as u32).unwrap();
+            assert_eq!(*v, e.eval_row(&row), "row {i}");
+        }
+    }
+
+    #[test]
+    fn division_by_zero_is_reported() {
+        let s = Schema::new(["x"]).unwrap();
+        let mut rel = Relation::new(s.clone());
+        rel.insert(&[1.0]).unwrap();
+        rel.insert(&[0.0]).unwrap();
+        let e = Expr::parse("1 / x", &s).unwrap();
+        let mut out = Vec::new();
+        assert_eq!(
+            e.eval_relation(&rel, &mut out).unwrap_err(),
+            RelationError::EvalNotFinite { row: 1 }
+        );
+    }
+
+    #[test]
+    fn referenced_columns_deduped_sorted() {
+        let s = schema();
+        let e = Expr::parse("z * x + z - x", &s).unwrap();
+        assert_eq!(e.referenced_columns(), vec![0, 2]);
+        assert!(Expr::lit(1.0).referenced_columns().is_empty());
+    }
+}

@@ -1,0 +1,519 @@
+//! Function-based indexing with run-time parameters — the capability the
+//! paper points out is missing from Oracle's function-based indexes
+//! (Example 1).
+//!
+//! A [`FunctionSpec`] is the indexable skeleton of a parametric SQL
+//! function: per axis an expression `φᵢ` over the relation's columns and a
+//! *coefficient spec* — either a constant or `scale · paramⱼ` for a
+//! run-time parameter `j` with a declared domain. Building it against a
+//! [`Relation`] evaluates `φ` once (columnar) and constructs a
+//! `PlanarIndexSet` whose parameter domains are derived from the
+//! coefficient specs, so index normals are sampled exactly where queries
+//! will fall (paper §5.2).
+
+use crate::expr::Expr;
+use crate::poly::Poly;
+use crate::relation::{Relation, RowId};
+use crate::{RelationError, Result};
+use planar_core::{
+    Cmp, Domain, FeatureTable, IndexConfig, InequalityQuery, ParameterDomain, PlanarIndexSet,
+    QueryOutcome, TopKQuery, VecStore,
+};
+
+/// A per-axis coefficient: constant, a scaled run-time parameter, or an
+/// arbitrary polynomial in the parameters (produced by the scalar-product
+/// analyzer, [`crate::analyze`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Coef {
+    /// The coefficient is a constant.
+    Const(f64),
+    /// The coefficient is `scale · param[index]`.
+    Param {
+        /// Which run-time parameter.
+        index: usize,
+        /// Fixed multiplier applied to the parameter.
+        scale: f64,
+        /// Domain of the *parameter* (before scaling).
+        domain: Domain,
+    },
+    /// The coefficient is a polynomial in the run-time parameters, with a
+    /// precomputed (interval-arithmetic) coefficient domain.
+    Computed {
+        /// Parameter-only polynomial evaluated at bind time.
+        poly: Poly,
+        /// Coefficient domain used for index-normal sampling.
+        domain: Domain,
+    },
+}
+
+impl Coef {
+    /// A constant coefficient.
+    pub fn constant(v: f64) -> Coef {
+        Coef::Const(v)
+    }
+
+    /// A parameter coefficient `scale · param[index]` with the parameter's
+    /// domain.
+    pub fn param(index: usize, scale: f64, domain: Domain) -> Coef {
+        Coef::Param {
+            index,
+            scale,
+            domain,
+        }
+    }
+
+    /// A coefficient from a parameter polynomial with a precomputed domain.
+    pub fn computed(poly: Poly, domain: Domain) -> Coef {
+        Coef::Computed { poly, domain }
+    }
+
+    /// The coefficient-side domain (after scaling) for index construction.
+    fn coefficient_domain(&self) -> Domain {
+        match self {
+            Coef::Const(v) => Domain::Discrete(vec![*v]),
+            Coef::Computed { domain, .. } => domain.clone(),
+            Coef::Param { scale, domain, .. } => match domain {
+                Domain::Discrete(vals) => {
+                    Domain::Discrete(vals.iter().map(|v| v * scale).collect())
+                }
+                Domain::Continuous { lo, hi } => {
+                    let (a, b) = (lo * scale, hi * scale);
+                    Domain::Continuous {
+                        lo: a.min(b),
+                        hi: a.max(b),
+                    }
+                }
+            },
+        }
+    }
+
+    fn bind(&self, params: &[f64]) -> Result<f64> {
+        match self {
+            Coef::Const(v) => Ok(*v),
+            Coef::Computed { poly, .. } => {
+                let needed = poly.max_param().map_or(0, |i| i + 1);
+                if params.len() < needed {
+                    return Err(RelationError::ParamArityMismatch {
+                        expected: needed,
+                        found: params.len(),
+                    });
+                }
+                Ok(poly.eval(&[], params))
+            }
+            Coef::Param { index, scale, .. } => params
+                .get(*index)
+                .map(|p| p * scale)
+                .ok_or(RelationError::ParamArityMismatch {
+                    expected: *index + 1,
+                    found: params.len(),
+                }),
+        }
+    }
+}
+
+/// How the inequality offset `b` is formed at call time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OffsetSpec {
+    /// A constant offset.
+    Const(f64),
+    /// `scale · param[index]`.
+    Param {
+        /// Which run-time parameter.
+        index: usize,
+        /// Fixed multiplier.
+        scale: f64,
+    },
+    /// A polynomial in the run-time parameters.
+    Computed(Poly),
+}
+
+impl OffsetSpec {
+    fn bind(&self, params: &[f64]) -> Result<f64> {
+        match self {
+            OffsetSpec::Const(v) => Ok(*v),
+            OffsetSpec::Computed(poly) => {
+                let needed = poly.max_param().map_or(0, |i| i + 1);
+                if params.len() < needed {
+                    return Err(RelationError::ParamArityMismatch {
+                        expected: needed,
+                        found: params.len(),
+                    });
+                }
+                Ok(poly.eval(&[], params))
+            }
+            OffsetSpec::Param { index, scale } => params
+                .get(*index)
+                .map(|p| p * scale)
+                .ok_or(RelationError::ParamArityMismatch {
+                    expected: *index + 1,
+                    found: params.len(),
+                }),
+        }
+    }
+}
+
+/// Declaration of a parametric scalar-product function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FunctionSpec {
+    axes: Vec<(Expr, Coef)>,
+    cmp: Cmp,
+    offset: OffsetSpec,
+}
+
+impl Default for FunctionSpec {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FunctionSpec {
+    /// An empty spec (add axes with [`Self::axis`]).
+    pub fn new() -> Self {
+        Self {
+            axes: Vec::new(),
+            cmp: Cmp::Leq,
+            offset: OffsetSpec::Const(0.0),
+        }
+    }
+
+    /// Add one axis: the indexed expression `φᵢ` and its coefficient spec.
+    #[must_use]
+    pub fn axis(mut self, phi: Expr, coef: Coef) -> Self {
+        self.axes.push((phi, coef));
+        self
+    }
+
+    /// Set the comparison direction (default `≤`).
+    #[must_use]
+    pub fn cmp(mut self, cmp: Cmp) -> Self {
+        self.cmp = cmp;
+        self
+    }
+
+    /// Set a constant offset `b` (default 0).
+    #[must_use]
+    pub fn offset(mut self, b: f64) -> Self {
+        self.offset = OffsetSpec::Const(b);
+        self
+    }
+
+    /// Make the offset a scaled run-time parameter.
+    #[must_use]
+    pub fn offset_param(mut self, index: usize, scale: f64) -> Self {
+        self.offset = OffsetSpec::Param { index, scale };
+        self
+    }
+
+    /// Make the offset a polynomial in the run-time parameters.
+    #[must_use]
+    pub fn offset_poly(mut self, poly: Poly) -> Self {
+        self.offset = OffsetSpec::Computed(poly);
+        self
+    }
+
+    /// Number of run-time parameters the spec references.
+    pub fn param_count(&self) -> usize {
+        let coef_max = self
+            .axes
+            .iter()
+            .filter_map(|(_, c)| match c {
+                Coef::Param { index, .. } => Some(index + 1),
+                Coef::Computed { poly, .. } => poly.max_param().map(|i| i + 1),
+                Coef::Const(_) => None,
+            })
+            .max()
+            .unwrap_or(0);
+        let off_max = match &self.offset {
+            OffsetSpec::Param { index, .. } => index + 1,
+            OffsetSpec::Computed(poly) => poly.max_param().map_or(0, |i| i + 1),
+            OffsetSpec::Const(_) => 0,
+        };
+        coef_max.max(off_max)
+    }
+
+    /// Evaluate `φ` over the relation and build the index with the given
+    /// budget of Planar indices.
+    ///
+    /// # Errors
+    ///
+    /// [`RelationError::EmptyFunction`], expression evaluation errors, and
+    /// index-construction errors (e.g. a parameter domain containing zero).
+    pub fn build(self, relation: &Relation, budget: usize) -> Result<FunctionIndex> {
+        self.build_with(relation, IndexConfig::with_budget(budget))
+    }
+
+    /// [`Self::build`] with full index configuration.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::build`].
+    pub fn build_with(self, relation: &Relation, config: IndexConfig) -> Result<FunctionIndex> {
+        if self.axes.is_empty() {
+            return Err(RelationError::EmptyFunction);
+        }
+        // Evaluate each φᵢ columnar, assemble the row-major feature table.
+        let n = relation.len();
+        let d = self.axes.len();
+        let mut columns: Vec<Vec<f64>> = Vec::with_capacity(d);
+        for (phi, _) in &self.axes {
+            let mut out = Vec::new();
+            phi.eval_relation(relation, &mut out)?;
+            columns.push(out);
+        }
+        let mut table = FeatureTable::with_capacity(d, n)?;
+        let mut row = vec![0.0; d];
+        for i in 0..n {
+            for (j, col) in columns.iter().enumerate() {
+                row[j] = col[i];
+            }
+            table.push_row(&row)?;
+        }
+        let domain = ParameterDomain::new(
+            self.axes.iter().map(|(_, c)| c.coefficient_domain()).collect(),
+        )?;
+        let set = PlanarIndexSet::build(table, domain, config)?;
+        Ok(FunctionIndex { spec: self, set })
+    }
+}
+
+/// A built function index: call it with concrete parameters.
+#[derive(Debug, Clone)]
+pub struct FunctionIndex {
+    spec: FunctionSpec,
+    set: PlanarIndexSet<VecStore>,
+}
+
+impl FunctionIndex {
+    /// The spec this index was built from.
+    pub fn spec(&self) -> &FunctionSpec {
+        &self.spec
+    }
+
+    /// The underlying Planar index set.
+    pub fn index_set(&self) -> &PlanarIndexSet<VecStore> {
+        &self.set
+    }
+
+    /// Materialize the concrete [`InequalityQuery`] for a parameter binding.
+    ///
+    /// # Errors
+    ///
+    /// [`RelationError::ParamArityMismatch`], or query validation errors.
+    pub fn bind(&self, params: &[f64]) -> Result<InequalityQuery> {
+        let expected = self.spec.param_count();
+        if params.len() != expected {
+            return Err(RelationError::ParamArityMismatch {
+                expected,
+                found: params.len(),
+            });
+        }
+        let a = self
+            .spec
+            .axes
+            .iter()
+            .map(|(_, c)| c.bind(params))
+            .collect::<Result<Vec<f64>>>()?;
+        let b = self.spec.offset.bind(params)?;
+        InequalityQuery::new(a, self.spec.cmp, b).map_err(RelationError::Index)
+    }
+
+    /// Execute the function with the given parameters via the index.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::bind`].
+    pub fn call(&self, params: &[f64]) -> Result<QueryOutcome> {
+        let q = self.bind(params)?;
+        self.set.query(&q).map_err(RelationError::Index)
+    }
+
+    /// Execute via a forced sequential scan (the baseline).
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::bind`].
+    pub fn call_scan(&self, params: &[f64]) -> Result<QueryOutcome> {
+        let q = self.bind(params)?;
+        self.set.query_scan(&q).map_err(RelationError::Index)
+    }
+
+    /// Top-k rows nearest the function's decision hyperplane.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::bind`]; `k = 0` is rejected.
+    pub fn call_top_k(&self, params: &[f64], k: usize) -> Result<planar_core::TopKOutcome> {
+        let q = TopKQuery::new(self.bind(params)?, k).map_err(RelationError::Index)?;
+        self.set.top_k(&q).map_err(RelationError::Index)
+    }
+
+    /// Re-evaluate `φ` for one relation row (after an update) and refresh
+    /// the index.
+    ///
+    /// # Errors
+    ///
+    /// [`RelationError::RowNotFound`], index errors.
+    pub fn refresh_row(&mut self, relation: &Relation, id: RowId) -> Result<()> {
+        let raw = relation.row(id)?;
+        let phi_row: Vec<f64> = self
+            .spec
+            .axes
+            .iter()
+            .map(|(phi, _)| phi.eval_row(&raw))
+            .collect();
+        if phi_row.iter().any(|v| !v.is_finite()) {
+            return Err(RelationError::EvalNotFinite { row: id });
+        }
+        self.set.update_point(id, &phi_row)?;
+        Ok(())
+    }
+
+    /// Index a row newly inserted into the relation.
+    ///
+    /// # Errors
+    ///
+    /// [`RelationError::RowNotFound`], index errors.
+    pub fn index_new_row(&mut self, relation: &Relation, id: RowId) -> Result<()> {
+        let raw = relation.row(id)?;
+        let phi_row: Vec<f64> = self
+            .spec
+            .axes
+            .iter()
+            .map(|(phi, _)| phi.eval_row(&raw))
+            .collect();
+        if phi_row.iter().any(|v| !v.is_finite()) {
+            return Err(RelationError::EvalNotFinite { row: id });
+        }
+        let new_id = self.set.insert_point(&phi_row)?;
+        debug_assert_eq!(new_id, id, "relation and index ids must stay aligned");
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+
+    fn consumption_relation() -> (Schema, Relation) {
+        let schema = Schema::new(["active", "reactive", "voltage", "current"]).unwrap();
+        let mut rel = Relation::new(schema.clone());
+        // power factors: 0.5, 1.0, 0.25, 0.8
+        rel.insert(&[120.0, 0.2, 240.0, 1.0]).unwrap();
+        rel.insert(&[470.0, 0.1, 235.0, 2.0]).unwrap();
+        rel.insert(&[60.0, 0.5, 240.0, 1.0]).unwrap();
+        rel.insert(&[384.0, 0.3, 240.0, 2.0]).unwrap();
+        (schema, rel)
+    }
+
+    fn critical_consume(schema: &Schema, rel: &Relation, budget: usize) -> FunctionIndex {
+        FunctionSpec::new()
+            .axis(Expr::parse("active", schema).unwrap(), Coef::constant(1.0))
+            .axis(
+                Expr::parse("voltage * current", schema).unwrap(),
+                Coef::param(0, -1.0, Domain::Continuous { lo: 0.1, hi: 1.0 }),
+            )
+            .cmp(Cmp::Leq)
+            .offset(0.0)
+            .build(rel, budget)
+            .unwrap()
+    }
+
+    #[test]
+    fn critical_consume_selects_by_power_factor() {
+        let (schema, rel) = consumption_relation();
+        let f = critical_consume(&schema, &rel, 8);
+        assert_eq!(f.call(&[0.6]).unwrap().sorted_ids(), vec![0, 2]);
+        assert_eq!(f.call(&[0.26]).unwrap().sorted_ids(), vec![2]);
+        assert_eq!(f.call(&[1.0]).unwrap().sorted_ids(), vec![0, 1, 2, 3]);
+        // Index path must be taken and agree with the scan.
+        let out = f.call(&[0.5]).unwrap();
+        assert!(out.stats.used_index());
+        assert_eq!(out.sorted_ids(), f.call_scan(&[0.5]).unwrap().sorted_ids());
+    }
+
+    #[test]
+    fn param_arity_is_checked() {
+        let (schema, rel) = consumption_relation();
+        let f = critical_consume(&schema, &rel, 2);
+        assert_eq!(
+            f.call(&[]).unwrap_err(),
+            RelationError::ParamArityMismatch {
+                expected: 1,
+                found: 0
+            }
+        );
+        assert!(f.call(&[0.5, 0.5]).is_err());
+    }
+
+    #[test]
+    fn empty_function_rejected() {
+        let (_, rel) = consumption_relation();
+        assert_eq!(
+            FunctionSpec::new().build(&rel, 4).unwrap_err(),
+            RelationError::EmptyFunction
+        );
+    }
+
+    #[test]
+    fn offset_param_and_geq() {
+        let (schema, rel) = consumption_relation();
+        // active ≥ 100·param  (find heavy consumers)
+        let f = FunctionSpec::new()
+            .axis(Expr::parse("active", &schema).unwrap(), Coef::constant(1.0))
+            .axis(
+                Expr::parse("reactive", &schema).unwrap(),
+                Coef::constant(1.0),
+            )
+            .cmp(Cmp::Geq)
+            .offset_param(0, 100.0)
+            .build(&rel, 4)
+            .unwrap();
+        assert_eq!(f.call(&[4.0]).unwrap().sorted_ids(), vec![1]); // active ≥ 400
+        assert_eq!(f.call(&[1.0]).unwrap().sorted_ids(), vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn refresh_row_tracks_updates() {
+        let (schema, mut rel) = consumption_relation();
+        let mut f = critical_consume(&schema, &rel, 4);
+        // Household 1 drops to pf 0.1.
+        rel.update_row(1, &[47.0, 0.1, 235.0, 2.0]).unwrap();
+        f.refresh_row(&rel, 1).unwrap();
+        assert_eq!(f.call(&[0.2]).unwrap().sorted_ids(), vec![1]);
+    }
+
+    #[test]
+    fn index_new_row_tracks_inserts() {
+        let (schema, mut rel) = consumption_relation();
+        let mut f = critical_consume(&schema, &rel, 4);
+        let id = rel.insert(&[24.0, 0.0, 240.0, 1.0]).unwrap(); // pf 0.1
+        f.index_new_row(&rel, id).unwrap();
+        assert_eq!(f.call(&[0.15]).unwrap().sorted_ids(), vec![id]);
+    }
+
+    #[test]
+    fn top_k_returns_nearest_to_threshold() {
+        let (schema, rel) = consumption_relation();
+        let f = critical_consume(&schema, &rel, 8);
+        // Threshold 0.9: satisfying pfs {0.5, 0.25, 0.8}; nearest to the
+        // hyperplane is pf 0.8 (id 3).
+        let out = f.call_top_k(&[0.9], 1).unwrap();
+        assert_eq!(out.neighbors.len(), 1);
+        assert_eq!(out.neighbors[0].0, 3);
+    }
+
+    #[test]
+    fn discrete_param_domain_scales() {
+        let c = Coef::param(0, -1.0, Domain::Discrete(vec![0.5, 1.0]));
+        assert_eq!(
+            c.coefficient_domain(),
+            Domain::Discrete(vec![-0.5, -1.0])
+        );
+        let c = Coef::param(0, 2.0, Domain::Continuous { lo: -3.0, hi: -1.0 });
+        assert_eq!(
+            c.coefficient_domain(),
+            Domain::Continuous { lo: -6.0, hi: -2.0 }
+        );
+    }
+}

@@ -1,0 +1,165 @@
+//! # planar-relation
+//!
+//! A miniature columnar relation with an arithmetic expression engine and
+//! *function-based indexing* — the substrate for the paper's Example 1.
+//!
+//! The paper motivates scalar product queries with complex SQL functions
+//! over multiple columns (Oracle's function-based indexes support indexing
+//! `φ(x)` but not queries with run-time parameters). This crate provides
+//! that pipeline end to end:
+//!
+//! 1. Define a [`Schema`] and load rows into a columnar [`Relation`].
+//! 2. Write the function's per-axis expressions as [`Expr`]s — parsed from
+//!    text (`"voltage * current"`) or built programmatically.
+//! 3. Declare a function spec: expressions `φ`, per-axis coefficient
+//!    specs (constants or run-time parameters), the comparison and offset.
+//! 4. Build a [`FunctionIndex`], which evaluates `φ` over the relation once
+//!    and maintains a `planar_core::PlanarIndexSet` over the result.
+//! 5. Call it with concrete parameters: `index.call(&[0.45])` answers the
+//!    query exactly, in sublinear time when pruning bites.
+//!
+//! ```
+//! use planar_relation::{Coef, Expr, FunctionSpec, Relation, Schema};
+//! use planar_core::{Cmp, Domain};
+//!
+//! // Consumption(active, reactive, voltage, current)
+//! let schema = Schema::new(["active", "reactive", "voltage", "current"]).unwrap();
+//! let mut rel = Relation::new(schema.clone());
+//! rel.insert(&[120.0, 0.2, 240.0, 1.0]).unwrap();  // pf = 0.5
+//! rel.insert(&[470.0, 0.1, 235.0, 2.0]).unwrap();  // pf = 1.0
+//!
+//! // CREATE FUNCTION Critical_Consume(threshold) …
+//! // WHERE active − threshold·voltage·current ≤ 0
+//! let spec = FunctionSpec::new()
+//!     .axis(Expr::parse("active", &schema).unwrap(), Coef::constant(1.0))
+//!     .axis(
+//!         Expr::parse("voltage * current", &schema).unwrap(),
+//!         Coef::param(0, -1.0, Domain::Continuous { lo: 0.1, hi: 1.0 }),
+//!     )
+//!     .cmp(Cmp::Leq)
+//!     .offset(0.0);
+//! let index = spec.build(&rel, 16).unwrap();
+//!
+//! let out = index.call(&[0.6]).unwrap();           // threshold = 0.6
+//! assert_eq!(out.sorted_ids(), vec![0]);           // only pf 0.5 ≤ 0.6
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod analyze;
+pub mod expr;
+pub mod function;
+pub mod parse;
+pub mod poly;
+pub mod relation;
+pub mod sql;
+pub mod schema;
+
+pub use analyze::{analyze_predicate, AnalyzedPredicate};
+pub use expr::Expr;
+pub use function::{Coef, FunctionIndex, FunctionSpec, OffsetSpec};
+pub use poly::{Interval, Monomial, Poly, Var};
+pub use relation::Relation;
+pub use sql::Database;
+pub use schema::Schema;
+
+/// Errors of the relation layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RelationError {
+    /// A column name is not in the schema.
+    UnknownColumn(String),
+    /// Duplicate column name at schema creation.
+    DuplicateColumn(String),
+    /// A schema must have at least one column.
+    EmptySchema,
+    /// Row arity does not match the schema.
+    ArityMismatch {
+        /// Number of columns in the schema.
+        expected: usize,
+        /// Number of values supplied.
+        found: usize,
+    },
+    /// A value was NaN or infinite.
+    NotFinite,
+    /// No row with this id.
+    RowNotFound(u32),
+    /// Expression parse error, with byte position.
+    Parse {
+        /// Human-readable message.
+        message: String,
+        /// Byte offset in the source text.
+        position: usize,
+    },
+    /// Expression evaluation produced NaN/∞ (e.g. division by zero).
+    EvalNotFinite {
+        /// Row on which evaluation failed.
+        row: u32,
+    },
+    /// Wrong number of run-time parameters for a function call.
+    ParamArityMismatch {
+        /// Parameters the function declares.
+        expected: usize,
+        /// Parameters supplied.
+        found: usize,
+    },
+    /// A function spec with no axes.
+    EmptyFunction,
+    /// A predicate that cannot be put in scalar-product (polynomial)
+    /// form — e.g. division by a column, fractional powers of variables.
+    NotPolynomial(String),
+    /// A derived coefficient domain straddles zero, so no octant can be
+    /// fixed for that axis; the message names the axis expression.
+    CoefficientStraddlesZero(String),
+    /// Unknown identifier (neither a column nor a declared parameter).
+    UnknownIdentifier(String),
+    /// An underlying index error.
+    Index(planar_core::PlanarError),
+}
+
+impl core::fmt::Display for RelationError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            RelationError::UnknownColumn(n) => write!(f, "unknown column `{n}`"),
+            RelationError::DuplicateColumn(n) => write!(f, "duplicate column `{n}`"),
+            RelationError::EmptySchema => write!(f, "schema must have at least one column"),
+            RelationError::ArityMismatch { expected, found } => {
+                write!(f, "row arity mismatch: schema has {expected}, got {found}")
+            }
+            RelationError::NotFinite => write!(f, "values must be finite"),
+            RelationError::RowNotFound(id) => write!(f, "no row with id {id}"),
+            RelationError::Parse { message, position } => {
+                write!(f, "parse error at byte {position}: {message}")
+            }
+            RelationError::EvalNotFinite { row } => {
+                write!(f, "expression evaluated to NaN/∞ on row {row}")
+            }
+            RelationError::ParamArityMismatch { expected, found } => {
+                write!(f, "function takes {expected} parameters, got {found}")
+            }
+            RelationError::EmptyFunction => write!(f, "function must have at least one axis"),
+            RelationError::NotPolynomial(msg) => {
+                write!(f, "predicate is not in scalar-product form: {msg}")
+            }
+            RelationError::CoefficientStraddlesZero(axis) => write!(
+                f,
+                "coefficient of `{axis}` can be zero or change sign over the parameter domains"
+            ),
+            RelationError::UnknownIdentifier(name) => {
+                write!(f, "unknown identifier `{name}` (not a column or parameter)")
+            }
+            RelationError::Index(e) => write!(f, "index error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RelationError {}
+
+impl From<planar_core::PlanarError> for RelationError {
+    fn from(e: planar_core::PlanarError) -> Self {
+        RelationError::Index(e)
+    }
+}
+
+/// Result alias for this crate.
+pub type Result<T> = core::result::Result<T, RelationError>;

@@ -1,0 +1,395 @@
+//! A small Pratt parser for arithmetic expressions over column names.
+//!
+//! Grammar (standard precedence, `^` binds tightest and associates right):
+//!
+//! ```text
+//! expr    := term (('+' | '-') term)*
+//! term    := factor (('*' | '/') factor)*
+//! factor  := ('-')* power
+//! power   := atom ('^' factor)?
+//! atom    := NUMBER | IDENT | '(' expr ')'
+//! IDENT   := [A-Za-z_][A-Za-z0-9_]*
+//! ```
+//!
+//! Identifiers are resolved against the schema at parse time, so an unknown
+//! column is a parse-time error, not a query-time one.
+
+use crate::expr::{BinOp, Expr};
+use crate::schema::Schema;
+use crate::{RelationError, Result};
+
+/// An unresolved parse tree: identifiers are still names. Lowered to
+/// [`Expr`] (columns only) by [`parse_expr`], or to parameterized
+/// polynomials by [`crate::analyze`].
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum RawExpr {
+    Number(f64),
+    Ident(String),
+    Neg(Box<RawExpr>),
+    Binary {
+        op: BinOp,
+        left: Box<RawExpr>,
+        right: Box<RawExpr>,
+    },
+}
+
+impl RawExpr {
+    fn binary(op: BinOp, left: RawExpr, right: RawExpr) -> RawExpr {
+        RawExpr::Binary {
+            op,
+            left: Box::new(left),
+            right: Box::new(right),
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Number(f64),
+    Ident(String),
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Caret,
+    LParen,
+    RParen,
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Self {
+            src: src.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn error(&self, message: &str) -> RelationError {
+        RelationError::Parse {
+            message: message.to_string(),
+            position: self.pos,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.src.len() && self.src[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    /// Next token with its starting byte position, or `None` at the end.
+    fn next_token(&mut self) -> Result<Option<(usize, Token)>> {
+        self.skip_ws();
+        if self.pos >= self.src.len() {
+            return Ok(None);
+        }
+        let start = self.pos;
+        let c = self.src[self.pos];
+        let tok = match c {
+            b'+' => {
+                self.pos += 1;
+                Token::Plus
+            }
+            b'-' => {
+                self.pos += 1;
+                Token::Minus
+            }
+            b'*' => {
+                self.pos += 1;
+                Token::Star
+            }
+            b'/' => {
+                self.pos += 1;
+                Token::Slash
+            }
+            b'^' => {
+                self.pos += 1;
+                Token::Caret
+            }
+            b'(' => {
+                self.pos += 1;
+                Token::LParen
+            }
+            b')' => {
+                self.pos += 1;
+                Token::RParen
+            }
+            b'0'..=b'9' | b'.' => {
+                let mut end = self.pos;
+                let mut seen_e = false;
+                while end < self.src.len() {
+                    let b = self.src[end];
+                    let is_num = b.is_ascii_digit() || b == b'.';
+                    let is_exp = (b == b'e' || b == b'E') && !seen_e;
+                    let is_exp_sign = (b == b'+' || b == b'-')
+                        && end > self.pos
+                        && matches!(self.src[end - 1], b'e' | b'E');
+                    if is_exp {
+                        seen_e = true;
+                    }
+                    if is_num || is_exp || is_exp_sign {
+                        end += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let text = std::str::from_utf8(&self.src[self.pos..end])
+                    .expect("ascii digits are valid utf8");
+                let value: f64 = text
+                    .parse()
+                    .map_err(|_| self.error(&format!("invalid number `{text}`")))?;
+                self.pos = end;
+                Token::Number(value)
+            }
+            b'A'..=b'Z' | b'a'..=b'z' | b'_' => {
+                let mut end = self.pos;
+                while end < self.src.len()
+                    && (self.src[end].is_ascii_alphanumeric() || self.src[end] == b'_')
+                {
+                    end += 1;
+                }
+                let name = std::str::from_utf8(&self.src[self.pos..end])
+                    .expect("ascii idents are valid utf8")
+                    .to_string();
+                self.pos = end;
+                Token::Ident(name)
+            }
+            other => {
+                return Err(self.error(&format!("unexpected character `{}`", other as char)))
+            }
+        };
+        Ok(Some((start, tok)))
+    }
+}
+
+struct Parser {
+    tokens: Vec<(usize, Token)>,
+    cursor: usize,
+    src_len: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.cursor).map(|(_, t)| t)
+    }
+
+    fn bump(&mut self) -> Option<(usize, Token)> {
+        let t = self.tokens.get(self.cursor).cloned();
+        if t.is_some() {
+            self.cursor += 1;
+        }
+        t
+    }
+
+    fn here(&self) -> usize {
+        self.tokens
+            .get(self.cursor)
+            .map(|(p, _)| *p)
+            .unwrap_or(self.src_len)
+    }
+
+    fn error(&self, message: &str) -> RelationError {
+        RelationError::Parse {
+            message: message.to_string(),
+            position: self.here(),
+        }
+    }
+
+    fn parse_expr(&mut self) -> Result<RawExpr> {
+        let mut left = self.parse_term()?;
+        while let Some(op) = match self.peek() {
+            Some(Token::Plus) => Some(BinOp::Add),
+            Some(Token::Minus) => Some(BinOp::Sub),
+            _ => None,
+        } {
+            self.bump();
+            let right = self.parse_term()?;
+            left = RawExpr::binary(op, left, right);
+        }
+        Ok(left)
+    }
+
+    fn parse_term(&mut self) -> Result<RawExpr> {
+        let mut left = self.parse_factor()?;
+        while let Some(op) = match self.peek() {
+            Some(Token::Star) => Some(BinOp::Mul),
+            Some(Token::Slash) => Some(BinOp::Div),
+            _ => None,
+        } {
+            self.bump();
+            let right = self.parse_factor()?;
+            left = RawExpr::binary(op, left, right);
+        }
+        Ok(left)
+    }
+
+    fn parse_factor(&mut self) -> Result<RawExpr> {
+        if matches!(self.peek(), Some(Token::Minus)) {
+            self.bump();
+            let inner = self.parse_factor()?;
+            return Ok(RawExpr::Neg(Box::new(inner)));
+        }
+        self.parse_power()
+    }
+
+    fn parse_power(&mut self) -> Result<RawExpr> {
+        let base = self.parse_atom()?;
+        if matches!(self.peek(), Some(Token::Caret)) {
+            self.bump();
+            // Right-associative: exponent is a factor (allows -x and chains).
+            let exp = self.parse_factor()?;
+            return Ok(RawExpr::binary(BinOp::Pow, base, exp));
+        }
+        Ok(base)
+    }
+
+    fn parse_atom(&mut self) -> Result<RawExpr> {
+        match self.bump() {
+            Some((_, Token::Number(v))) => Ok(RawExpr::Number(v)),
+            Some((_, Token::Ident(name))) => Ok(RawExpr::Ident(name)),
+            Some((_, Token::LParen)) => {
+                let inner = self.parse_expr()?;
+                match self.bump() {
+                    Some((_, Token::RParen)) => Ok(inner),
+                    _ => Err(self.error("expected `)`")),
+                }
+            }
+            Some((pos, tok)) => Err(RelationError::Parse {
+                message: format!("unexpected token {tok:?}"),
+                position: pos,
+            }),
+            None => Err(self.error("unexpected end of expression")),
+        }
+    }
+}
+
+/// Lower a raw tree to an [`Expr`], resolving identifiers as columns.
+fn lower_to_expr(raw: &RawExpr, schema: &Schema) -> Result<Expr> {
+    match raw {
+        RawExpr::Number(v) => Ok(Expr::Literal(*v)),
+        RawExpr::Ident(name) => Expr::col(name, schema),
+        RawExpr::Neg(inner) => Ok(Expr::Neg(Box::new(lower_to_expr(inner, schema)?))),
+        RawExpr::Binary { op, left, right } => Ok(Expr::binary(
+            *op,
+            lower_to_expr(left, schema)?,
+            lower_to_expr(right, schema)?,
+        )),
+    }
+}
+
+/// Parse `text` into an [`Expr`], resolving identifiers against `schema`.
+///
+/// # Errors
+///
+/// [`RelationError::Parse`] (with byte position) or
+/// [`RelationError::UnknownColumn`].
+pub fn parse_expr(text: &str, schema: &Schema) -> Result<Expr> {
+    lower_to_expr(&parse_raw(text)?, schema)
+}
+
+/// Parse to the unresolved tree (shared by [`parse_expr`] and the
+/// scalar-product analyzer).
+pub(crate) fn parse_raw(text: &str) -> Result<RawExpr> {
+    let mut lexer = Lexer::new(text);
+    let mut tokens = Vec::new();
+    while let Some(t) = lexer.next_token()? {
+        tokens.push(t);
+    }
+    let mut parser = Parser {
+        tokens,
+        cursor: 0,
+        src_len: text.len(),
+    };
+    let expr = parser.parse_expr()?;
+    if parser.cursor != parser.tokens.len() {
+        return Err(parser.error("trailing input after expression"));
+    }
+    Ok(expr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::new(["x", "y", "voltage", "current"]).unwrap()
+    }
+
+    fn eval(text: &str, row: &[f64]) -> f64 {
+        parse_expr(text, &schema()).unwrap().eval_row(row)
+    }
+
+    #[test]
+    fn precedence_and_associativity() {
+        assert_eq!(eval("1 + 2 * 3", &[0.0; 4]), 7.0);
+        assert_eq!(eval("(1 + 2) * 3", &[0.0; 4]), 9.0);
+        assert_eq!(eval("8 / 4 / 2", &[0.0; 4]), 1.0); // left-assoc
+        assert_eq!(eval("2 ^ 3 ^ 2", &[0.0; 4]), 512.0); // right-assoc
+        assert_eq!(eval("10 - 4 - 3", &[0.0; 4]), 3.0);
+    }
+
+    #[test]
+    fn unary_minus() {
+        assert_eq!(eval("-3 + 5", &[0.0; 4]), 2.0);
+        assert_eq!(eval("--3", &[0.0; 4]), 3.0);
+        assert_eq!(eval("2 * -x", &[4.0, 0.0, 0.0, 0.0]), -8.0);
+        // Mathematical convention: unary minus binds looser than `^`,
+        // so -2^2 = -(2^2).
+        assert_eq!(eval("-2 ^ 2", &[0.0; 4]), -4.0);
+        assert_eq!(eval("(-2) ^ 2", &[0.0; 4]), 4.0);
+    }
+
+    #[test]
+    fn columns_resolve() {
+        assert_eq!(
+            eval("voltage * current", &[0.0, 0.0, 240.0, 2.0]),
+            480.0
+        );
+        assert!(matches!(
+            parse_expr("watts + 1", &schema()),
+            Err(RelationError::UnknownColumn(_))
+        ));
+    }
+
+    #[test]
+    fn scientific_notation_and_decimals() {
+        assert_eq!(eval("1.5e2 + .5", &[0.0; 4]), 150.5);
+        assert_eq!(eval("2e-1", &[0.0; 4]), 0.2);
+    }
+
+    #[test]
+    fn error_positions() {
+        let err = parse_expr("1 + $", &schema()).unwrap_err();
+        assert_eq!(
+            err,
+            RelationError::Parse {
+                message: "unexpected character `$`".into(),
+                position: 4
+            }
+        );
+        assert!(matches!(
+            parse_expr("(1 + 2", &schema()),
+            Err(RelationError::Parse { .. })
+        ));
+        assert!(matches!(
+            parse_expr("1 2", &schema()),
+            Err(RelationError::Parse { .. })
+        ));
+        assert!(matches!(
+            parse_expr("", &schema()),
+            Err(RelationError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn example1_expression_roundtrip() {
+        // The paper's Example 1 predicate body.
+        let e = parse_expr("x - 0.5 * voltage * current", &schema()).unwrap();
+        assert_eq!(e.eval_row(&[100.0, 0.0, 240.0, 1.0]), -20.0);
+    }
+}

@@ -1,0 +1,451 @@
+//! Multivariate polynomials over columns and run-time parameters, with
+//! interval bounds — the algebra behind automatic scalar-product-form
+//! compilation (see [`crate::analyze`]).
+//!
+//! A predicate like the paper's Example 1,
+//! `active − threshold·voltage·current ≤ 0`, is a polynomial in two kinds
+//! of variables: *columns* (known at index time) and *parameters* (known at
+//! query time). Expanding it into monomials makes the scalar-product
+//! structure mechanical: **every monomial factors into a column-only part
+//! and a parameter-only part**, so grouping by column part yields
+//! `Σᵢ coefᵢ(params) · φᵢ(columns) {≤,≥} offset(params)` — exactly what the
+//! Planar index needs.
+
+use crate::{RelationError, Result};
+use std::collections::BTreeMap;
+
+/// A variable: a relation column or a run-time parameter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Var {
+    /// Column `i` of the schema.
+    Col(usize),
+    /// Run-time parameter `i`.
+    Param(usize),
+}
+
+/// A monomial: variables with positive integer powers, kept sorted.
+/// The empty monomial is the constant `1`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Monomial {
+    factors: Vec<(Var, u32)>,
+}
+
+impl Monomial {
+    /// The constant monomial `1`.
+    pub fn one() -> Self {
+        Self::default()
+    }
+
+    /// A single variable to the first power.
+    pub fn var(v: Var) -> Self {
+        Self {
+            factors: vec![(v, 1)],
+        }
+    }
+
+    /// The factors `(variable, power)`, sorted by variable.
+    pub fn factors(&self) -> &[(Var, u32)] {
+        &self.factors
+    }
+
+    /// Is this the constant monomial?
+    pub fn is_one(&self) -> bool {
+        self.factors.is_empty()
+    }
+
+    /// Product of two monomials (powers add).
+    pub fn mul(&self, other: &Monomial) -> Monomial {
+        let mut map: BTreeMap<Var, u32> = BTreeMap::new();
+        for &(v, p) in self.factors.iter().chain(&other.factors) {
+            *map.entry(v).or_insert(0) += p;
+        }
+        Monomial {
+            factors: map.into_iter().collect(),
+        }
+    }
+
+    /// Split into (column-only part, parameter-only part).
+    pub fn split(&self) -> (Monomial, Monomial) {
+        let (cols, params): (Vec<_>, Vec<_>) = self
+            .factors
+            .iter()
+            .copied()
+            .partition(|(v, _)| matches!(v, Var::Col(_)));
+        (Monomial { factors: cols }, Monomial { factors: params })
+    }
+
+    /// Total degree.
+    pub fn degree(&self) -> u32 {
+        self.factors.iter().map(|(_, p)| p).sum()
+    }
+}
+
+/// A polynomial: a sum of monomials with `f64` coefficients.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Poly {
+    /// Monomial → coefficient; zero coefficients are pruned.
+    terms: BTreeMap<Monomial, f64>,
+}
+
+impl Poly {
+    /// The zero polynomial.
+    pub fn zero() -> Self {
+        Self::default()
+    }
+
+    /// A constant.
+    pub fn constant(v: f64) -> Self {
+        let mut p = Self::zero();
+        if v != 0.0 {
+            p.terms.insert(Monomial::one(), v);
+        }
+        p
+    }
+
+    /// A single variable.
+    pub fn var(v: Var) -> Self {
+        let mut p = Self::zero();
+        p.terms.insert(Monomial::var(v), 1.0);
+        p
+    }
+
+    /// The terms, sorted by monomial.
+    pub fn terms(&self) -> impl Iterator<Item = (&Monomial, f64)> {
+        self.terms.iter().map(|(m, &c)| (m, c))
+    }
+
+    /// Number of (non-zero) terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Is this the zero polynomial?
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// The constant value if the polynomial has no variables.
+    pub fn as_constant(&self) -> Option<f64> {
+        match self.terms.len() {
+            0 => Some(0.0),
+            1 => {
+                let (m, &c) = self.terms.iter().next()?;
+                m.is_one().then_some(c)
+            }
+            _ => None,
+        }
+    }
+
+    fn add_term(&mut self, m: Monomial, c: f64) {
+        if c == 0.0 {
+            return;
+        }
+        use std::collections::btree_map::Entry;
+        match self.terms.entry(m) {
+            Entry::Occupied(mut e) => {
+                *e.get_mut() += c;
+                if *e.get() == 0.0 {
+                    e.remove();
+                }
+            }
+            Entry::Vacant(v) => {
+                v.insert(c);
+            }
+        }
+    }
+
+    /// Sum.
+    pub fn add(&self, other: &Poly) -> Poly {
+        let mut out = self.clone();
+        for (m, &c) in &other.terms {
+            out.add_term(m.clone(), c);
+        }
+        out
+    }
+
+    /// Difference `self − other`.
+    pub fn sub(&self, other: &Poly) -> Poly {
+        self.add(&other.neg())
+    }
+
+    /// Negation.
+    pub fn neg(&self) -> Poly {
+        Poly {
+            terms: self.terms.iter().map(|(m, c)| (m.clone(), -c)).collect(),
+        }
+    }
+
+    /// Product (full expansion).
+    pub fn mul(&self, other: &Poly) -> Poly {
+        let mut out = Poly::zero();
+        for (ma, &ca) in &self.terms {
+            for (mb, &cb) in &other.terms {
+                out.add_term(ma.mul(mb), ca * cb);
+            }
+        }
+        out
+    }
+
+    /// Integer power by repeated squaring.
+    pub fn powi(&self, mut exp: u32) -> Poly {
+        let mut base = self.clone();
+        let mut acc = Poly::constant(1.0);
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc = acc.mul(&base);
+            }
+            base = base.mul(&base);
+            exp >>= 1;
+        }
+        acc
+    }
+
+    /// Division — only by a non-zero constant (division by variables does
+    /// not stay polynomial).
+    ///
+    /// # Errors
+    ///
+    /// [`RelationError::NotPolynomial`] when the divisor is non-constant or
+    /// zero.
+    pub fn div(&self, other: &Poly) -> Result<Poly> {
+        match other.as_constant() {
+            Some(c) if c != 0.0 => Ok(Poly {
+                terms: self
+                    .terms
+                    .iter()
+                    .map(|(m, v)| (m.clone(), v / c))
+                    .collect(),
+            }),
+            _ => Err(RelationError::NotPolynomial(
+                "division by a non-constant expression".into(),
+            )),
+        }
+    }
+
+    /// Evaluate at a full assignment (`cols[i]` for `Var::Col(i)`,
+    /// `params[i]` for `Var::Param(i)`).
+    pub fn eval(&self, cols: &[f64], params: &[f64]) -> f64 {
+        self.terms
+            .iter()
+            .map(|(m, c)| {
+                c * m
+                    .factors()
+                    .iter()
+                    .map(|&(v, p)| {
+                        let base = match v {
+                            Var::Col(i) => cols[i],
+                            Var::Param(i) => params[i],
+                        };
+                        base.powi(p as i32)
+                    })
+                    .product::<f64>()
+            })
+            .sum()
+    }
+
+    /// Largest parameter index referenced, if any.
+    pub fn max_param(&self) -> Option<usize> {
+        self.terms
+            .keys()
+            .flat_map(|m| m.factors())
+            .filter_map(|&(v, _)| match v {
+                Var::Param(i) => Some(i),
+                Var::Col(_) => None,
+            })
+            .max()
+    }
+
+    /// Interval bounds of a *parameter-only* polynomial, given per-parameter
+    /// intervals. Conservative (interval arithmetic per term).
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics if the polynomial references a column variable.
+    pub fn param_bounds(&self, param_intervals: &[(f64, f64)]) -> (f64, f64) {
+        let mut total = Interval::point(0.0);
+        for (m, &c) in &self.terms {
+            let mut term = Interval::point(c);
+            for &(v, p) in m.factors() {
+                let i = match v {
+                    Var::Param(i) => i,
+                    Var::Col(_) => {
+                        debug_assert!(false, "param_bounds on a column polynomial");
+                        return (f64::NEG_INFINITY, f64::INFINITY);
+                    }
+                };
+                let (lo, hi) = param_intervals[i];
+                term = term * Interval { lo, hi }.powi(p);
+            }
+            total = total + term;
+        }
+        (total.lo, total.hi)
+    }
+}
+
+/// Closed-interval arithmetic for coefficient-domain derivation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interval {
+    /// Lower bound.
+    pub lo: f64,
+    /// Upper bound.
+    pub hi: f64,
+}
+
+impl std::ops::Add for Interval {
+    type Output = Interval;
+
+    fn add(self, other: Interval) -> Interval {
+        Interval {
+            lo: self.lo + other.lo,
+            hi: self.hi + other.hi,
+        }
+    }
+}
+
+impl std::ops::Mul for Interval {
+    type Output = Interval;
+
+    fn mul(self, other: Interval) -> Interval {
+        let candidates = [
+            self.lo * other.lo,
+            self.lo * other.hi,
+            self.hi * other.lo,
+            self.hi * other.hi,
+        ];
+        Interval {
+            lo: candidates.iter().copied().fold(f64::INFINITY, f64::min),
+            hi: candidates
+                .iter()
+                .copied()
+                .fold(f64::NEG_INFINITY, f64::max),
+        }
+    }
+}
+
+impl Interval {
+    /// A degenerate (point) interval.
+    pub fn point(v: f64) -> Self {
+        Self { lo: v, hi: v }
+    }
+
+    /// Interval integer power (tight for even powers across zero).
+    pub fn powi(self, p: u32) -> Interval {
+        if p == 0 {
+            return Interval::point(1.0);
+        }
+        let (alo, ahi) = (self.lo.powi(p as i32), self.hi.powi(p as i32));
+        if p % 2 == 1 {
+            Interval { lo: alo, hi: ahi }
+        } else if self.lo <= 0.0 && self.hi >= 0.0 {
+            Interval {
+                lo: 0.0,
+                hi: alo.max(ahi),
+            }
+        } else {
+            Interval {
+                lo: alo.min(ahi),
+                hi: alo.max(ahi),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn x() -> Poly {
+        Poly::var(Var::Col(0))
+    }
+
+    fn y() -> Poly {
+        Poly::var(Var::Col(1))
+    }
+
+    fn p0() -> Poly {
+        Poly::var(Var::Param(0))
+    }
+
+    #[test]
+    fn arithmetic_expands_correctly() {
+        // (x + 2)(x − 2) = x² − 4
+        let e = x().add(&Poly::constant(2.0)).mul(&x().sub(&Poly::constant(2.0)));
+        assert_eq!(e.len(), 2);
+        assert_eq!(e.eval(&[3.0], &[]), 5.0);
+        assert_eq!(e.eval(&[2.0], &[]), 0.0);
+
+        // (x + y)² = x² + 2xy + y²
+        let sq = x().add(&y()).powi(2);
+        assert_eq!(sq.len(), 3);
+        assert_eq!(sq.eval(&[2.0, 3.0], &[]), 25.0);
+    }
+
+    #[test]
+    fn cancellation_prunes_terms() {
+        let e = x().sub(&x());
+        assert!(e.is_empty());
+        assert_eq!(e.as_constant(), Some(0.0));
+    }
+
+    #[test]
+    fn division_only_by_constants() {
+        let e = x().mul(&Poly::constant(6.0)).div(&Poly::constant(2.0)).unwrap();
+        assert_eq!(e.eval(&[5.0], &[]), 15.0);
+        assert!(x().div(&y()).is_err());
+        assert!(x().div(&Poly::zero()).is_err());
+    }
+
+    #[test]
+    fn monomial_split_separates_cols_and_params() {
+        // 3·x·p²·y
+        let m = Monomial::var(Var::Col(0))
+            .mul(&Monomial::var(Var::Param(0)))
+            .mul(&Monomial::var(Var::Param(0)))
+            .mul(&Monomial::var(Var::Col(1)));
+        assert_eq!(m.degree(), 4);
+        let (cols, params) = m.split();
+        assert_eq!(cols.factors(), &[(Var::Col(0), 1), (Var::Col(1), 1)]);
+        assert_eq!(params.factors(), &[(Var::Param(0), 2)]);
+    }
+
+    #[test]
+    fn eval_with_params() {
+        // x − p·y  (the paper's Example 1 shape)
+        let e = x().sub(&p0().mul(&y()));
+        assert_eq!(e.eval(&[120.0, 240.0], &[0.5]), 0.0);
+        assert_eq!(e.eval(&[100.0, 240.0], &[0.5]), -20.0);
+        assert_eq!(e.max_param(), Some(0));
+        assert_eq!(x().max_param(), None);
+    }
+
+    #[test]
+    fn interval_arithmetic() {
+        let a = Interval { lo: -2.0, hi: 3.0 };
+        assert_eq!(a.powi(2), Interval { lo: 0.0, hi: 9.0 });
+        assert_eq!(a.powi(3), Interval { lo: -8.0, hi: 27.0 });
+        let b = Interval { lo: 1.0, hi: 2.0 };
+        assert_eq!(a * b, Interval { lo: -4.0, hi: 6.0 });
+        assert_eq!(a + b, Interval { lo: -1.0, hi: 5.0 });
+    }
+
+    #[test]
+    fn param_bounds_are_conservative_and_tight_for_monotone() {
+        // −p over p ∈ [0.1, 1] → [−1, −0.1]
+        let e = p0().neg();
+        assert_eq!(e.param_bounds(&[(0.1, 1.0)]), (-1.0, -0.1));
+        // 1 + p² over p ∈ [−2, 1] → [1, 5]
+        let e = Poly::constant(1.0).add(&p0().powi(2));
+        assert_eq!(e.param_bounds(&[(-2.0, 1.0)]), (1.0, 5.0));
+    }
+
+    #[test]
+    fn powi_by_squaring_matches_repeated_mul() {
+        let base = x().add(&Poly::constant(1.0));
+        let mut manual = Poly::constant(1.0);
+        for _ in 0..5 {
+            manual = manual.mul(&base);
+        }
+        assert_eq!(base.powi(5), manual);
+        assert_eq!(base.powi(0), Poly::constant(1.0));
+    }
+}

@@ -1,0 +1,192 @@
+//! Columnar row storage.
+//!
+//! Values are stored column-major: expression evaluation over a whole
+//! relation walks one contiguous column per referenced attribute, which is
+//! the layout analytical engines use for exactly this access pattern.
+
+use crate::schema::Schema;
+use crate::{RelationError, Result};
+
+/// Identifier of a row (its insertion position).
+pub type RowId = u32;
+
+/// A columnar table of `f64` values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Relation {
+    schema: Schema,
+    columns: Vec<Vec<f64>>,
+}
+
+impl Relation {
+    /// An empty relation with the given schema.
+    pub fn new(schema: Schema) -> Self {
+        let columns = (0..schema.arity()).map(|_| Vec::new()).collect();
+        Self { schema, columns }
+    }
+
+    /// An empty relation with row capacity reserved.
+    pub fn with_capacity(schema: Schema, rows: usize) -> Self {
+        let columns = (0..schema.arity())
+            .map(|_| Vec::with_capacity(rows))
+            .collect();
+        Self { schema, columns }
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.columns.first().map_or(0, Vec::len)
+    }
+
+    /// True when the relation holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Insert a row (values in schema order); returns its [`RowId`].
+    ///
+    /// # Errors
+    ///
+    /// [`RelationError::ArityMismatch`] or [`RelationError::NotFinite`].
+    pub fn insert(&mut self, values: &[f64]) -> Result<RowId> {
+        if values.len() != self.schema.arity() {
+            return Err(RelationError::ArityMismatch {
+                expected: self.schema.arity(),
+                found: values.len(),
+            });
+        }
+        if values.iter().any(|v| !v.is_finite()) {
+            return Err(RelationError::NotFinite);
+        }
+        let id = self.len() as RowId;
+        for (col, &v) in self.columns.iter_mut().zip(values) {
+            col.push(v);
+        }
+        Ok(id)
+    }
+
+    /// The value at `(row, column)`.
+    ///
+    /// # Errors
+    ///
+    /// [`RelationError::RowNotFound`].
+    pub fn value(&self, row: RowId, column: usize) -> Result<f64> {
+        self.columns[column]
+            .get(row as usize)
+            .copied()
+            .ok_or(RelationError::RowNotFound(row))
+    }
+
+    /// Overwrite one cell.
+    ///
+    /// # Errors
+    ///
+    /// [`RelationError::RowNotFound`], [`RelationError::NotFinite`].
+    pub fn update_value(&mut self, row: RowId, column: usize, value: f64) -> Result<()> {
+        if !value.is_finite() {
+            return Err(RelationError::NotFinite);
+        }
+        let cell = self.columns[column]
+            .get_mut(row as usize)
+            .ok_or(RelationError::RowNotFound(row))?;
+        *cell = value;
+        Ok(())
+    }
+
+    /// Overwrite a whole row.
+    ///
+    /// # Errors
+    ///
+    /// [`RelationError::ArityMismatch`], [`RelationError::RowNotFound`],
+    /// [`RelationError::NotFinite`].
+    pub fn update_row(&mut self, row: RowId, values: &[f64]) -> Result<()> {
+        if values.len() != self.schema.arity() {
+            return Err(RelationError::ArityMismatch {
+                expected: self.schema.arity(),
+                found: values.len(),
+            });
+        }
+        if (row as usize) >= self.len() {
+            return Err(RelationError::RowNotFound(row));
+        }
+        if values.iter().any(|v| !v.is_finite()) {
+            return Err(RelationError::NotFinite);
+        }
+        for (col, &v) in self.columns.iter_mut().zip(values) {
+            col[row as usize] = v;
+        }
+        Ok(())
+    }
+
+    /// Materialize a row (schema order).
+    ///
+    /// # Errors
+    ///
+    /// [`RelationError::RowNotFound`].
+    pub fn row(&self, row: RowId) -> Result<Vec<f64>> {
+        if (row as usize) >= self.len() {
+            return Err(RelationError::RowNotFound(row));
+        }
+        Ok(self.columns.iter().map(|c| c[row as usize]).collect())
+    }
+
+    /// Borrow an entire column.
+    pub fn column(&self, column: usize) -> &[f64] {
+        &self.columns[column]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn relation() -> Relation {
+        let schema = Schema::new(["a", "b"]).unwrap();
+        let mut r = Relation::new(schema);
+        r.insert(&[1.0, 10.0]).unwrap();
+        r.insert(&[2.0, 20.0]).unwrap();
+        r
+    }
+
+    #[test]
+    fn insert_and_read() {
+        let r = relation();
+        assert_eq!(r.len(), 2);
+        assert!(!r.is_empty());
+        assert_eq!(r.value(0, 1).unwrap(), 10.0);
+        assert_eq!(r.row(1).unwrap(), vec![2.0, 20.0]);
+        assert_eq!(r.column(0), &[1.0, 2.0]);
+        assert_eq!(r.value(5, 0).unwrap_err(), RelationError::RowNotFound(5));
+    }
+
+    #[test]
+    fn insert_validates() {
+        let mut r = relation();
+        assert_eq!(
+            r.insert(&[1.0]).unwrap_err(),
+            RelationError::ArityMismatch {
+                expected: 2,
+                found: 1
+            }
+        );
+        assert_eq!(
+            r.insert(&[1.0, f64::NAN]).unwrap_err(),
+            RelationError::NotFinite
+        );
+    }
+
+    #[test]
+    fn updates() {
+        let mut r = relation();
+        r.update_value(0, 0, 7.0).unwrap();
+        assert_eq!(r.value(0, 0).unwrap(), 7.0);
+        r.update_row(1, &[8.0, 80.0]).unwrap();
+        assert_eq!(r.row(1).unwrap(), vec![8.0, 80.0]);
+        assert!(r.update_row(9, &[0.0, 0.0]).is_err());
+        assert!(r.update_value(0, 0, f64::INFINITY).is_err());
+    }
+}

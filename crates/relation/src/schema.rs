@@ -1,0 +1,114 @@
+//! Relation schemas: ordered, named `f64` columns.
+
+use crate::{RelationError, Result};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// An immutable, cheaply-cloneable schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    inner: Arc<SchemaInner>,
+}
+
+#[derive(Debug, PartialEq, Eq)]
+struct SchemaInner {
+    names: Vec<String>,
+    by_name: HashMap<String, usize>,
+}
+
+impl Schema {
+    /// Create a schema from column names.
+    ///
+    /// # Errors
+    ///
+    /// [`RelationError::EmptySchema`] for no columns,
+    /// [`RelationError::DuplicateColumn`] for repeated names.
+    pub fn new<I, S>(names: I) -> Result<Self>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let names: Vec<String> = names.into_iter().map(Into::into).collect();
+        if names.is_empty() {
+            return Err(RelationError::EmptySchema);
+        }
+        let mut by_name = HashMap::with_capacity(names.len());
+        for (i, n) in names.iter().enumerate() {
+            if by_name.insert(n.clone(), i).is_some() {
+                return Err(RelationError::DuplicateColumn(n.clone()));
+            }
+        }
+        Ok(Self {
+            inner: Arc::new(SchemaInner { names, by_name }),
+        })
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.inner.names.len()
+    }
+
+    /// Column names in order.
+    pub fn names(&self) -> &[String] {
+        &self.inner.names
+    }
+
+    /// Position of a column by name.
+    ///
+    /// # Errors
+    ///
+    /// [`RelationError::UnknownColumn`].
+    pub fn index_of(&self, name: &str) -> Result<usize> {
+        self.inner
+            .by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| RelationError::UnknownColumn(name.to_string()))
+    }
+
+    /// Name of the column at `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn name_of(&self, idx: usize) -> &str {
+        &self.inner.names[idx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_lookup() {
+        let s = Schema::new(["a", "b", "c"]).unwrap();
+        assert_eq!(s.arity(), 3);
+        assert_eq!(s.index_of("b").unwrap(), 1);
+        assert_eq!(s.name_of(2), "c");
+        assert_eq!(
+            s.index_of("z").unwrap_err(),
+            RelationError::UnknownColumn("z".into())
+        );
+    }
+
+    #[test]
+    fn rejects_empty_and_duplicates() {
+        assert_eq!(
+            Schema::new(Vec::<String>::new()).unwrap_err(),
+            RelationError::EmptySchema
+        );
+        assert_eq!(
+            Schema::new(["x", "x"]).unwrap_err(),
+            RelationError::DuplicateColumn("x".into())
+        );
+    }
+
+    #[test]
+    fn clone_is_cheap_and_equal() {
+        let s = Schema::new(["a"]).unwrap();
+        let t = s.clone();
+        assert_eq!(s, t);
+        assert!(Arc::ptr_eq(&s.inner, &t.inner));
+    }
+}

@@ -1,0 +1,723 @@
+//! A miniature SQL surface for the paper's Example 1 workflow.
+//!
+//! The paper's motivating statement is a parametric SQL function:
+//!
+//! ```sql
+//! CREATE FUNCTION Critical_Consume(INPUT double threshold RETURN ID
+//! FROM Consumption
+//! WHERE Active Power - threshold * Voltage * Current <= 0)
+//! ```
+//!
+//! This module executes the equivalent pipeline end to end: statements are
+//! parsed, `CREATE FUNCTION` predicates are compiled to scalar-product form
+//! by [`crate::analyze`], and calls are answered through the Planar index.
+//!
+//! ## Supported statements
+//!
+//! ```text
+//! CREATE TABLE name (col1, col2, …)
+//! INSERT INTO name VALUES (v1, v2, …) [, (…)]…
+//! CREATE FUNCTION name (param IN lo TO hi [, …]) RETURNS ID
+//!     FROM table WHERE <predicate> [BUDGET n]
+//! CALL name (arg1, …)
+//! SELECT ID FROM table WHERE <predicate>          -- ad-hoc, no parameters
+//! ```
+//!
+//! The predicate is any arithmetic expression over columns and declared
+//! parameters with a single `<=` or `>=`. Keywords are case-insensitive;
+//! `BUDGET` is reserved inside predicates.
+
+use crate::analyze::analyze_predicate;
+use crate::function::FunctionIndex;
+use crate::relation::Relation;
+use crate::schema::Schema;
+use crate::{RelationError, Result};
+use planar_core::Domain;
+use std::collections::HashMap;
+
+/// Default Planar-index budget for `CREATE FUNCTION` without `BUDGET n`.
+const DEFAULT_BUDGET: usize = 32;
+
+/// A parsed statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// `CREATE TABLE name (columns…)`
+    CreateTable {
+        /// Table name.
+        name: String,
+        /// Column names in order.
+        columns: Vec<String>,
+    },
+    /// `INSERT INTO name VALUES (…) [, (…)]…`
+    Insert {
+        /// Target table.
+        table: String,
+        /// Row literals.
+        rows: Vec<Vec<f64>>,
+    },
+    /// `CREATE FUNCTION name (params…) RETURNS ID FROM table WHERE …`
+    CreateFunction {
+        /// Function name.
+        name: String,
+        /// `(name, lo, hi)` parameter declarations.
+        params: Vec<(String, f64, f64)>,
+        /// Source table.
+        table: String,
+        /// Raw predicate text.
+        predicate: String,
+        /// Optional index budget.
+        budget: Option<usize>,
+    },
+    /// `CALL name (args…)`
+    Call {
+        /// Function name.
+        name: String,
+        /// Argument values.
+        args: Vec<f64>,
+    },
+    /// `SELECT ID FROM table WHERE …` — an ad-hoc, parameter-free query
+    /// evaluated directly (no index is built for one-off predicates).
+    Select {
+        /// Source table.
+        table: String,
+        /// Raw predicate text.
+        predicate: String,
+    },
+}
+
+/// Result of executing one statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecutionResult {
+    /// A table was created.
+    TableCreated(String),
+    /// Rows were inserted.
+    Inserted(usize),
+    /// A function (and its Planar index) was created; carries the derived
+    /// axis expressions for inspection.
+    FunctionCreated {
+        /// Function name.
+        name: String,
+        /// Human-readable `φᵢ` expressions the compiler derived.
+        axes: Vec<String>,
+    },
+    /// A function call's matching row ids (ascending).
+    Rows(Vec<u32>),
+}
+
+// ---------------------------------------------------------------------------
+// Tokenizer (statement heads only; predicates stay raw text)
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Word(String),
+    Number(f64),
+    LParen,
+    RParen,
+    Comma,
+}
+
+fn err(message: impl Into<String>, position: usize) -> RelationError {
+    RelationError::Parse {
+        message: message.into(),
+        position,
+    }
+}
+
+fn tokenize(text: &str) -> Result<Vec<(usize, Tok)>> {
+    let bytes = text.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' | b';' => i += 1,
+            b'(' => {
+                out.push((i, Tok::LParen));
+                i += 1;
+            }
+            b')' => {
+                out.push((i, Tok::RParen));
+                i += 1;
+            }
+            b',' => {
+                out.push((i, Tok::Comma));
+                i += 1;
+            }
+            b'0'..=b'9' | b'.' | b'-' | b'+' => {
+                let start = i;
+                i += 1;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_digit()
+                        || bytes[i] == b'.'
+                        || bytes[i] == b'e'
+                        || bytes[i] == b'E'
+                        || ((bytes[i] == b'+' || bytes[i] == b'-')
+                            && matches!(bytes[i - 1], b'e' | b'E')))
+                {
+                    i += 1;
+                }
+                let s = &text[start..i];
+                let v: f64 = s
+                    .parse()
+                    .map_err(|_| err(format!("invalid number `{s}`"), start))?;
+                out.push((start, Tok::Number(v)));
+            }
+            b'A'..=b'Z' | b'a'..=b'z' | b'_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                out.push((start, Tok::Word(text[start..i].to_string())));
+            }
+            other => return Err(err(format!("unexpected character `{}`", other as char), i)),
+        }
+    }
+    Ok(out)
+}
+
+struct Cursor {
+    toks: Vec<(usize, Tok)>,
+    pos: usize,
+    len: usize,
+}
+
+impl Cursor {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(_, t)| t)
+    }
+
+    fn here(&self) -> usize {
+        self.toks.get(self.pos).map(|(p, _)| *p).unwrap_or(self.len)
+    }
+
+    fn next(&mut self) -> Option<(usize, Tok)> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn keyword(&mut self, kw: &str) -> Result<()> {
+        match self.next() {
+            Some((_, Tok::Word(w))) if w.eq_ignore_ascii_case(kw) => Ok(()),
+            Some((p, t)) => Err(err(format!("expected `{kw}`, found {t:?}"), p)),
+            None => Err(err(format!("expected `{kw}`"), self.len)),
+        }
+    }
+
+    fn try_keyword(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Some(Tok::Word(w)) if w.eq_ignore_ascii_case(kw)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.next() {
+            Some((_, Tok::Word(w))) => Ok(w),
+            Some((p, t)) => Err(err(format!("expected identifier, found {t:?}"), p)),
+            None => Err(err("expected identifier", self.len)),
+        }
+    }
+
+    fn number(&mut self) -> Result<f64> {
+        match self.next() {
+            Some((_, Tok::Number(v))) => Ok(v),
+            Some((p, t)) => Err(err(format!("expected number, found {t:?}"), p)),
+            None => Err(err("expected number", self.len)),
+        }
+    }
+
+    fn expect(&mut self, tok: Tok) -> Result<()> {
+        match self.next() {
+            Some((_, t)) if t == tok => Ok(()),
+            Some((p, t)) => Err(err(format!("expected {tok:?}, found {t:?}"), p)),
+            None => Err(err(format!("expected {tok:?}"), self.len)),
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+}
+
+/// Parse one statement.
+///
+/// # Errors
+///
+/// [`RelationError::Parse`] with a byte position.
+pub fn parse_statement(text: &str) -> Result<Statement> {
+    let head = tokenize_head(text)?;
+    let mut c = Cursor {
+        toks: head,
+        pos: 0,
+        len: text.len(),
+    };
+    if c.try_keyword("CREATE") {
+        if c.try_keyword("TABLE") {
+            return parse_create_table(&mut c);
+        }
+        c.keyword("FUNCTION")?;
+        return parse_create_function(&mut c, text);
+    }
+    if c.try_keyword("INSERT") {
+        c.keyword("INTO")?;
+        return parse_insert(&mut c);
+    }
+    if c.try_keyword("CALL") {
+        return parse_call(&mut c);
+    }
+    if c.try_keyword("SELECT") {
+        return parse_select(&mut c, text);
+    }
+    Err(err(
+        "expected CREATE TABLE / CREATE FUNCTION / INSERT INTO / CALL / SELECT",
+        c.here(),
+    ))
+}
+
+/// Tokenize only up to (and excluding) a top-level `WHERE` — the predicate
+/// after it is handled by the expression parser, not the SQL tokenizer.
+fn tokenize_head(text: &str) -> Result<Vec<(usize, Tok)>> {
+    let upto = find_keyword(text, "WHERE").unwrap_or(text.len());
+    tokenize(&text[..upto])
+}
+
+/// Case-insensitive, word-boundary keyword search.
+fn find_keyword(text: &str, kw: &str) -> Option<usize> {
+    let lower = text.to_ascii_lowercase();
+    let kw = kw.to_ascii_lowercase();
+    let bytes = lower.as_bytes();
+    let mut from = 0;
+    while let Some(rel) = lower[from..].find(&kw) {
+        let at = from + rel;
+        let before_ok = at == 0 || !bytes[at - 1].is_ascii_alphanumeric() && bytes[at - 1] != b'_';
+        let end = at + kw.len();
+        let after_ok =
+            end >= bytes.len() || !bytes[end].is_ascii_alphanumeric() && bytes[end] != b'_';
+        if before_ok && after_ok {
+            return Some(at);
+        }
+        from = at + kw.len();
+    }
+    None
+}
+
+fn parse_create_table(c: &mut Cursor) -> Result<Statement> {
+    let name = c.ident()?;
+    c.expect(Tok::LParen)?;
+    let mut columns = vec![c.ident()?];
+    while matches!(c.peek(), Some(Tok::Comma)) {
+        c.next();
+        columns.push(c.ident()?);
+    }
+    c.expect(Tok::RParen)?;
+    Ok(Statement::CreateTable { name, columns })
+}
+
+fn parse_insert(c: &mut Cursor) -> Result<Statement> {
+    let table = c.ident()?;
+    c.keyword("VALUES")?;
+    let mut rows = Vec::new();
+    loop {
+        c.expect(Tok::LParen)?;
+        let mut row = vec![c.number()?];
+        while matches!(c.peek(), Some(Tok::Comma)) {
+            c.next();
+            row.push(c.number()?);
+        }
+        c.expect(Tok::RParen)?;
+        rows.push(row);
+        if matches!(c.peek(), Some(Tok::Comma)) {
+            c.next();
+        } else {
+            break;
+        }
+    }
+    if !c.done() {
+        return Err(err("trailing input after INSERT", c.here()));
+    }
+    Ok(Statement::Insert { table, rows })
+}
+
+fn parse_create_function(c: &mut Cursor, full_text: &str) -> Result<Statement> {
+    let name = c.ident()?;
+    c.expect(Tok::LParen)?;
+    let mut params = Vec::new();
+    loop {
+        let pname = c.ident()?;
+        c.keyword("IN")?;
+        let lo = c.number()?;
+        c.keyword("TO")?;
+        let hi = c.number()?;
+        params.push((pname, lo, hi));
+        if matches!(c.peek(), Some(Tok::Comma)) {
+            c.next();
+        } else {
+            break;
+        }
+    }
+    c.expect(Tok::RParen)?;
+    c.keyword("RETURNS")?;
+    c.keyword("ID")?;
+    c.keyword("FROM")?;
+    let table = c.ident()?;
+    // The predicate is the raw text after WHERE, up to an optional BUDGET.
+    let where_at = find_keyword(full_text, "WHERE")
+        .ok_or_else(|| err("CREATE FUNCTION requires a WHERE predicate", full_text.len()))?;
+    let after_where = &full_text[where_at + "WHERE".len()..];
+    let (predicate, budget) = match find_keyword(after_where, "BUDGET") {
+        Some(at) => {
+            let tail = after_where[at + "BUDGET".len()..].trim();
+            let n: usize = tail.parse().map_err(|_| {
+                err(
+                    format!("invalid BUDGET value `{tail}`"),
+                    where_at + "WHERE".len() + at,
+                )
+            })?;
+            (after_where[..at].trim().to_string(), Some(n))
+        }
+        None => (after_where.trim().trim_end_matches(';').to_string(), None),
+    };
+    if predicate.is_empty() {
+        return Err(err("empty WHERE predicate", where_at));
+    }
+    Ok(Statement::CreateFunction {
+        name,
+        params,
+        table,
+        predicate,
+        budget,
+    })
+}
+
+fn parse_select(c: &mut Cursor, full_text: &str) -> Result<Statement> {
+    c.keyword("ID")?;
+    c.keyword("FROM")?;
+    let table = c.ident()?;
+    let where_at = find_keyword(full_text, "WHERE")
+        .ok_or_else(|| err("SELECT requires a WHERE predicate", full_text.len()))?;
+    let predicate = full_text[where_at + "WHERE".len()..]
+        .trim()
+        .trim_end_matches(';')
+        .to_string();
+    if predicate.is_empty() {
+        return Err(err("empty WHERE predicate", where_at));
+    }
+    Ok(Statement::Select { table, predicate })
+}
+
+fn parse_call(c: &mut Cursor) -> Result<Statement> {
+    let name = c.ident()?;
+    c.expect(Tok::LParen)?;
+    let mut args = Vec::new();
+    if !matches!(c.peek(), Some(Tok::RParen)) {
+        args.push(c.number()?);
+        while matches!(c.peek(), Some(Tok::Comma)) {
+            c.next();
+            args.push(c.number()?);
+        }
+    }
+    c.expect(Tok::RParen)?;
+    if !c.done() {
+        return Err(err("trailing input after CALL", c.here()));
+    }
+    Ok(Statement::Call { name, args })
+}
+
+// ---------------------------------------------------------------------------
+// Catalog + executor
+// ---------------------------------------------------------------------------
+
+struct StoredFunction {
+    table: String,
+    index: FunctionIndex,
+}
+
+/// An in-memory catalog executing the supported statements.
+#[derive(Default)]
+pub struct Database {
+    relations: HashMap<String, Relation>,
+    functions: HashMap<String, StoredFunction>,
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Borrow a relation by name.
+    pub fn relation(&self, name: &str) -> Option<&Relation> {
+        self.relations.get(name)
+    }
+
+    /// Execute one statement.
+    ///
+    /// # Errors
+    ///
+    /// Parse errors, unknown tables/functions, arity mismatches, and
+    /// predicate-compilation errors.
+    pub fn execute(&mut self, sql: &str) -> Result<ExecutionResult> {
+        match parse_statement(sql)? {
+            Statement::CreateTable { name, columns } => {
+                if self.relations.contains_key(&name) {
+                    return Err(RelationError::DuplicateColumn(format!("table {name}")));
+                }
+                let schema = Schema::new(columns)?;
+                self.relations.insert(name.clone(), Relation::new(schema));
+                Ok(ExecutionResult::TableCreated(name))
+            }
+            Statement::Insert { table, rows } => {
+                let rel = self
+                    .relations
+                    .get_mut(&table)
+                    .ok_or_else(|| RelationError::UnknownColumn(format!("table {table}")))?;
+                let mut new_ids = Vec::with_capacity(rows.len());
+                for row in &rows {
+                    new_ids.push(rel.insert(row)?);
+                }
+                // Keep dependent function indexes current.
+                let rel = self.relations.get(&table).expect("present");
+                for f in self.functions.values_mut().filter(|f| f.table == table) {
+                    for &id in &new_ids {
+                        f.index.index_new_row(rel, id)?;
+                    }
+                }
+                Ok(ExecutionResult::Inserted(new_ids.len()))
+            }
+            Statement::CreateFunction {
+                name,
+                params,
+                table,
+                predicate,
+                budget,
+            } => {
+                let rel = self
+                    .relations
+                    .get(&table)
+                    .ok_or_else(|| RelationError::UnknownColumn(format!("table {table}")))?;
+                let declared: Vec<(&str, Domain)> = params
+                    .iter()
+                    .map(|(n, lo, hi)| {
+                        (
+                            n.as_str(),
+                            Domain::Continuous { lo: *lo, hi: *hi },
+                        )
+                    })
+                    .collect();
+                let analyzed = analyze_predicate(&predicate, rel.schema(), &declared)?;
+                let axes = analyzed.axes_display.clone();
+                let index = analyzed
+                    .spec
+                    .build(rel, budget.unwrap_or(DEFAULT_BUDGET))?;
+                self.functions
+                    .insert(name.clone(), StoredFunction { table, index });
+                Ok(ExecutionResult::FunctionCreated { name, axes })
+            }
+            Statement::Select { table, predicate } => {
+                let rel = self
+                    .relations
+                    .get(&table)
+                    .ok_or_else(|| RelationError::UnknownColumn(format!("table {table}")))?;
+                // Parameter-free compile: the comparator splits the
+                // predicate; both sides lower to column-only polynomials.
+                let analyzed =
+                    analyze_predicate(&predicate, rel.schema(), &[]).map_err(|e| match e {
+                        // A predicate whose column terms all cancel is a
+                        // constant truth value — report it plainly.
+                        RelationError::EmptyFunction => RelationError::NotPolynomial(
+                            "predicate has no column terms".into(),
+                        ),
+                        other => other,
+                    })?;
+                let q = {
+                    // Bind with zero parameters and evaluate by scan —
+                    // building an index for a one-off predicate would cost
+                    // more than it saves.
+                    let spec_index = analyzed.spec.build(rel, 1)?;
+                    spec_index.call_scan(&[])?
+                };
+                Ok(ExecutionResult::Rows(q.sorted_ids()))
+            }
+            Statement::Call { name, args } => {
+                let f = self
+                    .functions
+                    .get(&name)
+                    .ok_or_else(|| RelationError::UnknownColumn(format!("function {name}")))?;
+                let out = f.index.call(&args)?;
+                Ok(ExecutionResult::Rows(out.sorted_ids()))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db_with_consumption() -> Database {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE consumption (active, reactive, voltage, current)")
+            .unwrap();
+        db.execute(
+            "INSERT INTO consumption VALUES (120, 0.2, 240, 1), (470, 0.1, 235, 2), (60, 0.5, 240, 1)",
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn paper_example1_end_to_end() {
+        let mut db = db_with_consumption();
+        let created = db
+            .execute(
+                "CREATE FUNCTION critical_consume (threshold IN 0.1 TO 1.0) RETURNS ID \
+                 FROM consumption WHERE active - threshold * voltage * current <= 0 BUDGET 16",
+            )
+            .unwrap();
+        match created {
+            ExecutionResult::FunctionCreated { name, axes } => {
+                assert_eq!(name, "critical_consume");
+                assert_eq!(axes, vec!["active", "voltage*current"]);
+            }
+            other => panic!("unexpected result {other:?}"),
+        }
+        assert_eq!(
+            db.execute("CALL critical_consume(0.6)").unwrap(),
+            ExecutionResult::Rows(vec![0, 2])
+        );
+        assert_eq!(
+            db.execute("CALL critical_consume(0.3)").unwrap(),
+            ExecutionResult::Rows(vec![2])
+        );
+    }
+
+    #[test]
+    fn inserts_after_function_creation_are_indexed() {
+        let mut db = db_with_consumption();
+        db.execute(
+            "CREATE FUNCTION f (threshold IN 0.1 TO 1.0) RETURNS ID \
+             FROM consumption WHERE active - threshold * voltage * current <= 0",
+        )
+        .unwrap();
+        db.execute("INSERT INTO consumption VALUES (24, 0.1, 240, 1)")
+            .unwrap(); // pf = 0.1
+        assert_eq!(
+            db.execute("CALL f(0.15)").unwrap(),
+            ExecutionResult::Rows(vec![3])
+        );
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        let mut db = Database::new();
+        db.execute("create table t (x, y)").unwrap();
+        db.execute("insert into t values (1, 2)").unwrap();
+        db.execute("Create Function g (p In 1 To 2) Returns Id From t Where x + p * y <= 10")
+            .unwrap();
+        assert_eq!(
+            db.execute("call g(1.5)").unwrap(),
+            ExecutionResult::Rows(vec![0])
+        );
+    }
+
+    #[test]
+    fn errors_are_informative() {
+        let mut db = Database::new();
+        assert!(matches!(
+            db.execute("DROP TABLE x"),
+            Err(RelationError::Parse { .. })
+        ));
+        assert!(db.execute("INSERT INTO missing VALUES (1)").is_err());
+        db.execute("CREATE TABLE t (x)").unwrap();
+        assert!(db.execute("INSERT INTO t VALUES (1, 2)").is_err()); // arity
+        assert!(db
+            .execute("CREATE FUNCTION f (p IN 1 TO 2) RETURNS ID FROM t WHERE p / x <= 1")
+            .is_err()); // not polynomial
+        assert!(db.execute("CALL nothere(1)").is_err());
+        // Wrong CALL arity.
+        db.execute("CREATE FUNCTION f (p IN 1 TO 2) RETURNS ID FROM t WHERE x * p <= 5")
+            .unwrap();
+        assert!(db.execute("CALL f(1, 2)").is_err());
+    }
+
+    #[test]
+    fn multi_parameter_functions() {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE t (x, y)").unwrap();
+        db.execute("INSERT INTO t VALUES (1, 10), (5, 5), (10, 1)")
+            .unwrap();
+        db.execute(
+            "CREATE FUNCTION band (a IN 0.5 TO 2, b IN 5 TO 50) RETURNS ID \
+             FROM t WHERE a * x + y >= b",
+        )
+        .unwrap();
+        assert_eq!(
+            db.execute("CALL band(1, 10)").unwrap(),
+            ExecutionResult::Rows(vec![0, 1, 2])
+        );
+        // a=1, b=11: rows 0 (1+10=11) and 2 (10+1=11) sit exactly on the
+        // boundary; row 1 (5+5=10) misses.
+        assert_eq!(
+            db.execute("CALL band(1, 11)").unwrap(),
+            ExecutionResult::Rows(vec![0, 2])
+        );
+    }
+
+    #[test]
+    fn select_statement_runs_ad_hoc_queries() {
+        let mut db = db_with_consumption();
+        // Households with power factor below 0.4, written inline.
+        assert_eq!(
+            db.execute("SELECT ID FROM consumption WHERE active - 0.4 * voltage * current <= 0")
+                .unwrap(),
+            ExecutionResult::Rows(vec![2])
+        );
+        // ≥ direction too.
+        assert_eq!(
+            db.execute("SELECT ID FROM consumption WHERE active >= 400")
+                .unwrap(),
+            ExecutionResult::Rows(vec![1])
+        );
+        assert!(db.execute("SELECT ID FROM consumption WHERE 1 <= 2").is_err());
+        assert!(db.execute("SELECT ID FROM nope WHERE active <= 1").is_err());
+    }
+
+    #[test]
+    fn statement_parsing_shapes() {
+        let s = parse_statement("CREATE TABLE t (a, b, c)").unwrap();
+        assert_eq!(
+            s,
+            Statement::CreateTable {
+                name: "t".into(),
+                columns: vec!["a".into(), "b".into(), "c".into()]
+            }
+        );
+        let s = parse_statement("INSERT INTO t VALUES (1, -2.5), (3e2, 4)").unwrap();
+        assert_eq!(
+            s,
+            Statement::Insert {
+                table: "t".into(),
+                rows: vec![vec![1.0, -2.5], vec![300.0, 4.0]]
+            }
+        );
+        let s = parse_statement(
+            "CREATE FUNCTION f (p IN 0.1 TO 1) RETURNS ID FROM t WHERE a - p * b <= 0 BUDGET 7",
+        )
+        .unwrap();
+        match s {
+            Statement::CreateFunction {
+                predicate, budget, ..
+            } => {
+                assert_eq!(predicate, "a - p * b <= 0");
+                assert_eq!(budget, Some(7));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Pool-based active learning with exact Planar-index retrieval (paper
+//! §7.5.2): each round labels the unlabeled points nearest the current
+//! decision hyperplane, found by the top-k nearest-neighbor query.
+//!
+//! Also contrasts the exact retrieval with an approximate hyperplane-hash
+//! baseline (in the spirit of Jain et al.), reproducing the paper's
+//! exact-vs-approximate argument.
+//!
+//! ```text
+//! cargo run --release --example active_learning
+//! ```
+
+use planar::planar_datagen::synthetic::{SyntheticConfig, SyntheticKind};
+use planar::planar_learning::hashing::{recall, HyperplaneHash};
+use planar::planar_learning::ActiveLearner;
+use planar::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    // ----------------------------------------------------------------
+    // 1. An unlabeled pool and a hidden ground-truth concept.
+    // ----------------------------------------------------------------
+    let pool = SyntheticConfig::paper(SyntheticKind::Independent, 50_000, 4).generate();
+    let truth = |x: &[f64]| 2.0 * x[0] + x[1] + 3.0 * x[2] + 0.5 * x[3] >= 320.0;
+    println!("pool: {} unlabeled points in R^{}", pool.len(), pool.dim());
+
+    // ----------------------------------------------------------------
+    // 2. Uncertainty sampling: 5 labels per side per round, retrieved
+    //    exactly through the Planar index.
+    // ----------------------------------------------------------------
+    let domain = ParameterDomain::uniform_continuous(4, 0.2, 5.0).expect("domain");
+    let mut learner =
+        ActiveLearner::new(pool.clone(), domain, 20, 150.0, truth).expect("learner");
+    println!("\nround  labels  accuracy  pool_touched");
+    let reports = learner.run(30, 5).expect("run");
+    for r in reports.iter().filter(|r| r.round % 5 == 0 || r.round == 1) {
+        println!(
+            "{:>5}  {:>6}  {:>7.1}%  {:>11.1}%",
+            r.round,
+            r.labels_used,
+            100.0 * r.accuracy,
+            r.checked_percentage
+        );
+    }
+    let final_acc = reports.last().expect("rounds > 0").accuracy;
+    println!(
+        "\nreached {:.1}% accuracy with {} labels ({}% of the pool)",
+        100.0 * final_acc,
+        learner.labels_used(),
+        100 * learner.labels_used() / pool.len()
+    );
+
+    // ----------------------------------------------------------------
+    // 3. Exact vs approximate retrieval of the boundary points.
+    // ----------------------------------------------------------------
+    let w = learner.classifier().weights().to_vec();
+    let b = learner.classifier().bias();
+    let q = InequalityQuery::leq(w.clone(), b).expect("query");
+    let k = 50;
+
+    let start = Instant::now();
+    let exact = SeqScan::new(&pool)
+        .top_k(&TopKQuery::new(q.clone(), k).expect("k"))
+        .expect("exact");
+    let scan_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    println!("\nexact top-{k} via scan: {scan_ms:.2} ms; hashing baseline recall:");
+    for tables in [4usize, 16, 64] {
+        let hash = HyperplaneHash::build(&pool, tables, 9);
+        let start = Instant::now();
+        let approx = hash.top_k(&pool, &w, b, k, |row| q.satisfies(row));
+        let hash_ms = start.elapsed().as_secs_f64() * 1e3;
+        println!(
+            "  {tables:>3} tables: recall {:>5.1}% in {hash_ms:.2} ms (approximate!)",
+            100.0 * recall(&exact, &approx)
+        );
+    }
+    println!("the Planar index achieves 100% recall for any k — it is exact by construction");
+}

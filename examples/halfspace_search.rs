@@ -1,0 +1,102 @@
+//! Half-space range searching, linear-constraint (conjunction) queries and
+//! adaptive retuning — the extension surface on top of the paper's core
+//! (Remark 3, §2 "linear constraint queries", §8 future work).
+//!
+//! ```text
+//! cargo run --release --example halfspace_search
+//! ```
+
+use planar::planar_core::halfspace::{HalfSpace, HalfSpaceIndex};
+use planar::planar_core::{
+    AdaptiveConfig, AdaptivePlanarIndexSet, ConjunctionQuery, VecStore,
+};
+use planar::planar_datagen::drift::DriftingWorkload;
+use planar::planar_datagen::synthetic::{SyntheticConfig, SyntheticKind};
+use planar::prelude::*;
+use planar_geom::Vector;
+
+fn main() {
+    // ----------------------------------------------------------------
+    // 1. Half-space range searching (φ = identity, paper Remark 3).
+    // ----------------------------------------------------------------
+    let points: Vec<Vec<f64>> = SyntheticConfig::paper(SyntheticKind::Independent, 50_000, 3)
+        .generate()
+        .iter()
+        .map(|(_, row)| row.to_vec())
+        .collect();
+    let index: HalfSpaceIndex = HalfSpaceIndex::build(
+        points,
+        ParameterDomain::uniform_continuous(3, 0.5, 4.0).expect("domain"),
+        IndexConfig::with_budget(30),
+    )
+    .expect("build");
+
+    let plane = Hyperplane::new(Vector::new(vec![1.0, 2.0, 1.5]).expect("v"), 200.0).expect("h");
+    let below = index.report(&plane, HalfSpace::Below).expect("report");
+    println!(
+        "half-space query: {} of {} points below ⟨(1,2,1.5), x⟩ = 200 ({:.1}% pruned)",
+        below.matches.len(),
+        index.len(),
+        below.stats.pruning_percentage()
+    );
+    let nearest = index.nearest(&plane, HalfSpace::Above, 3).expect("nearest");
+    println!("three nearest points above the plane:");
+    for (id, dist) in &nearest.neighbors {
+        println!("  #{id:<7} at distance {dist:.3}  {:?}", index.point(*id));
+    }
+
+    // ----------------------------------------------------------------
+    // 2. Linear constraint query: a band 150 ≤ ⟨a, x⟩ ≤ 250 as the
+    //    conjunction of two half-spaces (paper §2).
+    // ----------------------------------------------------------------
+    let set = index.index_set();
+    let band = ConjunctionQuery::new(vec![
+        InequalityQuery::geq(vec![1.0, 2.0, 1.5], 150.0).expect("q"),
+        InequalityQuery::leq(vec![1.0, 2.0, 1.5], 250.0).expect("q"),
+    ])
+    .expect("band");
+    let out = set.query_conjunction(&band).expect("conjunction");
+    println!(
+        "\nband query (two constraints): {} matches, {:.1}% pruned wholesale",
+        out.matches.len(),
+        out.stats.pruning_percentage()
+    );
+
+    // ----------------------------------------------------------------
+    // 3. Adaptive retuning: the workload drifts; the adaptive set follows.
+    // ----------------------------------------------------------------
+    let table = SyntheticConfig::paper(SyntheticKind::Independent, 50_000, 6).generate();
+    let mut drift = DriftingWorkload::new(
+        &table,
+        vec![1.0; 6],
+        vec![100.0, 1.0, 100.0, 1.0, 100.0, 1.0],
+        240,
+        0.02,
+        5,
+    );
+    let mut adaptive: AdaptivePlanarIndexSet<VecStore> = AdaptivePlanarIndexSet::build(
+        table,
+        ParameterDomain::uniform_continuous(6, 1.0, 100.0).expect("domain"),
+        AdaptiveConfig {
+            pruning_threshold: 0.95,
+            cooldown: 40,
+            ..AdaptiveConfig::with_budget(16)
+        },
+    )
+    .expect("build");
+
+    println!("\nadaptive retuning under drift (pruning % per 40-query window):");
+    for window in 1..=6 {
+        let mut pruning = 0.0;
+        for _ in 0..40 {
+            let q = drift.next_query();
+            pruning += adaptive.query(&q).expect("query").stats.pruning_percentage();
+        }
+        println!(
+            "  window {window}: {:5.1}% pruned   (retunes so far: {})",
+            pruning / 40.0,
+            adaptive.rebuilds()
+        );
+    }
+    println!("the set re-samples its normals from the learned domain as the workload moves");
+}

@@ -1,0 +1,98 @@
+//! Quickstart: index a dataset whose query parameters are unknown until
+//! query time, then answer inequality and top-k queries exactly.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use planar::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    // ----------------------------------------------------------------
+    // 1. Data: 100K points in R^4 with a known feature map φ.
+    //    Here φ(x) = (x1, x2, x3, x1·x2) — the product term is what makes
+    //    the predicate non-linear in the raw attributes and hence
+    //    un-indexable by a plain B-tree per column.
+    // ----------------------------------------------------------------
+    let mut rng = StdRng::seed_from_u64(7);
+    let raw: Vec<Vec<f64>> = (0..100_000)
+        .map(|_| (0..3).map(|_| rng.random_range(1.0..100.0)).collect())
+        .collect();
+    let phi = FnFeatureMap::new(3, 4, |x, out| {
+        out[0] = x[0];
+        out[1] = x[1];
+        out[2] = x[2];
+        out[3] = x[0] * x[1];
+    });
+    let table = phi
+        .map_all(raw.iter().map(|p| p.as_slice()))
+        .expect("finite features");
+    println!("indexed {} points, φ dimension {}", table.len(), table.dim());
+
+    // ----------------------------------------------------------------
+    // 2. Declare what is known ahead of time: the DOMAINS of the query
+    //    coefficients (not their values). Build a budget of Planar
+    //    indices with normals sampled from those domains (paper §5.2).
+    // ----------------------------------------------------------------
+    let domain = ParameterDomain::uniform_continuous(4, 0.5, 4.0).expect("valid domain");
+    let set: PlanarIndexSet =
+        PlanarIndexSet::build(table, domain, IndexConfig::with_budget(50)).expect("build");
+    println!(
+        "built {} Planar indices over the sampled domain",
+        set.num_indices()
+    );
+
+    // ----------------------------------------------------------------
+    // 3. Query time: the parameters arrive now.
+    //    ⟨(2, 1, 0.5, 3), φ(x)⟩ ≤ 9000
+    // ----------------------------------------------------------------
+    let q = InequalityQuery::leq(vec![2.0, 1.0, 0.5, 3.0], 9000.0).expect("valid query");
+    let out = set.query(&q).expect("query");
+    println!(
+        "\ninequality query: {} matches out of {} points",
+        out.matches.len(),
+        set.len()
+    );
+    println!(
+        "  pruned without computing a scalar product: {:.1}% (smaller {} / intermediate {} / larger {})",
+        out.stats.pruning_percentage(),
+        out.stats.smaller,
+        out.stats.intermediate,
+        out.stats.larger,
+    );
+
+    // The answers are exact — verify against a scan.
+    let scan = set.query_scan(&q).expect("scan");
+    assert_eq!(out.sorted_ids(), scan.sorted_ids());
+    println!("  verified: identical to the sequential scan");
+
+    // ----------------------------------------------------------------
+    // 4. Top-k: the 5 satisfying points nearest the query hyperplane
+    //    (paper Problem 2 — used for active learning).
+    // ----------------------------------------------------------------
+    let tk = TopKQuery::new(q, 5).expect("k > 0");
+    let top = set.top_k(&tk).expect("top_k");
+    println!("\ntop-5 nearest the hyperplane (id, distance):");
+    for (id, dist) in &top.neighbors {
+        println!("  #{id:<8} {dist:.4}");
+    }
+    println!(
+        "  touched only {:.2}% of the points ({} of {})",
+        top.stats.checked_percentage(),
+        top.stats.checked(),
+        set.len()
+    );
+
+    // ----------------------------------------------------------------
+    // 5. The index is dynamic: update a point and re-query.
+    // ----------------------------------------------------------------
+    let mut set = set;
+    let moved = phi.map(&[1.0, 1.0, 1.0]);
+    set.update_point(0, &moved).expect("update");
+    let q2 = InequalityQuery::leq(vec![2.0, 1.0, 0.5, 3.0], 10.0).expect("valid");
+    let out2 = set.query(&q2).expect("query");
+    assert!(out2.sorted_ids().contains(&0));
+    println!("\nafter moving point 0 near the origin it matches a tight query — index stays exact");
+}

@@ -1,0 +1,110 @@
+//! Time-series prediction as a scalar product query (paper intro,
+//! application \[5\]): *which of these 100K series will breach a threshold,
+//! under a forecasting model chosen only at query time?*
+//!
+//! The forecast is a weighted moving average `⟨w, window⟩` with
+//! exponential-smoothing weights `w(λ)`. The window values are known when
+//! the index is built; the analyst picks the decay λ and the alert
+//! threshold interactively — exactly the known-function/unknown-parameters
+//! split the Planar index exists for.
+//!
+//! ```text
+//! cargo run --release --example time_series
+//! ```
+
+use planar::planar_datagen::timeseries::{
+    exponential_weights, generate_series, weight_envelope, window_table,
+};
+use planar::prelude::*;
+use std::time::Instant;
+
+const WINDOW: usize = 8;
+
+fn main() {
+    // ----------------------------------------------------------------
+    // 1. 100K series; index each one's most recent 8 observations.
+    // ----------------------------------------------------------------
+    let series = generate_series(100_000, 64, 11);
+    let table = window_table(&series, WINDOW);
+    println!(
+        "indexed the last {WINDOW} observations of {} series",
+        table.len()
+    );
+
+    // The analyst will use exponential smoothing with λ somewhere in
+    // [0.3, 0.9] — that family's per-axis envelope is the parameter domain.
+    let lambda_grid: Vec<f64> = (3..=9).map(|i| i as f64 / 10.0).collect();
+    let envelope = weight_envelope(&lambda_grid, WINDOW);
+    let domain = ParameterDomain::new(
+        envelope
+            .iter()
+            .map(|&(lo, hi)| Domain::Continuous { lo, hi })
+            .collect(),
+    )
+    .expect("positive envelope");
+    let scan_table = table.clone();
+    let set: PlanarIndexSet =
+        PlanarIndexSet::build(table, domain, IndexConfig::with_budget(40)).expect("build");
+    let scan = SeqScan::new(&scan_table);
+
+    // ----------------------------------------------------------------
+    // 2. Query time: "with λ = 0.5 smoothing, which series forecast
+    //    above 80?" — different λ and threshold every time.
+    // ----------------------------------------------------------------
+    println!("\n  λ    threshold  alerts  planar_ms  baseline_ms  pruned_%");
+    for (lambda, threshold) in [(0.3, 80.0), (0.5, 80.0), (0.7, 90.0), (0.9, 60.0)] {
+        let w = exponential_weights(lambda, WINDOW);
+        let q = InequalityQuery::geq(w, threshold).expect("query");
+
+        let start = Instant::now();
+        let fast = set.query(&q).expect("query");
+        let planar_ms = start.elapsed().as_secs_f64() * 1e3;
+
+        let start = Instant::now();
+        let slow = scan.evaluate(&q).expect("scan");
+        let baseline_ms = start.elapsed().as_secs_f64() * 1e3;
+
+        assert_eq!(fast.sorted_ids(), slow);
+        assert!(fast.stats.used_index());
+        println!(
+            "{lambda:>4}  {threshold:>9}  {:>6}  {planar_ms:>9.3}  {baseline_ms:>11.3}  {:>7.1}",
+            fast.matches.len(),
+            fast.stats.pruning_percentage()
+        );
+    }
+
+    // ----------------------------------------------------------------
+    // 3. Watchlist: the k series closest to the alert boundary.
+    // ----------------------------------------------------------------
+    let w = exponential_weights(0.5, WINDOW);
+    let q = InequalityQuery::leq(w.clone(), 80.0).expect("query");
+    let top = set
+        .top_k(&TopKQuery::new(q, 5).expect("k"))
+        .expect("top_k");
+    println!("\nwatchlist: five below-threshold series nearest the 80.0 alert line (λ=0.5):");
+    for (id, dist) in &top.neighbors {
+        let forecast: f64 = w
+            .iter()
+            .zip(scan_table.row(*id))
+            .map(|(wi, xi)| wi * xi)
+            .sum();
+        println!("  series {id:<7} forecast {forecast:7.3} (boundary distance {dist:.3})");
+    }
+    println!(
+        "  found by touching {:.2}% of the pool",
+        top.stats.checked_percentage()
+    );
+
+    // ----------------------------------------------------------------
+    // 4. New observations arrive: the affected windows are re-keyed
+    //    without rebuilding (paper §4.4).
+    // ----------------------------------------------------------------
+    let mut set = set;
+    let mut spiked = scan_table.row(0).to_vec();
+    spiked.rotate_right(1);
+    spiked[0] = 150.0; // a fresh spike observation
+    set.update_point(0, &spiked).expect("update");
+    let q = InequalityQuery::geq(exponential_weights(0.9, WINDOW), 120.0).expect("query");
+    assert!(set.query(&q).expect("query").sorted_ids().contains(&0));
+    println!("\nafter a spike observation, series 0 trips the λ=0.9 / 120.0 alert — no rebuild needed");
+}

@@ -1,0 +1,168 @@
+//! Integration tests for the two application stacks the paper evaluates:
+//! moving-object intersection (§7.5.1) and active learning (§7.5.2), plus
+//! the SQL-function pipeline of Example 1 through `planar-relation`.
+
+use planar::planar_learning::{ActiveLearner, TopKRetriever};
+use planar::planar_moving::intersection::{
+    AcceleratingIntersectionIndex, CircularIntersectionIndex, LinearIntersectionIndex,
+};
+use planar::planar_moving::rtree::mbr_intersection;
+use planar::planar_moving::{baseline, workload};
+use planar::planar_relation::{Coef, Expr, FunctionSpec, Relation, Schema};
+use planar::prelude::*;
+use planar_core::VecStore;
+
+const INSTANTS: [f64; 6] = [10.0, 11.0, 12.0, 13.0, 14.0, 15.0];
+
+fn sorted(mut v: Vec<(u32, u32)>) -> Vec<(u32, u32)> {
+    v.sort_unstable();
+    v
+}
+
+#[test]
+fn all_three_motion_models_agree_with_baseline_and_each_other() {
+    let lin_a = workload::linear_objects(60, 500.0, 1);
+    let lin_b = workload::linear_objects(55, 500.0, 2);
+    let linear: LinearIntersectionIndex<VecStore> =
+        LinearIntersectionIndex::build(lin_a.clone(), lin_b.clone(), &INSTANTS).expect("build");
+
+    let circles = workload::circular_objects(25, 3);
+    let lines = workload::linear_objects(40, 100.0, 4);
+    let circular: CircularIntersectionIndex<VecStore> =
+        CircularIntersectionIndex::build(&circles, &lines, &INSTANTS).expect("build");
+
+    let accel = workload::accelerating_objects(30, 600.0, 5);
+    let lines3 = workload::linear_objects_3d(35, 600.0, 6);
+    let accelerating: AcceleratingIntersectionIndex<VecStore> =
+        AcceleratingIntersectionIndex::build(&accel, &lines3, &INSTANTS).expect("build");
+
+    for t in [10.0, 11.25, 12.5, 13.75, 15.0] {
+        let (got, _) = linear.query(t, 12.0).expect("linear query");
+        assert_eq!(
+            sorted(got.clone()),
+            sorted(baseline::linear_pairs_within(&lin_a, &lin_b, t, 12.0)),
+            "linear t={t}"
+        );
+        // MBR specialist agrees as well.
+        assert_eq!(
+            sorted(got),
+            sorted(mbr_intersection(&lin_a, &lin_b, t, 12.0)),
+            "mbr t={t}"
+        );
+
+        let (got, _) = circular.query(t, 12.0).expect("circular query");
+        assert_eq!(
+            sorted(got),
+            sorted(baseline::circular_pairs_within(&circles, &lines, t, 12.0)),
+            "circular t={t}"
+        );
+
+        let (got, _) = accelerating.query(t, 12.0).expect("accelerating query");
+        assert_eq!(
+            sorted(got),
+            sorted(baseline::accelerating_pairs_within(&accel, &lines3, t, 12.0)),
+            "accelerating t={t}"
+        );
+    }
+}
+
+#[test]
+fn indexed_instant_prunes_near_everything() {
+    let a = workload::linear_objects(80, 800.0, 7);
+    let b = workload::linear_objects(80, 800.0, 8);
+    let idx: LinearIntersectionIndex<VecStore> =
+        LinearIntersectionIndex::build(a, b, &INSTANTS).expect("build");
+    let (_, stats) = idx.query(13.0, 10.0).expect("query");
+    assert!(
+        stats.pruning_percentage() > 99.0,
+        "parallel index must prune (got {:.1}%)",
+        stats.pruning_percentage()
+    );
+}
+
+#[test]
+fn active_learning_stack_improves_over_initial() {
+    let pool = {
+        let mut rng_rows = Vec::new();
+        for i in 0..1_500usize {
+            rng_rows.push(vec![
+                1.0 + (i * 7 % 97) as f64,
+                1.0 + (i * 13 % 89) as f64,
+                1.0 + (i * 29 % 83) as f64,
+            ]);
+        }
+        FeatureTable::from_rows(3, rng_rows).expect("pool")
+    };
+    let domain = ParameterDomain::uniform_continuous(3, 0.2, 5.0).expect("domain");
+    let mut learner = ActiveLearner::new(pool, domain, 10, 100.0, |x| {
+        x[0] + 2.0 * x[1] + x[2] >= 190.0
+    })
+    .expect("learner");
+    let initial = learner.pool_accuracy();
+    let reports = learner.run(25, 4).expect("run");
+    let last = reports.last().expect("rounds");
+    assert!(
+        last.accuracy >= initial && last.accuracy > 0.9,
+        "initial {initial}, final {}",
+        last.accuracy
+    );
+}
+
+#[test]
+fn retriever_equals_scan_on_both_sides() {
+    let pool = FeatureTable::from_rows(
+        2,
+        (0..300)
+            .map(|i| vec![1.0 + (i % 19) as f64, 1.0 + (i % 31) as f64])
+            .collect::<Vec<_>>(),
+    )
+    .expect("pool");
+    let retriever = TopKRetriever::build(
+        pool,
+        ParameterDomain::uniform_continuous(2, 0.5, 2.0).expect("domain"),
+        6,
+    )
+    .expect("retriever");
+    for side in [
+        planar::planar_learning::Side::Positive,
+        planar::planar_learning::Side::Negative,
+    ] {
+        let (fast, _) = retriever.closest(&[1.0, 1.5], 30.0, side, 9).expect("fast");
+        let slow = retriever
+            .closest_scan(&[1.0, 1.5], 30.0, side, 9)
+            .expect("slow");
+        assert_eq!(fast, slow, "{side:?}");
+    }
+}
+
+#[test]
+fn sql_function_pipeline_with_parsed_expressions() {
+    let schema = Schema::new(["a", "b", "c"]).expect("schema");
+    let mut rel = Relation::new(schema.clone());
+    for i in 0..500 {
+        rel.insert(&[
+            (i % 13) as f64 + 1.0,
+            (i % 7) as f64 + 1.0,
+            (i % 29) as f64 + 1.0,
+        ])
+        .expect("insert");
+    }
+    // f(p) := a·b + c² ≥ p·10
+    let index = FunctionSpec::new()
+        .axis(Expr::parse("a * b", &schema).expect("expr"), Coef::constant(1.0))
+        .axis(Expr::parse("c ^ 2", &schema).expect("expr"), Coef::constant(1.0))
+        .cmp(Cmp::Geq)
+        .offset_param(0, 10.0)
+        .build(&rel, 8)
+        .expect("index");
+    for p in [1.0, 5.0, 20.0, 50.0] {
+        let fast = index.call(&[p]).expect("call");
+        let slow = index.call_scan(&[p]).expect("scan");
+        assert_eq!(fast.sorted_ids(), slow.sorted_ids(), "p={p}");
+        // Verify semantics directly on a few rows.
+        for id in fast.sorted_ids().into_iter().take(3) {
+            let row = rel.row(id).expect("row");
+            assert!(row[0] * row[1] + row[2] * row[2] >= p * 10.0);
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Cross-crate integration: datasets from `planar-datagen` flow through the
+//! `planar-core` index and always agree with the sequential scan.
+
+use planar::planar_datagen::consumption::{
+    consumption_domain, critical_consume_query, ConsumptionGenerator,
+};
+use planar::planar_datagen::queries::{eq18_domain, Eq18Generator};
+use planar::planar_datagen::synthetic::{SyntheticConfig, SyntheticKind};
+use planar::planar_datagen::{cmoment, ctexture};
+use planar::prelude::*;
+
+fn assert_index_equals_scan(table: FeatureTable, domain: ParameterDomain, rq: usize, seed: u64) {
+    let scan_table = table.clone();
+    let set: PlanarIndexSet =
+        PlanarIndexSet::build(table, domain, IndexConfig::with_budget(20).seed(seed))
+            .expect("build");
+    let scan = SeqScan::new(&scan_table);
+    let mut generator = Eq18Generator::new(set.table(), rq, seed);
+    for q in generator.queries(10) {
+        let out = set.query(&q).expect("query");
+        assert!(out.stats.used_index(), "indexed path expected");
+        assert_eq!(out.sorted_ids(), scan.evaluate(&q).expect("scan"));
+        // Top-k agrees too.
+        let tk = TopKQuery::new(q, 7).expect("k");
+        assert_eq!(
+            set.top_k(&tk).expect("top_k").neighbors,
+            scan.top_k(&tk).expect("scan top_k")
+        );
+    }
+}
+
+#[test]
+fn synthetic_datasets_all_kinds_and_dims() {
+    for kind in SyntheticKind::ALL {
+        for dim in [2usize, 6, 10] {
+            let table = SyntheticConfig::paper(kind, 3_000, dim).generate();
+            for rq in [2usize, 8] {
+                assert_index_equals_scan(table.clone(), eq18_domain(dim, rq), rq, 17);
+            }
+        }
+    }
+}
+
+#[test]
+fn image_datasets_exercise_octant_translation() {
+    // CMoment has negative feature values: the §4.5 translation must kick
+    // in and stay exact.
+    let cm = cmoment(4_000, 3);
+    assert!(cm.iter().any(|(_, row)| row.iter().any(|&v| v < 0.0)));
+    assert_index_equals_scan(cm, eq18_domain(9, 4), 4, 5);
+
+    let ct = ctexture(4_000, 3);
+    assert_index_equals_scan(ct, eq18_domain(16, 4), 4, 5);
+}
+
+#[test]
+fn consumption_sql_function_full_pipeline() {
+    let table = ConsumptionGenerator::new(5_000).feature_table();
+    let scan_table = table.clone();
+    let set: PlanarIndexSet =
+        PlanarIndexSet::build(table, consumption_domain(), IndexConfig::with_budget(30))
+            .expect("build");
+    let scan = SeqScan::new(&scan_table);
+    for threshold in [0.1, 0.33, 0.501, 0.75, 0.999] {
+        let q = critical_consume_query(threshold);
+        let out = set.query(&q).expect("query");
+        assert!(out.stats.used_index(), "threshold {threshold}");
+        assert_eq!(out.sorted_ids(), scan.evaluate(&q).expect("scan"));
+    }
+}
+
+#[test]
+fn feature_map_pipeline_via_facade() {
+    // Raw points → φ → index, all through the umbrella crate's prelude.
+    let raw: Vec<Vec<f64>> = (0..500)
+        .map(|i| vec![(i % 17) as f64 + 1.0, (i % 23) as f64 + 1.0])
+        .collect();
+    let phi = FnFeatureMap::new(2, 3, |x, out| {
+        out[0] = x[0];
+        out[1] = x[1];
+        out[2] = x[0] * x[1];
+    });
+    let table = phi.map_all(raw.iter().map(|p| p.as_slice())).expect("map");
+    let domain = ParameterDomain::uniform_continuous(3, 0.5, 2.0).expect("domain");
+    let scan_table = table.clone();
+    let set: PlanarIndexSet =
+        PlanarIndexSet::build(table, domain, IndexConfig::with_budget(8)).expect("build");
+    let q = InequalityQuery::leq(vec![1.0, 1.0, 0.7], 150.0).expect("query");
+    assert_eq!(
+        set.query(&q).expect("query").sorted_ids(),
+        SeqScan::new(&scan_table).evaluate(&q).expect("scan")
+    );
+}
+
+#[test]
+fn dynamic_workload_over_synthetic_data() {
+    // Build over half the dataset, stream in the rest, mutate, stay exact.
+    let table = SyntheticConfig::paper(SyntheticKind::Correlated, 2_000, 4).generate();
+    let rows: Vec<Vec<f64>> = table.iter().map(|(_, r)| r.to_vec()).collect();
+    let initial = FeatureTable::from_rows(4, rows[..1_000].to_vec()).expect("table");
+    let mut set: DynamicPlanarIndexSet = PlanarIndexSet::build(
+        initial,
+        eq18_domain(4, 4),
+        IndexConfig::with_budget(10),
+    )
+    .expect("build");
+    for row in &rows[1_000..] {
+        set.insert_point(row).expect("insert");
+    }
+    for id in (0..2_000u32).step_by(37) {
+        set.delete_point(id).expect("delete");
+    }
+    for id in (1..2_000u32).step_by(41) {
+        if id % 37 != 0 {
+            set.update_point(id, &[50.0, 50.0, 50.0, 50.0]).expect("update");
+        }
+    }
+    let mut generator = Eq18Generator::new(set.table(), 4, 23);
+    for q in generator.queries(10) {
+        let indexed = set.query(&q).expect("query").sorted_ids();
+        let scanned = set.query_scan(&q).expect("scan").sorted_ids();
+        assert_eq!(indexed, scanned);
+    }
+}

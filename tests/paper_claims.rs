@@ -1,0 +1,168 @@
+//! Qualitative claims from the paper, checked as executable assertions:
+//! Corollary 1 (parallel index → empty intermediate interval), the RQ^d
+//! coverage effect behind Fig. 7's four-orders speedup at RQ=2, the
+//! anti-correlated blowup of §7.2.2, Fig. 11's unimodal verification load,
+//! and Table 3's sublinear checked-points behavior.
+
+use planar::planar_datagen::queries::{eq18_domain, Eq18Generator};
+use planar::planar_datagen::synthetic::{SyntheticConfig, SyntheticKind};
+use planar::prelude::*;
+
+/// Corollary 1: an index parallel to the query makes both the stretch and
+/// the intermediate interval (nearly) vanish.
+#[test]
+fn corollary1_parallel_index_zero_intermediate() {
+    let table = SyntheticConfig::paper(SyntheticKind::Independent, 5_000, 6).generate();
+    let domain = eq18_domain(6, 4);
+    // One explicit normal, equal to the query we will ask.
+    let normal = vec![1.0, 2.0, 3.0, 4.0, 1.0, 2.0];
+    let set = PlanarIndexSet::<planar_core::VecStore>::with_normals(
+        table,
+        domain,
+        vec![normal.clone()],
+        SelectionStrategy::MinStretch,
+    )
+    .expect("build");
+    let maxima = set.table().max_per_dim();
+    let b = 0.25 * normal.iter().zip(&maxima).map(|(a, m)| a * m).sum::<f64>();
+    let q = InequalityQuery::leq(normal, b).expect("query");
+    let out = set.query(&q).expect("query");
+    // Only epsilon-boundary keys may be verified.
+    assert!(
+        out.stats.intermediate <= 2,
+        "II should be ~0 for a parallel index, got {}",
+        out.stats.intermediate
+    );
+}
+
+/// With RQ=2 and d=6 there are only 64 possible query normals; a budget of
+/// 100 indices covers them all after dedup, so *every* query finds a
+/// parallel index and pruning is (near-)total. This is the mechanism behind
+/// the paper's four-orders-of-magnitude speedups in Fig. 7b.
+#[test]
+fn rq2_dim6_full_coverage_gives_total_pruning() {
+    let table = SyntheticConfig::paper(SyntheticKind::Independent, 20_000, 6).generate();
+    let set: PlanarIndexSet = PlanarIndexSet::build(
+        table,
+        eq18_domain(6, 2),
+        IndexConfig::with_budget(100),
+    )
+    .expect("build");
+    assert!(
+        set.num_indices() <= 64,
+        "dedup must cap indices at the 2^6 distinct normals (got {})",
+        set.num_indices()
+    );
+    let mut generator = Eq18Generator::new(set.table(), 2, 99);
+    for q in generator.queries(25) {
+        let out = set.query(&q).expect("query");
+        assert!(
+            out.stats.pruning_percentage() > 99.9,
+            "RQ=2 queries should find a parallel index (pruning {:.2}%)",
+            out.stats.pruning_percentage()
+        );
+    }
+}
+
+/// §7.2.2: anti-correlated data generates larger intermediate intervals
+/// than independent data (in higher dimensions, for non-covered queries).
+#[test]
+fn anticorrelated_data_has_larger_intermediate_intervals() {
+    let mut mean_ii = Vec::new();
+    for kind in [SyntheticKind::Independent, SyntheticKind::AntiCorrelated] {
+        let table = SyntheticConfig::paper(kind, 20_000, 6).generate();
+        let set: PlanarIndexSet = PlanarIndexSet::build(
+            table,
+            eq18_domain(6, 8),
+            IndexConfig::with_budget(10),
+        )
+        .expect("build");
+        let mut generator = Eq18Generator::new(set.table(), 8, 4);
+        let total: usize = generator
+            .queries(25)
+            .iter()
+            .map(|q| set.query(q).expect("query").stats.intermediate)
+            .sum();
+        mean_ii.push(total as f64 / 25.0);
+    }
+    assert!(
+        mean_ii[1] > mean_ii[0],
+        "anti-correlated II ({}) should exceed independent II ({})",
+        mean_ii[1],
+        mean_ii[0]
+    );
+}
+
+/// Fig. 11: the verification load (intermediate interval) is unimodal in
+/// the inequality parameter — extreme thresholds are mostly pruned
+/// wholesale, mid thresholds require the most verification.
+#[test]
+fn verification_load_is_unimodal_in_inequality_parameter() {
+    let table = SyntheticConfig::paper(SyntheticKind::Independent, 20_000, 6).generate();
+    let set: PlanarIndexSet = PlanarIndexSet::build(
+        table,
+        eq18_domain(6, 4),
+        IndexConfig::with_budget(100),
+    )
+    .expect("build");
+    let mut by_s = Vec::new();
+    for s in [0.05, 0.5, 1.2] {
+        let mut generator =
+            Eq18Generator::new(set.table(), 4, 31).with_inequality_parameter(s);
+        let total: usize = generator
+            .queries(20)
+            .iter()
+            .map(|q| set.query(q).expect("query").stats.intermediate)
+            .sum();
+        by_s.push(total);
+    }
+    assert!(by_s[1] > by_s[0], "mid threshold should verify more: {by_s:?}");
+    assert!(by_s[1] > by_s[2], "extreme threshold should verify less: {by_s:?}");
+}
+
+/// Fig. 11 selectivity: the fraction of matching points grows monotonically
+/// with the inequality parameter and reaches 100% at s = 1.
+#[test]
+fn selectivity_grows_with_inequality_parameter() {
+    let table = SyntheticConfig::paper(SyntheticKind::Correlated, 10_000, 6).generate();
+    let n = table.len();
+    let set: PlanarIndexSet = PlanarIndexSet::build(
+        table,
+        eq18_domain(6, 4),
+        IndexConfig::with_budget(20),
+    )
+    .expect("build");
+    let mut previous = 0usize;
+    for s in [0.1, 0.25, 0.5, 0.75, 1.0] {
+        let mut generator = Eq18Generator::new(set.table(), 1, 8).with_inequality_parameter(s);
+        let q = generator.next_query();
+        let matched = set.query(&q).expect("query").matches.len();
+        assert!(matched >= previous, "selectivity must not drop at s={s}");
+        previous = matched;
+    }
+    assert_eq!(previous, n, "s=1 must match everything");
+}
+
+/// Table 3 behavior: the fraction of points the top-k query touches grows
+/// only mildly with k (the paper checks 10.97% → 12.62% while k grows
+/// 200-fold).
+#[test]
+fn topk_checked_points_grow_sublinearly_with_k() {
+    let table = SyntheticConfig::paper(SyntheticKind::Independent, 20_000, 6).generate();
+    let set: PlanarIndexSet = PlanarIndexSet::build(
+        table,
+        eq18_domain(6, 4),
+        IndexConfig::with_budget(100),
+    )
+    .expect("build");
+    let mut generator = Eq18Generator::new(set.table(), 4, 2);
+    let q = generator.next_query();
+    let mut checked = Vec::new();
+    for k in [1usize, 20, 400] {
+        let tk = TopKQuery::new(q.clone(), k).expect("k");
+        checked.push(set.top_k(&tk).expect("top_k").stats.checked());
+    }
+    // 400x more results must cost far less than 400x more checks.
+    assert!(checked[2] < checked[0] * 50 + 400, "{checked:?}");
+    assert!(checked[0] <= checked[1] && checked[1] <= checked[2], "{checked:?}");
+}
