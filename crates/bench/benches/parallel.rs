@@ -1,0 +1,79 @@
+//! Criterion: the parallel batched query engine — multi-index build and
+//! batched inequality/top-k execution at 1, 2, 4 and 8 worker threads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use planar_core::{ExecutionConfig, IndexConfig, PlanarIndexSet, TopKQuery, VecStore};
+use planar_datagen::queries::{eq18_domain, Eq18Generator};
+use planar_datagen::synthetic::{SyntheticConfig, SyntheticKind};
+use std::hint::black_box;
+
+const N: usize = 100_000;
+const DIM: usize = 8;
+const RQ: usize = 4;
+const BUDGET: usize = 32;
+const BATCH: usize = 64;
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+fn bench_parallel_build(c: &mut Criterion) {
+    let table = SyntheticConfig::paper(SyntheticKind::Independent, N, DIM).generate();
+    let mut group = c.benchmark_group("parallel_build");
+    group.sample_size(10);
+    for threads in THREADS {
+        let exec = ExecutionConfig::with_threads(threads);
+        group.bench_function(BenchmarkId::from_parameter(threads), |b| {
+            b.iter(|| {
+                let set: PlanarIndexSet<VecStore> = PlanarIndexSet::build_with(
+                    table.clone(),
+                    eq18_domain(DIM, RQ),
+                    IndexConfig::with_budget(BUDGET),
+                    &exec,
+                )
+                .unwrap();
+                black_box(set)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_parallel_batches(c: &mut Criterion) {
+    let table = SyntheticConfig::paper(SyntheticKind::Independent, N, DIM).generate();
+    let set: PlanarIndexSet<VecStore> = PlanarIndexSet::build(
+        table,
+        eq18_domain(DIM, RQ),
+        IndexConfig::with_budget(BUDGET),
+    )
+    .unwrap();
+    let queries = Eq18Generator::new(set.table(), RQ, 7)
+        .with_inequality_parameter(0.25)
+        .queries(BATCH);
+    let topk: Vec<TopKQuery> = queries
+        .iter()
+        .map(|q| TopKQuery::new(q.clone(), 10).unwrap())
+        .collect();
+
+    let mut group = c.benchmark_group("query_batch");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(BATCH as u64));
+    for threads in THREADS {
+        let exec = ExecutionConfig::with_threads(threads);
+        group.bench_function(BenchmarkId::from_parameter(threads), |b| {
+            b.iter(|| black_box(set.query_batch(&queries, &exec).unwrap()))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("top_k_batch");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(BATCH as u64));
+    for threads in THREADS {
+        let exec = ExecutionConfig::with_threads(threads);
+        group.bench_function(BenchmarkId::from_parameter(threads), |b| {
+            b.iter(|| black_box(set.top_k_batch(&topk, &exec).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel_build, bench_parallel_batches);
+criterion_main!(benches);

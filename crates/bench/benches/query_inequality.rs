@@ -16,28 +16,31 @@ fn bench_queries(c: &mut Criterion) {
         for rq in [2usize, 8] {
             let table = SyntheticConfig::paper(SyntheticKind::Independent, N, dim).generate();
             let scan_table = table.clone();
-            let set: PlanarIndexSet<VecStore> = PlanarIndexSet::build(
-                table,
-                eq18_domain(dim, rq),
-                IndexConfig::with_budget(50),
-            )
-            .unwrap();
+            let set: PlanarIndexSet<VecStore> =
+                PlanarIndexSet::build(table, eq18_domain(dim, rq), IndexConfig::with_budget(50))
+                    .unwrap();
             let queries = Eq18Generator::new(set.table(), rq, 7).queries(32);
             let mut i = 0;
-            group.bench_function(BenchmarkId::new(format!("planar_d{dim}"), format!("rq{rq}")), |b| {
-                b.iter(|| {
-                    i = (i + 1) % queries.len();
-                    black_box(set.query(&queries[i]).unwrap())
-                })
-            });
+            group.bench_function(
+                BenchmarkId::new(format!("planar_d{dim}"), format!("rq{rq}")),
+                |b| {
+                    b.iter(|| {
+                        i = (i + 1) % queries.len();
+                        black_box(set.query(&queries[i]).unwrap())
+                    })
+                },
+            );
             let scan = SeqScan::new(&scan_table);
             let mut j = 0;
-            group.bench_function(BenchmarkId::new(format!("scan_d{dim}"), format!("rq{rq}")), |b| {
-                b.iter(|| {
-                    j = (j + 1) % queries.len();
-                    black_box(scan.evaluate(&queries[j]).unwrap())
-                })
-            });
+            group.bench_function(
+                BenchmarkId::new(format!("scan_d{dim}"), format!("rq{rq}")),
+                |b| {
+                    b.iter(|| {
+                        j = (j + 1) % queries.len();
+                        black_box(scan.evaluate(&queries[j]).unwrap())
+                    })
+                },
+            );
         }
     }
     group.finish();

@@ -8,10 +8,13 @@ use planar_bench::{experiments, Config};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
-    eprintln!("usage: harness [--scale F] [--queries N] [--seed S] <experiment>|all|list");
+    eprintln!(
+        "usage: harness [--scale F] [--queries N] [--seed S] [--threads T] <experiment>|all|list"
+    );
     eprintln!("       --scale   dataset-size multiplier, 1.0 = paper scale (default 0.05)");
     eprintln!("       --queries queries per configuration (default 20)");
     eprintln!("       --seed    RNG seed (default 42)");
+    eprintln!("       --threads worker threads for the parallel engine (default 4)");
     ExitCode::FAILURE
 }
 
@@ -33,6 +36,10 @@ fn main() -> ExitCode {
                 Some(v) => cfg.seed = v,
                 _ => return usage(),
             },
+            "--threads" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(v) if v > 0 => cfg.threads = v,
+                _ => return usage(),
+            },
             "-h" | "--help" => {
                 usage();
                 return ExitCode::SUCCESS;
@@ -52,8 +59,8 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
     eprintln!(
-        "[harness] scale={} (paper=1.0), queries/config={}, seed={}",
-        cfg.scale, cfg.queries, cfg.seed
+        "[harness] scale={} (paper=1.0), queries/config={}, seed={}, threads={}",
+        cfg.scale, cfg.queries, cfg.seed, cfg.threads
     );
     for target in &targets {
         if !experiments::run(target, &cfg) {

@@ -100,8 +100,17 @@ pub fn topk_pruning(cfg: &Config) {
     let mut generator = Eq18Generator::new(set.table(), 4, cfg.seed ^ 0x70);
     let queries = generator.queries(cfg.queries);
     let mut t = Table::new(
-        &format!("Ablation: Algorithm 2 LBS pruning, indp n={}, #index=100", set.len()),
-        &["k", "pruned_checked_%", "unpruned_checked_%", "pruned_ms", "unpruned_ms"],
+        &format!(
+            "Ablation: Algorithm 2 LBS pruning, indp n={}, #index=100",
+            set.len()
+        ),
+        &[
+            "k",
+            "pruned_checked_%",
+            "unpruned_checked_%",
+            "pruned_ms",
+            "unpruned_ms",
+        ],
     );
     for k in [10usize, 100, 1_000] {
         let mut pruned_checked = 0.0;
@@ -156,22 +165,21 @@ pub fn search(cfg: &Config) {
             .collect();
         let mut identical = true;
         for nq in &normalized {
-            identical &= idx.boundaries(nq, shift, Cmp::Leq) == idx.boundaries_literal(nq, shift, Cmp::Leq);
+            identical &=
+                idx.boundaries(nq, shift, Cmp::Leq) == idx.boundaries_literal(nq, shift, Cmp::Leq);
         }
-        let literal_us = 1e3
-            * mean_time_ms(50, || {
+        let literal_us =
+            1e3 * mean_time_ms(50, || {
                 for nq in &normalized {
                     std::hint::black_box(idx.boundaries_literal(nq, shift, Cmp::Leq));
                 }
-            })
-            / normalized.len() as f64;
-        let reduced_us = 1e3
-            * mean_time_ms(50, || {
+            }) / normalized.len() as f64;
+        let reduced_us =
+            1e3 * mean_time_ms(50, || {
                 for nq in &normalized {
                     std::hint::black_box(idx.boundaries(nq, shift, Cmp::Leq));
                 }
-            })
-            / normalized.len() as f64;
+            }) / normalized.len() as f64;
         t.row(vec![
             dim.to_string(),
             format!("{literal_us:.2}"),
@@ -195,6 +203,7 @@ mod tests {
             scale: 0.0005,
             queries: 2,
             seed: 13,
+            threads: 1,
         }
     }
 

@@ -55,7 +55,14 @@ pub fn adaptive(cfg: &Config) {
 
     let mut t = Table::new(
         &format!("Extension: adaptive retuning under drift, indp n={n}, dim={dim}, budget=20"),
-        &["phase", "static_pruning_%", "adaptive_pruning_%", "static_ms", "adaptive_ms", "rebuilds"],
+        &[
+            "phase",
+            "static_pruning_%",
+            "adaptive_pruning_%",
+            "static_ms",
+            "adaptive_ms",
+            "rebuilds",
+        ],
     );
     let mut static_stream = make_stream(cfg.seed ^ 0xD1);
     let mut adaptive_stream = make_stream(cfg.seed ^ 0xD1);
@@ -102,7 +109,13 @@ pub fn conjunction(cfg: &Config) {
     .expect("build");
     let mut t = Table::new(
         &format!("Extension: conjunction (band) queries, indp n={n}, dim={dim}, #index=50"),
-        &["band_width", "matches", "conjunction_ms", "scan_ms", "pruning_%"],
+        &[
+            "band_width",
+            "matches",
+            "conjunction_ms",
+            "scan_ms",
+            "pruning_%",
+        ],
     );
     for width in [0.05, 0.15, 0.3] {
         let a: Vec<f64> = vec![2.0; dim];
@@ -146,11 +159,17 @@ pub fn router(cfg: &Config) {
         IndexConfig::with_budget(20).seed(cfg.seed),
     )
     .expect("build");
-    let mut routed =
-        AxisReductionRouter::new(base, IndexConfig::with_budget(20).seed(cfg.seed)).expect("router");
+    let mut routed = AxisReductionRouter::new(base, IndexConfig::with_budget(20).seed(cfg.seed))
+        .expect("router");
     let mut t = Table::new(
         &format!("Extension: axis-reduction router, indp n={n}, dim={dim}"),
-        &["zero_axes", "plain_ms(scan)", "routed_ms", "routed_pruning_%", "build_ms(once)"],
+        &[
+            "zero_axes",
+            "plain_ms(scan)",
+            "routed_ms",
+            "routed_pruning_%",
+            "build_ms(once)",
+        ],
     );
     for zeros in [1usize, 3, 5] {
         let mut a = vec![2.0; dim];
@@ -186,6 +205,7 @@ mod tests {
             scale: 0.0005,
             queries: 2,
             seed: 19,
+            threads: 1,
         }
     }
 

@@ -3,6 +3,7 @@
 pub mod ablation;
 pub mod extensions;
 pub mod movingobj;
+pub mod parallel;
 pub mod realworld;
 pub mod synthetic;
 pub mod topk;
@@ -136,6 +137,12 @@ pub fn registry() -> Vec<Experiment> {
             name: "extension-router",
             description: "axis-reduction for zero-coefficient queries (paper §4.1 remark)",
             run: extensions::router,
+        },
+        Experiment {
+            name: "parallel",
+            description:
+                "parallel engine: build & batch-query speedup vs threads (BENCH_parallel.json)",
+            run: parallel::parallel_engine,
         },
         Experiment {
             name: "ablation-selection",

@@ -15,7 +15,9 @@ use planar_moving::workload;
 
 const PAPER_OBJECTS: usize = 5_000;
 const INSTANTS: [f64; 6] = [10.0, 11.0, 12.0, 13.0, 14.0, 15.0];
-const QUERY_TIMES: [f64; 11] = [10.0, 10.5, 11.0, 11.5, 12.0, 12.5, 13.0, 13.5, 14.0, 14.5, 15.0];
+const QUERY_TIMES: [f64; 11] = [
+    10.0, 10.5, 11.0, 11.5, 12.0, 12.5, 13.0, 13.5, 14.0, 14.5, 15.0,
+];
 
 fn objects_per_set(cfg: &Config) -> usize {
     ((PAPER_OBJECTS as f64 * cfg.scale.sqrt()) as usize).max(50)
@@ -39,7 +41,14 @@ pub fn fig14a(cfg: &Config) {
             "Fig 14a: linear moving objects, {n}x{n} pairs (index build {:.1}s)",
             build_ms / 1e3
         ),
-        &["t_min", "planar_ms", "baseline_ms", "mbr_ms", "matches", "pruning_%"],
+        &[
+            "t_min",
+            "planar_ms",
+            "baseline_ms",
+            "mbr_ms",
+            "matches",
+            "pruning_%",
+        ],
     );
     for qt in QUERY_TIMES {
         let ((pairs, stats), planar_ms) = time_ms(|| idx.query(qt, 10.0).expect("query"));
@@ -134,6 +143,7 @@ mod tests {
             scale: 0.0002,
             queries: 1,
             seed: 5,
+            threads: 1,
         }
     }
 

@@ -55,7 +55,9 @@ pub fn fig6a(cfg: &Config) {
     let scan_table = table.clone();
     let scan = SeqScan::new(&scan_table);
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x6A);
-    let thresholds: Vec<f64> = (0..cfg.queries).map(|_| sample_threshold(&mut rng)).collect();
+    let thresholds: Vec<f64> = (0..cfg.queries)
+        .map(|_| sample_threshold(&mut rng))
+        .collect();
 
     let mut baseline_ms = 0.0;
     for th in &thresholds {
@@ -100,7 +102,14 @@ fn image_figure(cfg: &Config, name: &str, table: FeatureTable) {
     let dim = table.dim();
     let mut t = Table::new(
         &format!("Fig 6: {name}, n={}", table.len()),
-        &["RQ", "#index=1", "#index=10", "#index=50", "#index=100", "baseline"],
+        &[
+            "RQ",
+            "#index=1",
+            "#index=10",
+            "#index=50",
+            "#index=100",
+            "baseline",
+        ],
     );
     for rq in [2usize, 4, 8, 12] {
         let mut cells = vec![rq.to_string()];
@@ -188,6 +197,7 @@ mod tests {
             scale: 0.002,
             queries: 2,
             seed: 3,
+            threads: 1,
         }
     }
 

@@ -3,7 +3,9 @@
 
 use crate::report::{ms, pct, Table};
 use crate::{time_ms, Config};
-use planar_core::{DynamicPlanarIndexSet, HeapSize, IndexConfig, PlanarIndexSet, SeqScan, VecStore};
+use planar_core::{
+    DynamicPlanarIndexSet, HeapSize, IndexConfig, PlanarIndexSet, SeqScan, VecStore,
+};
 use planar_datagen::queries::{eq18_domain, Eq18Generator};
 use planar_datagen::synthetic::{SyntheticConfig, SyntheticKind};
 use planar_datagen::SYNTHETIC_N;
@@ -170,8 +172,17 @@ pub fn fig8_10(cfg: &Config) {
 pub fn fig11(cfg: &Config) {
     let n = cfg.scaled(SYNTHETIC_N);
     let mut t = Table::new(
-        &format!("Fig 11: selectivity & query time vs inequality parameter, n={n}, #index=100, RQ=4"),
-        &["dim", "ineq", "kind", "selectivity_%", "planar_ms", "baseline_ms"],
+        &format!(
+            "Fig 11: selectivity & query time vs inequality parameter, n={n}, #index=100, RQ=4"
+        ),
+        &[
+            "dim",
+            "ineq",
+            "kind",
+            "selectivity_%",
+            "planar_ms",
+            "baseline_ms",
+        ],
     );
     for dim in [6usize, 10] {
         for s in [0.10, 0.25, 0.50, 0.75, 1.00] {
@@ -226,7 +237,14 @@ pub fn fig12(cfg: &Config) {
         .map(|(k, letter)| {
             Table::new(
                 &format!("Fig 12{letter}: query time (ms) vs n — {}", k.name()),
-                &["n", "#index=1", "#index=10", "#index=50", "#index=100", "baseline"],
+                &[
+                    "n",
+                    "#index=1",
+                    "#index=10",
+                    "#index=50",
+                    "#index=100",
+                    "baseline",
+                ],
             )
         })
         .collect();
@@ -296,7 +314,14 @@ pub fn fig13b(cfg: &Config) {
     let n = cfg.scaled(SYNTHETIC_N);
     let mut t = Table::new(
         &format!("Fig 13b: memory (MB), n={n}"),
-        &["#index", "dim=2", "dim=6", "dim=10", "dim=14", "baseline(dim=14)"],
+        &[
+            "#index",
+            "dim=2",
+            "dim=6",
+            "dim=10",
+            "dim=14",
+            "baseline(dim=14)",
+        ],
     );
     for n_index in [1usize, 10, 50, 100] {
         let mut cells = vec![n_index.to_string()];
@@ -310,7 +335,10 @@ pub fn fig13b(cfg: &Config) {
                 IndexConfig::with_budget(n_index).seed(cfg.seed),
             )
             .expect("build");
-            cells.push(format!("{:.1}", set.memory_usage() as f64 / (1024.0 * 1024.0)));
+            cells.push(format!(
+                "{:.1}",
+                set.memory_usage() as f64 / (1024.0 * 1024.0)
+            ));
         }
         cells.push(format!("{raw_mb:.1}"));
         t.row(cells);
@@ -365,6 +393,7 @@ mod tests {
             scale: 0.0002, // 200 points
             queries: 2,
             seed: 7,
+            threads: 1,
         }
     }
 

@@ -73,7 +73,11 @@ pub fn active_learning(cfg: &Config) {
         &["round", "labels", "accuracy_%", "checked_%_of_pool"],
     );
     let reports = learner.run(30, 5).expect("run");
-    for r in reports.iter().step_by(5).chain(reports.last().into_iter().filter(|r| r.round % 5 != 0)) {
+    for r in reports
+        .iter()
+        .step_by(5)
+        .chain(reports.last().into_iter().filter(|r| r.round % 5 != 0))
+    {
         t.row(vec![
             r.round.to_string(),
             r.labels_used.to_string(),
@@ -116,6 +120,7 @@ mod tests {
             scale: 0.001,
             queries: 2,
             seed: 11,
+            threads: 1,
         }
     }
 

@@ -37,6 +37,9 @@ pub struct Config {
     pub queries: usize,
     /// Base RNG seed.
     pub seed: u64,
+    /// Worker threads for the parallel engine experiments (`--threads`).
+    /// Thread-sweep experiments always include 1..=threads in their sweep.
+    pub threads: usize,
 }
 
 impl Default for Config {
@@ -45,6 +48,7 @@ impl Default for Config {
             scale: 0.05,
             queries: 20,
             seed: 42,
+            threads: 4,
         }
     }
 }

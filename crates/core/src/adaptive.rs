@@ -270,14 +270,16 @@ mod tests {
         .unwrap();
         let mut rng = StdRng::seed_from_u64(6);
         for _ in 0..100 {
-            let a: Vec<f64> = (0..dim)
-                .map(|_| rng.random_range(1..=2) as f64)
-                .collect();
+            let a: Vec<f64> = (0..dim).map(|_| rng.random_range(1..=2) as f64).collect();
             let b = 0.25 * a.iter().sum::<f64>() * 100.0;
             let q = InequalityQuery::leq(a, b).unwrap();
             adaptive.query(&q).unwrap();
         }
-        assert_eq!(adaptive.rebuilds(), 0, "well-matched domain must not retune");
+        assert_eq!(
+            adaptive.rebuilds(),
+            0,
+            "well-matched domain must not retune"
+        );
     }
 
     #[test]
@@ -312,12 +314,9 @@ mod tests {
     fn forced_rebuild_reports_outcome() {
         let dim = 2;
         let initial = ParameterDomain::uniform_continuous(dim, 0.5, 2.0).unwrap();
-        let mut adaptive: AdaptivePlanarIndexSet = AdaptivePlanarIndexSet::build(
-            table(200, dim),
-            initial,
-            AdaptiveConfig::with_budget(4),
-        )
-        .unwrap();
+        let mut adaptive: AdaptivePlanarIndexSet =
+            AdaptivePlanarIndexSet::build(table(200, dim), initial, AdaptiveConfig::with_budget(4))
+                .unwrap();
         // Nothing observed yet → nothing to learn from.
         assert!(!adaptive.try_rebuild());
         let q = InequalityQuery::leq(vec![1.0, 2.0], 100.0).unwrap();

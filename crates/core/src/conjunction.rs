@@ -198,7 +198,6 @@ impl<S: KeyStore> PlanarIndexSet<S> {
         };
         Ok(ConjunctionOutcome { matches, stats })
     }
-
 }
 
 /// The chosen driver constraint's plan.

@@ -62,13 +62,9 @@ impl<S: KeyStore> HalfSpaceIndex<S> {
     /// # Errors
     ///
     /// Dimensionality mismatch; `k = 0`.
-    pub fn nearest(
-        &self,
-        plane: &Hyperplane,
-        side: HalfSpace,
-        k: usize,
-    ) -> Result<TopKOutcome> {
-        self.set.top_k(&TopKQuery::new(self.to_query(plane, side), k)?)
+    pub fn nearest(&self, plane: &Hyperplane, side: HalfSpace, k: usize) -> Result<TopKOutcome> {
+        self.set
+            .top_k(&TopKQuery::new(self.to_query(plane, side), k)?)
     }
 
     /// Number of indexed points.

@@ -32,6 +32,7 @@
 //! widening is always sound because the intermediate interval is verified
 //! exactly in raw space.
 
+use crate::parallel::{self, ExecutionConfig, QueryScratch};
 use crate::query::{Cmp, InequalityQuery, TopKQuery};
 use crate::scan::TopKBuffer;
 use crate::stats::{ExecutionPath, QueryStats};
@@ -281,6 +282,9 @@ impl<S: KeyStore> SingleIndex<S> {
     ///
     /// `verify` is the exact raw-space predicate (the original query), `nq`
     /// its normalized form, `index_pos` only labels the stats.
+    ///
+    /// Convenience wrapper over [`Self::evaluate_with`] with serial
+    /// execution and throwaway scratch.
     pub fn evaluate(
         &self,
         verify: &InequalityQuery,
@@ -289,10 +293,46 @@ impl<S: KeyStore> SingleIndex<S> {
         table: &FeatureTable,
         index_pos: usize,
     ) -> (Vec<PointId>, QueryStats) {
+        self.evaluate_with(
+            verify,
+            nq,
+            shift,
+            table,
+            index_pos,
+            &ExecutionConfig::serial(),
+            &mut QueryScratch::new(),
+        )
+    }
+
+    /// [`Self::evaluate`] with explicit execution configuration and
+    /// reusable scratch buffers.
+    ///
+    /// The result vector is allocated once with capacity from the interval
+    /// bounds (accepted-interval size + II size); all staging goes through
+    /// `scratch`, so a warm scratch makes the hot loop allocation-free
+    /// beyond that single result allocation. Matches are ordered
+    /// canonically — the wholesale-accepted interval in store (key) order,
+    /// then II matches in ascending-id order — identically for every
+    /// `exec.threads` value.
+    #[allow(clippy::too_many_arguments)]
+    pub fn evaluate_with(
+        &self,
+        verify: &InequalityQuery,
+        nq: &NormalizedQuery,
+        shift: f64,
+        table: &FeatureTable,
+        index_pos: usize,
+        exec: &ExecutionConfig,
+        scratch: &mut QueryScratch,
+    ) -> (Vec<PointId>, QueryStats) {
         let n = self.store.len();
         let IntervalBounds { j_min, j_max } = self.boundaries(nq, shift, verify.cmp());
         let (smaller, intermediate, larger) = (j_min, j_max - j_min, n - j_max);
-        let mut matches = Vec::new();
+        let accepted_len = match verify.cmp() {
+            Cmp::Leq => j_min,
+            Cmp::Geq => n - j_max,
+        };
+        let mut matches = Vec::with_capacity(accepted_len + intermediate);
 
         // Wholesale-accepted interval.
         let accepted = match verify.cmp() {
@@ -301,14 +341,24 @@ impl<S: KeyStore> SingleIndex<S> {
         };
         matches.extend(accepted.map(|e| e.id));
 
-        // Intermediate interval: verify each point exactly.
-        let mut verified = 0;
-        for e in self.store.iter_asc(j_min, j_max) {
-            verified += 1;
-            if verify.satisfies(table.row(e.id)) {
-                matches.push(e.id);
-            }
-        }
+        // Intermediate interval: verify each point exactly. Candidates are
+        // re-sorted by id so consecutive rows coalesce into blocked
+        // scalar-product calls (and chunked verification stays
+        // order-deterministic).
+        scratch.ids.clear();
+        scratch
+            .ids
+            .extend(self.store.iter_asc(j_min, j_max).map(|e| e.id));
+        scratch.ids.sort_unstable();
+        let verified = scratch.ids.len();
+        parallel::verify_ids(
+            verify,
+            table,
+            &scratch.ids,
+            exec,
+            &mut scratch.dots,
+            &mut matches,
+        );
 
         let stats = QueryStats {
             n,
@@ -331,7 +381,29 @@ impl<S: KeyStore> SingleIndex<S> {
         shift: f64,
         table: &FeatureTable,
     ) -> (Vec<(PointId, f64)>, TopKStats) {
-        self.top_k_inner(q, nq, shift, table, true)
+        self.top_k_inner(
+            q,
+            nq,
+            shift,
+            table,
+            true,
+            &ExecutionConfig::serial(),
+            &mut QueryScratch::new(),
+        )
+    }
+
+    /// [`Self::top_k`] with explicit execution configuration and reusable
+    /// scratch buffers; results are identical for every thread count.
+    pub fn top_k_with(
+        &self,
+        q: &TopKQuery,
+        nq: &NormalizedQuery,
+        shift: f64,
+        table: &FeatureTable,
+        exec: &ExecutionConfig,
+        scratch: &mut QueryScratch,
+    ) -> (Vec<(PointId, f64)>, TopKStats) {
+        self.top_k_inner(q, nq, shift, table, true, exec, scratch)
     }
 
     /// [`Self::top_k`] with the Claim-3 lower-bound pruning disabled: the
@@ -344,9 +416,18 @@ impl<S: KeyStore> SingleIndex<S> {
         shift: f64,
         table: &FeatureTable,
     ) -> (Vec<(PointId, f64)>, TopKStats) {
-        self.top_k_inner(q, nq, shift, table, false)
+        self.top_k_inner(
+            q,
+            nq,
+            shift,
+            table,
+            false,
+            &ExecutionConfig::serial(),
+            &mut QueryScratch::new(),
+        )
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn top_k_inner(
         &self,
         q: &TopKQuery,
@@ -354,6 +435,8 @@ impl<S: KeyStore> SingleIndex<S> {
         shift: f64,
         table: &FeatureTable,
         use_pruning: bool,
+        exec: &ExecutionConfig,
+        scratch: &mut QueryScratch,
     ) -> (Vec<(PointId, f64)>, TopKStats) {
         let n = self.store.len();
         let cmp = q.query.cmp();
@@ -361,15 +444,25 @@ impl<S: KeyStore> SingleIndex<S> {
         let mut buffer = TopKBuffer::new(q.k);
         let inv_norm = 1.0 / q.query.a_norm();
 
-        // Intermediate interval first (paper Algorithm 2, lines 3–7).
-        let mut verified = 0;
-        for e in self.store.iter_asc(j_min, j_max) {
-            verified += 1;
-            let row = table.row(e.id);
-            if q.query.satisfies(row) {
-                buffer.offer(q.query.distance(row), e.id);
-            }
-        }
+        // Intermediate interval first (paper Algorithm 2, lines 3–7),
+        // verified with the blocked kernel in ascending-id order. The
+        // buffer's total (dist, id) order makes its contents independent of
+        // arrival order, so this matches the store-order walk exactly.
+        scratch.ids.clear();
+        scratch
+            .ids
+            .extend(self.store.iter_asc(j_min, j_max).map(|e| e.id));
+        scratch.ids.sort_unstable();
+        let verified = scratch.ids.len();
+        parallel::verify_top_k(
+            &q.query,
+            table,
+            &scratch.ids,
+            q.k,
+            exec,
+            &mut scratch.dots,
+            &mut buffer,
+        );
 
         // Walk the accepting interval from the query hyperplane outward,
         // terminating when the lower-bound distance (Def. 5) of the next
@@ -553,7 +646,12 @@ mod tests {
         // Data with negative second coordinate; queries with a₂ < 0.
         let table = FeatureTable::from_rows(
             2,
-            vec![vec![1.0, -1.0], vec![2.0, -3.0], vec![4.0, -0.5], vec![0.2, -2.0]],
+            vec![
+                vec![1.0, -1.0],
+                vec![2.0, -3.0],
+                vec![4.0, -0.5],
+                vec![0.2, -2.0],
+            ],
         )
         .unwrap();
         let a = [1.0, -2.0];
@@ -606,11 +704,8 @@ mod tests {
         let scan = crate::scan::SeqScan::new(&table);
         for k in 1..=5 {
             for cmp in [Cmp::Leq, Cmp::Geq] {
-                let q = TopKQuery::new(
-                    InequalityQuery::new(vec![1.5, 0.7], cmp, 4.0).unwrap(),
-                    k,
-                )
-                .unwrap();
+                let q = TopKQuery::new(InequalityQuery::new(vec![1.5, 0.7], cmp, 4.0).unwrap(), k)
+                    .unwrap();
                 let nq = norm.normalize_query(q.query.a(), q.query.b()).unwrap();
                 let shift = norm.key_shift(idx.normal());
                 let (got, stats) = idx.top_k(&q, &nq, shift, &table);

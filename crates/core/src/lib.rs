@@ -67,6 +67,7 @@
 //! | [`index`] | one Planar index: intervals + Algorithm 1 + Algorithm 2 |
 //! | [`selection`] | best-index selection heuristics (§5.1) |
 //! | [`multi`] | [`PlanarIndexSet`]: budgeted multi-index structure (§5) |
+//! | [`parallel`] | thread configuration, query scratch, blocked/chunked verification |
 //! | [`scan`] | the sequential-scan baseline the paper compares against |
 //! | [`feature`] | the `φ` feature-map abstraction |
 //! | [`stats`] | per-query pruning statistics |
@@ -83,6 +84,7 @@ pub mod halfspace;
 pub mod index;
 pub mod memory;
 pub mod multi;
+pub mod parallel;
 pub mod persist;
 pub mod query;
 pub mod router;
@@ -100,6 +102,7 @@ pub use halfspace::{HalfSpace, HalfSpaceIndex};
 pub use index::{IntervalBounds, SingleIndex, TopKStats};
 pub use memory::HeapSize;
 pub use multi::{DynamicPlanarIndexSet, IndexConfig, PlanarIndexSet, QueryOutcome, TopKOutcome};
+pub use parallel::{ExecutionConfig, QueryScratch};
 pub use query::{Cmp, InequalityQuery, TopKQuery};
 pub use router::AxisReductionRouter;
 pub use scan::SeqScan;

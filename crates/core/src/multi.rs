@@ -9,6 +9,7 @@
 
 use crate::domain::ParameterDomain;
 use crate::index::{SingleIndex, TopKStats};
+use crate::parallel::{self, ExecutionConfig, QueryScratch};
 use crate::query::{Cmp, InequalityQuery, TopKQuery};
 use crate::scan::TopKBuffer;
 use crate::selection::{angle_score, argmin_by_score, stretch_score, SelectionStrategy};
@@ -133,7 +134,44 @@ impl<S: KeyStore> PlanarIndexSet<S> {
     ///
     /// [`PlanarError::InvalidBudget`] on a zero budget, and
     /// [`PlanarError::DimensionMismatch`] when domain and table disagree.
-    pub fn build(table: FeatureTable, domain: ParameterDomain, config: IndexConfig) -> Result<Self> {
+    pub fn build(
+        table: FeatureTable,
+        domain: ParameterDomain,
+        config: IndexConfig,
+    ) -> Result<Self> {
+        Self::validate_build(&table, &domain, &config)?;
+        let normals = Self::sample_normals(&domain, &config);
+        Self::with_normals(table, domain, normals, config.strategy)
+    }
+
+    /// [`Self::build`] with the budget-`b` independent [`SingleIndex`]
+    /// constructions distributed over `exec.threads` scoped worker threads.
+    ///
+    /// Normal sampling stays sequential (one RNG stream), so the resulting
+    /// set is identical to [`Self::build`] for every thread count.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::build`].
+    pub fn build_with(
+        table: FeatureTable,
+        domain: ParameterDomain,
+        config: IndexConfig,
+        exec: &ExecutionConfig,
+    ) -> Result<Self>
+    where
+        S: Send,
+    {
+        Self::validate_build(&table, &domain, &config)?;
+        let normals = Self::sample_normals(&domain, &config);
+        Self::with_normals_parallel(table, domain, normals, config.strategy, exec)
+    }
+
+    fn validate_build(
+        table: &FeatureTable,
+        domain: &ParameterDomain,
+        config: &IndexConfig,
+    ) -> Result<()> {
         if config.budget == 0 {
             return Err(PlanarError::InvalidBudget);
         }
@@ -143,6 +181,10 @@ impl<S: KeyStore> PlanarIndexSet<S> {
                 found: domain.dim(),
             });
         }
+        Ok(())
+    }
+
+    fn sample_normals(domain: &ParameterDomain, config: &IndexConfig) -> Vec<Vec<f64>> {
         let mut rng = StdRng::seed_from_u64(config.seed);
         let mut normals: Vec<Vec<f64>> = Vec::with_capacity(config.budget);
         let mut attempts = 0;
@@ -159,7 +201,7 @@ impl<S: KeyStore> PlanarIndexSet<S> {
             // Degenerate domain (single possible normal): keep one sample.
             normals.push(domain.sample_normal_abs(&mut rng));
         }
-        Self::with_normals(table, domain, normals, config.strategy)
+        normals
     }
 
     /// Build with explicit normalized-space normals (each strictly
@@ -177,6 +219,64 @@ impl<S: KeyStore> PlanarIndexSet<S> {
         normals: Vec<Vec<f64>>,
         strategy: SelectionStrategy,
     ) -> Result<Self> {
+        let normalizer = Self::validate_normals(&table, &domain, &normals)?;
+        let indices = normals
+            .into_iter()
+            .map(|c| SingleIndex::build(&table, &normalizer, c))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(Self::from_built(
+            table, domain, normalizer, indices, strategy,
+        ))
+    }
+
+    /// [`Self::with_normals`] with index construction distributed over
+    /// `exec.threads` scoped worker threads — each normal's sort is
+    /// independent, so the resulting indices are identical to the serial
+    /// build in content and order.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::with_normals`].
+    pub fn with_normals_parallel(
+        table: FeatureTable,
+        domain: ParameterDomain,
+        normals: Vec<Vec<f64>>,
+        strategy: SelectionStrategy,
+        exec: &ExecutionConfig,
+    ) -> Result<Self>
+    where
+        S: Send,
+    {
+        let normalizer = Self::validate_normals(&table, &domain, &normals)?;
+        let workers = exec.threads.min(normals.len()).max(1);
+        let indices = if workers <= 1 {
+            normals
+                .into_iter()
+                .map(|c| SingleIndex::build(&table, &normalizer, c))
+                .collect::<Result<Vec<_>>>()?
+        } else {
+            let table_ref = &table;
+            let normalizer_ref = &normalizer;
+            parallel::map_chunks(&normals, workers, |chunk| {
+                chunk
+                    .iter()
+                    .map(|c| SingleIndex::build(table_ref, normalizer_ref, c.clone()))
+                    .collect::<Vec<_>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect::<Result<Vec<_>>>()?
+        };
+        Ok(Self::from_built(
+            table, domain, normalizer, indices, strategy,
+        ))
+    }
+
+    fn validate_normals(
+        table: &FeatureTable,
+        domain: &ParameterDomain,
+        normals: &[Vec<f64>],
+    ) -> Result<Normalizer> {
         if normals.is_empty() {
             return Err(PlanarError::InvalidBudget);
         }
@@ -187,13 +287,18 @@ impl<S: KeyStore> PlanarIndexSet<S> {
             });
         }
         let octant = domain.octant();
-        let normalizer = Normalizer::fit(&octant, table.iter().map(|(_, r)| r));
-        let indices = normals
-            .into_iter()
-            .map(|c| SingleIndex::build(&table, &normalizer, c))
-            .collect::<Result<Vec<_>>>()?;
+        Ok(Normalizer::fit(&octant, table.iter().map(|(_, r)| r)))
+    }
+
+    fn from_built(
+        table: FeatureTable,
+        domain: ParameterDomain,
+        normalizer: Normalizer,
+        indices: Vec<SingleIndex<S>>,
+        strategy: SelectionStrategy,
+    ) -> Self {
         let n = table.len();
-        Ok(Self {
+        Self {
             table,
             domain,
             normalizer,
@@ -201,7 +306,7 @@ impl<S: KeyStore> PlanarIndexSet<S> {
             strategy,
             deleted: vec![false; n],
             n_live: n,
-        })
+        }
     }
 
     /// Reassemble a set from persisted parts (see `crate::persist`).
@@ -227,13 +332,15 @@ impl<S: KeyStore> PlanarIndexSet<S> {
         let normalizer = Normalizer::fit(&domain.octant(), table.iter().map(|(_, r)| r));
         let mut indices = Vec::with_capacity(normals.len());
         for (normal, entries) in normals.into_iter().zip(entry_lists) {
-            if normal.len() != table.dim()
-                || normal.iter().any(|&v| !v.is_finite() || v <= 0.0)
-            {
+            if normal.len() != table.dim() || normal.iter().any(|&v| !v.is_finite() || v <= 0.0) {
                 return Err(PlanarError::Persist("invalid stored index normal".into()));
             }
             let raw_normal = normalizer.raw_normal(&normal);
-            indices.push(SingleIndex::from_parts(normal, raw_normal, S::build(entries)));
+            indices.push(SingleIndex::from_parts(
+                normal,
+                raw_normal,
+                S::build(entries),
+            ));
         }
         if indices.is_empty() {
             return Err(PlanarError::InvalidBudget);
@@ -309,11 +416,7 @@ impl<S: KeyStore> PlanarIndexSet<S> {
     pub fn memory_usage(&self) -> usize {
         self.table.heap_size()
             + self.deleted.capacity()
-            + self
-                .indices
-                .iter()
-                .map(|i| i.heap_size())
-                .sum::<usize>()
+            + self.indices.iter().map(|i| i.heap_size()).sum::<usize>()
     }
 
     /// Prepare a query for indexed execution: handle octant mismatches via
@@ -380,16 +483,89 @@ impl<S: KeyStore> PlanarIndexSet<S> {
     /// [`PlanarError::DimensionMismatch`] when the query dimensionality
     /// differs from the table's.
     pub fn query(&self, q: &InequalityQuery) -> Result<QueryOutcome> {
+        self.query_with(q, &ExecutionConfig::serial(), &mut QueryScratch::new())
+    }
+
+    /// [`Self::query`] with explicit execution configuration and caller-
+    /// owned scratch buffers. With `exec.threads > 1`, intermediate-
+    /// interval verification is chunked across threads once the interval
+    /// crosses `exec.parallel_verify_threshold`; matches are identical (in
+    /// content *and* order) for every thread count.
+    ///
+    /// # Errors
+    ///
+    /// [`PlanarError::DimensionMismatch`] on dimensionality mismatch.
+    pub fn query_with(
+        &self,
+        q: &InequalityQuery,
+        exec: &ExecutionConfig,
+        scratch: &mut QueryScratch,
+    ) -> Result<QueryOutcome> {
         self.check_dim(q)?;
+        Ok(self.query_prepared(q, exec, scratch))
+    }
+
+    /// Answer a batch of inequality queries, sharded across
+    /// `exec.threads` scoped worker threads (each with its own reusable
+    /// [`QueryScratch`]). Output `i` is exactly what `query(&qs[i])`
+    /// returns — same matches, same order, same stats — for every thread
+    /// count.
+    ///
+    /// # Errors
+    ///
+    /// [`PlanarError::DimensionMismatch`] if any query's dimensionality
+    /// differs from the table's (checked up front; no partial results).
+    pub fn query_batch(
+        &self,
+        qs: &[InequalityQuery],
+        exec: &ExecutionConfig,
+    ) -> Result<Vec<QueryOutcome>>
+    where
+        S: Sync,
+    {
+        for q in qs {
+            self.check_dim(q)?;
+        }
+        let (workers, inner) = parallel::batch_plan(exec, qs.len());
+        if workers <= 1 {
+            let mut scratch = QueryScratch::new();
+            return Ok(qs
+                .iter()
+                .map(|q| self.query_prepared(q, &inner, &mut scratch))
+                .collect());
+        }
+        let per_chunk = parallel::map_chunks(qs, workers, |chunk| {
+            let mut scratch = QueryScratch::new();
+            chunk
+                .iter()
+                .map(|q| self.query_prepared(q, &inner, &mut scratch))
+                .collect::<Vec<_>>()
+        });
+        Ok(per_chunk.into_iter().flatten().collect())
+    }
+
+    fn query_prepared(
+        &self,
+        q: &InequalityQuery,
+        exec: &ExecutionConfig,
+        scratch: &mut QueryScratch,
+    ) -> QueryOutcome {
         match self.prepare(q) {
             Ok((effective, nq)) => {
                 let view = effective.as_ref().unwrap_or(q);
                 let (pos, shift) = self.select_index(&nq, view.cmp());
-                let (matches, stats) =
-                    self.indices[pos].evaluate(view, &nq, shift, &self.table, pos);
-                Ok(QueryOutcome { matches, stats })
+                let (matches, stats) = self.indices[pos].evaluate_with(
+                    view,
+                    &nq,
+                    shift,
+                    &self.table,
+                    pos,
+                    exec,
+                    scratch,
+                );
+                QueryOutcome { matches, stats }
             }
-            Err(reason) => Ok(self.scan_fallback(q, reason)),
+            Err(reason) => self.scan_fallback(q, reason),
         }
     }
 
@@ -429,7 +605,65 @@ impl<S: KeyStore> PlanarIndexSet<S> {
     ///
     /// [`PlanarError::DimensionMismatch`] on dimensionality mismatch.
     pub fn top_k(&self, q: &TopKQuery) -> Result<TopKOutcome> {
+        self.top_k_with(q, &ExecutionConfig::serial(), &mut QueryScratch::new())
+    }
+
+    /// [`Self::top_k`] with explicit execution configuration and caller-
+    /// owned scratch buffers; answers are identical for every thread
+    /// count.
+    ///
+    /// # Errors
+    ///
+    /// [`PlanarError::DimensionMismatch`] on dimensionality mismatch.
+    pub fn top_k_with(
+        &self,
+        q: &TopKQuery,
+        exec: &ExecutionConfig,
+        scratch: &mut QueryScratch,
+    ) -> Result<TopKOutcome> {
         self.check_dim(&q.query)?;
+        Ok(self.top_k_prepared(q, exec, scratch))
+    }
+
+    /// Answer a batch of top-k queries, sharded across `exec.threads`
+    /// scoped worker threads. Output `i` is exactly what `top_k(&qs[i])`
+    /// returns, for every thread count.
+    ///
+    /// # Errors
+    ///
+    /// [`PlanarError::DimensionMismatch`] if any query's dimensionality
+    /// differs from the table's (checked up front; no partial results).
+    pub fn top_k_batch(&self, qs: &[TopKQuery], exec: &ExecutionConfig) -> Result<Vec<TopKOutcome>>
+    where
+        S: Sync,
+    {
+        for q in qs {
+            self.check_dim(&q.query)?;
+        }
+        let (workers, inner) = parallel::batch_plan(exec, qs.len());
+        if workers <= 1 {
+            let mut scratch = QueryScratch::new();
+            return Ok(qs
+                .iter()
+                .map(|q| self.top_k_prepared(q, &inner, &mut scratch))
+                .collect());
+        }
+        let per_chunk = parallel::map_chunks(qs, workers, |chunk| {
+            let mut scratch = QueryScratch::new();
+            chunk
+                .iter()
+                .map(|q| self.top_k_prepared(q, &inner, &mut scratch))
+                .collect::<Vec<_>>()
+        });
+        Ok(per_chunk.into_iter().flatten().collect())
+    }
+
+    fn top_k_prepared(
+        &self,
+        q: &TopKQuery,
+        exec: &ExecutionConfig,
+        scratch: &mut QueryScratch,
+    ) -> TopKOutcome {
         match self.prepare(&q.query) {
             Ok((effective, nq)) => {
                 let eff_q = TopKQuery {
@@ -437,10 +671,11 @@ impl<S: KeyStore> PlanarIndexSet<S> {
                     k: q.k,
                 };
                 let (pos, shift) = self.select_index(&nq, eff_q.query.cmp());
-                let (neighbors, stats) = self.indices[pos].top_k(&eff_q, &nq, shift, &self.table);
-                Ok(TopKOutcome { neighbors, stats })
+                let (neighbors, stats) =
+                    self.indices[pos].top_k_with(&eff_q, &nq, shift, &self.table, exec, scratch);
+                TopKOutcome { neighbors, stats }
             }
-            Err(_) => Ok(self.top_k_scan(q)),
+            Err(_) => self.top_k_scan(q),
         }
     }
 
@@ -637,7 +872,11 @@ impl<S: KeyStore> PlanarIndexSet<S> {
     /// # Errors
     ///
     /// Same as [`Self::build`].
-    pub fn rebuild_for_domain(&mut self, domain: ParameterDomain, config: IndexConfig) -> Result<()> {
+    pub fn rebuild_for_domain(
+        &mut self,
+        domain: ParameterDomain,
+        config: IndexConfig,
+    ) -> Result<()> {
         let rebuilt = Self::build(self.table.clone(), domain, config)?;
         let deleted = self.deleted.clone();
         *self = rebuilt;
@@ -701,12 +940,19 @@ mod tests {
         let table = FeatureTable::from_rows(2, vec![vec![1.0, 1.0]]).unwrap();
         let domain = ParameterDomain::uniform_continuous(2, 0.5, 3.0).unwrap();
         assert_eq!(
-            PlanarIndexSet::<VecStore>::build(table.clone(), domain.clone(), IndexConfig::with_budget(0))
-                .unwrap_err(),
+            PlanarIndexSet::<VecStore>::build(
+                table.clone(),
+                domain.clone(),
+                IndexConfig::with_budget(0)
+            )
+            .unwrap_err(),
             PlanarError::InvalidBudget
         );
         let bad_domain = ParameterDomain::uniform_continuous(3, 0.5, 3.0).unwrap();
-        assert!(PlanarIndexSet::<VecStore>::build(table, bad_domain, IndexConfig::with_budget(1)).is_err());
+        assert!(
+            PlanarIndexSet::<VecStore>::build(table, bad_domain, IndexConfig::with_budget(1))
+                .is_err()
+        );
     }
 
     #[test]
@@ -765,7 +1011,8 @@ mod tests {
             Domain::Discrete(vec![3.0]),
         ])
         .unwrap();
-        let set = PlanarIndexSet::<VecStore>::build(table, domain, IndexConfig::with_budget(10)).unwrap();
+        let set =
+            PlanarIndexSet::<VecStore>::build(table, domain, IndexConfig::with_budget(10)).unwrap();
         assert_eq!(set.num_indices(), 1, "parallel normals must be deduped");
     }
 
@@ -795,7 +1042,9 @@ mod tests {
         ] {
             let table = FeatureTable::from_rows(
                 2,
-                (0..50).map(|i| vec![(i % 7) as f64 + 1.0, (i % 11) as f64 + 1.0]).collect::<Vec<_>>(),
+                (0..50)
+                    .map(|i| vec![(i % 7) as f64 + 1.0, (i % 11) as f64 + 1.0])
+                    .collect::<Vec<_>>(),
             )
             .unwrap();
             let domain = ParameterDomain::uniform_randomness(2, 4).unwrap();
@@ -924,7 +1173,8 @@ mod tests {
                 .unwrap();
         let scan = crate::scan::SeqScan::new(&table);
         for k in [1, 5, 50, 500] {
-            let q = TopKQuery::new(InequalityQuery::leq(vec![2.0, 3.0], 300.0).unwrap(), k).unwrap();
+            let q =
+                TopKQuery::new(InequalityQuery::leq(vec![2.0, 3.0], 300.0).unwrap(), k).unwrap();
             let got = set.top_k(&q).unwrap();
             let want = scan.top_k(&q).unwrap();
             assert_eq!(got.neighbors, want, "k={k}");
@@ -940,11 +1190,14 @@ mod tests {
 
     #[test]
     fn stats_report_full_pruning_for_parallel_query() {
-        let rows: Vec<Vec<f64>> = (1..=100).map(|i| vec![i as f64, (101 - i) as f64]).collect();
+        let rows: Vec<Vec<f64>> = (1..=100)
+            .map(|i| vec![i as f64, (101 - i) as f64])
+            .collect();
         let table = FeatureTable::from_rows(2, rows).unwrap();
         let domain = ParameterDomain::uniform_randomness(2, 2).unwrap();
         // RQ=2 in 2-d: only 4 possible normals; budget 8 covers all of them.
-        let set = PlanarIndexSet::<VecStore>::build(table, domain, IndexConfig::with_budget(8)).unwrap();
+        let set =
+            PlanarIndexSet::<VecStore>::build(table, domain, IndexConfig::with_budget(8)).unwrap();
         let q = InequalityQuery::leq(vec![2.0, 1.0], 150.0).unwrap();
         let out = set.query(&q).unwrap();
         assert!(out.stats.used_index());

@@ -1,0 +1,403 @@
+//! Parallel execution scaffolding: thread configuration, reusable query
+//! scratch space, and the blocked / chunked verification kernels shared by
+//! Algorithm 1 and Algorithm 2.
+//!
+//! ## Determinism contract
+//!
+//! Every parallel path in this crate returns results **bit-identical to and
+//! identically ordered with** its serial counterpart, for any thread count:
+//!
+//! * Intermediate-interval (II) candidates are verified in ascending-id
+//!   order. Splitting a sorted id list into contiguous chunks and
+//!   concatenating the per-chunk matches in chunk order reproduces the
+//!   serial order exactly.
+//! * Scalar products go through [`planar_geom::dot_block`], whose per-row
+//!   accumulation is bit-identical to the row-at-a-time
+//!   [`planar_geom::dot_slices`] path.
+//! * Top-k merging relies on the total `(distance, id)` order of the top-k
+//!   buffer, which makes its contents independent of candidate arrival
+//!   order.
+//!
+//! Work is distributed over `std::thread::scope` — no thread pool, no extra
+//! dependencies; workers borrow the index and table immutably.
+
+use crate::query::InequalityQuery;
+use crate::scan::TopKBuffer;
+use crate::table::{FeatureTable, PointId};
+use planar_geom::dot_block;
+
+/// Default minimum II size before a single query's verification is split
+/// across threads. Below this, fan-out overhead exceeds the win.
+pub const DEFAULT_PARALLEL_VERIFY_THRESHOLD: usize = 8192;
+
+/// How many rows one `dot_block` call covers when ids are not contiguous
+/// enough to form longer runs — bounds the scratch `dots` buffer growth.
+pub(crate) const VERIFY_BLOCK: usize = 256;
+
+/// Thread-count and crossover configuration for the parallel query engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecutionConfig {
+    /// Number of worker threads; `1` means fully serial execution.
+    pub threads: usize,
+    /// Minimum intermediate-interval size before one query's verification
+    /// is chunked across threads.
+    pub parallel_verify_threshold: usize,
+}
+
+impl Default for ExecutionConfig {
+    fn default() -> Self {
+        Self::serial()
+    }
+}
+
+impl ExecutionConfig {
+    /// Fully serial execution (one thread).
+    pub fn serial() -> Self {
+        Self {
+            threads: 1,
+            parallel_verify_threshold: DEFAULT_PARALLEL_VERIFY_THRESHOLD,
+        }
+    }
+
+    /// Execution over `threads` worker threads (clamped to at least 1).
+    pub fn with_threads(threads: usize) -> Self {
+        Self {
+            threads: threads.max(1),
+            parallel_verify_threshold: DEFAULT_PARALLEL_VERIFY_THRESHOLD,
+        }
+    }
+
+    /// One thread per available CPU (falls back to serial if the platform
+    /// cannot report parallelism).
+    pub fn available_parallelism() -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Self::with_threads(threads)
+    }
+
+    /// Override the II crossover threshold (builder style).
+    pub fn verify_threshold(mut self, threshold: usize) -> Self {
+        self.parallel_verify_threshold = threshold.max(1);
+        self
+    }
+
+    /// True when this configuration may spawn worker threads.
+    #[inline]
+    pub fn is_parallel(&self) -> bool {
+        self.threads > 1
+    }
+}
+
+/// Reusable per-worker buffers for the query hot loop.
+///
+/// Algorithms 1 and 2 stage intermediate-interval candidate ids and their
+/// blocked scalar products here instead of allocating per query; a scratch
+/// threaded through a batch of queries makes the verification loop
+/// allocation-free once the buffers have grown to the workload's high-water
+/// mark.
+#[derive(Debug, Clone, Default)]
+pub struct QueryScratch {
+    /// II candidate ids, sorted ascending before verification.
+    pub(crate) ids: Vec<PointId>,
+    /// Blocked scalar-product outputs, one per id in the current run.
+    pub(crate) dots: Vec<f64>,
+}
+
+impl QueryScratch {
+    /// Empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Scratch pre-sized for intermediate intervals of up to `capacity`
+    /// points, so the first query allocates nothing.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            ids: Vec::with_capacity(capacity),
+            dots: Vec::with_capacity(capacity.min(VERIFY_BLOCK)),
+        }
+    }
+}
+
+/// Split `items` into `workers` contiguous chunks, apply `f` to each chunk
+/// on its own scoped thread, and return the per-chunk results in chunk
+/// order. `workers` must be ≥ 2 and `items` non-empty.
+pub(crate) fn map_chunks<I, T, F>(items: &[I], workers: usize, f: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(&[I]) -> T + Sync,
+{
+    let chunk_len = items.len().div_ceil(workers.max(1)).max(1);
+    let chunks: Vec<&[I]> = items.chunks(chunk_len).collect();
+    let mut results: Vec<Option<T>> = Vec::with_capacity(chunks.len());
+    results.resize_with(chunks.len(), || None);
+    let f = &f;
+    std::thread::scope(|s| {
+        for (slot, chunk) in results.iter_mut().zip(&chunks) {
+            let chunk: &[I] = chunk;
+            s.spawn(move || {
+                *slot = Some(f(chunk));
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("worker panicked"))
+        .collect()
+}
+
+/// Verify ascending-sorted candidate ids against `query` with the blocked
+/// kernel, pushing satisfying ids onto `out` in ascending-id order.
+///
+/// Consecutive ids form maximal runs whose rows are contiguous in the
+/// row-major table, so each run needs a single [`dot_block`] call; runs are
+/// capped at [`VERIFY_BLOCK`] rows to bound `dots` growth.
+pub(crate) fn verify_ids_blocked(
+    query: &InequalityQuery,
+    table: &FeatureTable,
+    ids: &[PointId],
+    dots: &mut Vec<f64>,
+    out: &mut Vec<PointId>,
+) {
+    let mut s = 0;
+    while s < ids.len() {
+        // Maximal consecutive-id run starting at s, capped at VERIFY_BLOCK.
+        let first = ids[s];
+        let mut e = s + 1;
+        while e < ids.len() && e - s < VERIFY_BLOCK && ids[e] == first + (e - s) as PointId {
+            e += 1;
+        }
+        let run = e - s;
+        dots.resize(run, 0.0);
+        dot_block(
+            query.a(),
+            table.rows_between(first, first + run as PointId),
+            &mut dots[..run],
+        );
+        for (i, &dot) in dots[..run].iter().enumerate() {
+            if query.satisfies_dot(dot) {
+                out.push(first + i as PointId);
+            }
+        }
+        s = e;
+    }
+}
+
+/// Inequality-query II verification: serial blocked kernel, or chunked
+/// across `exec.threads` workers when the candidate count crosses
+/// `exec.parallel_verify_threshold`. Output order is ascending-id either
+/// way (see module docs).
+pub(crate) fn verify_ids(
+    query: &InequalityQuery,
+    table: &FeatureTable,
+    ids: &[PointId],
+    exec: &ExecutionConfig,
+    dots: &mut Vec<f64>,
+    out: &mut Vec<PointId>,
+) {
+    if exec.is_parallel() && ids.len() >= exec.parallel_verify_threshold.max(2) {
+        let workers = exec.threads.min(ids.len());
+        let per_chunk = map_chunks(ids, workers, |chunk| {
+            let mut local_dots = Vec::new();
+            let mut local_out = Vec::with_capacity(chunk.len());
+            verify_ids_blocked(query, table, chunk, &mut local_dots, &mut local_out);
+            local_out
+        });
+        for part in per_chunk {
+            out.extend_from_slice(&part);
+        }
+    } else {
+        verify_ids_blocked(query, table, ids, dots, out);
+    }
+}
+
+/// Top-k II verification over ascending-sorted candidate ids: blocked
+/// scalar products feed the top-k buffer serially, or per-chunk buffers are
+/// merged when the candidate count crosses the threshold. Buffer contents
+/// are arrival-order independent, so both paths yield identical results.
+pub(crate) fn verify_top_k(
+    query: &InequalityQuery,
+    table: &FeatureTable,
+    ids: &[PointId],
+    k: usize,
+    exec: &ExecutionConfig,
+    dots: &mut Vec<f64>,
+    buffer: &mut TopKBuffer,
+) {
+    if exec.is_parallel() && ids.len() >= exec.parallel_verify_threshold.max(2) {
+        let workers = exec.threads.min(ids.len());
+        let per_chunk = map_chunks(ids, workers, |chunk| {
+            let mut local_dots = Vec::new();
+            let mut local_buf = TopKBuffer::new(k);
+            verify_top_k_blocked(query, table, chunk, &mut local_dots, &mut local_buf);
+            local_buf
+        });
+        for part in per_chunk {
+            buffer.merge(part);
+        }
+    } else {
+        verify_top_k_blocked(query, table, ids, dots, buffer);
+    }
+}
+
+/// Serial blocked top-k verification of one id run list.
+fn verify_top_k_blocked(
+    query: &InequalityQuery,
+    table: &FeatureTable,
+    ids: &[PointId],
+    dots: &mut Vec<f64>,
+    buffer: &mut TopKBuffer,
+) {
+    let mut s = 0;
+    while s < ids.len() {
+        let first = ids[s];
+        let mut e = s + 1;
+        while e < ids.len() && e - s < VERIFY_BLOCK && ids[e] == first + (e - s) as PointId {
+            e += 1;
+        }
+        let run = e - s;
+        dots.resize(run, 0.0);
+        dot_block(
+            query.a(),
+            table.rows_between(first, first + run as PointId),
+            &mut dots[..run],
+        );
+        for (i, &dot) in dots[..run].iter().enumerate() {
+            if query.satisfies_dot(dot) {
+                buffer.offer(query.distance_from_dot(dot), first + i as PointId);
+            }
+        }
+        s = e;
+    }
+}
+
+/// Sharding plan for a batch of queries: how many workers a batch of
+/// `batch_len` queries uses under `exec`, and how many threads remain for
+/// intra-query verification inside each worker.
+pub(crate) fn batch_plan(exec: &ExecutionConfig, batch_len: usize) -> (usize, ExecutionConfig) {
+    let workers = exec.threads.min(batch_len).max(1);
+    let inner = ExecutionConfig {
+        threads: (exec.threads / workers).max(1),
+        parallel_verify_threshold: exec.parallel_verify_threshold,
+    };
+    (workers, inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::Cmp;
+
+    fn table(n: usize) -> FeatureTable {
+        FeatureTable::from_rows(
+            2,
+            (0..n).map(|i| vec![i as f64 * 0.5, (n - i) as f64 * 0.25]),
+        )
+        .unwrap()
+    }
+
+    fn query() -> InequalityQuery {
+        InequalityQuery::new(vec![1.0, 2.0], Cmp::Leq, 60.0).unwrap()
+    }
+
+    #[test]
+    fn config_defaults_are_serial() {
+        let c = ExecutionConfig::default();
+        assert_eq!(c.threads, 1);
+        assert!(!c.is_parallel());
+        assert_eq!(
+            c.parallel_verify_threshold,
+            DEFAULT_PARALLEL_VERIFY_THRESHOLD
+        );
+        assert_eq!(ExecutionConfig::with_threads(0).threads, 1);
+        assert!(ExecutionConfig::available_parallelism().threads >= 1);
+        assert_eq!(
+            ExecutionConfig::serial()
+                .verify_threshold(0)
+                .parallel_verify_threshold,
+            1
+        );
+    }
+
+    #[test]
+    fn blocked_verification_matches_rowwise() {
+        let t = table(500);
+        let q = query();
+        // Non-contiguous ids: every third point, plus a contiguous tail.
+        let ids: Vec<PointId> = (0..500u32).filter(|i| i % 3 == 0 || *i > 400).collect();
+        let mut expected = Vec::new();
+        for &id in &ids {
+            if q.satisfies(t.row(id)) {
+                expected.push(id);
+            }
+        }
+        let mut dots = Vec::new();
+        let mut got = Vec::new();
+        verify_ids_blocked(&q, &t, &ids, &mut dots, &mut got);
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn parallel_verification_is_identical_to_serial() {
+        let t = table(2000);
+        let q = query();
+        let ids: Vec<PointId> = (0..2000u32).collect();
+        let mut dots = Vec::new();
+        let mut serial = Vec::new();
+        verify_ids_blocked(&q, &t, &ids, &mut dots, &mut serial);
+        for threads in [2, 3, 8] {
+            let exec = ExecutionConfig::with_threads(threads).verify_threshold(1);
+            let mut out = Vec::new();
+            verify_ids(&q, &t, &ids, &exec, &mut dots, &mut out);
+            assert_eq!(out, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_top_k_is_identical_to_serial() {
+        let t = table(2000);
+        let q = query();
+        let ids: Vec<PointId> = (0..2000u32).collect();
+        let mut dots = Vec::new();
+        let mut serial_buf = TopKBuffer::new(7);
+        verify_top_k(
+            &q,
+            &t,
+            &ids,
+            7,
+            &ExecutionConfig::serial(),
+            &mut dots,
+            &mut serial_buf,
+        );
+        let serial = serial_buf.into_sorted();
+        for threads in [2, 5] {
+            let exec = ExecutionConfig::with_threads(threads).verify_threshold(1);
+            let mut buf = TopKBuffer::new(7);
+            verify_top_k(&q, &t, &ids, 7, &exec, &mut dots, &mut buf);
+            assert_eq!(buf.into_sorted(), serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn map_chunks_preserves_chunk_order() {
+        let items: Vec<u32> = (0..97).collect();
+        let parts = map_chunks(&items, 4, |c| c.to_vec());
+        let flat: Vec<u32> = parts.into_iter().flatten().collect();
+        assert_eq!(flat, items);
+    }
+
+    #[test]
+    fn batch_plan_divides_threads() {
+        let exec = ExecutionConfig::with_threads(8);
+        let (workers, inner) = batch_plan(&exec, 4);
+        assert_eq!(workers, 4);
+        assert_eq!(inner.threads, 2);
+        let (workers, inner) = batch_plan(&exec, 100);
+        assert_eq!(workers, 8);
+        assert_eq!(inner.threads, 1);
+        let (workers, _) = batch_plan(&ExecutionConfig::serial(), 100);
+        assert_eq!(workers, 1);
+    }
+}

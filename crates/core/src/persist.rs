@@ -257,8 +257,7 @@ impl<S: KeyStore> PlanarIndexSet<S> {
     ///
     /// [`PlanarError::Persist`] on I/O or format problems.
     pub fn load_from(path: impl AsRef<std::path::Path>) -> Result<Self> {
-        let data =
-            std::fs::read(path).map_err(|e| corrupt(format!("read failed: {e}")))?;
+        let data = std::fs::read(path).map_err(|e| corrupt(format!("read failed: {e}")))?;
         Self::from_bytes(&data)
     }
 }
@@ -348,7 +347,8 @@ mod tests {
     #[test]
     fn file_roundtrip() {
         let set = sample_set();
-        let path = std::env::temp_dir().join(format!("planar_persist_test_{}.idx", std::process::id()));
+        let path =
+            std::env::temp_dir().join(format!("planar_persist_test_{}.idx", std::process::id()));
         set.save_to(&path).unwrap();
         let loaded = PlanarIndexSet::<VecStore>::load_from(&path).unwrap();
         std::fs::remove_file(&path).ok();

@@ -130,6 +130,26 @@ impl InequalityQuery {
         self.margin(phi).abs() / self.a_norm
     }
 
+    /// [`Self::satisfies`] from a precomputed scalar product `⟨a, φ(x)⟩`.
+    ///
+    /// Performs the exact comparison of [`Self::satisfies`]; feeding it a
+    /// dot product from [`planar_geom::dot_block`] therefore yields results
+    /// bit-identical to the row-at-a-time path.
+    #[inline]
+    pub fn satisfies_dot(&self, dot: f64) -> bool {
+        let margin = dot - self.b;
+        match self.cmp {
+            Cmp::Leq => margin <= 0.0,
+            Cmp::Geq => margin >= 0.0,
+        }
+    }
+
+    /// [`Self::distance`] from a precomputed scalar product `⟨a, φ(x)⟩`.
+    #[inline]
+    pub fn distance_from_dot(&self, dot: f64) -> f64 {
+        (dot - self.b).abs() / self.a_norm
+    }
+
     /// The query hyperplane `H(q) : ⟨a, Y⟩ = b` (paper Eq. 2).
     ///
     /// # Errors
@@ -212,6 +232,24 @@ mod tests {
         assert!(approx_eq(q.margin(&[2.0, 1.0]), 0.0));
         assert!(approx_eq(q.a_norm(), 5.0));
         assert!(approx_eq(q.distance(&[0.0, 0.0]), 2.0));
+    }
+
+    #[test]
+    fn dot_variants_match_row_variants_bitwise() {
+        let rows = [[2.0, 1.0], [0.0, 0.0], [7.5, -3.25], [1e9, 1e-9]];
+        for q in [
+            InequalityQuery::leq(vec![3.0, 4.0], 10.0).unwrap(),
+            InequalityQuery::geq(vec![0.1, -2.0], -1.5).unwrap(),
+        ] {
+            for phi in &rows {
+                let dot = planar_geom::dot_slices(q.a(), phi);
+                assert_eq!(q.satisfies(phi), q.satisfies_dot(dot));
+                assert_eq!(
+                    q.distance(phi).to_bits(),
+                    q.distance_from_dot(dot).to_bits()
+                );
+            }
+        }
     }
 
     #[test]

@@ -88,11 +88,8 @@ impl<S: KeyStore> AxisReductionRouter<S> {
             let set = self.build_reduction(&kept)?;
             self.reduced.insert(mask, set);
         }
-        let reduced_q = InequalityQuery::new(
-            kept.iter().map(|&i| q.a()[i]).collect(),
-            q.cmp(),
-            q.b(),
-        )?;
+        let reduced_q =
+            InequalityQuery::new(kept.iter().map(|&i| q.a()[i]).collect(), q.cmp(), q.b())?;
         self.reduced
             .get(&mask)
             .expect("inserted above")

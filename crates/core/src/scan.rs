@@ -9,8 +9,13 @@
 use crate::query::{InequalityQuery, TopKQuery};
 use crate::table::{FeatureTable, PointId};
 use crate::{PlanarError, Result};
+use planar_geom::dot_block;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+
+/// Rows per `dot_block` call in the scan loop; sized so the dot buffer
+/// lives on the stack and the row block stays cache-resident.
+const SCAN_BLOCK: usize = 128;
 
 /// A candidate in the top-k buffer, ordered by distance (max-heap).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -78,6 +83,17 @@ impl TopKBuffer {
         self.heap.peek().map(|c| c.dist)
     }
 
+    /// Fold another buffer's candidates into this one. Because the buffer
+    /// keeps the `k` smallest candidates under the total `(dist, id)`
+    /// order, merging per-chunk buffers yields exactly the buffer a single
+    /// pass over all candidates would have produced — the basis of the
+    /// parallel top-k path's determinism.
+    pub(crate) fn merge(&mut self, other: TopKBuffer) {
+        for c in other.heap {
+            self.offer(c.dist, c.id);
+        }
+    }
+
     /// Drain into `(id, dist)` pairs sorted by ascending distance.
     pub(crate) fn into_sorted(self) -> Vec<(PointId, f64)> {
         let mut v: Vec<Candidate> = self.heap.into_vec();
@@ -107,11 +123,11 @@ impl<'a> SeqScan<'a> {
     pub fn evaluate(&self, query: &InequalityQuery) -> Result<Vec<PointId>> {
         self.check_dim(query)?;
         let mut out = Vec::new();
-        for (id, row) in self.table.iter() {
-            if query.satisfies(row) {
+        self.blocked(query, |id, dot| {
+            if query.satisfies_dot(dot) {
                 out.push(id);
             }
-        }
+        });
         Ok(out)
     }
 
@@ -123,11 +139,13 @@ impl<'a> SeqScan<'a> {
     /// [`PlanarError::DimensionMismatch`] on dimensionality mismatch.
     pub fn count(&self, query: &InequalityQuery) -> Result<usize> {
         self.check_dim(query)?;
-        Ok(self
-            .table
-            .iter()
-            .filter(|(_, row)| query.satisfies(row))
-            .count())
+        let mut count = 0;
+        self.blocked(query, |_, dot| {
+            if query.satisfies_dot(dot) {
+                count += 1;
+            }
+        });
+        Ok(count)
     }
 
     /// The top-k satisfying points nearest the query hyperplane, sorted by
@@ -139,12 +157,36 @@ impl<'a> SeqScan<'a> {
     pub fn top_k(&self, q: &TopKQuery) -> Result<Vec<(PointId, f64)>> {
         self.check_dim(&q.query)?;
         let mut buf = TopKBuffer::new(q.k);
-        for (id, row) in self.table.iter() {
-            if q.query.satisfies(row) {
-                buf.offer(q.query.distance(row), id);
+        self.blocked(&q.query, |id, dot| {
+            if q.query.satisfies_dot(dot) {
+                buf.offer(q.query.distance_from_dot(dot), id);
             }
-        }
+        });
         Ok(buf.into_sorted())
+    }
+
+    /// Drive `f(id, ⟨a, row⟩)` over every row in id order, computing the
+    /// scalar products [`SCAN_BLOCK`] contiguous rows at a time with
+    /// [`dot_block`]. The dot buffer lives on the stack, so the scan loop
+    /// itself allocates nothing; results are bit-identical to the
+    /// row-at-a-time path (see `dot_block`'s accumulation guarantee).
+    fn blocked(&self, query: &InequalityQuery, mut f: impl FnMut(PointId, f64)) {
+        let n = self.table.len();
+        let mut dots = [0.0f64; SCAN_BLOCK];
+        let mut start = 0usize;
+        while start < n {
+            let end = (start + SCAN_BLOCK).min(n);
+            let len = end - start;
+            dot_block(
+                query.a(),
+                self.table.rows_between(start as PointId, end as PointId),
+                &mut dots[..len],
+            );
+            for (i, &dot) in dots[..len].iter().enumerate() {
+                f((start + i) as PointId, dot);
+            }
+            start = end;
+        }
     }
 
     fn check_dim(&self, query: &InequalityQuery) -> Result<()> {
@@ -217,6 +259,57 @@ mod tests {
         let res = scan.top_k(&q).unwrap();
         assert_eq!(res.len(), 2); // only ids 0 and 3 satisfy
         assert!(res[0].1 <= res[1].1);
+    }
+
+    #[test]
+    fn blocked_scan_matches_rowwise_across_block_boundaries() {
+        // More rows than SCAN_BLOCK so the loop takes several blocks plus a
+        // ragged tail.
+        let n = 3 * SCAN_BLOCK + 17;
+        let t = FeatureTable::from_rows(
+            3,
+            (0..n).map(|i| vec![i as f64 * 0.25, (i % 7) as f64, 1.0 / (i + 1) as f64]),
+        )
+        .unwrap();
+        let scan = SeqScan::new(&t);
+        let q = InequalityQuery::new(vec![0.5, 1.5, 2.0], Cmp::Leq, 40.0).unwrap();
+        let expected: Vec<PointId> = t
+            .iter()
+            .filter(|(_, row)| q.satisfies(row))
+            .map(|(id, _)| id)
+            .collect();
+        assert_eq!(scan.evaluate(&q).unwrap(), expected);
+        assert_eq!(scan.count(&q).unwrap(), expected.len());
+
+        let topk = TopKQuery::new(q.clone(), 9).unwrap();
+        let mut buf = TopKBuffer::new(9);
+        for (id, row) in t.iter() {
+            if q.satisfies(row) {
+                buf.offer(q.distance(row), id);
+            }
+        }
+        assert_eq!(scan.top_k(&topk).unwrap(), buf.into_sorted());
+    }
+
+    #[test]
+    fn buffer_merge_equals_single_pass() {
+        let cands: Vec<(f64, PointId)> = (0..40)
+            .map(|i| (((i * 13) % 17) as f64 * 0.5, i as PointId))
+            .collect();
+        let mut single = TopKBuffer::new(5);
+        for &(d, id) in &cands {
+            single.offer(d, id);
+        }
+        let mut left = TopKBuffer::new(5);
+        let mut right = TopKBuffer::new(5);
+        for &(d, id) in &cands[..23] {
+            left.offer(d, id);
+        }
+        for &(d, id) in &cands[23..] {
+            right.offer(d, id);
+        }
+        left.merge(right);
+        assert_eq!(left.into_sorted(), single.into_sorted());
     }
 
     #[test]

@@ -126,6 +126,18 @@ impl StatsAggregator {
         }
     }
 
+    /// Fold another aggregator into this one — equivalent to having
+    /// [`Self::add`]ed all of `other`'s queries here. Lets parallel batch
+    /// workers aggregate locally and combine at the end.
+    pub fn merge(&mut self, other: &StatsAggregator) {
+        self.count += other.count;
+        self.pruned_sum += other.pruned_sum;
+        self.verified_sum += other.verified_sum;
+        self.matched_sum += other.matched_sum;
+        self.intermediate_sum += other.intermediate_sum;
+        self.index_hits += other.index_hits;
+    }
+
     /// Number of queries aggregated.
     pub fn count(&self) -> usize {
         self.count
@@ -220,6 +232,34 @@ mod tests {
         assert_eq!(agg.mean_verified(), 50.0);
         assert_eq!(agg.mean_matched(), 30.0);
         assert_eq!(agg.index_hit_rate(), 0.5);
+    }
+
+    #[test]
+    fn merge_equals_sequential_adds() {
+        let stats = [
+            indexed(100, 50, 0, 50, 50),
+            QueryStats::scan(100, 10, ScanReason::ZeroCoefficient),
+            indexed(200, 20, 100, 80, 60),
+        ];
+        let mut sequential = StatsAggregator::new();
+        for s in &stats {
+            sequential.add(s);
+        }
+        let mut left = StatsAggregator::new();
+        left.add(&stats[0]);
+        let mut right = StatsAggregator::new();
+        right.add(&stats[1]);
+        right.add(&stats[2]);
+        left.merge(&right);
+        assert_eq!(left.count(), sequential.count());
+        assert_eq!(
+            left.mean_pruning_percentage(),
+            sequential.mean_pruning_percentage()
+        );
+        assert_eq!(left.mean_verified(), sequential.mean_verified());
+        assert_eq!(left.mean_matched(), sequential.mean_matched());
+        assert_eq!(left.mean_intermediate(), sequential.mean_intermediate());
+        assert_eq!(left.index_hit_rate(), sequential.index_hit_rate());
     }
 
     #[test]

@@ -379,7 +379,10 @@ impl BPlusTree {
                         assert!(w[0].total_cmp(&w[1]) == Ordering::Less, "unsorted leaf");
                     }
                     if let (Some(lo), Some(first)) = (lo, v.first()) {
-                        assert!(lo.total_cmp(first) != Ordering::Greater, "lo bound violated");
+                        assert!(
+                            lo.total_cmp(first) != Ordering::Greater,
+                            "lo bound violated"
+                        );
                     }
                     if let (Some(hi), Some(last)) = (hi, v.last()) {
                         assert!(last.total_cmp(hi) == Ordering::Less, "hi bound violated");
@@ -396,7 +399,11 @@ impl BPlusTree {
                     let mut total = 0;
                     for (i, child) in n.children.iter().enumerate() {
                         let clo = if i == 0 { lo } else { Some(&n.seps[i - 1]) };
-                        let chi = if i == n.seps.len() { hi } else { Some(&n.seps[i]) };
+                        let chi = if i == n.seps.len() {
+                            hi
+                        } else {
+                            Some(&n.seps[i])
+                        };
                         let sz = walk(child, false, clo, chi);
                         assert_eq!(sz, n.counts[i], "stale subtree count");
                         total += sz;

@@ -60,9 +60,7 @@ impl Entry {
     /// Total order on `(key, id)`.
     #[inline]
     pub fn total_cmp(&self, other: &Entry) -> core::cmp::Ordering {
-        self.key
-            .total_cmp(&other.key)
-            .then(self.id.cmp(&other.id))
+        self.key.total_cmp(&other.key).then(self.id.cmp(&other.id))
     }
 }
 

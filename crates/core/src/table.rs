@@ -101,6 +101,17 @@ impl FeatureTable {
         &self.data[start..start + self.dim]
     }
 
+    /// The contiguous row-major storage of the row range `[from, to)` —
+    /// the input shape of `planar_geom::dot_block`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds or `from > to`.
+    #[inline]
+    pub fn rows_between(&self, from: PointId, to: PointId) -> &[f64] {
+        &self.data[from as usize * self.dim..to as usize * self.dim]
+    }
+
     /// Fallible row access.
     ///
     /// # Errors

@@ -5,11 +5,11 @@
 //! arbitrary data and queries, across octants, comparison directions, both
 //! key stores, and under dynamic updates.
 
+use planar_core::{BPlusTree, VecStore};
 use planar_core::{
     Cmp, Domain, FeatureTable, IndexConfig, InequalityQuery, ParameterDomain, PlanarIndexSet,
     SeqScan, TopKQuery,
 };
-use planar_core::{BPlusTree, VecStore};
 use proptest::prelude::*;
 
 /// A generated scenario: a table, a sign-fixed domain, and queries drawn
@@ -79,7 +79,10 @@ fn build_domain(s: &Scenario) -> ParameterDomain {
                 if pos {
                     Domain::Continuous { lo: 0.1, hi: 10.0 }
                 } else {
-                    Domain::Continuous { lo: -10.0, hi: -0.1 }
+                    Domain::Continuous {
+                        lo: -10.0,
+                        hi: -0.1,
+                    }
                 }
             })
             .collect(),

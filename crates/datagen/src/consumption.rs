@@ -74,11 +74,11 @@ impl ConsumptionGenerator {
         let mut rng = StdRng::seed_from_u64(self.seed);
         (0..self.n)
             .map(|_| {
-                let voltage = clamped_normal(&mut rng, 240.0, 4.0, VOLTAGE_RANGE.0, VOLTAGE_RANGE.1);
+                let voltage =
+                    clamped_normal(&mut rng, 240.0, 4.0, VOLTAGE_RANGE.0, VOLTAGE_RANGE.1);
                 // Currents are strongly right-skewed: most households draw
                 // little; a tail runs appliances.
-                let current =
-                    clamped_lognormal(&mut rng, 0.6, 0.9, 0.05, CURRENT_RANGE.1);
+                let current = clamped_lognormal(&mut rng, 0.6, 0.9, 0.05, CURRENT_RANGE.1);
                 // Power factor skews high (Beta-like with mean ≈ 0.75).
                 let pf = 0.05 + 0.95 * beta_like(&mut rng, 0.9, 0.3);
                 let active = pf * voltage * current;
@@ -127,8 +127,7 @@ pub fn consumption_domain() -> ParameterDomain {
 /// Build the `Critical_Consume(threshold)` query (paper Example 1):
 /// `active − threshold·voltage·current ≤ 0`.
 pub fn critical_consume_query(threshold: f64) -> InequalityQuery {
-    InequalityQuery::new(vec![1.0, -threshold], Cmp::Leq, 0.0)
-        .expect("threshold is finite")
+    InequalityQuery::new(vec![1.0, -threshold], Cmp::Leq, 0.0).expect("threshold is finite")
 }
 
 /// Sample a threshold from the paper's grid.
@@ -169,7 +168,10 @@ mod tests {
         let scan = SeqScan::new(&t);
         let lo = scan.count(&critical_consume_query(0.2)).unwrap();
         let hi = scan.count(&critical_consume_query(0.9)).unwrap();
-        assert!(lo < hi, "selectivity must grow with threshold: {lo} vs {hi}");
+        assert!(
+            lo < hi,
+            "selectivity must grow with threshold: {lo} vs {hi}"
+        );
         assert!(hi > 0);
     }
 

@@ -109,14 +109,8 @@ mod tests {
     #[test]
     fn drift_moves_from_start_to_end() {
         let t = table();
-        let mut w = DriftingWorkload::new(
-            &t,
-            vec![1.0, 1.0, 1.0],
-            vec![10.0, 1.0, 1.0],
-            100,
-            0.0,
-            7,
-        );
+        let mut w =
+            DriftingWorkload::new(&t, vec![1.0, 1.0, 1.0], vec![10.0, 1.0, 1.0], 100, 0.0, 7);
         let first = w.next_query();
         assert!((first.a()[0] - 1.0).abs() < 0.1, "{:?}", first.a());
         for _ in 0..150 {
@@ -132,14 +126,7 @@ mod tests {
     #[test]
     fn jitter_spreads_but_respects_center() {
         let t = table();
-        let mut w = DriftingWorkload::new(
-            &t,
-            vec![5.0, 5.0, 5.0],
-            vec![5.0, 5.0, 5.0],
-            10,
-            0.1,
-            9,
-        );
+        let mut w = DriftingWorkload::new(&t, vec![5.0, 5.0, 5.0], vec![5.0, 5.0, 5.0], 10, 0.1, 9);
         let mut distinct = std::collections::HashSet::new();
         for _ in 0..50 {
             let q = w.next_query();
@@ -155,15 +142,8 @@ mod tests {
     fn offsets_follow_eq18() {
         let t = table();
         let maxima = t.max_per_dim();
-        let mut w = DriftingWorkload::new(
-            &t,
-            vec![2.0, 2.0, 2.0],
-            vec![2.0, 2.0, 2.0],
-            10,
-            0.0,
-            3,
-        )
-        .with_selectivity(0.5);
+        let mut w = DriftingWorkload::new(&t, vec![2.0, 2.0, 2.0], vec![2.0, 2.0, 2.0], 10, 0.0, 3)
+            .with_selectivity(0.5);
         let q = w.next_query();
         let expect = 0.5 * q.a().iter().zip(&maxima).map(|(a, m)| a * m).sum::<f64>();
         assert!((q.b() - expect).abs() < 1e-9);

@@ -112,12 +112,7 @@ mod tests {
         let mut g = Eq18Generator::new(&t, 2, 3).with_inequality_parameter(0.5);
         let maxima = t.max_per_dim();
         let q = g.next_query();
-        let expect = 0.5
-            * q.a()
-                .iter()
-                .zip(&maxima)
-                .map(|(a, m)| a * m)
-                .sum::<f64>();
+        let expect = 0.5 * q.a().iter().zip(&maxima).map(|(a, m)| a * m).sum::<f64>();
         assert!((q.b() - expect).abs() < 1e-9);
     }
 

@@ -103,8 +103,7 @@ impl SyntheticConfig {
                     // normalized exponentials) scaled by a total budget
                     // concentrated near d/2: coordinates are pairwise
                     // negatively correlated.
-                    let total =
-                        clamped_normal(&mut rng, 0.5, 0.05, 0.05, 0.95) * self.dim as f64;
+                    let total = clamped_normal(&mut rng, 0.5, 0.05, 0.05, 0.95) * self.dim as f64;
                     let mut sum = 0.0;
                     for v in &mut row {
                         *v = exponential(&mut rng);

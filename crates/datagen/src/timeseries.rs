@@ -122,7 +122,11 @@ mod tests {
                 // Tolerance: optimizers may fold the two computations of
                 // the same weight differently (vectorized vs scalar sums).
                 let eps = 1e-12;
-                assert!(env[k].0 - eps <= w && w <= env[k].1 + eps, "k={k} w={w} env={:?}", env[k]);
+                assert!(
+                    env[k].0 - eps <= w && w <= env[k].1 + eps,
+                    "k={k} w={w} env={:?}",
+                    env[k]
+                );
             }
         }
         assert!(env.iter().all(|&(lo, hi)| lo > 0.0 && hi >= lo));

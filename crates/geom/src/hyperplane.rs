@@ -164,7 +164,10 @@ mod tests {
         let b = hp(&[0.0, 1.0], 1.0);
         let c = hp(&[2.0, 0.0], 5.0);
         let d = hp(&[-1.0, 0.0], 5.0);
-        assert!(approx_eq(a.angle_to(&b).unwrap(), std::f64::consts::FRAC_PI_2));
+        assert!(approx_eq(
+            a.angle_to(&b).unwrap(),
+            std::f64::consts::FRAC_PI_2
+        ));
         assert!(approx_eq(a.angle_to(&c).unwrap(), 0.0));
         // Anti-parallel normals describe parallel hyperplanes: angle 0.
         assert!(approx_eq(a.angle_to(&d).unwrap(), 0.0));
@@ -177,6 +180,9 @@ mod tests {
     fn angle_45_degrees() {
         let a = hp(&[1.0, 0.0], 1.0);
         let b = hp(&[1.0, 1.0], 1.0);
-        assert!(approx_eq(a.angle_to(&b).unwrap(), std::f64::consts::FRAC_PI_4));
+        assert!(approx_eq(
+            a.angle_to(&b).unwrap(),
+            std::f64::consts::FRAC_PI_4
+        ));
     }
 }

@@ -34,7 +34,7 @@ pub use approx::{approx_eq, approx_eq_eps, DEFAULT_EPS};
 pub use hyperplane::Hyperplane;
 pub use octant::{Octant, Sign, SignVector};
 pub use translation::{NormalizedQuery, Normalizer, Translation};
-pub use vector::{dot, dot_slices, norm, Vector};
+pub use vector::{dot, dot_block, dot_slices, norm, Vector};
 
 /// Errors produced by geometric constructions.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -93,10 +93,12 @@ impl Octant {
         let signs = a
             .iter()
             .enumerate()
-            .map(|(axis, &ai)| Sign::of(ai).map_err(|e| match e {
-                GeomError::ZeroCoordinate { .. } => GeomError::ZeroCoordinate { axis },
-                other => other,
-            }))
+            .map(|(axis, &ai)| {
+                Sign::of(ai).map_err(|e| match e {
+                    GeomError::ZeroCoordinate { .. } => GeomError::ZeroCoordinate { axis },
+                    other => other,
+                })
+            })
             .collect::<Result<SignVector>>()?;
         Ok(Self { signs })
     }

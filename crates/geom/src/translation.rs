@@ -221,13 +221,15 @@ impl Normalizer {
         }
         // b'' = b + Σ a''ᵢ δᵢ — equal to Eq. 12's b' because
         // sign(O,i)·aᵢ = a''ᵢ; reflection leaves the offset unchanged.
-        let b_norm = b
-            + a_pos
-                .iter()
-                .zip(self.translation.deltas())
-                .map(|(ap, d)| ap * d)
-                .sum::<f64>();
-        Ok(NormalizedQuery { a: a_pos, b: b_norm })
+        let b_norm = b + a_pos
+            .iter()
+            .zip(self.translation.deltas())
+            .map(|(ap, d)| ap * d)
+            .sum::<f64>();
+        Ok(NormalizedQuery {
+            a: a_pos,
+            b: b_norm,
+        })
     }
 
     /// The raw-space key normal `c_rawᵢ = cᵢ·sign(O, i)` for a normalized

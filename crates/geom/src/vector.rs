@@ -18,7 +18,8 @@ pub fn dot_slices(a: &[f64], b: &[f64]) -> f64 {
     debug_assert_eq!(a.len(), b.len(), "dot product dimension mismatch");
     // Manual 4-way unroll: rustc reliably vectorizes this shape, and the
     // index's verification loop spends essentially all its time here.
-    let chunks = a.len() / 4;
+    let n = a.len().min(b.len());
+    let chunks = n / 4;
     let mut acc0 = 0.0;
     let mut acc1 = 0.0;
     let mut acc2 = 0.0;
@@ -31,10 +32,41 @@ pub fn dot_slices(a: &[f64], b: &[f64]) -> f64 {
         acc3 += a[j + 3] * b[j + 3];
     }
     let mut acc = (acc0 + acc1) + (acc2 + acc3);
-    for j in chunks * 4..a.len().min(b.len()) {
+    for j in chunks * 4..n {
         acc += a[j] * b[j];
     }
     acc
+}
+
+/// Blocked verification kernel: scalar products of `a` against a contiguous
+/// run of row-major rows.
+///
+/// `rows` holds `dots.len()` consecutive rows of `a.len()` coordinates each
+/// (a slice of a flat `FeatureTable`-style buffer); `dots[i]` receives
+/// `⟨a, rows[i]⟩`. One forward pass over `rows` gives the verification loop
+/// sequential memory access instead of one random row lookup per candidate.
+///
+/// Each row uses the exact accumulation order of [`dot_slices`], so a
+/// blocked verification pass is bit-identical to per-row `dot_slices` calls
+/// — the property the parallel query engine's determinism guarantee rests
+/// on.
+///
+/// # Panics
+///
+/// Panics in debug builds if `rows.len() != a.len() * dots.len()`; in
+/// release builds short input truncates (trailing rows / coordinates are
+/// left untouched).
+#[inline]
+pub fn dot_block(a: &[f64], rows: &[f64], dots: &mut [f64]) {
+    debug_assert_eq!(rows.len(), a.len() * dots.len(), "dot_block shape mismatch");
+    let dim = a.len();
+    if dim == 0 {
+        dots.fill(0.0);
+        return;
+    }
+    for (dot, row) in dots.iter_mut().zip(rows.chunks_exact(dim)) {
+        *dot = dot_slices(a, row);
+    }
 }
 
 /// Checked scalar product: errors on dimension mismatch instead of panicking.
@@ -256,6 +288,43 @@ mod tests {
             let b: Vec<f64> = (0..len).map(|i| (len - i) as f64 * 0.25).collect();
             let naive: f64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
             assert!(approx_eq(dot_slices(&a, &b), naive), "len {len}");
+        }
+    }
+
+    /// Regression: the unrolled loop used to size its chunks from `a.len()`
+    /// alone and indexed out of bounds in `b` when `b` was shorter. The
+    /// documented contract is `Iterator::zip` semantics (shorter length
+    /// wins) in release, a `debug_assert` in debug.
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn dot_mismatched_lengths_truncate() {
+        let a: Vec<f64> = (0..9).map(|i| i as f64 + 1.0).collect();
+        let b: Vec<f64> = (0..5).map(|i| (i as f64).mul_add(2.0, 1.0)).collect();
+        let want: f64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+        assert!(approx_eq(dot_slices(&a, &b), want));
+        assert!(approx_eq(dot_slices(&b, &a), want));
+        assert_eq!(dot_slices(&a, &[]), 0.0);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "dimension mismatch")]
+    fn dot_mismatched_lengths_debug_asserts() {
+        dot_slices(&[1.0; 9], &[1.0; 5]);
+    }
+
+    #[test]
+    fn dot_block_matches_per_row_dots_bitwise() {
+        for dim in 1..=7usize {
+            for nrows in 0..=5usize {
+                let a: Vec<f64> = (0..dim).map(|i| 0.3 * i as f64 - 1.0).collect();
+                let rows: Vec<f64> = (0..dim * nrows).map(|i| (i as f64).sin() * 10.0).collect();
+                let mut dots = vec![f64::NAN; nrows];
+                dot_block(&a, &rows, &mut dots);
+                for (r, d) in rows.chunks_exact(dim).zip(&dots) {
+                    assert_eq!(d.to_bits(), dot_slices(&a, r).to_bits());
+                }
+            }
         }
     }
 

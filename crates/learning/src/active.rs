@@ -195,7 +195,9 @@ mod tests {
         // Reports carry consistent metadata.
         assert_eq!(reports.len(), 40);
         assert!(reports.iter().all(|r| r.checked_percentage <= 100.0));
-        assert!(reports.windows(2).all(|w| w[0].labels_used <= w[1].labels_used));
+        assert!(reports
+            .windows(2)
+            .all(|w| w[0].labels_used <= w[1].labels_used));
     }
 
     #[test]

@@ -56,10 +56,7 @@ impl HyperplaneHash {
             }
             built.push(([u, v], buckets));
         }
-        Self {
-            tables: built,
-            dim,
-        }
+        Self { tables: built, dim }
     }
 
     fn homogeneous_dot(vector: &[f64], point: &[f64]) -> f64 {
@@ -139,7 +136,10 @@ pub fn recall(exact: &[(u32, f64)], approx: &[(u32, f64)]) -> f64 {
         return 1.0;
     }
     let approx_ids: std::collections::HashSet<u32> = approx.iter().map(|(id, _)| *id).collect();
-    let hit = exact.iter().filter(|(id, _)| approx_ids.contains(id)).count();
+    let hit = exact
+        .iter()
+        .filter(|(id, _)| approx_ids.contains(id))
+        .count();
     hit as f64 / exact.len() as f64
 }
 

@@ -96,11 +96,11 @@ mod tests {
         FeatureTable::from_rows(
             2,
             vec![
-                vec![1.0, 1.0],  // margin to x+y=5: -3
-                vec![2.0, 2.9],  // -0.1
-                vec![2.6, 2.5],  // +0.1
-                vec![6.0, 6.0],  // +7
-                vec![2.5, 2.5],  // 0 (on the plane)
+                vec![1.0, 1.0], // margin to x+y=5: -3
+                vec![2.0, 2.9], // -0.1
+                vec![2.6, 2.5], // +0.1
+                vec![6.0, 6.0], // +7
+                vec![2.5, 2.5], // 0 (on the plane)
             ],
         )
         .unwrap()

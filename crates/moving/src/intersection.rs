@@ -219,8 +219,12 @@ impl<S: KeyStore> LinearIntersectionIndex<S> {
                 hi: hi * hi,
             },
         ])?;
-        let normals: Vec<Vec<f64>> = instants.iter().map(|&t| linear_params(t).to_vec()).collect();
-        let set = PlanarIndexSet::with_normals(table, domain, normals, SelectionStrategy::MinStretch)?;
+        let normals: Vec<Vec<f64>> = instants
+            .iter()
+            .map(|&t| linear_params(t).to_vec())
+            .collect();
+        let set =
+            PlanarIndexSet::with_normals(table, domain, normals, SelectionStrategy::MinStretch)?;
         Ok(Self {
             set,
             b_len: set_b.len() as u32,
@@ -353,7 +357,8 @@ impl<S: KeyStore> AcceleratingIntersectionIndex<S> {
             .iter()
             .map(|&t| accelerating_params(t).to_vec())
             .collect();
-        let set = PlanarIndexSet::with_normals(table, domain, normals, SelectionStrategy::MinStretch)?;
+        let set =
+            PlanarIndexSet::with_normals(table, domain, normals, SelectionStrategy::MinStretch)?;
         Ok(Self {
             set,
             b_len: set_b.len() as u32,
@@ -404,7 +409,8 @@ impl<S: KeyStore> AcceleratingIntersectionIndex<S> {
             self.set.remove_index(0)?;
             self.instants.remove(0);
         }
-        self.set.add_index(accelerating_params(new_instant).to_vec())?;
+        self.set
+            .add_index(accelerating_params(new_instant).to_vec())?;
         self.instants.push(new_instant);
         self.horizon = recompute_horizon(&self.instants);
         Ok(())
@@ -449,8 +455,14 @@ impl<S: KeyStore> CircularIntersectionIndex<S> {
         let domain = ParameterDomain::new(vec![
             Domain::Discrete(vec![1.0]),
             Domain::Continuous { lo, hi },
-            Domain::Continuous { lo: TRIG_EPS, hi: 2.0 },
-            Domain::Continuous { lo: TRIG_EPS, hi: 2.0 },
+            Domain::Continuous {
+                lo: TRIG_EPS,
+                hi: 2.0,
+            },
+            Domain::Continuous {
+                lo: TRIG_EPS,
+                hi: 2.0,
+            },
             Domain::Continuous {
                 lo: TRIG_EPS,
                 hi: 2.0 * hi,
@@ -570,11 +582,7 @@ mod tests {
         for t in [0.0, 1.5, 10.0, 14.7] {
             let direct = dist_sq(&a.position(t), &b.position(t));
             let phi = linear_pair_phi(&a, &b);
-            let via: f64 = linear_params(t)
-                .iter()
-                .zip(&phi)
-                .map(|(p, x)| p * x)
-                .sum();
+            let via: f64 = linear_params(t).iter().zip(&phi).map(|(p, x)| p * x).sum();
             assert!(approx_eq_eps(direct, via, 1e-9), "t={t}: {direct} vs {via}");
         }
     }
@@ -630,7 +638,8 @@ mod tests {
     fn linear_index_matches_baseline() {
         let a = workload::linear_objects(40, 200.0, 7);
         let b = workload::linear_objects(35, 200.0, 8);
-        let idx: LinearIntersectionIndex = LinearIntersectionIndex::build(a.clone(), b.clone(), &INSTANTS).unwrap();
+        let idx: LinearIntersectionIndex =
+            LinearIntersectionIndex::build(a.clone(), b.clone(), &INSTANTS).unwrap();
         for t in [10.0, 11.5, 13.0, 15.0] {
             let (got, stats) = idx.query(t, 10.0).unwrap();
             let want = baseline::linear_pairs_within(&a, &b, t, 10.0);
@@ -744,7 +753,10 @@ mod rolling_tests {
         let b = workload::linear_objects(30, 200.0, 12);
         let mut idx: LinearIntersectionIndex =
             LinearIntersectionIndex::build(a.clone(), b.clone(), &[10.0, 11.0, 12.0]).unwrap();
-        assert!(idx.query(20.0, 10.0).is_err(), "t=20 outside initial horizon");
+        assert!(
+            idx.query(20.0, 10.0).is_err(),
+            "t=20 outside initial horizon"
+        );
 
         for t in [13.0, 14.0, 15.0, 16.0, 17.0, 18.0] {
             idx.advance(t).unwrap();
@@ -769,8 +781,14 @@ mod rolling_tests {
         let b = workload::linear_objects(5, 100.0, 2);
         let mut idx: LinearIntersectionIndex =
             LinearIntersectionIndex::build(a, b, &[10.0, 11.0]).unwrap();
-        assert!(matches!(idx.advance(11.0), Err(MovingError::BadTimeInstants)));
-        assert!(matches!(idx.advance(f64::NAN), Err(MovingError::BadTimeInstants)));
+        assert!(matches!(
+            idx.advance(11.0),
+            Err(MovingError::BadTimeInstants)
+        ));
+        assert!(matches!(
+            idx.advance(f64::NAN),
+            Err(MovingError::BadTimeInstants)
+        ));
         assert!(idx.advance(12.0).is_ok());
     }
 
@@ -785,7 +803,9 @@ mod rolling_tests {
         let (got, _) = idx.query(13.0, 10.0).unwrap();
         assert_eq!(
             sorted(got),
-            sorted(baseline::circular_pairs_within(&circles, &lines, 13.0, 10.0))
+            sorted(baseline::circular_pairs_within(
+                &circles, &lines, 13.0, 10.0
+            ))
         );
     }
 
@@ -800,7 +820,9 @@ mod rolling_tests {
         let (got, _) = idx.query(12.5, 10.0).unwrap();
         assert_eq!(
             sorted(got),
-            sorted(baseline::accelerating_pairs_within(&accel, &lines, 12.5, 10.0))
+            sorted(baseline::accelerating_pairs_within(
+                &accel, &lines, 12.5, 10.0
+            ))
         );
     }
 }

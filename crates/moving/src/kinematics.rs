@@ -124,10 +124,7 @@ mod tests {
 
     #[test]
     fn circular_position_stays_on_circle() {
-        let m = CircularMotion {
-            r: 5.0,
-            omega: 0.3,
-        };
+        let m = CircularMotion { r: 5.0, omega: 0.3 };
         for t in [0.0, 1.0, 7.3, 100.0] {
             let p = m.position(t);
             let norm = (p[0] * p[0] + p[1] * p[1]).sqrt();

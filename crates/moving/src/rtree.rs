@@ -272,7 +272,10 @@ mod tests {
         let points: Vec<([f64; 2], u32)> = (0..3000)
             .map(|i| {
                 (
-                    [rng.random_range(-100.0..100.0), rng.random_range(-100.0..100.0)],
+                    [
+                        rng.random_range(-100.0..100.0),
+                        rng.random_range(-100.0..100.0),
+                    ],
                     i,
                 )
             })
@@ -280,7 +283,10 @@ mod tests {
         let tree = RTree::build(points.clone());
         assert_eq!(tree.len(), 3000);
         for _ in 0..25 {
-            let center = [rng.random_range(-100.0..100.0), rng.random_range(-100.0..100.0)];
+            let center = [
+                rng.random_range(-100.0..100.0),
+                rng.random_range(-100.0..100.0),
+            ];
             let w = Rect::window(center, rng.random_range(1.0..40.0));
             let mut got = tree.query_window(&w);
             got.sort_unstable();

@@ -94,9 +94,7 @@ impl Expr {
             Expr::Column(i) => row[*i],
             Expr::Literal(v) => *v,
             Expr::Neg(e) => -e.eval_row(row),
-            Expr::Binary { op, left, right } => {
-                op.apply(left.eval_row(row), right.eval_row(row))
-            }
+            Expr::Binary { op, left, right } => op.apply(left.eval_row(row), right.eval_row(row)),
         }
     }
 
@@ -193,7 +191,8 @@ mod tests {
         let s = schema();
         let mut rel = Relation::new(s.clone());
         for i in 0..20 {
-            rel.insert(&[i as f64, (i * 2) as f64, 1.0 + i as f64]).unwrap();
+            rel.insert(&[i as f64, (i * 2) as f64, 1.0 + i as f64])
+                .unwrap();
         }
         let e = Expr::parse("x * y + z / 2", &s).unwrap();
         let mut out = Vec::new();

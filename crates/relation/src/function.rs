@@ -100,13 +100,15 @@ impl Coef {
                 }
                 Ok(poly.eval(&[], params))
             }
-            Coef::Param { index, scale, .. } => params
-                .get(*index)
-                .map(|p| p * scale)
-                .ok_or(RelationError::ParamArityMismatch {
-                    expected: *index + 1,
-                    found: params.len(),
-                }),
+            Coef::Param { index, scale, .. } => {
+                params
+                    .get(*index)
+                    .map(|p| p * scale)
+                    .ok_or(RelationError::ParamArityMismatch {
+                        expected: *index + 1,
+                        found: params.len(),
+                    })
+            }
         }
     }
 }
@@ -141,13 +143,15 @@ impl OffsetSpec {
                 }
                 Ok(poly.eval(&[], params))
             }
-            OffsetSpec::Param { index, scale } => params
-                .get(*index)
-                .map(|p| p * scale)
-                .ok_or(RelationError::ParamArityMismatch {
-                    expected: *index + 1,
-                    found: params.len(),
-                }),
+            OffsetSpec::Param { index, scale } => {
+                params
+                    .get(*index)
+                    .map(|p| p * scale)
+                    .ok_or(RelationError::ParamArityMismatch {
+                        expected: *index + 1,
+                        found: params.len(),
+                    })
+            }
         }
     }
 }
@@ -269,7 +273,10 @@ impl FunctionSpec {
             table.push_row(&row)?;
         }
         let domain = ParameterDomain::new(
-            self.axes.iter().map(|(_, c)| c.coefficient_domain()).collect(),
+            self.axes
+                .iter()
+                .map(|(_, c)| c.coefficient_domain())
+                .collect(),
         )?;
         let set = PlanarIndexSet::build(table, domain, config)?;
         Ok(FunctionIndex { spec: self, set })
@@ -506,10 +513,7 @@ mod tests {
     #[test]
     fn discrete_param_domain_scales() {
         let c = Coef::param(0, -1.0, Domain::Discrete(vec![0.5, 1.0]));
-        assert_eq!(
-            c.coefficient_domain(),
-            Domain::Discrete(vec![-0.5, -1.0])
-        );
+        assert_eq!(c.coefficient_domain(), Domain::Discrete(vec![-0.5, -1.0]));
         let c = Coef::param(0, 2.0, Domain::Continuous { lo: -3.0, hi: -1.0 });
         assert_eq!(
             c.coefficient_domain(),

@@ -53,16 +53,16 @@ pub mod function;
 pub mod parse;
 pub mod poly;
 pub mod relation;
-pub mod sql;
 pub mod schema;
+pub mod sql;
 
 pub use analyze::{analyze_predicate, AnalyzedPredicate};
 pub use expr::Expr;
 pub use function::{Coef, FunctionIndex, FunctionSpec, OffsetSpec};
 pub use poly::{Interval, Monomial, Poly, Var};
 pub use relation::Relation;
-pub use sql::Database;
 pub use schema::Schema;
+pub use sql::Database;
 
 /// Errors of the relation layer.
 #[derive(Debug, Clone, PartialEq)]

@@ -159,9 +159,7 @@ impl<'a> Lexer<'a> {
                 self.pos = end;
                 Token::Ident(name)
             }
-            other => {
-                return Err(self.error(&format!("unexpected character `{}`", other as char)))
-            }
+            other => return Err(self.error(&format!("unexpected character `{}`", other as char))),
         };
         Ok(Some((start, tok)))
     }
@@ -346,10 +344,7 @@ mod tests {
 
     #[test]
     fn columns_resolve() {
-        assert_eq!(
-            eval("voltage * current", &[0.0, 0.0, 240.0, 2.0]),
-            480.0
-        );
+        assert_eq!(eval("voltage * current", &[0.0, 0.0, 240.0, 2.0]), 480.0);
         assert!(matches!(
             parse_expr("watts + 1", &schema()),
             Err(RelationError::UnknownColumn(_))

@@ -210,11 +210,7 @@ impl Poly {
     pub fn div(&self, other: &Poly) -> Result<Poly> {
         match other.as_constant() {
             Some(c) if c != 0.0 => Ok(Poly {
-                terms: self
-                    .terms
-                    .iter()
-                    .map(|(m, v)| (m.clone(), v / c))
-                    .collect(),
+                terms: self.terms.iter().map(|(m, v)| (m.clone(), v / c)).collect(),
             }),
             _ => Err(RelationError::NotPolynomial(
                 "division by a non-constant expression".into(),
@@ -314,10 +310,7 @@ impl std::ops::Mul for Interval {
         ];
         Interval {
             lo: candidates.iter().copied().fold(f64::INFINITY, f64::min),
-            hi: candidates
-                .iter()
-                .copied()
-                .fold(f64::NEG_INFINITY, f64::max),
+            hi: candidates.iter().copied().fold(f64::NEG_INFINITY, f64::max),
         }
     }
 }
@@ -369,7 +362,9 @@ mod tests {
     #[test]
     fn arithmetic_expands_correctly() {
         // (x + 2)(x − 2) = x² − 4
-        let e = x().add(&Poly::constant(2.0)).mul(&x().sub(&Poly::constant(2.0)));
+        let e = x()
+            .add(&Poly::constant(2.0))
+            .mul(&x().sub(&Poly::constant(2.0)));
         assert_eq!(e.len(), 2);
         assert_eq!(e.eval(&[3.0], &[]), 5.0);
         assert_eq!(e.eval(&[2.0], &[]), 0.0);
@@ -389,7 +384,10 @@ mod tests {
 
     #[test]
     fn division_only_by_constants() {
-        let e = x().mul(&Poly::constant(6.0)).div(&Poly::constant(2.0)).unwrap();
+        let e = x()
+            .mul(&Poly::constant(6.0))
+            .div(&Poly::constant(2.0))
+            .unwrap();
         assert_eq!(e.eval(&[5.0], &[]), 15.0);
         assert!(x().div(&y()).is_err());
         assert!(x().div(&Poly::zero()).is_err());

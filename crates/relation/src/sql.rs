@@ -367,8 +367,12 @@ fn parse_create_function(c: &mut Cursor, full_text: &str) -> Result<Statement> {
     c.keyword("FROM")?;
     let table = c.ident()?;
     // The predicate is the raw text after WHERE, up to an optional BUDGET.
-    let where_at = find_keyword(full_text, "WHERE")
-        .ok_or_else(|| err("CREATE FUNCTION requires a WHERE predicate", full_text.len()))?;
+    let where_at = find_keyword(full_text, "WHERE").ok_or_else(|| {
+        err(
+            "CREATE FUNCTION requires a WHERE predicate",
+            full_text.len(),
+        )
+    })?;
     let after_where = &full_text[where_at + "WHERE".len()..];
     let (predicate, budget) = match find_keyword(after_where, "BUDGET") {
         Some(at) => {
@@ -503,18 +507,11 @@ impl Database {
                     .ok_or_else(|| RelationError::UnknownColumn(format!("table {table}")))?;
                 let declared: Vec<(&str, Domain)> = params
                     .iter()
-                    .map(|(n, lo, hi)| {
-                        (
-                            n.as_str(),
-                            Domain::Continuous { lo: *lo, hi: *hi },
-                        )
-                    })
+                    .map(|(n, lo, hi)| (n.as_str(), Domain::Continuous { lo: *lo, hi: *hi }))
                     .collect();
                 let analyzed = analyze_predicate(&predicate, rel.schema(), &declared)?;
                 let axes = analyzed.axes_display.clone();
-                let index = analyzed
-                    .spec
-                    .build(rel, budget.unwrap_or(DEFAULT_BUDGET))?;
+                let index = analyzed.spec.build(rel, budget.unwrap_or(DEFAULT_BUDGET))?;
                 self.functions
                     .insert(name.clone(), StoredFunction { table, index });
                 Ok(ExecutionResult::FunctionCreated { name, axes })
@@ -530,9 +527,9 @@ impl Database {
                     analyze_predicate(&predicate, rel.schema(), &[]).map_err(|e| match e {
                         // A predicate whose column terms all cancel is a
                         // constant truth value — report it plainly.
-                        RelationError::EmptyFunction => RelationError::NotPolynomial(
-                            "predicate has no column terms".into(),
-                        ),
+                        RelationError::EmptyFunction => {
+                            RelationError::NotPolynomial("predicate has no column terms".into())
+                        }
                         other => other,
                     })?;
                 let q = {
@@ -684,7 +681,9 @@ mod tests {
                 .unwrap(),
             ExecutionResult::Rows(vec![1])
         );
-        assert!(db.execute("SELECT ID FROM consumption WHERE 1 <= 2").is_err());
+        assert!(db
+            .execute("SELECT ID FROM consumption WHERE 1 <= 2")
+            .is_err());
         assert!(db.execute("SELECT ID FROM nope WHERE active <= 1").is_err());
     }
 

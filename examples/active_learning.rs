@@ -29,8 +29,7 @@ fn main() {
     //    exactly through the Planar index.
     // ----------------------------------------------------------------
     let domain = ParameterDomain::uniform_continuous(4, 0.2, 5.0).expect("domain");
-    let mut learner =
-        ActiveLearner::new(pool.clone(), domain, 20, 150.0, truth).expect("learner");
+    let mut learner = ActiveLearner::new(pool.clone(), domain, 20, 150.0, truth).expect("learner");
     println!("\nround  labels  accuracy  pool_touched");
     let reports = learner.run(30, 5).expect("run");
     for r in reports.iter().filter(|r| r.round % 5 == 0 || r.round == 1) {

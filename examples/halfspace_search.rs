@@ -7,9 +7,7 @@
 //! ```
 
 use planar::planar_core::halfspace::{HalfSpace, HalfSpaceIndex};
-use planar::planar_core::{
-    AdaptiveConfig, AdaptivePlanarIndexSet, ConjunctionQuery, VecStore,
-};
+use planar::planar_core::{AdaptiveConfig, AdaptivePlanarIndexSet, ConjunctionQuery, VecStore};
 use planar::planar_datagen::drift::DriftingWorkload;
 use planar::planar_datagen::synthetic::{SyntheticConfig, SyntheticKind};
 use planar::prelude::*;
@@ -90,7 +88,11 @@ fn main() {
         let mut pruning = 0.0;
         for _ in 0..40 {
             let q = drift.next_query();
-            pruning += adaptive.query(&q).expect("query").stats.pruning_percentage();
+            pruning += adaptive
+                .query(&q)
+                .expect("query")
+                .stats
+                .pruning_percentage();
         }
         println!(
             "  window {window}: {:5.1}% pruned   (retunes so far: {})",

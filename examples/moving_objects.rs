@@ -33,9 +33,14 @@ fn main() {
     println!("== linear x linear ({n} x {n} objects) ==");
     let a = workload::linear_objects(n, 1000.0, 1);
     let b = workload::linear_objects(n, 1000.0, 2);
-    let (idx, build_ms) =
-        timed(|| LinearIntersectionIndex::<VecStore>::build(a.clone(), b.clone(), &INSTANTS).unwrap());
-    println!("index over {} pairs built in {:.1}s", idx.pairs(), build_ms / 1e3);
+    let (idx, build_ms) = timed(|| {
+        LinearIntersectionIndex::<VecStore>::build(a.clone(), b.clone(), &INSTANTS).unwrap()
+    });
+    println!(
+        "index over {} pairs built in {:.1}s",
+        idx.pairs(),
+        build_ms / 1e3
+    );
     for t in [12.0, 12.5] {
         let ((pairs, stats), planar_ms) = timed(|| idx.query(t, 10.0).unwrap());
         let (base, base_ms) = timed(|| baseline::linear_pairs_within(&a, &b, t, 10.0));
@@ -57,8 +62,9 @@ fn main() {
     println!("\n== circular x linear ({n} x {n} objects) ==");
     let circles = workload::circular_objects(n, 3);
     let lines = workload::linear_objects(n, 100.0, 4);
-    let (idx, build_ms) =
-        timed(|| CircularIntersectionIndex::<VecStore>::build(&circles, &lines, &INSTANTS).unwrap());
+    let (idx, build_ms) = timed(|| {
+        CircularIntersectionIndex::<VecStore>::build(&circles, &lines, &INSTANTS).unwrap()
+    });
     println!("per-object indexes built in {:.1}s", build_ms / 1e3);
     for t in [12.0, 12.5] {
         let ((pairs, stats), planar_ms) = timed(|| idx.query(t, 10.0).unwrap());

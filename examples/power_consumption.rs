@@ -30,7 +30,11 @@ fn main() {
             .insert(&[h.active, h.reactive, h.voltage, h.current])
             .expect("insert");
     }
-    println!("Consumption relation: {} rows x {} columns", relation.len(), 4);
+    println!(
+        "Consumption relation: {} rows x {} columns",
+        relation.len(),
+        4
+    );
 
     // ----------------------------------------------------------------
     // 2. Declare the function's indexable skeleton:
@@ -60,7 +64,10 @@ fn main() {
     // 3. Call the function with run-time thresholds and compare against
     //    the sequential-scan baseline.
     // ----------------------------------------------------------------
-    println!("\n{:>9}  {:>9}  {:>10}  {:>11}  {:>8}", "threshold", "matches", "planar_ms", "baseline_ms", "speedup");
+    println!(
+        "\n{:>9}  {:>9}  {:>10}  {:>11}  {:>8}",
+        "threshold", "matches", "planar_ms", "baseline_ms", "speedup"
+    );
     for threshold in [0.2, 0.35, 0.5, 0.65, 0.8, 0.95] {
         let start = Instant::now();
         let fast = index.call(&[threshold]).expect("call");

@@ -29,7 +29,11 @@ fn main() {
     let table = phi
         .map_all(raw.iter().map(|p| p.as_slice()))
         .expect("finite features");
-    println!("indexed {} points, φ dimension {}", table.len(), table.dim());
+    println!(
+        "indexed {} points, φ dimension {}",
+        table.len(),
+        table.dim()
+    );
 
     // ----------------------------------------------------------------
     // 2. Declare what is known ahead of time: the DOMAINS of the query

@@ -78,9 +78,7 @@ fn main() {
     // ----------------------------------------------------------------
     let w = exponential_weights(0.5, WINDOW);
     let q = InequalityQuery::leq(w.clone(), 80.0).expect("query");
-    let top = set
-        .top_k(&TopKQuery::new(q, 5).expect("k"))
-        .expect("top_k");
+    let top = set.top_k(&TopKQuery::new(q, 5).expect("k")).expect("top_k");
     println!("\nwatchlist: five below-threshold series nearest the 80.0 alert line (λ=0.5):");
     for (id, dist) in &top.neighbors {
         let forecast: f64 = w
@@ -106,5 +104,7 @@ fn main() {
     set.update_point(0, &spiked).expect("update");
     let q = InequalityQuery::geq(exponential_weights(0.9, WINDOW), 120.0).expect("query");
     assert!(set.query(&q).expect("query").sorted_ids().contains(&0));
-    println!("\nafter a spike observation, series 0 trips the λ=0.9 / 120.0 alert — no rebuild needed");
+    println!(
+        "\nafter a spike observation, series 0 trips the λ=0.9 / 120.0 alert — no rebuild needed"
+    );
 }

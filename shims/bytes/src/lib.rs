@@ -1,0 +1,277 @@
+//! Workspace-local stand-in for the `bytes` crate.
+//!
+//! The build environment has no access to crates.io, so this crate provides
+//! the small subset of the bytes 1.x API the workspace uses for index
+//! persistence: [`Bytes`], [`BytesMut`], and the [`Buf`] / [`BufMut`]
+//! accessor traits (little-endian integer and float put/get, slices, and a
+//! consuming cursor).
+//!
+//! Unlike upstream `bytes` there is no zero-copy reference counting:
+//! [`Bytes`] owns a plain `Vec<u8>` plus a read cursor. That is entirely
+//! adequate for serialize-to-file / deserialize-from-file workloads.
+
+#![warn(missing_docs)]
+
+use std::ops::Deref;
+
+/// An immutable byte buffer with a consuming read cursor.
+///
+/// `Deref`/`AsRef` expose the *remaining* (unread) bytes, matching upstream
+/// `bytes` semantics where `get_*` calls advance the view.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct Bytes {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Copy `data` into a new owned buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Self {
+            data: data.to_vec(),
+            pos: 0,
+        }
+    }
+
+    /// The remaining bytes as a slice.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+
+    /// Number of remaining bytes.
+    pub fn len(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// `true` if no bytes remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copy the remaining bytes into a fresh `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Self { data, pos: 0 }
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Bytes({} bytes remaining)", self.len())
+    }
+}
+
+/// A growable byte buffer for serialization.
+#[derive(Clone, Default, Debug, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty buffer with `cap` bytes reserved.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Convert into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes {
+            data: self.data,
+            pos: 0,
+        }
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+/// Read access to a buffer of bytes, consuming from the front.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// Consume `n` bytes, returning them as a slice view is not supported;
+    /// implementations advance an internal cursor.
+    fn advance(&mut self, n: usize);
+
+    /// The unread bytes.
+    fn chunk(&self) -> &[u8];
+
+    /// Copy `dst.len()` bytes into `dst`, consuming them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `dst.len()` bytes remain.
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(self.remaining() >= dst.len(), "buffer underflow");
+        dst.copy_from_slice(&self.chunk()[..dst.len()]);
+        self.advance(dst.len());
+    }
+
+    /// Consume one byte.
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+
+    /// Consume a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_le_bytes(b)
+    }
+
+    /// Consume a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Consume a little-endian `f64`.
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_bits(self.get_u64_le())
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn advance(&mut self, n: usize) {
+        assert!(n <= self.len(), "cannot advance past end of buffer");
+        self.pos += n;
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+/// Write access to a growable byte buffer.
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Append a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `f64`.
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_u64_le(v.to_bits());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_accessors() {
+        let mut buf = BytesMut::with_capacity(64);
+        buf.put_u8(0xAB);
+        buf.put_u32_le(0xDEAD_BEEF);
+        buf.put_u64_le(0x0123_4567_89AB_CDEF);
+        buf.put_f64_le(-1.5);
+        buf.put_slice(b"tail");
+        let mut bytes = buf.freeze();
+
+        assert_eq!(bytes.remaining(), 1 + 4 + 8 + 8 + 4);
+        assert_eq!(bytes.get_u8(), 0xAB);
+        assert_eq!(bytes.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(bytes.get_u64_le(), 0x0123_4567_89AB_CDEF);
+        assert_eq!(bytes.get_f64_le(), -1.5);
+        let mut tail = [0u8; 4];
+        bytes.copy_to_slice(&mut tail);
+        assert_eq!(&tail, b"tail");
+        assert_eq!(bytes.remaining(), 0);
+    }
+
+    #[test]
+    fn deref_tracks_cursor() {
+        let mut bytes = Bytes::copy_from_slice(&[1, 2, 3, 4]);
+        assert_eq!(&bytes[..], &[1, 2, 3, 4]);
+        assert_eq!(bytes.get_u8(), 1);
+        assert_eq!(&bytes[..], &[2, 3, 4]);
+        assert_eq!(bytes.to_vec(), vec![2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer underflow")]
+    fn underflow_panics() {
+        let mut bytes = Bytes::copy_from_slice(&[1]);
+        bytes.get_u32_le();
+    }
+}

@@ -1,0 +1,311 @@
+//! Workspace-local stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this crate provides
+//! the subset of the criterion 0.x API the workspace's benches use:
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`] /
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], [`Throughput`],
+//! and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement is a plain wall-clock sampler: per benchmark it warms up,
+//! calibrates an iteration batch to a minimum sample duration, collects
+//! `sample_size` samples, and prints mean / min / max (plus element
+//! throughput when declared). No statistics engine, no HTML reports.
+//!
+//! Like upstream criterion, when the binary is executed **without** the
+//! `--bench` flag (e.g. by `cargo test`, which runs `harness = false` bench
+//! targets directly) every benchmark body runs exactly once as a smoke
+//! test and no timing is collected.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    quick: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench` passes `--bench`; `cargo test` does not.
+        let quick = !std::env::args().any(|a| a == "--bench");
+        Self { quick }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let quick = self.quick;
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+            quick,
+        }
+    }
+
+    /// Benchmark a single function outside any group.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut group = self.benchmark_group(name.to_string());
+        let quick = group.quick;
+        group.run_one(name.to_string(), quick, f);
+        group.finish();
+        self
+    }
+}
+
+/// Declared per-iteration work, used to report throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter value.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// An id that is just a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        Self { id }
+    }
+}
+
+/// A named group of benchmarks sharing sample-size / throughput settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    quick: bool,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timing samples per benchmark (ignored in quick mode).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declare per-iteration work for throughput reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmark `f`.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into().id);
+        let quick = self.quick;
+        self.run_one(full, quick, f);
+        self
+    }
+
+    /// Benchmark `f` against a borrowed input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into().id);
+        let quick = self.quick;
+        self.run_one(full, quick, |b| f(b, input));
+        self
+    }
+
+    /// Finish the group (upstream flushes reports here; a no-op for us).
+    pub fn finish(self) {}
+
+    fn run_one(&mut self, label: String, quick: bool, mut f: impl FnMut(&mut Bencher)) {
+        if quick {
+            let mut b = Bencher {
+                mode: Mode::Once,
+                iters: 1,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            println!("{label}: ok (smoke run)");
+            return;
+        }
+
+        // Calibrate: grow the per-sample iteration count until one sample
+        // takes at least ~20ms (or a single iteration already does).
+        let mut iters: u64 = 1;
+        loop {
+            let mut b = Bencher {
+                mode: Mode::Measure,
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            if b.elapsed >= Duration::from_millis(20) || iters >= 1 << 20 {
+                break;
+            }
+            iters = iters.saturating_mul(2);
+        }
+
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                mode: Mode::Measure,
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            samples.push(b.elapsed.as_secs_f64() / iters as f64);
+        }
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().cloned().fold(0.0_f64, f64::max);
+        let mut line = format!(
+            "{label}: mean {} [min {}, max {}] ({} samples x {} iters)",
+            fmt_time(mean),
+            fmt_time(min),
+            fmt_time(max),
+            samples.len(),
+            iters,
+        );
+        if let Some(Throughput::Elements(n)) = self.throughput {
+            line.push_str(&format!(", {:.0} elem/s", n as f64 / mean));
+        }
+        if let Some(Throughput::Bytes(n)) = self.throughput {
+            line.push_str(&format!(", {:.0} B/s", n as f64 / mean));
+        }
+        println!("{line}");
+    }
+}
+
+enum Mode {
+    Once,
+    Measure,
+}
+
+/// Passed to each benchmark body; call [`Bencher::iter`] with the code to
+/// time.
+pub struct Bencher {
+    mode: Mode,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `f` (or run it once in smoke mode).
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        match self.mode {
+            Mode::Once => {
+                black_box(f());
+            }
+            Mode::Measure => {
+                let start = Instant::now();
+                for _ in 0..self.iters {
+                    black_box(f());
+                }
+                self.elapsed = start.elapsed();
+            }
+        }
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} us", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `main()` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_mode_runs_each_body_once() {
+        let mut c = Criterion { quick: true };
+        let mut group = c.benchmark_group("g");
+        let mut runs = 0;
+        group.bench_function(BenchmarkId::new("f", 1), |b| {
+            b.iter(|| {
+                runs += 1;
+            });
+        });
+        group.finish();
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn measure_mode_times_samples() {
+        let mut c = Criterion { quick: false };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        let mut total = 0u64;
+        group.bench_with_input(BenchmarkId::from_parameter("p"), &7u64, |b, &x| {
+            b.iter(|| {
+                total = total.wrapping_add(x);
+                black_box(total)
+            });
+        });
+        group.finish();
+        assert!(total > 0);
+    }
+}

@@ -1,0 +1,480 @@
+//! Workspace-local stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this crate provides
+//! the subset of the proptest 1.x API the workspace's property tests use:
+//! the [`Strategy`] trait with `prop_map`/`prop_flat_map`, range/tuple/
+//! collection strategies, [`Just`], [`any`], weighted unions, and the
+//! `proptest!` / `prop_compose!` / `prop_oneof!` / `prop_assert*!` macros.
+//!
+//! Differences from upstream, deliberately accepted:
+//! - **No shrinking.** A failing case reports its inputs via the ordinary
+//!   panic message (values appear in `prop_assert!` format args), but is not
+//!   minimized.
+//! - **Derived seeding.** Each test's RNG seed is derived from the test name
+//!   (stable across runs); set `PROPTEST_SEED=<u64>` to perturb all streams
+//!   at once when hunting for new counterexamples.
+//! - `ProptestConfig` carries only `cases`.
+
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+pub mod test_runner;
+
+use rand::Rng as _;
+use test_runner::TestRng;
+
+/// A generator of values of type [`Strategy::Value`].
+///
+/// Unlike upstream proptest this is a plain sampler — no value trees, no
+/// shrinking — which keeps the trait object-safe enough to box.
+pub trait Strategy {
+    /// The type of values this strategy generates.
+    type Value;
+
+    /// Draw one value.
+    fn sample_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generate a value, then generate from the strategy `f` builds from it.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Type-erase this strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(move |rng| self.sample_value(rng)))
+    }
+}
+
+/// A strategy that always yields a clone of its value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn sample_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample_value(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+
+    fn sample_value(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.sample_value(rng)).sample_value(rng)
+    }
+}
+
+/// A type-erased strategy (see [`Strategy::boxed`]).
+pub struct BoxedStrategy<T>(Box<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn sample_value(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// A strategy built from a plain sampling closure. Used by the
+/// `prop_compose!` expansion; also handy directly.
+#[derive(Debug, Clone)]
+pub struct FnStrategy<F>(pub F);
+
+impl<T, F: Fn(&mut TestRng) -> T> Strategy for FnStrategy<F> {
+    type Value = T;
+
+    fn sample_value(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// A weighted choice among boxed strategies (the `prop_oneof!` backend).
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+}
+
+impl<T> Union<T> {
+    /// Build from `(weight, strategy)` arms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arms` is empty or all weights are zero.
+    pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        let total: u64 = arms.iter().map(|(w, _)| u64::from(*w)).sum();
+        assert!(total > 0, "prop_oneof! needs at least one positive weight");
+        Self { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn sample_value(&self, rng: &mut TestRng) -> T {
+        let total: u64 = self.arms.iter().map(|(w, _)| u64::from(*w)).sum();
+        let mut pick = rng.random_range(0..total);
+        for (w, s) in &self.arms {
+            let w = u64::from(*w);
+            if pick < w {
+                return s.sample_value(rng);
+            }
+            pick -= w;
+        }
+        unreachable!("weighted pick out of range")
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample_value(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample_value(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($S:ident . $idx:tt),+) => {
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+            fn sample_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample_value(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(S0.0);
+impl_tuple_strategy!(S0.0, S1.1);
+impl_tuple_strategy!(S0.0, S1.1, S2.2);
+impl_tuple_strategy!(S0.0, S1.1, S2.2, S3.3);
+impl_tuple_strategy!(S0.0, S1.1, S2.2, S3.3, S4.4);
+impl_tuple_strategy!(S0.0, S1.1, S2.2, S3.3, S4.4, S5.5);
+impl_tuple_strategy!(S0.0, S1.1, S2.2, S3.3, S4.4, S5.5, S6.6);
+impl_tuple_strategy!(S0.0, S1.1, S2.2, S3.3, S4.4, S5.5, S6.6, S7.7);
+impl_tuple_strategy!(S0.0, S1.1, S2.2, S3.3, S4.4, S5.5, S6.6, S7.7, S8.8);
+impl_tuple_strategy!(S0.0, S1.1, S2.2, S3.3, S4.4, S5.5, S6.6, S7.7, S8.8, S9.9);
+
+/// The standard ("arbitrary") strategy for `T` — uniform over the type's
+/// value space. See [`any`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: rand::StandardSample> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample_value(&self, rng: &mut TestRng) -> T {
+        rng.random()
+    }
+}
+
+/// The `any::<T>()` entry point: the standard strategy for `T`.
+pub fn any<T: rand::StandardSample>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng as _;
+    use std::ops::{Range, RangeInclusive};
+
+    /// An inclusive size bound for generated collections.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { lo: n, hi: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            Self {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty collection size range");
+            Self {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with lengths drawn from a [`SizeRange`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.random_range(self.size.lo..=self.size.hi);
+            (0..len).map(|_| self.element.sample_value(rng)).collect()
+        }
+    }
+
+    /// A vector of `size` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// Namespace mirror so `prop::collection::vec(...)` works after a prelude
+/// glob import, as in upstream proptest.
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// Everything a property-test file needs in scope.
+pub mod prelude {
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_compose, prop_oneof, proptest,
+        BoxedStrategy, Just, Strategy,
+    };
+}
+
+/// Assert inside a property test (alias for `assert!`; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Assert equality inside a property test (alias for `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Assert inequality inside a property test (alias for `assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// A (possibly weighted) choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $((($weight) as u32, $crate::Strategy::boxed($strat)),)+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $((1u32, $crate::Strategy::boxed($strat)),)+
+        ])
+    };
+}
+
+/// Define a function returning a composite strategy. Supports the one- and
+/// two-binding-group forms of the upstream macro.
+#[macro_export]
+macro_rules! prop_compose {
+    ($(#[$meta:meta])*
+     $vis:vis fn $name:ident($($fnargs:tt)*)
+        ($($pat1:pat in $strat1:expr),+ $(,)?)
+        ($($pat2:pat in $strat2:expr),+ $(,)?)
+      -> $out:ty $body:block
+    ) => {
+        $(#[$meta])*
+        $vis fn $name($($fnargs)*) -> impl $crate::Strategy<Value = $out> {
+            $crate::FnStrategy(move |rng: &mut $crate::test_runner::TestRng| {
+                $(let $pat1 = $crate::Strategy::sample_value(&($strat1), rng);)+
+                $(let $pat2 = $crate::Strategy::sample_value(&($strat2), rng);)+
+                $body
+            })
+        }
+    };
+    ($(#[$meta:meta])*
+     $vis:vis fn $name:ident($($fnargs:tt)*)
+        ($($pat1:pat in $strat1:expr),+ $(,)?)
+      -> $out:ty $body:block
+    ) => {
+        $(#[$meta])*
+        $vis fn $name($($fnargs)*) -> impl $crate::Strategy<Value = $out> {
+            $crate::FnStrategy(move |rng: &mut $crate::test_runner::TestRng| {
+                $(let $pat1 = $crate::Strategy::sample_value(&($strat1), rng);)+
+                $body
+            })
+        }
+    };
+}
+
+/// Run each contained `fn(bindings in strategies) { body }` as a `#[test]`
+/// over `Config::cases` sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (@impl ($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $cfg;
+                let mut rng =
+                    $crate::test_runner::TestRng::for_test(::core::stringify!($name));
+                for _case in 0..config.cases {
+                    $(let $pat = $crate::Strategy::sample_value(&($strat), &mut rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($cfg); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(
+            @impl (<$crate::test_runner::Config as ::core::default::Default>::default());
+            $($rest)*
+        );
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    fn small() -> impl Strategy<Value = f64> {
+        prop_oneof![
+            4 => -10.0..10.0_f64,
+            1 => Just(0.0),
+        ]
+    }
+
+    prop_compose! {
+        fn sized_rows()(n in 1..=4usize)(
+            n in Just(n),
+            rows in prop::collection::vec(prop::collection::vec(small(), n), 1..5),
+        ) -> (usize, Vec<Vec<f64>>) {
+            (n, rows)
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn rows_have_declared_width((n, rows) in sized_rows()) {
+            prop_assert!(!rows.is_empty());
+            for r in &rows {
+                prop_assert_eq!(r.len(), n);
+            }
+        }
+
+        #[test]
+        fn flat_map_threads_the_bound_value(
+            (d, v) in (2..=6usize).prop_flat_map(|d| (
+                Just(d),
+                prop::collection::vec(0.0..1.0_f64, d),
+            )),
+        ) {
+            prop_assert_eq!(v.len(), d);
+        }
+
+        #[test]
+        fn any_and_tuples_work(
+            flags in prop::collection::vec((0..3u8, any::<bool>(), any::<u16>()), 1..8),
+        ) {
+            for (op, _b, _u) in &flags {
+                prop_assert!(*op < 3);
+            }
+        }
+    }
+
+    #[test]
+    fn streams_are_deterministic_per_test_name() {
+        let mut a = TestRng::for_test("alpha");
+        let mut b = TestRng::for_test("alpha");
+        let s = 0.0..1.0_f64;
+        for _ in 0..32 {
+            assert_eq!(
+                s.sample_value(&mut a).to_bits(),
+                s.sample_value(&mut b).to_bits()
+            );
+        }
+        let mut c = TestRng::for_test("beta");
+        assert_ne!(
+            s.sample_value(&mut a).to_bits(),
+            s.sample_value(&mut c).to_bits()
+        );
+    }
+}

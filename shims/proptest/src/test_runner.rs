@@ -1,0 +1,57 @@
+//! Test configuration and the per-test RNG.
+
+pub use rand::{Rng, RngCore, SeedableRng};
+
+/// Number of sampled cases per property test.
+///
+/// Upstream proptest carries many more knobs; the workspace only ever sets
+/// `cases`.
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// How many random cases each property test runs.
+    pub cases: u32,
+}
+
+impl Config {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// The RNG driving a single property test.
+///
+/// Seeded from an FNV-1a hash of the test name, so each test gets an
+/// independent but run-to-run stable stream. Set `PROPTEST_SEED=<u64>` to
+/// perturb every stream at once.
+#[derive(Debug, Clone)]
+pub struct TestRng(rand::rngs::StdRng);
+
+impl TestRng {
+    /// The RNG for the named test.
+    pub fn for_test(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        if let Ok(seed) = std::env::var("PROPTEST_SEED") {
+            if let Ok(v) = seed.parse::<u64>() {
+                h ^= v;
+            }
+        }
+        Self(rand::rngs::StdRng::seed_from_u64(h))
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}

@@ -20,6 +20,7 @@
 //! Runnable walkthroughs live in `examples/`:
 //!
 //! * `quickstart` — index a small dataset and run both query kinds;
+//! * `parallel_batch` — batched queries sharded over worker threads;
 //! * `power_consumption` — the Critical_Consume SQL function end to end;
 //! * `moving_objects` — intersections of linear/circular/accelerating
 //!   objects;
@@ -40,9 +41,9 @@ pub use planar_relation;
 /// The types most programs need.
 pub mod prelude {
     pub use planar_core::{
-        Cmp, Domain, DynamicPlanarIndexSet, FeatureMap, FeatureTable, FnFeatureMap, IdentityMap,
-        IndexConfig, InequalityQuery, ParameterDomain, PlanarIndexSet, SelectionStrategy, SeqScan,
-        TopKQuery,
+        Cmp, Domain, DynamicPlanarIndexSet, ExecutionConfig, FeatureMap, FeatureTable,
+        FnFeatureMap, IdentityMap, IndexConfig, InequalityQuery, ParameterDomain, PlanarIndexSet,
+        QueryScratch, SelectionStrategy, SeqScan, TopKQuery,
     };
     pub use planar_geom::{Hyperplane, Normalizer, Octant, Vector};
 }

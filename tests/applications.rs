@@ -60,7 +60,9 @@ fn all_three_motion_models_agree_with_baseline_and_each_other() {
         let (got, _) = accelerating.query(t, 12.0).expect("accelerating query");
         assert_eq!(
             sorted(got),
-            sorted(baseline::accelerating_pairs_within(&accel, &lines3, t, 12.0)),
+            sorted(baseline::accelerating_pairs_within(
+                &accel, &lines3, t, 12.0
+            )),
             "accelerating t={t}"
         );
     }
@@ -149,8 +151,14 @@ fn sql_function_pipeline_with_parsed_expressions() {
     }
     // f(p) := a·b + c² ≥ p·10
     let index = FunctionSpec::new()
-        .axis(Expr::parse("a * b", &schema).expect("expr"), Coef::constant(1.0))
-        .axis(Expr::parse("c ^ 2", &schema).expect("expr"), Coef::constant(1.0))
+        .axis(
+            Expr::parse("a * b", &schema).expect("expr"),
+            Coef::constant(1.0),
+        )
+        .axis(
+            Expr::parse("c ^ 2", &schema).expect("expr"),
+            Coef::constant(1.0),
+        )
         .cmp(Cmp::Geq)
         .offset_param(0, 10.0)
         .build(&rel, 8)

@@ -98,12 +98,9 @@ fn dynamic_workload_over_synthetic_data() {
     let table = SyntheticConfig::paper(SyntheticKind::Correlated, 2_000, 4).generate();
     let rows: Vec<Vec<f64>> = table.iter().map(|(_, r)| r.to_vec()).collect();
     let initial = FeatureTable::from_rows(4, rows[..1_000].to_vec()).expect("table");
-    let mut set: DynamicPlanarIndexSet = PlanarIndexSet::build(
-        initial,
-        eq18_domain(4, 4),
-        IndexConfig::with_budget(10),
-    )
-    .expect("build");
+    let mut set: DynamicPlanarIndexSet =
+        PlanarIndexSet::build(initial, eq18_domain(4, 4), IndexConfig::with_budget(10))
+            .expect("build");
     for row in &rows[1_000..] {
         set.insert_point(row).expect("insert");
     }
@@ -112,7 +109,8 @@ fn dynamic_workload_over_synthetic_data() {
     }
     for id in (1..2_000u32).step_by(41) {
         if id % 37 != 0 {
-            set.update_point(id, &[50.0, 50.0, 50.0, 50.0]).expect("update");
+            set.update_point(id, &[50.0, 50.0, 50.0, 50.0])
+                .expect("update");
         }
     }
     let mut generator = Eq18Generator::new(set.table(), 4, 23);

@@ -42,12 +42,9 @@ fn corollary1_parallel_index_zero_intermediate() {
 #[test]
 fn rq2_dim6_full_coverage_gives_total_pruning() {
     let table = SyntheticConfig::paper(SyntheticKind::Independent, 20_000, 6).generate();
-    let set: PlanarIndexSet = PlanarIndexSet::build(
-        table,
-        eq18_domain(6, 2),
-        IndexConfig::with_budget(100),
-    )
-    .expect("build");
+    let set: PlanarIndexSet =
+        PlanarIndexSet::build(table, eq18_domain(6, 2), IndexConfig::with_budget(100))
+            .expect("build");
     assert!(
         set.num_indices() <= 64,
         "dedup must cap indices at the 2^6 distinct normals (got {})",
@@ -71,12 +68,9 @@ fn anticorrelated_data_has_larger_intermediate_intervals() {
     let mut mean_ii = Vec::new();
     for kind in [SyntheticKind::Independent, SyntheticKind::AntiCorrelated] {
         let table = SyntheticConfig::paper(kind, 20_000, 6).generate();
-        let set: PlanarIndexSet = PlanarIndexSet::build(
-            table,
-            eq18_domain(6, 8),
-            IndexConfig::with_budget(10),
-        )
-        .expect("build");
+        let set: PlanarIndexSet =
+            PlanarIndexSet::build(table, eq18_domain(6, 8), IndexConfig::with_budget(10))
+                .expect("build");
         let mut generator = Eq18Generator::new(set.table(), 8, 4);
         let total: usize = generator
             .queries(25)
@@ -99,16 +93,12 @@ fn anticorrelated_data_has_larger_intermediate_intervals() {
 #[test]
 fn verification_load_is_unimodal_in_inequality_parameter() {
     let table = SyntheticConfig::paper(SyntheticKind::Independent, 20_000, 6).generate();
-    let set: PlanarIndexSet = PlanarIndexSet::build(
-        table,
-        eq18_domain(6, 4),
-        IndexConfig::with_budget(100),
-    )
-    .expect("build");
+    let set: PlanarIndexSet =
+        PlanarIndexSet::build(table, eq18_domain(6, 4), IndexConfig::with_budget(100))
+            .expect("build");
     let mut by_s = Vec::new();
     for s in [0.05, 0.5, 1.2] {
-        let mut generator =
-            Eq18Generator::new(set.table(), 4, 31).with_inequality_parameter(s);
+        let mut generator = Eq18Generator::new(set.table(), 4, 31).with_inequality_parameter(s);
         let total: usize = generator
             .queries(20)
             .iter()
@@ -116,8 +106,14 @@ fn verification_load_is_unimodal_in_inequality_parameter() {
             .sum();
         by_s.push(total);
     }
-    assert!(by_s[1] > by_s[0], "mid threshold should verify more: {by_s:?}");
-    assert!(by_s[1] > by_s[2], "extreme threshold should verify less: {by_s:?}");
+    assert!(
+        by_s[1] > by_s[0],
+        "mid threshold should verify more: {by_s:?}"
+    );
+    assert!(
+        by_s[1] > by_s[2],
+        "extreme threshold should verify less: {by_s:?}"
+    );
 }
 
 /// Fig. 11 selectivity: the fraction of matching points grows monotonically
@@ -126,12 +122,9 @@ fn verification_load_is_unimodal_in_inequality_parameter() {
 fn selectivity_grows_with_inequality_parameter() {
     let table = SyntheticConfig::paper(SyntheticKind::Correlated, 10_000, 6).generate();
     let n = table.len();
-    let set: PlanarIndexSet = PlanarIndexSet::build(
-        table,
-        eq18_domain(6, 4),
-        IndexConfig::with_budget(20),
-    )
-    .expect("build");
+    let set: PlanarIndexSet =
+        PlanarIndexSet::build(table, eq18_domain(6, 4), IndexConfig::with_budget(20))
+            .expect("build");
     let mut previous = 0usize;
     for s in [0.1, 0.25, 0.5, 0.75, 1.0] {
         let mut generator = Eq18Generator::new(set.table(), 1, 8).with_inequality_parameter(s);
@@ -149,12 +142,9 @@ fn selectivity_grows_with_inequality_parameter() {
 #[test]
 fn topk_checked_points_grow_sublinearly_with_k() {
     let table = SyntheticConfig::paper(SyntheticKind::Independent, 20_000, 6).generate();
-    let set: PlanarIndexSet = PlanarIndexSet::build(
-        table,
-        eq18_domain(6, 4),
-        IndexConfig::with_budget(100),
-    )
-    .expect("build");
+    let set: PlanarIndexSet =
+        PlanarIndexSet::build(table, eq18_domain(6, 4), IndexConfig::with_budget(100))
+            .expect("build");
     let mut generator = Eq18Generator::new(set.table(), 4, 2);
     let q = generator.next_query();
     let mut checked = Vec::new();
@@ -164,5 +154,8 @@ fn topk_checked_points_grow_sublinearly_with_k() {
     }
     // 400x more results must cost far less than 400x more checks.
     assert!(checked[2] < checked[0] * 50 + 400, "{checked:?}");
-    assert!(checked[0] <= checked[1] && checked[1] <= checked[2], "{checked:?}");
+    assert!(
+        checked[0] <= checked[1] && checked[1] <= checked[2],
+        "{checked:?}"
+    );
 }
