@@ -2,6 +2,7 @@
 
 pub mod ablation;
 pub mod extensions;
+pub mod fault;
 pub mod movingobj;
 pub mod parallel;
 pub mod realworld;
@@ -143,6 +144,12 @@ pub fn registry() -> Vec<Experiment> {
             description:
                 "parallel engine: build & batch-query speedup vs threads (BENCH_parallel.json)",
             run: parallel::parallel_engine,
+        },
+        Experiment {
+            name: "fault",
+            description:
+                "fault tolerance: recovery vs cold rebuild, degraded vs healthy serving (BENCH_fault.json)",
+            run: fault::fault,
         },
         Experiment {
             name: "ablation-selection",

@@ -1,0 +1,469 @@
+//! Fault injection for the index lifecycle.
+//!
+//! Production indices meet three failure classes the algorithms themselves
+//! never produce: **storage corruption** (flipped bits, truncated files),
+//! **transient IO failures** (full disks, interrupted writes), and
+//! **poisoned queries** (a panic inside a batch worker). This module makes
+//! all three injectable deterministically so `crate::persist` and
+//! `crate::parallel` can be tested against explicit fault schedules:
+//!
+//! * [`Corruption`] — pure byte-level mutations (truncate-at-byte-k,
+//!   bit-flip-at-offset) applied to serialized snapshots;
+//! * [`SnapshotIo`] — the IO seam behind [`save_to`] with a production
+//!   implementation ([`StdIo`]) and a scripted one ([`FaultyIo`]) that can
+//!   fail the n-th write, crash mid-save, or corrupt bytes silently;
+//! * [`arm_query_panic`] — a trigger that panics inside query execution for
+//!   a sentinel query, exercising the batch engine's panic isolation.
+//!
+//! [`save_to`]: crate::multi::PlanarIndexSet::save_to
+//!
+//! Every schedule is deterministic: the same faults in the same order
+//! produce the same observable outcome, which is what the fault-injection
+//! proptests rely on to shrink-by-reseed.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read as _, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Byte-granular chunk size for [`SnapshotIo::write_file`] implementations
+/// that count writes: "fail the 3rd write" means the 3rd 4 KiB chunk.
+pub const WRITE_CHUNK: usize = 4096;
+
+/// A deterministic byte-level corruption of a serialized snapshot.
+///
+/// These model what a crashed writer, a bad disk, or a truncating copy does
+/// to bytes at rest; apply them with [`Corruption::apply`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Corruption {
+    /// Keep only the first `len` bytes (torn write / partial download).
+    TruncateAt(usize),
+    /// Flip bit `bit` (0–7) of the byte at `offset` (silent media error).
+    BitFlip {
+        /// Byte offset of the corrupted byte.
+        offset: usize,
+        /// Which bit of that byte flips.
+        bit: u8,
+    },
+    /// Overwrite `len` bytes starting at `offset` with zeros (bad sector).
+    ZeroRange {
+        /// First byte of the zeroed range.
+        offset: usize,
+        /// Length of the zeroed range.
+        len: usize,
+    },
+}
+
+impl Corruption {
+    /// Apply this corruption to `bytes` in place. Out-of-range offsets
+    /// saturate to the buffer (so schedules never panic on short inputs).
+    pub fn apply(&self, bytes: &mut Vec<u8>) {
+        match *self {
+            Corruption::TruncateAt(len) => bytes.truncate(len),
+            Corruption::BitFlip { offset, bit } => {
+                if let Some(byte) = bytes.get_mut(offset) {
+                    *byte ^= 1u8 << (bit & 7);
+                }
+            }
+            Corruption::ZeroRange { offset, len } => {
+                let end = offset.saturating_add(len).min(bytes.len());
+                if offset < end {
+                    bytes[offset..end].fill(0);
+                }
+            }
+        }
+    }
+}
+
+/// The IO seam behind snapshot persistence.
+///
+/// [`crate::multi::PlanarIndexSet::save_to`] performs exactly three kinds of
+/// operations — write a whole temp file durably, rename it over the target,
+/// and remove stale temp files — so the seam is three methods. Production
+/// code uses [`StdIo`]; fault-injection tests substitute [`FaultyIo`].
+pub trait SnapshotIo {
+    /// Durably write `bytes` to `path`: create/truncate, write all bytes,
+    /// fsync.
+    fn write_file(&mut self, path: &Path, bytes: &[u8]) -> io::Result<()>;
+
+    /// Atomically rename `from` onto `to` (same directory).
+    fn rename(&mut self, from: &Path, to: &Path) -> io::Result<()>;
+
+    /// Remove a (temp) file; missing files are not an error for callers,
+    /// which ignore the result.
+    fn remove_file(&mut self, path: &Path) -> io::Result<()>;
+
+    /// Read a whole file.
+    fn read_file(&mut self, path: &Path) -> io::Result<Vec<u8>> {
+        let mut buf = Vec::new();
+        File::open(path)?.read_to_end(&mut buf)?;
+        Ok(buf)
+    }
+}
+
+/// The production [`SnapshotIo`]: `std::fs` with fsync on file and (best
+/// effort) parent directory, so a rename that returned `Ok` survives power
+/// loss on journaling filesystems.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StdIo;
+
+impl SnapshotIo for StdIo {
+    fn write_file(&mut self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let mut f = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        f.write_all(bytes)?;
+        f.sync_all()
+    }
+
+    fn rename(&mut self, from: &Path, to: &Path) -> io::Result<()> {
+        std::fs::rename(from, to)?;
+        // Durability of the rename itself: fsync the parent directory.
+        // Best-effort — not all platforms/filesystems allow directory opens.
+        if let Some(dir) = to.parent() {
+            if let Ok(d) = File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+        Ok(())
+    }
+
+    fn remove_file(&mut self, path: &Path) -> io::Result<()> {
+        std::fs::remove_file(path)
+    }
+}
+
+/// One entry of a [`FaultyIo`] schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoFault {
+    /// The `nth` (0-based) [`WRITE_CHUNK`] write across the IO's lifetime
+    /// fails once with `ErrorKind::Interrupted` — a transient error that a
+    /// bounded retry should absorb.
+    FailNthWrite(u64),
+    /// During the `nth` file write, persist only the first `keep` bytes,
+    /// then fail — a torn write. All later operations keep working.
+    TruncateWrite {
+        /// Which file-level write (0-based) is torn.
+        nth: u64,
+        /// How many bytes of it reach the disk.
+        keep: usize,
+    },
+    /// Flip one bit of the byte at `offset` in the `nth` file write, which
+    /// otherwise reports success — silent corruption below fsync.
+    CorruptWrite {
+        /// Which file-level write (0-based) is corrupted.
+        nth: u64,
+        /// Byte offset within the written buffer.
+        offset: usize,
+        /// Which bit of that byte flips.
+        bit: u8,
+    },
+    /// After `n` successful chunk writes the process "loses power": the
+    /// in-flight write fails and **every** subsequent operation (writes,
+    /// renames, removals) fails with `ErrorKind::Other`.
+    CrashAfterWrites(u64),
+    /// The `nth` (0-based) rename fails once with `ErrorKind::Interrupted`.
+    FailNthRename(u64),
+}
+
+/// A scripted [`SnapshotIo`] that perturbs real filesystem operations
+/// according to a deterministic fault schedule. Paths it touches are real
+/// files (point it at a temp dir), so load paths can be exercised on the
+/// exact bytes a faulty save left behind.
+#[derive(Debug)]
+pub struct FaultyIo {
+    faults: Vec<IoFault>,
+    inner: StdIo,
+    chunk_writes: u64,
+    file_writes: u64,
+    renames: u64,
+    crashed: bool,
+    fired: Vec<IoFault>,
+}
+
+impl FaultyIo {
+    /// An IO layer that will inject every fault in `faults` (each at the
+    /// point its counters select) and behave like [`StdIo`] otherwise.
+    pub fn new(faults: Vec<IoFault>) -> Self {
+        Self {
+            faults,
+            inner: StdIo,
+            chunk_writes: 0,
+            file_writes: 0,
+            renames: 0,
+            crashed: false,
+            fired: Vec::new(),
+        }
+    }
+
+    /// The faults that actually fired, in firing order.
+    pub fn fired(&self) -> &[IoFault] {
+        &self.fired
+    }
+
+    /// True once a [`IoFault::CrashAfterWrites`] has triggered: the
+    /// simulated machine is down and every operation fails.
+    pub fn is_crashed(&self) -> bool {
+        self.crashed
+    }
+
+    fn check_crashed(&self) -> io::Result<()> {
+        if self.crashed {
+            return Err(io::Error::other("injected: machine crashed"));
+        }
+        Ok(())
+    }
+}
+
+impl SnapshotIo for FaultyIo {
+    fn write_file(&mut self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        self.check_crashed()?;
+        let this_write = self.file_writes;
+        self.file_writes += 1;
+
+        // Silent corruption and torn writes rewrite the payload up front.
+        let mut payload = bytes.to_vec();
+        let mut torn = None;
+        for f in &self.faults {
+            match *f {
+                IoFault::CorruptWrite { nth, offset, bit } if nth == this_write => {
+                    Corruption::BitFlip { offset, bit }.apply(&mut payload);
+                    self.fired.push(*f);
+                }
+                IoFault::TruncateWrite { nth, keep } if nth == this_write => {
+                    torn = Some(keep);
+                    self.fired.push(*f);
+                }
+                _ => {}
+            }
+        }
+        if let Some(keep) = torn {
+            payload.truncate(keep);
+            self.inner.write_file(path, &payload)?;
+            return Err(io::Error::new(
+                io::ErrorKind::WriteZero,
+                "injected: torn write",
+            ));
+        }
+
+        // Chunked write so FailNthWrite / CrashAfterWrites have byte-level
+        // granularity: bytes before the failing chunk really land on disk.
+        let mut written = 0usize;
+        while written < payload.len() || (payload.is_empty() && written == 0) {
+            let fail_now = self.faults.iter().copied().find(|f| match *f {
+                IoFault::FailNthWrite(n) => {
+                    n == self.chunk_writes && !self.fired.contains(&IoFault::FailNthWrite(n))
+                }
+                IoFault::CrashAfterWrites(n) => n == self.chunk_writes,
+                _ => false,
+            });
+            if let Some(fault) = fail_now {
+                self.fired.push(fault);
+                self.inner.write_file(path, &payload[..written])?;
+                return match fault {
+                    IoFault::CrashAfterWrites(_) => {
+                        self.crashed = true;
+                        Err(io::Error::other("injected: crash during write"))
+                    }
+                    _ => Err(io::Error::new(
+                        io::ErrorKind::Interrupted,
+                        "injected: transient write failure",
+                    )),
+                };
+            }
+            let end = (written + WRITE_CHUNK).min(payload.len());
+            self.chunk_writes += 1;
+            written = end;
+            if payload.is_empty() {
+                break;
+            }
+        }
+        self.inner.write_file(path, &payload)
+    }
+
+    fn rename(&mut self, from: &Path, to: &Path) -> io::Result<()> {
+        self.check_crashed()?;
+        let this_rename = self.renames;
+        self.renames += 1;
+        if let Some(f) = self
+            .faults
+            .iter()
+            .copied()
+            .find(|f| matches!(*f, IoFault::FailNthRename(n) if n == this_rename))
+        {
+            if !self.fired.contains(&f) {
+                self.fired.push(f);
+                return Err(io::Error::new(
+                    io::ErrorKind::Interrupted,
+                    "injected: transient rename failure",
+                ));
+            }
+        }
+        self.inner.rename(from, to)
+    }
+
+    fn remove_file(&mut self, path: &Path) -> io::Result<()> {
+        self.check_crashed()?;
+        self.inner.remove_file(path)
+    }
+}
+
+/// A scratch directory for fault-injection tests that cleans up after
+/// itself, keeping schedules hermetic.
+#[derive(Debug)]
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    /// Create a fresh directory under the system temp dir, uniquified by
+    /// pid and a process-wide counter.
+    pub fn new(label: &str) -> io::Result<Self> {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let path = std::env::temp_dir().join(format!(
+            "planar_fault_{label}_{}_{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&path)?;
+        Ok(Self { path })
+    }
+
+    /// The directory path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// A file path inside the directory.
+    pub fn file(&self, name: &str) -> PathBuf {
+        self.path.join(name)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Poisoned-query trigger.
+// ---------------------------------------------------------------------------
+
+/// Disarmed sentinel: no finite query offset has NaN's bit pattern, and
+/// `InequalityQuery` rejects non-finite offsets, so the trigger can never
+/// fire while disarmed.
+const DISARMED: u64 = f64::NAN.to_bits();
+
+static PANIC_B_BITS: AtomicU64 = AtomicU64::new(DISARMED);
+
+/// Arm the poisoned-query trigger: any query whose offset `b` is
+/// bit-identical to `armed_b` panics inside execution. Used to test the
+/// batch engine's panic isolation (`catch_unwind` per query); pick a
+/// sentinel offset no legitimate query in the test uses.
+///
+/// The trigger is process-global — disarm it (see [`disarm_query_panic`])
+/// before running unrelated queries.
+pub fn arm_query_panic(armed_b: f64) {
+    PANIC_B_BITS.store(armed_b.to_bits(), Ordering::SeqCst);
+}
+
+/// Disarm the poisoned-query trigger.
+pub fn disarm_query_panic() {
+    PANIC_B_BITS.store(DISARMED, Ordering::SeqCst);
+}
+
+/// Called on the query execution path; panics iff the trigger is armed for
+/// exactly this offset.
+#[inline]
+pub(crate) fn maybe_inject_query_panic(b: f64) {
+    if PANIC_B_BITS.load(Ordering::Relaxed) == b.to_bits() {
+        panic!("injected fault: poisoned query (b = {b})");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corruption_is_deterministic_and_saturating() {
+        let mut a = vec![0xFFu8; 8];
+        Corruption::BitFlip { offset: 3, bit: 0 }.apply(&mut a);
+        assert_eq!(a[3], 0xFE);
+        Corruption::BitFlip {
+            offset: 100,
+            bit: 0,
+        }
+        .apply(&mut a); // out of range: no-op
+        Corruption::TruncateAt(4).apply(&mut a);
+        assert_eq!(a.len(), 4);
+        Corruption::ZeroRange { offset: 2, len: 99 }.apply(&mut a);
+        assert_eq!(a, vec![0xFF, 0xFF, 0, 0]);
+    }
+
+    #[test]
+    fn faulty_io_transient_write_fails_once_then_succeeds() {
+        let dir = TempDir::new("transient").unwrap();
+        let path = dir.file("x.bin");
+        let mut io = FaultyIo::new(vec![IoFault::FailNthWrite(0)]);
+        assert_eq!(
+            io.write_file(&path, &[1, 2, 3]).unwrap_err().kind(),
+            io::ErrorKind::Interrupted
+        );
+        io.write_file(&path, &[1, 2, 3]).unwrap();
+        assert_eq!(io.read_file(&path).unwrap(), vec![1, 2, 3]);
+        assert_eq!(io.fired(), &[IoFault::FailNthWrite(0)]);
+    }
+
+    #[test]
+    fn faulty_io_crash_stops_everything() {
+        let dir = TempDir::new("crash").unwrap();
+        let path = dir.file("x.bin");
+        let mut io = FaultyIo::new(vec![IoFault::CrashAfterWrites(0)]);
+        assert!(io.write_file(&path, &[9; 10]).is_err());
+        assert!(io.is_crashed());
+        assert!(io.write_file(&path, &[9; 10]).is_err());
+        assert!(io.rename(&path, &dir.file("y.bin")).is_err());
+        assert!(io.remove_file(&path).is_err());
+    }
+
+    #[test]
+    fn faulty_io_torn_write_persists_prefix() {
+        let dir = TempDir::new("torn").unwrap();
+        let path = dir.file("x.bin");
+        let mut io = FaultyIo::new(vec![IoFault::TruncateWrite { nth: 0, keep: 2 }]);
+        assert!(io.write_file(&path, &[7, 8, 9, 10]).is_err());
+        assert_eq!(io.read_file(&path).unwrap(), vec![7, 8]);
+        // Next write is clean.
+        io.write_file(&path, &[1]).unwrap();
+        assert_eq!(io.read_file(&path).unwrap(), vec![1]);
+    }
+
+    #[test]
+    fn faulty_io_silent_corruption_reports_success() {
+        let dir = TempDir::new("silent").unwrap();
+        let path = dir.file("x.bin");
+        let mut io = FaultyIo::new(vec![IoFault::CorruptWrite {
+            nth: 0,
+            offset: 1,
+            bit: 7,
+        }]);
+        io.write_file(&path, &[0, 0, 0]).unwrap();
+        assert_eq!(io.read_file(&path).unwrap(), vec![0, 0x80, 0]);
+    }
+
+    #[test]
+    fn faulty_io_transient_rename_fails_once() {
+        let dir = TempDir::new("rename").unwrap();
+        let a = dir.file("a.bin");
+        let b = dir.file("b.bin");
+        let mut io = FaultyIo::new(vec![IoFault::FailNthRename(0)]);
+        io.write_file(&a, &[5]).unwrap();
+        assert!(io.rename(&a, &b).is_err());
+        io.rename(&a, &b).unwrap();
+        assert_eq!(io.read_file(&b).unwrap(), vec![5]);
+    }
+}

@@ -1,0 +1,387 @@
+//! Index self-verification: the checks behind the quarantine-and-degrade
+//! lifecycle.
+//!
+//! A Planar index is *redundant* — every entry is recomputable from the
+//! feature table and the index normal — so a corrupted index never has to
+//! cost correctness: detect it, quarantine it, serve queries from the
+//! remaining indices (or the exact scan fallback), and rebuild at leisure.
+//! This module supplies the *detect* step:
+//!
+//! * [`SingleIndex::verify`] checks one index against the table it claims
+//!   to describe — sorted-key invariant, finite keys, entry-count
+//!   reconciliation against the live-point count, membership of every id,
+//!   and sampled key recomputation;
+//! * [`HealthIssue`] / [`IndexHealth`] / [`HealthReport`] describe what was
+//!   found, per index and per set.
+//!
+//! The lifecycle verbs — `verify_all`, `quarantine`, `rebuild_quarantined`
+//! — live on [`crate::PlanarIndexSet`]; quarantined indices are skipped by
+//! the query planner, and when none remain usable, queries degrade to the
+//! exact sequential scan with [`crate::ServedBy::Degraded`] provenance.
+
+use crate::index::SingleIndex;
+use crate::store::KeyStore;
+use crate::table::FeatureTable;
+
+/// Cap on recorded issues per index: verification is a diagnosis step, not
+/// a full damage inventory, and a thoroughly corrupted index would
+/// otherwise produce `O(n)` issue records.
+pub const MAX_ISSUES_PER_INDEX: usize = 64;
+
+/// One defect found while verifying a single Planar index.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HealthIssue {
+    /// Adjacent entries out of `(key, id)` order at this rank — the sorted
+    /// list `L` invariant (paper §4.2) is broken, so rank queries lie.
+    UnsortedKeys {
+        /// Rank of the first entry that is smaller than its predecessor.
+        rank: usize,
+    },
+    /// An entry's key is NaN or infinite; rank arithmetic on it is
+    /// meaningless.
+    NonFiniteKey {
+        /// The id carrying the non-finite key.
+        id: u32,
+    },
+    /// The index holds a different number of entries than there are live
+    /// points.
+    EntryCountMismatch {
+        /// Live points in the set.
+        expected: usize,
+        /// Entries actually present in the index.
+        found: usize,
+    },
+    /// An entry references an id that is out of range for the table or
+    /// tombstoned — the index would resurrect deleted points.
+    DeadOrUnknownId {
+        /// The offending id.
+        id: u32,
+    },
+    /// A sampled entry's stored key differs from `⟨c_raw, φ(x)⟩` recomputed
+    /// from the current table row — the index answers queries about a point
+    /// that is not where it says.
+    KeyMismatch {
+        /// The id whose key disagrees.
+        id: u32,
+        /// Key as stored in the index.
+        stored: f64,
+        /// Key recomputed from the table.
+        computed: f64,
+    },
+}
+
+impl core::fmt::Display for HealthIssue {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            HealthIssue::UnsortedKeys { rank } => {
+                write!(f, "entries out of order at rank {rank}")
+            }
+            HealthIssue::NonFiniteKey { id } => write!(f, "non-finite key for id {id}"),
+            HealthIssue::EntryCountMismatch { expected, found } => {
+                write!(f, "expected {expected} entries, found {found}")
+            }
+            HealthIssue::DeadOrUnknownId { id } => {
+                write!(f, "entry references dead or unknown id {id}")
+            }
+            HealthIssue::KeyMismatch {
+                id,
+                stored,
+                computed,
+            } => write!(
+                f,
+                "stored key {stored} for id {id} but table gives {computed}"
+            ),
+        }
+    }
+}
+
+/// Verification verdict for one index of a set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IndexHealth {
+    /// Position of the index within the set.
+    pub pos: usize,
+    /// Issues found; empty means the index passed every check. Capped at
+    /// [`MAX_ISSUES_PER_INDEX`].
+    pub issues: Vec<HealthIssue>,
+}
+
+impl IndexHealth {
+    /// True when no issues were found.
+    pub fn is_healthy(&self) -> bool {
+        self.issues.is_empty()
+    }
+}
+
+/// Verification verdict for a whole [`crate::PlanarIndexSet`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthReport {
+    /// One verdict per index, in position order.
+    pub indices: Vec<IndexHealth>,
+}
+
+impl HealthReport {
+    /// True when every index passed.
+    pub fn healthy(&self) -> bool {
+        self.indices.iter().all(IndexHealth::is_healthy)
+    }
+
+    /// Positions of the indices that failed verification.
+    pub fn failing_positions(&self) -> Vec<usize> {
+        self.indices
+            .iter()
+            .filter(|h| !h.is_healthy())
+            .map(|h| h.pos)
+            .collect()
+    }
+}
+
+impl<S: KeyStore> SingleIndex<S> {
+    /// Verify this index against the table it describes.
+    ///
+    /// Checks, in one pass over the entries:
+    ///
+    /// 1. the sorted-key invariant (`(key, id)` total order);
+    /// 2. every key finite;
+    /// 3. every id in range and live (`deleted[id] == false`);
+    /// 4. entry count equal to `expected_len` (the live-point count);
+    /// 5. for roughly `key_samples` evenly spaced entries, the stored key
+    ///    numerically equal to `⟨c_raw, φ(x)⟩` recomputed from the table
+    ///    (numeric equality, so a canonicalized `0.0` matches a recomputed
+    ///    `-0.0`).
+    ///
+    /// Returns all issues found, capped at [`MAX_ISSUES_PER_INDEX`]. An
+    /// empty vector means healthy. `key_samples == 0` skips check 5.
+    pub fn verify(
+        &self,
+        table: &FeatureTable,
+        deleted: &[bool],
+        expected_len: usize,
+        key_samples: usize,
+    ) -> Vec<HealthIssue> {
+        let mut issues = Vec::new();
+        let n = self.len();
+        let stride = n.checked_div(key_samples).map_or(usize::MAX, |s| s.max(1));
+        let mut prev: Option<crate::store::Entry> = None;
+        for (rank, e) in self.entries().enumerate() {
+            if issues.len() >= MAX_ISSUES_PER_INDEX {
+                return issues;
+            }
+            if let Some(p) = prev {
+                if p.total_cmp(&e) == core::cmp::Ordering::Greater {
+                    issues.push(HealthIssue::UnsortedKeys { rank });
+                }
+            }
+            prev = Some(e);
+            if !e.key.is_finite() {
+                issues.push(HealthIssue::NonFiniteKey { id: e.id });
+                continue;
+            }
+            let id = e.id as usize;
+            if id >= table.len() || deleted.get(id).copied().unwrap_or(false) {
+                issues.push(HealthIssue::DeadOrUnknownId { id: e.id });
+                continue;
+            }
+            if rank % stride == 0 {
+                let computed = self.raw_key(table.row(e.id));
+                if e.key != computed {
+                    issues.push(HealthIssue::KeyMismatch {
+                        id: e.id,
+                        stored: e.key,
+                        computed,
+                    });
+                }
+            }
+        }
+        if n != expected_len && issues.len() < MAX_ISSUES_PER_INDEX {
+            issues.push(HealthIssue::EntryCountMismatch {
+                expected: expected_len,
+                found: n,
+            });
+        }
+        issues
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::HeapSize;
+    use crate::store::{Entry, KeyStore, VecStore};
+    use planar_geom::Normalizer;
+
+    fn table() -> FeatureTable {
+        FeatureTable::from_rows(
+            2,
+            vec![
+                vec![1.0, 2.0],
+                vec![3.0, 1.0],
+                vec![2.0, 2.0],
+                vec![5.0, 4.0],
+            ],
+        )
+        .unwrap()
+    }
+
+    fn healthy_index(table: &FeatureTable) -> SingleIndex<VecStore> {
+        SingleIndex::build(table, &Normalizer::identity(2), vec![1.0, 1.0]).unwrap()
+    }
+
+    #[test]
+    fn healthy_index_passes_all_checks() {
+        let t = table();
+        let idx = healthy_index(&t);
+        let deleted = vec![false; t.len()];
+        assert!(idx.verify(&t, &deleted, t.len(), t.len()).is_empty());
+    }
+
+    #[test]
+    fn entry_count_mismatch_is_reported() {
+        let t = table();
+        let idx = healthy_index(&t);
+        let deleted = vec![false; t.len()];
+        let issues = idx.verify(&t, &deleted, t.len() - 1, 0);
+        assert_eq!(
+            issues,
+            vec![HealthIssue::EntryCountMismatch {
+                expected: t.len() - 1,
+                found: t.len(),
+            }]
+        );
+    }
+
+    #[test]
+    fn dead_and_unknown_ids_are_reported() {
+        let t = table();
+        let idx = healthy_index(&t);
+        let mut deleted = vec![false; t.len()];
+        deleted[2] = true; // tombstoned but still indexed
+        let issues = idx.verify(&t, &deleted, t.len() - 1, 0);
+        assert!(issues.contains(&HealthIssue::DeadOrUnknownId { id: 2 }));
+        // EntryCountMismatch too: 4 entries vs 3 live.
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, HealthIssue::EntryCountMismatch { .. })));
+    }
+
+    #[test]
+    fn key_mismatch_is_caught_by_sampling() {
+        let t = table();
+        let norm = Normalizer::identity(2);
+        // Store claims id 1 has key 999 instead of 4.
+        let entries = vec![
+            Entry::new(3.0, 0),
+            Entry::new(4.0, 2),
+            Entry::new(9.0, 3),
+            Entry::new(999.0, 1),
+        ];
+        let idx = SingleIndex::from_parts(
+            vec![1.0, 1.0],
+            norm.raw_normal(&[1.0, 1.0]),
+            VecStore::build(entries),
+        );
+        let deleted = vec![false; t.len()];
+        let issues = idx.verify(&t, &deleted, t.len(), t.len());
+        assert!(issues.contains(&HealthIssue::KeyMismatch {
+            id: 1,
+            stored: 999.0,
+            computed: 4.0,
+        }));
+    }
+
+    #[test]
+    fn non_finite_keys_are_reported() {
+        let t = table();
+        let norm = Normalizer::identity(2);
+        let entries = vec![Entry::new(3.0, 0), Entry::new(f64::INFINITY, 1)];
+        let idx = SingleIndex::from_parts(
+            vec![1.0, 1.0],
+            norm.raw_normal(&[1.0, 1.0]),
+            VecStore::build(entries),
+        );
+        let deleted = vec![false; t.len()];
+        let issues = idx.verify(&t, &deleted, 2, 0);
+        assert!(issues.contains(&HealthIssue::NonFiniteKey { id: 1 }));
+    }
+
+    /// A deliberately trusting store that preserves build order, so the
+    /// sorted-invariant check can actually be exercised (the real stores
+    /// sort on build).
+    #[derive(Debug)]
+    struct RawStore(Vec<Entry>);
+
+    impl HeapSize for RawStore {
+        fn heap_size(&self) -> usize {
+            self.0.capacity() * core::mem::size_of::<Entry>()
+        }
+    }
+
+    impl KeyStore for RawStore {
+        fn build(entries: Vec<Entry>) -> Self {
+            Self(entries) // no sort: trusts its input
+        }
+        fn len(&self) -> usize {
+            self.0.len()
+        }
+        fn rank_leq(&self, threshold: f64) -> usize {
+            self.0.iter().filter(|e| e.key <= threshold).count()
+        }
+        fn rank_lt(&self, threshold: f64) -> usize {
+            self.0.iter().filter(|e| e.key < threshold).count()
+        }
+        fn iter_asc(&self, from: usize, to: usize) -> impl Iterator<Item = Entry> + '_ {
+            self.0[from..to].iter().copied()
+        }
+        fn iter_desc(&self, below: usize) -> impl Iterator<Item = Entry> + '_ {
+            self.0[..below].iter().rev().copied()
+        }
+        fn insert(&mut self, e: Entry) {
+            self.0.push(e);
+        }
+        fn remove(&mut self, e: Entry) -> bool {
+            match self.0.iter().position(|x| x.total_cmp(&e).is_eq()) {
+                Some(i) => {
+                    self.0.remove(i);
+                    true
+                }
+                None => false,
+            }
+        }
+    }
+
+    #[test]
+    fn unsorted_entries_are_reported() {
+        let t = table();
+        let norm = Normalizer::identity(2);
+        let entries = vec![Entry::new(9.0, 3), Entry::new(3.0, 0)];
+        let idx = SingleIndex::from_parts(
+            vec![1.0, 1.0],
+            norm.raw_normal(&[1.0, 1.0]),
+            RawStore::build(entries),
+        );
+        let deleted = vec![false; t.len()];
+        let issues = idx.verify(&t, &deleted, 2, 0);
+        assert!(issues.contains(&HealthIssue::UnsortedKeys { rank: 1 }));
+    }
+
+    #[test]
+    fn report_aggregates_positions() {
+        let report = HealthReport {
+            indices: vec![
+                IndexHealth {
+                    pos: 0,
+                    issues: vec![],
+                },
+                IndexHealth {
+                    pos: 1,
+                    issues: vec![HealthIssue::NonFiniteKey { id: 7 }],
+                },
+            ],
+        };
+        assert!(!report.healthy());
+        assert_eq!(report.failing_positions(), vec![1]);
+        assert_eq!(
+            format!("{}", HealthIssue::NonFiniteKey { id: 7 }),
+            "non-finite key for id 7"
+        );
+    }
+}

@@ -171,6 +171,19 @@ impl<S: KeyStore> SingleIndex<S> {
         dot_slices(&self.raw_normal, row)
     }
 
+    /// Discard the store and rebuild it from the table — every entry is
+    /// recomputable from the rows and this index's normal, which is what
+    /// makes quarantined indices recoverable. `deleted[id]` rows are
+    /// skipped. `O(n log n)`.
+    pub(crate) fn rebuild_from(&mut self, table: &FeatureTable, deleted: &[bool]) {
+        let entries: Vec<Entry> = table
+            .iter()
+            .filter(|(id, _)| !deleted.get(*id as usize).copied().unwrap_or(false))
+            .map(|(id, row)| Entry::new(self.raw_key(row), id))
+            .collect();
+        self.store = S::build(entries);
+    }
+
     /// Register a new point (paper §4.4 dynamic maintenance).
     pub fn insert_point(&mut self, id: PointId, row: &[f64]) {
         self.store.insert(Entry::new(self.raw_key(row), id));

@@ -70,8 +70,11 @@
 //! | [`parallel`] | thread configuration, query scratch, blocked/chunked verification |
 //! | [`scan`] | the sequential-scan baseline the paper compares against |
 //! | [`feature`] | the `φ` feature-map abstraction |
-//! | [`stats`] | per-query pruning statistics |
+//! | [`stats`] | per-query pruning statistics and serving provenance |
 //! | [`memory`] | heap accounting for the memory experiments (Fig. 13b) |
+//! | [`persist`] | crash-safe snapshots: sectioned `PLNRIDX2` format, atomic saves, partial recovery |
+//! | [`health`] | index self-verification and the quarantine-and-degrade lifecycle |
+//! | [`fault`] | fault injection: deterministic corruptions, a faulty IO layer, panic triggers |
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -79,8 +82,10 @@
 pub mod adaptive;
 pub mod conjunction;
 pub mod domain;
+pub mod fault;
 pub mod feature;
 pub mod halfspace;
+pub mod health;
 pub mod index;
 pub mod memory;
 pub mod multi;
@@ -97,17 +102,20 @@ pub mod table;
 pub use adaptive::{AdaptiveConfig, AdaptivePlanarIndexSet};
 pub use conjunction::{ConjunctionOutcome, ConjunctionQuery};
 pub use domain::{Domain, DomainTracker, ParameterDomain};
+pub use fault::{Corruption, FaultyIo, IoFault, SnapshotIo, StdIo, TempDir};
 pub use feature::{FeatureMap, FnFeatureMap, IdentityMap};
 pub use halfspace::{HalfSpace, HalfSpaceIndex};
+pub use health::{HealthIssue, HealthReport, IndexHealth};
 pub use index::{IntervalBounds, SingleIndex, TopKStats};
 pub use memory::HeapSize;
 pub use multi::{DynamicPlanarIndexSet, IndexConfig, PlanarIndexSet, QueryOutcome, TopKOutcome};
 pub use parallel::{ExecutionConfig, QueryScratch};
+pub use persist::{RecoveryReport, SaveOptions};
 pub use query::{Cmp, InequalityQuery, TopKQuery};
 pub use router::AxisReductionRouter;
 pub use scan::SeqScan;
 pub use selection::SelectionStrategy;
-pub use stats::{ExecutionPath, QueryStats};
+pub use stats::{ExecutionPath, QueryStats, ServedBy, StatsAggregator};
 pub use store::{BPlusTree, EytzingerStore, KeyStore, VecStore};
 pub use table::FeatureTable;
 
@@ -149,6 +157,10 @@ pub enum PlanarError {
     /// Persistence failure: I/O, truncation, corruption, or version
     /// mismatch (see `crate::persist`).
     Persist(String),
+    /// An internal invariant was violated — typically a worker panic caught
+    /// at a batch boundary (see `crate::parallel`). The payload is the
+    /// panic/diagnostic message.
+    Internal(String),
 }
 
 impl core::fmt::Display for PlanarError {
@@ -168,6 +180,7 @@ impl core::fmt::Display for PlanarError {
             PlanarError::PointNotFound(id) => write!(f, "no point with id {id}"),
             PlanarError::KNotPositive => write!(f, "k must be at least 1"),
             PlanarError::Persist(msg) => write!(f, "persistence error: {msg}"),
+            PlanarError::Internal(msg) => write!(f, "internal error: {msg}"),
         }
     }
 }

@@ -8,12 +8,13 @@
 //! parameter domains (§5.2) with redundant (parallel) normals removed.
 
 use crate::domain::ParameterDomain;
+use crate::health::{HealthReport, IndexHealth};
 use crate::index::{SingleIndex, TopKStats};
 use crate::parallel::{self, ExecutionConfig, QueryScratch};
 use crate::query::{Cmp, InequalityQuery, TopKQuery};
 use crate::scan::TopKBuffer;
-use crate::selection::{angle_score, argmin_by_score, stretch_score, SelectionStrategy};
-use crate::stats::{ExecutionPath, QueryStats, ScanReason};
+use crate::selection::{angle_score, argmin_by_score_filtered, stretch_score, SelectionStrategy};
+use crate::stats::{ExecutionPath, QueryStats, ScanReason, ServedBy};
 use crate::store::{KeyStore, VecStore};
 use crate::table::{FeatureTable, PointId};
 use crate::{BPlusTree, HeapSize, PlanarError, Result};
@@ -85,6 +86,10 @@ pub struct QueryOutcome {
     pub matches: Vec<PointId>,
     /// Execution statistics.
     pub stats: QueryStats,
+    /// Serving provenance: which index answered, or whether the exact scan
+    /// fallback served — [`ServedBy::Degraded`] means it did so because
+    /// every index was quarantined.
+    pub served_by: ServedBy,
 }
 
 impl QueryOutcome {
@@ -104,6 +109,8 @@ pub struct TopKOutcome {
     pub neighbors: Vec<(PointId, f64)>,
     /// Execution statistics (`checked()` is Table 3's "checked points").
     pub stats: TopKStats,
+    /// Serving provenance — see [`QueryOutcome::served_by`].
+    pub served_by: ServedBy,
 }
 
 /// A budget of Planar indices over one dataset — the main entry point of
@@ -118,6 +125,10 @@ pub struct PlanarIndexSet<S: KeyStore = VecStore> {
     strategy: SelectionStrategy,
     deleted: Vec<bool>,
     n_live: usize,
+    /// `quarantined[pos]` — the index at `pos` failed verification or could
+    /// not be recovered from a snapshot; the planner skips it until
+    /// [`Self::rebuild_quarantined`] restores it.
+    quarantined: Vec<bool>,
 }
 
 /// A [`PlanarIndexSet`] backed by the B+-tree store: `O(d'·log n)` dynamic
@@ -298,6 +309,7 @@ impl<S: KeyStore> PlanarIndexSet<S> {
         strategy: SelectionStrategy,
     ) -> Self {
         let n = table.len();
+        let budget = indices.len();
         Self {
             table,
             domain,
@@ -306,10 +318,14 @@ impl<S: KeyStore> PlanarIndexSet<S> {
             strategy,
             deleted: vec![false; n],
             n_live: n,
+            quarantined: vec![false; budget],
         }
     }
 
     /// Reassemble a set from persisted parts (see `crate::persist`).
+    /// `quarantined[pos]` marks indices whose entry sections were corrupt
+    /// or already flagged in the snapshot; their `entry_lists` slot is
+    /// typically empty and their normal is retained for rebuilding.
     pub(crate) fn assemble(
         table: FeatureTable,
         domain: ParameterDomain,
@@ -317,6 +333,7 @@ impl<S: KeyStore> PlanarIndexSet<S> {
         tombstones: Vec<bool>,
         normals: Vec<Vec<f64>>,
         entry_lists: Vec<Vec<crate::store::Entry>>,
+        quarantined: Vec<bool>,
     ) -> Result<Self> {
         if domain.dim() != table.dim() {
             return Err(PlanarError::DimensionMismatch {
@@ -327,6 +344,11 @@ impl<S: KeyStore> PlanarIndexSet<S> {
         if tombstones.len() != table.len() {
             return Err(PlanarError::Persist(
                 "tombstone vector length mismatch".into(),
+            ));
+        }
+        if quarantined.len() != normals.len() {
+            return Err(PlanarError::Persist(
+                "quarantine vector length mismatch".into(),
             ));
         }
         let normalizer = Normalizer::fit(&domain.octant(), table.iter().map(|(_, r)| r));
@@ -354,6 +376,7 @@ impl<S: KeyStore> PlanarIndexSet<S> {
             strategy,
             deleted: tombstones,
             n_live,
+            quarantined,
         })
     }
 
@@ -452,24 +475,31 @@ impl<S: KeyStore> PlanarIndexSet<S> {
         }
     }
 
-    /// Pick the best index for a normalized query (§5.1) along with its key
-    /// shift.
-    fn select_index(&self, nq: &NormalizedQuery, cmp: Cmp) -> (usize, f64) {
+    /// Pick the best *usable* (non-quarantined) index for a normalized
+    /// query (§5.1) along with its key shift. `None` when every index is
+    /// quarantined — the caller degrades to the exact scan.
+    fn select_index(&self, nq: &NormalizedQuery, cmp: Cmp) -> Option<(usize, f64)> {
+        let skip = |i: usize| self.quarantined[i];
         let pos = match self.strategy {
-            SelectionStrategy::MinStretch => argmin_by_score(self.indices.len(), |i| {
-                stretch_score(self.indices[i].normal(), &nq.a, nq.b)
-            }),
-            SelectionStrategy::MinAngle => argmin_by_score(self.indices.len(), |i| {
-                angle_score(self.indices[i].normal(), &nq.a)
-            }),
-            SelectionStrategy::OracleCount => argmin_by_score(self.indices.len(), |i| {
-                let shift = self.normalizer.key_shift(self.indices[i].normal());
-                self.indices[i].ii_size(nq, shift, cmp) as f64
-            }),
-        }
-        .expect("index set is never empty");
+            SelectionStrategy::MinStretch => {
+                argmin_by_score_filtered(self.indices.len(), skip, |i| {
+                    stretch_score(self.indices[i].normal(), &nq.a, nq.b)
+                })
+            }
+            SelectionStrategy::MinAngle => {
+                argmin_by_score_filtered(self.indices.len(), skip, |i| {
+                    angle_score(self.indices[i].normal(), &nq.a)
+                })
+            }
+            SelectionStrategy::OracleCount => {
+                argmin_by_score_filtered(self.indices.len(), skip, |i| {
+                    let shift = self.normalizer.key_shift(self.indices[i].normal());
+                    self.indices[i].ii_size(nq, shift, cmp) as f64
+                })
+            }
+        }?;
         let shift = self.normalizer.key_shift(self.indices[pos].normal());
-        (pos, shift)
+        Some((pos, shift))
     }
 
     /// Answer an inequality query (paper Problem 1, Algorithm 1).
@@ -511,10 +541,16 @@ impl<S: KeyStore> PlanarIndexSet<S> {
     /// returns — same matches, same order, same stats — for every thread
     /// count.
     ///
+    /// Workers are panic-isolated: a query that panics mid-execution
+    /// surfaces as [`PlanarError::Internal`] instead of aborting the whole
+    /// batch (or the process). Use [`Self::query_batch_isolated`] to keep
+    /// the per-query results of the queries that did succeed.
+    ///
     /// # Errors
     ///
     /// [`PlanarError::DimensionMismatch`] if any query's dimensionality
-    /// differs from the table's (checked up front; no partial results).
+    /// differs from the table's (checked up front; no partial results);
+    /// [`PlanarError::Internal`] if any query panicked.
     pub fn query_batch(
         &self,
         qs: &[InequalityQuery],
@@ -526,22 +562,47 @@ impl<S: KeyStore> PlanarIndexSet<S> {
         for q in qs {
             self.check_dim(q)?;
         }
+        self.query_batch_isolated(qs, exec).into_iter().collect()
+    }
+
+    /// [`Self::query_batch`] with per-query fault isolation: output `i` is
+    /// `Ok(outcome)` or the typed error for query `i` alone — a poisoned
+    /// query (panic) yields `Err(PlanarError::Internal)` in its slot while
+    /// every other query in the batch still completes.
+    pub fn query_batch_isolated(
+        &self,
+        qs: &[InequalityQuery],
+        exec: &ExecutionConfig,
+    ) -> Vec<Result<QueryOutcome>>
+    where
+        S: Sync,
+    {
         let (workers, inner) = parallel::batch_plan(exec, qs.len());
         if workers <= 1 {
             let mut scratch = QueryScratch::new();
-            return Ok(qs
+            return qs
                 .iter()
-                .map(|q| self.query_prepared(q, &inner, &mut scratch))
-                .collect());
+                .map(|q| self.query_one_isolated(q, &inner, &mut scratch))
+                .collect();
         }
         let per_chunk = parallel::map_chunks(qs, workers, |chunk| {
             let mut scratch = QueryScratch::new();
             chunk
                 .iter()
-                .map(|q| self.query_prepared(q, &inner, &mut scratch))
+                .map(|q| self.query_one_isolated(q, &inner, &mut scratch))
                 .collect::<Vec<_>>()
         });
-        Ok(per_chunk.into_iter().flatten().collect())
+        per_chunk.into_iter().flatten().collect()
+    }
+
+    fn query_one_isolated(
+        &self,
+        q: &InequalityQuery,
+        exec: &ExecutionConfig,
+        scratch: &mut QueryScratch,
+    ) -> Result<QueryOutcome> {
+        self.check_dim(q)?;
+        parallel::run_isolated(|| self.query_prepared(q, exec, scratch))
     }
 
     fn query_prepared(
@@ -550,10 +611,13 @@ impl<S: KeyStore> PlanarIndexSet<S> {
         exec: &ExecutionConfig,
         scratch: &mut QueryScratch,
     ) -> QueryOutcome {
+        crate::fault::maybe_inject_query_panic(q.b());
         match self.prepare(q) {
             Ok((effective, nq)) => {
                 let view = effective.as_ref().unwrap_or(q);
-                let (pos, shift) = self.select_index(&nq, view.cmp());
+                let Some((pos, shift)) = self.select_index(&nq, view.cmp()) else {
+                    return self.scan_fallback(q, ScanReason::IndexUnavailable);
+                };
                 let (matches, stats) = self.indices[pos].evaluate_with(
                     view,
                     &nq,
@@ -563,7 +627,11 @@ impl<S: KeyStore> PlanarIndexSet<S> {
                     exec,
                     scratch,
                 );
-                QueryOutcome { matches, stats }
+                QueryOutcome {
+                    matches,
+                    served_by: ServedBy::Index(pos),
+                    stats,
+                }
             }
             Err(reason) => self.scan_fallback(q, reason),
         }
@@ -595,7 +663,11 @@ impl<S: KeyStore> PlanarIndexSet<S> {
             matched: matches.len(),
             path: ExecutionPath::ScanFallback(reason),
         };
-        QueryOutcome { matches, stats }
+        QueryOutcome {
+            matches,
+            served_by: ServedBy::from_path(&stats.path),
+            stats,
+        }
     }
 
     /// Answer a top-k nearest-neighbor query (paper Problem 2,
@@ -629,10 +701,16 @@ impl<S: KeyStore> PlanarIndexSet<S> {
     /// scoped worker threads. Output `i` is exactly what `top_k(&qs[i])`
     /// returns, for every thread count.
     ///
+    /// Workers are panic-isolated: a query that panics mid-execution
+    /// surfaces as [`PlanarError::Internal`] instead of aborting the whole
+    /// batch. Use [`Self::top_k_batch_isolated`] to keep the per-query
+    /// results of the queries that did succeed.
+    ///
     /// # Errors
     ///
     /// [`PlanarError::DimensionMismatch`] if any query's dimensionality
-    /// differs from the table's (checked up front; no partial results).
+    /// differs from the table's (checked up front; no partial results);
+    /// [`PlanarError::Internal`] if any query panicked.
     pub fn top_k_batch(&self, qs: &[TopKQuery], exec: &ExecutionConfig) -> Result<Vec<TopKOutcome>>
     where
         S: Sync,
@@ -640,22 +718,47 @@ impl<S: KeyStore> PlanarIndexSet<S> {
         for q in qs {
             self.check_dim(&q.query)?;
         }
+        self.top_k_batch_isolated(qs, exec).into_iter().collect()
+    }
+
+    /// [`Self::top_k_batch`] with per-query fault isolation: output `i` is
+    /// `Ok(outcome)` or the typed error for query `i` alone — a poisoned
+    /// query (panic) yields `Err(PlanarError::Internal)` in its slot while
+    /// every other query in the batch still completes.
+    pub fn top_k_batch_isolated(
+        &self,
+        qs: &[TopKQuery],
+        exec: &ExecutionConfig,
+    ) -> Vec<Result<TopKOutcome>>
+    where
+        S: Sync,
+    {
         let (workers, inner) = parallel::batch_plan(exec, qs.len());
         if workers <= 1 {
             let mut scratch = QueryScratch::new();
-            return Ok(qs
+            return qs
                 .iter()
-                .map(|q| self.top_k_prepared(q, &inner, &mut scratch))
-                .collect());
+                .map(|q| self.top_k_one_isolated(q, &inner, &mut scratch))
+                .collect();
         }
         let per_chunk = parallel::map_chunks(qs, workers, |chunk| {
             let mut scratch = QueryScratch::new();
             chunk
                 .iter()
-                .map(|q| self.top_k_prepared(q, &inner, &mut scratch))
+                .map(|q| self.top_k_one_isolated(q, &inner, &mut scratch))
                 .collect::<Vec<_>>()
         });
-        Ok(per_chunk.into_iter().flatten().collect())
+        per_chunk.into_iter().flatten().collect()
+    }
+
+    fn top_k_one_isolated(
+        &self,
+        q: &TopKQuery,
+        exec: &ExecutionConfig,
+        scratch: &mut QueryScratch,
+    ) -> Result<TopKOutcome> {
+        self.check_dim(&q.query)?;
+        parallel::run_isolated(|| self.top_k_prepared(q, exec, scratch))
     }
 
     fn top_k_prepared(
@@ -664,18 +767,25 @@ impl<S: KeyStore> PlanarIndexSet<S> {
         exec: &ExecutionConfig,
         scratch: &mut QueryScratch,
     ) -> TopKOutcome {
+        crate::fault::maybe_inject_query_panic(q.query.b());
         match self.prepare(&q.query) {
             Ok((effective, nq)) => {
                 let eff_q = TopKQuery {
                     query: effective.unwrap_or_else(|| q.query.clone()),
                     k: q.k,
                 };
-                let (pos, shift) = self.select_index(&nq, eff_q.query.cmp());
+                let Some((pos, shift)) = self.select_index(&nq, eff_q.query.cmp()) else {
+                    return self.top_k_scan(q, ScanReason::IndexUnavailable);
+                };
                 let (neighbors, stats) =
                     self.indices[pos].top_k_with(&eff_q, &nq, shift, &self.table, exec, scratch);
-                TopKOutcome { neighbors, stats }
+                TopKOutcome {
+                    neighbors,
+                    served_by: ServedBy::Index(pos),
+                    stats,
+                }
             }
-            Err(_) => self.top_k_scan(q),
+            Err(reason) => self.top_k_scan(q, reason),
         }
     }
 
@@ -694,12 +804,18 @@ impl<S: KeyStore> PlanarIndexSet<S> {
                     query: effective.unwrap_or_else(|| q.query.clone()),
                     k: q.k,
                 };
-                let (pos, shift) = self.select_index(&nq, eff_q.query.cmp());
+                let Some((pos, shift)) = self.select_index(&nq, eff_q.query.cmp()) else {
+                    return Ok(self.top_k_scan(q, ScanReason::IndexUnavailable));
+                };
                 let (neighbors, stats) =
                     self.indices[pos].top_k_unpruned(&eff_q, &nq, shift, &self.table);
-                Ok(TopKOutcome { neighbors, stats })
+                Ok(TopKOutcome {
+                    neighbors,
+                    served_by: ServedBy::Index(pos),
+                    stats,
+                })
             }
-            Err(_) => Ok(self.top_k_scan(q)),
+            Err(reason) => Ok(self.top_k_scan(q, reason)),
         }
     }
 
@@ -724,7 +840,7 @@ impl<S: KeyStore> PlanarIndexSet<S> {
         match self.prepare(q) {
             Ok((effective, nq)) => {
                 let cmp = effective.as_ref().unwrap_or(q).cmp();
-                let (pos, shift) = self.select_index(&nq, cmp);
+                let (pos, shift) = self.select_index(&nq, cmp)?;
                 let bounds = self.indices[pos].boundaries(&nq, shift, cmp);
                 Some((pos, bounds, cmp))
             }
@@ -753,15 +869,21 @@ impl<S: KeyStore> PlanarIndexSet<S> {
         Ok((effective.unwrap_or_else(|| q.clone()), nq))
     }
 
-    fn top_k_scan(&self, q: &TopKQuery) -> TopKOutcome {
+    fn top_k_scan(&self, q: &TopKQuery, reason: ScanReason) -> TopKOutcome {
         let mut buf = TopKBuffer::new(q.k);
         for (id, row) in self.table.iter() {
             if !self.deleted[id as usize] && q.query.satisfies(row) {
                 buf.offer(q.query.distance(row), id);
             }
         }
+        let served_by = if matches!(reason, ScanReason::IndexUnavailable) {
+            ServedBy::Degraded
+        } else {
+            ServedBy::ScanFallback
+        };
         TopKOutcome {
             neighbors: buf.into_sorted(),
+            served_by,
             stats: TopKStats {
                 n: self.n_live,
                 intermediate: self.n_live,
@@ -782,8 +904,12 @@ impl<S: KeyStore> PlanarIndexSet<S> {
         // shift — stored keys are raw-space and unaffected (see
         // `planar_geom::translation` module docs).
         self.normalizer.absorb(row);
-        for idx in &mut self.indices {
-            idx.insert_point(id, row);
+        // Quarantined indices are stale by definition; `rebuild_quarantined`
+        // reconstructs them from the table, so mutations skip them.
+        for (idx, &quar) in self.indices.iter_mut().zip(&self.quarantined) {
+            if !quar {
+                idx.insert_point(id, row);
+            }
         }
         self.deleted.push(false);
         self.n_live += 1;
@@ -801,8 +927,10 @@ impl<S: KeyStore> PlanarIndexSet<S> {
         let old = self.table.try_row(id)?.to_vec();
         self.table.update_row(id, row)?;
         self.normalizer.absorb(row);
-        for idx in &mut self.indices {
-            idx.update_point(id, &old, row);
+        for (idx, &quar) in self.indices.iter_mut().zip(&self.quarantined) {
+            if !quar {
+                idx.update_point(id, &old, row);
+            }
         }
         Ok(())
     }
@@ -816,8 +944,10 @@ impl<S: KeyStore> PlanarIndexSet<S> {
     pub fn delete_point(&mut self, id: PointId) -> Result<()> {
         self.check_live(id)?;
         let row = self.table.try_row(id)?.to_vec();
-        for idx in &mut self.indices {
-            idx.remove_point(id, &row);
+        for (idx, &quar) in self.indices.iter_mut().zip(&self.quarantined) {
+            if !quar {
+                idx.remove_point(id, &row);
+            }
         }
         self.deleted[id as usize] = true;
         self.n_live -= 1;
@@ -840,6 +970,7 @@ impl<S: KeyStore> PlanarIndexSet<S> {
             }
         }
         self.indices.push(idx);
+        self.quarantined.push(false);
         Ok(self.indices.len() - 1)
     }
 
@@ -862,7 +993,85 @@ impl<S: KeyStore> PlanarIndexSet<S> {
             });
         }
         self.indices.remove(pos);
+        self.quarantined.remove(pos);
         Ok(())
+    }
+
+    /// Is the index at `pos` quarantined (failed verification or loaded
+    /// from a corrupt snapshot section)? Out-of-range positions are not
+    /// quarantined.
+    pub fn is_quarantined(&self, pos: usize) -> bool {
+        self.quarantined.get(pos).copied().unwrap_or(false)
+    }
+
+    /// Positions of all quarantined indices, ascending.
+    pub fn quarantined_positions(&self) -> Vec<usize> {
+        self.quarantined
+            .iter()
+            .enumerate()
+            .filter_map(|(pos, &q)| q.then_some(pos))
+            .collect()
+    }
+
+    /// Manually quarantine the index at `pos`: the planner routes queries
+    /// around it until [`Self::rebuild_quarantined`] restores it. With
+    /// every index quarantined, queries still answer exactly via the scan
+    /// path (`ServedBy::Degraded`). Out-of-range positions are ignored.
+    pub fn quarantine(&mut self, pos: usize) {
+        if let Some(flag) = self.quarantined.get_mut(pos) {
+            *flag = true;
+        }
+    }
+
+    /// Run the self-check on every index (quarantined or not) without
+    /// changing any state: key order, key finiteness, id liveness, entry
+    /// counts, and `key_samples` recomputed keys per index (0 skips key
+    /// recomputation; see [`SingleIndex::verify`]).
+    pub fn verify_all(&self, key_samples: usize) -> HealthReport {
+        let indices = self
+            .indices
+            .iter()
+            .enumerate()
+            .map(|(pos, idx)| IndexHealth {
+                pos,
+                issues: if self.quarantined[pos] {
+                    Vec::new()
+                } else {
+                    idx.verify(&self.table, &self.deleted, self.n_live, key_samples)
+                },
+            })
+            .collect();
+        HealthReport { indices }
+    }
+
+    /// [`Self::verify_all`], then quarantine every index that reported at
+    /// least one issue. Returns the report so callers can log what failed;
+    /// already-quarantined indices are left alone (their issues list is
+    /// empty — they are known-bad and skipped).
+    pub fn verify_and_quarantine(&mut self, key_samples: usize) -> HealthReport {
+        let report = self.verify_all(key_samples);
+        for health in &report.indices {
+            if !health.is_healthy() {
+                self.quarantined[health.pos] = true;
+            }
+        }
+        report
+    }
+
+    /// Rebuild every quarantined index from the feature table (the core
+    /// data is always intact — see the `persist` module docs) and clear its
+    /// flag. Returns the positions that were rebuilt, ascending.
+    /// `O(n log n)` per rebuilt index, same as [`Self::add_index`].
+    pub fn rebuild_quarantined(&mut self) -> Vec<usize> {
+        let mut rebuilt = Vec::new();
+        for pos in 0..self.indices.len() {
+            if self.quarantined[pos] {
+                self.indices[pos].rebuild_from(&self.table, &self.deleted);
+                self.quarantined[pos] = false;
+                rebuilt.push(pos);
+            }
+        }
+        rebuilt
     }
 
     /// Replace the parameter domain and resample all indices — the paper's
@@ -1208,5 +1417,122 @@ mod tests {
             out.stats.pruning_percentage()
         );
         assert_eq!(out.sorted_ids(), set.query_scan(&q).unwrap().sorted_ids());
+    }
+
+    #[test]
+    fn quarantine_routes_queries_around_bad_index() {
+        let mut set = small_set(4);
+        let q = InequalityQuery::leq(vec![1.0, 1.0], 5.0).unwrap();
+        let before = set.query(&q).unwrap();
+        let ServedBy::Index(best) = before.served_by else {
+            panic!("expected indexed serving, got {:?}", before.served_by);
+        };
+
+        set.quarantine(best);
+        assert!(set.is_quarantined(best));
+        assert_eq!(set.quarantined_positions(), vec![best]);
+
+        let after = set.query(&q).unwrap();
+        match after.served_by {
+            ServedBy::Index(pos) => assert_ne!(pos, best, "quarantined index still selected"),
+            other => panic!("expected another index to serve, got {other:?}"),
+        }
+        assert_eq!(after.sorted_ids(), before.sorted_ids());
+    }
+
+    #[test]
+    fn all_quarantined_degrades_to_exact_scan() {
+        let mut set = small_set(4);
+        for pos in 0..set.num_indices() {
+            set.quarantine(pos);
+        }
+
+        let q = InequalityQuery::leq(vec![1.0, 1.0], 5.0).unwrap();
+        let out = set.query(&q).unwrap();
+        assert_eq!(out.served_by, ServedBy::Degraded);
+        assert_eq!(
+            out.stats.path,
+            ExecutionPath::ScanFallback(ScanReason::IndexUnavailable)
+        );
+        assert_eq!(out.sorted_ids(), set.query_scan(&q).unwrap().sorted_ids());
+
+        let tk = TopKQuery::new(q.clone(), 3).unwrap();
+        let top = set.top_k(&tk).unwrap();
+        assert_eq!(top.served_by, ServedBy::Degraded);
+        let want = crate::scan::SeqScan::new(set.table()).top_k(&tk).unwrap();
+        assert_eq!(top.neighbors, want);
+    }
+
+    #[test]
+    fn mutations_skip_quarantined_and_rebuild_restores() {
+        let mut set = small_set(3);
+        set.quarantine(0);
+
+        // Mutations while index 0 is out of service.
+        let id = set.insert_point(&[2.5, 2.5]).unwrap();
+        set.update_point(id, &[2.6, 2.4]).unwrap();
+        set.delete_point(0).unwrap();
+
+        let rebuilt = set.rebuild_quarantined();
+        assert_eq!(rebuilt, vec![0]);
+        assert!(set.quarantined_positions().is_empty());
+
+        // The rebuilt index reflects the mutations it missed: every index
+        // now verifies clean and answers match the scan.
+        let report = set.verify_all(usize::MAX);
+        assert!(report.healthy(), "{:?}", report.failing_positions());
+        let q = InequalityQuery::leq(vec![1.0, 1.0], 5.0).unwrap();
+        assert_eq!(
+            set.query(&q).unwrap().sorted_ids(),
+            set.query_scan(&q).unwrap().sorted_ids()
+        );
+    }
+
+    #[test]
+    fn verify_and_quarantine_flags_stale_index() {
+        let mut set = small_set(3);
+        // Stale an index by mutating while it is quarantined, then clearing
+        // the flag without rebuilding (simulating silent corruption).
+        set.quarantine(1);
+        set.insert_point(&[2.0, 2.0]).unwrap();
+        set.quarantined[1] = false;
+
+        let report = set.verify_and_quarantine(usize::MAX);
+        assert_eq!(report.failing_positions(), vec![1]);
+        assert_eq!(set.quarantined_positions(), vec![1]);
+
+        // Quarantined again → answers stay exact, and a rebuild clears it.
+        let q = InequalityQuery::leq(vec![1.0, 1.0], 5.0).unwrap();
+        assert_eq!(
+            set.query(&q).unwrap().sorted_ids(),
+            set.query_scan(&q).unwrap().sorted_ids()
+        );
+        assert_eq!(set.rebuild_quarantined(), vec![1]);
+        assert!(set.verify_all(usize::MAX).healthy());
+    }
+
+    #[test]
+    fn batch_isolation_surfaces_poisoned_query_without_losing_others() {
+        let set = small_set(4);
+        let poison_b = 123.456_789_25;
+        let qs = vec![
+            InequalityQuery::leq(vec![1.0, 1.0], 5.0).unwrap(),
+            InequalityQuery::leq(vec![1.0, 1.0], poison_b).unwrap(),
+            InequalityQuery::leq(vec![1.0, 1.0], 9.0).unwrap(),
+        ];
+        crate::fault::arm_query_panic(poison_b);
+        let results = set.query_batch_isolated(&qs, &ExecutionConfig::serial());
+        crate::fault::disarm_query_panic();
+
+        assert_eq!(results.len(), 3);
+        assert!(results[0].is_ok());
+        assert!(matches!(results[1], Err(PlanarError::Internal(_))));
+        assert!(results[2].is_ok());
+
+        // The all-or-nothing wrapper propagates the poisoned slot as Err.
+        crate::fault::arm_query_panic(poison_b);
+        let whole = set.query_batch(&qs, &ExecutionConfig::serial());
+        crate::fault::disarm_query_panic();
+        assert!(matches!(whole, Err(PlanarError::Internal(_))));
     }
 }

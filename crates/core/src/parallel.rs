@@ -24,7 +24,10 @@
 use crate::query::InequalityQuery;
 use crate::scan::TopKBuffer;
 use crate::table::{FeatureTable, PointId};
+use crate::{PlanarError, Result};
 use planar_geom::dot_block;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Default minimum II size before a single query's verification is split
 /// across threads. Below this, fan-out overhead exceeds the win.
@@ -33,6 +36,46 @@ pub const DEFAULT_PARALLEL_VERIFY_THRESHOLD: usize = 8192;
 /// How many rows one `dot_block` call covers when ids are not contiguous
 /// enough to form longer runs — bounds the scratch `dots` buffer growth.
 pub(crate) const VERIFY_BLOCK: usize = 256;
+
+/// Counts clamp events: how many times a requested thread count of 0, or
+/// one exceeding the work available, was clamped by [`batch_plan`] /
+/// worker planning. See [`thread_clamp_events`].
+static THREAD_CLAMP_EVENTS: AtomicU64 = AtomicU64::new(0);
+
+/// How many times an [`ExecutionConfig`] thread count was clamped because
+/// it was 0 or exceeded the batch/work size. A monotonically increasing
+/// process-wide debug counter: a non-zero, growing value means callers are
+/// configuring more workers than there is work (or zero workers), which is
+/// handled cleanly but worth fixing at the call site.
+pub fn thread_clamp_events() -> u64 {
+    THREAD_CLAMP_EVENTS.load(Ordering::Relaxed)
+}
+
+/// Clamp a requested worker count to `[1, available]`, counting the event
+/// when the request was out of range (0 or more workers than work items).
+pub(crate) fn clamp_workers(requested: usize, available: usize) -> usize {
+    let clamped = requested.min(available).max(1);
+    if clamped != requested {
+        THREAD_CLAMP_EVENTS.fetch_add(1, Ordering::Relaxed);
+    }
+    clamped
+}
+
+/// Run `f`, converting a panic into a typed [`PlanarError::Internal`]
+/// carrying the panic message — the per-query isolation primitive behind
+/// the `*_batch` APIs: one poisoned query must not abort its batch.
+pub(crate) fn run_isolated<T>(f: impl FnOnce() -> T) -> Result<T> {
+    catch_unwind(AssertUnwindSafe(f)).map_err(|payload| {
+        let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "worker panicked".to_string()
+        };
+        PlanarError::Internal(msg)
+    })
+}
 
 /// Thread-count and crossover configuration for the parallel query engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -142,9 +185,13 @@ where
             });
         }
     });
+    // Unreachable in practice: `thread::scope` re-raises any worker panic
+    // at the join above, so every slot is filled here. Batch callers wrap
+    // per-item work in `run_isolated`, which keeps worker panics from ever
+    // reaching the scope join.
     results
         .into_iter()
-        .map(|r| r.expect("worker panicked"))
+        .map(|r| r.expect("scope join guarantees completion"))
         .collect()
 }
 
@@ -277,7 +324,7 @@ fn verify_top_k_blocked(
 /// `batch_len` queries uses under `exec`, and how many threads remain for
 /// intra-query verification inside each worker.
 pub(crate) fn batch_plan(exec: &ExecutionConfig, batch_len: usize) -> (usize, ExecutionConfig) {
-    let workers = exec.threads.min(batch_len).max(1);
+    let workers = clamp_workers(exec.threads, batch_len);
     let inner = ExecutionConfig {
         threads: (exec.threads / workers).max(1),
         parallel_verify_threshold: exec.parallel_verify_threshold,
@@ -399,5 +446,36 @@ mod tests {
         assert_eq!(inner.threads, 1);
         let (workers, _) = batch_plan(&ExecutionConfig::serial(), 100);
         assert_eq!(workers, 1);
+    }
+
+    #[test]
+    fn out_of_range_thread_counts_clamp_and_count() {
+        let before = thread_clamp_events();
+        // Zero threads (possible via direct struct construction).
+        let zero = ExecutionConfig {
+            threads: 0,
+            parallel_verify_threshold: DEFAULT_PARALLEL_VERIFY_THRESHOLD,
+        };
+        let (workers, inner) = batch_plan(&zero, 10);
+        assert_eq!(workers, 1);
+        assert_eq!(inner.threads, 1);
+        // More threads than queries in the batch.
+        let (workers, _) = batch_plan(&ExecutionConfig::with_threads(64), 3);
+        assert_eq!(workers, 3);
+        // An in-range request does not count.
+        let counted = thread_clamp_events() - before;
+        let (workers, _) = batch_plan(&ExecutionConfig::with_threads(2), 10);
+        assert_eq!(workers, 2);
+        assert!(counted >= 2, "clamp events must be counted, got {counted}");
+        assert_eq!(thread_clamp_events() - before, counted);
+    }
+
+    #[test]
+    fn run_isolated_converts_panics_to_internal_errors() {
+        assert_eq!(run_isolated(|| 41 + 1).unwrap(), 42);
+        let err = run_isolated(|| -> u32 { panic!("poisoned query") }).unwrap_err();
+        assert_eq!(err, PlanarError::Internal("poisoned query".into()));
+        let err = run_isolated(|| -> u32 { panic!("{} {}", "formatted", 7) }).unwrap_err();
+        assert_eq!(err, PlanarError::Internal("formatted 7".into()));
     }
 }

@@ -1,4 +1,5 @@
-//! Index persistence: a versioned, checksummed binary format.
+//! Crash-safe index persistence: a versioned, checksummed, *sectioned*
+//! binary format with partial recovery.
 //!
 //! Index construction is loglinear (§4.2), but for large budgets over
 //! millions of points a cold rebuild still costs tens of seconds; restart
@@ -8,32 +9,60 @@
 //! pass (the stores are bulk-loaded from already-sorted entries) instead of
 //! `O(budget · n log n)` of re-sorting.
 //!
-//! Layout (all little-endian):
+//! ## `PLNRIDX2` layout (all little-endian)
 //!
 //! ```text
-//! magic "PLNRIDX1" | flags u32 | dim u32 | n u64
-//! table data: n·dim f64
-//! tombstones: n bytes (0/1)
-//! domain: per axis — tag u8 (0 discrete, 1 continuous) + payload
-//! strategy: u8
-//! indices: count u32, per index — normal dim·f64, entry count u64,
-//!          entries (key f64, id u32)…
-//! crc64 of everything above
+//! magic "PLNRIDX2" | flags u32 | core_len u64
+//! core section (core_len bytes):
+//!     dim u32 | n u64
+//!     table data: n·dim f64
+//!     tombstones: n bytes (0/1)
+//!     domain: axes u32, per axis tag u8 (0 discrete, 1 continuous) + payload
+//!     strategy u8 | index count u32
+//!     normals: count·dim f64
+//!     quarantine flags: count bytes (0/1)
+//!     index section lengths: count u64
+//! crc64 of the core section
+//! per index i: section of length lens[i] —
+//!     entry count u64 | entries (key f64, id u32)… | crc64 of the section
+//!     minus its trailing crc
 //! ```
+//!
+//! The *core* section holds everything needed to rebuild any index from
+//! scratch (rows + normals), plus the framing (`lens`) of the per-index
+//! sections — all under one CRC. Each index's entry array sits in its own
+//! CRC-framed section, so a flipped bit or torn tail corrupts **one index**,
+//! not the file: [`PlanarIndexSet::from_bytes_recover`] quarantines the bad
+//! section(s) and [`PlanarIndexSet::load_or_recover`] rebuilds them from the
+//! (intact) core. Version-1 files (`PLNRIDX1`, a single whole-file CRC) are
+//! still readable — all-or-nothing, as they were written.
+//!
+//! Saving is atomic: bytes go to a temp file in the target's directory,
+//! fsync, rename over the target, fsync the directory — with bounded
+//! retry/backoff on transient IO errors ([`SaveOptions`]). A crash at any
+//! point leaves either the old snapshot or the new one, never a torn file
+//! at the target path.
 //!
 //! The normalizer is *not* stored: refitting it from the table reproduces
 //! deltas that cover every stored row, which is the only property
 //! correctness needs (keys are raw-space; see `planar_geom::translation`).
 
 use crate::domain::{Domain, ParameterDomain};
+use crate::fault::{SnapshotIo, StdIo};
 use crate::multi::PlanarIndexSet;
 use crate::selection::SelectionStrategy;
 use crate::store::{Entry, KeyStore};
 use crate::table::FeatureTable;
 use crate::{PlanarError, Result};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
 
-const MAGIC: &[u8; 8] = b"PLNRIDX1";
+const MAGIC_V1: &[u8; 8] = b"PLNRIDX1";
+const MAGIC_V2: &[u8; 8] = b"PLNRIDX2";
+/// magic + flags + core_len.
+const V2_PREAMBLE: usize = 8 + 4 + 8;
 
 /// CRC-64/XZ for integrity checking.
 fn crc64(data: &[u8]) -> u64 {
@@ -51,6 +80,29 @@ fn crc64(data: &[u8]) -> u64 {
 
 fn corrupt(msg: impl Into<String>) -> PlanarError {
     PlanarError::Persist(msg.into())
+}
+
+/// Defensive bound: `count` items of `item_bytes` each must fit in the
+/// remaining buffer *before* any allocation sized by `count` happens, so a
+/// corrupted length field cannot trigger a multi-GB allocation.
+fn check_fits(buf: &Bytes, count: usize, item_bytes: usize, what: &str) -> Result<usize> {
+    let total = count
+        .checked_mul(item_bytes)
+        .ok_or_else(|| corrupt(format!("{what}: length overflows")))?;
+    if buf.remaining() < total {
+        return Err(corrupt(format!(
+            "{what}: claims {total} bytes, only {} remain",
+            buf.remaining()
+        )));
+    }
+    Ok(total)
+}
+
+fn need(buf: &Bytes, bytes: usize, what: &str) -> Result<()> {
+    if buf.remaining() < bytes {
+        return Err(corrupt(format!("truncated {what}")));
+    }
+    Ok(())
 }
 
 fn put_domain(buf: &mut BytesMut, d: &Domain) {
@@ -71,24 +123,16 @@ fn put_domain(buf: &mut BytesMut, d: &Domain) {
 }
 
 fn get_domain(buf: &mut Bytes) -> Result<Domain> {
-    if buf.remaining() < 1 {
-        return Err(corrupt("truncated domain"));
-    }
+    need(buf, 1, "domain")?;
     match buf.get_u8() {
         0 => {
-            if buf.remaining() < 4 {
-                return Err(corrupt("truncated discrete domain"));
-            }
+            need(buf, 4, "discrete domain")?;
             let k = buf.get_u32_le() as usize;
-            if buf.remaining() < k * 8 {
-                return Err(corrupt("truncated discrete domain values"));
-            }
+            check_fits(buf, k, 8, "discrete domain values")?;
             Ok(Domain::Discrete((0..k).map(|_| buf.get_f64_le()).collect()))
         }
         1 => {
-            if buf.remaining() < 16 {
-                return Err(corrupt("truncated continuous domain"));
-            }
+            need(buf, 16, "continuous domain")?;
             Ok(Domain::Continuous {
                 lo: buf.get_f64_le(),
                 hi: buf.get_f64_le(),
@@ -115,156 +159,571 @@ fn strategy_from_tag(t: u8) -> Result<SelectionStrategy> {
     }
 }
 
+/// Durability knobs for [`PlanarIndexSet::save_to_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SaveOptions {
+    /// How many times to retry the temp-write + rename after a transient IO
+    /// failure (so `retries + 1` attempts in total).
+    pub retries: u32,
+    /// Initial sleep between attempts; doubles after each failure.
+    pub backoff: Duration,
+}
+
+impl Default for SaveOptions {
+    fn default() -> Self {
+        Self {
+            retries: 3,
+            backoff: Duration::from_millis(10),
+        }
+    }
+}
+
+impl SaveOptions {
+    /// Override the retry count.
+    pub fn retries(mut self, retries: u32) -> Self {
+        self.retries = retries;
+        self
+    }
+
+    /// Override the initial backoff.
+    pub fn backoff(mut self, backoff: Duration) -> Self {
+        self.backoff = backoff;
+        self
+    }
+
+    /// No retries, no sleeping — for tests and latency-critical callers.
+    pub fn fail_fast() -> Self {
+        Self {
+            retries: 0,
+            backoff: Duration::ZERO,
+        }
+    }
+}
+
+/// What [`PlanarIndexSet::from_bytes_recover`] /
+/// [`PlanarIndexSet::load_or_recover`] found and did.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RecoveryReport {
+    /// Format version of the snapshot (1 or 2).
+    pub version: u32,
+    /// Indices recorded in the snapshot.
+    pub total_indices: usize,
+    /// Indices whose sections verified and were loaded intact.
+    pub loaded: usize,
+    /// Positions quarantined by *this* load because their section was
+    /// corrupt or truncated.
+    pub quarantined: Vec<usize>,
+    /// Positions that were already flagged quarantined when the snapshot
+    /// was written.
+    pub already_quarantined: Vec<usize>,
+    /// Positions rebuilt from the table after loading (only
+    /// [`PlanarIndexSet::load_or_recover`] rebuilds).
+    pub rebuilt: Vec<usize>,
+}
+
+impl RecoveryReport {
+    /// True when nothing was corrupt or quarantined: the snapshot loaded
+    /// exactly as written, all indices usable.
+    pub fn is_clean(&self) -> bool {
+        self.quarantined.is_empty()
+            && self.already_quarantined.is_empty()
+            && self.rebuilt.is_empty()
+    }
+}
+
+/// The CRC-protected core section, parsed.
+struct CoreParts {
+    table: FeatureTable,
+    tombstones: Vec<bool>,
+    domain: ParameterDomain,
+    strategy: SelectionStrategy,
+    normals: Vec<Vec<f64>>,
+    quarantined: Vec<bool>,
+    section_lens: Vec<usize>,
+}
+
+fn parse_core(core: &[u8]) -> Result<CoreParts> {
+    let mut buf = Bytes::copy_from_slice(core);
+    need(&buf, 12, "core header")?;
+    let dim = buf.get_u32_le() as usize;
+    let n = buf.get_u64_le() as usize;
+    if dim == 0 {
+        return Err(corrupt("zero dimensionality"));
+    }
+    // Rows (8·dim bytes each) + one tombstone byte per row must fit before
+    // the table is allocated.
+    let row_bytes = dim
+        .checked_mul(8)
+        .and_then(|b| b.checked_add(1))
+        .ok_or_else(|| corrupt("table row size overflows"))?;
+    check_fits(&buf, n, row_bytes, "table")?;
+    let mut table = FeatureTable::with_capacity(dim, n)?;
+    let mut row = vec![0.0; dim];
+    for _ in 0..n {
+        for slot in row.iter_mut() {
+            *slot = buf.get_f64_le();
+        }
+        table.push_row(&row)?;
+    }
+    let mut tombstones = Vec::with_capacity(n);
+    for _ in 0..n {
+        tombstones.push(buf.get_u8() != 0);
+    }
+    need(&buf, 4, "domain count")?;
+    let axes = buf.get_u32_le() as usize;
+    if axes != dim {
+        return Err(corrupt("domain dimensionality mismatch"));
+    }
+    let domain = ParameterDomain::new(
+        (0..axes)
+            .map(|_| get_domain(&mut buf))
+            .collect::<Result<Vec<_>>>()?,
+    )?;
+    need(&buf, 5, "strategy/index count")?;
+    let strategy = strategy_from_tag(buf.get_u8())?;
+    let index_count = buf.get_u32_le() as usize;
+    if index_count == 0 {
+        return Err(corrupt("index set must contain at least one index"));
+    }
+    // normals (8·dim) + quarantine flag (1) + section length (8) per index.
+    let per_index = dim
+        .checked_mul(8)
+        .and_then(|b| b.checked_add(9))
+        .ok_or_else(|| corrupt("index descriptor size overflows"))?;
+    check_fits(&buf, index_count, per_index, "index descriptors")?;
+    let mut normals = Vec::with_capacity(index_count);
+    for _ in 0..index_count {
+        normals.push((0..dim).map(|_| buf.get_f64_le()).collect::<Vec<f64>>());
+    }
+    let mut quarantined = Vec::with_capacity(index_count);
+    for _ in 0..index_count {
+        quarantined.push(buf.get_u8() != 0);
+    }
+    let mut section_lens = Vec::with_capacity(index_count);
+    for _ in 0..index_count {
+        let len = buf.get_u64_le();
+        section_lens.push(usize::try_from(len).map_err(|_| corrupt("section length overflows"))?);
+    }
+    if buf.has_remaining() {
+        return Err(corrupt("trailing bytes in core section"));
+    }
+    Ok(CoreParts {
+        table,
+        tombstones,
+        domain,
+        strategy,
+        normals,
+        quarantined,
+        section_lens,
+    })
+}
+
+/// Parse one per-index section (`entry count | entries | crc`); `Err` means
+/// the section is corrupt/truncated and the index must be quarantined.
+fn parse_index_section(section: &[u8]) -> Result<Vec<Entry>> {
+    if section.len() < 16 {
+        return Err(corrupt("index section too short"));
+    }
+    let (payload, tail) = section.split_at(section.len() - 8);
+    let stored_crc = u64::from_le_bytes(tail.try_into().map_err(|_| corrupt("bad section crc"))?);
+    if crc64(payload) != stored_crc {
+        return Err(corrupt("index section checksum mismatch"));
+    }
+    let mut buf = Bytes::copy_from_slice(payload);
+    let count = buf.get_u64_le() as usize;
+    let total = check_fits(&buf, count, 12, "index entries")?;
+    if total != buf.remaining() {
+        return Err(corrupt("index section length disagrees with entry count"));
+    }
+    Ok((0..count)
+        .map(|_| {
+            let key = buf.get_f64_le();
+            let id = buf.get_u32_le();
+            Entry::new(key, id)
+        })
+        .collect())
+}
+
+/// Shared v2 load: parse the core strictly, then handle each index section
+/// per `recover` (strict mode errors on the first bad section; recover mode
+/// quarantines it and keeps going).
+fn load_v2<S: KeyStore>(data: &[u8], recover: bool) -> Result<(PlanarIndexSet<S>, RecoveryReport)> {
+    let mut buf = Bytes::copy_from_slice(&data[8..V2_PREAMBLE]);
+    let _flags = buf.get_u32_le();
+    let core_len = buf.get_u64_le() as usize;
+    let core_start = V2_PREAMBLE;
+    let core_end = core_start
+        .checked_add(core_len)
+        .ok_or_else(|| corrupt("core length overflows"))?;
+    if core_end + 8 > data.len() {
+        return Err(corrupt("truncated core section"));
+    }
+    let core = &data[core_start..core_end];
+    let stored_crc = u64::from_le_bytes(
+        data[core_end..core_end + 8]
+            .try_into()
+            .map_err(|_| corrupt("bad core crc"))?,
+    );
+    if crc64(core) != stored_crc {
+        return Err(corrupt("core section checksum mismatch"));
+    }
+    let parts = parse_core(core)?;
+
+    let mut report = RecoveryReport {
+        version: 2,
+        total_indices: parts.normals.len(),
+        ..RecoveryReport::default()
+    };
+    for (pos, &q) in parts.quarantined.iter().enumerate() {
+        if q {
+            report.already_quarantined.push(pos);
+        }
+    }
+
+    let mut entry_lists = Vec::with_capacity(parts.normals.len());
+    let mut quarantined = parts.quarantined.clone();
+    let mut offset = core_end + 8;
+    for (pos, &len) in parts.section_lens.iter().enumerate() {
+        let end = offset.checked_add(len);
+        let section = end.filter(|&e| e <= data.len()).map(|e| &data[offset..e]);
+        let parsed = match section {
+            Some(bytes) => parse_index_section(bytes),
+            None => Err(corrupt(format!("index section {pos} extends past EOF"))),
+        };
+        match parsed {
+            Ok(entries) => entry_lists.push(entries),
+            Err(e) => {
+                if !recover {
+                    return Err(e);
+                }
+                // Quarantine: keep the slot with no entries; the normal in
+                // the core is enough to rebuild later.
+                if !quarantined[pos] {
+                    report.quarantined.push(pos);
+                }
+                quarantined[pos] = true;
+                entry_lists.push(Vec::new());
+            }
+        }
+        offset = offset.saturating_add(len);
+    }
+    if !recover && offset != data.len() {
+        return Err(corrupt("trailing bytes after index sections"));
+    }
+    report.loaded = report.total_indices - report.quarantined.len();
+
+    let set = PlanarIndexSet::assemble(
+        parts.table,
+        parts.domain,
+        parts.strategy,
+        parts.tombstones,
+        parts.normals,
+        entry_lists,
+        quarantined,
+    )?;
+    Ok((set, report))
+}
+
+/// Load a `PLNRIDX1` (whole-file CRC) snapshot: all-or-nothing, as written.
+fn load_v1<S: KeyStore>(data: &[u8]) -> Result<(PlanarIndexSet<S>, RecoveryReport)> {
+    let (body, tail) = data.split_at(data.len() - 8);
+    let stored_crc = u64::from_le_bytes(tail.try_into().map_err(|_| corrupt("bad crc"))?);
+    if crc64(body) != stored_crc {
+        return Err(corrupt("checksum mismatch"));
+    }
+    let mut buf = Bytes::copy_from_slice(&body[8..]);
+    need(&buf, 16, "header")?;
+    let _flags = buf.get_u32_le();
+    let dim = buf.get_u32_le() as usize;
+    let n = buf.get_u64_le() as usize;
+    if dim == 0 {
+        return Err(corrupt("zero dimensionality"));
+    }
+    let row_bytes = dim
+        .checked_mul(8)
+        .and_then(|b| b.checked_add(1))
+        .ok_or_else(|| corrupt("table row size overflows"))?;
+    check_fits(&buf, n, row_bytes, "table")?;
+    let mut table = FeatureTable::with_capacity(dim, n)?;
+    let mut row = vec![0.0; dim];
+    for _ in 0..n {
+        for slot in row.iter_mut() {
+            *slot = buf.get_f64_le();
+        }
+        table.push_row(&row)?;
+    }
+    let mut tombstones = Vec::with_capacity(n);
+    for _ in 0..n {
+        tombstones.push(buf.get_u8() != 0);
+    }
+    need(&buf, 4, "domain count")?;
+    let axes = buf.get_u32_le() as usize;
+    if axes != dim {
+        return Err(corrupt("domain dimensionality mismatch"));
+    }
+    let domain = ParameterDomain::new(
+        (0..axes)
+            .map(|_| get_domain(&mut buf))
+            .collect::<Result<Vec<_>>>()?,
+    )?;
+    need(&buf, 5, "strategy/index count")?;
+    let strategy = strategy_from_tag(buf.get_u8())?;
+    let index_count = buf.get_u32_le() as usize;
+    if index_count == 0 {
+        return Err(corrupt("index set must contain at least one index"));
+    }
+    let mut normals = Vec::with_capacity(index_count);
+    let mut entry_lists = Vec::with_capacity(index_count);
+    for _ in 0..index_count {
+        need(&buf, dim * 8 + 8, "index header")?;
+        let normal: Vec<f64> = (0..dim).map(|_| buf.get_f64_le()).collect();
+        let count = buf.get_u64_le() as usize;
+        check_fits(&buf, count, 12, "index entries")?;
+        let entries: Vec<Entry> = (0..count)
+            .map(|_| {
+                let key = buf.get_f64_le();
+                let id = buf.get_u32_le();
+                Entry::new(key, id)
+            })
+            .collect();
+        normals.push(normal);
+        entry_lists.push(entries);
+    }
+    let total = normals.len();
+    let set = PlanarIndexSet::assemble(
+        table,
+        domain,
+        strategy,
+        tombstones,
+        normals,
+        entry_lists,
+        vec![false; total],
+    )?;
+    let report = RecoveryReport {
+        version: 1,
+        total_indices: total,
+        loaded: total,
+        ..RecoveryReport::default()
+    };
+    Ok((set, report))
+}
+
 impl<S: KeyStore> PlanarIndexSet<S> {
-    /// Serialize the full index set to bytes.
+    /// Serialize the full index set to bytes (`PLNRIDX2`: sectioned, one
+    /// CRC for the core, one per index).
     pub fn to_bytes(&self) -> Bytes {
         let n = self.table().len();
         let dim = self.dim();
-        let mut buf = BytesMut::with_capacity(64 + n * dim * 8 + n);
-        buf.put_slice(MAGIC);
-        buf.put_u32_le(0); // flags, reserved
-        buf.put_u32_le(dim as u32);
-        buf.put_u64_le(n as u64);
+        let count = self.num_indices();
+
+        // Per-index sections first, so the core can record their framing.
+        let mut sections: Vec<BytesMut> = Vec::with_capacity(count);
+        for pos in 0..count {
+            let idx = self.index_at(pos).expect("pos < num_indices");
+            let mut sec = BytesMut::with_capacity(16 + idx.len() * 12);
+            sec.put_u64_le(idx.len() as u64);
+            for e in idx.entries() {
+                sec.put_f64_le(e.key);
+                sec.put_u32_le(e.id);
+            }
+            let crc = crc64(&sec);
+            sec.put_u64_le(crc);
+            sections.push(sec);
+        }
+
+        let mut core = BytesMut::with_capacity(32 + n * (dim * 8 + 1) + count * (dim * 8 + 9));
+        core.put_u32_le(dim as u32);
+        core.put_u64_le(n as u64);
         for (_, row) in self.table().iter() {
             for &v in row {
-                buf.put_f64_le(v);
+                core.put_f64_le(v);
             }
         }
         for id in 0..n as u32 {
-            buf.put_u8(u8::from(!self.is_live(id)));
+            core.put_u8(u8::from(!self.is_live(id)));
         }
-        buf.put_u32_le(self.domain().dim() as u32);
+        core.put_u32_le(self.domain().dim() as u32);
         for d in self.domain().axes() {
-            put_domain(&mut buf, d);
+            put_domain(&mut core, d);
         }
-        buf.put_u8(strategy_tag(self.strategy()));
-        buf.put_u32_le(self.num_indices() as u32);
-        for pos in 0..self.num_indices() {
-            let idx = self.index_at(pos).expect("in range");
+        core.put_u8(strategy_tag(self.strategy()));
+        core.put_u32_le(count as u32);
+        for pos in 0..count {
+            let idx = self.index_at(pos).expect("pos < num_indices");
             for &c in idx.normal() {
-                buf.put_f64_le(c);
-            }
-            let entries: Vec<Entry> = idx.entries().collect();
-            buf.put_u64_le(entries.len() as u64);
-            for e in entries {
-                buf.put_f64_le(e.key);
-                buf.put_u32_le(e.id);
+                core.put_f64_le(c);
             }
         }
-        let checksum = crc64(&buf);
-        buf.put_u64_le(checksum);
+        for pos in 0..count {
+            core.put_u8(u8::from(self.is_quarantined(pos)));
+        }
+        for sec in &sections {
+            core.put_u64_le(sec.len() as u64);
+        }
+
+        let total: usize =
+            V2_PREAMBLE + core.len() + 8 + sections.iter().map(|s| s.len()).sum::<usize>();
+        let mut buf = BytesMut::with_capacity(total);
+        buf.put_slice(MAGIC_V2);
+        buf.put_u32_le(0); // flags, reserved
+        buf.put_u64_le(core.len() as u64);
+        let core_crc = crc64(&core);
+        buf.put_slice(&core);
+        buf.put_u64_le(core_crc);
+        for sec in sections {
+            buf.put_slice(&sec);
+        }
         buf.freeze()
     }
 
-    /// Deserialize an index set previously written by [`Self::to_bytes`].
+    /// Deserialize an index set previously written by [`Self::to_bytes`]
+    /// (either format version). Strict: **any** corrupt section is an
+    /// error. Use [`Self::from_bytes_recover`] to salvage what verifies.
     ///
     /// # Errors
     ///
     /// [`PlanarError::Persist`] on truncation, bad magic, version/tag
-    /// mismatches, or checksum failure.
+    /// mismatches, or checksum failure of any section.
     pub fn from_bytes(data: &[u8]) -> Result<Self> {
-        if data.len() < MAGIC.len() + 8 {
-            return Err(corrupt("file too short"));
+        match Self::dispatch_magic(data)? {
+            2 => load_v2(data, false).map(|(set, _)| set),
+            _ => load_v1(data).map(|(set, _)| set),
         }
-        let (body, tail) = data.split_at(data.len() - 8);
-        let stored_crc = u64::from_le_bytes(tail.try_into().expect("8 bytes"));
-        if crc64(body) != stored_crc {
-            return Err(corrupt("checksum mismatch"));
-        }
-        let mut buf = Bytes::copy_from_slice(body);
-        let mut magic = [0u8; 8];
-        buf.copy_to_slice(&mut magic);
-        if &magic != MAGIC {
-            return Err(corrupt("bad magic (not a planar index file)"));
-        }
-        let _flags = buf.get_u32_le();
-        let dim = buf.get_u32_le() as usize;
-        let n = buf.get_u64_le() as usize;
-        if dim == 0 {
-            return Err(corrupt("zero dimensionality"));
-        }
-        if buf.remaining() < n * dim * 8 + n {
-            return Err(corrupt("truncated table"));
-        }
-        let mut table = FeatureTable::with_capacity(dim, n)?;
-        let mut row = vec![0.0; dim];
-        for _ in 0..n {
-            for slot in row.iter_mut() {
-                *slot = buf.get_f64_le();
-            }
-            table.push_row(&row)?;
-        }
-        let mut tombstones = Vec::with_capacity(n);
-        for _ in 0..n {
-            tombstones.push(buf.get_u8() != 0);
-        }
-        if buf.remaining() < 4 {
-            return Err(corrupt("truncated domain count"));
-        }
-        let axes = buf.get_u32_le() as usize;
-        if axes != dim {
-            return Err(corrupt("domain dimensionality mismatch"));
-        }
-        let domain = ParameterDomain::new(
-            (0..axes)
-                .map(|_| get_domain(&mut buf))
-                .collect::<Result<Vec<_>>>()?,
-        )?;
-        if buf.remaining() < 5 {
-            return Err(corrupt("truncated strategy/index count"));
-        }
-        let strategy = strategy_from_tag(buf.get_u8())?;
-        let index_count = buf.get_u32_le() as usize;
-        let mut normals = Vec::with_capacity(index_count);
-        let mut entry_lists = Vec::with_capacity(index_count);
-        for _ in 0..index_count {
-            if buf.remaining() < dim * 8 + 8 {
-                return Err(corrupt("truncated index header"));
-            }
-            let normal: Vec<f64> = (0..dim).map(|_| buf.get_f64_le()).collect();
-            let count = buf.get_u64_le() as usize;
-            if buf.remaining() < count * 12 {
-                return Err(corrupt("truncated index entries"));
-            }
-            let entries: Vec<Entry> = (0..count)
-                .map(|_| {
-                    let key = buf.get_f64_le();
-                    let id = buf.get_u32_le();
-                    Entry::new(key, id)
-                })
-                .collect();
-            normals.push(normal);
-            entry_lists.push(entries);
-        }
-        if index_count == 0 {
-            return Err(corrupt("index set must contain at least one index"));
-        }
-        PlanarIndexSet::assemble(table, domain, strategy, tombstones, normals, entry_lists)
     }
 
-    /// Write to a file.
+    /// Deserialize, salvaging everything whose checksum verifies.
+    ///
+    /// The core section (table, domains, normals, framing) must be intact —
+    /// without it nothing is trustworthy. A corrupt or truncated per-index
+    /// section quarantines that one index (empty, flagged, skipped by the
+    /// planner) instead of failing the load; its normal survives in the
+    /// core, so [`Self::rebuild_quarantined`] can restore it. The report
+    /// says exactly what happened. v1 snapshots have a single whole-file
+    /// CRC and are therefore all-or-nothing.
     ///
     /// # Errors
     ///
-    /// [`PlanarError::Persist`] wrapping I/O failures.
-    pub fn save_to(&self, path: impl AsRef<std::path::Path>) -> Result<()> {
-        std::fs::write(path, self.to_bytes()).map_err(|e| corrupt(format!("write failed: {e}")))
+    /// [`PlanarError::Persist`] when the preamble or core section is
+    /// unreadable.
+    pub fn from_bytes_recover(data: &[u8]) -> Result<(Self, RecoveryReport)> {
+        match Self::dispatch_magic(data)? {
+            2 => load_v2(data, true),
+            _ => load_v1(data),
+        }
     }
 
-    /// Read from a file written by [`Self::save_to`].
+    fn dispatch_magic(data: &[u8]) -> Result<u32> {
+        if data.len() < V2_PREAMBLE {
+            return Err(corrupt("file too short"));
+        }
+        match &data[..8] {
+            m if m == MAGIC_V2 => Ok(2),
+            m if m == MAGIC_V1 => Ok(1),
+            _ => Err(corrupt("bad magic (not a planar index file)")),
+        }
+    }
+
+    /// Write to a file atomically (temp file + fsync + rename) with the
+    /// default retry policy.
+    ///
+    /// # Errors
+    ///
+    /// [`PlanarError::Persist`] wrapping the last I/O failure after all
+    /// retries are exhausted.
+    pub fn save_to(&self, path: impl AsRef<Path>) -> Result<()> {
+        self.save_to_with(path, &mut StdIo, &SaveOptions::default())
+    }
+
+    /// [`Self::save_to`] with an explicit IO layer and retry policy.
+    ///
+    /// Each attempt writes the full snapshot to a uniquely named temp file
+    /// in the target's directory (durably: write + fsync) and renames it
+    /// over the target. Transient failures are retried up to `opts.retries`
+    /// times with doubling backoff; the temp file is removed best-effort
+    /// after a failed attempt. The target path therefore always holds
+    /// either the previous snapshot or the complete new one.
+    ///
+    /// # Errors
+    ///
+    /// [`PlanarError::Persist`] wrapping the last I/O failure.
+    pub fn save_to_with(
+        &self,
+        path: impl AsRef<Path>,
+        io: &mut dyn SnapshotIo,
+        opts: &SaveOptions,
+    ) -> Result<()> {
+        static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+        let path = path.as_ref();
+        let bytes = self.to_bytes();
+        let file_name = path
+            .file_name()
+            .ok_or_else(|| corrupt(format!("invalid save path {}", path.display())))?;
+        let tmp = path.with_file_name(format!(
+            ".{}.tmp.{}.{}",
+            file_name.to_string_lossy(),
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let mut delay = opts.backoff;
+        let mut last_err = String::new();
+        for attempt in 0..=opts.retries {
+            if attempt > 0 && !delay.is_zero() {
+                std::thread::sleep(delay);
+                delay = delay.saturating_mul(2);
+            }
+            match io
+                .write_file(&tmp, &bytes)
+                .and_then(|()| io.rename(&tmp, path))
+            {
+                Ok(()) => return Ok(()),
+                Err(e) => {
+                    last_err = e.to_string();
+                    let _ = io.remove_file(&tmp);
+                }
+            }
+        }
+        Err(corrupt(format!(
+            "save failed after {} attempt(s): {last_err}",
+            opts.retries + 1
+        )))
+    }
+
+    /// Read from a file written by [`Self::save_to`]. Strict — see
+    /// [`Self::from_bytes`]; use [`Self::load_or_recover`] for the
+    /// salvaging path.
     ///
     /// # Errors
     ///
     /// [`PlanarError::Persist`] on I/O or format problems.
-    pub fn load_from(path: impl AsRef<std::path::Path>) -> Result<Self> {
+    pub fn load_from(path: impl AsRef<Path>) -> Result<Self> {
         let data = std::fs::read(path).map_err(|e| corrupt(format!("read failed: {e}")))?;
         Self::from_bytes(&data)
+    }
+
+    /// Load a snapshot, quarantining corrupt index sections and rebuilding
+    /// them from the (intact) core — the restart-recovery entry point.
+    ///
+    /// Equivalent to [`Self::from_bytes_recover`] on the file's bytes
+    /// followed by [`Self::rebuild_quarantined`]; the report's `rebuilt`
+    /// records which positions were restored. After a clean return every
+    /// index is usable, even if the file was partially corrupt.
+    ///
+    /// # Errors
+    ///
+    /// [`PlanarError::Persist`] when the file is unreadable or its core
+    /// section does not verify.
+    pub fn load_or_recover(path: impl AsRef<Path>) -> Result<(Self, RecoveryReport)> {
+        let data = std::fs::read(path).map_err(|e| corrupt(format!("read failed: {e}")))?;
+        let (mut set, mut report) = Self::from_bytes_recover(&data)?;
+        report.rebuilt = set.rebuild_quarantined();
+        Ok((set, report))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{Corruption, FaultyIo, IoFault, TempDir};
     use crate::multi::IndexConfig;
     use crate::query::InequalityQuery;
     use crate::store::VecStore;
@@ -286,10 +745,52 @@ mod tests {
         set
     }
 
+    /// Serialize in the legacy PLNRIDX1 layout (whole-file CRC), for
+    /// backward-compatibility tests — the writer itself always emits v2.
+    fn to_bytes_v1<S: KeyStore>(set: &PlanarIndexSet<S>) -> Vec<u8> {
+        let n = set.table().len();
+        let dim = set.dim();
+        let mut buf = BytesMut::with_capacity(64 + n * dim * 8 + n);
+        buf.put_slice(MAGIC_V1);
+        buf.put_u32_le(0);
+        buf.put_u32_le(dim as u32);
+        buf.put_u64_le(n as u64);
+        for (_, row) in set.table().iter() {
+            for &v in row {
+                buf.put_f64_le(v);
+            }
+        }
+        for id in 0..n as u32 {
+            buf.put_u8(u8::from(!set.is_live(id)));
+        }
+        buf.put_u32_le(set.domain().dim() as u32);
+        for d in set.domain().axes() {
+            put_domain(&mut buf, d);
+        }
+        buf.put_u8(strategy_tag(set.strategy()));
+        buf.put_u32_le(set.num_indices() as u32);
+        for pos in 0..set.num_indices() {
+            let idx = set.index_at(pos).unwrap();
+            for &c in idx.normal() {
+                buf.put_f64_le(c);
+            }
+            let entries: Vec<Entry> = idx.entries().collect();
+            buf.put_u64_le(entries.len() as u64);
+            for e in entries {
+                buf.put_f64_le(e.key);
+                buf.put_u32_le(e.id);
+            }
+        }
+        let checksum = crc64(&buf);
+        buf.put_u64_le(checksum);
+        buf.to_vec()
+    }
+
     #[test]
     fn roundtrip_preserves_answers_and_structure() {
         let set = sample_set();
         let bytes = set.to_bytes();
+        assert_eq!(&bytes[..8], MAGIC_V2);
         let loaded = PlanarIndexSet::<VecStore>::from_bytes(&bytes).unwrap();
         assert_eq!(loaded.len(), set.len());
         assert_eq!(loaded.num_indices(), set.num_indices());
@@ -304,6 +805,28 @@ mod tests {
             assert_eq!(got.sorted_ids(), want.sorted_ids(), "b={b}");
             assert_eq!(got.stats.used_index(), want.stats.used_index());
         }
+    }
+
+    #[test]
+    fn v1_files_still_load() {
+        let set = sample_set();
+        let v1 = to_bytes_v1(&set);
+        let loaded = PlanarIndexSet::<VecStore>::from_bytes(&v1).unwrap();
+        assert_eq!(loaded.len(), set.len());
+        assert_eq!(loaded.num_indices(), set.num_indices());
+        let q = InequalityQuery::leq(vec![1.0, -1.5], 3.0).unwrap();
+        assert_eq!(
+            loaded.query(&q).unwrap().sorted_ids(),
+            set.query(&q).unwrap().sorted_ids()
+        );
+        // Recovery on v1 is all-or-nothing; clean file → clean report.
+        let (_, report) = PlanarIndexSet::<VecStore>::from_bytes_recover(&v1).unwrap();
+        assert_eq!(report.version, 1);
+        assert!(report.is_clean());
+        let mut bad = v1;
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0x10;
+        assert!(PlanarIndexSet::<VecStore>::from_bytes_recover(&bad).is_err());
     }
 
     #[test]
@@ -345,15 +868,160 @@ mod tests {
     }
 
     #[test]
+    fn corrupt_index_section_is_quarantined_not_fatal() {
+        let set = sample_set();
+        let mut bytes = set.to_bytes().to_vec();
+        // The last 20 bytes are inside the final index section's entries.
+        let off = bytes.len() - 20;
+        Corruption::BitFlip {
+            offset: off,
+            bit: 3,
+        }
+        .apply(&mut bytes);
+
+        // Strict load refuses.
+        assert!(PlanarIndexSet::<VecStore>::from_bytes(&bytes).is_err());
+
+        // Recovering load quarantines exactly the damaged index.
+        let (recovered, report) = PlanarIndexSet::<VecStore>::from_bytes_recover(&bytes).unwrap();
+        assert_eq!(report.version, 2);
+        assert_eq!(report.total_indices, set.num_indices());
+        assert_eq!(report.quarantined, vec![set.num_indices() - 1]);
+        assert_eq!(report.loaded, set.num_indices() - 1);
+        assert!(!report.is_clean());
+
+        // Rebuild restores it; answers match the original exactly.
+        let mut recovered = recovered;
+        assert_eq!(recovered.rebuild_quarantined(), vec![set.num_indices() - 1]);
+        for b in [-30.0, 0.0, 30.0] {
+            let q = InequalityQuery::leq(vec![1.0, -1.5], b).unwrap();
+            assert_eq!(
+                recovered.query(&q).unwrap().sorted_ids(),
+                set.query(&q).unwrap().sorted_ids(),
+                "b={b}"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupt_core_section_is_fatal_even_in_recovery() {
+        let set = sample_set();
+        let mut bytes = set.to_bytes().to_vec();
+        Corruption::BitFlip { offset: 40, bit: 0 }.apply(&mut bytes); // table row area
+        assert!(PlanarIndexSet::<VecStore>::from_bytes_recover(&bytes).is_err());
+    }
+
+    #[test]
+    fn huge_claimed_lengths_do_not_allocate() {
+        let set = sample_set();
+        let bytes = set.to_bytes().to_vec();
+        // Patch n (core offset 4) to an absurd value and re-seal the core
+        // CRC, so the defensive length check — not the checksum — must
+        // reject it.
+        let core_len = u64::from_le_bytes(bytes[12..20].try_into().unwrap()) as usize;
+        let mut bad = bytes.clone();
+        bad[V2_PREAMBLE + 4..V2_PREAMBLE + 12].copy_from_slice(&u64::MAX.to_le_bytes());
+        let crc = crc64(&bad[V2_PREAMBLE..V2_PREAMBLE + core_len]);
+        bad[V2_PREAMBLE + core_len..V2_PREAMBLE + core_len + 8].copy_from_slice(&crc.to_le_bytes());
+        let err = PlanarIndexSet::<VecStore>::from_bytes(&bad).unwrap_err();
+        assert!(matches!(err, PlanarError::Persist(_)), "{err:?}");
+    }
+
+    #[test]
     fn file_roundtrip() {
         let set = sample_set();
-        let path =
-            std::env::temp_dir().join(format!("planar_persist_test_{}.idx", std::process::id()));
+        let dir = TempDir::new("persist_file").unwrap();
+        let path = dir.file("set.idx");
         set.save_to(&path).unwrap();
         let loaded = PlanarIndexSet::<VecStore>::load_from(&path).unwrap();
-        std::fs::remove_file(&path).ok();
         assert_eq!(loaded.len(), set.len());
         assert!(PlanarIndexSet::<VecStore>::load_from("/nonexistent/x.idx").is_err());
+    }
+
+    #[test]
+    fn save_retries_through_transient_failures() {
+        let set = sample_set();
+        let dir = TempDir::new("persist_retry").unwrap();
+        let path = dir.file("set.idx");
+        let mut io = FaultyIo::new(vec![IoFault::FailNthWrite(0)]);
+        let opts = SaveOptions::fail_fast().retries(2);
+        set.save_to_with(&path, &mut io, &opts).unwrap();
+        assert_eq!(io.fired(), &[IoFault::FailNthWrite(0)]);
+        let loaded = PlanarIndexSet::<VecStore>::load_from(&path).unwrap();
+        assert_eq!(loaded.len(), set.len());
+    }
+
+    #[test]
+    fn save_gives_up_after_retry_budget() {
+        let set = sample_set();
+        let dir = TempDir::new("persist_giveup").unwrap();
+        let path = dir.file("set.idx");
+        let mut io = FaultyIo::new(vec![IoFault::CrashAfterWrites(0)]);
+        let err = set
+            .save_to_with(&path, &mut io, &SaveOptions::fail_fast().retries(1))
+            .unwrap_err();
+        assert!(matches!(err, PlanarError::Persist(_)));
+        assert!(!path.exists(), "no torn file may appear at the target");
+    }
+
+    #[test]
+    fn crash_mid_save_leaves_previous_snapshot_loadable() {
+        let set = sample_set();
+        let dir = TempDir::new("persist_crash").unwrap();
+        let path = dir.file("set.idx");
+        set.save_to(&path).unwrap();
+
+        // A "newer" set crashes while saving over it.
+        let mut newer = set.clone();
+        newer.delete_point(0).unwrap();
+        let mut io = FaultyIo::new(vec![IoFault::CrashAfterWrites(2)]);
+        assert!(newer
+            .save_to_with(&path, &mut io, &SaveOptions::fail_fast())
+            .is_err());
+
+        // The original snapshot is untouched and loads cleanly.
+        let loaded = PlanarIndexSet::<VecStore>::load_from(&path).unwrap();
+        assert_eq!(loaded.len(), set.len());
+        assert!(loaded.is_live(0));
+    }
+
+    #[test]
+    fn load_or_recover_rebuilds_and_reports() {
+        let set = sample_set();
+        let dir = TempDir::new("persist_recover").unwrap();
+        let path = dir.file("set.idx");
+        // Save through an IO layer that silently flips a bit near the end
+        // of the file (inside the last index section).
+        let len = set.to_bytes().len();
+        let mut io = FaultyIo::new(vec![IoFault::CorruptWrite {
+            nth: 0,
+            offset: len - 20,
+            bit: 5,
+        }]);
+        set.save_to_with(&path, &mut io, &SaveOptions::fail_fast())
+            .unwrap();
+
+        assert!(PlanarIndexSet::<VecStore>::load_from(&path).is_err());
+        let (recovered, report) = PlanarIndexSet::<VecStore>::load_or_recover(&path).unwrap();
+        assert_eq!(report.quarantined, vec![set.num_indices() - 1]);
+        assert_eq!(report.rebuilt, vec![set.num_indices() - 1]);
+        assert_eq!(recovered.quarantined_positions(), Vec::<usize>::new());
+        let q = InequalityQuery::geq(vec![1.0, -1.0], -3.0).unwrap();
+        assert_eq!(
+            recovered.query(&q).unwrap().sorted_ids(),
+            set.query(&q).unwrap().sorted_ids()
+        );
+    }
+
+    #[test]
+    fn quarantine_flags_survive_roundtrip() {
+        let mut set = sample_set();
+        set.quarantine(1);
+        let bytes = set.to_bytes();
+        let (loaded, report) = PlanarIndexSet::<VecStore>::from_bytes_recover(&bytes).unwrap();
+        assert_eq!(report.already_quarantined, vec![1]);
+        assert!(report.quarantined.is_empty());
+        assert_eq!(loaded.quarantined_positions(), vec![1]);
     }
 
     #[test]

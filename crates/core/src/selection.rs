@@ -63,10 +63,18 @@ pub fn angle_score(c: &[f64], a: &[f64]) -> f64 {
     -(dot_slices(c, a) / denom)
 }
 
-/// Pick the index minimizing `score`; ties broken by the lowest position
-/// (deterministic). Returns `None` for an empty candidate list.
-pub(crate) fn argmin_by_score(count: usize, mut score: impl FnMut(usize) -> f64) -> Option<usize> {
+/// Pick the index minimizing `score` among positions where `skip(i)` is
+/// false — the planner uses `skip` to route around quarantined indices.
+/// Ties broken by the lowest surviving position (deterministic), so on a
+/// fully healthy set the filter has no effect on selection. Returns `None`
+/// when no candidate survives.
+pub(crate) fn argmin_by_score_filtered(
+    count: usize,
+    skip: impl Fn(usize) -> bool,
+    mut score: impl FnMut(usize) -> f64,
+) -> Option<usize> {
     (0..count)
+        .filter(|&i| !skip(i))
         .map(|i| (i, score(i)))
         .min_by(|(_, x), (_, y)| x.total_cmp(y))
         .map(|(i, _)| i)
@@ -121,8 +129,21 @@ mod tests {
     #[test]
     fn argmin_deterministic_tie_break() {
         let scores = [3.0, 1.0, 1.0, 2.0];
-        assert_eq!(argmin_by_score(4, |i| scores[i]), Some(1));
-        assert_eq!(argmin_by_score(0, |_| 0.0), None);
+        let none = |_: usize| false;
+        assert_eq!(argmin_by_score_filtered(4, none, |i| scores[i]), Some(1));
+        assert_eq!(argmin_by_score_filtered(0, none, |_| 0.0), None);
+    }
+
+    #[test]
+    fn argmin_skips_filtered_positions() {
+        let scores = [3.0, 1.0, 1.0, 2.0];
+        // Best position skipped → tie-break falls to the next survivor.
+        assert_eq!(
+            argmin_by_score_filtered(4, |i| i == 1, |i| scores[i]),
+            Some(2)
+        );
+        // Everything skipped → no selection.
+        assert_eq!(argmin_by_score_filtered(4, |_| true, |i| scores[i]), None);
     }
 
     #[test]

@@ -30,6 +30,9 @@ pub enum ScanReason {
     OctantMismatch,
     /// The caller explicitly requested a scan.
     Requested,
+    /// Every Planar index in the set is quarantined (see `crate::health`):
+    /// the scan keeps answers exact while the indices are rebuilt.
+    IndexUnavailable,
 }
 
 impl core::fmt::Display for ScanReason {
@@ -38,7 +41,40 @@ impl core::fmt::Display for ScanReason {
             ScanReason::ZeroCoefficient => write!(f, "zero query coefficient"),
             ScanReason::OctantMismatch => write!(f, "coefficient signs outside indexed octant"),
             ScanReason::Requested => write!(f, "scan requested"),
+            ScanReason::IndexUnavailable => write!(f, "all indices quarantined"),
         }
+    }
+}
+
+/// Provenance of a query answer: which component of the set actually served
+/// it. Carried on [`crate::QueryOutcome`] / [`crate::TopKOutcome`] so
+/// operators can distinguish a healthy indexed answer from degraded-mode
+/// serving.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServedBy {
+    /// Served by the Planar index at this position in the set.
+    Index(usize),
+    /// Served by the exact sequential scan for a query-shape reason (zero
+    /// coefficient, octant mismatch, or an explicit scan request).
+    ScanFallback,
+    /// Served by the exact sequential scan because no healthy index was
+    /// available (all quarantined) — correct answers at scan latency.
+    Degraded,
+}
+
+impl ServedBy {
+    /// The provenance implied by an execution path.
+    pub fn from_path(path: &ExecutionPath) -> Self {
+        match path {
+            ExecutionPath::Index { index } => ServedBy::Index(*index),
+            ExecutionPath::ScanFallback(ScanReason::IndexUnavailable) => ServedBy::Degraded,
+            ExecutionPath::ScanFallback(_) => ServedBy::ScanFallback,
+        }
+    }
+
+    /// True when the answer came from degraded-mode serving.
+    pub fn is_degraded(&self) -> bool {
+        matches!(self, ServedBy::Degraded)
     }
 }
 
@@ -106,6 +142,9 @@ pub struct StatsAggregator {
     matched_sum: usize,
     intermediate_sum: usize,
     index_hits: usize,
+    scan_fallbacks: usize,
+    degraded: usize,
+    quarantine_events: usize,
 }
 
 impl StatsAggregator {
@@ -123,7 +162,22 @@ impl StatsAggregator {
         self.intermediate_sum += s.intermediate;
         if s.used_index() {
             self.index_hits += 1;
+        } else {
+            self.scan_fallbacks += 1;
+            if matches!(
+                s.path,
+                ExecutionPath::ScanFallback(ScanReason::IndexUnavailable)
+            ) {
+                self.degraded += 1;
+            }
         }
+    }
+
+    /// Record an index-quarantine event (see `crate::health`). Quarantines
+    /// are lifecycle events, not per-query stats, so callers report them
+    /// explicitly.
+    pub fn record_quarantine(&mut self) {
+        self.quarantine_events += 1;
     }
 
     /// Fold another aggregator into this one — equivalent to having
@@ -136,6 +190,9 @@ impl StatsAggregator {
         self.matched_sum += other.matched_sum;
         self.intermediate_sum += other.intermediate_sum;
         self.index_hits += other.index_hits;
+        self.scan_fallbacks += other.scan_fallbacks;
+        self.degraded += other.degraded;
+        self.quarantine_events += other.quarantine_events;
     }
 
     /// Number of queries aggregated.
@@ -181,6 +238,22 @@ impl StatsAggregator {
             return 0.0;
         }
         self.index_hits as f64 / self.count as f64
+    }
+
+    /// Number of queries that fell back to a sequential scan (any reason).
+    pub fn scan_fallback_count(&self) -> usize {
+        self.scan_fallbacks
+    }
+
+    /// Number of queries served in degraded mode (scan because every index
+    /// was quarantined).
+    pub fn degraded_count(&self) -> usize {
+        self.degraded
+    }
+
+    /// Number of quarantine events reported via [`Self::record_quarantine`].
+    pub fn quarantine_event_count(&self) -> usize {
+        self.quarantine_events
     }
 }
 
@@ -260,6 +333,42 @@ mod tests {
         assert_eq!(left.mean_matched(), sequential.mean_matched());
         assert_eq!(left.mean_intermediate(), sequential.mean_intermediate());
         assert_eq!(left.index_hit_rate(), sequential.index_hit_rate());
+    }
+
+    #[test]
+    fn fallback_and_degraded_are_counted() {
+        let mut agg = StatsAggregator::new();
+        agg.add(&indexed(10, 5, 0, 5, 5));
+        agg.add(&QueryStats::scan(10, 1, ScanReason::OctantMismatch));
+        agg.add(&QueryStats::scan(10, 1, ScanReason::IndexUnavailable));
+        agg.record_quarantine();
+        assert_eq!(agg.scan_fallback_count(), 2);
+        assert_eq!(agg.degraded_count(), 1);
+        assert_eq!(agg.quarantine_event_count(), 1);
+        let mut other = StatsAggregator::new();
+        other.add(&QueryStats::scan(10, 0, ScanReason::IndexUnavailable));
+        other.record_quarantine();
+        agg.merge(&other);
+        assert_eq!(agg.scan_fallback_count(), 3);
+        assert_eq!(agg.degraded_count(), 2);
+        assert_eq!(agg.quarantine_event_count(), 2);
+    }
+
+    #[test]
+    fn served_by_derives_from_path() {
+        assert_eq!(
+            ServedBy::from_path(&ExecutionPath::Index { index: 3 }),
+            ServedBy::Index(3)
+        );
+        assert_eq!(
+            ServedBy::from_path(&ExecutionPath::ScanFallback(ScanReason::Requested)),
+            ServedBy::ScanFallback
+        );
+        let degraded =
+            ServedBy::from_path(&ExecutionPath::ScanFallback(ScanReason::IndexUnavailable));
+        assert_eq!(degraded, ServedBy::Degraded);
+        assert!(degraded.is_degraded());
+        assert!(!ServedBy::ScanFallback.is_degraded());
     }
 
     #[test]

@@ -13,4 +13,7 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test =="
 cargo test --workspace -q
 
+echo "== fault suite (injection + durability proptests) =="
+cargo test -p planar-core -q --test fault_injection --test durability_proptests
+
 echo "All checks passed."

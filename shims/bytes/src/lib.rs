@@ -146,6 +146,11 @@ pub trait Buf {
     /// implementations advance an internal cursor.
     fn advance(&mut self, n: usize);
 
+    /// Are there any bytes left to read?
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
     /// The unread bytes.
     fn chunk(&self) -> &[u8];
 
