@@ -7,12 +7,12 @@
 //! all three injectable deterministically so `crate::persist` and
 //! `crate::parallel` can be tested against explicit fault schedules:
 //!
-//! * [`Corruption`] — pure byte-level mutations (truncate-at-byte-k,
+//! * `Corruption` — pure byte-level mutations (truncate-at-byte-k,
 //!   bit-flip-at-offset) applied to serialized snapshots;
 //! * [`SnapshotIo`] — the IO seam behind [`save_to`] with a production
-//!   implementation ([`StdIo`]) and a scripted one ([`FaultyIo`]) that can
+//!   implementation ([`StdIo`]) and a scripted one (`FaultyIo`) that can
 //!   fail the n-th write, crash mid-save, or corrupt bytes silently;
-//! * [`arm_query_panic`] — a trigger that panics inside query execution for
+//! * `arm_query_panic` — a trigger that panics inside query execution for
 //!   a sentinel query, exercising the batch engine's panic isolation.
 //!
 //! [`save_to`]: crate::multi::PlanarIndexSet::save_to
@@ -20,20 +20,31 @@
 //! Every schedule is deterministic: the same faults in the same order
 //! produce the same observable outcome, which is what the fault-injection
 //! proptests rely on to shrink-by-reseed.
+//!
+//! Only the IO seam ([`SnapshotIo`], [`StdIo`]) is part of the production
+//! build. The injection machinery — `Corruption`, `FaultyIo`, `TempDir`,
+//! and the poisoned-query trigger — is compiled solely for this crate's own
+//! tests or under the `fault-injection` cargo feature; in default builds
+//! the query-path trigger is a no-op and nothing can arm it.
 
 use std::fs::{File, OpenOptions};
 use std::io::{self, Read as _, Write as _};
-use std::path::{Path, PathBuf};
+use std::path::Path;
+#[cfg(any(test, feature = "fault-injection"))]
+use std::path::PathBuf;
+#[cfg(any(test, feature = "fault-injection"))]
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Byte-granular chunk size for [`SnapshotIo::write_file`] implementations
 /// that count writes: "fail the 3rd write" means the 3rd 4 KiB chunk.
+#[cfg(any(test, feature = "fault-injection"))]
 pub const WRITE_CHUNK: usize = 4096;
 
 /// A deterministic byte-level corruption of a serialized snapshot.
 ///
 /// These model what a crashed writer, a bad disk, or a truncating copy does
 /// to bytes at rest; apply them with [`Corruption::apply`].
+#[cfg(any(test, feature = "fault-injection"))]
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Corruption {
     /// Keep only the first `len` bytes (torn write / partial download).
@@ -54,6 +65,7 @@ pub enum Corruption {
     },
 }
 
+#[cfg(any(test, feature = "fault-injection"))]
 impl Corruption {
     /// Apply this corruption to `bytes` in place. Out-of-range offsets
     /// saturate to the buffer (so schedules never panic on short inputs).
@@ -80,7 +92,7 @@ impl Corruption {
 /// [`crate::multi::PlanarIndexSet::save_to`] performs exactly three kinds of
 /// operations — write a whole temp file durably, rename it over the target,
 /// and remove stale temp files — so the seam is three methods. Production
-/// code uses [`StdIo`]; fault-injection tests substitute [`FaultyIo`].
+/// code uses [`StdIo`]; fault-injection tests substitute `FaultyIo`.
 pub trait SnapshotIo {
     /// Durably write `bytes` to `path`: create/truncate, write all bytes,
     /// fsync.
@@ -136,6 +148,7 @@ impl SnapshotIo for StdIo {
 }
 
 /// One entry of a [`FaultyIo`] schedule.
+#[cfg(any(test, feature = "fault-injection"))]
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum IoFault {
     /// The `nth` (0-based) [`WRITE_CHUNK`] write across the IO's lifetime
@@ -172,6 +185,7 @@ pub enum IoFault {
 /// according to a deterministic fault schedule. Paths it touches are real
 /// files (point it at a temp dir), so load paths can be exercised on the
 /// exact bytes a faulty save left behind.
+#[cfg(any(test, feature = "fault-injection"))]
 #[derive(Debug)]
 pub struct FaultyIo {
     faults: Vec<IoFault>,
@@ -183,6 +197,7 @@ pub struct FaultyIo {
     fired: Vec<IoFault>,
 }
 
+#[cfg(any(test, feature = "fault-injection"))]
 impl FaultyIo {
     /// An IO layer that will inject every fault in `faults` (each at the
     /// point its counters select) and behave like [`StdIo`] otherwise.
@@ -217,6 +232,7 @@ impl FaultyIo {
     }
 }
 
+#[cfg(any(test, feature = "fault-injection"))]
 impl SnapshotIo for FaultyIo {
     fn write_file(&mut self, path: &Path, bytes: &[u8]) -> io::Result<()> {
         self.check_crashed()?;
@@ -312,11 +328,13 @@ impl SnapshotIo for FaultyIo {
 
 /// A scratch directory for fault-injection tests that cleans up after
 /// itself, keeping schedules hermetic.
+#[cfg(any(test, feature = "fault-injection"))]
 #[derive(Debug)]
 pub struct TempDir {
     path: PathBuf,
 }
 
+#[cfg(any(test, feature = "fault-injection"))]
 impl TempDir {
     /// Create a fresh directory under the system temp dir, uniquified by
     /// pid and a process-wide counter.
@@ -342,6 +360,7 @@ impl TempDir {
     }
 }
 
+#[cfg(any(test, feature = "fault-injection"))]
 impl Drop for TempDir {
     fn drop(&mut self) {
         let _ = std::fs::remove_dir_all(&self.path);
@@ -355,8 +374,10 @@ impl Drop for TempDir {
 /// Disarmed sentinel: no finite query offset has NaN's bit pattern, and
 /// `InequalityQuery` rejects non-finite offsets, so the trigger can never
 /// fire while disarmed.
+#[cfg(any(test, feature = "fault-injection"))]
 const DISARMED: u64 = f64::NAN.to_bits();
 
+#[cfg(any(test, feature = "fault-injection"))]
 static PANIC_B_BITS: AtomicU64 = AtomicU64::new(DISARMED);
 
 /// Arm the poisoned-query trigger: any query whose offset `b` is
@@ -365,24 +386,35 @@ static PANIC_B_BITS: AtomicU64 = AtomicU64::new(DISARMED);
 /// sentinel offset no legitimate query in the test uses.
 ///
 /// The trigger is process-global — disarm it (see [`disarm_query_panic`])
-/// before running unrelated queries.
+/// before running unrelated queries. It only exists under the
+/// `fault-injection` feature; default builds compile the query-path probe
+/// to a no-op.
+#[cfg(any(test, feature = "fault-injection"))]
 pub fn arm_query_panic(armed_b: f64) {
     PANIC_B_BITS.store(armed_b.to_bits(), Ordering::SeqCst);
 }
 
 /// Disarm the poisoned-query trigger.
+#[cfg(any(test, feature = "fault-injection"))]
 pub fn disarm_query_panic() {
     PANIC_B_BITS.store(DISARMED, Ordering::SeqCst);
 }
 
 /// Called on the query execution path; panics iff the trigger is armed for
 /// exactly this offset.
+#[cfg(any(test, feature = "fault-injection"))]
 #[inline]
 pub(crate) fn maybe_inject_query_panic(b: f64) {
     if PANIC_B_BITS.load(Ordering::Relaxed) == b.to_bits() {
         panic!("injected fault: poisoned query (b = {b})");
     }
 }
+
+/// Default-build stand-in for the poisoned-query trigger: nothing can arm
+/// it, so the query path pays nothing (not even an atomic load).
+#[cfg(not(any(test, feature = "fault-injection")))]
+#[inline(always)]
+pub(crate) fn maybe_inject_query_panic(_b: f64) {}
 
 #[cfg(test)]
 mod tests {

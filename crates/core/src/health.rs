@@ -160,7 +160,9 @@ impl<S: KeyStore> SingleIndex<S> {
     ) -> Vec<HealthIssue> {
         let mut issues = Vec::new();
         let n = self.len();
-        let stride = n.checked_div(key_samples).map_or(usize::MAX, |s| s.max(1));
+        // `None` disables check 5 entirely; `rank % usize::MAX == 0` would
+        // still sample rank 0.
+        let stride = (key_samples > 0).then(|| (n / key_samples).max(1));
         let mut prev: Option<crate::store::Entry> = None;
         for (rank, e) in self.entries().enumerate() {
             if issues.len() >= MAX_ISSUES_PER_INDEX {
@@ -181,7 +183,7 @@ impl<S: KeyStore> SingleIndex<S> {
                 issues.push(HealthIssue::DeadOrUnknownId { id: e.id });
                 continue;
             }
-            if rank % stride == 0 {
+            if stride.is_some_and(|s| rank % s == 0) {
                 let computed = self.raw_key(table.row(e.id));
                 if e.key != computed {
                     issues.push(HealthIssue::KeyMismatch {
@@ -286,6 +288,35 @@ mod tests {
             stored: 999.0,
             computed: 4.0,
         }));
+    }
+
+    #[test]
+    fn zero_key_samples_skips_recomputation_even_at_rank_zero() {
+        let t = table();
+        let norm = Normalizer::identity(2);
+        // Rank 0 carries a wrong (but order-preserving) key: 2.5 vs the
+        // true 3.0. Check 5 must stay silent with key_samples == 0 and
+        // fire with sampling on.
+        let entries = vec![
+            Entry::new(2.5, 0),
+            Entry::new(4.0, 1),
+            Entry::new(4.0, 2),
+            Entry::new(9.0, 3),
+        ];
+        let idx = SingleIndex::from_parts(
+            vec![1.0, 1.0],
+            norm.raw_normal(&[1.0, 1.0]),
+            VecStore::build(entries),
+        );
+        let deleted = vec![false; t.len()];
+        assert!(idx.verify(&t, &deleted, t.len(), 0).is_empty());
+        assert!(idx
+            .verify(&t, &deleted, t.len(), t.len())
+            .contains(&HealthIssue::KeyMismatch {
+                id: 0,
+                stored: 2.5,
+                computed: 3.0,
+            }));
     }
 
     #[test]

@@ -102,7 +102,9 @@ pub mod table;
 pub use adaptive::{AdaptiveConfig, AdaptivePlanarIndexSet};
 pub use conjunction::{ConjunctionOutcome, ConjunctionQuery};
 pub use domain::{Domain, DomainTracker, ParameterDomain};
-pub use fault::{Corruption, FaultyIo, IoFault, SnapshotIo, StdIo, TempDir};
+#[cfg(any(test, feature = "fault-injection"))]
+pub use fault::{Corruption, FaultyIo, IoFault, TempDir};
+pub use fault::{SnapshotIo, StdIo};
 pub use feature::{FeatureMap, FnFeatureMap, IdentityMap};
 pub use halfspace::{HalfSpace, HalfSpaceIndex};
 pub use health::{HealthIssue, HealthReport, IndexHealth};

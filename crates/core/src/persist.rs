@@ -355,12 +355,15 @@ fn load_v2<S: KeyStore>(data: &[u8], recover: bool) -> Result<(PlanarIndexSet<S>
     let core_end = core_start
         .checked_add(core_len)
         .ok_or_else(|| corrupt("core length overflows"))?;
-    if core_end + 8 > data.len() {
+    let crc_end = core_end
+        .checked_add(8)
+        .ok_or_else(|| corrupt("core length overflows"))?;
+    if crc_end > data.len() {
         return Err(corrupt("truncated core section"));
     }
     let core = &data[core_start..core_end];
     let stored_crc = u64::from_le_bytes(
-        data[core_end..core_end + 8]
+        data[core_end..crc_end]
             .try_into()
             .map_err(|_| corrupt("bad core crc"))?,
     );
@@ -382,7 +385,7 @@ fn load_v2<S: KeyStore>(data: &[u8], recover: bool) -> Result<(PlanarIndexSet<S>
 
     let mut entry_lists = Vec::with_capacity(parts.normals.len());
     let mut quarantined = parts.quarantined.clone();
-    let mut offset = core_end + 8;
+    let mut offset = crc_end;
     for (pos, &len) in parts.section_lens.iter().enumerate() {
         let end = offset.checked_add(len);
         let section = end.filter(|&e| e <= data.len()).map(|e| &data[offset..e]);
@@ -925,6 +928,25 @@ mod tests {
         bad[V2_PREAMBLE + core_len..V2_PREAMBLE + core_len + 8].copy_from_slice(&crc.to_le_bytes());
         let err = PlanarIndexSet::<VecStore>::from_bytes(&bad).unwrap_err();
         assert!(matches!(err, PlanarError::Persist(_)), "{err:?}");
+    }
+
+    #[test]
+    fn crafted_core_len_near_usize_max_is_rejected() {
+        // core_len values in this window pass `core_start + core_len` but
+        // would overflow `core_end + 8`; bit flips of a small real length
+        // can never reach it, so it gets an explicit crafted case. Both
+        // loaders must return a typed error, never panic or wrap.
+        for core_len in [u64::MAX, u64::MAX - 25, u64::MAX - (V2_PREAMBLE as u64 + 7)] {
+            let mut bad = Vec::with_capacity(84);
+            bad.extend_from_slice(MAGIC_V2);
+            bad.extend_from_slice(&0u32.to_le_bytes()); // flags
+            bad.extend_from_slice(&core_len.to_le_bytes());
+            bad.resize(84, 0);
+            let err = PlanarIndexSet::<VecStore>::from_bytes(&bad).unwrap_err();
+            assert!(matches!(err, PlanarError::Persist(_)), "{err:?}");
+            let err = PlanarIndexSet::<VecStore>::from_bytes_recover(&bad).unwrap_err();
+            assert!(matches!(err, PlanarError::Persist(_)), "{err:?}");
+        }
     }
 
     #[test]

@@ -114,6 +114,21 @@ proptest! {
         }
     }
 
+    /// Contract 1, crafted-length variant: an arbitrary 64-bit `core_len`
+    /// stamped into the preamble — a window single-bit flips of a small
+    /// real length can never reach (e.g. values near `usize::MAX`, where
+    /// naive `core_end + 8` arithmetic would wrap) — still yields Ok or a
+    /// typed error from both loaders, never a panic.
+    #[test]
+    fn crafted_core_len_never_panics(s in scenario(), core_len in any::<u64>()) {
+        let set = build(&s);
+        let mut bytes = set.to_bytes().to_vec();
+        // Preamble layout: magic [0..8) | flags [8..12) | core_len [12..20).
+        bytes[12..20].copy_from_slice(&core_len.to_le_bytes());
+        let _ = PlanarIndexSet::<VecStore>::from_bytes(&bytes);
+        let _ = PlanarIndexSet::<VecStore>::from_bytes_recover(&bytes);
+    }
+
     /// Contract 2: a crash at any chunk boundary mid-save leaves the
     /// previous snapshot loadable and bit-identical in its answers.
     #[test]
