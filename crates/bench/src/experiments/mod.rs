@@ -6,6 +6,7 @@ pub mod fault;
 pub mod movingobj;
 pub mod parallel;
 pub mod realworld;
+pub mod simd;
 pub mod synthetic;
 pub mod topk;
 
@@ -144,6 +145,12 @@ pub fn registry() -> Vec<Experiment> {
             description:
                 "parallel engine: build & batch-query speedup vs threads (BENCH_parallel.json)",
             run: parallel::parallel_engine,
+        },
+        Experiment {
+            name: "simd",
+            description:
+                "columnar SIMD verification vs row-major blocked scalar; intersection pruning on/off (BENCH_simd.json)",
+            run: simd::simd,
         },
         Experiment {
             name: "fault",

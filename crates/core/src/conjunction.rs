@@ -189,6 +189,7 @@ impl<S: KeyStore> PlanarIndexSet<S> {
             intermediate: verified.saturating_sub(smaller),
             larger: n.saturating_sub(verified),
             verified,
+            intersect_pruned: 0,
             matched: matches.len(),
             path: if any_indexed {
                 ExecutionPath::Index { index: 0 }

@@ -70,6 +70,10 @@ pub struct TopKStats {
     pub walked: usize,
     /// Scalar products computed.
     pub verified: usize,
+    /// II candidates rejected by multi-index intersection pruning (a
+    /// sibling index proved they violate the constraint, so neither a
+    /// scalar product nor a distance was computed for them).
+    pub intersect_pruned: usize,
 }
 
 impl TopKStats {
@@ -97,6 +101,58 @@ pub struct SingleIndex<S: KeyStore> {
     /// `c_rawᵢ = cᵢ·sign(O, i)` — the raw-space key normal.
     raw_normal: Vec<f64>,
     store: S,
+    /// Raw key by point id (`NaN` for ids this index does not hold) — the
+    /// O(1) side table behind multi-index intersection pruning: a sibling
+    /// index classifies an II candidate with one array load and two
+    /// comparisons instead of a rank query.
+    keys_by_id: Vec<f64>,
+}
+
+/// One sibling index's contribution to intersection pruning: its slacked
+/// raw-key thresholds `(lo, hi)` for the current query plus its id→key side
+/// table. Built by the index set, consumed by [`SingleIndex`] verification.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct AuxFilter<'a> {
+    /// Slacked lower threshold (raw-key space): `t_min − ε − shift`.
+    pub lo: f64,
+    /// Slacked upper threshold (raw-key space): `t_max + ε − shift`.
+    pub hi: f64,
+    /// The sibling's id→raw-key table.
+    pub keys: &'a [f64],
+}
+
+/// What one sibling index's key proves about an II candidate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum KeyClass {
+    /// Provably satisfies the query (Observation 2 with slack).
+    Accept,
+    /// Provably violates the query (Observation 1 with slack).
+    Reject,
+    /// No proof either way — the candidate still needs verification.
+    Verify,
+}
+
+impl AuxFilter<'_> {
+    /// Classify a candidate through this sibling's intervals. Mirrors
+    /// [`SingleIndex::boundaries`]: for `≤` the smaller interval
+    /// (`key ≤ lo`) is accepted and the larger (`key > hi`) rejected; `≥`
+    /// swaps the roles and keeps `key = lo` in the verified middle (it can
+    /// lie exactly on the hyperplane). An id absent from the sibling
+    /// (`NaN` key) fails every comparison and lands on `Verify`.
+    #[inline]
+    fn classify(&self, id: PointId, cmp: Cmp) -> KeyClass {
+        let key = match self.keys.get(id as usize) {
+            Some(&k) => k,
+            None => return KeyClass::Verify,
+        };
+        match cmp {
+            Cmp::Leq if key <= self.lo => KeyClass::Accept,
+            Cmp::Geq if key > self.hi => KeyClass::Accept,
+            Cmp::Leq if key > self.hi => KeyClass::Reject,
+            Cmp::Geq if key < self.lo => KeyClass::Reject,
+            _ => KeyClass::Verify,
+        }
+    }
 }
 
 impl<S: KeyStore> SingleIndex<S> {
@@ -123,10 +179,12 @@ impl<S: KeyStore> SingleIndex<S> {
             .iter()
             .map(|(id, row)| Entry::new(dot_slices(&raw_normal, row), id))
             .collect();
+        let keys_by_id = keys_from_entries(&entries);
         Ok(Self {
             normal,
             raw_normal,
             store: S::build(entries),
+            keys_by_id,
         })
     }
 
@@ -158,10 +216,13 @@ impl<S: KeyStore> SingleIndex<S> {
     /// Reassemble from persisted parts; `normal` must be validated by the
     /// caller and `store` already built over this index's entries.
     pub(crate) fn from_parts(normal: Vec<f64>, raw_normal: Vec<f64>, store: S) -> Self {
+        let entries: Vec<Entry> = store.iter_asc(0, store.len()).collect();
+        let keys_by_id = keys_from_entries(&entries);
         Self {
             normal,
             raw_normal,
             store,
+            keys_by_id,
         }
     }
 
@@ -181,37 +242,54 @@ impl<S: KeyStore> SingleIndex<S> {
             .filter(|(id, _)| !deleted.get(*id as usize).copied().unwrap_or(false))
             .map(|(id, row)| Entry::new(self.raw_key(row), id))
             .collect();
+        self.keys_by_id = keys_from_entries(&entries);
         self.store = S::build(entries);
     }
 
     /// Register a new point (paper §4.4 dynamic maintenance).
     pub fn insert_point(&mut self, id: PointId, row: &[f64]) {
-        self.store.insert(Entry::new(self.raw_key(row), id));
+        let entry = Entry::new(self.raw_key(row), id);
+        self.set_key(id, entry.key);
+        self.store.insert(entry);
     }
 
     /// Remove a point, given its current feature row.
     pub fn remove_point(&mut self, id: PointId, row: &[f64]) -> bool {
-        self.store.remove(Entry::new(self.raw_key(row), id))
+        let removed = self.store.remove(Entry::new(self.raw_key(row), id));
+        if removed {
+            self.set_key(id, f64::NAN);
+        }
+        removed
     }
 
     /// Update a point's feature row: `O(d' + log n)` with a tree store.
     pub fn update_point(&mut self, id: PointId, old_row: &[f64], new_row: &[f64]) -> bool {
         let removed = self.store.remove(Entry::new(self.raw_key(old_row), id));
-        self.store.insert(Entry::new(self.raw_key(new_row), id));
+        let entry = Entry::new(self.raw_key(new_row), id);
+        self.set_key(id, entry.key);
+        self.store.insert(entry);
         removed
+    }
+
+    /// Maintain the id→key side table alongside a store mutation.
+    fn set_key(&mut self, id: PointId, key: f64) {
+        let i = id as usize;
+        if i >= self.keys_by_id.len() {
+            self.keys_by_id.resize(i + 1, f64::NAN);
+        }
+        self.keys_by_id[i] = key;
+    }
+
+    /// The id→raw-key side table (NaN for absent ids), for intersection
+    /// pruning by sibling queries.
+    pub(crate) fn keys_by_id(&self) -> &[f64] {
+        &self.keys_by_id
     }
 
     /// Interval boundaries for a normalized query. `shift` is the current
     /// key shift `Σ cᵢ·δᵢ` from the normalizer (see module docs).
     pub fn boundaries(&self, nq: &NormalizedQuery, shift: f64, cmp: Cmp) -> IntervalBounds {
-        let mut t_min = f64::INFINITY;
-        let mut t_max = f64::NEG_INFINITY;
-        for (&ci, &ai) in self.normal.iter().zip(&nq.a) {
-            let t = ci * nq.b / ai;
-            t_min = t_min.min(t);
-            t_max = t_max.max(t);
-        }
-        let (lo, hi) = Self::slacked(t_min, t_max, shift);
+        let (lo, hi) = self.slack_bounds(nq, shift);
         let j_min = match cmp {
             // ≤: boundary keys (= t_min) satisfy the query and may stay in
             // the accepted smaller interval.
@@ -225,6 +303,22 @@ impl<S: KeyStore> SingleIndex<S> {
             j_min,
             j_max: j_max.max(j_min),
         }
+    }
+
+    /// The slacked raw-key thresholds `(lo, hi)` for a normalized query:
+    /// the per-axis threshold extremes widened by the boundary epsilon and
+    /// shifted to raw-key space. Keys `≤ lo` are in the smaller interval,
+    /// keys `> hi` in the larger — the comparisons the [`AuxFilter`] runs
+    /// per candidate.
+    pub(crate) fn slack_bounds(&self, nq: &NormalizedQuery, shift: f64) -> (f64, f64) {
+        let mut t_min = f64::INFINITY;
+        let mut t_max = f64::NEG_INFINITY;
+        for (&ci, &ai) in self.normal.iter().zip(&nq.a) {
+            let t = ci * nq.b / ai;
+            t_min = t_min.min(t);
+            t_max = t_max.max(t);
+        }
+        Self::slacked(t_min, t_max, shift)
     }
 
     /// Widen the verified interval by a relative epsilon (sound; see module
@@ -338,6 +432,31 @@ impl<S: KeyStore> SingleIndex<S> {
         exec: &ExecutionConfig,
         scratch: &mut QueryScratch,
     ) -> (Vec<PointId>, QueryStats) {
+        self.evaluate_with_aux(verify, nq, shift, table, index_pos, &[], exec, scratch)
+    }
+
+    /// [`Self::evaluate_with`] with multi-index intersection pruning: before
+    /// verification, each II candidate is classified through the sibling
+    /// indices' slacked intervals (`aux`). A candidate a sibling wholesale
+    /// accepts or rejects skips its scalar product; the rest are verified
+    /// exactly as before. Matches and their order are identical to the
+    /// unpruned path — the sibling proofs are the same Observations 1 and 2
+    /// the chosen index itself uses for its outer intervals.
+    ///
+    /// The cost model skips the whole pass when the II holds fewer than
+    /// `exec.intersect_min_candidates` candidates.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn evaluate_with_aux(
+        &self,
+        verify: &InequalityQuery,
+        nq: &NormalizedQuery,
+        shift: f64,
+        table: &FeatureTable,
+        index_pos: usize,
+        aux: &[AuxFilter<'_>],
+        exec: &ExecutionConfig,
+        scratch: &mut QueryScratch,
+    ) -> (Vec<PointId>, QueryStats) {
         let n = self.store.len();
         let IntervalBounds { j_min, j_max } = self.boundaries(nq, shift, verify.cmp());
         let (smaller, intermediate, larger) = (j_min, j_max - j_min, n - j_max);
@@ -363,15 +482,40 @@ impl<S: KeyStore> SingleIndex<S> {
             .ids
             .extend(self.store.iter_asc(j_min, j_max).map(|e| e.id));
         scratch.ids.sort_unstable();
+
+        // Multi-index intersection: let sibling indices settle candidates
+        // via O(1) key classifications before paying for scalar products.
+        let candidates = scratch.ids.len();
+        scratch.accepted.clear();
+        if !aux.is_empty() && candidates >= exec.intersect_min_candidates {
+            let cmp = verify.cmp();
+            let (ids, accepted) = (&mut scratch.ids, &mut scratch.accepted);
+            ids.retain(|&id| {
+                for f in aux {
+                    match f.classify(id, cmp) {
+                        KeyClass::Accept => {
+                            accepted.push(id);
+                            return false;
+                        }
+                        KeyClass::Reject => return false,
+                        KeyClass::Verify => {}
+                    }
+                }
+                true
+            });
+        }
+        let intersect_pruned = candidates - scratch.ids.len();
         let verified = scratch.ids.len();
-        parallel::verify_ids(
-            verify,
-            table,
-            &scratch.ids,
-            exec,
-            &mut scratch.dots,
-            &mut matches,
-        );
+
+        if scratch.accepted.is_empty() {
+            parallel::verify_ids(verify, table, &scratch.ids, exec, &mut matches);
+        } else {
+            // Sibling-accepted ids never went through verification, so they
+            // must be merged back to keep the ascending-id II match order.
+            scratch.verified_out.clear();
+            parallel::verify_ids(verify, table, &scratch.ids, exec, &mut scratch.verified_out);
+            merge_ascending(&scratch.accepted, &scratch.verified_out, &mut matches);
+        }
 
         let stats = QueryStats {
             n,
@@ -379,6 +523,7 @@ impl<S: KeyStore> SingleIndex<S> {
             intermediate,
             larger,
             verified,
+            intersect_pruned,
             matched: matches.len(),
             path: ExecutionPath::Index { index: index_pos },
         };
@@ -399,6 +544,7 @@ impl<S: KeyStore> SingleIndex<S> {
             nq,
             shift,
             table,
+            &[],
             true,
             &ExecutionConfig::serial(),
             &mut QueryScratch::new(),
@@ -416,7 +562,26 @@ impl<S: KeyStore> SingleIndex<S> {
         exec: &ExecutionConfig,
         scratch: &mut QueryScratch,
     ) -> (Vec<(PointId, f64)>, TopKStats) {
-        self.top_k_inner(q, nq, shift, table, true, exec, scratch)
+        self.top_k_inner(q, nq, shift, table, &[], true, exec, scratch)
+    }
+
+    /// [`Self::top_k_with`] with multi-index intersection pruning of the
+    /// intermediate interval. Top-k needs a distance for every *satisfying*
+    /// point, so only sibling **rejections** prune (a rejected candidate
+    /// provably violates the constraint and could never enter the buffer);
+    /// sibling-accepted candidates are verified anyway for their distance.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn top_k_with_aux(
+        &self,
+        q: &TopKQuery,
+        nq: &NormalizedQuery,
+        shift: f64,
+        table: &FeatureTable,
+        aux: &[AuxFilter<'_>],
+        exec: &ExecutionConfig,
+        scratch: &mut QueryScratch,
+    ) -> (Vec<(PointId, f64)>, TopKStats) {
+        self.top_k_inner(q, nq, shift, table, aux, true, exec, scratch)
     }
 
     /// [`Self::top_k`] with the Claim-3 lower-bound pruning disabled: the
@@ -434,6 +599,7 @@ impl<S: KeyStore> SingleIndex<S> {
             nq,
             shift,
             table,
+            &[],
             false,
             &ExecutionConfig::serial(),
             &mut QueryScratch::new(),
@@ -447,6 +613,7 @@ impl<S: KeyStore> SingleIndex<S> {
         nq: &NormalizedQuery,
         shift: f64,
         table: &FeatureTable,
+        aux: &[AuxFilter<'_>],
         use_pruning: bool,
         exec: &ExecutionConfig,
         scratch: &mut QueryScratch,
@@ -466,6 +633,17 @@ impl<S: KeyStore> SingleIndex<S> {
             .ids
             .extend(self.store.iter_asc(j_min, j_max).map(|e| e.id));
         scratch.ids.sort_unstable();
+
+        // Reject-only intersection pruning: a sibling-rejected candidate
+        // provably violates the constraint, so it can skip both the scalar
+        // product and the distance.
+        let candidates = scratch.ids.len();
+        if !aux.is_empty() && candidates >= exec.intersect_min_candidates {
+            scratch
+                .ids
+                .retain(|&id| !aux.iter().any(|f| f.classify(id, cmp) == KeyClass::Reject));
+        }
+        let intersect_pruned = candidates - scratch.ids.len();
         let verified = scratch.ids.len();
         parallel::verify_top_k(
             &q.query,
@@ -524,9 +702,38 @@ impl<S: KeyStore> SingleIndex<S> {
             intermediate: j_max - j_min,
             walked,
             verified: verified + walked,
+            intersect_pruned,
         };
         (buffer.into_sorted(), stats)
     }
+}
+
+/// Build the id→raw-key side table from an index's entries (`NaN` marks
+/// absent ids).
+fn keys_from_entries(entries: &[Entry]) -> Vec<f64> {
+    let len = entries.iter().map(|e| e.id as usize + 1).max().unwrap_or(0);
+    let mut keys = vec![f64::NAN; len];
+    for e in entries {
+        keys[e.id as usize] = e.key;
+    }
+    keys
+}
+
+/// Merge two ascending, disjoint id lists into `out` (ascending).
+fn merge_ascending(a: &[PointId], b: &[PointId], out: &mut Vec<PointId>) {
+    out.reserve(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        if a[i] < b[j] {
+            out.push(a[i]);
+            i += 1;
+        } else {
+            out.push(b[j]);
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
 }
 
 /// Shave a relative epsilon off a lower bound so float rounding in the key

@@ -117,9 +117,9 @@ pub use query::{Cmp, InequalityQuery, TopKQuery};
 pub use router::AxisReductionRouter;
 pub use scan::SeqScan;
 pub use selection::SelectionStrategy;
-pub use stats::{ExecutionPath, QueryStats, ServedBy, StatsAggregator};
+pub use stats::{ExecutionPath, QueryStats, ServedBy, StatsAggregator, StatsSnapshot};
 pub use store::{BPlusTree, EytzingerStore, KeyStore, VecStore};
-pub use table::FeatureTable;
+pub use table::{ColSegment, ColumnMajorRows, FeatureTable};
 
 use planar_geom::GeomError;
 

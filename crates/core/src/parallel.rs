@@ -11,9 +11,11 @@
 //!   order. Splitting a sorted id list into contiguous chunks and
 //!   concatenating the per-chunk matches in chunk order reproduces the
 //!   serial order exactly.
-//! * Scalar products go through [`planar_geom::dot_block`], whose per-row
-//!   accumulation is bit-identical to the row-at-a-time
-//!   [`planar_geom::dot_slices`] path.
+//! * Scalar products go through the columnar SIMD kernels
+//!   ([`planar_geom::dot_cmp_block`] / [`planar_geom::dot_block_cols`]),
+//!   whose per-lane accumulation is bit-identical to the row-at-a-time
+//!   [`planar_geom::dot_slices`] path regardless of the dispatched
+//!   implementation (AVX2 or portable — see `planar_geom::kernels`).
 //! * Top-k merging relies on the total `(distance, id)` order of the top-k
 //!   buffer, which makes its contents independent of candidate arrival
 //!   order.
@@ -21,11 +23,11 @@
 //! Work is distributed over `std::thread::scope` — no thread pool, no extra
 //! dependencies; workers borrow the index and table immutably.
 
-use crate::query::InequalityQuery;
+use crate::query::{Cmp, InequalityQuery};
 use crate::scan::TopKBuffer;
 use crate::table::{FeatureTable, PointId};
 use crate::{PlanarError, Result};
-use planar_geom::dot_block;
+use planar_geom::{dot_block_cols, dot_cmp_block, BLOCK_ROWS};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -33,9 +35,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// across threads. Below this, fan-out overhead exceeds the win.
 pub const DEFAULT_PARALLEL_VERIFY_THRESHOLD: usize = 8192;
 
-/// How many rows one `dot_block` call covers when ids are not contiguous
-/// enough to form longer runs — bounds the scratch `dots` buffer growth.
-pub(crate) const VERIFY_BLOCK: usize = 256;
+/// Default minimum II size before multi-index intersection pruning is
+/// attempted. A key classification costs ~2 comparisons per candidate per
+/// auxiliary index; under this many candidates the rank lookups needed to
+/// set the filters up cost more than the scalar products they could save.
+pub const DEFAULT_INTERSECT_MIN_CANDIDATES: usize = 64;
 
 /// Counts clamp events: how many times a requested thread count of 0, or
 /// one exceeding the work available, was clamped by [`batch_plan`] /
@@ -85,6 +89,15 @@ pub struct ExecutionConfig {
     /// Minimum intermediate-interval size before one query's verification
     /// is chunked across threads.
     pub parallel_verify_threshold: usize,
+    /// Intersect the chosen index's intermediate interval with the
+    /// accept/reject intervals of the other healthy indices before
+    /// verification (on by default; off is the ablation control arm).
+    /// Answers are identical either way — pruning only skips scalar
+    /// products whose outcome a sibling index already proves.
+    pub intersect_pruning: bool,
+    /// Minimum intermediate-interval size before intersection pruning is
+    /// attempted (the cost-model crossover).
+    pub intersect_min_candidates: usize,
 }
 
 impl Default for ExecutionConfig {
@@ -99,6 +112,8 @@ impl ExecutionConfig {
         Self {
             threads: 1,
             parallel_verify_threshold: DEFAULT_PARALLEL_VERIFY_THRESHOLD,
+            intersect_pruning: true,
+            intersect_min_candidates: DEFAULT_INTERSECT_MIN_CANDIDATES,
         }
     }
 
@@ -106,7 +121,7 @@ impl ExecutionConfig {
     pub fn with_threads(threads: usize) -> Self {
         Self {
             threads: threads.max(1),
-            parallel_verify_threshold: DEFAULT_PARALLEL_VERIFY_THRESHOLD,
+            ..Self::serial()
         }
     }
 
@@ -122,6 +137,18 @@ impl ExecutionConfig {
     /// Override the II crossover threshold (builder style).
     pub fn verify_threshold(mut self, threshold: usize) -> Self {
         self.parallel_verify_threshold = threshold.max(1);
+        self
+    }
+
+    /// Enable or disable multi-index intersection pruning (builder style).
+    pub fn intersect_pruning(mut self, on: bool) -> Self {
+        self.intersect_pruning = on;
+        self
+    }
+
+    /// Override the intersection-pruning crossover (builder style).
+    pub fn intersect_min_candidates(mut self, min: usize) -> Self {
+        self.intersect_min_candidates = min;
         self
     }
 
@@ -145,6 +172,11 @@ pub struct QueryScratch {
     pub(crate) ids: Vec<PointId>,
     /// Blocked scalar-product outputs, one per id in the current run.
     pub(crate) dots: Vec<f64>,
+    /// Candidates wholesale-accepted by a sibling index during
+    /// intersection pruning (ascending id order).
+    pub(crate) accepted: Vec<PointId>,
+    /// Verified II matches staged for the merge with `accepted`.
+    pub(crate) verified_out: Vec<PointId>,
 }
 
 impl QueryScratch {
@@ -158,7 +190,9 @@ impl QueryScratch {
     pub fn with_capacity(capacity: usize) -> Self {
         Self {
             ids: Vec::with_capacity(capacity),
-            dots: Vec::with_capacity(capacity.min(VERIFY_BLOCK)),
+            dots: Vec::with_capacity(capacity.min(BLOCK_ROWS)),
+            accepted: Vec::new(),
+            verified_out: Vec::new(),
         }
     }
 }
@@ -195,37 +229,39 @@ where
         .collect()
 }
 
-/// Verify ascending-sorted candidate ids against `query` with the blocked
-/// kernel, pushing satisfying ids onto `out` in ascending-id order.
+/// Verify ascending-sorted candidate ids against `query` with the fused
+/// columnar kernel, pushing satisfying ids onto `out` in ascending-id
+/// order.
 ///
-/// Consecutive ids form maximal runs whose rows are contiguous in the
-/// row-major table, so each run needs a single [`dot_block`] call; runs are
-/// capped at [`VERIFY_BLOCK`] rows to bound `dots` growth.
+/// Consecutive ids form maximal runs; each run is walked through the
+/// table's interleaved-block columnar mirror one [`ColSegment`] at a time,
+/// and [`dot_cmp_block`] evaluates the whole segment's predicate into a
+/// bitmask — the scalar products are never materialized.
+///
+/// [`ColSegment`]: crate::table::ColSegment
 pub(crate) fn verify_ids_blocked(
     query: &InequalityQuery,
     table: &FeatureTable,
     ids: &[PointId],
-    dots: &mut Vec<f64>,
     out: &mut Vec<PointId>,
 ) {
+    let cols = table.columns();
+    let stride = cols.stride();
+    let leq = query.cmp() == Cmp::Leq;
     let mut s = 0;
     while s < ids.len() {
-        // Maximal consecutive-id run starting at s, capped at VERIFY_BLOCK.
+        // Maximal consecutive-id run starting at s.
         let first = ids[s];
         let mut e = s + 1;
-        while e < ids.len() && e - s < VERIFY_BLOCK && ids[e] == first + (e - s) as PointId {
+        while e < ids.len() && ids[e] == first + (e - s) as PointId {
             e += 1;
         }
-        let run = e - s;
-        dots.resize(run, 0.0);
-        dot_block(
-            query.a(),
-            table.rows_between(first, first + run as PointId),
-            &mut dots[..run],
-        );
-        for (i, &dot) in dots[..run].iter().enumerate() {
-            if query.satisfies_dot(dot) {
-                out.push(first + i as PointId);
+        let run = (e - s) as PointId;
+        for seg in cols.segments(first, first + run) {
+            let mut mask = dot_cmp_block(query.a(), seg.cols, stride, seg.lanes, query.b(), leq);
+            while mask != 0 {
+                out.push(seg.first + mask.trailing_zeros());
+                mask &= mask - 1;
             }
         }
         s = e;
@@ -241,22 +277,20 @@ pub(crate) fn verify_ids(
     table: &FeatureTable,
     ids: &[PointId],
     exec: &ExecutionConfig,
-    dots: &mut Vec<f64>,
     out: &mut Vec<PointId>,
 ) {
     if exec.is_parallel() && ids.len() >= exec.parallel_verify_threshold.max(2) {
         let workers = exec.threads.min(ids.len());
         let per_chunk = map_chunks(ids, workers, |chunk| {
-            let mut local_dots = Vec::new();
             let mut local_out = Vec::with_capacity(chunk.len());
-            verify_ids_blocked(query, table, chunk, &mut local_dots, &mut local_out);
+            verify_ids_blocked(query, table, chunk, &mut local_out);
             local_out
         });
         for part in per_chunk {
             out.extend_from_slice(&part);
         }
     } else {
-        verify_ids_blocked(query, table, ids, dots, out);
+        verify_ids_blocked(query, table, ids, out);
     }
 }
 
@@ -289,7 +323,10 @@ pub(crate) fn verify_top_k(
     }
 }
 
-/// Serial blocked top-k verification of one id run list.
+/// Serial blocked top-k verification of one id run list. Unlike the
+/// inequality path, top-k ranking needs the raw scalar products, so runs go
+/// through [`dot_block_cols`] into the `dots` scratch (at most
+/// [`BLOCK_ROWS`] entries per segment).
 fn verify_top_k_blocked(
     query: &InequalityQuery,
     table: &FeatureTable,
@@ -297,23 +334,23 @@ fn verify_top_k_blocked(
     dots: &mut Vec<f64>,
     buffer: &mut TopKBuffer,
 ) {
+    let cols = table.columns();
+    let stride = cols.stride();
     let mut s = 0;
     while s < ids.len() {
         let first = ids[s];
         let mut e = s + 1;
-        while e < ids.len() && e - s < VERIFY_BLOCK && ids[e] == first + (e - s) as PointId {
+        while e < ids.len() && ids[e] == first + (e - s) as PointId {
             e += 1;
         }
-        let run = e - s;
-        dots.resize(run, 0.0);
-        dot_block(
-            query.a(),
-            table.rows_between(first, first + run as PointId),
-            &mut dots[..run],
-        );
-        for (i, &dot) in dots[..run].iter().enumerate() {
-            if query.satisfies_dot(dot) {
-                buffer.offer(query.distance_from_dot(dot), first + i as PointId);
+        let run = (e - s) as PointId;
+        for seg in cols.segments(first, first + run) {
+            dots.resize(seg.lanes, 0.0);
+            dot_block_cols(query.a(), seg.cols, stride, &mut dots[..seg.lanes]);
+            for (i, &dot) in dots[..seg.lanes].iter().enumerate() {
+                if query.satisfies_dot(dot) {
+                    buffer.offer(query.distance_from_dot(dot), seg.first + i as PointId);
+                }
             }
         }
         s = e;
@@ -327,7 +364,7 @@ pub(crate) fn batch_plan(exec: &ExecutionConfig, batch_len: usize) -> (usize, Ex
     let workers = clamp_workers(exec.threads, batch_len);
     let inner = ExecutionConfig {
         threads: (exec.threads / workers).max(1),
-        parallel_verify_threshold: exec.parallel_verify_threshold,
+        ..*exec
     };
     (workers, inner)
 }
@@ -366,6 +403,13 @@ mod tests {
                 .parallel_verify_threshold,
             1
         );
+        assert!(c.intersect_pruning);
+        assert_eq!(c.intersect_min_candidates, DEFAULT_INTERSECT_MIN_CANDIDATES);
+        let ablation = ExecutionConfig::serial()
+            .intersect_pruning(false)
+            .intersect_min_candidates(0);
+        assert!(!ablation.intersect_pruning);
+        assert_eq!(ablation.intersect_min_candidates, 0);
     }
 
     #[test]
@@ -380,9 +424,8 @@ mod tests {
                 expected.push(id);
             }
         }
-        let mut dots = Vec::new();
         let mut got = Vec::new();
-        verify_ids_blocked(&q, &t, &ids, &mut dots, &mut got);
+        verify_ids_blocked(&q, &t, &ids, &mut got);
         assert_eq!(got, expected);
     }
 
@@ -391,13 +434,12 @@ mod tests {
         let t = table(2000);
         let q = query();
         let ids: Vec<PointId> = (0..2000u32).collect();
-        let mut dots = Vec::new();
         let mut serial = Vec::new();
-        verify_ids_blocked(&q, &t, &ids, &mut dots, &mut serial);
+        verify_ids_blocked(&q, &t, &ids, &mut serial);
         for threads in [2, 3, 8] {
             let exec = ExecutionConfig::with_threads(threads).verify_threshold(1);
             let mut out = Vec::new();
-            verify_ids(&q, &t, &ids, &exec, &mut dots, &mut out);
+            verify_ids(&q, &t, &ids, &exec, &mut out);
             assert_eq!(out, serial, "threads={threads}");
         }
     }
@@ -454,7 +496,7 @@ mod tests {
         // Zero threads (possible via direct struct construction).
         let zero = ExecutionConfig {
             threads: 0,
-            parallel_verify_threshold: DEFAULT_PARALLEL_VERIFY_THRESHOLD,
+            ..ExecutionConfig::serial()
         };
         let (workers, inner) = batch_plan(&zero, 10);
         assert_eq!(workers, 1);

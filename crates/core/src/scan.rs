@@ -6,16 +6,12 @@
 //! implementation our property tests compare the index against — the index
 //! must return *exactly* the same answer set.
 
-use crate::query::{InequalityQuery, TopKQuery};
+use crate::query::{Cmp, InequalityQuery, TopKQuery};
 use crate::table::{FeatureTable, PointId};
 use crate::{PlanarError, Result};
-use planar_geom::dot_block;
+use planar_geom::{dot_block_cols, dot_cmp_block, BLOCK_ROWS};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
-
-/// Rows per `dot_block` call in the scan loop; sized so the dot buffer
-/// lives on the stack and the row block stays cache-resident.
-const SCAN_BLOCK: usize = 128;
 
 /// A candidate in the top-k buffer, ordered by distance (max-heap).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -123,9 +119,10 @@ impl<'a> SeqScan<'a> {
     pub fn evaluate(&self, query: &InequalityQuery) -> Result<Vec<PointId>> {
         self.check_dim(query)?;
         let mut out = Vec::new();
-        self.blocked(query, |id, dot| {
-            if query.satisfies_dot(dot) {
-                out.push(id);
+        self.masked(query, |first, mut mask| {
+            while mask != 0 {
+                out.push(first + mask.trailing_zeros());
+                mask &= mask - 1;
             }
         });
         Ok(out)
@@ -140,10 +137,8 @@ impl<'a> SeqScan<'a> {
     pub fn count(&self, query: &InequalityQuery) -> Result<usize> {
         self.check_dim(query)?;
         let mut count = 0;
-        self.blocked(query, |_, dot| {
-            if query.satisfies_dot(dot) {
-                count += 1;
-            }
+        self.masked(query, |_, mask| {
+            count += mask.count_ones() as usize;
         });
         Ok(count)
     }
@@ -166,26 +161,39 @@ impl<'a> SeqScan<'a> {
     }
 
     /// Drive `f(id, ⟨a, row⟩)` over every row in id order, computing the
-    /// scalar products [`SCAN_BLOCK`] contiguous rows at a time with
-    /// [`dot_block`]. The dot buffer lives on the stack, so the scan loop
-    /// itself allocates nothing; results are bit-identical to the
-    /// row-at-a-time path (see `dot_block`'s accumulation guarantee).
+    /// scalar products one columnar block at a time with
+    /// [`dot_block_cols`]. The dot buffer lives on the stack, so the scan
+    /// loop itself allocates nothing; results are bit-identical to the
+    /// row-at-a-time path (see the accumulation guarantee in
+    /// `planar_geom::kernels`).
     fn blocked(&self, query: &InequalityQuery, mut f: impl FnMut(PointId, f64)) {
-        let n = self.table.len();
-        let mut dots = [0.0f64; SCAN_BLOCK];
-        let mut start = 0usize;
-        while start < n {
-            let end = (start + SCAN_BLOCK).min(n);
-            let len = end - start;
-            dot_block(
-                query.a(),
-                self.table.rows_between(start as PointId, end as PointId),
-                &mut dots[..len],
-            );
-            for (i, &dot) in dots[..len].iter().enumerate() {
-                f((start + i) as PointId, dot);
+        let cols = self.table.columns();
+        let mut dots = [0.0f64; BLOCK_ROWS];
+        for seg in cols.segments(0, self.table.len() as PointId) {
+            dot_block_cols(query.a(), seg.cols, cols.stride(), &mut dots[..seg.lanes]);
+            for (i, &dot) in dots[..seg.lanes].iter().enumerate() {
+                f(seg.first + i as PointId, dot);
             }
-            start = end;
+        }
+    }
+
+    /// Drive `f(first_id, predicate_mask)` over every columnar block in id
+    /// order with the fused [`dot_cmp_block`] kernel — the scalar products
+    /// never leave the vector registers. Bit `i` of the mask corresponds to
+    /// point `first_id + i`.
+    fn masked(&self, query: &InequalityQuery, mut f: impl FnMut(PointId, u64)) {
+        let cols = self.table.columns();
+        let leq = query.cmp() == Cmp::Leq;
+        for seg in cols.segments(0, self.table.len() as PointId) {
+            let mask = dot_cmp_block(
+                query.a(),
+                seg.cols,
+                cols.stride(),
+                seg.lanes,
+                query.b(),
+                leq,
+            );
+            f(seg.first, mask);
         }
     }
 
@@ -263,9 +271,9 @@ mod tests {
 
     #[test]
     fn blocked_scan_matches_rowwise_across_block_boundaries() {
-        // More rows than SCAN_BLOCK so the loop takes several blocks plus a
-        // ragged tail.
-        let n = 3 * SCAN_BLOCK + 17;
+        // More rows than one columnar block so the loop takes several
+        // blocks plus a ragged tail.
+        let n = 3 * BLOCK_ROWS + 17;
         let t = FeatureTable::from_rows(
             3,
             (0..n).map(|i| vec![i as f64 * 0.25, (i % 7) as f64, 1.0 / (i + 1) as f64]),

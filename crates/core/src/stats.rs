@@ -91,6 +91,11 @@ pub struct QueryStats {
     pub larger: usize,
     /// Scalar products actually computed.
     pub verified: usize,
+    /// Intermediate-interval candidates settled by multi-index intersection
+    /// pruning — accepted or rejected via a sibling index's interval proof
+    /// instead of a scalar product. Always `intermediate - verified` on the
+    /// indexed path.
+    pub intersect_pruned: usize,
     /// Points in the answer set (`t` in the paper's complexity bounds).
     pub matched: usize,
     /// Execution path taken.
@@ -106,19 +111,21 @@ impl QueryStats {
             intermediate: n,
             larger: 0,
             verified: n,
+            intersect_pruned: 0,
             matched,
             path: ExecutionPath::ScanFallback(reason),
         }
     }
 
     /// Fraction of points pruned (accepted/rejected without a scalar
-    /// product): `(smaller + larger) / n`. This is the quantity of Figures
-    /// 9 and 10, as a value in `[0, 1]`.
+    /// product): `(smaller + larger + intersect_pruned) / n`. This is the
+    /// quantity of Figures 9 and 10, as a value in `[0, 1]`, extended with
+    /// the candidates the multi-index intersection settled.
     pub fn pruned_fraction(&self) -> f64 {
         if self.n == 0 {
             return 1.0;
         }
-        (self.smaller + self.larger) as f64 / self.n as f64
+        (self.smaller + self.larger + self.intersect_pruned) as f64 / self.n as f64
     }
 
     /// Pruning percentage in `[0, 100]` (the paper's y-axis).
@@ -141,6 +148,7 @@ pub struct StatsAggregator {
     verified_sum: usize,
     matched_sum: usize,
     intermediate_sum: usize,
+    intersect_pruned_sum: usize,
     index_hits: usize,
     scan_fallbacks: usize,
     degraded: usize,
@@ -160,6 +168,7 @@ impl StatsAggregator {
         self.verified_sum += s.verified;
         self.matched_sum += s.matched;
         self.intermediate_sum += s.intermediate;
+        self.intersect_pruned_sum += s.intersect_pruned;
         if s.used_index() {
             self.index_hits += 1;
         } else {
@@ -189,6 +198,7 @@ impl StatsAggregator {
         self.verified_sum += other.verified_sum;
         self.matched_sum += other.matched_sum;
         self.intermediate_sum += other.intermediate_sum;
+        self.intersect_pruned_sum += other.intersect_pruned_sum;
         self.index_hits += other.index_hits;
         self.scan_fallbacks += other.scan_fallbacks;
         self.degraded += other.degraded;
@@ -251,10 +261,81 @@ impl StatsAggregator {
         self.degraded
     }
 
+    /// Mean number of II candidates settled by intersection pruning per
+    /// query.
+    pub fn mean_intersect_pruned(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        self.intersect_pruned_sum as f64 / self.count as f64
+    }
+
     /// Number of quarantine events reported via [`Self::record_quarantine`].
     pub fn quarantine_event_count(&self) -> usize {
         self.quarantine_events
     }
+
+    /// Point-in-time snapshot of the aggregate counters, stamped with the
+    /// runtime code paths (kernel dispatch, FMA availability, thread-clamp
+    /// events) that produced them. Benchmarks serialize this into their
+    /// JSON output so a result is traceable to the code path that made it.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            count: self.count,
+            mean_pruning_percentage: self.mean_pruning_percentage(),
+            mean_verified: self.mean_verified(),
+            mean_intermediate: self.mean_intermediate(),
+            mean_matched: self.mean_matched(),
+            mean_intersect_pruned: self.mean_intersect_pruned(),
+            index_hit_rate: self.index_hit_rate(),
+            scan_fallbacks: self.scan_fallbacks,
+            degraded: self.degraded,
+            quarantine_events: self.quarantine_events,
+            kernel: planar_geom::kernel_name(),
+            fma_available: planar_geom::host_has_fma(),
+            thread_clamp_events: crate::parallel::thread_clamp_events(),
+        }
+    }
+}
+
+/// A [`StatsAggregator`] snapshot plus execution-environment provenance.
+///
+/// `kernel` and `fma_available` record which scalar-product implementation
+/// the process dispatched to (see `planar_geom::kernels`);
+/// `thread_clamp_events` is the process-wide clamp counter at snapshot
+/// time. Together they make a benchmark JSON self-describing: the same
+/// workload measured under `PLANAR_FORCE_PORTABLE=1` and under AVX2 differs
+/// only in these fields and the timings.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatsSnapshot {
+    /// Queries aggregated.
+    pub count: usize,
+    /// Mean pruning percentage (paper Figures 9/10 y-axis).
+    pub mean_pruning_percentage: f64,
+    /// Mean scalar products per query.
+    pub mean_verified: f64,
+    /// Mean intermediate-interval size per query.
+    pub mean_intermediate: f64,
+    /// Mean answer-set size per query.
+    pub mean_matched: f64,
+    /// Mean II candidates settled by multi-index intersection pruning.
+    pub mean_intersect_pruned: f64,
+    /// Fraction of queries served by the indexed path.
+    pub index_hit_rate: f64,
+    /// Queries that fell back to a sequential scan.
+    pub scan_fallbacks: usize,
+    /// Queries served in degraded mode.
+    pub degraded: usize,
+    /// Quarantine events reported.
+    pub quarantine_events: usize,
+    /// Dispatched scalar-product kernel (`"avx2"` or `"portable"`).
+    pub kernel: &'static str,
+    /// Whether the host advertises FMA (never used by the kernels — see the
+    /// determinism contract — but recorded so a future FMA variant can be
+    /// distinguished in archived results).
+    pub fma_available: bool,
+    /// Process-wide thread-clamp counter at snapshot time.
+    pub thread_clamp_events: u64,
 }
 
 #[cfg(test)]
@@ -268,6 +349,7 @@ mod tests {
             intermediate: i,
             larger: l,
             verified: i,
+            intersect_pruned: 0,
             matched,
             path: ExecutionPath::Index { index: 0 },
         }
@@ -369,6 +451,24 @@ mod tests {
         assert_eq!(degraded, ServedBy::Degraded);
         assert!(degraded.is_degraded());
         assert!(!ServedBy::ScanFallback.is_degraded());
+    }
+
+    #[test]
+    fn snapshot_records_kernel_provenance() {
+        let mut agg = StatsAggregator::new();
+        let mut s = indexed(100, 40, 20, 40, 30);
+        s.verified = 12;
+        s.intersect_pruned = 8;
+        agg.add(&s);
+        let snap = agg.snapshot();
+        assert_eq!(snap.count, 1);
+        assert_eq!(snap.mean_intersect_pruned, 8.0);
+        assert_eq!(snap.mean_verified, 12.0);
+        // 40 + 40 wholesale + 8 intersect-pruned of 100.
+        assert_eq!(snap.mean_pruning_percentage, 88.0);
+        assert_eq!(snap.kernel, planar_geom::kernel_name());
+        assert!(snap.kernel == "avx2" || snap.kernel == "portable");
+        assert_eq!(snap.fma_available, planar_geom::host_has_fma());
     }
 
     #[test]

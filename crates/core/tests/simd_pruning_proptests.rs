@@ -1,0 +1,245 @@
+//! Property tests for the columnar feature store and multi-index
+//! intersection pruning: for arbitrary tables, queries, quarantine
+//! patterns, and stores, (1) the interleaved-block columnar layout must
+//! agree bit-for-bit with the row-major layout — same gathered rows, same
+//! fused compare masks — and (2) intersection pruning must never change an
+//! answer, only shrink the verified set, for inequality and top-k queries
+//! alike.
+
+use planar_core::{BPlusTree, EytzingerStore, VecStore};
+use planar_core::{
+    Cmp, Domain, ExecutionConfig, FeatureTable, IndexConfig, InequalityQuery, KeyStore,
+    ParameterDomain, PlanarIndexSet, QueryScratch, TopKQuery,
+};
+use planar_geom::{dot_cmp_block, dot_slices};
+use proptest::prelude::*;
+
+/// A generated workload: a table folded into one sign octant (so the
+/// indexed path, not just the scan fallback, is exercised), a batch of
+/// queries, an index budget, and a quarantine bitmask.
+#[derive(Debug, Clone)]
+struct Scenario {
+    dim: usize,
+    rows: Vec<Vec<f64>>,
+    signs: Vec<bool>,
+    queries: Vec<(Vec<f64>, f64, Cmp)>,
+    budget: usize,
+    quarantine_mask: u32,
+    min_candidates: usize,
+    k: usize,
+}
+
+fn scenario() -> impl Strategy<Value = Scenario> {
+    (1..=4usize)
+        .prop_flat_map(|dim| {
+            (
+                Just(dim),
+                prop::collection::vec(prop::collection::vec(-100.0..100.0_f64, dim), 1..80),
+                prop::collection::vec(any::<bool>(), dim),
+                prop::collection::vec(
+                    (
+                        prop::collection::vec(0.1..10.0_f64, dim),
+                        -300.0..300.0_f64,
+                        any::<bool>(),
+                    ),
+                    1..8,
+                ),
+                // Budgets > 1 give the planner siblings to intersect with;
+                // budget 1 checks the no-sibling degenerate case.
+                1..8usize,
+                any::<u32>(),
+                // 1 forces classification on every candidate set; the
+                // default exercises the cost-model skip.
+                prop_oneof![Just(1usize), Just(64usize)],
+                1..6usize,
+            )
+        })
+        .prop_map(
+            |(dim, mut rows, signs, raw_queries, budget, quarantine_mask, min_candidates, k)| {
+                for row in &mut rows {
+                    for (v, &pos) in row.iter_mut().zip(&signs) {
+                        *v = if pos { v.abs() } else { -v.abs() };
+                    }
+                }
+                let queries = raw_queries
+                    .into_iter()
+                    .map(|(mag, b, leq)| {
+                        let a: Vec<f64> = mag
+                            .iter()
+                            .zip(&signs)
+                            .map(|(&m, &pos)| if pos { m } else { -m })
+                            .collect();
+                        (a, b, if leq { Cmp::Leq } else { Cmp::Geq })
+                    })
+                    .collect();
+                Scenario {
+                    dim,
+                    rows,
+                    signs,
+                    queries,
+                    budget,
+                    quarantine_mask,
+                    min_candidates,
+                    k,
+                }
+            },
+        )
+}
+
+fn domain(s: &Scenario) -> ParameterDomain {
+    let axes: Vec<Domain> = s
+        .signs
+        .iter()
+        .map(|&pos| {
+            if pos {
+                Domain::Continuous { lo: 0.1, hi: 10.0 }
+            } else {
+                Domain::Continuous {
+                    lo: -10.0,
+                    hi: -0.1,
+                }
+            }
+        })
+        .collect();
+    ParameterDomain::new(axes).unwrap()
+}
+
+/// Build the index set and quarantine the positions picked out by the
+/// scenario's bitmask (possibly none, possibly all — the latter degrades
+/// every query to the exact scan, which must also be pruning-neutral).
+fn build_set<S: KeyStore>(s: &Scenario) -> PlanarIndexSet<S> {
+    let table = FeatureTable::from_rows(s.dim, s.rows.clone()).unwrap();
+    let mut set: PlanarIndexSet<S> =
+        PlanarIndexSet::build(table, domain(s), IndexConfig::with_budget(s.budget)).unwrap();
+    for pos in 0..set.num_indices() {
+        if s.quarantine_mask & (1 << (pos % 32)) != 0 {
+            set.quarantine(pos);
+        }
+    }
+    set
+}
+
+fn ineq_queries(s: &Scenario) -> Vec<InequalityQuery> {
+    s.queries
+        .iter()
+        .map(|(a, b, cmp)| InequalityQuery::new(a.clone(), *cmp, *b).unwrap())
+        .collect()
+}
+
+/// Pruning forced on for every candidate set size vs forced off.
+fn configs(s: &Scenario) -> (ExecutionConfig, ExecutionConfig) {
+    let on = ExecutionConfig::serial().intersect_min_candidates(s.min_candidates);
+    let off = ExecutionConfig::serial().intersect_pruning(false);
+    (on, off)
+}
+
+fn check_inequality_pruning<S: KeyStore>(s: &Scenario) {
+    let set: PlanarIndexSet<S> = build_set(s);
+    let (on, off) = configs(s);
+    let mut scratch = QueryScratch::new();
+    for q in ineq_queries(s) {
+        let plain = set.query_with(&q, &off, &mut scratch).unwrap();
+        let pruned = set.query_with(&q, &on, &mut scratch).unwrap();
+        // Same ids in the same canonical order.
+        assert_eq!(pruned.matches, plain.matches);
+        assert_eq!(plain.stats.intersect_pruned, 0);
+        // Every candidate the pruned run skipped was settled, not lost.
+        assert_eq!(
+            pruned.stats.verified + pruned.stats.intersect_pruned,
+            plain.stats.verified
+        );
+        assert_eq!(pruned.stats.matched, plain.stats.matched);
+        assert_eq!(pruned.stats.intermediate, plain.stats.intermediate);
+    }
+}
+
+fn check_top_k_pruning<S: KeyStore>(s: &Scenario) {
+    let set: PlanarIndexSet<S> = build_set(s);
+    let (on, off) = configs(s);
+    let mut scratch = QueryScratch::new();
+    for q in ineq_queries(s) {
+        let q = TopKQuery::new(q, s.k).unwrap();
+        let plain = set.top_k_with(&q, &off, &mut scratch).unwrap();
+        let pruned = set.top_k_with(&q, &on, &mut scratch).unwrap();
+        assert_eq!(pruned.neighbors.len(), plain.neighbors.len());
+        for (p, w) in pruned.neighbors.iter().zip(&plain.neighbors) {
+            assert_eq!(p.0, w.0);
+            assert_eq!(
+                p.1.to_bits(),
+                w.1.to_bits(),
+                "distances must be bit-identical"
+            );
+        }
+        assert!(pruned.stats.verified <= plain.stats.verified);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// The columnar layout is a faithful mirror of the row store: every
+    /// gathered row equals the row-major row, and the fused compare kernel
+    /// over column segments reproduces the per-row scalar verdicts.
+    #[test]
+    fn columnar_layout_equals_row_major(s in scenario()) {
+        let table = FeatureTable::from_rows(s.dim, s.rows.clone()).unwrap();
+        let cols = table.columns();
+        prop_assert!(cols.alignment_ok());
+        let mut buf = vec![0.0; s.dim];
+        for (id, row) in table.iter() {
+            cols.gather_row(id as usize, &mut buf);
+            for (a, b) in buf.iter().zip(row) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+        let stride = cols.stride();
+        for q in ineq_queries(&s) {
+            let leq = q.cmp() == Cmp::Leq;
+            for seg in cols.segments(0, table.len() as u32) {
+                let mask = dot_cmp_block(q.a(), seg.cols, stride, seg.lanes, q.b(), leq);
+                for lane in 0..seg.lanes {
+                    let row = table.row(seg.first + lane as u32);
+                    let want = q.satisfies_dot(dot_slices(q.a(), row));
+                    prop_assert_eq!(
+                        mask & (1 << lane) != 0,
+                        want,
+                        "lane {} of segment at row {}", lane, seg.first
+                    );
+                }
+            }
+        }
+    }
+
+    /// Intersection pruning never changes an inequality answer, on every
+    /// store, under arbitrary quarantine patterns.
+    #[test]
+    fn pruned_inequality_equals_unpruned_vec_store(s in scenario()) {
+        check_inequality_pruning::<VecStore>(&s);
+    }
+
+    #[test]
+    fn pruned_inequality_equals_unpruned_bplus_tree(s in scenario()) {
+        check_inequality_pruning::<BPlusTree>(&s);
+    }
+
+    #[test]
+    fn pruned_inequality_equals_unpruned_eytzinger(s in scenario()) {
+        check_inequality_pruning::<EytzingerStore>(&s);
+    }
+
+    /// Top-k with reject-only pruning returns bit-identical neighbors.
+    #[test]
+    fn pruned_top_k_equals_unpruned_vec_store(s in scenario()) {
+        check_top_k_pruning::<VecStore>(&s);
+    }
+
+    #[test]
+    fn pruned_top_k_equals_unpruned_bplus_tree(s in scenario()) {
+        check_top_k_pruning::<BPlusTree>(&s);
+    }
+
+    #[test]
+    fn pruned_top_k_equals_unpruned_eytzinger(s in scenario()) {
+        check_top_k_pruning::<EytzingerStore>(&s);
+    }
+}

@@ -26,12 +26,16 @@
 
 mod approx;
 mod hyperplane;
+pub mod kernels;
 mod octant;
 mod translation;
 mod vector;
 
 pub use approx::{approx_eq, approx_eq_eps, DEFAULT_EPS};
 pub use hyperplane::Hyperplane;
+pub use kernels::{
+    axpy, dot_block_cols, dot_cmp_block, host_has_fma, kernel, kernel_name, KernelKind, BLOCK_ROWS,
+};
 pub use octant::{Octant, Sign, SignVector};
 pub use translation::{NormalizedQuery, Normalizer, Translation};
 pub use vector::{dot, dot_block, dot_slices, norm, Vector};

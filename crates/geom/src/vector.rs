@@ -11,11 +11,24 @@ use crate::{GeomError, Result};
 ///
 /// # Panics
 ///
-/// Panics in debug builds if the slices have different lengths; in release
-/// builds the shorter length wins (as with `Iterator::zip`).
+/// Panics (in every build profile) if the slices have different lengths.
+/// Release builds used to silently truncate to the shorter length, which
+/// turned dimension bugs into wrong answers; all callers now go through
+/// this checked entry point and the fallible [`dot`] remains available
+/// where a recoverable error is wanted.
 #[inline]
 pub fn dot_slices(a: &[f64], b: &[f64]) -> f64 {
-    debug_assert_eq!(a.len(), b.len(), "dot product dimension mismatch");
+    assert_eq!(a.len(), b.len(), "dot product dimension mismatch");
+    dot_unchecked(a, b)
+}
+
+/// Accumulation core shared by every kernel in this crate: 4-way striped
+/// accumulators combined as `(acc0 + acc1) + (acc2 + acc3)`, then a
+/// sequential tail. The SIMD kernels in [`crate::kernels`] replicate this
+/// exact order per lane, which is what makes scalar, blocked and vector
+/// paths bit-identical.
+#[inline]
+pub(crate) fn dot_unchecked(a: &[f64], b: &[f64]) -> f64 {
     // Manual 4-way unroll: rustc reliably vectorizes this shape, and the
     // index's verification loop spends essentially all its time here.
     let n = a.len().min(b.len());
@@ -53,19 +66,19 @@ pub fn dot_slices(a: &[f64], b: &[f64]) -> f64 {
 ///
 /// # Panics
 ///
-/// Panics in debug builds if `rows.len() != a.len() * dots.len()`; in
-/// release builds short input truncates (trailing rows / coordinates are
-/// left untouched).
+/// Panics (in every build profile) if `rows.len() != a.len() * dots.len()`.
+/// The shape check happens once per block, so per-row cost is identical to
+/// the previous unchecked version.
 #[inline]
 pub fn dot_block(a: &[f64], rows: &[f64], dots: &mut [f64]) {
-    debug_assert_eq!(rows.len(), a.len() * dots.len(), "dot_block shape mismatch");
+    assert_eq!(rows.len(), a.len() * dots.len(), "dot_block shape mismatch");
     let dim = a.len();
     if dim == 0 {
         dots.fill(0.0);
         return;
     }
     for (dot, row) in dots.iter_mut().zip(rows.chunks_exact(dim)) {
-        *dot = dot_slices(a, row);
+        *dot = dot_unchecked(a, row);
     }
 }
 
@@ -291,26 +304,20 @@ mod tests {
         }
     }
 
-    /// Regression: the unrolled loop used to size its chunks from `a.len()`
-    /// alone and indexed out of bounds in `b` when `b` was shorter. The
-    /// documented contract is `Iterator::zip` semantics (shorter length
-    /// wins) in release, a `debug_assert` in debug.
+    /// Mismatched lengths used to silently truncate in release builds
+    /// (`Iterator::zip` semantics), turning dimension bugs into wrong
+    /// answers. The contract is now a panic in every build profile.
     #[test]
-    #[cfg(not(debug_assertions))]
-    fn dot_mismatched_lengths_truncate() {
-        let a: Vec<f64> = (0..9).map(|i| i as f64 + 1.0).collect();
-        let b: Vec<f64> = (0..5).map(|i| (i as f64).mul_add(2.0, 1.0)).collect();
-        let want: f64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
-        assert!(approx_eq(dot_slices(&a, &b), want));
-        assert!(approx_eq(dot_slices(&b, &a), want));
-        assert_eq!(dot_slices(&a, &[]), 0.0);
+    #[should_panic(expected = "dimension mismatch")]
+    fn dot_mismatched_lengths_panic() {
+        dot_slices(&[1.0; 9], &[1.0; 5]);
     }
 
     #[test]
-    #[cfg(debug_assertions)]
-    #[should_panic(expected = "dimension mismatch")]
-    fn dot_mismatched_lengths_debug_asserts() {
-        dot_slices(&[1.0; 9], &[1.0; 5]);
+    #[should_panic(expected = "dot_block shape mismatch")]
+    fn dot_block_shape_mismatch_panics() {
+        let mut dots = [0.0; 3];
+        dot_block(&[1.0, 2.0], &[1.0; 5], &mut dots);
     }
 
     #[test]
