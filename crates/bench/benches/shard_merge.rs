@@ -1,0 +1,47 @@
+//! Criterion: the k-way top-k merge at the heart of sharded top-k — merging
+//! per-shard candidate lists ordered by (distance, id) into one global
+//! top-k, across shard counts and k.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use planar_core::merge_top_k;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+const SHARD_COUNTS: [usize; 4] = [2, 4, 8, 16];
+const KS: [usize; 3] = [10, 100, 1000];
+
+/// Per-shard candidate lists the way shards produce them: `k` pairs per
+/// shard, sorted by (distance, global id), global ids disjoint by shard.
+fn candidate_lists(shards: usize, k: usize, seed: u64) -> Vec<Vec<(u32, f64)>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..shards)
+        .map(|s| {
+            let mut list: Vec<(u32, f64)> = (0..k)
+                .map(|i| {
+                    let id = (s * k + i) as u32;
+                    (id, rng.random_range(0.0..100.0_f64))
+                })
+                .collect();
+            list.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+            list
+        })
+        .collect()
+}
+
+fn bench_merge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shard_merge");
+    for shards in SHARD_COUNTS {
+        for k in KS {
+            let lists = candidate_lists(shards, k, 42);
+            group.throughput(Throughput::Elements(k as u64));
+            group.bench_function(BenchmarkId::new(format!("{shards}shards"), k), |b| {
+                b.iter(|| black_box(merge_top_k(black_box(&lists), k)))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_merge);
+criterion_main!(benches);

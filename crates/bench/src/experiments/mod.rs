@@ -6,6 +6,7 @@ pub mod fault;
 pub mod movingobj;
 pub mod parallel;
 pub mod realworld;
+pub mod shard;
 pub mod simd;
 pub mod synthetic;
 pub mod topk;
@@ -145,6 +146,12 @@ pub fn registry() -> Vec<Experiment> {
             description:
                 "parallel engine: build & batch-query speedup vs threads (BENCH_parallel.json)",
             run: parallel::parallel_engine,
+        },
+        Experiment {
+            name: "shard",
+            description:
+                "sharded engine: batch & top-k speedup vs shard count, answers verified (BENCH_shard.json)",
+            run: shard::shard,
         },
         Experiment {
             name: "simd",

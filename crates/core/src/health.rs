@@ -135,6 +135,34 @@ impl HealthReport {
     }
 }
 
+/// Verification verdict for a whole [`crate::ShardedIndexSet`]: one
+/// [`HealthReport`] per shard, in shard order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardedHealthReport {
+    /// Per-shard verdicts.
+    pub shards: Vec<HealthReport>,
+}
+
+impl ShardedHealthReport {
+    /// True when every index of every shard passed.
+    pub fn healthy(&self) -> bool {
+        self.shards.iter().all(HealthReport::healthy)
+    }
+
+    /// `(shard, failing index positions)` for every shard with at least
+    /// one failing index, ascending by shard.
+    pub fn failing(&self) -> Vec<(usize, Vec<usize>)> {
+        self.shards
+            .iter()
+            .enumerate()
+            .filter_map(|(s, r)| {
+                let failing = r.failing_positions();
+                (!failing.is_empty()).then_some((s, failing))
+            })
+            .collect()
+    }
+}
+
 impl<S: KeyStore> SingleIndex<S> {
     /// Verify this index against the table it describes.
     ///

@@ -67,6 +67,7 @@
 //! | [`index`] | one Planar index: intervals + Algorithm 1 + Algorithm 2 |
 //! | [`selection`] | best-index selection heuristics (§5.1) |
 //! | [`multi`] | [`PlanarIndexSet`]: budgeted multi-index structure (§5) |
+//! | [`shard`] | [`ShardedIndexSet`]: shared-nothing horizontal partitioning with k-way top-k merge |
 //! | [`parallel`] | thread configuration, query scratch, blocked/chunked verification |
 //! | [`scan`] | the sequential-scan baseline the paper compares against |
 //! | [`feature`] | the `φ` feature-map abstraction |
@@ -95,6 +96,7 @@ pub mod query;
 pub mod router;
 pub mod scan;
 pub mod selection;
+pub mod shard;
 pub mod stats;
 pub mod store;
 pub mod table;
@@ -107,16 +109,20 @@ pub use fault::{Corruption, FaultyIo, IoFault, TempDir};
 pub use fault::{SnapshotIo, StdIo};
 pub use feature::{FeatureMap, FnFeatureMap, IdentityMap};
 pub use halfspace::{HalfSpace, HalfSpaceIndex};
-pub use health::{HealthIssue, HealthReport, IndexHealth};
+pub use health::{HealthIssue, HealthReport, IndexHealth, ShardedHealthReport};
 pub use index::{IntervalBounds, SingleIndex, TopKStats};
 pub use memory::HeapSize;
 pub use multi::{DynamicPlanarIndexSet, IndexConfig, PlanarIndexSet, QueryOutcome, TopKOutcome};
 pub use parallel::{ExecutionConfig, QueryScratch};
-pub use persist::{RecoveryReport, SaveOptions};
+pub use persist::{RecoveryReport, SaveOptions, ShardedRecoveryReport};
 pub use query::{Cmp, InequalityQuery, TopKQuery};
 pub use router::AxisReductionRouter;
 pub use scan::SeqScan;
 pub use selection::SelectionStrategy;
+pub use shard::{
+    merge_top_k, PartitionScheme, Partitioner, ShardConfig, ShardedIndexSet, ShardedQueryOutcome,
+    ShardedTopKOutcome,
+};
 pub use stats::{ExecutionPath, QueryStats, ServedBy, StatsAggregator, StatsSnapshot};
 pub use store::{BPlusTree, EytzingerStore, KeyStore, VecStore};
 pub use table::{ColSegment, ColumnMajorRows, FeatureTable};

@@ -129,6 +129,9 @@ pub struct PlanarIndexSet<S: KeyStore = VecStore> {
     /// not be recovered from a snapshot; the planner skips it until
     /// [`Self::rebuild_quarantined`] restores it.
     quarantined: Vec<bool>,
+    /// Reused old-row buffer for `update_point`/`delete_point`, so the
+    /// mutation path is allocation-free after the first call.
+    row_scratch: Vec<f64>,
 }
 
 /// A [`PlanarIndexSet`] backed by the B+-tree store: `O(d'·log n)` dynamic
@@ -319,6 +322,7 @@ impl<S: KeyStore> PlanarIndexSet<S> {
             deleted: vec![false; n],
             n_live: n,
             quarantined: vec![false; budget],
+            row_scratch: Vec::new(),
         }
     }
 
@@ -377,6 +381,7 @@ impl<S: KeyStore> PlanarIndexSet<S> {
             deleted: tombstones,
             n_live,
             quarantined,
+            row_scratch: Vec::new(),
         })
     }
 
@@ -994,14 +999,20 @@ impl<S: KeyStore> PlanarIndexSet<S> {
     /// validation errors.
     pub fn update_point(&mut self, id: PointId, row: &[f64]) -> Result<()> {
         self.check_live(id)?;
-        let old = self.table.try_row(id)?.to_vec();
-        self.table.update_row(id, row)?;
+        let mut old = core::mem::take(&mut self.row_scratch);
+        old.clear();
+        old.extend_from_slice(self.table.try_row(id)?);
+        if let Err(e) = self.table.update_row(id, row) {
+            self.row_scratch = old;
+            return Err(e);
+        }
         self.normalizer.absorb(row);
         for (idx, &quar) in self.indices.iter_mut().zip(&self.quarantined) {
             if !quar {
                 idx.update_point(id, &old, row);
             }
         }
+        self.row_scratch = old;
         Ok(())
     }
 
@@ -1013,15 +1024,68 @@ impl<S: KeyStore> PlanarIndexSet<S> {
     /// [`PlanarError::PointNotFound`] for unknown or already-deleted ids.
     pub fn delete_point(&mut self, id: PointId) -> Result<()> {
         self.check_live(id)?;
-        let row = self.table.try_row(id)?.to_vec();
+        let mut row = core::mem::take(&mut self.row_scratch);
+        row.clear();
+        row.extend_from_slice(self.table.try_row(id)?);
         for (idx, &quar) in self.indices.iter_mut().zip(&self.quarantined) {
             if !quar {
                 idx.remove_point(id, &row);
             }
         }
+        self.row_scratch = row;
         self.deleted[id as usize] = true;
         self.n_live -= 1;
         Ok(())
+    }
+
+    /// Vacuum the set: rebuild the feature table with only live rows and
+    /// reconstruct every index from it, dropping all tombstones. Point ids
+    /// are *renumbered* — the returned map gives each old id its new id
+    /// (`None` for tombstoned rows). Quarantined indices are rebuilt from
+    /// the fresh table as a side effect and leave quarantine.
+    ///
+    /// The normalizer is kept as-is: its translation only ever grows (see
+    /// [`Normalizer::absorb`]), so a fit over a superset of the live rows
+    /// stays valid and every stored raw-space key is unchanged — compacted
+    /// answers are bit-identical, minus the dead rows.
+    ///
+    /// Rationale: `delete_point` tombstones forever, so [`Self::add_index`]
+    /// pays `O(deleted · log n)` removals and scans walk dead rows
+    /// indefinitely. `O(budget · n log n)`, like a fresh build.
+    pub fn compact(&mut self) -> Vec<Option<PointId>> {
+        let mut remap: Vec<Option<PointId>> = vec![None; self.table.len()];
+        // The dim and every retained row were validated when first added,
+        // so reassembly cannot fail.
+        let mut fresh = FeatureTable::with_capacity(self.table.dim(), self.n_live)
+            .expect("dimension was validated at build");
+        for (id, row) in self.table.iter() {
+            if !self.deleted[id as usize] {
+                let new_id = fresh.push_row(row).expect("row was validated when added");
+                remap[id as usize] = Some(new_id);
+            }
+        }
+        self.table = fresh;
+        self.deleted = vec![false; self.table.len()];
+        self.n_live = self.table.len();
+        for idx in &mut self.indices {
+            idx.rebuild_from(&self.table, &self.deleted);
+        }
+        for flag in &mut self.quarantined {
+            *flag = false;
+        }
+        remap
+    }
+
+    /// [`Self::compact`] only when the tombstone fraction
+    /// `deleted / table rows` exceeds `threshold`; returns the id remap
+    /// when a compaction ran.
+    pub fn compact_if(&mut self, threshold: f64) -> Option<Vec<Option<PointId>>> {
+        let total = self.table.len();
+        let dead = total - self.n_live;
+        if total == 0 || (dead as f64) / (total as f64) <= threshold {
+            return None;
+        }
+        Some(self.compact())
     }
 
     /// Add one more Planar index with the given normalized-space normal;

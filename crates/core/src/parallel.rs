@@ -369,6 +369,19 @@ pub(crate) fn batch_plan(exec: &ExecutionConfig, batch_len: usize) -> (usize, Ex
     (workers, inner)
 }
 
+/// Fan-out plan for a sharded set: how many workers take whole shards
+/// under `exec`, and how many threads remain for each shard's own batch
+/// engine inside a worker. The shard loop is the outer parallel dimension
+/// (shards share nothing), so it gets first claim on the threads.
+pub(crate) fn shard_plan(exec: &ExecutionConfig, shards: usize) -> (usize, ExecutionConfig) {
+    let workers = clamp_workers(exec.threads, shards);
+    let inner = ExecutionConfig {
+        threads: (exec.threads / workers).max(1),
+        ..*exec
+    };
+    (workers, inner)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -488,6 +501,20 @@ mod tests {
         assert_eq!(inner.threads, 1);
         let (workers, _) = batch_plan(&ExecutionConfig::serial(), 100);
         assert_eq!(workers, 1);
+    }
+
+    #[test]
+    fn shard_plan_gives_shards_first_claim() {
+        let exec = ExecutionConfig::with_threads(8);
+        let (workers, inner) = shard_plan(&exec, 4);
+        assert_eq!(workers, 4);
+        assert_eq!(inner.threads, 2);
+        let (workers, inner) = shard_plan(&exec, 16);
+        assert_eq!(workers, 8);
+        assert_eq!(inner.threads, 1);
+        let (workers, inner) = shard_plan(&ExecutionConfig::serial(), 8);
+        assert_eq!(workers, 1);
+        assert_eq!(inner.threads, 1);
     }
 
     #[test]

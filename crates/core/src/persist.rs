@@ -51,6 +51,7 @@ use crate::domain::{Domain, ParameterDomain};
 use crate::fault::{SnapshotIo, StdIo};
 use crate::multi::PlanarIndexSet;
 use crate::selection::SelectionStrategy;
+use crate::shard::{Partitioner, ShardedIndexSet};
 use crate::store::{Entry, KeyStore};
 use crate::table::FeatureTable;
 use crate::{PlanarError, Result};
@@ -61,6 +62,9 @@ use std::time::Duration;
 
 const MAGIC_V1: &[u8; 8] = b"PLNRIDX1";
 const MAGIC_V2: &[u8; 8] = b"PLNRIDX2";
+/// Sharded manifest: a partitioner + assignment core wrapping one full
+/// `PLNRIDX2` snapshot per shard (see [`ShardedIndexSet::to_bytes`]).
+const MAGIC_SHARD: &[u8; 8] = b"PLNRSHD1";
 /// magic + flags + core_len.
 const V2_PREAMBLE: usize = 8 + 4 + 8;
 
@@ -229,6 +233,51 @@ impl RecoveryReport {
             && self.already_quarantined.is_empty()
             && self.rebuilt.is_empty()
     }
+}
+
+/// Atomic snapshot write shared by the single-set and sharded savers: each
+/// attempt writes the full byte image to a uniquely named temp file in the
+/// target's directory (durably: write + fsync) and renames it over the
+/// target, retrying transient failures with doubling backoff. The target
+/// path always holds either the previous snapshot or the complete new one.
+fn atomic_save(
+    bytes: &[u8],
+    path: &Path,
+    io: &mut dyn SnapshotIo,
+    opts: &SaveOptions,
+) -> Result<()> {
+    static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| corrupt(format!("invalid save path {}", path.display())))?;
+    let tmp = path.with_file_name(format!(
+        ".{}.tmp.{}.{}",
+        file_name.to_string_lossy(),
+        std::process::id(),
+        TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let mut delay = opts.backoff;
+    let mut last_err = String::new();
+    for attempt in 0..=opts.retries {
+        if attempt > 0 && !delay.is_zero() {
+            std::thread::sleep(delay);
+            delay = delay.saturating_mul(2);
+        }
+        match io
+            .write_file(&tmp, bytes)
+            .and_then(|()| io.rename(&tmp, path))
+        {
+            Ok(()) => return Ok(()),
+            Err(e) => {
+                last_err = e.to_string();
+                let _ = io.remove_file(&tmp);
+            }
+        }
+    }
+    Err(corrupt(format!(
+        "save failed after {} attempt(s): {last_err}",
+        opts.retries + 1
+    )))
 }
 
 /// The CRC-protected core section, parsed.
@@ -655,40 +704,7 @@ impl<S: KeyStore> PlanarIndexSet<S> {
         io: &mut dyn SnapshotIo,
         opts: &SaveOptions,
     ) -> Result<()> {
-        static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
-        let path = path.as_ref();
-        let bytes = self.to_bytes();
-        let file_name = path
-            .file_name()
-            .ok_or_else(|| corrupt(format!("invalid save path {}", path.display())))?;
-        let tmp = path.with_file_name(format!(
-            ".{}.tmp.{}.{}",
-            file_name.to_string_lossy(),
-            std::process::id(),
-            TMP_SEQ.fetch_add(1, Ordering::Relaxed)
-        ));
-        let mut delay = opts.backoff;
-        let mut last_err = String::new();
-        for attempt in 0..=opts.retries {
-            if attempt > 0 && !delay.is_zero() {
-                std::thread::sleep(delay);
-                delay = delay.saturating_mul(2);
-            }
-            match io
-                .write_file(&tmp, &bytes)
-                .and_then(|()| io.rename(&tmp, path))
-            {
-                Ok(()) => return Ok(()),
-                Err(e) => {
-                    last_err = e.to_string();
-                    let _ = io.remove_file(&tmp);
-                }
-            }
-        }
-        Err(corrupt(format!(
-            "save failed after {} attempt(s): {last_err}",
-            opts.retries + 1
-        )))
+        atomic_save(&self.to_bytes(), path.as_ref(), io, opts)
     }
 
     /// Read from a file written by [`Self::save_to`]. Strict — see
@@ -719,6 +735,329 @@ impl<S: KeyStore> PlanarIndexSet<S> {
         let data = std::fs::read(path).map_err(|e| corrupt(format!("read failed: {e}")))?;
         let (mut set, mut report) = Self::from_bytes_recover(&data)?;
         report.rebuilt = set.rebuild_quarantined();
+        Ok((set, report))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sharded manifest (PLNRSHD1)
+// ---------------------------------------------------------------------------
+//
+// ```text
+// magic "PLNRSHD1" | flags u32 | core_len u64
+// core section (core_len bytes):
+//     partitioner tag u8 (0 round-robin, 1 pilot-key range) | shards u32
+//     range only: dim u32 | pilot dim·f64 | splits (shards−1)·f64
+//     n_global u64 | per global id: shard u32, local u32
+// crc64 of the core section
+// per shard s: section_len u64 | a full PLNRIDX2 snapshot | crc64 of it
+// ```
+//
+// Damage containment is two-level. The outer per-shard CRC localizes
+// corruption to one shard without parsing it; the wrapped PLNRIDX2 bytes
+// carry their own core + per-index CRCs, so recovery re-enters
+// [`PlanarIndexSet::from_bytes_recover`] and loses *at most the damaged
+// index sections of the damaged shard*. A shard whose inner core (its rows)
+// is corrupt fails the whole load: shards share nothing, so no other
+// replica of those rows exists in the file.
+
+/// What [`ShardedIndexSet::from_bytes_recover`] /
+/// [`ShardedIndexSet::load_or_recover`] found and did: one
+/// [`RecoveryReport`] per shard, in shard order.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ShardedRecoveryReport {
+    /// Per-shard recovery reports.
+    pub shards: Vec<RecoveryReport>,
+}
+
+impl ShardedRecoveryReport {
+    /// True when every shard loaded exactly as written.
+    pub fn is_clean(&self) -> bool {
+        self.shards.iter().all(RecoveryReport::is_clean)
+    }
+
+    /// `(shard, quarantined index positions)` for every shard where this
+    /// load quarantined something, ascending by shard.
+    pub fn quarantined(&self) -> Vec<(usize, Vec<usize>)> {
+        self.shards
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| !r.quarantined.is_empty())
+            .map(|(s, r)| (s, r.quarantined.clone()))
+            .collect()
+    }
+}
+
+fn parse_shard_core(core: &[u8]) -> Result<(Partitioner, Vec<(u32, u32)>)> {
+    let mut buf = Bytes::copy_from_slice(core);
+    need(&buf, 5, "shard core header")?;
+    let tag = buf.get_u8();
+    let shards = buf.get_u32_le() as usize;
+    if shards == 0 {
+        return Err(corrupt("zero shard count"));
+    }
+    let partitioner = match tag {
+        0 => Partitioner::RoundRobin { shards },
+        1 => {
+            need(&buf, 4, "pilot dimension")?;
+            let dim = buf.get_u32_le() as usize;
+            if dim == 0 {
+                return Err(corrupt("zero pilot dimensionality"));
+            }
+            check_fits(&buf, dim, 8, "pilot vector")?;
+            let pilot: Vec<f64> = (0..dim).map(|_| buf.get_f64_le()).collect();
+            check_fits(&buf, shards - 1, 8, "split keys")?;
+            let splits: Vec<f64> = (0..shards - 1).map(|_| buf.get_f64_le()).collect();
+            if splits.iter().any(|v| !v.is_finite()) || splits.windows(2).any(|w| w[0] > w[1]) {
+                return Err(corrupt("split keys not finite ascending"));
+            }
+            Partitioner::PilotKeyRange { pilot, splits }
+        }
+        t => return Err(corrupt(format!("unknown partitioner tag {t}"))),
+    };
+    need(&buf, 8, "assignment count")?;
+    let n = buf.get_u64_le() as usize;
+    check_fits(&buf, n, 8, "assignment")?;
+    let assignment: Vec<(u32, u32)> = (0..n)
+        .map(|_| {
+            let shard = buf.get_u32_le();
+            let local = buf.get_u32_le();
+            (shard, local)
+        })
+        .collect();
+    if buf.has_remaining() {
+        return Err(corrupt("trailing bytes in shard core section"));
+    }
+    Ok((partitioner, assignment))
+}
+
+fn load_sharded<S: KeyStore>(
+    data: &[u8],
+    recover: bool,
+) -> Result<(ShardedIndexSet<S>, ShardedRecoveryReport)> {
+    let mut buf = Bytes::copy_from_slice(&data[8..V2_PREAMBLE]);
+    let _flags = buf.get_u32_le();
+    let core_len = buf.get_u64_le() as usize;
+    let core_start = V2_PREAMBLE;
+    let core_end = core_start
+        .checked_add(core_len)
+        .ok_or_else(|| corrupt("core length overflows"))?;
+    let crc_end = core_end
+        .checked_add(8)
+        .ok_or_else(|| corrupt("core length overflows"))?;
+    if crc_end > data.len() {
+        return Err(corrupt("truncated shard core section"));
+    }
+    let core = &data[core_start..core_end];
+    let stored_crc = u64::from_le_bytes(
+        data[core_end..crc_end]
+            .try_into()
+            .map_err(|_| corrupt("bad shard core crc"))?,
+    );
+    if crc64(core) != stored_crc {
+        return Err(corrupt("shard core section checksum mismatch"));
+    }
+    let (partitioner, assignment) = parse_shard_core(core)?;
+
+    let mut sets = Vec::with_capacity(partitioner.shards());
+    let mut reports = Vec::with_capacity(partitioner.shards());
+    let mut offset = crc_end;
+    for s in 0..partitioner.shards() {
+        let header_end = offset
+            .checked_add(8)
+            .filter(|&e| e <= data.len())
+            .ok_or_else(|| corrupt(format!("truncated shard {s} section header")))?;
+        let len = u64::from_le_bytes(
+            data[offset..header_end]
+                .try_into()
+                .map_err(|_| corrupt("bad shard section length"))?,
+        );
+        let len = usize::try_from(len).map_err(|_| corrupt("shard section length overflows"))?;
+        let body_end = header_end
+            .checked_add(len)
+            .filter(|&e| e <= data.len())
+            .ok_or_else(|| corrupt(format!("shard {s} section extends past EOF")))?;
+        let sec_end = body_end
+            .checked_add(8)
+            .filter(|&e| e <= data.len())
+            .ok_or_else(|| corrupt(format!("truncated shard {s} section crc")))?;
+        let body = &data[header_end..body_end];
+        let stored = u64::from_le_bytes(
+            data[body_end..sec_end]
+                .try_into()
+                .map_err(|_| corrupt("bad shard section crc"))?,
+        );
+        if crc64(body) != stored && !recover {
+            return Err(corrupt(format!("shard {s} section checksum mismatch")));
+        }
+        // Even with a failed outer CRC, the wrapped PLNRIDX2 bytes carry
+        // their own section CRCs — recovery descends and salvages every
+        // index section that still verifies.
+        if recover {
+            let (set, report) = PlanarIndexSet::from_bytes_recover(body)
+                .map_err(|e| corrupt(format!("shard {s}: {e}")))?;
+            sets.push(set);
+            reports.push(report);
+        } else {
+            sets.push(
+                PlanarIndexSet::from_bytes(body).map_err(|e| corrupt(format!("shard {s}: {e}")))?,
+            );
+            reports.push(RecoveryReport::default());
+        }
+        offset = sec_end;
+    }
+    if !recover && offset != data.len() {
+        return Err(corrupt("trailing bytes after shard sections"));
+    }
+    let set = ShardedIndexSet::assemble_shards(sets, partitioner, assignment)?;
+    Ok((set, ShardedRecoveryReport { shards: reports }))
+}
+
+impl<S: KeyStore> ShardedIndexSet<S> {
+    /// Serialize the sharded set: a `PLNRSHD1` manifest wrapping one full
+    /// `PLNRIDX2` snapshot per shard, each in its own CRC-framed section,
+    /// with the partitioner and the global→(shard, local) assignment in
+    /// the CRC-protected core.
+    pub fn to_bytes(&self) -> Bytes {
+        let sections: Vec<Bytes> = (0..self.num_shards())
+            .map(|s| self.shard(s).expect("s < num_shards").to_bytes())
+            .collect();
+
+        let assignment = self.assignment();
+        let mut core = BytesMut::with_capacity(32 + assignment.len() * 8);
+        match self.partitioner() {
+            Partitioner::RoundRobin { shards } => {
+                core.put_u8(0);
+                core.put_u32_le(*shards as u32);
+            }
+            Partitioner::PilotKeyRange { pilot, splits } => {
+                core.put_u8(1);
+                core.put_u32_le((splits.len() + 1) as u32);
+                core.put_u32_le(pilot.len() as u32);
+                for &v in pilot {
+                    core.put_f64_le(v);
+                }
+                for &v in splits {
+                    core.put_f64_le(v);
+                }
+            }
+        }
+        core.put_u64_le(assignment.len() as u64);
+        for &(shard, local) in assignment {
+            core.put_u32_le(shard);
+            core.put_u32_le(local);
+        }
+
+        let total: usize =
+            V2_PREAMBLE + core.len() + 8 + sections.iter().map(|s| s.len() + 16).sum::<usize>();
+        let mut buf = BytesMut::with_capacity(total);
+        buf.put_slice(MAGIC_SHARD);
+        buf.put_u32_le(0); // flags, reserved
+        buf.put_u64_le(core.len() as u64);
+        let core_crc = crc64(&core);
+        buf.put_slice(&core);
+        buf.put_u64_le(core_crc);
+        for sec in sections {
+            buf.put_u64_le(sec.len() as u64);
+            let crc = crc64(&sec);
+            buf.put_slice(&sec);
+            buf.put_u64_le(crc);
+        }
+        buf.freeze()
+    }
+
+    /// Deserialize a sharded snapshot written by [`Self::to_bytes`].
+    /// Strict: any corrupt section anywhere is an error.
+    ///
+    /// # Errors
+    ///
+    /// [`PlanarError::Persist`] on truncation, bad magic, or checksum
+    /// failure of any section, outer or inner.
+    pub fn from_bytes(data: &[u8]) -> Result<Self> {
+        Self::check_magic(data)?;
+        load_sharded(data, false).map(|(set, _)| set)
+    }
+
+    /// Deserialize, salvaging everything whose checksums verify.
+    ///
+    /// The manifest core (partitioner + assignment) and every shard's inner
+    /// core (its rows) must be intact — shards share nothing, so a shard's
+    /// rows exist nowhere else in the file. Corrupt per-index sections
+    /// inside any shard quarantine those indices only (see
+    /// [`PlanarIndexSet::from_bytes_recover`]); the per-shard reports say
+    /// exactly what happened where.
+    ///
+    /// # Errors
+    ///
+    /// [`PlanarError::Persist`] when the preamble, the manifest core, or
+    /// any shard's inner core is unreadable.
+    pub fn from_bytes_recover(data: &[u8]) -> Result<(Self, ShardedRecoveryReport)> {
+        Self::check_magic(data)?;
+        load_sharded(data, true)
+    }
+
+    fn check_magic(data: &[u8]) -> Result<()> {
+        if data.len() < V2_PREAMBLE {
+            return Err(corrupt("file too short"));
+        }
+        if &data[..8] != MAGIC_SHARD {
+            return Err(corrupt("bad magic (not a sharded planar index file)"));
+        }
+        Ok(())
+    }
+
+    /// Write to a file atomically (temp file + fsync + rename) with the
+    /// default retry policy.
+    ///
+    /// # Errors
+    ///
+    /// [`PlanarError::Persist`] wrapping the last I/O failure after all
+    /// retries are exhausted.
+    pub fn save_to(&self, path: impl AsRef<Path>) -> Result<()> {
+        self.save_to_with(path, &mut StdIo, &SaveOptions::default())
+    }
+
+    /// [`Self::save_to`] with an explicit IO layer and retry policy — the
+    /// same atomic temp-write + rename + bounded-backoff machinery as
+    /// [`PlanarIndexSet::save_to_with`].
+    ///
+    /// # Errors
+    ///
+    /// [`PlanarError::Persist`] wrapping the last I/O failure.
+    pub fn save_to_with(
+        &self,
+        path: impl AsRef<Path>,
+        io: &mut dyn SnapshotIo,
+        opts: &SaveOptions,
+    ) -> Result<()> {
+        atomic_save(&self.to_bytes(), path.as_ref(), io, opts)
+    }
+
+    /// Read from a file written by [`Self::save_to`]. Strict — see
+    /// [`Self::from_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// [`PlanarError::Persist`] on I/O or format problems.
+    pub fn load_from(path: impl AsRef<Path>) -> Result<Self> {
+        let data = std::fs::read(path).map_err(|e| corrupt(format!("read failed: {e}")))?;
+        Self::from_bytes(&data)
+    }
+
+    /// Load a sharded snapshot, quarantining corrupt index sections in any
+    /// shard and rebuilding them from that shard's (intact) rows — the
+    /// restart-recovery entry point. The per-shard reports record the
+    /// rebuilt positions.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::from_bytes_recover`].
+    pub fn load_or_recover(path: impl AsRef<Path>) -> Result<(Self, ShardedRecoveryReport)> {
+        let data = std::fs::read(path).map_err(|e| corrupt(format!("read failed: {e}")))?;
+        let (mut set, mut report) = Self::from_bytes_recover(&data)?;
+        for (shard, rebuilt) in set.rebuild_quarantined() {
+            report.shards[shard].rebuilt = rebuilt;
+        }
         Ok((set, report))
     }
 }
@@ -1056,5 +1395,149 @@ mod tests {
         // Scans also exclude the tombstoned rows.
         let q = InequalityQuery::geq(vec![1.0, -1.0], -1e9).unwrap();
         assert_eq!(loaded.query_scan(&q).unwrap().matches.len(), 498);
+    }
+
+    // -- sharded manifest ---------------------------------------------------
+
+    use crate::shard::{ShardConfig, ShardedIndexSet};
+
+    fn sample_sharded(config: ShardConfig) -> ShardedIndexSet<VecStore> {
+        let rows: Vec<Vec<f64>> = (0..500)
+            .map(|i| vec![1.0 + (i % 13) as f64, -(1.0 + (i % 7) as f64)])
+            .collect();
+        let table = FeatureTable::from_rows(2, rows).unwrap();
+        let domain = ParameterDomain::new(vec![
+            Domain::Continuous { lo: 0.5, hi: 2.0 },
+            Domain::Discrete(vec![-1.0, -2.0]),
+        ])
+        .unwrap();
+        let mut set =
+            ShardedIndexSet::build(table, domain, IndexConfig::with_budget(4), config).unwrap();
+        set.delete_point(7).unwrap();
+        set.delete_point(123).unwrap();
+        set
+    }
+
+    #[test]
+    fn sharded_roundtrip_preserves_answers_for_both_partitioners() {
+        for config in [ShardConfig::round_robin(3), ShardConfig::pilot_key_range(3)] {
+            let set = sample_sharded(config);
+            let bytes = set.to_bytes();
+            assert_eq!(&bytes[..8], MAGIC_SHARD);
+            let loaded = ShardedIndexSet::<VecStore>::from_bytes(&bytes).unwrap();
+            assert_eq!(loaded.len(), set.len());
+            assert_eq!(loaded.num_shards(), 3);
+            assert_eq!(loaded.partitioner(), set.partitioner());
+            for b in [-30.0, -5.0, 0.0, 5.0, 30.0] {
+                let q = InequalityQuery::leq(vec![1.0, -1.5], b).unwrap();
+                assert_eq!(
+                    loaded.query(&q).unwrap().sorted_ids(),
+                    set.query(&q).unwrap().sorted_ids(),
+                    "{config:?} b={b}"
+                );
+            }
+            // Tombstones and mutation routing survive the roundtrip.
+            let mut loaded = loaded;
+            assert!(!loaded.is_live(7));
+            assert_eq!(
+                loaded.delete_point(7).unwrap_err(),
+                PlanarError::PointNotFound(7)
+            );
+            loaded.insert_point(&[2.0, -2.0]).unwrap();
+            assert_eq!(loaded.len(), set.len() + 1);
+        }
+    }
+
+    #[test]
+    fn corrupt_shard_index_section_recovers_to_that_shard_only() {
+        let set = sample_sharded(ShardConfig::round_robin(3));
+        let mut bytes = set.to_bytes().to_vec();
+        // The file tail is inside the last shard's last index section.
+        let off = bytes.len() - 30;
+        Corruption::BitFlip {
+            offset: off,
+            bit: 2,
+        }
+        .apply(&mut bytes);
+
+        assert!(ShardedIndexSet::<VecStore>::from_bytes(&bytes).is_err());
+        let (recovered, report) = ShardedIndexSet::<VecStore>::from_bytes_recover(&bytes).unwrap();
+        assert!(!report.is_clean());
+        let quarantined = report.quarantined();
+        assert_eq!(quarantined.len(), 1, "one shard affected: {quarantined:?}");
+        assert_eq!(quarantined[0].0, 2, "only the last shard");
+        assert!(report.shards[0].is_clean());
+        assert!(report.shards[1].is_clean());
+
+        // The quarantined shard still answers exactly (degraded or not).
+        let q = InequalityQuery::leq(vec![1.0, -1.5], 3.0).unwrap();
+        assert_eq!(
+            recovered.query(&q).unwrap().sorted_ids(),
+            set.query(&q).unwrap().sorted_ids()
+        );
+    }
+
+    #[test]
+    fn sharded_load_or_recover_rebuilds_and_reports() {
+        let set = sample_sharded(ShardConfig::pilot_key_range(2));
+        let dir = TempDir::new("persist_shard_recover").unwrap();
+        let path = dir.file("set.shards");
+        let len = set.to_bytes().len();
+        let mut io = FaultyIo::new(vec![IoFault::CorruptWrite {
+            nth: 0,
+            offset: len - 30,
+            bit: 4,
+        }]);
+        set.save_to_with(&path, &mut io, &SaveOptions::fail_fast())
+            .unwrap();
+
+        assert!(ShardedIndexSet::<VecStore>::load_from(&path).is_err());
+        let (recovered, report) = ShardedIndexSet::<VecStore>::load_or_recover(&path).unwrap();
+        assert_eq!(report.shards.len(), 2);
+        assert!(!report.shards[1].quarantined.is_empty());
+        assert_eq!(report.shards[1].rebuilt, report.shards[1].quarantined);
+        assert!(recovered.quarantined_positions().is_empty());
+        let q = InequalityQuery::geq(vec![1.0, -1.0], -3.0).unwrap();
+        assert_eq!(
+            recovered.query(&q).unwrap().sorted_ids(),
+            set.query(&q).unwrap().sorted_ids()
+        );
+    }
+
+    #[test]
+    fn corrupt_shard_core_is_fatal_even_in_recovery() {
+        let set = sample_sharded(ShardConfig::round_robin(2));
+        let mut bytes = set.to_bytes().to_vec();
+        // Offset 30 is inside the assignment array of the manifest core.
+        Corruption::BitFlip { offset: 30, bit: 0 }.apply(&mut bytes);
+        assert!(ShardedIndexSet::<VecStore>::from_bytes_recover(&bytes).is_err());
+    }
+
+    #[test]
+    fn sharded_magic_does_not_cross_load() {
+        let single = sample_set();
+        let sharded = sample_sharded(ShardConfig::round_robin(2));
+        assert!(ShardedIndexSet::<VecStore>::from_bytes(&single.to_bytes()).is_err());
+        assert!(PlanarIndexSet::<VecStore>::from_bytes(&sharded.to_bytes()).is_err());
+        assert!(ShardedIndexSet::<VecStore>::from_bytes(&[]).is_err());
+    }
+
+    #[test]
+    fn sharded_save_is_atomic_under_crash() {
+        let set = sample_sharded(ShardConfig::round_robin(2));
+        let dir = TempDir::new("persist_shard_crash").unwrap();
+        let path = dir.file("set.shards");
+        set.save_to(&path).unwrap();
+
+        let mut newer = set.clone();
+        newer.delete_point(0).unwrap();
+        let mut io = FaultyIo::new(vec![IoFault::CrashAfterWrites(2)]);
+        assert!(newer
+            .save_to_with(&path, &mut io, &SaveOptions::fail_fast())
+            .is_err());
+
+        let loaded = ShardedIndexSet::<VecStore>::load_from(&path).unwrap();
+        assert_eq!(loaded.len(), set.len());
+        assert!(loaded.is_live(0));
     }
 }

@@ -137,6 +137,42 @@ impl QueryStats {
     pub fn used_index(&self) -> bool {
         matches!(self.path, ExecutionPath::Index { .. })
     }
+
+    /// Merge per-shard stats of one sharded query into one logical record:
+    /// every counter is summed across shards (so `pruned_fraction` is the
+    /// global fraction over the whole dataset). The merged `path` is the
+    /// first shard's indexed path when any shard used an index — the shard
+    /// layer has no single "the" index, so the path is representative, not
+    /// authoritative; per-shard provenance lives on the sharded outcome —
+    /// and the first shard's fallback reason when none did.
+    pub fn merged(per_shard: &[QueryStats]) -> QueryStats {
+        let path = per_shard
+            .iter()
+            .find(|s| s.used_index())
+            .or_else(|| per_shard.first())
+            .map(|s| s.path.clone())
+            .unwrap_or(ExecutionPath::ScanFallback(ScanReason::Requested));
+        let mut merged = QueryStats {
+            n: 0,
+            smaller: 0,
+            intermediate: 0,
+            larger: 0,
+            verified: 0,
+            intersect_pruned: 0,
+            matched: 0,
+            path,
+        };
+        for s in per_shard {
+            merged.n += s.n;
+            merged.smaller += s.smaller;
+            merged.intermediate += s.intermediate;
+            merged.larger += s.larger;
+            merged.verified += s.verified;
+            merged.intersect_pruned += s.intersect_pruned;
+            merged.matched += s.matched;
+        }
+        merged
+    }
 }
 
 /// Aggregates [`QueryStats`] across a workload (the paper reports averages
@@ -180,6 +216,13 @@ impl StatsAggregator {
                 self.degraded += 1;
             }
         }
+    }
+
+    /// Fold in one *sharded* query's per-shard stats as a single logical
+    /// query (see [`QueryStats::merged`]): the aggregate's query count
+    /// advances by one, not by the shard count.
+    pub fn add_sharded(&mut self, per_shard: &[QueryStats]) {
+        self.add(&QueryStats::merged(per_shard));
     }
 
     /// Record an index-quarantine event (see `crate::health`). Quarantines

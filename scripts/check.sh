@@ -14,6 +14,10 @@ echo "== cargo test =="
 cargo test --workspace -q
 
 echo "== fault suite (injection + durability proptests) =="
-cargo test -p planar-core -q --test fault_injection --test durability_proptests
+cargo test -p planar-core -q --features fault-injection \
+  --test fault_injection --test durability_proptests
+
+echo "== planar-core unit tests with fault injection compiled in =="
+cargo test -p planar-core -q --features fault-injection --lib
 
 echo "All checks passed."

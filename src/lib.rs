@@ -42,8 +42,9 @@ pub use planar_relation;
 pub mod prelude {
     pub use planar_core::{
         Cmp, Domain, DynamicPlanarIndexSet, ExecutionConfig, FeatureMap, FeatureTable,
-        FnFeatureMap, IdentityMap, IndexConfig, InequalityQuery, ParameterDomain, PlanarIndexSet,
-        QueryScratch, SelectionStrategy, SeqScan, TopKQuery,
+        FnFeatureMap, IdentityMap, IndexConfig, InequalityQuery, ParameterDomain, PartitionScheme,
+        PlanarIndexSet, QueryScratch, SelectionStrategy, SeqScan, ShardConfig, ShardedIndexSet,
+        TopKQuery,
     };
     pub use planar_geom::{Hyperplane, Normalizer, Octant, Vector};
 }
