@@ -10,6 +10,7 @@ pub mod shard;
 pub mod simd;
 pub mod synthetic;
 pub mod topk;
+pub mod wal;
 
 use crate::Config;
 
@@ -164,6 +165,12 @@ pub fn registry() -> Vec<Experiment> {
             description:
                 "fault tolerance: recovery vs cold rebuild, degraded vs healthy serving (BENCH_fault.json)",
             run: fault::fault,
+        },
+        Experiment {
+            name: "wal",
+            description:
+                "durability: fsync-policy latency, WAL replay throughput, deadline partial rates (BENCH_wal.json)",
+            run: wal::wal,
         },
         Experiment {
             name: "ablation-selection",

@@ -416,6 +416,65 @@ pub(crate) fn maybe_inject_query_panic(b: f64) {
 #[inline(always)]
 pub(crate) fn maybe_inject_query_panic(_b: f64) {}
 
+// ---------------------------------------------------------------------------
+// WAL append fault trigger.
+// ---------------------------------------------------------------------------
+
+/// How an armed WAL fault fires on its scheduled append (see
+/// [`arm_wal_fault`]).
+#[cfg(any(test, feature = "fault-injection"))]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalFaultKind {
+    /// The append fails transiently: nothing is written, the writer stays
+    /// usable, the mutation is rejected before being applied.
+    FailAppend,
+    /// Crash mid-frame: only the first `keep` bytes of the frame reach the
+    /// file, then the writer dies — every later append fails. Models a
+    /// power cut halfway through a `write`.
+    TornAppend {
+        /// Bytes of the frame that make it to disk.
+        keep: usize,
+    },
+    /// The append itself succeeds, then the writer dies silently — the
+    /// frame is complete on disk but nothing after it ever lands. Models a
+    /// crash between two mutations.
+    CrashAfterAppend,
+}
+
+/// The armed fault: `(nth append, kind)`, taken under a lock so arming
+/// from a test thread is race-free. `None` = disarmed.
+#[cfg(any(test, feature = "fault-injection"))]
+static WAL_FAULT: std::sync::Mutex<Option<(u64, WalFaultKind)>> = std::sync::Mutex::new(None);
+
+/// Arm the WAL append fault: the `nth` append (0-based, counted per
+/// writer) of any WAL writer opened afterwards fires `kind` once, then the
+/// trigger disarms itself. Process-global, like [`arm_query_panic`] —
+/// disarm before unrelated WAL activity.
+#[cfg(any(test, feature = "fault-injection"))]
+pub fn arm_wal_fault(nth: u64, kind: WalFaultKind) {
+    *WAL_FAULT.lock().expect("wal fault lock") = Some((nth, kind));
+}
+
+/// Disarm the WAL append fault.
+#[cfg(any(test, feature = "fault-injection"))]
+pub fn disarm_wal_fault() {
+    *WAL_FAULT.lock().expect("wal fault lock") = None;
+}
+
+/// Consulted by the WAL writer on each append: returns the fault to fire
+/// for append number `this_append`, consuming the armed trigger.
+#[cfg(any(test, feature = "fault-injection"))]
+pub(crate) fn wal_fault_action(this_append: u64) -> Option<WalFaultKind> {
+    let mut slot = WAL_FAULT.lock().expect("wal fault lock");
+    match *slot {
+        Some((nth, kind)) if nth == this_append => {
+            *slot = None;
+            Some(kind)
+        }
+        _ => None,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

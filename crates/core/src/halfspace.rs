@@ -52,19 +52,26 @@ impl<S: KeyStore> HalfSpaceIndex<S> {
     ///
     /// # Errors
     ///
-    /// Dimensionality mismatch.
+    /// Dimensionality mismatch; [`PlanarError::InvalidQuery`] when the
+    /// plane's normal has a zero component (every axis is thresholded
+    /// here, so the per-axis intercept would be undefined).
+    ///
+    /// [`PlanarError::InvalidQuery`]: crate::PlanarError::InvalidQuery
     pub fn report(&self, plane: &Hyperplane, side: HalfSpace) -> Result<QueryOutcome> {
-        self.set.query(&self.to_query(plane, side))
+        self.set.query(&self.to_query(plane, side)?)
     }
 
     /// The `k` points of the chosen half-space nearest to `plane`.
     ///
     /// # Errors
     ///
-    /// Dimensionality mismatch; `k = 0`.
+    /// Dimensionality mismatch; `k = 0`; [`PlanarError::InvalidQuery`]
+    /// when the plane's normal has a zero component.
+    ///
+    /// [`PlanarError::InvalidQuery`]: crate::PlanarError::InvalidQuery
     pub fn nearest(&self, plane: &Hyperplane, side: HalfSpace, k: usize) -> Result<TopKOutcome> {
         self.set
-            .top_k(&TopKQuery::new(self.to_query(plane, side), k)?)
+            .top_k(&TopKQuery::new(self.to_query(plane, side)?, k)?)
     }
 
     /// Number of indexed points.
@@ -87,13 +94,18 @@ impl<S: KeyStore> HalfSpaceIndex<S> {
         self.set.table().row(id)
     }
 
-    fn to_query(&self, plane: &Hyperplane, side: HalfSpace) -> InequalityQuery {
+    fn to_query(&self, plane: &Hyperplane, side: HalfSpace) -> Result<InequalityQuery> {
         let cmp = match side {
             HalfSpace::Below => Cmp::Leq,
             HalfSpace::Above => Cmp::Geq,
         };
-        InequalityQuery::new(plane.normal().as_slice().to_vec(), cmp, plane.offset())
-            .expect("hyperplane normals are validated finite and non-empty")
+        // Hyperplane validates its normal finite and non-zero as a
+        // vector, but individual components may still be zero — and here
+        // every axis is thresholded, so a zero component would poison the
+        // intercept. Surface the typed error instead of propagating NaN.
+        let q = InequalityQuery::new(plane.normal().as_slice().to_vec(), cmp, plane.offset())?;
+        q.require_nonzero_coefficients()?;
+        Ok(q)
     }
 }
 
@@ -149,6 +161,24 @@ mod tests {
             let true_d = h.distance_to(idx.point(*id)).unwrap();
             assert!((true_d - d).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn zero_normal_component_is_a_typed_error() {
+        use crate::query::InvalidQueryReason;
+        use crate::PlanarError;
+        let idx = index();
+        // A zero component passes Hyperplane validation (the vector as a
+        // whole is non-zero) but every axis here is thresholded.
+        let h = plane(&[1.0, 0.0], 5.0);
+        assert_eq!(
+            idx.report(&h, HalfSpace::Below).unwrap_err(),
+            PlanarError::InvalidQuery(InvalidQueryReason::ZeroCoefficient { axis: 1 })
+        );
+        assert_eq!(
+            idx.nearest(&h, HalfSpace::Above, 3).unwrap_err(),
+            PlanarError::InvalidQuery(InvalidQueryReason::ZeroCoefficient { axis: 1 })
+        );
     }
 
     #[test]

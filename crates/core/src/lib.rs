@@ -74,6 +74,7 @@
 //! | [`stats`] | per-query pruning statistics and serving provenance |
 //! | [`memory`] | heap accounting for the memory experiments (Fig. 13b) |
 //! | [`persist`] | crash-safe snapshots: sectioned `PLNRIDX2` format, atomic saves, partial recovery |
+//! | [`wal`] | crash-consistent mutation durability: CRC-framed write-ahead log, checkpoints, point-in-time recovery |
 //! | [`health`] | index self-verification and the quarantine-and-degrade lifecycle |
 //! | [`fault`] | fault injection: deterministic corruptions, a faulty IO layer, panic triggers |
 
@@ -100,6 +101,7 @@ pub mod shard;
 pub mod stats;
 pub mod store;
 pub mod table;
+pub mod wal;
 
 pub use adaptive::{AdaptiveConfig, AdaptivePlanarIndexSet};
 pub use conjunction::{ConjunctionOutcome, ConjunctionQuery};
@@ -115,7 +117,7 @@ pub use memory::HeapSize;
 pub use multi::{DynamicPlanarIndexSet, IndexConfig, PlanarIndexSet, QueryOutcome, TopKOutcome};
 pub use parallel::{ExecutionConfig, QueryScratch};
 pub use persist::{RecoveryReport, SaveOptions, ShardedRecoveryReport};
-pub use query::{Cmp, InequalityQuery, TopKQuery};
+pub use query::{Cmp, InequalityQuery, InvalidQueryReason, TopKQuery};
 pub use router::AxisReductionRouter;
 pub use scan::SeqScan;
 pub use selection::SelectionStrategy;
@@ -126,6 +128,10 @@ pub use shard::{
 pub use stats::{ExecutionPath, QueryStats, ServedBy, StatsAggregator, StatsSnapshot};
 pub use store::{BPlusTree, EytzingerStore, KeyStore, VecStore};
 pub use table::{ColSegment, ColumnMajorRows, FeatureTable};
+pub use wal::{
+    DurablePlanarIndexSet, DurableShardedIndexSet, FsyncPolicy, Lsn, WalHealth, WalOptions,
+    WalRecord,
+};
 
 use planar_geom::GeomError;
 
@@ -158,6 +164,10 @@ pub enum PlanarError {
     InvalidBudget,
     /// A supplied value was NaN or infinite.
     NotFinite,
+    /// A query failed typed validation before touching any threshold
+    /// arithmetic: NaN/±∞ coefficients or offsets, or a zero coefficient
+    /// on a thresholded axis (see [`InvalidQueryReason`]).
+    InvalidQuery(InvalidQueryReason),
     /// No point with this identifier exists (or it was deleted).
     PointNotFound(u32),
     /// `k` must be at least 1 for a top-k query.
@@ -185,6 +195,7 @@ impl core::fmt::Display for PlanarError {
             }
             PlanarError::InvalidBudget => write!(f, "index budget must be at least 1"),
             PlanarError::NotFinite => write!(f, "value must be finite"),
+            PlanarError::InvalidQuery(reason) => write!(f, "invalid query: {reason}"),
             PlanarError::PointNotFound(id) => write!(f, "no point with id {id}"),
             PlanarError::KNotPositive => write!(f, "k must be at least 1"),
             PlanarError::Persist(msg) => write!(f, "persistence error: {msg}"),

@@ -113,6 +113,32 @@ pub struct TopKOutcome {
     pub served_by: ServedBy,
 }
 
+/// Second pass over a joined batch: count the slots that did run (anything
+/// not a deadline placeholder, including per-query errors — those executed,
+/// they just failed) and stamp that count into every
+/// [`ServedBy::Partial::completed`]. Returns the number of skipped slots.
+pub(crate) fn stamp_partial_completed<O>(
+    results: &mut [Result<O>],
+    mut served_by: impl FnMut(&mut O) -> &mut ServedBy,
+) -> usize {
+    let mut skipped = 0usize;
+    for out in results.iter_mut().flatten() {
+        if served_by(out).is_partial() {
+            skipped += 1;
+        }
+    }
+    if skipped == 0 {
+        return 0;
+    }
+    let completed = results.len() - skipped;
+    for out in results.iter_mut().flatten() {
+        if let ServedBy::Partial { completed: c, .. } = served_by(out) {
+            *c = completed;
+        }
+    }
+    skipped
+}
+
 /// A budget of Planar indices over one dataset — the main entry point of
 /// this crate. Generic over the key store: [`VecStore`] (default) for
 /// read-heavy workloads, [`BPlusTree`] for update-heavy ones.
@@ -632,22 +658,101 @@ impl<S: KeyStore> PlanarIndexSet<S> {
     where
         S: Sync,
     {
+        let guard = parallel::DeadlineGuard::new(exec.deadline);
+        let mut results = self.query_batch_isolated_with_guard(qs, exec, &guard);
+        let skipped = stamp_partial_completed(&mut results, |o| &mut o.served_by);
+        parallel::record_deadline_events(skipped as u64);
+        results
+    }
+
+    /// Batch body shared with the sharded engine: the caller owns the
+    /// [`parallel::DeadlineGuard`] (so one budget can span every shard of a
+    /// sharded batch) and is responsible for stamping `completed` counts
+    /// into the [`ServedBy::Partial`] placeholders afterwards.
+    pub(crate) fn query_batch_isolated_with_guard(
+        &self,
+        qs: &[InequalityQuery],
+        exec: &ExecutionConfig,
+        guard: &parallel::DeadlineGuard,
+    ) -> Vec<Result<QueryOutcome>>
+    where
+        S: Sync,
+    {
         let (workers, inner) = parallel::batch_plan(exec, qs.len());
         if workers <= 1 {
             let mut scratch = QueryScratch::new();
             return qs
                 .iter()
-                .map(|q| self.query_one_isolated(q, &inner, &mut scratch))
+                .map(|q| {
+                    if guard.expired() {
+                        Ok(self.deadline_placeholder_query())
+                    } else {
+                        self.query_one_isolated(q, &inner, &mut scratch)
+                    }
+                })
                 .collect();
         }
         let per_chunk = parallel::map_chunks(qs, workers, |chunk| {
             let mut scratch = QueryScratch::new();
             chunk
                 .iter()
-                .map(|q| self.query_one_isolated(q, &inner, &mut scratch))
+                .map(|q| {
+                    if guard.expired() {
+                        Ok(self.deadline_placeholder_query())
+                    } else {
+                        self.query_one_isolated(q, &inner, &mut scratch)
+                    }
+                })
                 .collect::<Vec<_>>()
         });
         per_chunk.into_iter().flatten().collect()
+    }
+
+    /// The empty slot emitted for a query the batch deadline skipped: no
+    /// matches, nothing verified, provenance [`ServedBy::Partial`]. The
+    /// `completed` count is stamped in afterwards by the batch wrapper,
+    /// once the whole batch is joined.
+    fn deadline_placeholder_stats(&self) -> QueryStats {
+        QueryStats {
+            n: self.n_live,
+            smaller: 0,
+            intermediate: 0,
+            larger: 0,
+            verified: 0,
+            intersect_pruned: 0,
+            matched: 0,
+            path: ExecutionPath::ScanFallback(ScanReason::DeadlineExceeded),
+        }
+    }
+
+    fn deadline_placeholder_query(&self) -> QueryOutcome {
+        QueryOutcome {
+            matches: Vec::new(),
+            served_by: ServedBy::Partial {
+                completed: 0,
+                deadline_hit: true,
+            },
+            stats: self.deadline_placeholder_stats(),
+        }
+    }
+
+    fn deadline_placeholder_top_k(&self) -> TopKOutcome {
+        TopKOutcome {
+            neighbors: Vec::new(),
+            served_by: ServedBy::Partial {
+                completed: 0,
+                deadline_hit: true,
+            },
+            // `TopKStats` carries no execution path; the skipped slot is
+            // identified by its `ServedBy::Partial` provenance alone.
+            stats: TopKStats {
+                n: self.n_live,
+                intermediate: 0,
+                walked: 0,
+                verified: 0,
+                intersect_pruned: 0,
+            },
+        }
     }
 
     fn query_one_isolated(
@@ -795,19 +900,49 @@ impl<S: KeyStore> PlanarIndexSet<S> {
     where
         S: Sync,
     {
+        let guard = parallel::DeadlineGuard::new(exec.deadline);
+        let mut results = self.top_k_batch_isolated_with_guard(qs, exec, &guard);
+        let skipped = stamp_partial_completed(&mut results, |o| &mut o.served_by);
+        parallel::record_deadline_events(skipped as u64);
+        results
+    }
+
+    /// Deadline-sharing batch body; see
+    /// [`Self::query_batch_isolated_with_guard`].
+    pub(crate) fn top_k_batch_isolated_with_guard(
+        &self,
+        qs: &[TopKQuery],
+        exec: &ExecutionConfig,
+        guard: &parallel::DeadlineGuard,
+    ) -> Vec<Result<TopKOutcome>>
+    where
+        S: Sync,
+    {
         let (workers, inner) = parallel::batch_plan(exec, qs.len());
         if workers <= 1 {
             let mut scratch = QueryScratch::new();
             return qs
                 .iter()
-                .map(|q| self.top_k_one_isolated(q, &inner, &mut scratch))
+                .map(|q| {
+                    if guard.expired() {
+                        Ok(self.deadline_placeholder_top_k())
+                    } else {
+                        self.top_k_one_isolated(q, &inner, &mut scratch)
+                    }
+                })
                 .collect();
         }
         let per_chunk = parallel::map_chunks(qs, workers, |chunk| {
             let mut scratch = QueryScratch::new();
             chunk
                 .iter()
-                .map(|q| self.top_k_one_isolated(q, &inner, &mut scratch))
+                .map(|q| {
+                    if guard.expired() {
+                        Ok(self.deadline_placeholder_top_k())
+                    } else {
+                        self.top_k_one_isolated(q, &inner, &mut scratch)
+                    }
+                })
                 .collect::<Vec<_>>()
         });
         per_chunk.into_iter().flatten().collect()
@@ -1716,5 +1851,59 @@ mod tests {
         let whole = set.query_batch(&qs, &ExecutionConfig::serial());
         crate::fault::disarm_query_panic();
         assert!(matches!(whole, Err(PlanarError::Internal(_))));
+    }
+
+    #[test]
+    fn expired_deadline_yields_partial_placeholders() {
+        use std::time::Duration;
+        let set = small_set(4);
+        let qs: Vec<InequalityQuery> = [3.0, 5.0, 7.0, 9.0]
+            .iter()
+            .map(|&b| InequalityQuery::leq(vec![1.0, 1.0], b).unwrap())
+            .collect();
+        for threads in [1, 3] {
+            let exec = ExecutionConfig::with_threads(threads).with_deadline(Duration::ZERO);
+            let events_before = parallel::deadline_events();
+            let outs = set.query_batch(&qs, &exec).unwrap();
+            assert!(parallel::deadline_events() >= events_before + qs.len() as u64);
+            for out in &outs {
+                assert_eq!(
+                    out.served_by,
+                    ServedBy::Partial {
+                        completed: 0,
+                        deadline_hit: true
+                    }
+                );
+                assert!(out.matches.is_empty());
+                assert_eq!(out.stats.verified, 0);
+                assert_eq!(
+                    out.stats.path,
+                    ExecutionPath::ScanFallback(ScanReason::DeadlineExceeded)
+                );
+            }
+            let tops: Vec<TopKQuery> = qs
+                .iter()
+                .map(|q| TopKQuery::new(q.clone(), 2).unwrap())
+                .collect();
+            let outs = set.top_k_batch(&tops, &exec).unwrap();
+            assert!(outs.iter().all(|o| o.served_by.is_partial()
+                && o.neighbors.is_empty()
+                && o.stats.verified == 0));
+        }
+    }
+
+    #[test]
+    fn generous_deadline_changes_nothing() {
+        use std::time::Duration;
+        let set = small_set(4);
+        let qs: Vec<InequalityQuery> = [3.0, 5.0, 7.0]
+            .iter()
+            .map(|&b| InequalityQuery::leq(vec![1.0, 1.0], b).unwrap())
+            .collect();
+        let plain = set.query_batch(&qs, &ExecutionConfig::serial()).unwrap();
+        let exec = ExecutionConfig::serial().with_deadline(Duration::from_secs(3600));
+        let budgeted = set.query_batch(&qs, &exec).unwrap();
+        assert_eq!(plain, budgeted);
+        assert!(budgeted.iter().all(|o| !o.served_by.is_partial()));
     }
 }

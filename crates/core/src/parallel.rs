@@ -30,6 +30,7 @@ use crate::{PlanarError, Result};
 use planar_geom::{dot_block_cols, dot_cmp_block, BLOCK_ROWS};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
 
 /// Default minimum II size before a single query's verification is split
 /// across threads. Below this, fan-out overhead exceeds the win.
@@ -65,6 +66,54 @@ pub(crate) fn clamp_workers(requested: usize, available: usize) -> usize {
     clamped
 }
 
+/// Counts queries skipped because a batch's deadline expired before they
+/// started. See [`deadline_events`].
+static DEADLINE_EVENTS: AtomicU64 = AtomicU64::new(0);
+
+/// How many queries, process-wide, came back as
+/// [`crate::ServedBy::Partial`] placeholders because their batch's
+/// [`ExecutionConfig::deadline`] expired before they ran. Monotonically
+/// increasing; a growing value means batches are regularly overrunning
+/// their budget and callers should shrink batches, raise the budget, or
+/// add threads.
+pub fn deadline_events() -> u64 {
+    DEADLINE_EVENTS.load(Ordering::Relaxed)
+}
+
+pub(crate) fn record_deadline_events(skipped: u64) {
+    if skipped > 0 {
+        DEADLINE_EVENTS.fetch_add(skipped, Ordering::Relaxed);
+    }
+}
+
+/// Poll-based wall-clock budget for one batch call. Created once at batch
+/// entry; [`Self::expired`] costs one `Instant::now()` and is only called
+/// at chunk boundaries (before each query), never inside the verification
+/// hot loop. With no deadline configured it never reads the clock at all.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct DeadlineGuard {
+    started: Option<Instant>,
+    budget: Duration,
+}
+
+impl DeadlineGuard {
+    pub(crate) fn new(deadline: Option<Duration>) -> Self {
+        Self {
+            started: deadline.is_some().then(Instant::now),
+            budget: deadline.unwrap_or_default(),
+        }
+    }
+
+    /// Has the budget been spent? `false` forever when unbounded.
+    #[inline]
+    pub(crate) fn expired(&self) -> bool {
+        match self.started {
+            Some(t0) => t0.elapsed() >= self.budget,
+            None => false,
+        }
+    }
+}
+
 /// Run `f`, converting a panic into a typed [`PlanarError::Internal`]
 /// carrying the panic message — the per-query isolation primitive behind
 /// the `*_batch` APIs: one poisoned query must not abort its batch.
@@ -98,6 +147,14 @@ pub struct ExecutionConfig {
     /// Minimum intermediate-interval size before intersection pruning is
     /// attempted (the cost-model crossover).
     pub intersect_min_candidates: usize,
+    /// Wall-clock budget for a whole batch call (`None` = unbounded).
+    /// Polled at chunk boundaries only — one `Instant::now()` per query,
+    /// never inside the verification hot loop. Queries not started when
+    /// the budget expires come back as
+    /// [`crate::ServedBy::Partial`] placeholders with empty results
+    /// instead of stalling the batch (see
+    /// [`crate::PlanarIndexSet::query_batch`]).
+    pub deadline: Option<Duration>,
 }
 
 impl Default for ExecutionConfig {
@@ -114,6 +171,7 @@ impl ExecutionConfig {
             parallel_verify_threshold: DEFAULT_PARALLEL_VERIFY_THRESHOLD,
             intersect_pruning: true,
             intersect_min_candidates: DEFAULT_INTERSECT_MIN_CANDIDATES,
+            deadline: None,
         }
     }
 
@@ -149,6 +207,13 @@ impl ExecutionConfig {
     /// Override the intersection-pruning crossover (builder style).
     pub fn intersect_min_candidates(mut self, min: usize) -> Self {
         self.intersect_min_candidates = min;
+        self
+    }
+
+    /// Set a wall-clock budget for batch calls (builder style). See the
+    /// [`Self::deadline`] field for partial-result semantics.
+    pub fn with_deadline(mut self, budget: Duration) -> Self {
+        self.deadline = Some(budget);
         self
     }
 
@@ -423,6 +488,23 @@ mod tests {
             .intersect_min_candidates(0);
         assert!(!ablation.intersect_pruning);
         assert_eq!(ablation.intersect_min_candidates, 0);
+        assert_eq!(c.deadline, None);
+        assert_eq!(
+            ExecutionConfig::serial()
+                .with_deadline(std::time::Duration::from_millis(5))
+                .deadline,
+            Some(std::time::Duration::from_millis(5))
+        );
+    }
+
+    #[test]
+    fn deadline_guard_semantics() {
+        let unbounded = DeadlineGuard::new(None);
+        assert!(!unbounded.expired());
+        let spent = DeadlineGuard::new(Some(Duration::ZERO));
+        assert!(spent.expired());
+        let generous = DeadlineGuard::new(Some(Duration::from_secs(3600)));
+        assert!(!generous.expired());
     }
 
     #[test]

@@ -68,8 +68,8 @@ const MAGIC_SHARD: &[u8; 8] = b"PLNRSHD1";
 /// magic + flags + core_len.
 const V2_PREAMBLE: usize = 8 + 4 + 8;
 
-/// CRC-64/XZ for integrity checking.
-fn crc64(data: &[u8]) -> u64 {
+/// CRC-64/XZ for integrity checking (shared with `crate::wal` framing).
+pub(crate) fn crc64(data: &[u8]) -> u64 {
     const POLY: u64 = 0xC96C_5795_D787_0F42; // reflected ECMA-182
     let mut crc = !0u64;
     for &byte in data {
@@ -223,6 +223,18 @@ pub struct RecoveryReport {
     /// Positions rebuilt from the table after loading (only
     /// [`PlanarIndexSet::load_or_recover`] rebuilds).
     pub rebuilt: Vec<usize>,
+    /// WAL records replayed on top of the snapshot (only
+    /// [`PlanarIndexSet::open_durable`] replays; 0 for plain loads).
+    pub wal_replayed: usize,
+    /// Structurally complete WAL records dropped because they sit at or
+    /// after the first invalid frame (CRC mismatch / torn write).
+    pub wal_dropped: usize,
+    /// Torn trailing bytes truncated from the WAL — a crash mid-write,
+    /// detected and repaired, never an error.
+    pub wal_torn_bytes: usize,
+    /// LSN watermark after recovery: every record at or below it is
+    /// reflected in the returned state.
+    pub wal_watermark: u64,
 }
 
 impl RecoveryReport {
@@ -240,7 +252,8 @@ impl RecoveryReport {
 /// target's directory (durably: write + fsync) and renames it over the
 /// target, retrying transient failures with doubling backoff. The target
 /// path always holds either the previous snapshot or the complete new one.
-fn atomic_save(
+/// Also used by `crate::wal` for its `CHECKPOINT` manifest.
+pub(crate) fn atomic_save(
     bytes: &[u8],
     path: &Path,
     io: &mut dyn SnapshotIo,
@@ -768,6 +781,17 @@ impl<S: KeyStore> PlanarIndexSet<S> {
 pub struct ShardedRecoveryReport {
     /// Per-shard recovery reports.
     pub shards: Vec<RecoveryReport>,
+    /// WAL records replayed across all shards (only
+    /// [`ShardedIndexSet::open_durable`] replays; 0 for plain loads).
+    pub wal_replayed: usize,
+    /// WAL records dropped at or after the first invalid frame, summed
+    /// across shards.
+    pub wal_dropped: usize,
+    /// Torn trailing bytes truncated, summed across shards.
+    pub wal_torn_bytes: usize,
+    /// Per-shard LSN watermarks after replay (empty for plain loads):
+    /// `shard_watermarks[s]` is the last LSN applied to shard `s`.
+    pub shard_watermarks: Vec<u64>,
 }
 
 impl ShardedRecoveryReport {
@@ -910,7 +934,13 @@ fn load_sharded<S: KeyStore>(
         return Err(corrupt("trailing bytes after shard sections"));
     }
     let set = ShardedIndexSet::assemble_shards(sets, partitioner, assignment)?;
-    Ok((set, ShardedRecoveryReport { shards: reports }))
+    Ok((
+        set,
+        ShardedRecoveryReport {
+            shards: reports,
+            ..ShardedRecoveryReport::default()
+        },
+    ))
 }
 
 impl<S: KeyStore> ShardedIndexSet<S> {

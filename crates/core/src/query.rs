@@ -26,6 +26,47 @@ impl Cmp {
     }
 }
 
+/// Why a query failed typed validation (carried by
+/// [`PlanarError::InvalidQuery`]). Catching these at construction keeps
+/// NaN out of the per-axis intercept thresholds `tᵢ = cᵢ·b/aᵢ` (§4.3),
+/// where it would otherwise poison every interval comparison silently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InvalidQueryReason {
+    /// Coefficient `a[axis]` is NaN or ±∞.
+    NonFiniteCoefficient {
+        /// The offending axis.
+        axis: usize,
+    },
+    /// The offset `b` is NaN or ±∞.
+    NonFiniteOffset,
+    /// Coefficient `a[axis]` is exactly zero on an axis the index
+    /// thresholds: the intercept `cᵢ·b/aᵢ` would be ±∞ or NaN. Raised by
+    /// surfaces where every axis is thresholded (e.g.
+    /// [`crate::HalfSpaceIndex`]); [`crate::PlanarIndexSet`] instead
+    /// routes zero-coefficient queries to its exact scan fallback.
+    ZeroCoefficient {
+        /// The offending axis.
+        axis: usize,
+    },
+}
+
+impl core::fmt::Display for InvalidQueryReason {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            InvalidQueryReason::NonFiniteCoefficient { axis } => {
+                write!(f, "coefficient on axis {axis} is NaN or infinite")
+            }
+            InvalidQueryReason::NonFiniteOffset => write!(f, "offset b is NaN or infinite"),
+            InvalidQueryReason::ZeroCoefficient { axis } => {
+                write!(
+                    f,
+                    "coefficient on axis {axis} is zero on a thresholded axis"
+                )
+            }
+        }
+    }
+}
+
 /// An inequality query `⟨a, φ(x)⟩ {≤,≥} b` (paper Problem 1).
 ///
 /// Both `a` and `b` are unknown until query time; the index was built only
@@ -43,9 +84,9 @@ impl InequalityQuery {
     ///
     /// # Errors
     ///
-    /// [`PlanarError::NotFinite`] on NaN/∞ coefficients or offset, and
-    /// [`PlanarError::EmptyDataset`] is never returned here but a
-    /// zero-dimensional `a` yields [`PlanarError::DimensionMismatch`].
+    /// [`PlanarError::InvalidQuery`] on NaN/∞ coefficients or offset
+    /// (typed per axis, see [`InvalidQueryReason`]); a zero-dimensional
+    /// `a` yields [`PlanarError::DimensionMismatch`].
     pub fn new(a: Vec<f64>, cmp: Cmp, b: f64) -> Result<Self> {
         if a.is_empty() {
             return Err(PlanarError::DimensionMismatch {
@@ -53,11 +94,35 @@ impl InequalityQuery {
                 found: 0,
             });
         }
-        if a.iter().any(|v| !v.is_finite()) || !b.is_finite() {
-            return Err(PlanarError::NotFinite);
+        if let Some(axis) = a.iter().position(|v| !v.is_finite()) {
+            return Err(PlanarError::InvalidQuery(
+                InvalidQueryReason::NonFiniteCoefficient { axis },
+            ));
+        }
+        if !b.is_finite() {
+            return Err(PlanarError::InvalidQuery(
+                InvalidQueryReason::NonFiniteOffset,
+            ));
         }
         let a_norm = planar_geom::norm(&a);
         Ok(Self { a, cmp, b, a_norm })
+    }
+
+    /// Typed check that no coefficient is exactly zero — required by
+    /// surfaces that threshold *every* axis (the per-axis intercept
+    /// `cᵢ·b/aᵢ` is undefined at `aᵢ = 0`).
+    ///
+    /// # Errors
+    ///
+    /// [`PlanarError::InvalidQuery`] with
+    /// [`InvalidQueryReason::ZeroCoefficient`] for the first zero axis.
+    pub fn require_nonzero_coefficients(&self) -> Result<()> {
+        if let Some(axis) = self.a.iter().position(|&v| v == 0.0) {
+            return Err(PlanarError::InvalidQuery(
+                InvalidQueryReason::ZeroCoefficient { axis },
+            ));
+        }
+        Ok(())
     }
 
     /// Shorthand for a `≤` query.
@@ -211,6 +276,50 @@ mod tests {
         assert!(InequalityQuery::new(vec![f64::NAN], Cmp::Leq, 0.0).is_err());
         assert!(InequalityQuery::new(vec![1.0], Cmp::Leq, f64::INFINITY).is_err());
         assert!(InequalityQuery::leq(vec![1.0, 2.0], 3.0).is_ok());
+    }
+
+    #[test]
+    fn construction_errors_are_typed_per_axis() {
+        assert_eq!(
+            InequalityQuery::new(vec![1.0, f64::NAN, 2.0], Cmp::Leq, 0.0),
+            Err(PlanarError::InvalidQuery(
+                InvalidQueryReason::NonFiniteCoefficient { axis: 1 }
+            ))
+        );
+        assert_eq!(
+            InequalityQuery::new(vec![1.0, f64::NEG_INFINITY], Cmp::Geq, 0.0),
+            Err(PlanarError::InvalidQuery(
+                InvalidQueryReason::NonFiniteCoefficient { axis: 1 }
+            ))
+        );
+        assert_eq!(
+            InequalityQuery::new(vec![1.0], Cmp::Leq, f64::NAN),
+            Err(PlanarError::InvalidQuery(
+                InvalidQueryReason::NonFiniteOffset
+            ))
+        );
+        assert_eq!(
+            InequalityQuery::new(vec![1.0], Cmp::Leq, f64::NEG_INFINITY),
+            Err(PlanarError::InvalidQuery(
+                InvalidQueryReason::NonFiniteOffset
+            ))
+        );
+    }
+
+    #[test]
+    fn zero_coefficient_check_is_typed() {
+        // Zero coefficients are legal for the general query (the multi-
+        // index set scan-falls-back), so construction succeeds…
+        let q = InequalityQuery::leq(vec![1.0, 0.0, 2.0], 3.0).unwrap();
+        // …but the thresholded-axis check reports the exact axis.
+        assert_eq!(
+            q.require_nonzero_coefficients(),
+            Err(PlanarError::InvalidQuery(
+                InvalidQueryReason::ZeroCoefficient { axis: 1 }
+            ))
+        );
+        let ok = InequalityQuery::leq(vec![1.0, 2.0], 3.0).unwrap();
+        assert!(ok.require_nonzero_coefficients().is_ok());
     }
 
     #[test]

@@ -210,6 +210,34 @@ impl ShardedTopKOutcome {
     }
 }
 
+/// Sharded analogue of `multi::stamp_partial_completed`: a batch slot is
+/// partial when *any* shard's slot is a deadline placeholder (its answer is
+/// missing that shard's matches), and `completed` counts the slots answered
+/// in full by every shard. Returns the number of partial slots.
+fn stamp_sharded_partial_completed<O>(
+    results: &mut [Result<O>],
+    mut served_by: impl FnMut(&mut O) -> &mut Vec<ServedBy>,
+) -> usize {
+    let mut skipped = 0usize;
+    for r in results.iter_mut().flatten() {
+        if served_by(r).iter().any(ServedBy::is_partial) {
+            skipped += 1;
+        }
+    }
+    if skipped == 0 {
+        return 0;
+    }
+    let completed = results.len() - skipped;
+    for r in results.iter_mut().flatten() {
+        for sb in served_by(r).iter_mut() {
+            if let ServedBy::Partial { completed: c, .. } = sb {
+                *c = completed;
+            }
+        }
+    }
+    skipped
+}
+
 /// K-way merge of per-shard top-k lists on `(distance, id)`.
 ///
 /// Each input list must be sorted ascending by `(distance, id)` — which
@@ -536,6 +564,18 @@ impl<S: KeyStore> ShardedIndexSet<S> {
         }
     }
 
+    /// The shard serving this live **global** id, or `None` for unknown
+    /// or deleted ids. Used by the durable wrapper (`crate::wal`) to route
+    /// update/delete records to the owning shard's log.
+    pub fn shard_of(&self, id: PointId) -> Option<usize> {
+        self.live_slot(id).ok().map(|(shard, _)| shard)
+    }
+
+    /// The global id the next insert will be assigned.
+    pub(crate) fn next_global(&self) -> PointId {
+        self.assignment.len() as PointId
+    }
+
     // ------------------------------------------------------------------
     // Queries
     // ------------------------------------------------------------------
@@ -605,9 +645,13 @@ impl<S: KeyStore> ShardedIndexSet<S> {
     where
         S: Sync,
     {
-        let per_shard: Vec<Vec<Result<QueryOutcome>>> =
-            self.fan_out_batch(exec, |shard, inner| shard.query_batch_isolated(qs, inner));
-        (0..qs.len())
+        // One deadline budget spans the whole sharded batch: every shard
+        // polls the same guard, so shard 3 sees time spent on shard 0.
+        let guard = parallel::DeadlineGuard::new(exec.deadline);
+        let per_shard: Vec<Vec<Result<QueryOutcome>>> = self.fan_out_batch(exec, |shard, inner| {
+            shard.query_batch_isolated_with_guard(qs, inner, &guard)
+        });
+        let mut results: Vec<Result<ShardedQueryOutcome>> = (0..qs.len())
             .map(|i| {
                 let row: Vec<QueryOutcome> = per_shard
                     .iter()
@@ -615,7 +659,10 @@ impl<S: KeyStore> ShardedIndexSet<S> {
                     .collect::<Result<_>>()?;
                 Ok(self.assemble_query(row))
             })
-            .collect()
+            .collect();
+        let skipped = stamp_sharded_partial_completed(&mut results, |o| &mut o.served_by);
+        parallel::record_deadline_events(skipped as u64);
+        results
     }
 
     /// Answer a top-k query serially. See [`Self::top_k_with`].
@@ -676,9 +723,11 @@ impl<S: KeyStore> ShardedIndexSet<S> {
     where
         S: Sync,
     {
-        let per_shard: Vec<Vec<Result<TopKOutcome>>> =
-            self.fan_out_batch(exec, |shard, inner| shard.top_k_batch_isolated(qs, inner));
-        (0..qs.len())
+        let guard = parallel::DeadlineGuard::new(exec.deadline);
+        let per_shard: Vec<Vec<Result<TopKOutcome>>> = self.fan_out_batch(exec, |shard, inner| {
+            shard.top_k_batch_isolated_with_guard(qs, inner, &guard)
+        });
+        let mut results: Vec<Result<ShardedTopKOutcome>> = (0..qs.len())
             .map(|i| {
                 let row: Vec<TopKOutcome> = per_shard
                     .iter()
@@ -686,7 +735,10 @@ impl<S: KeyStore> ShardedIndexSet<S> {
                     .collect::<Result<_>>()?;
                 Ok(self.assemble_top_k(qs[i].k, row))
             })
-            .collect()
+            .collect();
+        let skipped = stamp_sharded_partial_completed(&mut results, |o| &mut o.served_by);
+        parallel::record_deadline_events(skipped as u64);
+        results
     }
 
     /// Run `f` once per shard — serially in shard order, or fanned out over
@@ -819,24 +871,98 @@ impl<S: KeyStore> ShardedIndexSet<S> {
     pub fn compact(&mut self, threshold: f64) -> Vec<usize> {
         let mut compacted = Vec::new();
         for shard in 0..self.shards.len() {
-            let Some(remap) = self.shards[shard].compact_if(threshold) else {
-                continue;
-            };
-            let old_gids = std::mem::take(&mut self.global_ids[shard]);
-            let mut new_gids = vec![0 as PointId; self.shards[shard].table().len()];
-            for (old_local, gid) in old_gids.into_iter().enumerate() {
-                match remap[old_local] {
-                    Some(new_local) => {
-                        new_gids[new_local as usize] = gid;
-                        self.assignment[gid as usize].1 = new_local;
-                    }
-                    None => self.assignment[gid as usize].1 = DEAD_LOCAL,
-                }
+            if self.compact_shard(shard, threshold) {
+                compacted.push(shard);
             }
-            self.global_ids[shard] = new_gids;
-            compacted.push(shard);
         }
         compacted
+    }
+
+    /// Compact one shard (when its tombstone fraction exceeds
+    /// `threshold`) and repair its slice of the id maps. Shard-local by
+    /// construction, which is what lets WAL replay apply a broadcast
+    /// `Compact` record per shard stream (see `crate::wal`).
+    pub(crate) fn compact_shard(&mut self, shard: usize, threshold: f64) -> bool {
+        let Some(remap) = self.shards[shard].compact_if(threshold) else {
+            return false;
+        };
+        let old_gids = std::mem::take(&mut self.global_ids[shard]);
+        let mut new_gids = vec![0 as PointId; self.shards[shard].table().len()];
+        for (old_local, gid) in old_gids.into_iter().enumerate() {
+            match remap[old_local] {
+                Some(new_local) => {
+                    new_gids[new_local as usize] = gid;
+                    self.assignment[gid as usize].1 = new_local;
+                }
+                None => self.assignment[gid as usize].1 = DEAD_LOCAL,
+            }
+        }
+        self.global_ids[shard] = new_gids;
+        true
+    }
+
+    // ------------------------------------------------------------------
+    // WAL replay (see `crate::wal`)
+    // ------------------------------------------------------------------
+
+    /// Apply one replayed WAL record from `shard`'s log. `Insert` records
+    /// carry the global id assigned at log time: ids lost to another
+    /// shard's torn tail leave tombstoned gaps in the assignment, so each
+    /// shard's stream replays independently of cross-shard interleaving.
+    pub(crate) fn replay_record(
+        &mut self,
+        shard: usize,
+        lsn: u64,
+        rec: &crate::wal::WalRecord,
+    ) -> Result<()> {
+        use crate::wal::WalRecord;
+        match rec {
+            WalRecord::Insert { id, row } => self.replay_insert(shard, *id, row, lsn),
+            WalRecord::Update { id, row } => self.update_point(*id, row),
+            WalRecord::Delete { id } => self.delete_point(*id),
+            WalRecord::Compact { threshold } => {
+                // `None` (unconditional) never occurs in sharded logs, but
+                // a negative threshold makes `compact_if` unconditional.
+                self.compact_shard(shard, threshold.unwrap_or(-1.0));
+                Ok(())
+            }
+            WalRecord::Checkpoint { .. } => Ok(()),
+        }
+    }
+
+    fn replay_insert(
+        &mut self,
+        shard: usize,
+        global: PointId,
+        row: &[f64],
+        lsn: u64,
+    ) -> Result<()> {
+        if let Some(&(s, local)) = self.assignment.get(global as usize) {
+            // Shards replay one after another, so an earlier shard's
+            // replay may already have grown the assignment past this id,
+            // leaving a dead placeholder for it. This record is the
+            // authoritative owner of the id — fill the slot. A *live*
+            // slot means two logs claim the same id: real divergence.
+            if local != DEAD_LOCAL || s != 0 {
+                return Err(PlanarError::Persist(format!(
+                    "wal: replay diverged at lsn {lsn}: insert id {global} already assigned"
+                )));
+            }
+            let local = self.shards[shard].insert_point(row)?;
+            self.assignment[global as usize] = (shard as u32, local);
+            self.global_ids[shard].push(global);
+            return Ok(());
+        }
+        // Ids between the high-water mark and this insert belong to
+        // records on other shards (replayed later) or lost to their torn
+        // tails; leave dead placeholders for them.
+        while self.assignment.len() < global as usize {
+            self.assignment.push((0, DEAD_LOCAL));
+        }
+        let local = self.shards[shard].insert_point(row)?;
+        self.assignment.push((shard as u32, local));
+        self.global_ids[shard].push(global);
+        Ok(())
     }
 
     // ------------------------------------------------------------------
@@ -1172,5 +1298,50 @@ mod tests {
         assert!(results[0].is_ok());
         assert!(matches!(results[1], Err(PlanarError::Internal(_))));
         assert!(results[2].is_ok());
+    }
+
+    #[test]
+    fn deadline_spans_the_whole_sharded_batch() {
+        use std::time::Duration;
+        let (_, sharded) = pair(90, ShardConfig::round_robin(3));
+        let qs: Vec<InequalityQuery> = [40.0, 80.0, 120.0]
+            .iter()
+            .map(|&b| InequalityQuery::leq(vec![1.0, 1.0], b).unwrap())
+            .collect();
+        let exec = ExecutionConfig::serial().with_deadline(Duration::ZERO);
+        let outs = sharded.query_batch(&qs, &exec).unwrap();
+        for out in &outs {
+            assert!(out.matches.is_empty());
+            // Every shard slot is a placeholder stamped with the batch's
+            // completed count (zero here).
+            assert_eq!(out.served_by.len(), 3);
+            for sb in &out.served_by {
+                assert_eq!(
+                    *sb,
+                    ServedBy::Partial {
+                        completed: 0,
+                        deadline_hit: true
+                    }
+                );
+            }
+        }
+        let tops: Vec<TopKQuery> = qs
+            .iter()
+            .map(|q| TopKQuery::new(q.clone(), 4).unwrap())
+            .collect();
+        let touts = sharded.top_k_batch(&tops, &exec).unwrap();
+        assert!(touts
+            .iter()
+            .all(|o| o.neighbors.is_empty() && o.served_by.iter().all(ServedBy::is_partial)));
+
+        // An effectively unlimited budget answers everything, bit-identical
+        // to the unbudgeted path.
+        let generous = ExecutionConfig::serial().with_deadline(Duration::from_secs(3600));
+        assert_eq!(
+            sharded.query_batch(&qs, &generous).unwrap(),
+            sharded
+                .query_batch(&qs, &ExecutionConfig::serial())
+                .unwrap()
+        );
     }
 }

@@ -33,6 +33,11 @@ pub enum ScanReason {
     /// Every Planar index in the set is quarantined (see `crate::health`):
     /// the scan keeps answers exact while the indices are rebuilt.
     IndexUnavailable,
+    /// The batch's [`crate::ExecutionConfig::deadline`] expired before
+    /// this query started: nothing ran at all — no scan, no index. The
+    /// outcome is an empty placeholder with [`ServedBy::Partial`]
+    /// provenance.
+    DeadlineExceeded,
 }
 
 impl core::fmt::Display for ScanReason {
@@ -42,6 +47,7 @@ impl core::fmt::Display for ScanReason {
             ScanReason::OctantMismatch => write!(f, "coefficient signs outside indexed octant"),
             ScanReason::Requested => write!(f, "scan requested"),
             ScanReason::IndexUnavailable => write!(f, "all indices quarantined"),
+            ScanReason::DeadlineExceeded => write!(f, "batch deadline expired before execution"),
         }
     }
 }
@@ -60,6 +66,17 @@ pub enum ServedBy {
     /// Served by the exact sequential scan because no healthy index was
     /// available (all quarantined) — correct answers at scan latency.
     Degraded,
+    /// **Not served**: the batch's wall-clock deadline expired before this
+    /// query started, so its slot holds an empty placeholder instead of
+    /// stalling the batch. `completed` is the number of queries in the
+    /// batch that did finish before the budget ran out.
+    Partial {
+        /// Queries of the batch that completed before the deadline.
+        completed: usize,
+        /// Always `true` today: the only partial-result source is an
+        /// expired [`crate::ExecutionConfig::deadline`].
+        deadline_hit: bool,
+    },
 }
 
 impl ServedBy {
@@ -68,6 +85,10 @@ impl ServedBy {
         match path {
             ExecutionPath::Index { index } => ServedBy::Index(*index),
             ExecutionPath::ScanFallback(ScanReason::IndexUnavailable) => ServedBy::Degraded,
+            ExecutionPath::ScanFallback(ScanReason::DeadlineExceeded) => ServedBy::Partial {
+                completed: 0,
+                deadline_hit: true,
+            },
             ExecutionPath::ScanFallback(_) => ServedBy::ScanFallback,
         }
     }
@@ -75,6 +96,11 @@ impl ServedBy {
     /// True when the answer came from degraded-mode serving.
     pub fn is_degraded(&self) -> bool {
         matches!(self, ServedBy::Degraded)
+    }
+
+    /// True when the slot is a deadline placeholder, not an answer.
+    pub fn is_partial(&self) -> bool {
+        matches!(self, ServedBy::Partial { .. })
     }
 }
 
@@ -189,6 +215,11 @@ pub struct StatsAggregator {
     scan_fallbacks: usize,
     degraded: usize,
     quarantine_events: usize,
+    deadline_hits: usize,
+    wal_recorded: bool,
+    wal_segments: usize,
+    wal_unsynced_records: u64,
+    wal_last_lsn: u64,
 }
 
 impl StatsAggregator {
@@ -205,7 +236,14 @@ impl StatsAggregator {
         self.matched_sum += s.matched;
         self.intermediate_sum += s.intermediate;
         self.intersect_pruned_sum += s.intersect_pruned;
-        if s.used_index() {
+        if matches!(
+            s.path,
+            ExecutionPath::ScanFallback(ScanReason::DeadlineExceeded)
+        ) {
+            // A deadline placeholder was never executed: it is neither an
+            // index hit nor a scan — count it separately.
+            self.deadline_hits += 1;
+        } else if s.used_index() {
             self.index_hits += 1;
         } else {
             self.scan_fallbacks += 1;
@@ -232,6 +270,17 @@ impl StatsAggregator {
         self.quarantine_events += 1;
     }
 
+    /// Stamp the latest write-ahead-log health (see [`crate::WalHealth`])
+    /// into the aggregate. Like quarantines, WAL state is a lifecycle
+    /// property, not a per-query stat: the most recent recording wins and
+    /// is surfaced verbatim by [`Self::snapshot`].
+    pub fn record_wal(&mut self, health: &crate::wal::WalHealth) {
+        self.wal_recorded = true;
+        self.wal_segments = health.segments;
+        self.wal_unsynced_records = health.unsynced_records;
+        self.wal_last_lsn = health.last_lsn;
+    }
+
     /// Fold another aggregator into this one — equivalent to having
     /// [`Self::add`]ed all of `other`'s queries here. Lets parallel batch
     /// workers aggregate locally and combine at the end.
@@ -246,6 +295,16 @@ impl StatsAggregator {
         self.scan_fallbacks += other.scan_fallbacks;
         self.degraded += other.degraded;
         self.quarantine_events += other.quarantine_events;
+        self.deadline_hits += other.deadline_hits;
+        // WAL health is point-in-time, not additive: prefer the other
+        // aggregator's recording when it has one (merge order follows
+        // recording order in every current caller).
+        if other.wal_recorded {
+            self.wal_recorded = true;
+            self.wal_segments = other.wal_segments;
+            self.wal_unsynced_records = other.wal_unsynced_records;
+            self.wal_last_lsn = other.wal_last_lsn;
+        }
     }
 
     /// Number of queries aggregated.
@@ -318,6 +377,11 @@ impl StatsAggregator {
         self.quarantine_events
     }
 
+    /// Number of query slots skipped because the batch deadline expired.
+    pub fn deadline_hit_count(&self) -> usize {
+        self.deadline_hits
+    }
+
     /// Point-in-time snapshot of the aggregate counters, stamped with the
     /// runtime code paths (kernel dispatch, FMA availability, thread-clamp
     /// events) that produced them. Benchmarks serialize this into their
@@ -334,6 +398,10 @@ impl StatsAggregator {
             scan_fallbacks: self.scan_fallbacks,
             degraded: self.degraded,
             quarantine_events: self.quarantine_events,
+            deadline_hits: self.deadline_hits,
+            wal_segments: self.wal_segments,
+            wal_unsynced_records: self.wal_unsynced_records,
+            wal_last_lsn: self.wal_last_lsn,
             kernel: planar_geom::kernel_name(),
             fma_available: planar_geom::host_has_fma(),
             thread_clamp_events: crate::parallel::thread_clamp_events(),
@@ -371,6 +439,15 @@ pub struct StatsSnapshot {
     pub degraded: usize,
     /// Quarantine events reported.
     pub quarantine_events: usize,
+    /// Query slots skipped because the batch deadline expired.
+    pub deadline_hits: usize,
+    /// WAL segment files at the last [`StatsAggregator::record_wal`]
+    /// (0 when never recorded).
+    pub wal_segments: usize,
+    /// Appended-but-unsynced WAL records at the last recording.
+    pub wal_unsynced_records: u64,
+    /// Highest LSN appended to the WAL at the last recording.
+    pub wal_last_lsn: u64,
     /// Dispatched scalar-product kernel (`"avx2"` or `"portable"`).
     pub kernel: &'static str,
     /// Whether the host advertises FMA (never used by the kernels — see the
@@ -520,5 +597,59 @@ mod tests {
         assert_eq!(agg.mean_pruning_percentage(), 0.0);
         assert_eq!(agg.mean_verified(), 0.0);
         assert_eq!(agg.index_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn deadline_placeholders_are_counted_separately() {
+        let mut agg = StatsAggregator::new();
+        agg.add(&indexed(10, 5, 0, 5, 5));
+        agg.add(&QueryStats::scan(10, 0, ScanReason::DeadlineExceeded));
+        assert_eq!(agg.deadline_hit_count(), 1);
+        // A skipped slot is neither an index hit nor a scan fallback.
+        assert_eq!(agg.scan_fallback_count(), 0);
+        assert_eq!(agg.index_hit_rate(), 0.5);
+        let mut other = StatsAggregator::new();
+        other.add(&QueryStats::scan(10, 0, ScanReason::DeadlineExceeded));
+        agg.merge(&other);
+        assert_eq!(agg.deadline_hit_count(), 2);
+        assert_eq!(agg.snapshot().deadline_hits, 2);
+        let partial =
+            ServedBy::from_path(&ExecutionPath::ScanFallback(ScanReason::DeadlineExceeded));
+        assert!(partial.is_partial());
+        assert!(!ServedBy::ScanFallback.is_partial());
+    }
+
+    #[test]
+    fn wal_health_is_latest_wins() {
+        let mut agg = StatsAggregator::new();
+        let snap = agg.snapshot();
+        assert_eq!(snap.wal_segments, 0);
+        assert_eq!(snap.wal_last_lsn, 0);
+        agg.record_wal(&crate::wal::WalHealth {
+            segments: 2,
+            unsynced_records: 3,
+            last_lsn: 40,
+        });
+        agg.record_wal(&crate::wal::WalHealth {
+            segments: 1,
+            unsynced_records: 0,
+            last_lsn: 57,
+        });
+        let snap = agg.snapshot();
+        assert_eq!(snap.wal_segments, 1);
+        assert_eq!(snap.wal_unsynced_records, 0);
+        assert_eq!(snap.wal_last_lsn, 57);
+        // Merging an aggregator that never recorded keeps ours.
+        agg.merge(&StatsAggregator::new());
+        assert_eq!(agg.snapshot().wal_last_lsn, 57);
+        // Merging one that did record adopts its (later) view.
+        let mut other = StatsAggregator::new();
+        other.record_wal(&crate::wal::WalHealth {
+            segments: 4,
+            unsynced_records: 7,
+            last_lsn: 99,
+        });
+        agg.merge(&other);
+        assert_eq!(agg.snapshot().wal_last_lsn, 99);
     }
 }

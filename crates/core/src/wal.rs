@@ -1,0 +1,1947 @@
+//! Crash-consistent mutation durability: a per-set (and per-shard)
+//! **write-ahead log** with point-in-time recovery.
+//!
+//! PR 2 made *snapshots* crash-safe, but every mutation since the last
+//! snapshot was still lost on a crash. This module closes that gap with a
+//! classic WAL protocol:
+//!
+//! * every mutation is appended to the log **before** it is applied
+//!   in memory, framed with a CRC-64 and a monotonically increasing
+//!   **LSN** (log sequence number);
+//! * [`FsyncPolicy`] bounds data loss: `Always` fsyncs per record,
+//!   `EveryN(n)` amortizes the fsync over `n` records, `OnCheckpoint`
+//!   trusts the OS until the next checkpoint;
+//! * `save()` becomes **checkpoint-then-truncate**: append a `Checkpoint`
+//!   marker, fsync the log, write a fresh snapshot atomically, publish it
+//!   in the `CHECKPOINT` manifest, then delete the now-covered segments;
+//! * `open_durable` loads the newest valid snapshot and **replays** the
+//!   records with LSN above the manifest watermark — replay is idempotent
+//!   because every record is keyed by LSN;
+//! * a **torn tail** (a crash mid-write) is detected by the frame CRC,
+//!   truncated at the first bad frame, and *reported* in the
+//!   [`RecoveryReport`] — it is never a hard error.
+//!
+//! ## Frame format
+//!
+//! A segment file starts with the 8-byte magic `PLNRWAL1` followed by
+//! frames (all integers little-endian):
+//!
+//! ```text
+//! | payload_len u32 | lsn u64 | tag u8 | payload | crc64 u64 |
+//! ```
+//!
+//! The CRC-64/XZ covers everything before it (header + payload), so a
+//! frame is valid iff it is fully present *and* uncorrupted. Payload
+//! length is bounded (16 MiB) so a corrupt length cannot drive huge
+//! allocations. Segments rotate at [`WalOptions::segment_max_bytes`] and
+//! are named by the first LSN they may contain, so lexicographic file
+//! order is LSN order.
+//!
+//! ## Durable directory layout
+//!
+//! ```text
+//! dir/CHECKPOINT                 manifest: generation + LSN watermark (CRC'd, atomically replaced)
+//! dir/snapshot-<gen>.plnr        the PLNRIDX2 / PLNRSHD1 snapshot
+//! dir/wal/wal-<lsn>.log          segments (PlanarIndexSet)
+//! dir/wal/shard-NNNN/wal-<lsn>.log  per-shard segments (ShardedIndexSet)
+//! ```
+//!
+//! Sharded sets keep **one WAL per shard** sharing a single global LSN
+//! counter; each `Insert` record carries its assigned global id, so
+//! replay is shard-local and independent of cross-shard interleaving.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::multi::{PlanarIndexSet, QueryOutcome, TopKOutcome};
+use crate::parallel::ExecutionConfig;
+use crate::persist::{RecoveryReport, SaveOptions, ShardedRecoveryReport};
+use crate::query::{InequalityQuery, TopKQuery};
+use crate::shard::{ShardedIndexSet, ShardedQueryOutcome, ShardedTopKOutcome};
+use crate::store::{KeyStore, VecStore};
+use crate::table::PointId;
+use crate::{PlanarError, Result};
+
+/// Log sequence number: strictly increasing across every record a durable
+/// set ever writes (shared across all shards of a sharded set).
+pub type Lsn = u64;
+
+const SEGMENT_MAGIC: &[u8; 8] = b"PLNRWAL1";
+const MANIFEST_MAGIC: &[u8; 8] = b"PLNRCKP1";
+const MANIFEST_FILE: &str = "CHECKPOINT";
+const WAL_SUBDIR: &str = "wal";
+/// `payload_len u32 | lsn u64 | tag u8 | ... | crc64 u64`.
+const FRAME_HEADER: usize = 4 + 8 + 1;
+const FRAME_OVERHEAD: usize = FRAME_HEADER + 8;
+/// Upper bound on a frame payload; a corrupt length field can never
+/// drive an allocation past this.
+const MAX_PAYLOAD: usize = 1 << 24;
+
+const TAG_INSERT: u8 = 1;
+const TAG_UPDATE: u8 = 2;
+const TAG_DELETE: u8 = 3;
+const TAG_COMPACT: u8 = 4;
+const TAG_CHECKPOINT: u8 = 5;
+
+fn walerr(msg: impl Into<String>) -> PlanarError {
+    PlanarError::Persist(format!("wal: {}", msg.into()))
+}
+
+fn walio(ctx: &str, e: std::io::Error) -> PlanarError {
+    PlanarError::Persist(format!("wal: {ctx}: {e}"))
+}
+
+// ---------------------------------------------------------------------------
+// Options
+// ---------------------------------------------------------------------------
+
+/// When appended WAL records are forced to stable storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// fsync after every record: zero loss on power failure, highest
+    /// per-mutation latency.
+    Always,
+    /// fsync once every `n` records: at most `n − 1` acknowledged
+    /// mutations can be lost to a power failure.
+    EveryN(u32),
+    /// fsync only at checkpoints (and explicit [`WalHealth`]-visible
+    /// syncs): fastest, loss bounded only by the checkpoint interval.
+    OnCheckpoint,
+}
+
+/// Configuration for a durable set's write-ahead log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalOptions {
+    /// Record durability policy (default [`FsyncPolicy::Always`]).
+    pub fsync: FsyncPolicy,
+    /// Rotate to a new segment once the current one reaches this many
+    /// bytes (default 8 MiB). Retention is tied to checkpoints: segments
+    /// are only deleted once a snapshot covering their records is durable.
+    pub segment_max_bytes: u64,
+}
+
+impl Default for WalOptions {
+    fn default() -> Self {
+        Self {
+            fsync: FsyncPolicy::Always,
+            segment_max_bytes: 8 * 1024 * 1024,
+        }
+    }
+}
+
+impl WalOptions {
+    /// Set the fsync policy.
+    pub fn fsync(mut self, policy: FsyncPolicy) -> Self {
+        self.fsync = policy;
+        self
+    }
+
+    /// Set the segment rotation threshold in bytes (min 4 KiB).
+    pub fn segment_max_bytes(mut self, bytes: u64) -> Self {
+        self.segment_max_bytes = bytes.max(4096);
+        self
+    }
+}
+
+/// Point-in-time health of a write-ahead log, stamped into
+/// [`crate::StatsSnapshot`] via [`crate::StatsAggregator::record_wal`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WalHealth {
+    /// Live segment files (across all shards for a sharded set).
+    pub segments: usize,
+    /// Records appended since the last fsync — the current worst-case
+    /// loss window on power failure.
+    pub unsynced_records: u64,
+    /// LSN of the newest appended record (0 when the log is empty).
+    pub last_lsn: Lsn,
+}
+
+impl WalHealth {
+    fn merge(&mut self, other: &WalHealth) {
+        self.segments += other.segments;
+        self.unsynced_records += other.unsynced_records;
+        self.last_lsn = self.last_lsn.max(other.last_lsn);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Records and frames
+// ---------------------------------------------------------------------------
+
+/// One logged mutation. `Insert`/`Update` carry the full feature row so
+/// replay needs nothing but the log; `Insert` also records the id the
+/// mutation assigned, which makes sharded replay shard-local (see module
+/// docs) and turns planar replay into a self-check.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalRecord {
+    /// A point was inserted and assigned `id`.
+    Insert {
+        /// The id assigned by the mutation (global id for sharded sets).
+        id: PointId,
+        /// The feature row.
+        row: Vec<f64>,
+    },
+    /// Point `id` was updated to `row`.
+    Update {
+        /// The (global) id updated.
+        id: PointId,
+        /// The new feature row.
+        row: Vec<f64>,
+    },
+    /// Point `id` was deleted (tombstoned).
+    Delete {
+        /// The (global) id deleted.
+        id: PointId,
+    },
+    /// A compaction ran: unconditional (`None`, planar `compact()`) or
+    /// threshold-gated (`Some(t)`, `compact_if`/sharded `compact`).
+    /// Compaction is deterministic given the set state, so the marker
+    /// alone replays it exactly.
+    Compact {
+        /// Tombstone-fraction threshold, if the compaction was gated.
+        threshold: Option<f64>,
+    },
+    /// Checkpoint marker: everything at or below `watermark` is captured
+    /// by a durable snapshot. A no-op on replay.
+    Checkpoint {
+        /// The LSN the snapshot covers through.
+        watermark: Lsn,
+    },
+}
+
+fn encode_frame(lsn: Lsn, rec: &WalRecord) -> Vec<u8> {
+    let mut payload = BytesMut::new();
+    let tag = match rec {
+        WalRecord::Insert { id, row } => {
+            payload.put_u32_le(*id);
+            payload.put_u32_le(row.len() as u32);
+            for v in row {
+                payload.put_f64_le(*v);
+            }
+            TAG_INSERT
+        }
+        WalRecord::Update { id, row } => {
+            payload.put_u32_le(*id);
+            payload.put_u32_le(row.len() as u32);
+            for v in row {
+                payload.put_f64_le(*v);
+            }
+            TAG_UPDATE
+        }
+        WalRecord::Delete { id } => {
+            payload.put_u32_le(*id);
+            TAG_DELETE
+        }
+        WalRecord::Compact { threshold } => {
+            match threshold {
+                None => payload.put_u8(0),
+                Some(t) => {
+                    payload.put_u8(1);
+                    payload.put_f64_le(*t);
+                }
+            }
+            TAG_COMPACT
+        }
+        WalRecord::Checkpoint { watermark } => {
+            payload.put_u64_le(*watermark);
+            TAG_CHECKPOINT
+        }
+    };
+    let payload = payload.freeze();
+    let mut frame = Vec::with_capacity(FRAME_OVERHEAD + payload.len());
+    let mut head = BytesMut::new();
+    head.put_u32_le(payload.len() as u32);
+    head.put_u64_le(lsn);
+    head.put_u8(tag);
+    frame.extend_from_slice(head.freeze().as_slice());
+    frame.extend_from_slice(payload.as_slice());
+    let crc = crate::persist::crc64(&frame);
+    let mut tail = BytesMut::new();
+    tail.put_u64_le(crc);
+    frame.extend_from_slice(tail.freeze().as_slice());
+    frame
+}
+
+fn decode_payload(tag: u8, payload: &[u8]) -> Option<WalRecord> {
+    let mut buf = Bytes::copy_from_slice(payload);
+    let row_after_id = |buf: &mut Bytes| -> Option<(PointId, Vec<f64>)> {
+        if buf.len() < 8 {
+            return None;
+        }
+        let id = buf.get_u32_le();
+        let dim = buf.get_u32_le() as usize;
+        if dim == 0 || buf.len() != dim * 8 {
+            return None;
+        }
+        Some((id, (0..dim).map(|_| buf.get_f64_le()).collect()))
+    };
+    let rec = match tag {
+        TAG_INSERT => {
+            let (id, row) = row_after_id(&mut buf)?;
+            WalRecord::Insert { id, row }
+        }
+        TAG_UPDATE => {
+            let (id, row) = row_after_id(&mut buf)?;
+            WalRecord::Update { id, row }
+        }
+        TAG_DELETE => {
+            if buf.len() != 4 {
+                return None;
+            }
+            WalRecord::Delete {
+                id: buf.get_u32_le(),
+            }
+        }
+        TAG_COMPACT => {
+            if buf.is_empty() {
+                return None;
+            }
+            match buf.get_u8() {
+                0 if buf.is_empty() => WalRecord::Compact { threshold: None },
+                1 if buf.len() == 8 => WalRecord::Compact {
+                    threshold: Some(buf.get_f64_le()),
+                },
+                _ => return None,
+            }
+        }
+        TAG_CHECKPOINT => {
+            if buf.len() != 8 {
+                return None;
+            }
+            WalRecord::Checkpoint {
+                watermark: buf.get_u64_le(),
+            }
+        }
+        _ => return None,
+    };
+    Some(rec)
+}
+
+/// Parse one frame at the start of `bytes`. Returns the frame's total
+/// length, its LSN, and the decoded record — or `None` on anything short,
+/// corrupt, or malformed (the caller treats that offset as the torn tail).
+fn parse_frame(bytes: &[u8]) -> Option<(usize, Lsn, WalRecord)> {
+    if bytes.len() < FRAME_OVERHEAD {
+        return None;
+    }
+    let mut buf = Bytes::copy_from_slice(&bytes[..FRAME_HEADER]);
+    let len = buf.get_u32_le() as usize;
+    let lsn = buf.get_u64_le();
+    let tag = buf.get_u8();
+    if len > MAX_PAYLOAD || bytes.len() < FRAME_OVERHEAD + len {
+        return None;
+    }
+    let crc_at = FRAME_HEADER + len;
+    let stored = u64::from_le_bytes(bytes[crc_at..crc_at + 8].try_into().ok()?);
+    if crate::persist::crc64(&bytes[..crc_at]) != stored {
+        return None;
+    }
+    let rec = decode_payload(tag, &bytes[FRAME_HEADER..crc_at])?;
+    Some((FRAME_OVERHEAD + len, lsn, rec))
+}
+
+/// Count the structurally complete frames in `bytes` (no CRC check):
+/// records that were written but are unusable because they sit after the
+/// first invalid frame. Returns `(frames, trailing torn bytes)`.
+fn structural_count(bytes: &[u8]) -> (usize, usize) {
+    let mut pos = 0;
+    let mut frames = 0;
+    while bytes.len() - pos >= FRAME_OVERHEAD {
+        let len =
+            u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes checked")) as usize;
+        if len > MAX_PAYLOAD || bytes.len() - pos < FRAME_OVERHEAD + len {
+            break;
+        }
+        frames += 1;
+        pos += FRAME_OVERHEAD + len;
+    }
+    (frames, bytes.len() - pos)
+}
+
+// ---------------------------------------------------------------------------
+// Directory scan (recovery read path)
+// ---------------------------------------------------------------------------
+
+/// Everything a recovery scan learned about a WAL directory.
+#[derive(Debug, Default)]
+pub(crate) struct WalScan {
+    /// Valid records in LSN order.
+    pub frames: Vec<(Lsn, WalRecord)>,
+    /// Structurally complete records dropped because they sit at or after
+    /// the first invalid frame.
+    pub dropped_records: usize,
+    /// Torn bytes (a partial frame / unparseable tail) truncated.
+    pub torn_bytes: usize,
+    /// All segment files found, in LSN-name order.
+    segments: Vec<PathBuf>,
+    /// `segments[..keep]` survive repair; later ones are deleted.
+    keep: usize,
+    /// Valid byte length of `segments[keep - 1]` (tail truncation point).
+    tail_valid_len: u64,
+}
+
+fn list_segments(dir: &Path) -> Result<Vec<PathBuf>> {
+    let mut segs = Vec::new();
+    let entries = match fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(segs),
+        Err(e) => return Err(walio("read_dir", e)),
+    };
+    for entry in entries {
+        let entry = entry.map_err(|e| walio("read_dir entry", e))?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if name.starts_with("wal-") && name.ends_with(".log") {
+            segs.push(entry.path());
+        }
+    }
+    // Segment names embed a zero-padded first-LSN, so name order is LSN
+    // order.
+    segs.sort();
+    Ok(segs)
+}
+
+/// Scan a WAL directory: collect every valid frame in LSN order, stop at
+/// the first invalid frame anywhere (CRC mismatch, malformed payload,
+/// non-monotonic LSN, torn write), and account for what follows it.
+/// Corruption is never an error — only real I/O failures are.
+fn scan_dir(dir: &Path) -> Result<WalScan> {
+    let mut scan = WalScan {
+        segments: list_segments(dir)?,
+        ..WalScan::default()
+    };
+    let mut prev_lsn: Lsn = 0;
+    let mut broken = false;
+    for (i, seg) in scan.segments.iter().enumerate() {
+        let bytes = fs::read(seg).map_err(|e| walio("read segment", e))?;
+        if broken {
+            // Everything after the first break is dead; count it.
+            let body = if bytes.len() >= 8 && &bytes[..8] == SEGMENT_MAGIC {
+                &bytes[8..]
+            } else {
+                &bytes[..]
+            };
+            let (frames, torn) = structural_count(body);
+            scan.dropped_records += frames;
+            scan.torn_bytes += torn;
+            continue;
+        }
+        if bytes.len() < 8 || &bytes[..8] != SEGMENT_MAGIC {
+            // A segment creation torn mid-header; the file carries no
+            // usable frames.
+            broken = true;
+            scan.torn_bytes += bytes.len();
+            scan.keep = i;
+            scan.tail_valid_len = 0;
+            continue;
+        }
+        let mut pos = 8usize;
+        loop {
+            if pos == bytes.len() {
+                break;
+            }
+            match parse_frame(&bytes[pos..]) {
+                Some((consumed, lsn, rec)) if lsn > prev_lsn => {
+                    prev_lsn = lsn;
+                    scan.frames.push((lsn, rec));
+                    pos += consumed;
+                }
+                _ => {
+                    broken = true;
+                    let (frames, torn) = structural_count(&bytes[pos..]);
+                    scan.dropped_records += frames;
+                    scan.torn_bytes += torn;
+                    break;
+                }
+            }
+        }
+        if !broken {
+            scan.keep = i + 1;
+            scan.tail_valid_len = bytes.len() as u64;
+        } else {
+            scan.keep = i + 1;
+            scan.tail_valid_len = pos as u64;
+        }
+    }
+    Ok(scan)
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+/// Appends CRC-framed records to segment files with rotation, a
+/// configurable fsync policy, and checkpoint-driven truncation. One
+/// writer owns one directory of segments.
+#[derive(Debug)]
+pub(crate) struct WalWriter {
+    dir: PathBuf,
+    file: File,
+    segment_len: u64,
+    segment_count: usize,
+    last_lsn: Lsn,
+    unsynced: u64,
+    #[cfg(any(test, feature = "fault-injection"))]
+    appends: u64,
+    #[cfg(any(test, feature = "fault-injection"))]
+    crashed: bool,
+    opts: WalOptions,
+}
+
+fn segment_path(dir: &Path, first_lsn: Lsn) -> PathBuf {
+    dir.join(format!("wal-{first_lsn:020}.log"))
+}
+
+fn sync_dir(dir: &Path) {
+    // Durable directory entries need a dir fsync on most filesystems;
+    // best-effort, matching `StdIo::rename`.
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
+    }
+}
+
+fn create_segment(dir: &Path, first_lsn: Lsn) -> Result<File> {
+    let path = segment_path(dir, first_lsn);
+    let mut f = OpenOptions::new()
+        .create(true)
+        .write(true)
+        .truncate(true)
+        .open(&path)
+        .map_err(|e| walio("create segment", e))?;
+    f.write_all(SEGMENT_MAGIC)
+        .and_then(|()| f.sync_data())
+        .map_err(|e| walio("write segment header", e))?;
+    sync_dir(dir);
+    Ok(f)
+}
+
+impl WalWriter {
+    /// Open (creating if absent) a WAL directory for appending: scan it,
+    /// physically truncate the torn tail, delete segments past the first
+    /// break, and position after the last valid record. Returns the scan
+    /// so the caller can replay it.
+    fn open_repair(dir: &Path, opts: WalOptions) -> Result<(Self, WalScan)> {
+        fs::create_dir_all(dir).map_err(|e| walio("create wal dir", e))?;
+        let scan = scan_dir(dir)?;
+        for seg in &scan.segments[scan.keep..] {
+            fs::remove_file(seg).map_err(|e| walio("remove dead segment", e))?;
+        }
+        let last_lsn = scan.frames.last().map(|&(lsn, _)| lsn).unwrap_or(0);
+        let (file, segment_len, segment_count) = if scan.keep > 0 {
+            let tail = &scan.segments[scan.keep - 1];
+            if scan.tail_valid_len < 8 {
+                // The tail never got a full header; recreate it in place.
+                fs::remove_file(tail).map_err(|e| walio("remove torn segment", e))?;
+                let f = create_segment(dir, last_lsn + 1)?;
+                (f, 8, scan.keep)
+            } else {
+                let f = OpenOptions::new()
+                    .write(true)
+                    .append(false)
+                    .open(tail)
+                    .map_err(|e| walio("open tail segment", e))?;
+                f.set_len(scan.tail_valid_len)
+                    .and_then(|()| f.sync_data())
+                    .map_err(|e| walio("truncate torn tail", e))?;
+                // Re-open in append mode so writes land at the truncated end.
+                let f = OpenOptions::new()
+                    .append(true)
+                    .open(tail)
+                    .map_err(|e| walio("reopen tail segment", e))?;
+                (f, scan.tail_valid_len, scan.keep)
+            }
+        } else {
+            let f = create_segment(dir, last_lsn + 1)?;
+            (f, 8, 1)
+        };
+        sync_dir(dir);
+        let writer = Self {
+            dir: dir.to_path_buf(),
+            file,
+            segment_len,
+            segment_count,
+            last_lsn,
+            unsynced: 0,
+            #[cfg(any(test, feature = "fault-injection"))]
+            appends: 0,
+            #[cfg(any(test, feature = "fault-injection"))]
+            crashed: false,
+            opts,
+        };
+        Ok((writer, scan))
+    }
+
+    /// Append one record at `lsn` (must exceed every prior LSN), rotating
+    /// and fsyncing per policy.
+    fn append(&mut self, lsn: Lsn, rec: &WalRecord) -> Result<()> {
+        if lsn <= self.last_lsn {
+            return Err(walerr(format!(
+                "non-monotonic lsn {lsn} (last {})",
+                self.last_lsn
+            )));
+        }
+        if self.segment_len >= self.opts.segment_max_bytes {
+            self.sync()?;
+            self.file = create_segment(&self.dir, lsn)?;
+            self.segment_len = 8;
+            self.segment_count += 1;
+        }
+        let frame = encode_frame(lsn, rec);
+        self.write_frame(&frame)?;
+        self.segment_len += frame.len() as u64;
+        self.last_lsn = lsn;
+        self.unsynced += 1;
+        match self.opts.fsync {
+            FsyncPolicy::Always => self.sync()?,
+            FsyncPolicy::EveryN(n) => {
+                if self.unsynced >= u64::from(n.max(1)) {
+                    self.sync()?;
+                }
+            }
+            FsyncPolicy::OnCheckpoint => {}
+        }
+        Ok(())
+    }
+
+    #[cfg(any(test, feature = "fault-injection"))]
+    fn write_frame(&mut self, frame: &[u8]) -> Result<()> {
+        if self.crashed {
+            return Err(walerr("writer crashed by injected fault"));
+        }
+        let this_append = self.appends;
+        self.appends += 1;
+        match crate::fault::wal_fault_action(this_append) {
+            Some(crate::fault::WalFaultKind::FailAppend) => {
+                return Err(walerr("injected: transient append failure"));
+            }
+            Some(crate::fault::WalFaultKind::TornAppend { keep }) => {
+                let keep = keep.min(frame.len());
+                self.file
+                    .write_all(&frame[..keep])
+                    .and_then(|()| self.file.sync_data())
+                    .map_err(|e| walio("append (torn)", e))?;
+                self.crashed = true;
+                return Err(walerr("injected: crash mid-frame"));
+            }
+            Some(crate::fault::WalFaultKind::CrashAfterAppend) => {
+                self.file.write_all(frame).map_err(|e| walio("append", e))?;
+                self.crashed = true;
+                return Ok(());
+            }
+            None => {}
+        }
+        self.file.write_all(frame).map_err(|e| walio("append", e))
+    }
+
+    #[cfg(not(any(test, feature = "fault-injection")))]
+    fn write_frame(&mut self, frame: &[u8]) -> Result<()> {
+        self.file.write_all(frame).map_err(|e| walio("append", e))
+    }
+
+    /// Force everything appended so far to stable storage.
+    fn sync(&mut self) -> Result<()> {
+        self.file.sync_data().map_err(|e| walio("fsync", e))?;
+        self.unsynced = 0;
+        Ok(())
+    }
+
+    /// Checkpoint truncation: every record is covered by a durable
+    /// snapshot, so drop all segments and start fresh at `next_lsn`.
+    fn truncate_all(&mut self, next_lsn: Lsn) -> Result<()> {
+        for seg in list_segments(&self.dir)? {
+            fs::remove_file(&seg).map_err(|e| walio("truncate segment", e))?;
+        }
+        self.file = create_segment(&self.dir, next_lsn)?;
+        self.segment_len = 8;
+        self.segment_count = 1;
+        self.unsynced = 0;
+        self.last_lsn = next_lsn.saturating_sub(1);
+        Ok(())
+    }
+
+    fn health(&self) -> WalHealth {
+        WalHealth {
+            segments: self.segment_count,
+            unsynced_records: self.unsynced,
+            last_lsn: self.last_lsn,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Manifest
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Manifest {
+    generation: u64,
+    watermark: Lsn,
+}
+
+fn write_manifest(dir: &Path, m: Manifest) -> Result<()> {
+    let mut buf = BytesMut::new();
+    buf.put_slice(MANIFEST_MAGIC);
+    buf.put_u64_le(m.generation);
+    buf.put_u64_le(m.watermark);
+    let body = buf.freeze();
+    let crc = crate::persist::crc64(body.as_slice());
+    let mut out = body.to_vec();
+    let mut tail = BytesMut::new();
+    tail.put_u64_le(crc);
+    out.extend_from_slice(tail.freeze().as_slice());
+    crate::persist::atomic_save(
+        &out,
+        &dir.join(MANIFEST_FILE),
+        &mut crate::fault::StdIo,
+        &SaveOptions::default(),
+    )
+}
+
+fn read_manifest(dir: &Path) -> Result<Manifest> {
+    let path = dir.join(MANIFEST_FILE);
+    let bytes = fs::read(&path).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::NotFound {
+            walerr(format!(
+                "{} is not a durable index directory (no CHECKPOINT manifest)",
+                dir.display()
+            ))
+        } else {
+            walio("read manifest", e)
+        }
+    })?;
+    if bytes.len() != 32 || &bytes[..8] != MANIFEST_MAGIC {
+        return Err(walerr("corrupt CHECKPOINT manifest"));
+    }
+    let stored = u64::from_le_bytes(bytes[24..32].try_into().expect("length checked"));
+    if crate::persist::crc64(&bytes[..24]) != stored {
+        return Err(walerr("CHECKPOINT manifest failed its CRC"));
+    }
+    let mut buf = Bytes::copy_from_slice(&bytes[8..24]);
+    Ok(Manifest {
+        generation: buf.get_u64_le(),
+        watermark: buf.get_u64_le(),
+    })
+}
+
+fn snapshot_path(dir: &Path, generation: u64) -> PathBuf {
+    dir.join(format!("snapshot-{generation:020}.plnr"))
+}
+
+/// Best-effort removal of snapshot generations other than `current` (a
+/// crash between manifest publish and cleanup leaves one behind).
+fn sweep_snapshots(dir: &Path, current: u64) {
+    let keep = snapshot_path(dir, current);
+    if let Ok(entries) = fs::read_dir(dir) {
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if name.starts_with("snapshot-") && name.ends_with(".plnr") && entry.path() != keep {
+                let _ = fs::remove_file(entry.path());
+            }
+        }
+    }
+}
+
+fn ensure_fresh_dir(dir: &Path) -> Result<()> {
+    fs::create_dir_all(dir).map_err(|e| walio("create durable dir", e))?;
+    if dir.join(MANIFEST_FILE).exists() {
+        return Err(walerr(format!(
+            "{} already contains a durable index (open it with open_durable)",
+            dir.display()
+        )));
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Durable planar set
+// ---------------------------------------------------------------------------
+
+/// A [`PlanarIndexSet`] whose mutations are write-ahead logged. Created by
+/// [`DurablePlanarIndexSet::create`] or
+/// [`PlanarIndexSet::open_durable`]; queries go through [`Self::set`] (or
+/// `Deref`), mutations through the logging wrappers here.
+#[derive(Debug)]
+pub struct DurablePlanarIndexSet<S: KeyStore = VecStore> {
+    set: PlanarIndexSet<S>,
+    wal: WalWriter,
+    dir: PathBuf,
+    generation: u64,
+    next_lsn: Lsn,
+    save_opts: SaveOptions,
+}
+
+impl<S: KeyStore> PlanarIndexSet<S> {
+    /// Open a durable directory: load the newest valid snapshot
+    /// ([`Self::load_or_recover`] semantics per index section), repair the
+    /// WAL's torn tail, and replay every record above the manifest's LSN
+    /// watermark. The report carries both snapshot *and* replay
+    /// provenance. Torn tails are truncated and reported — never an error.
+    ///
+    /// # Errors
+    ///
+    /// [`PlanarError::Persist`] if the directory was never initialized
+    /// ([`DurablePlanarIndexSet::create`]), on real I/O failures, or if
+    /// the snapshot core itself is unrecoverable.
+    pub fn open_durable(
+        dir: impl AsRef<Path>,
+        opts: WalOptions,
+    ) -> Result<(DurablePlanarIndexSet<S>, RecoveryReport)> {
+        let dir = dir.as_ref();
+        let m = read_manifest(dir)?;
+        let (mut set, mut report) = Self::load_or_recover(snapshot_path(dir, m.generation))?;
+        let (wal, scan) = WalWriter::open_repair(&dir.join(WAL_SUBDIR), opts)?;
+        let mut watermark = m.watermark;
+        let mut replayed = 0usize;
+        for (lsn, rec) in &scan.frames {
+            if *lsn <= m.watermark {
+                continue;
+            }
+            replay_planar(&mut set, *lsn, rec)?;
+            watermark = *lsn;
+            replayed += 1;
+        }
+        report.wal_replayed = replayed;
+        report.wal_dropped = scan.dropped_records;
+        report.wal_torn_bytes = scan.torn_bytes;
+        report.wal_watermark = watermark;
+        let next_lsn = wal.last_lsn.max(watermark) + 1;
+        sweep_snapshots(dir, m.generation);
+        Ok((
+            DurablePlanarIndexSet {
+                set,
+                wal,
+                dir: dir.to_path_buf(),
+                generation: m.generation,
+                next_lsn,
+                save_opts: SaveOptions::default(),
+            },
+            report,
+        ))
+    }
+}
+
+fn replay_planar<S: KeyStore>(
+    set: &mut PlanarIndexSet<S>,
+    lsn: Lsn,
+    rec: &WalRecord,
+) -> Result<()> {
+    match rec {
+        WalRecord::Insert { id, row } => {
+            let got = set.insert_point(row)?;
+            if got != *id {
+                return Err(walerr(format!(
+                    "replay diverged at lsn {lsn}: insert assigned id {got}, log says {id}"
+                )));
+            }
+            Ok(())
+        }
+        WalRecord::Update { id, row } => set.update_point(*id, row),
+        WalRecord::Delete { id } => set.delete_point(*id),
+        WalRecord::Compact { threshold: None } => {
+            set.compact();
+            Ok(())
+        }
+        WalRecord::Compact { threshold: Some(t) } => {
+            set.compact_if(*t);
+            Ok(())
+        }
+        WalRecord::Checkpoint { .. } => Ok(()),
+    }
+}
+
+/// Pre-validate a mutation row so nothing unreplayable is ever logged:
+/// the write-ahead contract is log-then-apply, so the apply must be
+/// infallible once the record is on disk.
+fn validate_row(dim: usize, row: &[f64]) -> Result<()> {
+    if row.len() != dim {
+        return Err(PlanarError::DimensionMismatch {
+            expected: dim,
+            found: row.len(),
+        });
+    }
+    if row.iter().any(|v| !v.is_finite()) {
+        return Err(PlanarError::NotFinite);
+    }
+    Ok(())
+}
+
+impl<S: KeyStore> DurablePlanarIndexSet<S> {
+    /// Initialize `dir` as a durable home for `set`: write snapshot
+    /// generation 1, publish the manifest at watermark 0, and open an
+    /// empty WAL.
+    ///
+    /// # Errors
+    ///
+    /// [`PlanarError::Persist`] on I/O failure or if `dir` already holds a
+    /// durable index.
+    pub fn create(dir: impl AsRef<Path>, set: PlanarIndexSet<S>, opts: WalOptions) -> Result<Self> {
+        let dir = dir.as_ref();
+        ensure_fresh_dir(dir)?;
+        set.save_to(snapshot_path(dir, 1))?;
+        write_manifest(
+            dir,
+            Manifest {
+                generation: 1,
+                watermark: 0,
+            },
+        )?;
+        let (wal, _) = WalWriter::open_repair(&dir.join(WAL_SUBDIR), opts)?;
+        Ok(Self {
+            set,
+            wal,
+            dir: dir.to_path_buf(),
+            generation: 1,
+            next_lsn: 1,
+            save_opts: SaveOptions::default(),
+        })
+    }
+
+    /// The underlying set, for queries and inspection.
+    pub fn set(&self) -> &PlanarIndexSet<S> {
+        &self.set
+    }
+
+    /// Current WAL health (segments, unsynced records, last LSN).
+    pub fn wal_health(&self) -> WalHealth {
+        self.wal.health()
+    }
+
+    /// Retry/backoff schedule for checkpoint snapshot writes.
+    pub fn save_options(mut self, opts: SaveOptions) -> Self {
+        self.save_opts = opts;
+        self
+    }
+
+    fn log_apply<T>(
+        &mut self,
+        rec: WalRecord,
+        apply: impl FnOnce(&mut PlanarIndexSet<S>) -> Result<T>,
+    ) -> Result<T> {
+        let lsn = self.next_lsn;
+        self.wal.append(lsn, &rec)?;
+        self.next_lsn = lsn + 1;
+        apply(&mut self.set).map_err(|e| {
+            // Pre-validation makes the apply infallible; reaching this
+            // means the in-memory state and the log have diverged.
+            PlanarError::Internal(format!(
+                "mutation failed after WAL append at lsn {lsn}: {e}"
+            ))
+        })
+    }
+
+    /// Log-then-insert. See [`PlanarIndexSet::insert_point`].
+    ///
+    /// # Errors
+    ///
+    /// Row validation errors (checked *before* logging), or
+    /// [`PlanarError::Persist`] if the append failed (nothing applied).
+    pub fn insert_point(&mut self, row: &[f64]) -> Result<PointId> {
+        validate_row(self.set.dim(), row)?;
+        let id = self.set.table().len() as PointId;
+        self.log_apply(
+            WalRecord::Insert {
+                id,
+                row: row.to_vec(),
+            },
+            |set| set.insert_point(row),
+        )
+    }
+
+    /// Log-then-update. See [`PlanarIndexSet::update_point`].
+    ///
+    /// # Errors
+    ///
+    /// Validation/[`PlanarError::PointNotFound`] (checked before
+    /// logging), or [`PlanarError::Persist`] on append failure.
+    pub fn update_point(&mut self, id: PointId, row: &[f64]) -> Result<()> {
+        validate_row(self.set.dim(), row)?;
+        if !self.set.is_live(id) {
+            return Err(PlanarError::PointNotFound(id));
+        }
+        self.log_apply(
+            WalRecord::Update {
+                id,
+                row: row.to_vec(),
+            },
+            |set| set.update_point(id, row),
+        )
+    }
+
+    /// Log-then-delete. See [`PlanarIndexSet::delete_point`].
+    ///
+    /// # Errors
+    ///
+    /// [`PlanarError::PointNotFound`] (checked before logging), or
+    /// [`PlanarError::Persist`] on append failure.
+    pub fn delete_point(&mut self, id: PointId) -> Result<()> {
+        if !self.set.is_live(id) {
+            return Err(PlanarError::PointNotFound(id));
+        }
+        self.log_apply(WalRecord::Delete { id }, |set| set.delete_point(id))
+    }
+
+    /// Log-then-compact (unconditional). Compaction renumbers ids; see
+    /// [`PlanarIndexSet::compact`]. Replay re-runs the same deterministic
+    /// compaction, so only the marker is logged.
+    ///
+    /// # Errors
+    ///
+    /// [`PlanarError::Persist`] on append failure.
+    pub fn compact(&mut self) -> Result<Vec<Option<PointId>>> {
+        self.log_apply(WalRecord::Compact { threshold: None }, |set| {
+            Ok(set.compact())
+        })
+    }
+
+    /// Log-then-compact when the tombstone fraction exceeds `threshold`.
+    /// The marker is logged unconditionally — replay makes the same
+    /// decision from the same state. See [`PlanarIndexSet::compact_if`].
+    ///
+    /// # Errors
+    ///
+    /// [`PlanarError::Persist`] on append failure.
+    pub fn compact_if(&mut self, threshold: f64) -> Result<Option<Vec<Option<PointId>>>> {
+        self.log_apply(
+            WalRecord::Compact {
+                threshold: Some(threshold),
+            },
+            |set| Ok(set.compact_if(threshold)),
+        )
+    }
+
+    /// Checkpoint-then-truncate: append a `Checkpoint` marker, fsync the
+    /// log, atomically write the next snapshot generation, publish it in
+    /// the manifest, then delete the covered WAL segments. Every step is
+    /// crash-safe: a crash at any point recovers to either the old or the
+    /// new checkpoint, never in between. Returns the new watermark.
+    ///
+    /// # Errors
+    ///
+    /// [`PlanarError::Persist`] on I/O failure.
+    pub fn checkpoint(&mut self) -> Result<Lsn> {
+        let watermark = self.next_lsn;
+        self.wal
+            .append(watermark, &WalRecord::Checkpoint { watermark })?;
+        self.next_lsn = watermark + 1;
+        self.wal.sync()?;
+        let generation = self.generation + 1;
+        self.set.save_to_with(
+            snapshot_path(&self.dir, generation),
+            &mut crate::fault::StdIo,
+            &self.save_opts,
+        )?;
+        write_manifest(
+            &self.dir,
+            Manifest {
+                generation,
+                watermark,
+            },
+        )?;
+        self.generation = generation;
+        self.wal.truncate_all(watermark + 1)?;
+        sweep_snapshots(&self.dir, generation);
+        Ok(watermark)
+    }
+
+    /// Alias for [`Self::checkpoint`] — the durable counterpart of
+    /// [`PlanarIndexSet::save_to`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::checkpoint`].
+    pub fn save(&mut self) -> Result<Lsn> {
+        self.checkpoint()
+    }
+
+    /// Force buffered WAL records to stable storage now, regardless of
+    /// the fsync policy.
+    ///
+    /// # Errors
+    ///
+    /// [`PlanarError::Persist`] on fsync failure.
+    pub fn sync(&mut self) -> Result<()> {
+        self.wal.sync()
+    }
+
+    /// Consume the wrapper, returning the in-memory set (the directory
+    /// keeps its durable state).
+    pub fn into_inner(self) -> PlanarIndexSet<S> {
+        self.set
+    }
+}
+
+impl<S: KeyStore> std::ops::Deref for DurablePlanarIndexSet<S> {
+    type Target = PlanarIndexSet<S>;
+
+    fn deref(&self) -> &Self::Target {
+        &self.set
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Durable sharded set
+// ---------------------------------------------------------------------------
+
+/// A [`ShardedIndexSet`] with one write-ahead log **per shard**, all
+/// sharing a single global LSN counter. `Insert` records carry their
+/// assigned global id, so each shard's log replays independently — a torn
+/// tail on one shard never blocks another shard's recovery.
+#[derive(Debug)]
+pub struct DurableShardedIndexSet<S: KeyStore = VecStore> {
+    set: ShardedIndexSet<S>,
+    wals: Vec<WalWriter>,
+    dir: PathBuf,
+    generation: u64,
+    next_lsn: Lsn,
+    save_opts: SaveOptions,
+}
+
+fn shard_wal_dir(dir: &Path, shard: usize) -> PathBuf {
+    dir.join(WAL_SUBDIR).join(format!("shard-{shard:04}"))
+}
+
+impl<S: KeyStore> ShardedIndexSet<S> {
+    /// Sharded counterpart of [`PlanarIndexSet::open_durable`]: load the
+    /// newest valid sharded snapshot, repair every shard's WAL tail, and
+    /// replay each shard's records above the watermark. The report's
+    /// `shard_watermarks` give each shard's last applied LSN.
+    ///
+    /// # Errors
+    ///
+    /// As [`PlanarIndexSet::open_durable`].
+    pub fn open_durable(
+        dir: impl AsRef<Path>,
+        opts: WalOptions,
+    ) -> Result<(DurableShardedIndexSet<S>, ShardedRecoveryReport)> {
+        let dir = dir.as_ref();
+        let m = read_manifest(dir)?;
+        let (mut set, mut report) = Self::load_or_recover(snapshot_path(dir, m.generation))?;
+        let shards = set.num_shards();
+        let mut wals = Vec::with_capacity(shards);
+        let mut replayed = 0usize;
+        let mut dropped = 0usize;
+        let mut torn = 0usize;
+        let mut watermarks = vec![m.watermark; shards];
+        let mut max_lsn = m.watermark;
+        for (shard, watermark) in watermarks.iter_mut().enumerate() {
+            let (wal, scan) = WalWriter::open_repair(&shard_wal_dir(dir, shard), opts)?;
+            for (lsn, rec) in &scan.frames {
+                if *lsn <= m.watermark {
+                    continue;
+                }
+                set.replay_record(shard, *lsn, rec)?;
+                *watermark = *lsn;
+                replayed += 1;
+            }
+            dropped += scan.dropped_records;
+            torn += scan.torn_bytes;
+            max_lsn = max_lsn.max(wal.last_lsn).max(*watermark);
+            wals.push(wal);
+        }
+        report.wal_replayed = replayed;
+        report.wal_dropped = dropped;
+        report.wal_torn_bytes = torn;
+        report.shard_watermarks = watermarks;
+        sweep_snapshots(dir, m.generation);
+        Ok((
+            DurableShardedIndexSet {
+                set,
+                wals,
+                dir: dir.to_path_buf(),
+                generation: m.generation,
+                next_lsn: max_lsn + 1,
+                save_opts: SaveOptions::default(),
+            },
+            report,
+        ))
+    }
+}
+
+impl<S: KeyStore> DurableShardedIndexSet<S> {
+    /// Initialize `dir` as a durable home for a sharded set. See
+    /// [`DurablePlanarIndexSet::create`].
+    ///
+    /// # Errors
+    ///
+    /// [`PlanarError::Persist`] on I/O failure or if `dir` already holds
+    /// a durable index.
+    pub fn create(
+        dir: impl AsRef<Path>,
+        set: ShardedIndexSet<S>,
+        opts: WalOptions,
+    ) -> Result<Self> {
+        let dir = dir.as_ref();
+        ensure_fresh_dir(dir)?;
+        set.save_to(snapshot_path(dir, 1))?;
+        write_manifest(
+            dir,
+            Manifest {
+                generation: 1,
+                watermark: 0,
+            },
+        )?;
+        let mut wals = Vec::with_capacity(set.num_shards());
+        for shard in 0..set.num_shards() {
+            let (wal, _) = WalWriter::open_repair(&shard_wal_dir(dir, shard), opts)?;
+            wals.push(wal);
+        }
+        Ok(Self {
+            set,
+            wals,
+            dir: dir.to_path_buf(),
+            generation: 1,
+            next_lsn: 1,
+            save_opts: SaveOptions::default(),
+        })
+    }
+
+    /// The underlying sharded set, for queries and inspection.
+    pub fn set(&self) -> &ShardedIndexSet<S> {
+        &self.set
+    }
+
+    /// Aggregate WAL health across all shards.
+    pub fn wal_health(&self) -> WalHealth {
+        let mut h = WalHealth::default();
+        for w in &self.wals {
+            h.merge(&w.health());
+        }
+        h
+    }
+
+    /// Retry/backoff schedule for checkpoint snapshot writes.
+    pub fn save_options(mut self, opts: SaveOptions) -> Self {
+        self.save_opts = opts;
+        self
+    }
+
+    /// Log-then-insert, routed by the partitioner; the record lands in
+    /// the target shard's WAL with the assigned global id. See
+    /// [`ShardedIndexSet::insert_point`].
+    ///
+    /// # Errors
+    ///
+    /// Row validation (before logging) or [`PlanarError::Persist`] on
+    /// append failure.
+    pub fn insert_point(&mut self, row: &[f64]) -> Result<PointId> {
+        validate_row(self.set.dim(), row)?;
+        let global = self.set.next_global();
+        let shard = self.set.partitioner().route(global, row);
+        let lsn = self.next_lsn;
+        self.wals[shard].append(
+            lsn,
+            &WalRecord::Insert {
+                id: global,
+                row: row.to_vec(),
+            },
+        )?;
+        self.next_lsn = lsn + 1;
+        let got = self.set.insert_point(row).map_err(|e| {
+            PlanarError::Internal(format!(
+                "mutation failed after WAL append at lsn {lsn}: {e}"
+            ))
+        })?;
+        debug_assert_eq!(got, global);
+        Ok(got)
+    }
+
+    /// Log-then-update on the point's shard. See
+    /// [`ShardedIndexSet::update_point`].
+    ///
+    /// # Errors
+    ///
+    /// Validation/[`PlanarError::PointNotFound`] (before logging) or
+    /// [`PlanarError::Persist`] on append failure.
+    pub fn update_point(&mut self, id: PointId, row: &[f64]) -> Result<()> {
+        validate_row(self.set.dim(), row)?;
+        let shard = self
+            .set
+            .shard_of(id)
+            .ok_or(PlanarError::PointNotFound(id))?;
+        let lsn = self.next_lsn;
+        self.wals[shard].append(
+            lsn,
+            &WalRecord::Update {
+                id,
+                row: row.to_vec(),
+            },
+        )?;
+        self.next_lsn = lsn + 1;
+        self.set.update_point(id, row).map_err(|e| {
+            PlanarError::Internal(format!(
+                "mutation failed after WAL append at lsn {lsn}: {e}"
+            ))
+        })
+    }
+
+    /// Log-then-delete on the point's shard. See
+    /// [`ShardedIndexSet::delete_point`].
+    ///
+    /// # Errors
+    ///
+    /// [`PlanarError::PointNotFound`] (before logging) or
+    /// [`PlanarError::Persist`] on append failure.
+    pub fn delete_point(&mut self, id: PointId) -> Result<()> {
+        let shard = self
+            .set
+            .shard_of(id)
+            .ok_or(PlanarError::PointNotFound(id))?;
+        let lsn = self.next_lsn;
+        self.wals[shard].append(lsn, &WalRecord::Delete { id })?;
+        self.next_lsn = lsn + 1;
+        self.set.delete_point(id).map_err(|e| {
+            PlanarError::Internal(format!(
+                "mutation failed after WAL append at lsn {lsn}: {e}"
+            ))
+        })
+    }
+
+    /// Log-then-compact: the marker is broadcast to **every** shard's WAL
+    /// at one shared LSN (shard-local replay applies each shard's own
+    /// compaction). See [`ShardedIndexSet::compact`].
+    ///
+    /// # Errors
+    ///
+    /// [`PlanarError::Persist`] on append failure.
+    pub fn compact(&mut self, threshold: f64) -> Result<Vec<usize>> {
+        let lsn = self.next_lsn;
+        let rec = WalRecord::Compact {
+            threshold: Some(threshold),
+        };
+        for wal in &mut self.wals {
+            wal.append(lsn, &rec)?;
+        }
+        self.next_lsn = lsn + 1;
+        Ok(self.set.compact(threshold))
+    }
+
+    /// Checkpoint-then-truncate across every shard. See
+    /// [`DurablePlanarIndexSet::checkpoint`].
+    ///
+    /// # Errors
+    ///
+    /// [`PlanarError::Persist`] on I/O failure.
+    pub fn checkpoint(&mut self) -> Result<Lsn> {
+        let watermark = self.next_lsn;
+        for wal in &mut self.wals {
+            wal.append(watermark, &WalRecord::Checkpoint { watermark })?;
+            wal.sync()?;
+        }
+        self.next_lsn = watermark + 1;
+        let generation = self.generation + 1;
+        self.set.save_to_with(
+            snapshot_path(&self.dir, generation),
+            &mut crate::fault::StdIo,
+            &self.save_opts,
+        )?;
+        write_manifest(
+            &self.dir,
+            Manifest {
+                generation,
+                watermark,
+            },
+        )?;
+        self.generation = generation;
+        for wal in &mut self.wals {
+            wal.truncate_all(watermark + 1)?;
+        }
+        sweep_snapshots(&self.dir, generation);
+        Ok(watermark)
+    }
+
+    /// Alias for [`Self::checkpoint`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::checkpoint`].
+    pub fn save(&mut self) -> Result<Lsn> {
+        self.checkpoint()
+    }
+
+    /// Force every shard's buffered records to stable storage now.
+    ///
+    /// # Errors
+    ///
+    /// [`PlanarError::Persist`] on fsync failure.
+    pub fn sync(&mut self) -> Result<()> {
+        for wal in &mut self.wals {
+            wal.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Consume the wrapper, returning the in-memory sharded set.
+    pub fn into_inner(self) -> ShardedIndexSet<S> {
+        self.set
+    }
+}
+
+impl<S: KeyStore> std::ops::Deref for DurableShardedIndexSet<S> {
+    type Target = ShardedIndexSet<S>;
+
+    fn deref(&self) -> &Self::Target {
+        &self.set
+    }
+}
+
+// Query pass-throughs so a durable set is a drop-in for the plain one in
+// batch-serving code (Deref covers `&self` methods already; these exist
+// for discoverability in docs).
+impl<S: KeyStore> DurablePlanarIndexSet<S> {
+    /// See [`PlanarIndexSet::query_batch`].
+    ///
+    /// # Errors
+    ///
+    /// See [`PlanarIndexSet::query_batch`].
+    pub fn query_batch(
+        &self,
+        qs: &[InequalityQuery],
+        exec: &ExecutionConfig,
+    ) -> Result<Vec<QueryOutcome>>
+    where
+        S: Sync,
+    {
+        self.set.query_batch(qs, exec)
+    }
+
+    /// See [`PlanarIndexSet::top_k_batch`].
+    ///
+    /// # Errors
+    ///
+    /// See [`PlanarIndexSet::top_k_batch`].
+    pub fn top_k_batch(&self, qs: &[TopKQuery], exec: &ExecutionConfig) -> Result<Vec<TopKOutcome>>
+    where
+        S: Sync,
+    {
+        self.set.top_k_batch(qs, exec)
+    }
+}
+
+impl<S: KeyStore> DurableShardedIndexSet<S> {
+    /// See [`ShardedIndexSet::query_batch`].
+    ///
+    /// # Errors
+    ///
+    /// See [`ShardedIndexSet::query_batch`].
+    pub fn query_batch(
+        &self,
+        qs: &[InequalityQuery],
+        exec: &ExecutionConfig,
+    ) -> Result<Vec<ShardedQueryOutcome>>
+    where
+        S: Sync,
+    {
+        self.set.query_batch(qs, exec)
+    }
+
+    /// See [`ShardedIndexSet::top_k_batch`].
+    ///
+    /// # Errors
+    ///
+    /// See [`ShardedIndexSet::top_k_batch`].
+    pub fn top_k_batch(
+        &self,
+        qs: &[TopKQuery],
+        exec: &ExecutionConfig,
+    ) -> Result<Vec<ShardedTopKOutcome>>
+    where
+        S: Sync,
+    {
+        self.set.top_k_batch(qs, exec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::ParameterDomain;
+    use crate::fault::{self, TempDir, WalFaultKind};
+    use crate::multi::IndexConfig;
+    use crate::query::{Cmp, InequalityQuery, TopKQuery};
+    use crate::shard::{ShardConfig, ShardedIndexSet};
+    use crate::table::FeatureTable;
+    use crate::VecStore;
+    use std::sync::Mutex;
+
+    /// The WAL fault trigger is process-global and *every* writer consults
+    /// it, so tests that open writers serialize on this lock to keep an
+    /// armed fault from being consumed by a neighbor's appends.
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    fn serialized() -> std::sync::MutexGuard<'static, ()> {
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn small_set(n: usize) -> PlanarIndexSet<VecStore> {
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| vec![1.0 + (i % 13) as f64, 1.0 + (i % 7) as f64])
+            .collect();
+        let table = FeatureTable::from_rows(2, rows).unwrap();
+        let domain = ParameterDomain::uniform_continuous(2, 0.5, 2.0).unwrap();
+        PlanarIndexSet::build(table, domain, IndexConfig::with_budget(4)).unwrap()
+    }
+
+    fn probes() -> Vec<InequalityQuery> {
+        [10.0, 14.0, 18.0]
+            .iter()
+            .map(|&b| InequalityQuery::new(vec![1.0, 1.5], Cmp::Leq, b).unwrap())
+            .collect()
+    }
+
+    fn every_record() -> Vec<WalRecord> {
+        vec![
+            WalRecord::Insert {
+                id: 7,
+                row: vec![1.0, -2.5],
+            },
+            WalRecord::Update {
+                id: 3,
+                row: vec![0.25, 9.0],
+            },
+            WalRecord::Delete { id: 11 },
+            WalRecord::Compact { threshold: None },
+            WalRecord::Compact {
+                threshold: Some(0.125),
+            },
+            WalRecord::Checkpoint { watermark: 42 },
+        ]
+    }
+
+    #[test]
+    fn frame_roundtrip_every_record_kind() {
+        for (i, rec) in every_record().iter().enumerate() {
+            let lsn = (i as Lsn + 1) * 10;
+            let frame = encode_frame(lsn, rec);
+            let (consumed, got_lsn, got) = parse_frame(&frame).expect("frame parses");
+            assert_eq!(consumed, frame.len());
+            assert_eq!(got_lsn, lsn);
+            assert_eq!(&got, rec);
+        }
+    }
+
+    #[test]
+    fn parse_frame_rejects_any_corruption() {
+        let frame = encode_frame(
+            5,
+            &WalRecord::Insert {
+                id: 1,
+                row: vec![2.0, 3.0],
+            },
+        );
+        // Truncation anywhere is a torn tail, not a frame.
+        for cut in 0..frame.len() {
+            assert!(parse_frame(&frame[..cut]).is_none(), "cut at {cut}");
+        }
+        // A flip anywhere breaks the CRC (or the CRC itself).
+        for i in 0..frame.len() {
+            let mut bad = frame.clone();
+            bad[i] ^= 0x40;
+            assert!(parse_frame(&bad).is_none(), "flip at {i}");
+        }
+        // A length field past the cap can never drive an allocation.
+        let mut huge = frame.clone();
+        huge[..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(parse_frame(&huge).is_none());
+    }
+
+    #[test]
+    fn writer_rotates_segments_and_scan_reads_in_order() {
+        let _g = serialized();
+        let tmp = TempDir::new("wal_rotate").unwrap();
+        let opts = WalOptions::default()
+            .fsync(FsyncPolicy::OnCheckpoint)
+            .segment_max_bytes(4096);
+        let (mut w, scan) = WalWriter::open_repair(tmp.path(), opts).unwrap();
+        assert!(scan.frames.is_empty());
+        for lsn in 1..=200u64 {
+            w.append(
+                lsn,
+                &WalRecord::Insert {
+                    id: lsn as PointId,
+                    row: vec![lsn as f64, 0.5],
+                },
+            )
+            .unwrap();
+        }
+        assert!(w.health().segments >= 2, "4 KiB segments must rotate");
+        assert_eq!(w.health().last_lsn, 200);
+        // Appends must stay monotonic.
+        assert!(w.append(200, &WalRecord::Delete { id: 0 }).is_err());
+        w.sync().unwrap();
+        drop(w);
+        let scan = scan_dir(tmp.path()).unwrap();
+        assert_eq!(scan.frames.len(), 200);
+        assert!(scan.frames.windows(2).all(|p| p[0].0 < p[1].0));
+        assert_eq!(scan.dropped_records, 0);
+        assert_eq!(scan.torn_bytes, 0);
+    }
+
+    #[test]
+    fn fsync_policy_governs_unsynced_window() {
+        let _g = serialized();
+        let tmp = TempDir::new("wal_fsync").unwrap();
+        let rec = WalRecord::Delete { id: 1 };
+        let (mut w, _) = WalWriter::open_repair(tmp.path(), WalOptions::default()).unwrap();
+        w.append(1, &rec).unwrap();
+        assert_eq!(w.health().unsynced_records, 0, "Always syncs per record");
+        drop(w);
+
+        let tmp = TempDir::new("wal_fsync_n").unwrap();
+        let opts = WalOptions::default().fsync(FsyncPolicy::EveryN(3));
+        let (mut w, _) = WalWriter::open_repair(tmp.path(), opts).unwrap();
+        w.append(1, &rec).unwrap();
+        w.append(2, &rec).unwrap();
+        assert_eq!(w.health().unsynced_records, 2);
+        w.append(3, &rec).unwrap();
+        assert_eq!(w.health().unsynced_records, 0, "third append syncs");
+        drop(w);
+
+        let tmp = TempDir::new("wal_fsync_ckpt").unwrap();
+        let opts = WalOptions::default().fsync(FsyncPolicy::OnCheckpoint);
+        let (mut w, _) = WalWriter::open_repair(tmp.path(), opts).unwrap();
+        for lsn in 1..=5 {
+            w.append(lsn, &rec).unwrap();
+        }
+        assert_eq!(w.health().unsynced_records, 5);
+        w.sync().unwrap();
+        assert_eq!(w.health().unsynced_records, 0);
+    }
+
+    #[test]
+    fn corrupt_frame_drops_suffix_and_repair_truncates() {
+        let _g = serialized();
+        let tmp = TempDir::new("wal_corrupt").unwrap();
+        let (mut w, _) = WalWriter::open_repair(tmp.path(), WalOptions::default()).unwrap();
+        let mut offsets = vec![8u64]; // byte offset of each frame
+        for lsn in 1..=10u64 {
+            let rec = WalRecord::Delete { id: lsn as PointId };
+            offsets.push(offsets.last().unwrap() + encode_frame(lsn, &rec).len() as u64);
+            w.append(lsn, &rec).unwrap();
+        }
+        drop(w);
+        // Flip a payload byte of frame 8 (1-based): its length field is
+        // intact, so frames 8..=10 stay structurally complete but frame 8
+        // fails its CRC and everything from it on is unusable.
+        let seg = list_segments(tmp.path()).unwrap().pop().unwrap();
+        let mut bytes = fs::read(&seg).unwrap();
+        bytes[offsets[7] as usize + FRAME_HEADER] ^= 0xFF;
+        fs::write(&seg, &bytes).unwrap();
+
+        let scan = scan_dir(tmp.path()).unwrap();
+        assert_eq!(scan.frames.len(), 7);
+        assert_eq!(scan.dropped_records, 3);
+        assert_eq!(scan.torn_bytes, 0);
+
+        // Repair truncates the file at the last valid frame and the writer
+        // resumes from there.
+        let (mut w, scan) = WalWriter::open_repair(tmp.path(), WalOptions::default()).unwrap();
+        assert_eq!(scan.frames.len(), 7);
+        assert_eq!(w.health().last_lsn, 7);
+        assert_eq!(fs::metadata(&seg).unwrap().len(), offsets[7]);
+        w.append(8, &WalRecord::Delete { id: 99 }).unwrap();
+        drop(w);
+        let scan = scan_dir(tmp.path()).unwrap();
+        assert_eq!(scan.frames.len(), 8);
+        assert_eq!(scan.dropped_records, 0);
+    }
+
+    #[test]
+    fn partial_tail_bytes_are_torn_not_dropped() {
+        let _g = serialized();
+        let tmp = TempDir::new("wal_torn").unwrap();
+        let (mut w, _) = WalWriter::open_repair(tmp.path(), WalOptions::default()).unwrap();
+        for lsn in 1..=4u64 {
+            w.append(lsn, &WalRecord::Delete { id: lsn as PointId })
+                .unwrap();
+        }
+        drop(w);
+        let seg = list_segments(tmp.path()).unwrap().pop().unwrap();
+        let frame = encode_frame(5, &WalRecord::Delete { id: 5 });
+        let mut bytes = fs::read(&seg).unwrap();
+        bytes.extend_from_slice(&frame[..frame.len() / 2]);
+        fs::write(&seg, &bytes).unwrap();
+
+        let scan = scan_dir(tmp.path()).unwrap();
+        assert_eq!(scan.frames.len(), 4);
+        assert_eq!(scan.dropped_records, 0);
+        assert_eq!(scan.torn_bytes, frame.len() / 2);
+    }
+
+    #[test]
+    fn manifest_roundtrip_and_corruption_are_typed() {
+        let _g = serialized();
+        let tmp = TempDir::new("wal_manifest").unwrap();
+        let m = Manifest {
+            generation: 9,
+            watermark: 1234,
+        };
+        write_manifest(tmp.path(), m).unwrap();
+        assert_eq!(read_manifest(tmp.path()).unwrap(), m);
+
+        let mut bytes = fs::read(tmp.file(MANIFEST_FILE)).unwrap();
+        bytes[10] ^= 0x01;
+        fs::write(tmp.file(MANIFEST_FILE), &bytes).unwrap();
+        let err = read_manifest(tmp.path()).unwrap_err().to_string();
+        assert!(err.contains("CRC"), "got: {err}");
+
+        let empty = TempDir::new("wal_manifest_missing").unwrap();
+        let err = read_manifest(empty.path()).unwrap_err().to_string();
+        assert!(err.contains("not a durable index directory"), "got: {err}");
+    }
+
+    #[test]
+    fn durable_planar_recovers_unsnapshotted_mutations() {
+        let _g = serialized();
+        let tmp = TempDir::new("wal_planar_rt").unwrap();
+        let opts = WalOptions::default().fsync(FsyncPolicy::EveryN(4));
+        let mut durable = DurablePlanarIndexSet::create(tmp.path(), small_set(120), opts).unwrap();
+        let mut twin = small_set(120);
+
+        for i in 0..30 {
+            let row = vec![2.0 + (i % 9) as f64, 3.0 + (i % 5) as f64];
+            let a = durable.insert_point(&row).unwrap();
+            let b = twin.insert_point(&row).unwrap();
+            assert_eq!(a, b);
+        }
+        for id in [3u32, 40, 121] {
+            durable.update_point(id, &[6.5, 6.5]).unwrap();
+            twin.update_point(id, &[6.5, 6.5]).unwrap();
+        }
+        for id in [10u32, 11, 130] {
+            durable.delete_point(id).unwrap();
+            twin.delete_point(id).unwrap();
+        }
+        assert_eq!(durable.compact_if(0.01).unwrap().is_some(), {
+            twin.compact_if(0.01).is_some()
+        });
+        let health = durable.wal_health();
+        assert_eq!(health.last_lsn, 37);
+        drop(durable); // killed without a checkpoint
+
+        let (recovered, report) =
+            PlanarIndexSet::<VecStore>::open_durable(tmp.path(), opts).unwrap();
+        assert_eq!(report.wal_replayed, 37);
+        assert_eq!(report.wal_dropped, 0);
+        assert_eq!(report.wal_torn_bytes, 0);
+        assert_eq!(report.wal_watermark, 37);
+        assert_eq!(recovered.len(), twin.len());
+        for q in probes() {
+            assert_eq!(
+                recovered.query(&q).unwrap().sorted_ids(),
+                twin.query(&q).unwrap().sorted_ids()
+            );
+        }
+        let tk = TopKQuery::new(probes().remove(1), 5).unwrap();
+        assert_eq!(
+            recovered.top_k(&tk).unwrap().neighbors,
+            twin.top_k(&tk).unwrap().neighbors
+        );
+    }
+
+    #[test]
+    fn checkpoint_truncates_and_only_later_records_replay() {
+        let _g = serialized();
+        let tmp = TempDir::new("wal_ckpt").unwrap();
+        let opts = WalOptions::default();
+        let mut durable = DurablePlanarIndexSet::create(tmp.path(), small_set(60), opts).unwrap();
+        let mut twin = small_set(60);
+        for i in 0..10 {
+            let row = vec![2.0 + i as f64, 4.0];
+            durable.insert_point(&row).unwrap();
+            twin.insert_point(&row).unwrap();
+        }
+        let watermark = durable.save().unwrap();
+        assert_eq!(watermark, 11, "10 inserts + checkpoint marker");
+        let h = durable.wal_health();
+        assert_eq!(h.segments, 1);
+        assert_eq!(h.last_lsn, watermark, "log truncated to the watermark");
+        assert!(
+            !snapshot_path(tmp.path(), 1).exists(),
+            "stale snapshot generation swept"
+        );
+        assert!(snapshot_path(tmp.path(), 2).exists());
+
+        durable.delete_point(5).unwrap();
+        twin.delete_point(5).unwrap();
+        drop(durable);
+
+        let (recovered, report) =
+            PlanarIndexSet::<VecStore>::open_durable(tmp.path(), opts).unwrap();
+        assert_eq!(report.wal_replayed, 1, "pre-checkpoint records are covered");
+        for q in probes() {
+            assert_eq!(
+                recovered.query(&q).unwrap().sorted_ids(),
+                twin.query(&q).unwrap().sorted_ids()
+            );
+        }
+    }
+
+    #[test]
+    fn create_and_open_misuse_is_typed() {
+        let _g = serialized();
+        let tmp = TempDir::new("wal_misuse").unwrap();
+        let opts = WalOptions::default();
+        let d = DurablePlanarIndexSet::create(tmp.path(), small_set(20), opts).unwrap();
+        drop(d);
+        let err = DurablePlanarIndexSet::create(tmp.path(), small_set(20), opts)
+            .unwrap_err()
+            .to_string();
+        assert!(
+            err.contains("already contains a durable index"),
+            "got: {err}"
+        );
+
+        let fresh = TempDir::new("wal_misuse_fresh").unwrap();
+        let err = PlanarIndexSet::<VecStore>::open_durable(fresh.path(), opts)
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("not a durable index directory"), "got: {err}");
+    }
+
+    #[test]
+    fn fail_append_rejects_mutation_without_applying() {
+        let _g = serialized();
+        let tmp = TempDir::new("wal_failapp").unwrap();
+        let mut durable =
+            DurablePlanarIndexSet::create(tmp.path(), small_set(40), WalOptions::default())
+                .unwrap();
+        let before = durable.len();
+        fault::arm_wal_fault(0, WalFaultKind::FailAppend);
+        let err = durable.insert_point(&[5.0, 5.0]).unwrap_err().to_string();
+        fault::disarm_wal_fault();
+        assert!(err.contains("transient append failure"), "got: {err}");
+        assert_eq!(durable.len(), before, "nothing applied on append failure");
+        // The writer survives a transient failure.
+        durable.insert_point(&[5.0, 5.0]).unwrap();
+        assert_eq!(durable.len(), before + 1);
+    }
+
+    #[test]
+    fn torn_append_crash_recovers_durable_prefix() {
+        let _g = serialized();
+        let tmp = TempDir::new("wal_tornapp").unwrap();
+        let opts = WalOptions::default();
+        let mut durable = DurablePlanarIndexSet::create(tmp.path(), small_set(40), opts).unwrap();
+        let mut twin = small_set(40);
+        for i in 0..6 {
+            let row = vec![3.0 + i as f64, 2.0];
+            durable.insert_point(&row).unwrap();
+            twin.insert_point(&row).unwrap();
+        }
+        fault::arm_wal_fault(6, WalFaultKind::TornAppend { keep: 9 });
+        assert!(durable.insert_point(&[9.0, 9.0]).is_err());
+        // The writer is dead from here on — like after a power cut.
+        let err = durable.delete_point(0).unwrap_err().to_string();
+        assert!(err.contains("crashed"), "got: {err}");
+        fault::disarm_wal_fault();
+        drop(durable);
+
+        let (recovered, report) =
+            PlanarIndexSet::<VecStore>::open_durable(tmp.path(), opts).unwrap();
+        assert_eq!(report.wal_replayed, 6);
+        assert_eq!(report.wal_torn_bytes, 9, "the half-written frame");
+        assert_eq!(report.wal_dropped, 0);
+        for q in probes() {
+            assert_eq!(
+                recovered.query(&q).unwrap().sorted_ids(),
+                twin.query(&q).unwrap().sorted_ids()
+            );
+        }
+        // The repaired log keeps accepting appends.
+        let (mut durable, _) = PlanarIndexSet::<VecStore>::open_durable(tmp.path(), opts).unwrap();
+        durable.insert_point(&[1.0, 1.0]).unwrap();
+    }
+
+    #[test]
+    fn crash_after_append_keeps_the_whole_record() {
+        let _g = serialized();
+        let tmp = TempDir::new("wal_crashafter").unwrap();
+        let opts = WalOptions::default();
+        let mut durable = DurablePlanarIndexSet::create(tmp.path(), small_set(40), opts).unwrap();
+        let mut twin = small_set(40);
+        for i in 0..3 {
+            let row = vec![3.0 + i as f64, 2.0];
+            durable.insert_point(&row).unwrap();
+            twin.insert_point(&row).unwrap();
+        }
+        fault::arm_wal_fault(3, WalFaultKind::CrashAfterAppend);
+        // The 4th mutation is fully logged before the "crash".
+        durable.insert_point(&[8.0, 8.0]).unwrap();
+        twin.insert_point(&[8.0, 8.0]).unwrap();
+        assert!(durable.insert_point(&[1.0, 1.0]).is_err());
+        fault::disarm_wal_fault();
+        drop(durable);
+
+        let (recovered, report) =
+            PlanarIndexSet::<VecStore>::open_durable(tmp.path(), opts).unwrap();
+        assert_eq!(report.wal_replayed, 4);
+        for q in probes() {
+            assert_eq!(
+                recovered.query(&q).unwrap().sorted_ids(),
+                twin.query(&q).unwrap().sorted_ids()
+            );
+        }
+    }
+
+    #[test]
+    fn durable_sharded_recovers_across_shard_logs() {
+        let _g = serialized();
+        let tmp = TempDir::new("wal_sharded_rt").unwrap();
+        let opts = WalOptions::default().fsync(FsyncPolicy::EveryN(8));
+        let build = || {
+            let rows: Vec<Vec<f64>> = (0..90)
+                .map(|i| vec![1.0 + (i % 11) as f64, 1.0 + (i % 6) as f64])
+                .collect();
+            let table = FeatureTable::from_rows(2, rows).unwrap();
+            let domain = ParameterDomain::uniform_continuous(2, 0.5, 2.0).unwrap();
+            ShardedIndexSet::<VecStore>::build(
+                table,
+                domain,
+                IndexConfig::with_budget(3),
+                ShardConfig::round_robin(3),
+            )
+            .unwrap()
+        };
+        let mut durable = DurableShardedIndexSet::create(tmp.path(), build(), opts).unwrap();
+        let mut twin = build();
+        for i in 0..20 {
+            let row = vec![2.0 + (i % 7) as f64, 3.0];
+            assert_eq!(
+                durable.insert_point(&row).unwrap(),
+                twin.insert_point(&row).unwrap()
+            );
+        }
+        for id in [1u32, 50, 95] {
+            durable.update_point(id, &[4.0, 4.0]).unwrap();
+            twin.update_point(id, &[4.0, 4.0]).unwrap();
+        }
+        for id in [2u32, 51, 96] {
+            durable.delete_point(id).unwrap();
+            twin.delete_point(id).unwrap();
+        }
+        assert_eq!(durable.compact(0.01).unwrap(), twin.compact(0.01));
+        assert!(durable.wal_health().segments >= 3, "one log per shard");
+        drop(durable); // killed mid-fsync-window
+
+        let (recovered, report) =
+            ShardedIndexSet::<VecStore>::open_durable(tmp.path(), opts).unwrap();
+        assert_eq!(report.shard_watermarks.len(), 3);
+        assert_eq!(report.wal_dropped, 0);
+        assert!(report.wal_replayed >= 26, "20 inserts + 6 point ops");
+        for q in probes() {
+            assert_eq!(
+                recovered.query(&q).unwrap().sorted_ids(),
+                twin.query(&q).unwrap().sorted_ids()
+            );
+        }
+        let tk = TopKQuery::new(probes().remove(0), 7).unwrap();
+        assert_eq!(
+            recovered.top_k(&tk).unwrap().neighbors,
+            twin.top_k(&tk).unwrap().neighbors
+        );
+    }
+}

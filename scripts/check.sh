@@ -13,9 +13,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test =="
 cargo test --workspace -q
 
-echo "== fault suite (injection + durability proptests) =="
+echo "== fault suite (injection + durability + WAL crash proptests) =="
 cargo test -p planar-core -q --features fault-injection \
-  --test fault_injection --test durability_proptests
+  --test fault_injection --test durability_proptests --test wal_crash_proptests
 
 echo "== planar-core unit tests with fault injection compiled in =="
 cargo test -p planar-core -q --features fault-injection --lib

@@ -20,6 +20,8 @@
 //! Runnable walkthroughs live in `examples/`:
 //!
 //! * `quickstart` — index a small dataset and run both query kinds;
+//! * `durability` — write-ahead-logged mutations, crash recovery,
+//!   deadline-budgeted batches;
 //! * `parallel_batch` — batched queries sharded over worker threads;
 //! * `power_consumption` — the Critical_Consume SQL function end to end;
 //! * `moving_objects` — intersections of linear/circular/accelerating
@@ -41,10 +43,11 @@ pub use planar_relation;
 /// The types most programs need.
 pub mod prelude {
     pub use planar_core::{
-        Cmp, Domain, DynamicPlanarIndexSet, ExecutionConfig, FeatureMap, FeatureTable,
-        FnFeatureMap, IdentityMap, IndexConfig, InequalityQuery, ParameterDomain, PartitionScheme,
-        PlanarIndexSet, QueryScratch, SelectionStrategy, SeqScan, ShardConfig, ShardedIndexSet,
-        TopKQuery,
+        Cmp, Domain, DurablePlanarIndexSet, DurableShardedIndexSet, DynamicPlanarIndexSet,
+        ExecutionConfig, FeatureMap, FeatureTable, FnFeatureMap, FsyncPolicy, IdentityMap,
+        IndexConfig, InequalityQuery, ParameterDomain, PartitionScheme, PlanarIndexSet,
+        QueryScratch, SelectionStrategy, SeqScan, ServedBy, ShardConfig, ShardedIndexSet,
+        TopKQuery, VecStore, WalOptions,
     };
     pub use planar_geom::{Hyperplane, Normalizer, Octant, Vector};
 }
