@@ -65,6 +65,13 @@ use crate::{HeapSize, PlanarError, Result};
 /// compaction — such ids are permanently dead.
 const DEAD_LOCAL: u32 = u32::MAX;
 
+/// Sentinel shard for a WAL-replay gap placeholder: an id between the
+/// high-water mark and a replayed insert whose own record lives on
+/// another shard's log (or was lost to its torn tail). Distinct from any
+/// real shard so a compaction-killed `(shard, DEAD_LOCAL)` slot is never
+/// mistaken for a fillable gap during replay.
+const GAP_SHARD: u32 = u32::MAX;
+
 /// Which partitioner [`ShardedIndexSet::build`] should construct.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PartitionScheme {
@@ -311,7 +318,8 @@ pub struct ShardedIndexSet<S: KeyStore = VecStore> {
     shards: Vec<PlanarIndexSet<S>>,
     partitioner: Partitioner,
     /// `assignment[global] = (shard, local)`; `local == DEAD_LOCAL` marks a
-    /// global id dropped by shard compaction.
+    /// global id dropped by shard compaction, and `(GAP_SHARD, DEAD_LOCAL)`
+    /// a WAL-replay gap whose insert record lives on another shard's log.
     assignment: Vec<(u32, u32)>,
     /// `global_ids[shard][local] = global`, strictly ascending per shard.
     global_ids: Vec<Vec<PointId>>,
@@ -464,6 +472,11 @@ impl<S: KeyStore> ShardedIndexSet<S> {
             .map(|sh| Vec::with_capacity(sh.table().len()))
             .collect();
         for (global, &(shard, local)) in assignment.iter().enumerate() {
+            if shard == GAP_SHARD && local == DEAD_LOCAL {
+                // WAL-replay gap placeholder (see `replay_insert`);
+                // belongs to no shard.
+                continue;
+            }
             let Some(gids) = global_ids.get_mut(shard as usize) else {
                 return Err(PlanarError::Persist(format!(
                     "global id {global} routed to unknown shard {shard}"
@@ -940,10 +953,11 @@ impl<S: KeyStore> ShardedIndexSet<S> {
         if let Some(&(s, local)) = self.assignment.get(global as usize) {
             // Shards replay one after another, so an earlier shard's
             // replay may already have grown the assignment past this id,
-            // leaving a dead placeholder for it. This record is the
-            // authoritative owner of the id — fill the slot. A *live*
-            // slot means two logs claim the same id: real divergence.
-            if local != DEAD_LOCAL || s != 0 {
+            // leaving a gap placeholder for it. This record is the
+            // authoritative owner of the id — fill the slot. Anything
+            // else — a live slot, or a compaction-killed one — means two
+            // logs claim the same id: real divergence.
+            if s != GAP_SHARD || local != DEAD_LOCAL {
                 return Err(PlanarError::Persist(format!(
                     "wal: replay diverged at lsn {lsn}: insert id {global} already assigned"
                 )));
@@ -957,7 +971,7 @@ impl<S: KeyStore> ShardedIndexSet<S> {
         // records on other shards (replayed later) or lost to their torn
         // tails; leave dead placeholders for them.
         while self.assignment.len() < global as usize {
-            self.assignment.push((0, DEAD_LOCAL));
+            self.assignment.push((GAP_SHARD, DEAD_LOCAL));
         }
         let local = self.shards[shard].insert_point(row)?;
         self.assignment.push((shard as u32, local));
@@ -1298,6 +1312,60 @@ mod tests {
         assert!(results[0].is_ok());
         assert!(matches!(results[1], Err(PlanarError::Internal(_))));
         assert!(results[2].is_ok());
+    }
+
+    #[test]
+    fn replay_insert_rejects_compaction_killed_ids() {
+        let (_, mut sharded) = pair(30, ShardConfig::round_robin(3));
+        // Kill a shard-0 global id via delete + compaction: its slot
+        // becomes (0, DEAD_LOCAL), which must stay distinct from a
+        // replay gap placeholder.
+        let victim = 0u32; // round-robin: global 0 lives on shard 0
+        sharded.delete_point(victim).unwrap();
+        assert!(sharded.compact_shard(0, 0.0));
+        assert_eq!(sharded.assignment[victim as usize], (0, DEAD_LOCAL));
+        let err = sharded
+            .replay_record(
+                0,
+                1,
+                &crate::wal::WalRecord::Insert {
+                    id: victim,
+                    row: vec![1.0, 1.0],
+                },
+            )
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("replay diverged"), "got: {err}");
+    }
+
+    #[test]
+    fn persisted_assignment_keeps_replay_gaps() {
+        let (_, mut sharded) = pair(30, ShardConfig::round_robin(3));
+        let next = sharded.next_global();
+        // Replay an insert whose predecessor's record was lost to another
+        // shard's torn tail: a gap placeholder fills the hole.
+        sharded
+            .replay_record(
+                1,
+                1,
+                &crate::wal::WalRecord::Insert {
+                    id: next + 1,
+                    row: vec![2.0, 2.0],
+                },
+            )
+            .unwrap();
+        assert_eq!(sharded.assignment[next as usize], (GAP_SHARD, DEAD_LOCAL));
+        assert!(sharded.is_live(next + 1));
+
+        // The gap survives a snapshot round-trip untouched.
+        let tmp = crate::fault::TempDir::new("shard_gap_persist").unwrap();
+        let path = tmp.file("snap.plnr");
+        sharded.save_to(&path).unwrap();
+        let (loaded, _) = ShardedIndexSet::<VecStore>::load_or_recover(&path).unwrap();
+        assert_eq!(loaded.assignment[next as usize], (GAP_SHARD, DEAD_LOCAL));
+        assert!(!loaded.is_live(next));
+        assert!(loaded.is_live(next + 1));
+        assert_eq!(loaded.next_global(), next + 2);
     }
 
     #[test]

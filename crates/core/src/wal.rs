@@ -431,10 +431,13 @@ fn scan_dir(dir: &Path) -> Result<WalScan> {
         }
         if bytes.len() < 8 || &bytes[..8] != SEGMENT_MAGIC {
             // A segment creation torn mid-header; the file carries no
-            // usable frames.
+            // usable frames. The *torn* segment is the repair tail
+            // (valid length 0, so it gets recreated in place) — earlier
+            // segments hold fsynced, acknowledged records and must
+            // survive intact.
             broken = true;
             scan.torn_bytes += bytes.len();
-            scan.keep = i;
+            scan.keep = i + 1;
             scan.tail_valid_len = 0;
             continue;
         }
@@ -753,6 +756,23 @@ fn ensure_fresh_dir(dir: &Path) -> Result<()> {
             dir.display()
         )));
     }
+    // A wal/ subtree without a manifest is a half-deleted durable set.
+    // Starting a fresh log at LSN 1 beneath stale high-LSN segments would
+    // make every subsequent append fail as non-monotonic, so refuse.
+    let wal = dir.join(WAL_SUBDIR);
+    match fs::read_dir(&wal) {
+        Ok(mut entries) => {
+            if entries.next().is_some() {
+                return Err(walerr(format!(
+                    "{} holds WAL remnants but no CHECKPOINT manifest; \
+                     remove them or pick a fresh directory",
+                    wal.display()
+                )));
+            }
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+        Err(e) => return Err(walio("read wal dir", e)),
+    }
     Ok(())
 }
 
@@ -890,12 +910,13 @@ impl<S: KeyStore> DurablePlanarIndexSet<S> {
             },
         )?;
         let (wal, _) = WalWriter::open_repair(&dir.join(WAL_SUBDIR), opts)?;
+        let next_lsn = wal.last_lsn + 1;
         Ok(Self {
             set,
             wal,
             dir: dir.to_path_buf(),
             generation: 1,
-            next_lsn: 1,
+            next_lsn,
             save_opts: SaveOptions::default(),
         })
     }
@@ -1189,12 +1210,13 @@ impl<S: KeyStore> DurableShardedIndexSet<S> {
             let (wal, _) = WalWriter::open_repair(&shard_wal_dir(dir, shard), opts)?;
             wals.push(wal);
         }
+        let next_lsn = wals.iter().map(|w| w.last_lsn).max().unwrap_or(0) + 1;
         Ok(Self {
             set,
             wals,
             dir: dir.to_path_buf(),
             generation: 1,
-            next_lsn: 1,
+            next_lsn,
             save_opts: SaveOptions::default(),
         })
     }
@@ -1245,7 +1267,13 @@ impl<S: KeyStore> DurableShardedIndexSet<S> {
                 "mutation failed after WAL append at lsn {lsn}: {e}"
             ))
         })?;
-        debug_assert_eq!(got, global);
+        if got != global {
+            // The log now disagrees with the applied state; surface it at
+            // write time rather than as replay divergence at recovery.
+            return Err(PlanarError::Internal(format!(
+                "insert at lsn {lsn} assigned global id {got} but logged {global}"
+            )));
+        }
         Ok(got)
     }
 
@@ -1650,6 +1678,44 @@ mod tests {
     }
 
     #[test]
+    fn torn_header_at_rotation_keeps_prior_segments() {
+        let _g = serialized();
+        let tmp = TempDir::new("wal_torn_header").unwrap();
+        let (mut w, _) = WalWriter::open_repair(tmp.path(), WalOptions::default()).unwrap();
+        for lsn in 1..=5u64 {
+            w.append(lsn, &WalRecord::Delete { id: lsn as PointId })
+                .unwrap();
+        }
+        w.sync().unwrap();
+        drop(w);
+        let healthy = list_segments(tmp.path()).unwrap().pop().unwrap();
+        let healthy_len = fs::metadata(&healthy).unwrap().len();
+        // A crash during rotation: the next segment file exists but its
+        // header never became durable (empty, or a partial magic).
+        for torn in [&b""[..], &SEGMENT_MAGIC[..4]] {
+            fs::write(segment_path(tmp.path(), 6), torn).unwrap();
+            let (w, scan) = WalWriter::open_repair(tmp.path(), WalOptions::default()).unwrap();
+            assert_eq!(scan.frames.len(), 5, "acknowledged records survive");
+            assert_eq!(scan.torn_bytes, torn.len());
+            assert_eq!(w.health().last_lsn, 5);
+            assert_eq!(
+                fs::metadata(&healthy).unwrap().len(),
+                healthy_len,
+                "the healthy segment must not be touched"
+            );
+            drop(w);
+            let scan = scan_dir(tmp.path()).unwrap();
+            assert_eq!(scan.frames.len(), 5, "still durable after repair");
+        }
+        // The repaired log keeps accepting appends past the old records.
+        let (mut w, _) = WalWriter::open_repair(tmp.path(), WalOptions::default()).unwrap();
+        w.append(6, &WalRecord::Delete { id: 99 }).unwrap();
+        w.sync().unwrap();
+        drop(w);
+        assert_eq!(scan_dir(tmp.path()).unwrap().frames.len(), 6);
+    }
+
+    #[test]
     fn partial_tail_bytes_are_torn_not_dropped() {
         let _g = serialized();
         let tmp = TempDir::new("wal_torn").unwrap();
@@ -1800,6 +1866,24 @@ mod tests {
             .unwrap_err()
             .to_string();
         assert!(err.contains("not a durable index directory"), "got: {err}");
+    }
+
+    #[test]
+    fn create_refuses_wal_remnants_without_manifest() {
+        let _g = serialized();
+        let tmp = TempDir::new("wal_remnants").unwrap();
+        let opts = WalOptions::default();
+        let mut d = DurablePlanarIndexSet::create(tmp.path(), small_set(20), opts).unwrap();
+        d.insert_point(&[2.0, 2.0]).unwrap();
+        drop(d);
+        // Partial cleanup: the manifest is gone but high-LSN segments
+        // linger. Re-creating at LSN 1 underneath them would brick every
+        // subsequent append as non-monotonic.
+        fs::remove_file(tmp.file(MANIFEST_FILE)).unwrap();
+        let err = DurablePlanarIndexSet::create(tmp.path(), small_set(20), opts)
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("WAL remnants"), "got: {err}");
     }
 
     #[test]
