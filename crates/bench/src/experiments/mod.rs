@@ -1,6 +1,7 @@
 //! Experiment registry: one entry per paper table/figure plus ablations.
 
 pub mod ablation;
+pub mod concurrent;
 pub mod extensions;
 pub mod fault;
 pub mod movingobj;
@@ -171,6 +172,12 @@ pub fn registry() -> Vec<Experiment> {
             description:
                 "durability: fsync-policy latency, WAL replay throughput, deadline partial rates (BENCH_wal.json)",
             run: wal::wal,
+        },
+        Experiment {
+            name: "concurrent",
+            description:
+                "concurrency: group-commit fsync amortization, readers racing a writer, snapshot batches (BENCH_concurrent.json)",
+            run: concurrent::concurrent,
         },
         Experiment {
             name: "ablation-selection",

@@ -1,0 +1,1626 @@
+//! Epoch-based snapshot isolation: **concurrent readers under a single
+//! writer**, without reader locks on the query path.
+//!
+//! Every engine in this crate answers queries through `&self` but mutates
+//! through `&mut self` — correct, but reader-excluding: a process serving
+//! a mixed read/write workload had to serialize query batches behind every
+//! mutation. This module converts the mutation path into an **epoch
+//! scheme**:
+//!
+//! * the published state lives in an [`EpochCell`] as an immutable
+//!   `Arc<PlanarIndexSet>` (or `Arc<ShardedIndexSet>`); readers call
+//!   [`ConcurrentPlanarIndexSet::snapshot`] — one brief `RwLock` read and
+//!   an `Arc` clone — and then run `query_batch`/`top_k_batch` against
+//!   the snapshot with **no further synchronization**, for as long as
+//!   they like;
+//! * a single writer (serialized by an internal mutex, so any thread may
+//!   call the mutation methods) applies mutations to a **staged copy**
+//!   and *publishes* a new epoch atomically — a pointer swap under a
+//!   write lock held for nanoseconds;
+//! * retired epochs park on a reclamation list until the last reader
+//!   pins drop — a **grace period** enforced by `Arc` reference counts,
+//!   observable through [`EpochStats`].
+//!
+//! Readers pinned to epoch *E* never observe a mutation from epoch
+//! *E + 1*: an answer computed against a snapshot is bit-identical to
+//! single-threaded execution against the state at publish time (the
+//! proptests in `tests/concurrent_proptests.rs` hold this across random
+//! interleavings).
+//!
+//! [`ConcurrentDurablePlanarIndexSet`] composes the epoch scheme with the
+//! **group-commit** write-ahead log (`core::wal::GroupCommitQueue`):
+//! mutations from any number of threads append to a commit queue, one
+//! leader fsyncs for the whole group, and every waiter is acknowledged by
+//! that single fsync — collapsing the `FsyncPolicy::Always` latency curve
+//! toward `EveryN(64)` while preserving "acknowledged ⇒ durable".
+//!
+//! ```
+//! use planar_core::concurrent::{ConcurrencyConfig, ConcurrentPlanarIndexSet};
+//! use planar_core::{Cmp, FeatureTable, IndexConfig, InequalityQuery, ParameterDomain,
+//!                   PlanarIndexSet};
+//!
+//! let table = FeatureTable::from_rows(2, vec![vec![1.0, 1.0], vec![4.0, 2.0]]).unwrap();
+//! let domain = ParameterDomain::uniform_continuous(2, 0.5, 2.0).unwrap();
+//! let set: PlanarIndexSet = PlanarIndexSet::build(table, domain, IndexConfig::with_budget(4)).unwrap();
+//! let conc = ConcurrentPlanarIndexSet::new(set, ConcurrencyConfig::default());
+//!
+//! let snap = conc.snapshot();              // readers pin an epoch…
+//! conc.insert_point(&[9.0, 9.0]).unwrap(); // …while a writer publishes the next
+//! let q = InequalityQuery::new(vec![1.0, 2.0], Cmp::Leq, 9.0).unwrap();
+//! assert_eq!(snap.len(), 2);               // the pinned epoch is frozen
+//! assert_eq!(conc.snapshot().len(), 3);    // a fresh pin sees the mutation
+//! assert!(snap.query(&q).is_ok());
+//! ```
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock};
+
+use crate::multi::PlanarIndexSet;
+use crate::persist::{RecoveryReport, SaveOptions, ShardedRecoveryReport};
+use crate::shard::ShardedIndexSet;
+use crate::store::{KeyStore, VecStore};
+use crate::table::PointId;
+use crate::wal::{
+    snapshot_path, sweep_snapshots, validate_batch, validate_row, write_manifest,
+    DurablePlanarIndexSet, DurableShardedIndexSet, FsyncPolicy, GroupCommitQueue, GroupCommitStats,
+    Lsn, Manifest, Mutation, MutationAck, WalHealth, WalOptions, WalRecord,
+};
+use crate::{PlanarError, Result};
+
+// ---------------------------------------------------------------------------
+// Epoch cell
+// ---------------------------------------------------------------------------
+
+/// Tuning for the epoch publish cadence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConcurrencyConfig {
+    /// Publish a new epoch after this many staged mutations (default 1:
+    /// every mutation is immediately visible to new snapshots). Larger
+    /// values amortize the staged-copy clone that each publish takes, at
+    /// the cost of bounded snapshot staleness; batch mutations
+    /// ([`ConcurrentPlanarIndexSet::apply_batch`]) always publish at the
+    /// end of the batch.
+    pub publish_every: usize,
+}
+
+impl Default for ConcurrencyConfig {
+    fn default() -> Self {
+        Self { publish_every: 1 }
+    }
+}
+
+impl ConcurrencyConfig {
+    /// Set the publish cadence (clamped to ≥ 1).
+    pub fn publish_every(mut self, n: usize) -> Self {
+        self.publish_every = n.max(1);
+        self
+    }
+}
+
+#[derive(Debug)]
+struct Versioned<T> {
+    epoch: u64,
+    value: T,
+}
+
+/// A read pin on one published epoch. Dereferences to the underlying set;
+/// holding it keeps that epoch's state alive (and unreclaimed) for as
+/// long as the reader needs it. Cheap to clone (an `Arc` bump).
+#[derive(Debug)]
+pub struct Snapshot<T> {
+    inner: Arc<Versioned<T>>,
+}
+
+impl<T> Clone for Snapshot<T> {
+    fn clone(&self) -> Self {
+        Self {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Snapshot<T> {
+    /// The epoch this snapshot pins.
+    pub fn epoch(&self) -> u64 {
+        self.inner.epoch
+    }
+}
+
+impl<T> std::ops::Deref for Snapshot<T> {
+    type Target = T;
+
+    fn deref(&self) -> &Self::Target {
+        &self.inner.value
+    }
+}
+
+/// Point-in-time epoch bookkeeping, stamped into [`crate::StatsSnapshot`]
+/// via [`crate::StatsAggregator::record_epoch`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EpochStats {
+    /// The currently published epoch.
+    pub epoch: u64,
+    /// Epochs published over the cell's lifetime.
+    pub published: u64,
+    /// Retired epochs still parked in their grace period (a reader pin
+    /// keeps them alive).
+    pub retired_live: usize,
+    /// Retired epochs reclaimed after their grace period ended.
+    pub reclaimed: u64,
+}
+
+/// The publish/retire/reclaim core: an atomically swappable `Arc` plus a
+/// grace-period list of retired epochs.
+///
+/// `load` is a brief `RwLock` read (many readers proceed in parallel and
+/// are never blocked by a publish in progress — publishes hold the write
+/// lock only for the pointer swap). Retired epochs are reclaimed once
+/// their `Arc` strong count shows no outstanding reader pins.
+#[derive(Debug)]
+pub struct EpochCell<T> {
+    current: RwLock<Arc<Versioned<T>>>,
+    retired: Mutex<Vec<Arc<Versioned<T>>>>,
+    published: AtomicU64,
+    reclaimed: AtomicU64,
+}
+
+impl<T> EpochCell<T> {
+    /// Wrap `value` as epoch 1.
+    pub fn new(value: T) -> Self {
+        Self {
+            current: RwLock::new(Arc::new(Versioned { epoch: 1, value })),
+            retired: Mutex::new(Vec::new()),
+            published: AtomicU64::new(0),
+            reclaimed: AtomicU64::new(0),
+        }
+    }
+
+    fn read_current(&self) -> Arc<Versioned<T>> {
+        Arc::clone(&self.current.read().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// Pin the current epoch.
+    pub fn load(&self) -> Snapshot<T> {
+        Snapshot {
+            inner: self.read_current(),
+        }
+    }
+
+    /// Publish `value` as the next epoch: swap the pointer, retire the
+    /// previous epoch into its grace period, and opportunistically reclaim
+    /// anything whose grace period already ended. Returns the new epoch.
+    pub fn publish(&self, value: T) -> u64 {
+        let old = {
+            let mut cur = self.current.write().unwrap_or_else(|e| e.into_inner());
+            let epoch = cur.epoch + 1;
+            std::mem::replace(&mut *cur, Arc::new(Versioned { epoch, value }))
+        };
+        self.published.fetch_add(1, Ordering::Relaxed);
+        let mut retired = self.retired.lock().unwrap_or_else(|e| e.into_inner());
+        retired.push(old);
+        self.reclaim_locked(&mut retired);
+        self.current.read().unwrap_or_else(|e| e.into_inner()).epoch
+    }
+
+    fn reclaim_locked(&self, retired: &mut Vec<Arc<Versioned<T>>>) -> usize {
+        let before = retired.len();
+        // A strong count of 1 means the retire list holds the only
+        // reference: no reader can mint a new pin from it (pins come only
+        // from `current`), so the grace period is over and dropping it
+        // here frees the epoch.
+        retired.retain(|arc| Arc::strong_count(arc) > 1);
+        let freed = before - retired.len();
+        self.reclaimed.fetch_add(freed as u64, Ordering::Relaxed);
+        freed
+    }
+
+    /// Sweep the retired list now, returning how many epochs were freed.
+    /// (Publishes sweep opportunistically; this is for quiescent periods.)
+    pub fn reclaim(&self) -> usize {
+        let mut retired = self.retired.lock().unwrap_or_else(|e| e.into_inner());
+        self.reclaim_locked(&mut retired)
+    }
+
+    /// Current epoch bookkeeping.
+    pub fn stats(&self) -> EpochStats {
+        let retired_live = self.retired.lock().unwrap_or_else(|e| e.into_inner()).len();
+        EpochStats {
+            epoch: self.read_current().epoch,
+            published: self.published.load(Ordering::Relaxed),
+            retired_live,
+            reclaimed: self.reclaimed.load(Ordering::Relaxed),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent planar set (in-memory)
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+struct Staged<T> {
+    set: T,
+    dirty: usize,
+}
+
+/// A [`PlanarIndexSet`] behind an [`EpochCell`]: lock-free snapshot reads
+/// from any number of threads, mutations from any thread serialized by an
+/// internal writer mutex. See the module docs for the epoch lifecycle.
+#[derive(Debug)]
+pub struct ConcurrentPlanarIndexSet<S: KeyStore + Clone = VecStore> {
+    cell: EpochCell<PlanarIndexSet<S>>,
+    writer: Mutex<Staged<PlanarIndexSet<S>>>,
+    publish_every: usize,
+}
+
+impl<S: KeyStore + Clone> ConcurrentPlanarIndexSet<S> {
+    /// Wrap `set` for concurrent serving.
+    pub fn new(set: PlanarIndexSet<S>, cfg: ConcurrencyConfig) -> Self {
+        let staged = set.clone();
+        Self {
+            cell: EpochCell::new(set),
+            writer: Mutex::new(Staged {
+                set: staged,
+                dirty: 0,
+            }),
+            publish_every: cfg.publish_every.max(1),
+        }
+    }
+
+    fn lock_writer(&self) -> MutexGuard<'_, Staged<PlanarIndexSet<S>>> {
+        self.writer.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Pin the current epoch for reading. Queries on the snapshot are the
+    /// plain [`PlanarIndexSet`] API (`query`, `query_batch`, `top_k_batch`,
+    /// …) and run with no synchronization whatsoever.
+    pub fn snapshot(&self) -> Snapshot<PlanarIndexSet<S>> {
+        self.cell.load()
+    }
+
+    fn maybe_publish(&self, staged: &mut Staged<PlanarIndexSet<S>>) {
+        if staged.dirty >= self.publish_every {
+            self.cell.publish(staged.set.clone());
+            staged.dirty = 0;
+        }
+    }
+
+    /// Serialized insert; publishes per [`ConcurrencyConfig::publish_every`].
+    ///
+    /// # Errors
+    ///
+    /// See [`PlanarIndexSet::insert_point`].
+    pub fn insert_point(&self, row: &[f64]) -> Result<PointId> {
+        let mut w = self.lock_writer();
+        let id = w.set.insert_point(row)?;
+        w.dirty += 1;
+        self.maybe_publish(&mut w);
+        Ok(id)
+    }
+
+    /// Serialized update. See [`PlanarIndexSet::update_point`].
+    ///
+    /// # Errors
+    ///
+    /// See [`PlanarIndexSet::update_point`].
+    pub fn update_point(&self, id: PointId, row: &[f64]) -> Result<()> {
+        let mut w = self.lock_writer();
+        w.set.update_point(id, row)?;
+        w.dirty += 1;
+        self.maybe_publish(&mut w);
+        Ok(())
+    }
+
+    /// Serialized delete. See [`PlanarIndexSet::delete_point`].
+    ///
+    /// # Errors
+    ///
+    /// See [`PlanarIndexSet::delete_point`].
+    pub fn delete_point(&self, id: PointId) -> Result<()> {
+        let mut w = self.lock_writer();
+        w.set.delete_point(id)?;
+        w.dirty += 1;
+        self.maybe_publish(&mut w);
+        Ok(())
+    }
+
+    /// Apply a whole mutation batch under one writer-lock acquisition and
+    /// publish exactly one epoch at the end, so readers observe the batch
+    /// atomically. Returns per-mutation acks in batch order.
+    ///
+    /// # Errors
+    ///
+    /// Validation errors before anything is applied (the batch is
+    /// all-or-nothing against the staged copy).
+    pub fn apply_batch(&self, muts: &[Mutation]) -> Result<Vec<MutationAck>> {
+        let mut w = self.lock_writer();
+        let next_id = w.set.table().len() as PointId;
+        let records = validate_batch(w.set.dim(), next_id, |id| w.set.is_live(id), muts)?;
+        let mut acks = Vec::with_capacity(records.len());
+        for rec in &records {
+            acks.push(apply_planar_record(&mut w.set, rec)?);
+        }
+        if !records.is_empty() {
+            w.dirty += records.len();
+            self.cell.publish(w.set.clone());
+            w.dirty = 0;
+        }
+        Ok(acks)
+    }
+
+    /// Serialized compaction (renumbers ids — see
+    /// [`PlanarIndexSet::compact`]); always publishes.
+    pub fn compact(&self) -> Vec<Option<PointId>> {
+        let mut w = self.lock_writer();
+        let remap = w.set.compact();
+        self.cell.publish(w.set.clone());
+        w.dirty = 0;
+        remap
+    }
+
+    /// Publish the staged state now, regardless of the dirty counter.
+    /// Returns the published epoch.
+    pub fn publish(&self) -> u64 {
+        let mut w = self.lock_writer();
+        let epoch = self.cell.publish(w.set.clone());
+        w.dirty = 0;
+        epoch
+    }
+
+    /// Sweep retired epochs whose grace period ended.
+    pub fn reclaim(&self) -> usize {
+        self.cell.reclaim()
+    }
+
+    /// Epoch bookkeeping (publish count, grace-period population).
+    pub fn epoch_stats(&self) -> EpochStats {
+        self.cell.stats()
+    }
+}
+
+fn apply_planar_record<S: KeyStore + Clone>(
+    set: &mut PlanarIndexSet<S>,
+    rec: &WalRecord,
+) -> Result<MutationAck> {
+    match rec {
+        WalRecord::Insert { id, row } => {
+            let got = set.insert_point(row).map_err(internal_apply)?;
+            if got != *id {
+                return Err(PlanarError::Internal(format!(
+                    "staged insert assigned id {got}, batch validation predicted {id}"
+                )));
+            }
+            Ok(MutationAck::Inserted(got))
+        }
+        WalRecord::Update { id, row } => {
+            set.update_point(*id, row).map_err(internal_apply)?;
+            Ok(MutationAck::Updated)
+        }
+        WalRecord::Delete { id } => {
+            set.delete_point(*id).map_err(internal_apply)?;
+            Ok(MutationAck::Deleted)
+        }
+        _ => Err(PlanarError::Internal(
+            "only point mutations are batch-applied".into(),
+        )),
+    }
+}
+
+fn internal_apply(e: PlanarError) -> PlanarError {
+    PlanarError::Internal(format!(
+        "pre-validated mutation failed to apply to the staged copy: {e}"
+    ))
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent sharded set (in-memory)
+// ---------------------------------------------------------------------------
+
+/// A [`ShardedIndexSet`] behind an [`EpochCell`]: the sharded counterpart
+/// of [`ConcurrentPlanarIndexSet`] (same epoch lifecycle, same publish
+/// cadence; snapshots answer through the shard-aware
+/// `query_batch`/`top_k_batch` fan-out).
+#[derive(Debug)]
+pub struct ConcurrentShardedIndexSet<S: KeyStore + Clone = VecStore> {
+    cell: EpochCell<ShardedIndexSet<S>>,
+    writer: Mutex<Staged<ShardedIndexSet<S>>>,
+    publish_every: usize,
+}
+
+impl<S: KeyStore + Clone> ConcurrentShardedIndexSet<S> {
+    /// Wrap `set` for concurrent serving.
+    pub fn new(set: ShardedIndexSet<S>, cfg: ConcurrencyConfig) -> Self {
+        let staged = set.clone();
+        Self {
+            cell: EpochCell::new(set),
+            writer: Mutex::new(Staged {
+                set: staged,
+                dirty: 0,
+            }),
+            publish_every: cfg.publish_every.max(1),
+        }
+    }
+
+    fn lock_writer(&self) -> MutexGuard<'_, Staged<ShardedIndexSet<S>>> {
+        self.writer.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Pin the current epoch for reading.
+    pub fn snapshot(&self) -> Snapshot<ShardedIndexSet<S>> {
+        self.cell.load()
+    }
+
+    fn maybe_publish(&self, staged: &mut Staged<ShardedIndexSet<S>>) {
+        if staged.dirty >= self.publish_every {
+            self.cell.publish(staged.set.clone());
+            staged.dirty = 0;
+        }
+    }
+
+    /// Serialized insert routed by the partitioner. See
+    /// [`ShardedIndexSet::insert_point`].
+    ///
+    /// # Errors
+    ///
+    /// See [`ShardedIndexSet::insert_point`].
+    pub fn insert_point(&self, row: &[f64]) -> Result<PointId> {
+        let mut w = self.lock_writer();
+        let id = w.set.insert_point(row)?;
+        w.dirty += 1;
+        self.maybe_publish(&mut w);
+        Ok(id)
+    }
+
+    /// Serialized update. See [`ShardedIndexSet::update_point`].
+    ///
+    /// # Errors
+    ///
+    /// See [`ShardedIndexSet::update_point`].
+    pub fn update_point(&self, id: PointId, row: &[f64]) -> Result<()> {
+        let mut w = self.lock_writer();
+        w.set.update_point(id, row)?;
+        w.dirty += 1;
+        self.maybe_publish(&mut w);
+        Ok(())
+    }
+
+    /// Serialized delete. See [`ShardedIndexSet::delete_point`].
+    ///
+    /// # Errors
+    ///
+    /// See [`ShardedIndexSet::delete_point`].
+    pub fn delete_point(&self, id: PointId) -> Result<()> {
+        let mut w = self.lock_writer();
+        w.set.delete_point(id)?;
+        w.dirty += 1;
+        self.maybe_publish(&mut w);
+        Ok(())
+    }
+
+    /// Serialized threshold-gated compaction; always publishes. See
+    /// [`ShardedIndexSet::compact`].
+    pub fn compact(&self, threshold: f64) -> Vec<usize> {
+        let mut w = self.lock_writer();
+        let compacted = w.set.compact(threshold);
+        self.cell.publish(w.set.clone());
+        w.dirty = 0;
+        compacted
+    }
+
+    /// Publish the staged state now. Returns the published epoch.
+    pub fn publish(&self) -> u64 {
+        let mut w = self.lock_writer();
+        let epoch = self.cell.publish(w.set.clone());
+        w.dirty = 0;
+        epoch
+    }
+
+    /// Sweep retired epochs whose grace period ended.
+    pub fn reclaim(&self) -> usize {
+        self.cell.reclaim()
+    }
+
+    /// Epoch bookkeeping.
+    pub fn epoch_stats(&self) -> EpochStats {
+        self.cell.stats()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent durable planar set: epochs + group commit
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+struct DurableStaged<S: KeyStore + Clone> {
+    set: PlanarIndexSet<S>,
+    next_lsn: Lsn,
+    dirty: usize,
+    generation: u64,
+}
+
+/// Epoch snapshot reads **plus** group-commit durability: the concurrent
+/// counterpart of [`DurablePlanarIndexSet`]. Mutations may be issued from
+/// any number of threads through `&self`; each one is write-ahead logged
+/// into a commit queue, applied to the staged copy in LSN order, and —
+/// under [`FsyncPolicy::Always`] — acknowledged only once a commit-group
+/// leader's fsync covers its LSN. Concurrent mutators therefore share
+/// fsyncs instead of paying one each, and concurrent readers never block:
+/// they run against pinned epoch snapshots throughout.
+#[derive(Debug)]
+pub struct ConcurrentDurablePlanarIndexSet<S: KeyStore + Clone = VecStore> {
+    cell: EpochCell<PlanarIndexSet<S>>,
+    writer: Mutex<DurableStaged<S>>,
+    queue: GroupCommitQueue,
+    dir: PathBuf,
+    fsync: FsyncPolicy,
+    save_opts: SaveOptions,
+    publish_every: usize,
+}
+
+/// `OnCheckpoint` group mode still writes (without fsync) once this many
+/// records are queued, so the in-memory commit queue stays bounded.
+const LAZY_FLUSH_RECORDS: u64 = 512;
+
+impl<S: KeyStore + Clone> ConcurrentDurablePlanarIndexSet<S> {
+    /// Initialize `dir` as a durable home for `set` and wrap it for
+    /// concurrent serving. See [`DurablePlanarIndexSet::create`].
+    ///
+    /// # Errors
+    ///
+    /// See [`DurablePlanarIndexSet::create`].
+    pub fn create(
+        dir: impl AsRef<Path>,
+        set: PlanarIndexSet<S>,
+        opts: WalOptions,
+        cfg: ConcurrencyConfig,
+    ) -> Result<Self> {
+        DurablePlanarIndexSet::create(dir, set, opts).map(|d| Self::from_durable(d, cfg))
+    }
+
+    /// Open a durable directory (recovering as
+    /// [`PlanarIndexSet::open_durable`] does) and wrap it for concurrent
+    /// serving.
+    ///
+    /// # Errors
+    ///
+    /// See [`PlanarIndexSet::open_durable`].
+    pub fn open(
+        dir: impl AsRef<Path>,
+        opts: WalOptions,
+        cfg: ConcurrencyConfig,
+    ) -> Result<(Self, RecoveryReport)> {
+        let (durable, report) = PlanarIndexSet::<S>::open_durable(dir, opts)?;
+        Ok((Self::from_durable(durable, cfg), report))
+    }
+
+    /// Re-wrap a single-writer durable set for concurrent serving: the
+    /// WAL writer moves into a group-commit queue and the set into an
+    /// epoch cell.
+    pub fn from_durable(durable: DurablePlanarIndexSet<S>, cfg: ConcurrencyConfig) -> Self {
+        let (set, wal, dir, generation, next_lsn, save_opts) = durable.into_parts();
+        let fsync = wal.options().fsync;
+        let staged = set.clone();
+        Self {
+            cell: EpochCell::new(set),
+            writer: Mutex::new(DurableStaged {
+                set: staged,
+                next_lsn,
+                dirty: 0,
+                generation,
+            }),
+            queue: GroupCommitQueue::new(wal),
+            dir,
+            fsync,
+            save_opts,
+            publish_every: cfg.publish_every.max(1),
+        }
+    }
+
+    fn lock_writer(&self) -> MutexGuard<'_, DurableStaged<S>> {
+        self.writer.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Pin the current epoch for reading.
+    pub fn snapshot(&self) -> Snapshot<PlanarIndexSet<S>> {
+        self.cell.load()
+    }
+
+    fn maybe_publish(&self, staged: &mut DurableStaged<S>) {
+        if staged.dirty >= self.publish_every {
+            self.cell.publish(staged.set.clone());
+            staged.dirty = 0;
+        }
+    }
+
+    /// Acknowledge `lsn` per the fsync policy: `Always` joins (or leads)
+    /// a commit group and returns only once durable; the bounded-loss
+    /// policies return immediately, flushing the queue when due.
+    fn ack(&self, lsn: Lsn) -> Result<()> {
+        match self.fsync {
+            FsyncPolicy::Always => self.queue.wait_durable(lsn),
+            FsyncPolicy::EveryN(n) => {
+                if self.queue.ack_lag() >= u64::from(n.max(1)) {
+                    self.queue.flush(false)?;
+                }
+                Ok(())
+            }
+            FsyncPolicy::OnCheckpoint => {
+                if self.queue.ack_lag() >= LAZY_FLUSH_RECORDS {
+                    self.queue.flush(false)?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Group-committed insert. See [`PlanarIndexSet::insert_point`];
+    /// under `Always` the returned id is durable.
+    ///
+    /// # Errors
+    ///
+    /// Validation errors before logging, [`PlanarError::Persist`] if the
+    /// commit group's append/fsync failed (the mutation is *not*
+    /// acknowledged).
+    pub fn insert_point(&self, row: &[f64]) -> Result<PointId> {
+        let (lsn, ack) = {
+            let mut w = self.lock_writer();
+            validate_row(w.set.dim(), row)?;
+            let id = w.set.table().len() as PointId;
+            let rec = WalRecord::Insert {
+                id,
+                row: row.to_vec(),
+            };
+            let lsn = w.next_lsn;
+            self.queue.enqueue(lsn, rec.clone())?;
+            w.next_lsn = lsn + 1;
+            let ack = apply_planar_record(&mut w.set, &rec)?;
+            w.dirty += 1;
+            self.maybe_publish(&mut w);
+            (lsn, ack)
+        };
+        self.ack(lsn)?;
+        match ack {
+            MutationAck::Inserted(id) => Ok(id),
+            _ => unreachable!("insert acks as Inserted"),
+        }
+    }
+
+    /// Group-committed update. See [`PlanarIndexSet::update_point`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::insert_point`], plus [`PlanarError::PointNotFound`].
+    pub fn update_point(&self, id: PointId, row: &[f64]) -> Result<()> {
+        let lsn = {
+            let mut w = self.lock_writer();
+            validate_row(w.set.dim(), row)?;
+            if !w.set.is_live(id) {
+                return Err(PlanarError::PointNotFound(id));
+            }
+            let rec = WalRecord::Update {
+                id,
+                row: row.to_vec(),
+            };
+            let lsn = w.next_lsn;
+            self.queue.enqueue(lsn, rec.clone())?;
+            w.next_lsn = lsn + 1;
+            apply_planar_record(&mut w.set, &rec)?;
+            w.dirty += 1;
+            self.maybe_publish(&mut w);
+            lsn
+        };
+        self.ack(lsn)
+    }
+
+    /// Group-committed delete. See [`PlanarIndexSet::delete_point`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::update_point`].
+    pub fn delete_point(&self, id: PointId) -> Result<()> {
+        let lsn = {
+            let mut w = self.lock_writer();
+            if !w.set.is_live(id) {
+                return Err(PlanarError::PointNotFound(id));
+            }
+            let rec = WalRecord::Delete { id };
+            let lsn = w.next_lsn;
+            self.queue.enqueue(lsn, rec.clone())?;
+            w.next_lsn = lsn + 1;
+            apply_planar_record(&mut w.set, &rec)?;
+            w.dirty += 1;
+            self.maybe_publish(&mut w);
+            lsn
+        };
+        self.ack(lsn)
+    }
+
+    /// Group-committed mutation batch: the whole batch is validated up
+    /// front, logged contiguously, applied, published as **one** epoch,
+    /// and acknowledged by a single fsync (under `Always`). This is the
+    /// highest-throughput durable write path.
+    ///
+    /// # Errors
+    ///
+    /// As [`DurablePlanarIndexSet::apply_batch`].
+    pub fn apply_batch(&self, muts: &[Mutation]) -> Result<Vec<MutationAck>> {
+        if muts.is_empty() {
+            return Ok(Vec::new());
+        }
+        let (last_lsn, acks) = {
+            let mut w = self.lock_writer();
+            let next_id = w.set.table().len() as PointId;
+            let records = validate_batch(w.set.dim(), next_id, |id| w.set.is_live(id), muts)?;
+            let first_lsn = w.next_lsn;
+            for (i, rec) in records.iter().enumerate() {
+                self.queue.enqueue(first_lsn + i as Lsn, rec.clone())?;
+            }
+            w.next_lsn = first_lsn + records.len() as Lsn;
+            let mut acks = Vec::with_capacity(records.len());
+            for rec in &records {
+                acks.push(apply_planar_record(&mut w.set, rec)?);
+            }
+            w.dirty += records.len();
+            self.cell.publish(w.set.clone());
+            w.dirty = 0;
+            (w.next_lsn - 1, acks)
+        };
+        self.ack(last_lsn)?;
+        Ok(acks)
+    }
+
+    /// Force everything queued to stable storage now, regardless of the
+    /// fsync policy. Afterwards `wal_health()` shows
+    /// `acked_lsn == appended_lsn`.
+    ///
+    /// # Errors
+    ///
+    /// [`PlanarError::Persist`] on append/fsync failure.
+    pub fn sync(&self) -> Result<()> {
+        self.queue.flush(true)
+    }
+
+    /// Checkpoint-then-truncate (see
+    /// [`DurablePlanarIndexSet::checkpoint`]). Takes the writer lock, so
+    /// mutations block for the duration; readers keep serving from their
+    /// pinned epochs throughout.
+    ///
+    /// # Errors
+    ///
+    /// [`PlanarError::Persist`] on I/O failure.
+    pub fn checkpoint(&self) -> Result<Lsn> {
+        let mut w = self.lock_writer();
+        let watermark = w.next_lsn;
+        self.queue
+            .enqueue(watermark, WalRecord::Checkpoint { watermark })?;
+        w.next_lsn = watermark + 1;
+        self.queue.flush(true)?;
+        let generation = w.generation + 1;
+        w.set.save_to_with(
+            snapshot_path(&self.dir, generation),
+            &mut crate::fault::StdIo,
+            &self.save_opts,
+        )?;
+        write_manifest(
+            &self.dir,
+            Manifest {
+                generation,
+                watermark,
+            },
+        )?;
+        w.generation = generation;
+        self.queue
+            .with_writer(|wal| wal.truncate_all(watermark + 1))?;
+        sweep_snapshots(&self.dir, generation);
+        Ok(watermark)
+    }
+
+    /// Publish the staged state now. Returns the published epoch.
+    pub fn publish(&self) -> u64 {
+        let mut w = self.lock_writer();
+        let epoch = self.cell.publish(w.set.clone());
+        w.dirty = 0;
+        epoch
+    }
+
+    /// Sweep retired epochs whose grace period ended.
+    pub fn reclaim(&self) -> usize {
+        self.cell.reclaim()
+    }
+
+    /// Epoch bookkeeping.
+    pub fn epoch_stats(&self) -> EpochStats {
+        self.cell.stats()
+    }
+
+    /// WAL health including the group-commit watermarks
+    /// (`acked_lsn`/`appended_lsn`).
+    pub fn wal_health(&self) -> WalHealth {
+        self.queue.health()
+    }
+
+    /// Group-commit amortization counters (fsyncs, records per fsync).
+    pub fn group_commit_stats(&self) -> GroupCommitStats {
+        self.queue.stats()
+    }
+
+    /// Data fsyncs issued by the underlying WAL writer since opening.
+    pub fn fsync_count(&self) -> u64 {
+        self.queue.fsync_count()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent durable sharded set: epochs + per-shard group commit
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+struct DurableShardedStaged<S: KeyStore + Clone> {
+    set: ShardedIndexSet<S>,
+    next_lsn: Lsn,
+    dirty: usize,
+    generation: u64,
+}
+
+/// The sharded counterpart of [`ConcurrentDurablePlanarIndexSet`]: epoch
+/// snapshot reads over a [`ShardedIndexSet`] with **one group-commit
+/// queue per shard WAL**. Mutations routed to different shards commit
+/// through independent queues (independent fsync leaders); mutations
+/// hitting the same shard share commit groups. The global LSN order is
+/// still assigned under one writer mutex, so recovery's cross-shard
+/// replay order is exactly the acknowledged order.
+#[derive(Debug)]
+pub struct ConcurrentDurableShardedIndexSet<S: KeyStore + Clone = VecStore> {
+    cell: EpochCell<ShardedIndexSet<S>>,
+    writer: Mutex<DurableShardedStaged<S>>,
+    queues: Vec<GroupCommitQueue>,
+    dir: PathBuf,
+    fsync: FsyncPolicy,
+    save_opts: SaveOptions,
+    publish_every: usize,
+}
+
+impl<S: KeyStore + Clone> ConcurrentDurableShardedIndexSet<S> {
+    /// Initialize `dir` as a durable home for `set` and wrap it for
+    /// concurrent serving. See [`DurableShardedIndexSet::create`].
+    ///
+    /// # Errors
+    ///
+    /// See [`DurableShardedIndexSet::create`].
+    pub fn create(
+        dir: impl AsRef<Path>,
+        set: ShardedIndexSet<S>,
+        opts: WalOptions,
+        cfg: ConcurrencyConfig,
+    ) -> Result<Self> {
+        DurableShardedIndexSet::create(dir, set, opts).map(|d| Self::from_durable(d, cfg))
+    }
+
+    /// Open a durable sharded directory (recovering as
+    /// [`ShardedIndexSet::open_durable`] does) and wrap it for concurrent
+    /// serving.
+    ///
+    /// # Errors
+    ///
+    /// See [`ShardedIndexSet::open_durable`].
+    pub fn open(
+        dir: impl AsRef<Path>,
+        opts: WalOptions,
+        cfg: ConcurrencyConfig,
+    ) -> Result<(Self, ShardedRecoveryReport)> {
+        let (durable, report) = ShardedIndexSet::<S>::open_durable(dir, opts)?;
+        Ok((Self::from_durable(durable, cfg), report))
+    }
+
+    /// Re-wrap a single-writer durable sharded set for concurrent
+    /// serving: each shard's WAL writer moves into its own group-commit
+    /// queue.
+    pub fn from_durable(durable: DurableShardedIndexSet<S>, cfg: ConcurrencyConfig) -> Self {
+        let (set, wals, dir, generation, next_lsn, save_opts) = durable.into_parts();
+        let fsync = wals
+            .first()
+            .map(|w| w.options().fsync)
+            .unwrap_or(FsyncPolicy::Always);
+        let queues = wals.into_iter().map(GroupCommitQueue::new).collect();
+        let staged = set.clone();
+        Self {
+            cell: EpochCell::new(set),
+            writer: Mutex::new(DurableShardedStaged {
+                set: staged,
+                next_lsn,
+                dirty: 0,
+                generation,
+            }),
+            queues,
+            dir,
+            fsync,
+            save_opts,
+            publish_every: cfg.publish_every.max(1),
+        }
+    }
+
+    fn lock_writer(&self) -> MutexGuard<'_, DurableShardedStaged<S>> {
+        self.writer.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Pin the current epoch for reading.
+    pub fn snapshot(&self) -> Snapshot<ShardedIndexSet<S>> {
+        self.cell.load()
+    }
+
+    fn maybe_publish(&self, staged: &mut DurableShardedStaged<S>) {
+        if staged.dirty >= self.publish_every {
+            self.cell.publish(staged.set.clone());
+            staged.dirty = 0;
+        }
+    }
+
+    /// Acknowledge `lsn` on shard `shard` per the fsync policy (see
+    /// [`ConcurrentDurablePlanarIndexSet`]'s policy mapping).
+    fn ack(&self, shard: usize, lsn: Lsn) -> Result<()> {
+        let queue = &self.queues[shard];
+        match self.fsync {
+            FsyncPolicy::Always => queue.wait_durable(lsn),
+            FsyncPolicy::EveryN(n) => {
+                if queue.ack_lag() >= u64::from(n.max(1)) {
+                    queue.flush(false)?;
+                }
+                Ok(())
+            }
+            FsyncPolicy::OnCheckpoint => {
+                if queue.ack_lag() >= LAZY_FLUSH_RECORDS {
+                    queue.flush(false)?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Group-committed insert routed by the partitioner. See
+    /// [`DurableShardedIndexSet::insert_point`].
+    ///
+    /// # Errors
+    ///
+    /// As [`DurableShardedIndexSet::insert_point`] (a commit-group
+    /// append/fsync failure is *not* acknowledged).
+    pub fn insert_point(&self, row: &[f64]) -> Result<PointId> {
+        let (shard, lsn, id) = {
+            let mut w = self.lock_writer();
+            validate_row(w.set.dim(), row)?;
+            let global = w.set.next_global();
+            let shard = w.set.partitioner().route(global, row);
+            let lsn = w.next_lsn;
+            self.queues[shard].enqueue(
+                lsn,
+                WalRecord::Insert {
+                    id: global,
+                    row: row.to_vec(),
+                },
+            )?;
+            w.next_lsn = lsn + 1;
+            let got = w.set.insert_point(row).map_err(internal_apply)?;
+            if got != global {
+                return Err(PlanarError::Internal(format!(
+                    "staged insert assigned global id {got}, routing predicted {global}"
+                )));
+            }
+            w.dirty += 1;
+            self.maybe_publish(&mut w);
+            (shard, lsn, got)
+        };
+        self.ack(shard, lsn)?;
+        Ok(id)
+    }
+
+    /// Group-committed update on the point's shard. See
+    /// [`DurableShardedIndexSet::update_point`].
+    ///
+    /// # Errors
+    ///
+    /// As [`DurableShardedIndexSet::update_point`].
+    pub fn update_point(&self, id: PointId, row: &[f64]) -> Result<()> {
+        let (shard, lsn) = {
+            let mut w = self.lock_writer();
+            validate_row(w.set.dim(), row)?;
+            let shard = w.set.shard_of(id).ok_or(PlanarError::PointNotFound(id))?;
+            let lsn = w.next_lsn;
+            self.queues[shard].enqueue(
+                lsn,
+                WalRecord::Update {
+                    id,
+                    row: row.to_vec(),
+                },
+            )?;
+            w.next_lsn = lsn + 1;
+            w.set.update_point(id, row).map_err(internal_apply)?;
+            w.dirty += 1;
+            self.maybe_publish(&mut w);
+            (shard, lsn)
+        };
+        self.ack(shard, lsn)
+    }
+
+    /// Group-committed delete on the point's shard. See
+    /// [`DurableShardedIndexSet::delete_point`].
+    ///
+    /// # Errors
+    ///
+    /// As [`DurableShardedIndexSet::delete_point`].
+    pub fn delete_point(&self, id: PointId) -> Result<()> {
+        let (shard, lsn) = {
+            let mut w = self.lock_writer();
+            let shard = w.set.shard_of(id).ok_or(PlanarError::PointNotFound(id))?;
+            let lsn = w.next_lsn;
+            self.queues[shard].enqueue(lsn, WalRecord::Delete { id })?;
+            w.next_lsn = lsn + 1;
+            w.set.delete_point(id).map_err(internal_apply)?;
+            w.dirty += 1;
+            self.maybe_publish(&mut w);
+            (shard, lsn)
+        };
+        self.ack(shard, lsn)
+    }
+
+    /// Group-committed mutation batch routed across shards: validated up
+    /// front, logged contiguously in global LSN order, applied, published
+    /// as one epoch, then acknowledged with at most one fsync **per
+    /// touched shard**.
+    ///
+    /// # Errors
+    ///
+    /// As [`DurableShardedIndexSet::apply_batch`].
+    pub fn apply_batch(&self, muts: &[Mutation]) -> Result<Vec<MutationAck>> {
+        if muts.is_empty() {
+            return Ok(Vec::new());
+        }
+        let (acks, touched) = {
+            let mut w = self.lock_writer();
+            let dim = w.set.dim();
+            let mut born: Vec<(PointId, usize)> = Vec::new();
+            let mut killed: Vec<PointId> = Vec::new();
+            let mut next = w.set.next_global();
+            let mut routed: Vec<(usize, WalRecord)> = Vec::with_capacity(muts.len());
+            for m in muts {
+                match m {
+                    Mutation::Insert { row } => {
+                        validate_row(dim, row)?;
+                        let shard = w.set.partitioner().route(next, row);
+                        routed.push((
+                            shard,
+                            WalRecord::Insert {
+                                id: next,
+                                row: row.clone(),
+                            },
+                        ));
+                        born.push((next, shard));
+                        next += 1;
+                    }
+                    Mutation::Update { id, row } => {
+                        validate_row(dim, row)?;
+                        let shard = shard_in_batch(&w.set, *id, &born, &killed)?;
+                        routed.push((
+                            shard,
+                            WalRecord::Update {
+                                id: *id,
+                                row: row.clone(),
+                            },
+                        ));
+                    }
+                    Mutation::Delete { id } => {
+                        let shard = shard_in_batch(&w.set, *id, &born, &killed)?;
+                        routed.push((shard, WalRecord::Delete { id: *id }));
+                        killed.push(*id);
+                    }
+                }
+            }
+            let first_lsn = w.next_lsn;
+            let mut touched: Vec<Option<Lsn>> = vec![None; self.queues.len()];
+            for (i, (shard, rec)) in routed.iter().enumerate() {
+                let lsn = first_lsn + i as Lsn;
+                self.queues[*shard].enqueue(lsn, rec.clone())?;
+                touched[*shard] = Some(lsn);
+            }
+            w.next_lsn = first_lsn + routed.len() as Lsn;
+            let mut acks = Vec::with_capacity(routed.len());
+            for (_, rec) in &routed {
+                acks.push(apply_sharded_record(&mut w.set, rec)?);
+            }
+            w.dirty += routed.len();
+            self.cell.publish(w.set.clone());
+            w.dirty = 0;
+            (acks, touched)
+        };
+        for (shard, last) in touched.iter().enumerate() {
+            if let Some(lsn) = last {
+                self.ack(shard, *lsn)?;
+            }
+        }
+        Ok(acks)
+    }
+
+    /// Force every shard's queue to stable storage now.
+    ///
+    /// # Errors
+    ///
+    /// [`PlanarError::Persist`] on append/fsync failure.
+    pub fn sync(&self) -> Result<()> {
+        for queue in &self.queues {
+            queue.flush(true)?;
+        }
+        Ok(())
+    }
+
+    /// Checkpoint-then-truncate across every shard (see
+    /// [`DurableShardedIndexSet::checkpoint`]). Mutations block for the
+    /// duration; readers keep serving from pinned epochs.
+    ///
+    /// # Errors
+    ///
+    /// [`PlanarError::Persist`] on I/O failure.
+    pub fn checkpoint(&self) -> Result<Lsn> {
+        let mut w = self.lock_writer();
+        let watermark = w.next_lsn;
+        for queue in &self.queues {
+            queue.enqueue(watermark, WalRecord::Checkpoint { watermark })?;
+            queue.flush(true)?;
+        }
+        w.next_lsn = watermark + 1;
+        let generation = w.generation + 1;
+        w.set.save_to_with(
+            snapshot_path(&self.dir, generation),
+            &mut crate::fault::StdIo,
+            &self.save_opts,
+        )?;
+        write_manifest(
+            &self.dir,
+            Manifest {
+                generation,
+                watermark,
+            },
+        )?;
+        w.generation = generation;
+        for queue in &self.queues {
+            queue.with_writer(|wal| wal.truncate_all(watermark + 1))?;
+        }
+        sweep_snapshots(&self.dir, generation);
+        Ok(watermark)
+    }
+
+    /// Publish the staged state now. Returns the published epoch.
+    pub fn publish(&self) -> u64 {
+        let mut w = self.lock_writer();
+        let epoch = self.cell.publish(w.set.clone());
+        w.dirty = 0;
+        epoch
+    }
+
+    /// Sweep retired epochs whose grace period ended.
+    pub fn reclaim(&self) -> usize {
+        self.cell.reclaim()
+    }
+
+    /// Epoch bookkeeping.
+    pub fn epoch_stats(&self) -> EpochStats {
+        self.cell.stats()
+    }
+
+    /// Aggregate WAL health across every shard's queue (the merge keeps
+    /// the most conservative `acked_lsn`).
+    pub fn wal_health(&self) -> WalHealth {
+        let mut h = WalHealth::default();
+        for queue in &self.queues {
+            h.merge(&queue.health());
+        }
+        h
+    }
+
+    /// Group-commit counters summed across shards.
+    pub fn group_commit_stats(&self) -> GroupCommitStats {
+        let mut total = GroupCommitStats::default();
+        for queue in &self.queues {
+            let s = queue.stats();
+            total.fsyncs += s.fsyncs;
+            total.committed_records += s.committed_records;
+            total.max_group = total.max_group.max(s.max_group);
+        }
+        total
+    }
+
+    /// Data fsyncs summed across every shard's WAL writer.
+    pub fn fsync_count(&self) -> u64 {
+        self.queues.iter().map(GroupCommitQueue::fsync_count).sum()
+    }
+}
+
+/// Shard routing for updates/deletes inside a batch: points born earlier
+/// in the batch route to their recorded shard, killed points are gone.
+fn shard_in_batch<S: KeyStore + Clone>(
+    set: &ShardedIndexSet<S>,
+    id: PointId,
+    born: &[(PointId, usize)],
+    killed: &[PointId],
+) -> Result<usize> {
+    if killed.contains(&id) {
+        return Err(PlanarError::PointNotFound(id));
+    }
+    if let Some(&(_, shard)) = born.iter().find(|&&(b, _)| b == id) {
+        return Ok(shard);
+    }
+    set.shard_of(id).ok_or(PlanarError::PointNotFound(id))
+}
+
+fn apply_sharded_record<S: KeyStore + Clone>(
+    set: &mut ShardedIndexSet<S>,
+    rec: &WalRecord,
+) -> Result<MutationAck> {
+    match rec {
+        WalRecord::Insert { id, row } => {
+            let got = set.insert_point(row).map_err(internal_apply)?;
+            if got != *id {
+                return Err(PlanarError::Internal(format!(
+                    "staged insert assigned global id {got}, batch routing predicted {id}"
+                )));
+            }
+            Ok(MutationAck::Inserted(got))
+        }
+        WalRecord::Update { id, row } => {
+            set.update_point(*id, row).map_err(internal_apply)?;
+            Ok(MutationAck::Updated)
+        }
+        WalRecord::Delete { id } => {
+            set.delete_point(*id).map_err(internal_apply)?;
+            Ok(MutationAck::Deleted)
+        }
+        _ => Err(PlanarError::Internal(
+            "only point mutations are batch-applied".into(),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::ParameterDomain;
+    use crate::fault::TempDir;
+    use crate::multi::IndexConfig;
+    use crate::query::{Cmp, InequalityQuery};
+    use crate::table::FeatureTable;
+    use crate::VecStore;
+
+    fn small_set(n: usize) -> PlanarIndexSet<VecStore> {
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| vec![1.0 + (i % 13) as f64, 1.0 + (i % 7) as f64])
+            .collect();
+        let table = FeatureTable::from_rows(2, rows).unwrap();
+        let domain = ParameterDomain::uniform_continuous(2, 0.5, 2.0).unwrap();
+        PlanarIndexSet::build(table, domain, IndexConfig::with_budget(4)).unwrap()
+    }
+
+    fn probe(b: f64) -> InequalityQuery {
+        InequalityQuery::new(vec![1.0, 1.5], Cmp::Leq, b).unwrap()
+    }
+
+    #[test]
+    fn snapshots_pin_epochs_and_reclaim_after_grace() {
+        let conc = ConcurrentPlanarIndexSet::new(small_set(40), ConcurrencyConfig::default());
+        let pinned = conc.snapshot();
+        assert_eq!(pinned.epoch(), 1);
+        assert_eq!(pinned.len(), 40);
+
+        conc.insert_point(&[3.0, 3.0]).unwrap();
+        conc.insert_point(&[4.0, 4.0]).unwrap();
+        // The pin still answers from epoch 1.
+        assert_eq!(pinned.len(), 40);
+        let now = conc.snapshot();
+        assert_eq!(now.epoch(), 3);
+        assert_eq!(now.len(), 42);
+
+        // Epoch 2 had no pins → already reclaimed; epoch 1 waits for ours.
+        let stats = conc.epoch_stats();
+        assert_eq!(stats.published, 2);
+        assert_eq!(stats.retired_live, 1);
+        assert_eq!(stats.reclaimed, 1);
+
+        drop(pinned);
+        assert_eq!(conc.reclaim(), 1, "grace period ends with the last pin");
+        assert_eq!(conc.epoch_stats().retired_live, 0);
+    }
+
+    #[test]
+    fn batch_publishes_one_epoch_and_matches_serial() {
+        let conc = ConcurrentPlanarIndexSet::new(small_set(30), ConcurrencyConfig::default());
+        let mut twin = small_set(30);
+        let muts = vec![
+            Mutation::Insert {
+                row: vec![2.0, 9.0],
+            },
+            Mutation::Insert {
+                row: vec![7.0, 1.0],
+            },
+            Mutation::Update {
+                id: 30,
+                row: vec![6.0, 6.0],
+            },
+            Mutation::Delete { id: 3 },
+        ];
+        let acks = conc.apply_batch(&muts).unwrap();
+        assert_eq!(acks[0], MutationAck::Inserted(30));
+        assert_eq!(acks[1], MutationAck::Inserted(31));
+        twin.insert_point(&[2.0, 9.0]).unwrap();
+        twin.insert_point(&[7.0, 1.0]).unwrap();
+        twin.update_point(30, &[6.0, 6.0]).unwrap();
+        twin.delete_point(3).unwrap();
+
+        let snap = conc.snapshot();
+        assert_eq!(snap.epoch(), 2, "one epoch for the whole batch");
+        for b in [8.0, 12.0, 20.0] {
+            assert_eq!(
+                snap.query(&probe(b)).unwrap().sorted_ids(),
+                twin.query(&probe(b)).unwrap().sorted_ids()
+            );
+        }
+    }
+
+    #[test]
+    fn batch_validation_is_all_or_nothing() {
+        let conc = ConcurrentPlanarIndexSet::new(small_set(10), ConcurrencyConfig::default());
+        let muts = vec![
+            Mutation::Insert {
+                row: vec![2.0, 2.0],
+            },
+            Mutation::Delete { id: 999 },
+        ];
+        assert!(matches!(
+            conc.apply_batch(&muts),
+            Err(PlanarError::PointNotFound(999))
+        ));
+        assert_eq!(conc.snapshot().len(), 10, "nothing applied");
+        assert_eq!(conc.snapshot().epoch(), 1, "nothing published");
+    }
+
+    #[test]
+    fn publish_cadence_batches_epochs() {
+        let cfg = ConcurrencyConfig::default().publish_every(4);
+        let conc = ConcurrentPlanarIndexSet::new(small_set(10), cfg);
+        for i in 0..3 {
+            conc.insert_point(&[2.0 + i as f64, 2.0]).unwrap();
+        }
+        assert_eq!(conc.snapshot().len(), 10, "below cadence: not yet visible");
+        conc.insert_point(&[9.0, 9.0]).unwrap();
+        assert_eq!(conc.snapshot().len(), 14, "4th mutation publishes");
+        conc.insert_point(&[9.5, 9.5]).unwrap();
+        assert_eq!(conc.snapshot().len(), 14);
+        assert_eq!(conc.publish(), 3, "manual publish flushes the remainder");
+        assert_eq!(conc.snapshot().len(), 15);
+    }
+
+    #[test]
+    fn sharded_snapshots_match_twin() {
+        use crate::shard::{ShardConfig, ShardedIndexSet};
+        let build = || {
+            let rows: Vec<Vec<f64>> = (0..60)
+                .map(|i| vec![1.0 + (i % 11) as f64, 1.0 + (i % 6) as f64])
+                .collect();
+            let table = FeatureTable::from_rows(2, rows).unwrap();
+            let domain = ParameterDomain::uniform_continuous(2, 0.5, 2.0).unwrap();
+            ShardedIndexSet::<VecStore>::build(
+                table,
+                domain,
+                IndexConfig::with_budget(3),
+                ShardConfig::round_robin(3),
+            )
+            .unwrap()
+        };
+        let conc = ConcurrentShardedIndexSet::new(build(), ConcurrencyConfig::default());
+        let mut twin = build();
+        let pinned = conc.snapshot();
+        for i in 0..10 {
+            let row = vec![2.0 + (i % 5) as f64, 3.0];
+            assert_eq!(
+                conc.insert_point(&row).unwrap(),
+                twin.insert_point(&row).unwrap()
+            );
+        }
+        conc.delete_point(2).unwrap();
+        twin.delete_point(2).unwrap();
+        assert_eq!(pinned.len(), 60, "pinned epoch is frozen");
+        let now = conc.snapshot();
+        for b in [8.0, 14.0] {
+            assert_eq!(
+                now.query(&probe(b)).unwrap().sorted_ids(),
+                twin.query(&probe(b)).unwrap().sorted_ids()
+            );
+        }
+    }
+
+    /// Readers race a writer across epochs; every reader answer must be
+    /// internally consistent with the epoch it pinned. This test is the
+    /// ThreadSanitizer smoke target wired into CI (`tsan_smoke` in its
+    /// name is load-bearing).
+    #[test]
+    fn tsan_smoke_readers_race_writer() {
+        let conc = std::sync::Arc::new(ConcurrentPlanarIndexSet::new(
+            small_set(50),
+            ConcurrencyConfig::default(),
+        ));
+        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                let conc = std::sync::Arc::clone(&conc);
+                let stop = std::sync::Arc::clone(&stop);
+                s.spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        let snap = conc.snapshot();
+                        let out = snap.query(&probe(12.0)).unwrap();
+                        // Snapshot immutability: re-running on the same pin
+                        // is bit-identical even mid-mutation-stream.
+                        assert_eq!(
+                            out.sorted_ids(),
+                            snap.query(&probe(12.0)).unwrap().sorted_ids()
+                        );
+                    }
+                });
+            }
+            for i in 0..64 {
+                conc.insert_point(&[1.0 + (i % 9) as f64, 2.0]).unwrap();
+                if i % 16 == 0 {
+                    conc.reclaim();
+                }
+            }
+            stop.store(true, Ordering::Relaxed);
+        });
+        assert_eq!(conc.snapshot().len(), 114);
+    }
+
+    #[test]
+    fn durable_concurrent_group_commit_roundtrip() {
+        let tmp = TempDir::new("conc_durable").unwrap();
+        let opts = WalOptions::default(); // Always: every ack durable
+        let conc = std::sync::Arc::new(
+            ConcurrentDurablePlanarIndexSet::create(
+                tmp.path(),
+                small_set(40),
+                opts,
+                ConcurrencyConfig::default(),
+            )
+            .unwrap(),
+        );
+        // 4 mutator threads share commit groups.
+        std::thread::scope(|s| {
+            for t in 0..4u32 {
+                let conc = std::sync::Arc::clone(&conc);
+                s.spawn(move || {
+                    for i in 0..8 {
+                        conc.insert_point(&[1.0 + t as f64, 1.0 + i as f64])
+                            .unwrap();
+                    }
+                });
+            }
+        });
+        let health = conc.wal_health();
+        assert_eq!(health.appended_lsn, 32);
+        assert_eq!(health.acked_lsn, 32, "Always: every ack durable");
+        assert_eq!(health.ack_lag(), 0);
+        let gc = conc.group_commit_stats();
+        assert_eq!(gc.committed_records, 32);
+        assert!(gc.fsyncs <= 32);
+        assert_eq!(conc.snapshot().len(), 72);
+
+        // Kill without checkpoint; recovery must replay all 32.
+        drop(conc);
+        let (recovered, report) = ConcurrentDurablePlanarIndexSet::<VecStore>::open(
+            tmp.path(),
+            opts,
+            ConcurrencyConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(report.wal_replayed, 32);
+        assert_eq!(recovered.snapshot().len(), 72);
+    }
+
+    #[test]
+    fn durable_concurrent_checkpoint_truncates_and_reopens() {
+        let tmp = TempDir::new("conc_ckpt").unwrap();
+        let opts = WalOptions::default().fsync(FsyncPolicy::EveryN(8));
+        let conc = ConcurrentDurablePlanarIndexSet::create(
+            tmp.path(),
+            small_set(20),
+            opts,
+            ConcurrencyConfig::default(),
+        )
+        .unwrap();
+        for i in 0..10 {
+            conc.insert_point(&[2.0 + i as f64, 4.0]).unwrap();
+        }
+        let lag_before = conc.wal_health().ack_lag();
+        conc.sync().unwrap();
+        let h = conc.wal_health();
+        assert_eq!(
+            h.acked_lsn, h.appended_lsn,
+            "acked and appended converge after sync (lag was {lag_before})"
+        );
+        let watermark = conc.checkpoint().unwrap();
+        assert_eq!(watermark, 11);
+        conc.delete_point(5).unwrap();
+        drop(conc);
+        let (recovered, report) = ConcurrentDurablePlanarIndexSet::<VecStore>::open(
+            tmp.path(),
+            opts,
+            ConcurrencyConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(report.wal_replayed, 1, "only the post-checkpoint delete");
+        assert!(!recovered.snapshot().is_live(5));
+    }
+
+    #[test]
+    fn sharded_durable_concurrent_routes_and_recovers() {
+        use crate::shard::{ShardConfig, ShardedIndexSet};
+        let tmp = TempDir::new("conc_shard_durable").unwrap();
+        let opts = WalOptions::default(); // Always
+        let build = || {
+            let rows: Vec<Vec<f64>> = (0..30)
+                .map(|i| vec![1.0 + (i % 9) as f64, 1.0 + (i % 5) as f64])
+                .collect();
+            let table = FeatureTable::from_rows(2, rows).unwrap();
+            let domain = ParameterDomain::uniform_continuous(2, 0.5, 2.0).unwrap();
+            ShardedIndexSet::<VecStore>::build(
+                table,
+                domain,
+                IndexConfig::with_budget(3),
+                ShardConfig::round_robin(3),
+            )
+            .unwrap()
+        };
+        let conc = ConcurrentDurableShardedIndexSet::create(
+            tmp.path(),
+            build(),
+            opts,
+            ConcurrencyConfig::default(),
+        )
+        .unwrap();
+        let mut twin = build();
+
+        let pinned = conc.snapshot();
+        let muts: Vec<Mutation> = (0..6)
+            .map(|i| Mutation::Insert {
+                row: vec![2.0 + i as f64, 4.0],
+            })
+            .collect();
+        let acks = conc.apply_batch(&muts).unwrap();
+        assert_eq!(acks.len(), 6);
+        for m in &muts {
+            if let Mutation::Insert { row } = m {
+                twin.insert_point(row).unwrap();
+            }
+        }
+        conc.delete_point(4).unwrap();
+        twin.delete_point(4).unwrap();
+        assert_eq!(pinned.len(), 30, "pinned epoch is frozen");
+        let h = conc.wal_health();
+        assert_eq!(h.appended_lsn, 7);
+        assert_eq!(h.acked_lsn, 7, "Always: acked durable across shards");
+
+        let watermark = conc.checkpoint().unwrap();
+        assert_eq!(watermark, 8);
+        conc.insert_point(&[8.0, 8.0]).unwrap();
+        twin.insert_point(&[8.0, 8.0]).unwrap();
+        drop(conc);
+
+        let (recovered, report) = ConcurrentDurableShardedIndexSet::<VecStore>::open(
+            tmp.path(),
+            opts,
+            ConcurrencyConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(report.wal_replayed, 1, "only the post-checkpoint insert");
+        let snap = recovered.snapshot();
+        for b in [8.0, 14.0] {
+            assert_eq!(
+                snap.query(&probe(b)).unwrap().sorted_ids(),
+                twin.query(&probe(b)).unwrap().sorted_ids()
+            );
+        }
+    }
+}

@@ -74,7 +74,8 @@
 //! | [`stats`] | per-query pruning statistics and serving provenance |
 //! | [`memory`] | heap accounting for the memory experiments (Fig. 13b) |
 //! | [`persist`] | crash-safe snapshots: sectioned `PLNRIDX2` format, atomic saves, partial recovery |
-//! | [`wal`] | crash-consistent mutation durability: CRC-framed write-ahead log, checkpoints, point-in-time recovery |
+//! | [`wal`] | crash-consistent mutation durability: CRC-framed write-ahead log, group commit, checkpoints, point-in-time recovery |
+//! | [`concurrent`] | epoch-based snapshot isolation: lock-free concurrent reads under a single group-committing writer |
 //! | [`health`] | index self-verification and the quarantine-and-degrade lifecycle |
 //! | [`fault`] | fault injection: deterministic corruptions, a faulty IO layer, panic triggers |
 
@@ -82,6 +83,7 @@
 #![deny(unsafe_code)]
 
 pub mod adaptive;
+pub mod concurrent;
 pub mod conjunction;
 pub mod domain;
 pub mod fault;
@@ -104,6 +106,10 @@ pub mod table;
 pub mod wal;
 
 pub use adaptive::{AdaptiveConfig, AdaptivePlanarIndexSet};
+pub use concurrent::{
+    ConcurrencyConfig, ConcurrentDurablePlanarIndexSet, ConcurrentDurableShardedIndexSet,
+    ConcurrentPlanarIndexSet, ConcurrentShardedIndexSet, EpochCell, EpochStats, Snapshot,
+};
 pub use conjunction::{ConjunctionOutcome, ConjunctionQuery};
 pub use domain::{Domain, DomainTracker, ParameterDomain};
 #[cfg(any(test, feature = "fault-injection"))]
@@ -115,7 +121,7 @@ pub use health::{HealthIssue, HealthReport, IndexHealth, ShardedHealthReport};
 pub use index::{IntervalBounds, SingleIndex, TopKStats};
 pub use memory::HeapSize;
 pub use multi::{DynamicPlanarIndexSet, IndexConfig, PlanarIndexSet, QueryOutcome, TopKOutcome};
-pub use parallel::{ExecutionConfig, QueryScratch};
+pub use parallel::{ExecutionConfig, QueryScratch, ScratchPool};
 pub use persist::{RecoveryReport, SaveOptions, ShardedRecoveryReport};
 pub use query::{Cmp, InequalityQuery, InvalidQueryReason, TopKQuery};
 pub use router::AxisReductionRouter;
@@ -129,8 +135,8 @@ pub use stats::{ExecutionPath, QueryStats, ServedBy, StatsAggregator, StatsSnaps
 pub use store::{BPlusTree, EytzingerStore, KeyStore, VecStore};
 pub use table::{ColSegment, ColumnMajorRows, FeatureTable};
 pub use wal::{
-    DurablePlanarIndexSet, DurableShardedIndexSet, FsyncPolicy, Lsn, WalHealth, WalOptions,
-    WalRecord,
+    DurablePlanarIndexSet, DurableShardedIndexSet, FsyncPolicy, GroupCommitStats, Lsn, Mutation,
+    MutationAck, WalHealth, WalOptions, WalRecord,
 };
 
 use planar_geom::GeomError;

@@ -262,6 +262,62 @@ impl QueryScratch {
     }
 }
 
+/// A shared pool of [`QueryScratch`] buffers for concurrent readers.
+///
+/// Snapshot readers (see `crate::concurrent`) arrive on arbitrary threads
+/// and would otherwise either allocate a fresh scratch per query or hold
+/// one scratch per long-lived thread. The pool lets short-lived reader
+/// tasks [`Self::take`] a warmed scratch, run any number of queries with
+/// it, and [`Self::put`] it back — buffers keep their high-water-mark
+/// capacity across owners, so a steady mixed workload settles into zero
+/// verification-loop allocation regardless of which thread serves which
+/// query.
+#[derive(Debug, Default)]
+pub struct ScratchPool {
+    free: std::sync::Mutex<Vec<QueryScratch>>,
+}
+
+impl ScratchPool {
+    /// Empty pool; scratches are created on demand by [`Self::take`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pool pre-filled with `n` scratches sized for intermediate intervals
+    /// of up to `capacity` points.
+    pub fn with_capacity(n: usize, capacity: usize) -> Self {
+        let mut free = Vec::with_capacity(n);
+        free.resize_with(n, || QueryScratch::with_capacity(capacity));
+        Self {
+            free: std::sync::Mutex::new(free),
+        }
+    }
+
+    /// Pop a pooled scratch, or create a fresh one when the pool is empty
+    /// (never blocks).
+    pub fn take(&self) -> QueryScratch {
+        self.free
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .pop()
+            .unwrap_or_default()
+    }
+
+    /// Return a scratch to the pool; its grown buffers are kept warm for
+    /// the next taker.
+    pub fn put(&self, scratch: QueryScratch) {
+        self.free
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(scratch);
+    }
+
+    /// Scratches currently parked in the pool.
+    pub fn idle(&self) -> usize {
+        self.free.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+}
+
 /// Split `items` into `workers` contiguous chunks, apply `f` to each chunk
 /// on its own scoped thread, and return the per-chunk results in chunk
 /// order. `workers` must be ≥ 2 and `items` non-empty.
@@ -628,5 +684,27 @@ mod tests {
         assert_eq!(err, PlanarError::Internal("poisoned query".into()));
         let err = run_isolated(|| -> u32 { panic!("{} {}", "formatted", 7) }).unwrap_err();
         assert_eq!(err, PlanarError::Internal("formatted 7".into()));
+    }
+
+    #[test]
+    fn scratch_pool_recycles_warmed_buffers() {
+        let pool = ScratchPool::with_capacity(2, 64);
+        assert_eq!(pool.idle(), 2);
+        let mut a = pool.take();
+        let b = pool.take();
+        let c = pool.take(); // pool empty: freshly created
+        assert_eq!(pool.idle(), 0);
+        a.ids.reserve(1024);
+        let warmed = a.ids.capacity();
+        pool.put(a);
+        pool.put(b);
+        pool.put(c);
+        assert_eq!(pool.idle(), 3);
+        // LIFO: the most recently returned scratch comes back first…
+        let _c = pool.take();
+        let _b = pool.take();
+        let a = pool.take();
+        // …and the grown buffer kept its high-water-mark capacity.
+        assert!(a.ids.capacity() >= warmed);
     }
 }

@@ -220,6 +220,17 @@ pub struct StatsAggregator {
     wal_segments: usize,
     wal_unsynced_records: u64,
     wal_last_lsn: u64,
+    wal_appended_lsn: u64,
+    wal_acked_lsn: u64,
+    epoch_recorded: bool,
+    epoch: u64,
+    epochs_published: u64,
+    epochs_retired_live: usize,
+    epochs_reclaimed: u64,
+    gc_recorded: bool,
+    gc_fsyncs: u64,
+    gc_committed_records: u64,
+    gc_max_group: u64,
 }
 
 impl StatsAggregator {
@@ -279,6 +290,29 @@ impl StatsAggregator {
         self.wal_segments = health.segments;
         self.wal_unsynced_records = health.unsynced_records;
         self.wal_last_lsn = health.last_lsn;
+        self.wal_appended_lsn = health.appended_lsn;
+        self.wal_acked_lsn = health.acked_lsn;
+    }
+
+    /// Stamp the latest epoch bookkeeping (see [`crate::EpochStats`]) into
+    /// the aggregate. Point-in-time like [`Self::record_wal`]: the most
+    /// recent recording wins.
+    pub fn record_epoch(&mut self, stats: &crate::concurrent::EpochStats) {
+        self.epoch_recorded = true;
+        self.epoch = stats.epoch;
+        self.epochs_published = stats.published;
+        self.epochs_retired_live = stats.retired_live;
+        self.epochs_reclaimed = stats.reclaimed;
+    }
+
+    /// Stamp the latest group-commit counters (see
+    /// [`crate::GroupCommitStats`]) into the aggregate. Point-in-time like
+    /// [`Self::record_wal`]: the most recent recording wins.
+    pub fn record_group_commit(&mut self, stats: &crate::wal::GroupCommitStats) {
+        self.gc_recorded = true;
+        self.gc_fsyncs = stats.fsyncs;
+        self.gc_committed_records = stats.committed_records;
+        self.gc_max_group = stats.max_group;
     }
 
     /// Fold another aggregator into this one — equivalent to having
@@ -304,6 +338,21 @@ impl StatsAggregator {
             self.wal_segments = other.wal_segments;
             self.wal_unsynced_records = other.wal_unsynced_records;
             self.wal_last_lsn = other.wal_last_lsn;
+            self.wal_appended_lsn = other.wal_appended_lsn;
+            self.wal_acked_lsn = other.wal_acked_lsn;
+        }
+        if other.epoch_recorded {
+            self.epoch_recorded = true;
+            self.epoch = other.epoch;
+            self.epochs_published = other.epochs_published;
+            self.epochs_retired_live = other.epochs_retired_live;
+            self.epochs_reclaimed = other.epochs_reclaimed;
+        }
+        if other.gc_recorded {
+            self.gc_recorded = true;
+            self.gc_fsyncs = other.gc_fsyncs;
+            self.gc_committed_records = other.gc_committed_records;
+            self.gc_max_group = other.gc_max_group;
         }
     }
 
@@ -402,6 +451,15 @@ impl StatsAggregator {
             wal_segments: self.wal_segments,
             wal_unsynced_records: self.wal_unsynced_records,
             wal_last_lsn: self.wal_last_lsn,
+            wal_appended_lsn: self.wal_appended_lsn,
+            wal_acked_lsn: self.wal_acked_lsn,
+            epoch: self.epoch,
+            epochs_published: self.epochs_published,
+            epochs_retired_live: self.epochs_retired_live,
+            epochs_reclaimed: self.epochs_reclaimed,
+            group_commit_fsyncs: self.gc_fsyncs,
+            group_commit_records: self.gc_committed_records,
+            group_commit_max_group: self.gc_max_group,
             kernel: planar_geom::kernel_name(),
             fma_available: planar_geom::host_has_fma(),
             thread_clamp_events: crate::parallel::thread_clamp_events(),
@@ -448,6 +506,29 @@ pub struct StatsSnapshot {
     pub wal_unsynced_records: u64,
     /// Highest LSN appended to the WAL at the last recording.
     pub wal_last_lsn: u64,
+    /// Highest LSN appended at the last recording (group-commit view;
+    /// equals `wal_last_lsn`).
+    pub wal_appended_lsn: u64,
+    /// Highest fsync-covered LSN at the last recording;
+    /// `wal_appended_lsn − wal_acked_lsn` is the observable group-commit
+    /// lag.
+    pub wal_acked_lsn: u64,
+    /// Published epoch at the last [`StatsAggregator::record_epoch`]
+    /// (0 when never recorded).
+    pub epoch: u64,
+    /// Epochs published over the recorded cell's lifetime.
+    pub epochs_published: u64,
+    /// Retired epochs still in their grace period at the last recording.
+    pub epochs_retired_live: usize,
+    /// Retired epochs reclaimed after their grace period ended.
+    pub epochs_reclaimed: u64,
+    /// Commit-group leader fsyncs at the last
+    /// [`StatsAggregator::record_group_commit`] (0 when never recorded).
+    pub group_commit_fsyncs: u64,
+    /// Records made durable through those fsyncs.
+    pub group_commit_records: u64,
+    /// Largest single commit group observed.
+    pub group_commit_max_group: u64,
     /// Dispatched scalar-product kernel (`"avx2"` or `"portable"`).
     pub kernel: &'static str,
     /// Whether the host advertises FMA (never used by the kernels — see the
@@ -629,16 +710,22 @@ mod tests {
             segments: 2,
             unsynced_records: 3,
             last_lsn: 40,
+            appended_lsn: 40,
+            acked_lsn: 37,
         });
         agg.record_wal(&crate::wal::WalHealth {
             segments: 1,
             unsynced_records: 0,
             last_lsn: 57,
+            appended_lsn: 57,
+            acked_lsn: 57,
         });
         let snap = agg.snapshot();
         assert_eq!(snap.wal_segments, 1);
         assert_eq!(snap.wal_unsynced_records, 0);
         assert_eq!(snap.wal_last_lsn, 57);
+        assert_eq!(snap.wal_appended_lsn, 57);
+        assert_eq!(snap.wal_acked_lsn, 57);
         // Merging an aggregator that never recorded keeps ours.
         agg.merge(&StatsAggregator::new());
         assert_eq!(agg.snapshot().wal_last_lsn, 57);
@@ -648,8 +735,53 @@ mod tests {
             segments: 4,
             unsynced_records: 7,
             last_lsn: 99,
+            appended_lsn: 99,
+            acked_lsn: 92,
         });
         agg.merge(&other);
         assert_eq!(agg.snapshot().wal_last_lsn, 99);
+        assert_eq!(agg.snapshot().wal_acked_lsn, 92);
+    }
+
+    #[test]
+    fn epoch_and_group_commit_are_latest_wins() {
+        let mut agg = StatsAggregator::new();
+        let snap = agg.snapshot();
+        assert_eq!(snap.epoch, 0);
+        assert_eq!(snap.group_commit_fsyncs, 0);
+        agg.record_epoch(&crate::concurrent::EpochStats {
+            epoch: 3,
+            published: 2,
+            retired_live: 1,
+            reclaimed: 1,
+        });
+        agg.record_group_commit(&crate::wal::GroupCommitStats {
+            fsyncs: 4,
+            committed_records: 32,
+            max_group: 12,
+        });
+        let snap = agg.snapshot();
+        assert_eq!(snap.epoch, 3);
+        assert_eq!(snap.epochs_published, 2);
+        assert_eq!(snap.epochs_retired_live, 1);
+        assert_eq!(snap.epochs_reclaimed, 1);
+        assert_eq!(snap.group_commit_fsyncs, 4);
+        assert_eq!(snap.group_commit_records, 32);
+        assert_eq!(snap.group_commit_max_group, 12);
+        // Merging a never-recorded aggregator keeps ours…
+        agg.merge(&StatsAggregator::new());
+        assert_eq!(agg.snapshot().epoch, 3);
+        // …and a recorded one wins.
+        let mut other = StatsAggregator::new();
+        other.record_epoch(&crate::concurrent::EpochStats {
+            epoch: 9,
+            published: 8,
+            retired_live: 0,
+            reclaimed: 8,
+        });
+        agg.merge(&other);
+        let snap = agg.snapshot();
+        assert_eq!(snap.epoch, 9);
+        assert_eq!(snap.group_commit_fsyncs, 4, "gc recording survives");
     }
 }

@@ -53,6 +53,7 @@
 use std::fs::{self, File, OpenOptions};
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
+use std::sync::{Condvar, Mutex};
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
@@ -86,7 +87,7 @@ const TAG_DELETE: u8 = 3;
 const TAG_COMPACT: u8 = 4;
 const TAG_CHECKPOINT: u8 = 5;
 
-fn walerr(msg: impl Into<String>) -> PlanarError {
+pub(crate) fn walerr(msg: impl Into<String>) -> PlanarError {
     PlanarError::Persist(format!("wal: {}", msg.into()))
 }
 
@@ -156,14 +157,45 @@ pub struct WalHealth {
     /// loss window on power failure.
     pub unsynced_records: u64,
     /// LSN of the newest appended record (0 when the log is empty).
+    /// Alias of [`Self::appended_lsn`], kept for dashboard compatibility.
     pub last_lsn: Lsn,
+    /// LSN of the newest appended record (0 when the log is empty).
+    pub appended_lsn: Lsn,
+    /// Highest LSN known durable: every record at or below it has been
+    /// covered by an fsync. `appended_lsn − acked_lsn` is the group-commit
+    /// lag — the records a power cut would lose right now. The two
+    /// converge after [`DurablePlanarIndexSet::sync`] (and its sharded and
+    /// concurrent counterparts).
+    pub acked_lsn: Lsn,
 }
 
 impl WalHealth {
-    fn merge(&mut self, other: &WalHealth) {
+    /// `appended_lsn − acked_lsn`: records appended but not yet durable.
+    pub fn ack_lag(&self) -> u64 {
+        self.appended_lsn.saturating_sub(self.acked_lsn)
+    }
+
+    /// The durability bound this log imposes on a merged view: `None`
+    /// when fully synced (it constrains nothing), the acked watermark
+    /// otherwise.
+    fn lag_bound(&self) -> Option<Lsn> {
+        (self.acked_lsn < self.appended_lsn).then_some(self.acked_lsn)
+    }
+
+    pub(crate) fn merge(&mut self, other: &WalHealth) {
         self.segments += other.segments;
         self.unsynced_records += other.unsynced_records;
+        // The merged acked watermark is limited by the laggiest writer:
+        // shards own disjoint LSN subsets, so the conservative global
+        // "everything ≤ acked is durable" bound is the minimum over
+        // writers that still have unsynced records.
+        let bound = match (self.lag_bound(), other.lag_bound()) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
         self.last_lsn = self.last_lsn.max(other.last_lsn);
+        self.appended_lsn = self.appended_lsn.max(other.appended_lsn);
+        self.acked_lsn = bound.unwrap_or(self.appended_lsn);
     }
 }
 
@@ -210,6 +242,93 @@ pub enum WalRecord {
         /// The LSN the snapshot covers through.
         watermark: Lsn,
     },
+}
+
+/// One point mutation, expressed independently of any set so batches can
+/// be validated, logged, and applied as a unit. This is the group-commit
+/// currency: [`DurablePlanarIndexSet::apply_batch`] (and the sharded and
+/// concurrent counterparts) log a whole `&[Mutation]` with **one** fsync.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Mutation {
+    /// Insert a new point (the engine assigns the id, returned in the ack).
+    Insert {
+        /// The feature row.
+        row: Vec<f64>,
+    },
+    /// Replace the row of live point `id`.
+    Update {
+        /// The id to update.
+        id: PointId,
+        /// The new feature row.
+        row: Vec<f64>,
+    },
+    /// Tombstone live point `id`.
+    Delete {
+        /// The id to delete.
+        id: PointId,
+    },
+}
+
+/// Acknowledgement for one [`Mutation`] of a batch, in batch order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MutationAck {
+    /// An insert happened and was assigned this id.
+    Inserted(PointId),
+    /// An update was applied.
+    Updated,
+    /// A delete was applied.
+    Deleted,
+}
+
+/// Pre-validate a whole mutation batch against the *simulated* live-set
+/// it will see, so once frames start hitting the log every apply is
+/// infallible: inserts are assigned ids `next_id, next_id+1, …`, and
+/// updates/deletes may target both pre-existing live points and ids born
+/// (and not yet re-deleted) earlier in the same batch.
+pub(crate) fn validate_batch(
+    dim: usize,
+    next_id: PointId,
+    is_live: impl Fn(PointId) -> bool,
+    muts: &[Mutation],
+) -> Result<Vec<WalRecord>> {
+    let mut born: Vec<PointId> = Vec::new();
+    let mut killed: Vec<PointId> = Vec::new();
+    let mut next = next_id;
+    let live = |id: PointId, born: &[PointId], killed: &[PointId]| -> bool {
+        !killed.contains(&id) && (is_live(id) || born.contains(&id))
+    };
+    let mut records = Vec::with_capacity(muts.len());
+    for m in muts {
+        match m {
+            Mutation::Insert { row } => {
+                validate_row(dim, row)?;
+                records.push(WalRecord::Insert {
+                    id: next,
+                    row: row.clone(),
+                });
+                born.push(next);
+                next += 1;
+            }
+            Mutation::Update { id, row } => {
+                validate_row(dim, row)?;
+                if !live(*id, &born, &killed) {
+                    return Err(PlanarError::PointNotFound(*id));
+                }
+                records.push(WalRecord::Update {
+                    id: *id,
+                    row: row.clone(),
+                });
+            }
+            Mutation::Delete { id } => {
+                if !live(*id, &born, &killed) {
+                    return Err(PlanarError::PointNotFound(*id));
+                }
+                records.push(WalRecord::Delete { id: *id });
+                killed.push(*id);
+            }
+        }
+    }
+    Ok(records)
 }
 
 fn encode_frame(lsn: Lsn, rec: &WalRecord) -> Vec<u8> {
@@ -486,7 +605,14 @@ pub(crate) struct WalWriter {
     segment_len: u64,
     segment_count: usize,
     last_lsn: Lsn,
+    /// Highest LSN covered by an fsync (everything on disk at open time
+    /// already survived a scan, so repair re-baselines this to `last_lsn`).
+    synced_lsn: Lsn,
     unsynced: u64,
+    /// Data fsyncs issued over this writer's lifetime — the denominator
+    /// of group-commit amortization (read by the bench crate through
+    /// [`Self::fsync_count`]).
+    fsync_count: u64,
     #[cfg(any(test, feature = "fault-injection"))]
     appends: u64,
     #[cfg(any(test, feature = "fault-injection"))]
@@ -567,7 +693,9 @@ impl WalWriter {
             segment_len,
             segment_count,
             last_lsn,
+            synced_lsn: last_lsn,
             unsynced: 0,
+            fsync_count: 0,
             #[cfg(any(test, feature = "fault-injection"))]
             appends: 0,
             #[cfg(any(test, feature = "fault-injection"))]
@@ -577,9 +705,23 @@ impl WalWriter {
         Ok((writer, scan))
     }
 
+    /// The options this writer was opened with.
+    pub(crate) fn options(&self) -> &WalOptions {
+        &self.opts
+    }
+
     /// Append one record at `lsn` (must exceed every prior LSN), rotating
     /// and fsyncing per policy.
     fn append(&mut self, lsn: Lsn, rec: &WalRecord) -> Result<()> {
+        self.append_frame(lsn, rec)?;
+        self.policy_sync()
+    }
+
+    /// Append one record without consulting the fsync policy: the building
+    /// block of group commit, where many appends share one explicit
+    /// [`Self::sync`]. The record is written (and rotation handled) but
+    /// durability is deferred to the caller.
+    pub(crate) fn append_frame(&mut self, lsn: Lsn, rec: &WalRecord) -> Result<()> {
         if lsn <= self.last_lsn {
             return Err(walerr(format!(
                 "non-monotonic lsn {lsn} (last {})",
@@ -597,6 +739,11 @@ impl WalWriter {
         self.segment_len += frame.len() as u64;
         self.last_lsn = lsn;
         self.unsynced += 1;
+        Ok(())
+    }
+
+    /// Apply the configured fsync policy to whatever is unsynced.
+    pub(crate) fn policy_sync(&mut self) -> Result<()> {
         match self.opts.fsync {
             FsyncPolicy::Always => self.sync()?,
             FsyncPolicy::EveryN(n) => {
@@ -645,15 +792,22 @@ impl WalWriter {
     }
 
     /// Force everything appended so far to stable storage.
-    fn sync(&mut self) -> Result<()> {
+    pub(crate) fn sync(&mut self) -> Result<()> {
         self.file.sync_data().map_err(|e| walio("fsync", e))?;
         self.unsynced = 0;
+        self.synced_lsn = self.last_lsn;
+        self.fsync_count += 1;
         Ok(())
+    }
+
+    /// Data fsyncs issued over this writer's lifetime.
+    pub(crate) fn fsync_count(&self) -> u64 {
+        self.fsync_count
     }
 
     /// Checkpoint truncation: every record is covered by a durable
     /// snapshot, so drop all segments and start fresh at `next_lsn`.
-    fn truncate_all(&mut self, next_lsn: Lsn) -> Result<()> {
+    pub(crate) fn truncate_all(&mut self, next_lsn: Lsn) -> Result<()> {
         for seg in list_segments(&self.dir)? {
             fs::remove_file(&seg).map_err(|e| walio("truncate segment", e))?;
         }
@@ -662,15 +816,294 @@ impl WalWriter {
         self.segment_count = 1;
         self.unsynced = 0;
         self.last_lsn = next_lsn.saturating_sub(1);
+        self.synced_lsn = self.last_lsn;
         Ok(())
     }
 
-    fn health(&self) -> WalHealth {
+    pub(crate) fn health(&self) -> WalHealth {
         WalHealth {
             segments: self.segment_count,
             unsynced_records: self.unsynced,
             last_lsn: self.last_lsn,
+            appended_lsn: self.last_lsn,
+            acked_lsn: self.synced_lsn,
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Group commit
+// ---------------------------------------------------------------------------
+
+/// Counters describing how well group commit is amortizing fsyncs,
+/// exposed by the concurrent durable wrappers and stamped into
+/// [`crate::StatsSnapshot`] via [`crate::StatsAggregator::record_group_commit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GroupCommitStats {
+    /// fsyncs issued by commit-group leaders.
+    pub fsyncs: u64,
+    /// Records made durable through those fsyncs.
+    pub committed_records: u64,
+    /// Largest single commit group (records acknowledged by one fsync).
+    pub max_group: u64,
+}
+
+impl GroupCommitStats {
+    /// Mean records per fsync — the amortization factor group commit
+    /// achieved (1.0 means it degenerated to fsync-per-record).
+    pub fn mean_group(&self) -> f64 {
+        if self.fsyncs == 0 {
+            return 0.0;
+        }
+        self.committed_records as f64 / self.fsyncs as f64
+    }
+}
+
+#[derive(Debug)]
+struct GcState {
+    /// Taken (`None`) by the drain leader while it does file I/O so
+    /// enqueuers never block on an fsync.
+    writer: Option<WalWriter>,
+    /// Enqueued-but-unwritten records in strictly ascending LSN order.
+    pending: Vec<(Lsn, WalRecord)>,
+    /// Last enqueued LSN.
+    appended: Lsn,
+    /// Last LSN covered by an fsync: everything at or below it is durable.
+    synced: Lsn,
+    /// A drain leader is currently writing/fsyncing.
+    draining: bool,
+    /// A previous drain hit an I/O error or injected crash; the queue
+    /// refuses further work (mirroring `WalWriter`'s crashed state).
+    failed: Option<String>,
+    stats: GroupCommitStats,
+}
+
+/// A commit queue implementing **group commit**: concurrent appenders
+/// enqueue records under a short lock, and whichever waiter finds no
+/// drain in progress becomes the *leader* — it takes the [`WalWriter`]
+/// out of the state, writes every pending frame, issues **one fsync**,
+/// and wakes all waiters whose LSN the fsync covered. While the leader
+/// is inside the fsync, new appenders keep enqueuing; the next drain
+/// commits them all at once. Under W concurrent writers this collapses
+/// `FsyncPolicy::Always` from one fsync per record toward one fsync per
+/// W records without weakening the contract: an acknowledged mutation
+/// (a `commit` return) is always durable.
+#[derive(Debug)]
+pub(crate) struct GroupCommitQueue {
+    state: Mutex<GcState>,
+    durable: Condvar,
+}
+
+impl GroupCommitQueue {
+    pub(crate) fn new(writer: WalWriter) -> Self {
+        let baseline = writer.last_lsn;
+        let synced = writer.synced_lsn;
+        Self {
+            state: Mutex::new(GcState {
+                writer: Some(writer),
+                pending: Vec::new(),
+                appended: baseline,
+                synced,
+                draining: false,
+                failed: None,
+                stats: GroupCommitStats::default(),
+            }),
+            durable: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, GcState> {
+        // A leader panicking mid-drain poisons the mutex; the queue state
+        // itself is still consistent (`failed` handling below), so keep
+        // serving rather than amplifying the panic.
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Enqueue one record. `lsn` must be assigned under the caller's
+    /// serialization (the concurrent wrappers hold their writer mutex), so
+    /// `pending` stays LSN-ordered.
+    pub(crate) fn enqueue(&self, lsn: Lsn, rec: WalRecord) -> Result<()> {
+        let mut st = self.lock();
+        if let Some(msg) = &st.failed {
+            return Err(walerr(format!("commit queue failed earlier: {msg}")));
+        }
+        if lsn <= st.appended {
+            return Err(walerr(format!(
+                "non-monotonic lsn {lsn} enqueued (last {})",
+                st.appended
+            )));
+        }
+        st.appended = lsn;
+        st.pending.push((lsn, rec));
+        Ok(())
+    }
+
+    /// Block until every record at or below `lsn` is durable, becoming the
+    /// drain leader if nobody else is. This is the `FsyncPolicy::Always`
+    /// acknowledgement path.
+    pub(crate) fn wait_durable(&self, lsn: Lsn) -> Result<()> {
+        let mut st = self.lock();
+        loop {
+            if st.synced >= lsn {
+                return Ok(());
+            }
+            if let Some(msg) = &st.failed {
+                return Err(walerr(format!("record at lsn {lsn} was lost: {msg}")));
+            }
+            if st.draining {
+                st = self.durable.wait(st).unwrap_or_else(|e| e.into_inner());
+            } else {
+                st = self.drain(st, true);
+            }
+        }
+    }
+
+    /// Write pending frames without requiring durability: fsync only if
+    /// `force` or the writer's own policy says so. Used by the
+    /// `EveryN`/`OnCheckpoint` paths to bound the in-memory queue.
+    pub(crate) fn flush(&self, force: bool) -> Result<()> {
+        let mut st = self.lock();
+        while st.draining {
+            st = self.durable.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        if let Some(msg) = &st.failed {
+            return Err(walerr(format!("commit queue failed earlier: {msg}")));
+        }
+        st = self.drain(st, force);
+        match &st.failed {
+            Some(msg) => Err(walerr(format!("commit queue failed: {msg}"))),
+            None => Ok(()),
+        }
+    }
+
+    /// The group-commit lag in records: appended but not yet durable.
+    pub(crate) fn ack_lag(&self) -> u64 {
+        let st = self.lock();
+        st.appended.saturating_sub(st.synced)
+    }
+
+    pub(crate) fn stats(&self) -> GroupCommitStats {
+        self.lock().stats
+    }
+
+    /// Drain the pending queue as leader: take the writer, append every
+    /// pending frame, fsync (if `durable` is requested or policy demands),
+    /// publish the new synced watermark, and wake all waiters. Returns the
+    /// re-acquired state guard so `wait_durable` can re-check its LSN.
+    fn drain<'a>(
+        &'a self,
+        mut st: std::sync::MutexGuard<'a, GcState>,
+        durable: bool,
+    ) -> std::sync::MutexGuard<'a, GcState> {
+        st.draining = true;
+        let batch: Vec<(Lsn, WalRecord)> = std::mem::take(&mut st.pending);
+        let mut writer = st.writer.take().expect("writer parked while not draining");
+        drop(st);
+
+        // File I/O happens with the state lock *released* so concurrent
+        // mutators keep enqueuing into the next commit group.
+        let mut error: Option<String> = None;
+        for (lsn, rec) in &batch {
+            if let Err(e) = writer.append_frame(*lsn, rec) {
+                error = Some(e.to_string());
+                break;
+            }
+        }
+        let sync_result = if durable || error.is_some() {
+            // On a partial append failure still try to make the written
+            // prefix durable so prior waiters can be acknowledged.
+            writer.sync()
+        } else {
+            writer.policy_sync()
+        };
+        let synced_to = writer.synced_lsn;
+        if let Err(e) = sync_result {
+            error.get_or_insert_with(|| e.to_string());
+        }
+
+        let mut st = self.lock();
+        st.writer = Some(writer);
+        st.draining = false;
+        if synced_to > st.synced {
+            let newly = batch.iter().filter(|(lsn, _)| *lsn <= synced_to).count() as u64;
+            st.synced = synced_to;
+            if newly > 0 {
+                st.stats.fsyncs += 1;
+                st.stats.committed_records += newly;
+                st.stats.max_group = st.stats.max_group.max(newly);
+            }
+        }
+        if let Some(msg) = error {
+            st.failed = Some(msg);
+        }
+        // Records enqueued while we were draining stay in `pending` for
+        // the next leader.
+        self.durable.notify_all();
+        st
+    }
+
+    /// Run `f` with exclusive access to the underlying writer, after
+    /// draining and fsyncing everything pending. Checkpoints use this for
+    /// truncation.
+    pub(crate) fn with_writer<T>(&self, f: impl FnOnce(&mut WalWriter) -> Result<T>) -> Result<T> {
+        self.flush(true)?;
+        let mut st = self.lock();
+        while st.draining {
+            st = self.durable.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        debug_assert!(st.pending.is_empty(), "flush(true) drained the queue");
+        let mut writer = st.writer.take().expect("writer parked while not draining");
+        st.draining = true;
+        drop(st);
+        let out = f(&mut writer);
+        let mut st = self.lock();
+        let (last, synced) = (writer.last_lsn, writer.synced_lsn);
+        st.writer = Some(writer);
+        st.draining = false;
+        if out.is_ok() {
+            // A checkpoint truncation rebases both watermarks (possibly
+            // downward — the covered records are now owned by a snapshot).
+            st.appended = last;
+            st.synced = synced;
+        }
+        drop(st);
+        self.durable.notify_all();
+        out
+    }
+
+    /// Current WAL health including group-commit watermarks.
+    pub(crate) fn health(&self) -> WalHealth {
+        let mut st = self.lock();
+        while st.writer.is_none() {
+            st = self.durable.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        let mut h = st.writer.as_ref().expect("writer present").health();
+        h.appended_lsn = st.appended;
+        h.last_lsn = st.appended;
+        h.acked_lsn = st.synced;
+        h.unsynced_records = st.appended.saturating_sub(st.synced);
+        h
+    }
+
+    /// Data fsyncs issued by the underlying writer (leader drains plus
+    /// rotation/checkpoint syncs).
+    pub(crate) fn fsync_count(&self) -> u64 {
+        let mut st = self.lock();
+        while st.writer.is_none() {
+            st = self.durable.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        st.writer.as_ref().expect("writer present").fsync_count()
+    }
+}
+
+impl Drop for GroupCommitQueue {
+    /// Best-effort drain on clean shutdown: write any still-queued frames
+    /// (fsyncing only if the writer's policy says so), matching the
+    /// single-writer wrappers where every append reaches the file
+    /// immediately. A crash before this runs is exactly the bounded-loss
+    /// window the fsync policy already permits for unacknowledged work.
+    fn drop(&mut self) {
+        let _ = self.flush(false);
     }
 }
 
@@ -679,12 +1112,12 @@ impl WalWriter {
 // ---------------------------------------------------------------------------
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct Manifest {
-    generation: u64,
-    watermark: Lsn,
+pub(crate) struct Manifest {
+    pub(crate) generation: u64,
+    pub(crate) watermark: Lsn,
 }
 
-fn write_manifest(dir: &Path, m: Manifest) -> Result<()> {
+pub(crate) fn write_manifest(dir: &Path, m: Manifest) -> Result<()> {
     let mut buf = BytesMut::new();
     buf.put_slice(MANIFEST_MAGIC);
     buf.put_u64_le(m.generation);
@@ -729,13 +1162,13 @@ fn read_manifest(dir: &Path) -> Result<Manifest> {
     })
 }
 
-fn snapshot_path(dir: &Path, generation: u64) -> PathBuf {
+pub(crate) fn snapshot_path(dir: &Path, generation: u64) -> PathBuf {
     dir.join(format!("snapshot-{generation:020}.plnr"))
 }
 
 /// Best-effort removal of snapshot generations other than `current` (a
 /// crash between manifest publish and cleanup leaves one behind).
-fn sweep_snapshots(dir: &Path, current: u64) {
+pub(crate) fn sweep_snapshots(dir: &Path, current: u64) {
     let keep = snapshot_path(dir, current);
     if let Ok(entries) = fs::read_dir(dir) {
         for entry in entries.flatten() {
@@ -876,7 +1309,7 @@ fn replay_planar<S: KeyStore>(
 /// Pre-validate a mutation row so nothing unreplayable is ever logged:
 /// the write-ahead contract is log-then-apply, so the apply must be
 /// infallible once the record is on disk.
-fn validate_row(dim: usize, row: &[f64]) -> Result<()> {
+pub(crate) fn validate_row(dim: usize, row: &[f64]) -> Result<()> {
     if row.len() != dim {
         return Err(PlanarError::DimensionMismatch {
             expected: dim,
@@ -1034,6 +1467,66 @@ impl<S: KeyStore> DurablePlanarIndexSet<S> {
         )
     }
 
+    /// **Group commit**: log-then-apply a whole batch of mutations with a
+    /// single fsync. Every record is appended *without* per-record
+    /// syncing, one `sync` (under `FsyncPolicy::Always`; the other
+    /// policies keep their usual cadence against the batched appends)
+    /// makes the whole batch durable, and only then is the batch applied
+    /// and acknowledged — so the per-mutation fsync tax is divided by the
+    /// batch length while "acknowledged ⇒ durable" still holds.
+    ///
+    /// The batch is validated up front against the live-set it will see
+    /// (inserts may be updated/deleted later in the same batch); nothing
+    /// is logged or applied unless the whole batch validates.
+    ///
+    /// # Errors
+    ///
+    /// Validation errors ([`PlanarError::DimensionMismatch`],
+    /// [`PlanarError::NotFinite`], [`PlanarError::PointNotFound`]) before
+    /// anything is logged; [`PlanarError::Persist`] on append/fsync
+    /// failure (the un-fsynced suffix is unacknowledged and will be
+    /// truncated at recovery).
+    pub fn apply_batch(&mut self, muts: &[Mutation]) -> Result<Vec<MutationAck>> {
+        let next_id = self.set.table().len() as PointId;
+        let records = validate_batch(self.set.dim(), next_id, |id| self.set.is_live(id), muts)?;
+        let first_lsn = self.next_lsn;
+        for (i, rec) in records.iter().enumerate() {
+            self.wal.append_frame(first_lsn + i as Lsn, rec)?;
+        }
+        self.next_lsn = first_lsn + records.len() as Lsn;
+        self.wal.policy_sync()?;
+        let mut acks = Vec::with_capacity(records.len());
+        for (i, rec) in records.iter().enumerate() {
+            let lsn = first_lsn + i as Lsn;
+            replay_planar(&mut self.set, lsn, rec).map_err(|e| {
+                PlanarError::Internal(format!(
+                    "batch mutation failed after WAL append at lsn {lsn}: {e}"
+                ))
+            })?;
+            acks.push(match rec {
+                WalRecord::Insert { id, .. } => MutationAck::Inserted(*id),
+                WalRecord::Update { .. } => MutationAck::Updated,
+                _ => MutationAck::Deleted,
+            });
+        }
+        Ok(acks)
+    }
+
+    /// Decompose into the pieces the concurrent wrapper re-assembles
+    /// around a [`GroupCommitQueue`].
+    pub(crate) fn into_parts(
+        self,
+    ) -> (PlanarIndexSet<S>, WalWriter, PathBuf, u64, Lsn, SaveOptions) {
+        (
+            self.set,
+            self.wal,
+            self.dir,
+            self.generation,
+            self.next_lsn,
+            self.save_opts,
+        )
+    }
+
     /// Checkpoint-then-truncate: append a `Checkpoint` marker, fsync the
     /// log, atomically write the next snapshot generation, publish it in
     /// the manifest, then delete the covered WAL segments. Every step is
@@ -1086,6 +1579,12 @@ impl<S: KeyStore> DurablePlanarIndexSet<S> {
     /// [`PlanarError::Persist`] on fsync failure.
     pub fn sync(&mut self) -> Result<()> {
         self.wal.sync()
+    }
+
+    /// Data fsyncs issued by the WAL writer since this wrapper opened —
+    /// the denominator benchmarks divide by to report amortization.
+    pub fn fsync_count(&self) -> u64 {
+        self.wal.fsync_count()
     }
 
     /// Consume the wrapper, returning the in-memory set (the directory
@@ -1235,6 +1734,11 @@ impl<S: KeyStore> DurableShardedIndexSet<S> {
         h
     }
 
+    /// Data fsyncs summed across every shard's WAL writer.
+    pub fn fsync_count(&self) -> u64 {
+        self.wals.iter().map(WalWriter::fsync_count).sum()
+    }
+
     /// Retry/backoff schedule for checkpoint snapshot writes.
     pub fn save_options(mut self, opts: SaveOptions) -> Self {
         self.save_opts = opts;
@@ -1345,6 +1849,133 @@ impl<S: KeyStore> DurableShardedIndexSet<S> {
         }
         self.next_lsn = lsn + 1;
         Ok(self.set.compact(threshold))
+    }
+
+    /// **Group commit** across shards: log-then-apply a whole batch of
+    /// mutations with one fsync *per touched shard* (instead of one per
+    /// record). See [`DurablePlanarIndexSet::apply_batch`]; records are
+    /// routed by the partitioner, and updates/deletes may target points
+    /// born earlier in the same batch.
+    ///
+    /// # Errors
+    ///
+    /// As [`DurablePlanarIndexSet::apply_batch`].
+    pub fn apply_batch(&mut self, muts: &[Mutation]) -> Result<Vec<MutationAck>> {
+        let dim = self.set.dim();
+        let mut born: Vec<(PointId, usize)> = Vec::new();
+        let mut killed: Vec<PointId> = Vec::new();
+        let mut next = self.set.next_global();
+        let shard_for = |set: &ShardedIndexSet<S>,
+                         id: PointId,
+                         born: &[(PointId, usize)],
+                         killed: &[PointId]|
+         -> Result<usize> {
+            if killed.contains(&id) {
+                return Err(PlanarError::PointNotFound(id));
+            }
+            if let Some(&(_, shard)) = born.iter().find(|&&(b, _)| b == id) {
+                return Ok(shard);
+            }
+            set.shard_of(id).ok_or(PlanarError::PointNotFound(id))
+        };
+        let mut routed: Vec<(usize, WalRecord)> = Vec::with_capacity(muts.len());
+        for m in muts {
+            match m {
+                Mutation::Insert { row } => {
+                    validate_row(dim, row)?;
+                    let shard = self.set.partitioner().route(next, row);
+                    routed.push((
+                        shard,
+                        WalRecord::Insert {
+                            id: next,
+                            row: row.clone(),
+                        },
+                    ));
+                    born.push((next, shard));
+                    next += 1;
+                }
+                Mutation::Update { id, row } => {
+                    validate_row(dim, row)?;
+                    let shard = shard_for(&self.set, *id, &born, &killed)?;
+                    routed.push((
+                        shard,
+                        WalRecord::Update {
+                            id: *id,
+                            row: row.clone(),
+                        },
+                    ));
+                }
+                Mutation::Delete { id } => {
+                    let shard = shard_for(&self.set, *id, &born, &killed)?;
+                    routed.push((shard, WalRecord::Delete { id: *id }));
+                    killed.push(*id);
+                }
+            }
+        }
+        let first_lsn = self.next_lsn;
+        let mut touched = vec![false; self.wals.len()];
+        for (i, (shard, rec)) in routed.iter().enumerate() {
+            self.wals[*shard].append_frame(first_lsn + i as Lsn, rec)?;
+            touched[*shard] = true;
+        }
+        self.next_lsn = first_lsn + routed.len() as Lsn;
+        for (shard, hit) in touched.iter().enumerate() {
+            if *hit {
+                self.wals[shard].policy_sync()?;
+            }
+        }
+        let mut acks = Vec::with_capacity(routed.len());
+        for (i, (_, rec)) in routed.iter().enumerate() {
+            let lsn = first_lsn + i as Lsn;
+            let internal = |e: PlanarError| {
+                PlanarError::Internal(format!(
+                    "batch mutation failed after WAL append at lsn {lsn}: {e}"
+                ))
+            };
+            match rec {
+                WalRecord::Insert { id, row } => {
+                    let got = self.set.insert_point(row).map_err(internal)?;
+                    if got != *id {
+                        return Err(PlanarError::Internal(format!(
+                            "batch insert at lsn {lsn} assigned global id {got} but logged {id}"
+                        )));
+                    }
+                    acks.push(MutationAck::Inserted(got));
+                }
+                WalRecord::Update { id, row } => {
+                    self.set.update_point(*id, row).map_err(internal)?;
+                    acks.push(MutationAck::Updated);
+                }
+                WalRecord::Delete { id } => {
+                    self.set.delete_point(*id).map_err(internal)?;
+                    acks.push(MutationAck::Deleted);
+                }
+                _ => unreachable!("apply_batch only routes point mutations"),
+            }
+        }
+        Ok(acks)
+    }
+
+    /// Decompose into the pieces the concurrent wrapper re-assembles
+    /// around per-shard [`GroupCommitQueue`]s.
+    pub(crate) fn into_parts(
+        self,
+    ) -> (
+        ShardedIndexSet<S>,
+        Vec<WalWriter>,
+        PathBuf,
+        u64,
+        Lsn,
+        SaveOptions,
+    ) {
+        (
+            self.set,
+            self.wals,
+            self.dir,
+            self.generation,
+            self.next_lsn,
+            self.save_opts,
+        )
     }
 
     /// Checkpoint-then-truncate across every shard. See
@@ -2027,5 +2658,272 @@ mod tests {
             recovered.top_k(&tk).unwrap().neighbors,
             twin.top_k(&tk).unwrap().neighbors
         );
+    }
+
+    #[test]
+    fn wal_health_acked_vs_appended_converge_on_sync() {
+        let _g = serialized();
+        let tmp = TempDir::new("wal_acked").unwrap();
+        let opts = WalOptions::default().fsync(FsyncPolicy::EveryN(8));
+        let mut durable = DurablePlanarIndexSet::create(tmp.path(), small_set(6), opts).unwrap();
+        for i in 0..5 {
+            durable.insert_point(&[2.0 + i as f64, 3.0]).unwrap();
+        }
+        let h = durable.wal_health();
+        assert_eq!(h.appended_lsn, 5);
+        assert_eq!(h.acked_lsn, 0, "nothing fsynced yet under EveryN(8)");
+        assert_eq!(h.ack_lag(), 5);
+        assert_eq!(h.unsynced_records, 5);
+        durable.sync().unwrap();
+        let h = durable.wal_health();
+        assert_eq!(h.acked_lsn, h.appended_lsn, "sync converges the watermarks");
+        assert_eq!(h.ack_lag(), 0);
+        assert_eq!(h.unsynced_records, 0);
+    }
+
+    #[test]
+    fn wal_health_merge_keeps_most_conservative_acked() {
+        let a = WalHealth {
+            segments: 1,
+            unsynced_records: 0,
+            last_lsn: 10,
+            appended_lsn: 10,
+            acked_lsn: 10,
+        };
+        let b = WalHealth {
+            segments: 2,
+            unsynced_records: 3,
+            last_lsn: 7,
+            appended_lsn: 7,
+            acked_lsn: 4,
+        };
+        let mut merged = WalHealth::default();
+        merged.merge(&a);
+        merged.merge(&b);
+        assert_eq!(merged.appended_lsn, 10, "appended is the max");
+        assert_eq!(merged.acked_lsn, 4, "acked is the laggard's watermark");
+        assert_eq!(merged.ack_lag(), 6);
+        // Order must not matter.
+        let mut rev = WalHealth::default();
+        rev.merge(&b);
+        rev.merge(&a);
+        assert_eq!(rev.acked_lsn, 4);
+        assert_eq!(rev.appended_lsn, 10);
+    }
+
+    #[test]
+    fn apply_batch_is_one_fsync_and_matches_serial() {
+        let _g = serialized();
+        let tmp = TempDir::new("wal_batch").unwrap();
+        let opts = WalOptions::default(); // Always
+        let mut durable = DurablePlanarIndexSet::create(tmp.path(), small_set(20), opts).unwrap();
+        let mut twin = small_set(20);
+
+        let muts = vec![
+            Mutation::Insert {
+                row: vec![2.0, 8.0],
+            },
+            Mutation::Insert {
+                row: vec![5.0, 5.0],
+            },
+            Mutation::Update {
+                id: 20,
+                row: vec![3.0, 3.0],
+            },
+            Mutation::Delete { id: 2 },
+            Mutation::Delete { id: 21 },
+        ];
+        let before = durable.fsync_count();
+        let acks = durable.apply_batch(&muts).unwrap();
+        assert_eq!(
+            durable.fsync_count() - before,
+            1,
+            "a whole batch commits with one fsync under Always"
+        );
+        assert_eq!(
+            acks,
+            vec![
+                MutationAck::Inserted(20),
+                MutationAck::Inserted(21),
+                MutationAck::Updated,
+                MutationAck::Deleted,
+                MutationAck::Deleted,
+            ]
+        );
+        let h = durable.wal_health();
+        assert_eq!(
+            h.acked_lsn, h.appended_lsn,
+            "batch was acknowledged durable"
+        );
+
+        twin.insert_point(&[2.0, 8.0]).unwrap();
+        twin.insert_point(&[5.0, 5.0]).unwrap();
+        twin.update_point(20, &[3.0, 3.0]).unwrap();
+        twin.delete_point(2).unwrap();
+        twin.delete_point(21).unwrap();
+        for q in probes() {
+            assert_eq!(
+                durable.set().query(&q).unwrap().sorted_ids(),
+                twin.query(&q).unwrap().sorted_ids()
+            );
+        }
+
+        // A batch that fails validation must log and apply nothing.
+        let before_lsn = durable.wal_health().appended_lsn;
+        let bad = vec![
+            Mutation::Insert {
+                row: vec![1.0, 1.0],
+            },
+            Mutation::Update {
+                id: 9999,
+                row: vec![1.0, 1.0],
+            },
+        ];
+        assert!(matches!(
+            durable.apply_batch(&bad),
+            Err(PlanarError::PointNotFound(9999))
+        ));
+        assert_eq!(durable.wal_health().appended_lsn, before_lsn);
+
+        // Crash-equivalent reopen replays the whole batch.
+        drop(durable);
+        let (recovered, report) =
+            PlanarIndexSet::<VecStore>::open_durable(tmp.path(), opts).unwrap();
+        assert_eq!(report.wal_replayed, 5);
+        for q in probes() {
+            assert_eq!(
+                recovered.set().query(&q).unwrap().sorted_ids(),
+                twin.query(&q).unwrap().sorted_ids()
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_apply_batch_fsyncs_once_per_touched_shard() {
+        let _g = serialized();
+        let tmp = TempDir::new("wal_shard_batch").unwrap();
+        let opts = WalOptions::default(); // Always
+        let build = || {
+            let rows: Vec<Vec<f64>> = (0..30)
+                .map(|i| vec![1.0 + (i % 9) as f64, 1.0 + (i % 5) as f64])
+                .collect();
+            let table = FeatureTable::from_rows(2, rows).unwrap();
+            let domain = ParameterDomain::uniform_continuous(2, 0.5, 2.0).unwrap();
+            ShardedIndexSet::<VecStore>::build(
+                table,
+                domain,
+                IndexConfig::with_budget(3),
+                ShardConfig::round_robin(3),
+            )
+            .unwrap()
+        };
+        let mut durable = DurableShardedIndexSet::create(tmp.path(), build(), opts).unwrap();
+        let mut twin = build();
+
+        // Six round-robin inserts touch all three shards.
+        let muts: Vec<Mutation> = (0..6)
+            .map(|i| Mutation::Insert {
+                row: vec![2.0 + i as f64, 4.0],
+            })
+            .collect();
+        let before = durable.fsync_count();
+        let acks = durable.apply_batch(&muts).unwrap();
+        assert_eq!(
+            durable.fsync_count() - before,
+            3,
+            "one fsync per touched shard, not per record"
+        );
+        for (i, ack) in acks.iter().enumerate() {
+            assert_eq!(*ack, MutationAck::Inserted(30 + i as PointId));
+        }
+        for m in &muts {
+            if let Mutation::Insert { row } = m {
+                twin.insert_point(row).unwrap();
+            }
+        }
+        let h = durable.wal_health();
+        assert_eq!(h.appended_lsn, 6);
+        assert_eq!(h.acked_lsn, 6);
+
+        drop(durable);
+        let (recovered, report) =
+            ShardedIndexSet::<VecStore>::open_durable(tmp.path(), opts).unwrap();
+        assert_eq!(report.wal_replayed, 6);
+        for q in probes() {
+            assert_eq!(
+                recovered.set().query(&q).unwrap().sorted_ids(),
+                twin.query(&q).unwrap().sorted_ids()
+            );
+        }
+    }
+
+    #[test]
+    fn group_commit_queue_amortizes_and_acks_durably() {
+        let _g = serialized();
+        let tmp = TempDir::new("wal_gcq").unwrap();
+        let opts = WalOptions::default(); // Always
+        let (writer, _) = WalWriter::open_repair(tmp.path(), opts).unwrap();
+        let queue = GroupCommitQueue::new(writer);
+        let next = Mutex::new(1u64);
+
+        const THREADS: u64 = 4;
+        const PER_THREAD: u64 = 16;
+        std::thread::scope(|s| {
+            for _ in 0..THREADS {
+                s.spawn(|| {
+                    for _ in 0..PER_THREAD {
+                        let lsn = {
+                            let mut n = next.lock().unwrap();
+                            let lsn = *n;
+                            queue
+                                .enqueue(lsn, WalRecord::Delete { id: lsn as u32 })
+                                .unwrap();
+                            *n += 1;
+                            lsn
+                        };
+                        queue.wait_durable(lsn).unwrap();
+                    }
+                });
+            }
+        });
+
+        let total = THREADS * PER_THREAD;
+        let h = queue.health();
+        assert_eq!(h.appended_lsn, total);
+        assert_eq!(h.acked_lsn, total, "every waiter was acknowledged durable");
+        let stats = queue.stats();
+        assert_eq!(stats.committed_records, total);
+        assert!(stats.fsyncs <= total, "never worse than fsync-per-record");
+        assert!(stats.mean_group() >= 1.0);
+        assert!(stats.max_group >= 1);
+
+        // Everything acknowledged is on disk in LSN order.
+        drop(queue);
+        let scan = scan_dir(tmp.path()).unwrap();
+        let lsns: Vec<Lsn> = scan.frames.iter().map(|&(lsn, _)| lsn).collect();
+        assert_eq!(lsns, (1..=total).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn group_commit_queue_flush_converges_everyn() {
+        let _g = serialized();
+        let tmp = TempDir::new("wal_gcq_lazy").unwrap();
+        let opts = WalOptions::default().fsync(FsyncPolicy::EveryN(64));
+        let (writer, _) = WalWriter::open_repair(tmp.path(), opts).unwrap();
+        let queue = GroupCommitQueue::new(writer);
+        for lsn in 1..=10u64 {
+            queue
+                .enqueue(lsn, WalRecord::Delete { id: lsn as u32 })
+                .unwrap();
+        }
+        assert_eq!(queue.ack_lag(), 10);
+        // Non-forced flush writes frames but leaves durability to policy.
+        queue.flush(false).unwrap();
+        assert_eq!(queue.health().appended_lsn, 10);
+        // Forced flush converges acked to appended.
+        queue.flush(true).unwrap();
+        let h = queue.health();
+        assert_eq!(h.acked_lsn, 10);
+        assert_eq!(h.ack_lag(), 0);
     }
 }

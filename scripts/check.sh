@@ -17,7 +17,22 @@ echo "== fault suite (injection + durability + WAL crash proptests) =="
 cargo test -p planar-core -q --features fault-injection \
   --test fault_injection --test durability_proptests --test wal_crash_proptests
 
+echo "== concurrency suite (snapshot isolation + group-commit crash sweep) =="
+cargo test -p planar-core -q --test concurrent_proptests
+
 echo "== planar-core unit tests with fault injection compiled in =="
 cargo test -p planar-core -q --features fault-injection --lib
+
+echo "== ThreadSanitizer smoke over epoch publish/reclaim (nightly) =="
+# TSan needs an instrumented std (-Zbuild-std), which needs the nightly
+# rust-src component; without it std's internals drown the report in
+# false positives, so skip rather than mislead.
+sysroot="$(rustc +nightly --print sysroot 2>/dev/null || true)"
+if [ -n "${sysroot}" ] && [ -f "${sysroot}/lib/rustlib/src/rust/library/Cargo.lock" ]; then
+  RUSTFLAGS="-Zsanitizer=thread" cargo +nightly test -p planar-core --lib tsan_smoke \
+    -Zbuild-std --target x86_64-unknown-linux-gnu
+else
+  echo "   nightly rust-src not installed; skipping TSan smoke (CI 'concurrency' job runs it)"
+fi
 
 echo "All checks passed."

@@ -43,11 +43,13 @@ pub use planar_relation;
 /// The types most programs need.
 pub mod prelude {
     pub use planar_core::{
-        Cmp, Domain, DurablePlanarIndexSet, DurableShardedIndexSet, DynamicPlanarIndexSet,
-        ExecutionConfig, FeatureMap, FeatureTable, FnFeatureMap, FsyncPolicy, IdentityMap,
-        IndexConfig, InequalityQuery, ParameterDomain, PartitionScheme, PlanarIndexSet,
-        QueryScratch, SelectionStrategy, SeqScan, ServedBy, ShardConfig, ShardedIndexSet,
-        TopKQuery, VecStore, WalOptions,
+        Cmp, ConcurrencyConfig, ConcurrentDurablePlanarIndexSet, ConcurrentDurableShardedIndexSet,
+        ConcurrentPlanarIndexSet, ConcurrentShardedIndexSet, Domain, DurablePlanarIndexSet,
+        DurableShardedIndexSet, DynamicPlanarIndexSet, ExecutionConfig, FeatureMap, FeatureTable,
+        FnFeatureMap, FsyncPolicy, IdentityMap, IndexConfig, InequalityQuery, Mutation,
+        MutationAck, ParameterDomain, PartitionScheme, PlanarIndexSet, QueryScratch, ScratchPool,
+        SelectionStrategy, SeqScan, ServedBy, ShardConfig, ShardedIndexSet, TopKQuery, VecStore,
+        WalOptions,
     };
     pub use planar_geom::{Hyperplane, Normalizer, Octant, Vector};
 }
