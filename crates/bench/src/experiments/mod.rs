@@ -7,6 +7,7 @@ pub mod fault;
 pub mod movingobj;
 pub mod parallel;
 pub mod realworld;
+pub mod replication;
 pub mod shard;
 pub mod simd;
 pub mod synthetic;
@@ -178,6 +179,12 @@ pub fn registry() -> Vec<Experiment> {
             description:
                 "concurrency: group-commit fsync amortization, readers racing a writer, snapshot batches (BENCH_concurrent.json)",
             run: concurrent::concurrent,
+        },
+        Experiment {
+            name: "replication",
+            description:
+                "WAL shipping: replica catch-up rate, steady-state lag, failover time (BENCH_replication.json)",
+            run: replication::replication,
         },
         Experiment {
             name: "ablation-selection",

@@ -525,6 +525,39 @@ impl<S: KeyStore + Clone> ConcurrentShardedIndexSet<S> {
     pub fn epoch_stats(&self) -> EpochStats {
         self.cell.stats()
     }
+
+    /// Replication apply path: replay a contiguous batch of shipped WAL
+    /// records into the staged set through the same `replay_record` logic
+    /// recovery uses (divergence checks included), then publish **once**
+    /// for the whole batch — per-record copy-on-publish would cap replica
+    /// catch-up far below the cold-replay rate.
+    ///
+    /// # Errors
+    ///
+    /// [`PlanarError::Persist`] on replay divergence (e.g. an insert id
+    /// already assigned): the staged copy may be mid-batch, so the caller
+    /// must treat the replica as diverged and stop applying.
+    pub(crate) fn replay_replicated(&self, frames: &[(usize, Lsn, WalRecord)]) -> Result<()> {
+        if frames.is_empty() {
+            return Ok(());
+        }
+        let mut w = self.lock_writer();
+        for (shard, lsn, rec) in frames {
+            w.set.replay_record(*shard, *lsn, rec)?;
+        }
+        self.cell.publish(w.set.clone());
+        w.dirty = 0;
+        Ok(())
+    }
+
+    /// Consume the wrapper, returning the staged (most recent) set —
+    /// the failover-promotion handoff.
+    pub fn into_staged(self) -> ShardedIndexSet<S> {
+        self.writer
+            .into_inner()
+            .unwrap_or_else(|e| e.into_inner())
+            .set
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -807,6 +840,7 @@ impl<S: KeyStore + Clone> ConcurrentDurablePlanarIndexSet<S> {
             Manifest {
                 generation,
                 watermark,
+                term: self.queue.term(),
             },
         )?;
         w.generation = generation;
@@ -848,6 +882,21 @@ impl<S: KeyStore + Clone> ConcurrentDurablePlanarIndexSet<S> {
     /// Data fsyncs issued by the underlying WAL writer since opening.
     pub fn fsync_count(&self) -> u64 {
         self.queue.fsync_count()
+    }
+
+    /// Recover the group-commit queue from a fail-stop append/fsync
+    /// error: revalidate the log tail on disk, re-append any applied-but-
+    /// undurable records the failed drain parked, and resume accepting
+    /// mutations. Acks issued before the error still hold — they were
+    /// covered by an fsync at ack time and reopen never truncates below
+    /// the synced watermark. No-op on a healthy queue.
+    ///
+    /// # Errors
+    ///
+    /// [`PlanarError::Persist`] if the tail repair itself fails (the
+    /// queue stays fail-stopped and can be reopened again).
+    pub fn reopen_wal(&self) -> Result<WalHealth> {
+        self.queue.reopen()
     }
 }
 
@@ -1139,6 +1188,36 @@ impl<S: KeyStore + Clone> ConcurrentDurableShardedIndexSet<S> {
         Ok(acks)
     }
 
+    /// Log-then-compact under group commit: the marker is broadcast to
+    /// **every** shard's queue at one shared LSN, then each shard
+    /// compacts (see [`DurableShardedIndexSet::compact`]). Readers keep
+    /// serving pinned epochs; the compacted state publishes immediately.
+    ///
+    /// # Errors
+    ///
+    /// [`PlanarError::Persist`] on append/fsync failure.
+    pub fn compact(&self, threshold: f64) -> Result<Vec<usize>> {
+        let (reclaimed, lsn) = {
+            let mut w = self.lock_writer();
+            let lsn = w.next_lsn;
+            let rec = WalRecord::Compact {
+                threshold: Some(threshold),
+            };
+            for queue in &self.queues {
+                queue.enqueue(lsn, rec.clone())?;
+            }
+            w.next_lsn = lsn + 1;
+            let reclaimed = w.set.compact(threshold);
+            self.cell.publish(w.set.clone());
+            w.dirty = 0;
+            (reclaimed, lsn)
+        };
+        for shard in 0..self.queues.len() {
+            self.ack(shard, lsn)?;
+        }
+        Ok(reclaimed)
+    }
+
     /// Force every shard's queue to stable storage now.
     ///
     /// # Errors
@@ -1177,6 +1256,12 @@ impl<S: KeyStore + Clone> ConcurrentDurableShardedIndexSet<S> {
             Manifest {
                 generation,
                 watermark,
+                term: self
+                    .queues
+                    .iter()
+                    .map(GroupCommitQueue::term)
+                    .max()
+                    .unwrap_or(0),
             },
         )?;
         w.generation = generation;
@@ -1230,6 +1315,41 @@ impl<S: KeyStore + Clone> ConcurrentDurableShardedIndexSet<S> {
     /// Data fsyncs summed across every shard's WAL writer.
     pub fn fsync_count(&self) -> u64 {
         self.queues.iter().map(GroupCommitQueue::fsync_count).sum()
+    }
+
+    /// Recover every shard's group-commit queue from a fail-stop error
+    /// (see [`ConcurrentDurablePlanarIndexSet::reopen_wal`]). Healthy
+    /// queues are untouched; the merged health keeps the most
+    /// conservative acked watermark.
+    ///
+    /// # Errors
+    ///
+    /// [`PlanarError::Persist`] if any shard's tail repair fails.
+    pub fn reopen_wal(&self) -> Result<WalHealth> {
+        let mut h = WalHealth::default();
+        for queue in &self.queues {
+            h.merge(&queue.reopen()?);
+        }
+        Ok(h)
+    }
+
+    /// The durable directory this set checkpoints into.
+    pub(crate) fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Number of shard WALs (= shard count).
+    pub(crate) fn num_queues(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Highest replication term across the shard WAL writers.
+    pub(crate) fn term(&self) -> u64 {
+        self.queues
+            .iter()
+            .map(GroupCommitQueue::term)
+            .max()
+            .unwrap_or(0)
     }
 }
 

@@ -475,6 +475,76 @@ pub(crate) fn wal_fault_action(this_append: u64) -> Option<WalFaultKind> {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Replication transport fault trigger.
+// ---------------------------------------------------------------------------
+
+/// How an armed transport fault perturbs its scheduled send (see
+/// [`arm_transport_fault`]). These model the wire, not the disk: a shipped
+/// segment batch can be lost, duplicated, delivered out of order, cut
+/// short, or bit-flipped in flight — and the replica must detect every one
+/// of them from the message/frame CRCs alone.
+#[cfg(any(test, feature = "fault-injection"))]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportFaultKind {
+    /// The message vanishes: `send` reports success but nothing is
+    /// delivered (lossy link — retry/backoff territory).
+    DropSend,
+    /// The message is delivered twice back to back (at-least-once
+    /// transport; the replica must dedupe by LSN).
+    DuplicateSend,
+    /// This message is held back and delivered *after* the next one —
+    /// a reordered pair. If no later send arrives it is delivered alone.
+    ReorderPair,
+    /// Only the first `keep` bytes are delivered (connection cut
+    /// mid-ship — a torn segment batch).
+    Torn {
+        /// Bytes of the message that arrive.
+        keep: usize,
+    },
+    /// One bit of the delivered copy flips (silent wire corruption).
+    BitFlip {
+        /// Byte offset within the message.
+        offset: usize,
+        /// Which bit of that byte flips.
+        bit: u8,
+    },
+}
+
+/// The armed transport fault: `(nth send, kind)`. `None` = disarmed.
+#[cfg(any(test, feature = "fault-injection"))]
+static TRANSPORT_FAULT: std::sync::Mutex<Option<(u64, TransportFaultKind)>> =
+    std::sync::Mutex::new(None);
+
+/// Arm the transport fault: the `nth` send (0-based, counted per faulty
+/// transport wrapper) fires `kind` once, then the trigger disarms itself.
+/// Process-global, like [`arm_wal_fault`] — serialize tests that use it
+/// and disarm before unrelated replication activity.
+#[cfg(any(test, feature = "fault-injection"))]
+pub fn arm_transport_fault(nth: u64, kind: TransportFaultKind) {
+    *TRANSPORT_FAULT.lock().expect("transport fault lock") = Some((nth, kind));
+}
+
+/// Disarm the transport fault.
+#[cfg(any(test, feature = "fault-injection"))]
+pub fn disarm_transport_fault() {
+    *TRANSPORT_FAULT.lock().expect("transport fault lock") = None;
+}
+
+/// Consulted by `FaultyTransport` on each send: returns the fault to fire
+/// for send number `this_send`, consuming the armed trigger.
+#[cfg(any(test, feature = "fault-injection"))]
+pub(crate) fn transport_fault_action(this_send: u64) -> Option<TransportFaultKind> {
+    let mut slot = TRANSPORT_FAULT.lock().expect("transport fault lock");
+    match *slot {
+        Some((nth, kind)) if nth == this_send => {
+            *slot = None;
+            Some(kind)
+        }
+        _ => None,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -76,6 +76,7 @@
 //! | [`persist`] | crash-safe snapshots: sectioned `PLNRIDX2` format, atomic saves, partial recovery |
 //! | [`wal`] | crash-consistent mutation durability: CRC-framed write-ahead log, group commit, checkpoints, point-in-time recovery |
 //! | [`concurrent`] | epoch-based snapshot isolation: lock-free concurrent reads under a single group-committing writer |
+//! | [`replicate`] | WAL-shipping replication: snapshot install, segment tailing, LSN-bounded follower reads, failover promotion |
 //! | [`health`] | index self-verification and the quarantine-and-degrade lifecycle |
 //! | [`fault`] | fault injection: deterministic corruptions, a faulty IO layer, panic triggers |
 
@@ -96,6 +97,7 @@ pub mod multi;
 pub mod parallel;
 pub mod persist;
 pub mod query;
+pub mod replicate;
 pub mod router;
 pub mod scan;
 pub mod selection;
@@ -124,6 +126,10 @@ pub use multi::{DynamicPlanarIndexSet, IndexConfig, PlanarIndexSet, QueryOutcome
 pub use parallel::{ExecutionConfig, QueryScratch, ScratchPool};
 pub use persist::{RecoveryReport, SaveOptions, ShardedRecoveryReport};
 pub use query::{Cmp, InequalityQuery, InvalidQueryReason, TopKQuery};
+pub use replicate::{
+    elect, ChannelTransport, DirTransport, FailoverConfig, FollowerRead, Primary, ReadConsistency,
+    Replica, ReplicaHealth, ReplicationHealth, ReplicationStats, Transport,
+};
 pub use router::AxisReductionRouter;
 pub use scan::SeqScan;
 pub use selection::SelectionStrategy;
@@ -185,6 +191,23 @@ pub enum PlanarError {
     /// at a batch boundary (see `crate::parallel`). The payload is the
     /// panic/diagnostic message.
     Internal(String),
+    /// A follower read demanded a consistency level the replica has not
+    /// reached yet (see `crate::replicate::ReadConsistency`): the read
+    /// required LSN `required` but only `applied` has been applied.
+    ReplicaLag {
+        /// LSN the read required.
+        required: Lsn,
+        /// LSN the replica has applied.
+        applied: Lsn,
+    },
+    /// A replication peer holds a higher term: this node was deposed by a
+    /// failover promotion and must stop acting as primary.
+    Fenced {
+        /// This node's term.
+        term: u64,
+        /// The higher term observed from a peer.
+        observed: u64,
+    },
 }
 
 impl core::fmt::Display for PlanarError {
@@ -206,6 +229,14 @@ impl core::fmt::Display for PlanarError {
             PlanarError::KNotPositive => write!(f, "k must be at least 1"),
             PlanarError::Persist(msg) => write!(f, "persistence error: {msg}"),
             PlanarError::Internal(msg) => write!(f, "internal error: {msg}"),
+            PlanarError::ReplicaLag { required, applied } => write!(
+                f,
+                "replica lag: read required lsn {required} but only {applied} is applied"
+            ),
+            PlanarError::Fenced { term, observed } => write!(
+                f,
+                "fenced: this node's term {term} was deposed by term {observed}"
+            ),
         }
     }
 }

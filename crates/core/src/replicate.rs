@@ -1,0 +1,2034 @@
+//! WAL-shipping replication: primary → replica segment tailing,
+//! LSN-bounded follower reads, and failover promotion.
+//!
+//! The per-shard, CRC-framed, LSN-ordered write-ahead log of
+//! `crate::wal` is already a replication stream — this module ships it.
+//! A [`Primary`] wraps a [`ConcurrentDurableShardedIndexSet`] and tails
+//! its own segment files with one cursor per attached replica; a
+//! [`Replica`] bootstraps by installing the primary's latest checkpoint
+//! snapshot, then replays shipped frames through the same
+//! `replay_record` path crash recovery uses — divergence checks
+//! included — into a [`ConcurrentShardedIndexSet`], publishing an epoch
+//! per applied batch and mirroring every frame into its **own** WAL so
+//! it can be promoted.
+//!
+//! ## Protocol
+//!
+//! Each primary→replica link is a pair of unidirectional [`Transport`]s
+//! (`down` for data, `up` for acknowledgements) carrying CRC-64-sealed
+//! [`PLNRSHP1`-framed messages](self#wire-format):
+//!
+//! 1. **Seed** — on attach (and whenever a link falls off the retained
+//!    log) the primary ships `Snapshot { term, generation, watermark,
+//!    bytes }`; the replica validates the image *before* installing it
+//!    atomically, lays out fresh per-shard WALs at `watermark + 1`, and
+//!    acks `watermark`.
+//! 2. **Tail** — the primary polls a per-link segment cursor
+//!    (`WalTailer`) and ships complete frames as `Frames { term,
+//!    [(shard, frame)] }`, raw on-disk encodings included, so the inner
+//!    frame CRCs travel end-to-end and detect in-flight corruption.
+//! 3. **Apply** — the replica stages frames by LSN (a bounded reorder
+//!    buffer absorbs out-of-order delivery, duplicates are dropped by
+//!    LSN), mirrors each contiguous run into its own WAL
+//!    (log-then-apply, one fsync per batch), replays it into the staged
+//!    set, and publishes **once per batch** — per-record publishing
+//!    would cap catch-up far below the cold-replay rate.
+//! 4. **Heal** — transport sends retry under capped exponential backoff
+//!    with deterministic jitter; a link that stops making ack progress
+//!    is rewound to its acked LSN (duplicates are cheap), and a link
+//!    whose cursor precedes the oldest retained segment is re-seeded
+//!    with a fresh snapshot.
+//! 5. **Fence** — every segment header and manifest carries a **term**.
+//!    A replica that has adopted a higher term rejects lower-term
+//!    traffic with `Reject { term }`; a primary that sees the rejection
+//!    returns [`PlanarError::Fenced`] from every subsequent
+//!    [`Primary::pump`] and must stop.
+//!
+//! ## Consistency contracts
+//!
+//! Follower reads are explicit about staleness: [`ReadConsistency::Any`]
+//! serves the latest applied epoch (flagged `stale` when the replica
+//! knows the primary is ahead), [`ReadConsistency::AtLeast`] returns a
+//! typed [`PlanarError::ReplicaLag`] instead of a silently stale answer,
+//! and [`ReadConsistency::ReadYourWrites`] bounds the read by the
+//! primary's appended watermark from the last heartbeat.
+//!
+//! ## Failover
+//!
+//! The primary heartbeats `{ term, appended, acked }` on every link;
+//! a replica whose lease (`FailoverConfig::lease_ms`) expires without
+//! one reports `primary_alive == false`. [`elect`] picks the replica
+//! with the highest **acked** (mirrored-and-fsynced) LSN — ties break to
+//! the lowest index — and [`Replica::promote`] turns it into a new
+//! [`Primary`] under `term + 1`: acked-on-the-old-primary mutations are
+//! on the promoted replica's disk by construction (`acked ⇒ mirrored +
+//! fsynced`), which the failover proptests sweep at every kill point.
+//!
+//! ## Wire format
+//!
+//! ```text
+//! | "PLNRSHP1" | type u8 | body | crc64 u64 |      (integers LE)
+//! type 1 Snapshot:  term u64 | generation u64 | watermark u64 | len u64 | bytes
+//! type 2 Frames:    term u64 | count u32 | { shard u32 | len u32 | frame }*
+//! type 3 Heartbeat: term u64 | appended u64 | acked u64
+//! type 4 Ack:       term u64 | replica u32 | acked u64 | applied u64
+//! type 5 Reject:    term u64
+//! ```
+//!
+//! A `shard` of `u32::MAX` marks a broadcast record (`Compact` /
+//! `Checkpoint` land on every shard's log at one shared LSN); the
+//! replica expands it back to every shard.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::concurrent::{
+    ConcurrencyConfig, ConcurrentDurableShardedIndexSet, ConcurrentShardedIndexSet, Snapshot,
+};
+use crate::persist::{crc64, install_snapshot_bytes, SaveOptions};
+use crate::shard::ShardedIndexSet;
+use crate::store::{KeyStore, VecStore};
+use crate::wal::{
+    init_shard_wals, parse_frame, read_manifest, shard_wal_dir, snapshot_path, wal_root,
+    write_manifest, DurableShardedIndexSet, Lsn, Manifest, TailedFrame, WalOptions, WalRecord,
+    WalTailer, WalWriter,
+};
+use crate::{PlanarError, Result};
+
+const SHIP_MAGIC: &[u8; 8] = b"PLNRSHP1";
+const MSG_SNAPSHOT: u8 = 1;
+const MSG_FRAMES: u8 = 2;
+const MSG_HEARTBEAT: u8 = 3;
+const MSG_ACK: u8 = 4;
+const MSG_REJECT: u8 = 5;
+
+/// `shard` sentinel for records broadcast to every shard's WAL
+/// (`Compact`, `Checkpoint`): shipped once, expanded on apply.
+const BROADCAST_SHARD: u32 = u32::MAX;
+
+fn shiperr(msg: impl Into<String>) -> PlanarError {
+    PlanarError::Persist(format!("replication: {}", msg.into()))
+}
+
+fn shipio(ctx: &str, e: std::io::Error) -> PlanarError {
+    PlanarError::Persist(format!("replication: {ctx}: {e}"))
+}
+
+// ---------------------------------------------------------------------------
+// Transport
+// ---------------------------------------------------------------------------
+
+/// A unidirectional, unreliable, message-oriented byte pipe. The
+/// replication protocol assumes nothing beyond "a sent message *may*
+/// arrive, once, intact": loss, duplication, reordering, and corruption
+/// are all detected (message CRC, frame CRCs, LSN staging) and healed
+/// (retransmit from the acked watermark, snapshot re-seed) above this
+/// trait.
+pub trait Transport: Send + std::fmt::Debug {
+    /// Enqueue one message for delivery. `Ok` means *accepted*, not
+    /// *delivered*.
+    ///
+    /// # Errors
+    ///
+    /// [`PlanarError::Persist`] when the transport cannot accept the
+    /// message now (callers retry under backoff).
+    fn send(&mut self, msg: Vec<u8>) -> Result<()>;
+
+    /// Dequeue the next message, or `None` when the pipe is empty.
+    ///
+    /// # Errors
+    ///
+    /// [`PlanarError::Persist`] on transport failure.
+    fn recv(&mut self) -> Result<Option<Vec<u8>>>;
+}
+
+/// In-process [`Transport`]: a shared FIFO. Clones address the same
+/// queue, so one clone is the sending end and another the receiving end.
+#[derive(Debug, Clone, Default)]
+pub struct ChannelTransport {
+    queue: Arc<Mutex<VecDeque<Vec<u8>>>>,
+}
+
+impl ChannelTransport {
+    /// A fresh, empty pipe.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn lock(&self) -> MutexGuard<'_, VecDeque<Vec<u8>>> {
+        self.queue.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Messages currently queued (tests and health checks).
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+}
+
+impl Transport for ChannelTransport {
+    fn send(&mut self, msg: Vec<u8>) -> Result<()> {
+        self.lock().push_back(msg);
+        Ok(())
+    }
+
+    fn recv(&mut self) -> Result<Option<Vec<u8>>> {
+        Ok(self.lock().pop_front())
+    }
+}
+
+/// Directory-spool [`Transport`]: each message is a numbered file
+/// (`msg-<seq>.bin`, temp-written then renamed, so a reader never sees a
+/// half-written message), delivered in name order and deleted on
+/// receive. Works across processes sharing a filesystem; the spool
+/// directory is the whole wire, so every transport fault the tests
+/// inject has a bytes-on-disk analogue.
+#[derive(Debug)]
+pub struct DirTransport {
+    dir: PathBuf,
+    next_seq: u64,
+}
+
+impl DirTransport {
+    /// Open (creating if needed) the spool at `dir`. The send sequence
+    /// resumes above any message already spooled.
+    ///
+    /// # Errors
+    ///
+    /// [`PlanarError::Persist`] when the directory cannot be created or
+    /// listed.
+    pub fn new(dir: impl Into<PathBuf>) -> Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir).map_err(|e| shipio("create spool dir", e))?;
+        let mut next_seq = 0;
+        for seq in Self::spooled(&dir)? {
+            next_seq = next_seq.max(seq + 1);
+        }
+        Ok(Self { dir, next_seq })
+    }
+
+    fn spooled(dir: &Path) -> Result<Vec<u64>> {
+        let mut seqs = Vec::new();
+        let entries = fs::read_dir(dir).map_err(|e| shipio("list spool dir", e))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| shipio("list spool dir", e))?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if let Some(digits) = name
+                .strip_prefix("msg-")
+                .and_then(|n| n.strip_suffix(".bin"))
+            {
+                if let Ok(seq) = digits.parse() {
+                    seqs.push(seq);
+                }
+            }
+        }
+        seqs.sort_unstable();
+        Ok(seqs)
+    }
+
+    fn msg_path(&self, seq: u64) -> PathBuf {
+        self.dir.join(format!("msg-{seq:020}.bin"))
+    }
+}
+
+impl Transport for DirTransport {
+    fn send(&mut self, msg: Vec<u8>) -> Result<()> {
+        let seq = self.next_seq;
+        let tmp = self.dir.join(format!(".msg-{seq:020}.tmp"));
+        fs::write(&tmp, &msg).map_err(|e| shipio("spool message", e))?;
+        fs::rename(&tmp, self.msg_path(seq)).map_err(|e| shipio("publish message", e))?;
+        self.next_seq = seq + 1;
+        Ok(())
+    }
+
+    fn recv(&mut self) -> Result<Option<Vec<u8>>> {
+        let Some(&seq) = Self::spooled(&self.dir)?.first() else {
+            return Ok(None);
+        };
+        let path = self.msg_path(seq);
+        let bytes = fs::read(&path).map_err(|e| shipio("read spooled message", e))?;
+        fs::remove_file(&path).map_err(|e| shipio("consume spooled message", e))?;
+        Ok(Some(bytes))
+    }
+}
+
+/// A [`Transport`] wrapper that perturbs sends according to the
+/// process-global schedule armed with
+/// [`crate::fault::arm_transport_fault`]: drop, duplicate, reorder a
+/// pair, tear, or bit-flip — each exactly once, on the scheduled send.
+#[cfg(any(test, feature = "fault-injection"))]
+#[derive(Debug)]
+pub struct FaultyTransport<T: Transport> {
+    inner: T,
+    sends: u64,
+    held: Option<Vec<u8>>,
+}
+
+#[cfg(any(test, feature = "fault-injection"))]
+impl<T: Transport> FaultyTransport<T> {
+    /// Wrap `inner`; behaves identically until a fault is armed.
+    pub fn new(inner: T) -> Self {
+        Self {
+            inner,
+            sends: 0,
+            held: None,
+        }
+    }
+}
+
+#[cfg(any(test, feature = "fault-injection"))]
+impl<T: Transport> Transport for FaultyTransport<T> {
+    fn send(&mut self, msg: Vec<u8>) -> Result<()> {
+        use crate::fault::TransportFaultKind;
+        let this_send = self.sends;
+        self.sends += 1;
+        let action = crate::fault::transport_fault_action(this_send);
+        // A message held back by ReorderPair is released *after* the
+        // current send, swapping the pair's delivery order.
+        let held = self.held.take();
+        let out = match action {
+            None => self.inner.send(msg),
+            Some(TransportFaultKind::DropSend) => Ok(()),
+            Some(TransportFaultKind::DuplicateSend) => {
+                self.inner.send(msg.clone())?;
+                self.inner.send(msg)
+            }
+            Some(TransportFaultKind::ReorderPair) => {
+                self.held = Some(msg);
+                Ok(())
+            }
+            Some(TransportFaultKind::Torn { keep }) => {
+                let mut torn = msg;
+                torn.truncate(keep.min(torn.len()));
+                self.inner.send(torn)
+            }
+            Some(TransportFaultKind::BitFlip { offset, bit }) => {
+                let mut flipped = msg;
+                if let Some(byte) = flipped.get_mut(offset) {
+                    *byte ^= 1u8 << (bit & 7);
+                }
+                self.inner.send(flipped)
+            }
+        };
+        if let Some(held) = held {
+            self.inner.send(held)?;
+        }
+        out
+    }
+
+    fn recv(&mut self) -> Result<Option<Vec<u8>>> {
+        self.inner.recv()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Wire messages
+// ---------------------------------------------------------------------------
+
+/// One protocol message (see the [module docs](self#wire-format)).
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum ShipMessage {
+    /// Bootstrap / re-seed image: a durable checkpoint snapshot.
+    Snapshot {
+        term: u64,
+        generation: u64,
+        watermark: Lsn,
+        bytes: Vec<u8>,
+    },
+    /// A batch of raw WAL frames in LSN order.
+    Frames {
+        term: u64,
+        frames: Vec<(u32, Vec<u8>)>,
+    },
+    /// Primary liveness + watermarks (drives the replica's lease and
+    /// read-your-writes bound).
+    Heartbeat {
+        term: u64,
+        appended: Lsn,
+        acked: Lsn,
+    },
+    /// Replica progress: `acked` is mirrored-and-fsynced, `applied` is
+    /// queryable.
+    Ack {
+        term: u64,
+        replica: u32,
+        acked: Lsn,
+        applied: Lsn,
+    },
+    /// Fencing: the sender holds `term` and refuses lower-term traffic.
+    Reject { term: u64 },
+}
+
+impl ShipMessage {
+    fn encode(&self) -> Vec<u8> {
+        let mut buf = BytesMut::with_capacity(64);
+        buf.put_slice(SHIP_MAGIC);
+        match self {
+            ShipMessage::Snapshot {
+                term,
+                generation,
+                watermark,
+                bytes,
+            } => {
+                buf.put_u8(MSG_SNAPSHOT);
+                buf.put_u64_le(*term);
+                buf.put_u64_le(*generation);
+                buf.put_u64_le(*watermark);
+                buf.put_u64_le(bytes.len() as u64);
+                buf.put_slice(bytes);
+            }
+            ShipMessage::Frames { term, frames } => {
+                buf.put_u8(MSG_FRAMES);
+                buf.put_u64_le(*term);
+                buf.put_u32_le(frames.len() as u32);
+                for (shard, frame) in frames {
+                    buf.put_u32_le(*shard);
+                    buf.put_u32_le(frame.len() as u32);
+                    buf.put_slice(frame);
+                }
+            }
+            ShipMessage::Heartbeat {
+                term,
+                appended,
+                acked,
+            } => {
+                buf.put_u8(MSG_HEARTBEAT);
+                buf.put_u64_le(*term);
+                buf.put_u64_le(*appended);
+                buf.put_u64_le(*acked);
+            }
+            ShipMessage::Ack {
+                term,
+                replica,
+                acked,
+                applied,
+            } => {
+                buf.put_u8(MSG_ACK);
+                buf.put_u64_le(*term);
+                buf.put_u32_le(*replica);
+                buf.put_u64_le(*acked);
+                buf.put_u64_le(*applied);
+            }
+            ShipMessage::Reject { term } => {
+                buf.put_u8(MSG_REJECT);
+                buf.put_u64_le(*term);
+            }
+        }
+        let crc = crc64(&buf);
+        buf.put_u64_le(crc);
+        buf.to_vec()
+    }
+
+    /// Parse and CRC-check a received message. Any deviation — short
+    /// buffer, bad magic, bad CRC, inconsistent lengths — is a typed
+    /// error; the caller counts it and relies on retransmission.
+    fn decode(bytes: &[u8]) -> Result<ShipMessage> {
+        if bytes.len() < SHIP_MAGIC.len() + 1 + 8 {
+            return Err(shiperr("message truncated"));
+        }
+        if &bytes[..8] != SHIP_MAGIC {
+            return Err(shiperr("bad message magic"));
+        }
+        let body_end = bytes.len() - 8;
+        let stored = u64::from_le_bytes(bytes[body_end..].try_into().expect("8 bytes"));
+        if crc64(&bytes[..body_end]) != stored {
+            return Err(shiperr("message failed its CRC"));
+        }
+        let kind = bytes[8];
+        let mut buf = Bytes::copy_from_slice(&bytes[9..body_end]);
+        let need = |buf: &Bytes, n: usize, what: &str| -> Result<()> {
+            if buf.remaining() < n {
+                return Err(shiperr(format!("{what} truncated")));
+            }
+            Ok(())
+        };
+        match kind {
+            MSG_SNAPSHOT => {
+                need(&buf, 32, "snapshot header")?;
+                let term = buf.get_u64_le();
+                let generation = buf.get_u64_le();
+                let watermark = buf.get_u64_le();
+                let len = buf.get_u64_le() as usize;
+                if buf.remaining() != len {
+                    return Err(shiperr("snapshot length mismatch"));
+                }
+                Ok(ShipMessage::Snapshot {
+                    term,
+                    generation,
+                    watermark,
+                    bytes: buf.to_vec(),
+                })
+            }
+            MSG_FRAMES => {
+                need(&buf, 12, "frames header")?;
+                let term = buf.get_u64_le();
+                let count = buf.get_u32_le() as usize;
+                let mut frames = Vec::with_capacity(count.min(1024));
+                for _ in 0..count {
+                    need(&buf, 8, "frame header")?;
+                    let shard = buf.get_u32_le();
+                    let len = buf.get_u32_le() as usize;
+                    need(&buf, len, "frame body")?;
+                    let mut frame = vec![0u8; len];
+                    buf.copy_to_slice(&mut frame);
+                    frames.push((shard, frame));
+                }
+                if buf.has_remaining() {
+                    return Err(shiperr("trailing bytes after frames"));
+                }
+                Ok(ShipMessage::Frames { term, frames })
+            }
+            MSG_HEARTBEAT => {
+                need(&buf, 24, "heartbeat")?;
+                Ok(ShipMessage::Heartbeat {
+                    term: buf.get_u64_le(),
+                    appended: buf.get_u64_le(),
+                    acked: buf.get_u64_le(),
+                })
+            }
+            MSG_ACK => {
+                need(&buf, 28, "ack")?;
+                Ok(ShipMessage::Ack {
+                    term: buf.get_u64_le(),
+                    replica: buf.get_u32_le(),
+                    acked: buf.get_u64_le(),
+                    applied: buf.get_u64_le(),
+                })
+            }
+            MSG_REJECT => {
+                need(&buf, 8, "reject")?;
+                Ok(ShipMessage::Reject {
+                    term: buf.get_u64_le(),
+                })
+            }
+            other => Err(shiperr(format!("unknown message type {other}"))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Backoff
+// ---------------------------------------------------------------------------
+
+/// Capped exponential backoff with deterministic jitter (an LCG seeded
+/// per link, so retry storms from many links decorrelate without any
+/// global randomness source).
+#[derive(Debug)]
+struct Backoff {
+    base_ms: u64,
+    cap_ms: u64,
+    failures: u32,
+    next_at_ms: u64,
+    rng: u64,
+}
+
+impl Backoff {
+    fn new(base_ms: u64, cap_ms: u64, seed: u64) -> Self {
+        Self {
+            base_ms: base_ms.max(1),
+            cap_ms: cap_ms.max(base_ms.max(1)),
+            failures: 0,
+            next_at_ms: 0,
+            rng: seed | 1,
+        }
+    }
+
+    fn ready(&self, now_ms: u64) -> bool {
+        now_ms >= self.next_at_ms
+    }
+
+    fn success(&mut self) {
+        self.failures = 0;
+        self.next_at_ms = 0;
+    }
+
+    fn failure(&mut self, now_ms: u64) {
+        let exp = self.failures.min(16);
+        let delay = self.base_ms.saturating_mul(1u64 << exp).min(self.cap_ms);
+        self.rng = self
+            .rng
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let jitter = self.rng % (delay / 2 + 1);
+        self.next_at_ms = now_ms + delay + jitter;
+        self.failures = self.failures.saturating_add(1);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sharded tailing
+// ---------------------------------------------------------------------------
+
+/// One shipped frame: the raw on-disk encoding plus its routing.
+#[derive(Debug, Clone)]
+struct ShippedFrame {
+    shard: u32,
+    lsn: Lsn,
+    bytes: Vec<u8>,
+}
+
+/// Merges the per-shard [`WalTailer`] streams of one durable directory
+/// into a single contiguous-LSN stream. Broadcast records (`Compact`,
+/// `Checkpoint` — same LSN on every shard's log) are emitted **once**
+/// with [`BROADCAST_SHARD`]; stale copies surfacing later on other
+/// shards are dropped.
+#[derive(Debug)]
+struct ShardedTailer {
+    tailers: Vec<WalTailer>,
+    queues: Vec<VecDeque<TailedFrame>>,
+    next_lsn: Lsn,
+}
+
+impl ShardedTailer {
+    fn new(dir: &Path, shards: usize, next_lsn: Lsn) -> Self {
+        Self {
+            tailers: (0..shards)
+                .map(|s| WalTailer::new(shard_wal_dir(dir, s), next_lsn))
+                .collect(),
+            queues: vec![VecDeque::new(); shards],
+            next_lsn,
+        }
+    }
+
+    fn reset(&mut self, next_lsn: Lsn) {
+        for t in &mut self.tailers {
+            t.reset(next_lsn);
+        }
+        for q in &mut self.queues {
+            q.clear();
+        }
+        self.next_lsn = next_lsn;
+    }
+
+    /// All complete frames appended since the last poll, in global LSN
+    /// order, stopping at the first LSN not yet on any disk (an append
+    /// or flush in flight).
+    fn poll(&mut self) -> Result<Vec<ShippedFrame>> {
+        for (t, q) in self.tailers.iter_mut().zip(&mut self.queues) {
+            for f in t.poll()? {
+                q.push_back(f);
+            }
+        }
+        let mut out = Vec::new();
+        loop {
+            // Drop stale broadcast copies (LSN already emitted via
+            // another shard's log).
+            for q in &mut self.queues {
+                while q.front().is_some_and(|f| f.lsn < self.next_lsn) {
+                    q.pop_front();
+                }
+            }
+            let Some(shard) = self
+                .queues
+                .iter()
+                .position(|q| q.front().is_some_and(|f| f.lsn == self.next_lsn))
+            else {
+                return Ok(out);
+            };
+            let frame = self.queues[shard].pop_front().expect("front checked");
+            let Some((_, _, rec)) = parse_frame(&frame.bytes) else {
+                return Err(shiperr(format!(
+                    "tailed frame at lsn {} no longer parses",
+                    frame.lsn
+                )));
+            };
+            let broadcast = matches!(
+                rec,
+                WalRecord::Compact { .. } | WalRecord::Checkpoint { .. }
+            );
+            out.push(ShippedFrame {
+                shard: if broadcast {
+                    BROADCAST_SHARD
+                } else {
+                    shard as u32
+                },
+                lsn: frame.lsn,
+                bytes: frame.bytes,
+            });
+            self.next_lsn = frame.lsn + 1;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Configuration, stats, health
+// ---------------------------------------------------------------------------
+
+/// Replication timing knobs. All times are caller-supplied milliseconds
+/// (both [`Primary::pump`] and [`Replica::poll`] take an explicit
+/// `now_ms`, so tests and the failover sweep drive time
+/// deterministically).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FailoverConfig {
+    /// Heartbeat period on every link.
+    pub heartbeat_ms: u64,
+    /// A replica that misses heartbeats for this long reports the
+    /// primary dead ([`Replica::primary_alive`]).
+    pub lease_ms: u64,
+    /// A link with shipped-but-unacked frames and no ack progress for
+    /// this long is rewound to its acked LSN and re-shipped.
+    pub retransmit_ms: u64,
+    /// First retry delay after a transport error.
+    pub backoff_base_ms: u64,
+    /// Retry delay ceiling.
+    pub backoff_cap_ms: u64,
+    /// Replica reorder-buffer bound (staged frames): overflowing it is a
+    /// loud divergence error, never silent loss.
+    pub reorder_cap: usize,
+}
+
+impl Default for FailoverConfig {
+    fn default() -> Self {
+        Self {
+            heartbeat_ms: 100,
+            lease_ms: 500,
+            retransmit_ms: 250,
+            backoff_base_ms: 10,
+            backoff_cap_ms: 1_000,
+            reorder_cap: 4_096,
+        }
+    }
+}
+
+/// Counters for one replication endpoint (primary or replica).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplicationStats {
+    /// Frames shipped to (primary) / applied by (replica) the peer.
+    pub shipped_frames: u64,
+    /// Bytes of frame payload shipped.
+    pub shipped_bytes: u64,
+    /// Frames applied into the replica set.
+    pub applied_frames: u64,
+    /// Frames dropped as already-applied duplicates.
+    pub duplicate_frames: u64,
+    /// Frames staged out of LSN order before applying.
+    pub reordered_frames: u64,
+    /// Messages discarded for CRC/format violations.
+    pub corrupt_messages: u64,
+    /// Individual frames discarded for CRC violations.
+    pub corrupt_frames: u64,
+    /// Transport send failures (retried under backoff).
+    pub retries: u64,
+    /// Lower-term messages refused with `Reject`.
+    pub rejects: u64,
+    /// Snapshot seeds shipped (primary) / installed (replica).
+    pub snapshots: u64,
+    /// Links rewound to their acked LSN after an ack stall.
+    pub rewinds: u64,
+}
+
+/// Point-in-time replication health, as stamped into
+/// [`crate::StatsAggregator::snapshot`] via
+/// [`crate::StatsAggregator::record_replication`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplicationHealth {
+    /// The primary's current term.
+    pub term: u64,
+    /// The primary's appended LSN.
+    pub appended_lsn: Lsn,
+    /// Attached replicas.
+    pub replicas: usize,
+    /// Lowest replica acked LSN — the durable replication frontier.
+    pub min_acked_lsn: Lsn,
+    /// Largest per-replica lag (`appended − acked`).
+    pub max_lag: u64,
+}
+
+/// One attached replica as the primary sees it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplicaHealth {
+    /// Link id assigned by [`Primary::add_replica`].
+    pub id: u32,
+    /// Highest LSN the replica has mirrored and fsynced.
+    pub acked_lsn: Lsn,
+    /// Highest LSN the replica serves reads at.
+    pub applied_lsn: Lsn,
+    /// `now` of the last ack, in the caller's pump clock.
+    pub last_progress_ms: u64,
+}
+
+// ---------------------------------------------------------------------------
+// Primary
+// ---------------------------------------------------------------------------
+
+struct Link {
+    id: u32,
+    down: Box<dyn Transport>,
+    up: Box<dyn Transport>,
+    tailer: ShardedTailer,
+    outbox: VecDeque<Vec<u8>>,
+    backoff: Backoff,
+    acked: Lsn,
+    applied: Lsn,
+    acked_any: bool,
+    shipped: Lsn,
+    last_progress_ms: u64,
+    needs_seed: bool,
+}
+
+impl std::fmt::Debug for Link {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Link")
+            .field("id", &self.id)
+            .field("acked", &self.acked)
+            .field("applied", &self.applied)
+            .field("shipped", &self.shipped)
+            .field("needs_seed", &self.needs_seed)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The write side of a replication group: a
+/// [`ConcurrentDurableShardedIndexSet`] plus per-replica shipping state.
+/// Mutate and query through [`Primary::store`]; call [`Primary::pump`]
+/// periodically (or after write bursts) to ship, heartbeat, and drain
+/// acks.
+#[derive(Debug)]
+pub struct Primary<S: KeyStore + Clone = VecStore> {
+    store: ConcurrentDurableShardedIndexSet<S>,
+    cfg: FailoverConfig,
+    links: Vec<Link>,
+    next_link_id: u32,
+    last_heartbeat_ms: u64,
+    fenced: Option<u64>,
+    stats: ReplicationStats,
+}
+
+impl<S: KeyStore + Clone> Primary<S> {
+    /// Wrap `store` for replication. No replicas are attached yet.
+    pub fn new(store: ConcurrentDurableShardedIndexSet<S>, cfg: FailoverConfig) -> Self {
+        Self {
+            store,
+            cfg,
+            links: Vec::new(),
+            next_link_id: 0,
+            last_heartbeat_ms: 0,
+            fenced: None,
+            stats: ReplicationStats::default(),
+        }
+    }
+
+    /// The underlying store: mutations, reads, and stats go through it
+    /// directly. Checkpoint through [`Primary::checkpoint`], not
+    /// `store().checkpoint()` — the latter truncates segments under the
+    /// link cursors, which heals (automatic re-seed) but costs every
+    /// lagging replica a snapshot reinstall.
+    pub fn store(&self) -> &ConcurrentDurableShardedIndexSet<S> {
+        &self.store
+    }
+
+    /// Consume the wrapper and return the store.
+    pub fn into_store(self) -> ConcurrentDurableShardedIndexSet<S> {
+        self.store
+    }
+
+    /// Attach a replica over a transport pair (`down` carries data to
+    /// the replica, `up` returns acks). The replica is seeded with the
+    /// latest durable snapshot on the next [`Primary::pump`]. Returns
+    /// the link id.
+    pub fn add_replica(&mut self, down: Box<dyn Transport>, up: Box<dyn Transport>) -> u32 {
+        let id = self.next_link_id;
+        self.next_link_id += 1;
+        let shards = self.store.num_queues();
+        self.links.push(Link {
+            id,
+            down,
+            up,
+            tailer: ShardedTailer::new(self.store.dir(), shards, 1),
+            outbox: VecDeque::new(),
+            backoff: Backoff::new(
+                self.cfg.backoff_base_ms,
+                self.cfg.backoff_cap_ms,
+                0x9E37_79B9_7F4A_7C15 ^ u64::from(id),
+            ),
+            acked: 0,
+            applied: 0,
+            acked_any: false,
+            shipped: 0,
+            last_progress_ms: 0,
+            needs_seed: true,
+        });
+        id
+    }
+
+    /// Checkpoint the store and rebase every link cursor past the
+    /// truncation point. Links that had not shipped up to the watermark
+    /// re-seed automatically (their history is gone).
+    ///
+    /// # Errors
+    ///
+    /// See [`ConcurrentDurableShardedIndexSet::checkpoint`].
+    pub fn checkpoint(&mut self) -> Result<Lsn> {
+        let watermark = self.store.checkpoint()?;
+        for link in &mut self.links {
+            if link.tailer.next_lsn > watermark {
+                // Already past the truncation point; segments it still
+                // needs were recreated at watermark + 1.
+                continue;
+            }
+            link.needs_seed = true;
+        }
+        Ok(watermark)
+    }
+
+    /// Current term (highest across the shard WAL writers).
+    pub fn term(&self) -> u64 {
+        self.store.term()
+    }
+
+    /// True once every attached replica has acked `lsn` — the
+    /// semi-synchronous replication bound the failover sweep uses.
+    pub fn replication_acked(&self, lsn: Lsn) -> bool {
+        !self.links.is_empty() && self.links.iter().all(|l| l.acked >= lsn)
+    }
+
+    /// Per-replica progress.
+    pub fn replica_health(&self) -> Vec<ReplicaHealth> {
+        self.links
+            .iter()
+            .map(|l| ReplicaHealth {
+                id: l.id,
+                acked_lsn: l.acked,
+                applied_lsn: l.applied,
+                last_progress_ms: l.last_progress_ms,
+            })
+            .collect()
+    }
+
+    /// Group-level health for [`crate::StatsAggregator`].
+    pub fn health(&self) -> ReplicationHealth {
+        let appended = self.store.wal_health().appended_lsn;
+        ReplicationHealth {
+            term: self.term(),
+            appended_lsn: appended,
+            replicas: self.links.len(),
+            min_acked_lsn: self.links.iter().map(|l| l.acked).min().unwrap_or(appended),
+            max_lag: self
+                .links
+                .iter()
+                .map(|l| appended.saturating_sub(l.acked))
+                .max()
+                .unwrap_or(0),
+        }
+    }
+
+    /// Endpoint counters.
+    pub fn stats(&self) -> ReplicationStats {
+        self.stats
+    }
+
+    /// One replication turn: drain acks, detect fencing, ship new
+    /// frames, heartbeat, and flush per-link outboxes under backoff.
+    /// Call it periodically; `now_ms` is any monotonic millisecond
+    /// clock (tests pass a counter).
+    ///
+    /// # Errors
+    ///
+    /// [`PlanarError::Fenced`] once a peer with a higher term has
+    /// rejected this primary — every subsequent pump fails the same way
+    /// and the caller must stop writing. Transport errors are absorbed
+    /// into backoff, not returned.
+    pub fn pump(&mut self, now_ms: u64) -> Result<()> {
+        self.drain_acks(now_ms);
+        if let Some(observed) = self.fenced {
+            return Err(PlanarError::Fenced {
+                term: self.term(),
+                observed,
+            });
+        }
+        let term = self.term();
+        let heartbeat_due = now_ms.saturating_sub(self.last_heartbeat_ms) >= self.cfg.heartbeat_ms
+            || self.last_heartbeat_ms == 0;
+        if heartbeat_due {
+            self.last_heartbeat_ms = now_ms;
+        }
+        let health = self.store.wal_health();
+        for link in &mut self.links {
+            if link.needs_seed {
+                if link.backoff.ready(now_ms) {
+                    match seed_link(&self.store, link, term) {
+                        Ok(()) => {
+                            link.needs_seed = false;
+                            link.last_progress_ms = now_ms;
+                            self.stats.snapshots += 1;
+                        }
+                        Err(_) => {
+                            self.stats.retries += 1;
+                            link.backoff.failure(now_ms);
+                        }
+                    }
+                }
+            } else {
+                // Ack stall: rewind to the acked frontier (duplicates
+                // are cheap — the replica drops them by LSN). A link
+                // that never acked is still waiting on its seed; ship
+                // a fresh one instead of frames it cannot apply.
+                let stalled = link.shipped > link.acked
+                    && now_ms.saturating_sub(link.last_progress_ms) >= self.cfg.retransmit_ms;
+                if stalled {
+                    link.last_progress_ms = now_ms;
+                    link.outbox.clear();
+                    if link.acked_any {
+                        link.tailer.reset(link.acked + 1);
+                        link.shipped = link.acked;
+                        self.stats.rewinds += 1;
+                    } else {
+                        link.needs_seed = true;
+                        continue;
+                    }
+                }
+                match link.tailer.poll() {
+                    Ok(frames) if !frames.is_empty() => {
+                        let last = frames.last().expect("non-empty").lsn;
+                        self.stats.shipped_frames += frames.len() as u64;
+                        self.stats.shipped_bytes +=
+                            frames.iter().map(|f| f.bytes.len() as u64).sum::<u64>();
+                        let msg = ShipMessage::Frames {
+                            term,
+                            frames: frames.into_iter().map(|f| (f.shard, f.bytes)).collect(),
+                        };
+                        link.outbox.push_back(msg.encode());
+                        link.shipped = last;
+                    }
+                    Ok(_) => {}
+                    Err(_) => {
+                        // The cursor fell off the retained log
+                        // (checkpoint truncation) or the directory
+                        // changed shape: re-seed.
+                        link.needs_seed = true;
+                    }
+                }
+            }
+            if heartbeat_due && !link.needs_seed {
+                link.outbox.push_back(
+                    ShipMessage::Heartbeat {
+                        term,
+                        appended: health.appended_lsn,
+                        acked: health.acked_lsn,
+                    }
+                    .encode(),
+                );
+            }
+            while let Some(front) = link.outbox.front() {
+                if !link.backoff.ready(now_ms) {
+                    break;
+                }
+                match link.down.send(front.clone()) {
+                    Ok(()) => {
+                        link.outbox.pop_front();
+                        link.backoff.success();
+                    }
+                    Err(_) => {
+                        self.stats.retries += 1;
+                        link.backoff.failure(now_ms);
+                        break;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn drain_acks(&mut self, now_ms: u64) {
+        let my_term = self.term();
+        for link in &mut self.links {
+            loop {
+                let raw = match link.up.recv() {
+                    Ok(Some(raw)) => raw,
+                    Ok(None) => break,
+                    Err(_) => {
+                        self.stats.retries += 1;
+                        break;
+                    }
+                };
+                match ShipMessage::decode(&raw) {
+                    Ok(ShipMessage::Ack {
+                        term,
+                        acked,
+                        applied,
+                        ..
+                    }) => {
+                        if term > my_term {
+                            self.fenced = Some(term);
+                            continue;
+                        }
+                        if acked > link.acked || applied > link.applied {
+                            link.last_progress_ms = now_ms;
+                        }
+                        link.acked = link.acked.max(acked);
+                        link.applied = link.applied.max(applied);
+                        link.acked_any = true;
+                    }
+                    Ok(ShipMessage::Reject { term }) => {
+                        if term > my_term {
+                            self.fenced = Some(term);
+                        }
+                    }
+                    Ok(_) => {}
+                    Err(_) => self.stats.corrupt_messages += 1,
+                }
+            }
+        }
+    }
+}
+
+/// Ship the latest durable snapshot down a link and rebase its cursor
+/// past the snapshot watermark.
+fn seed_link<S: KeyStore + Clone>(
+    store: &ConcurrentDurableShardedIndexSet<S>,
+    link: &mut Link,
+    term: u64,
+) -> Result<()> {
+    let manifest = read_manifest(store.dir())?;
+    let bytes = fs::read(snapshot_path(store.dir(), manifest.generation))
+        .map_err(|e| shipio("read checkpoint snapshot", e))?;
+    let msg = ShipMessage::Snapshot {
+        term: term.max(manifest.term),
+        generation: manifest.generation,
+        watermark: manifest.watermark,
+        bytes,
+    };
+    link.outbox.clear();
+    link.outbox.push_back(msg.encode());
+    link.tailer.reset(manifest.watermark + 1);
+    link.shipped = manifest.watermark;
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Follower reads
+// ---------------------------------------------------------------------------
+
+/// Staleness contract for a follower read (see
+/// [`Replica::follower_read`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadConsistency {
+    /// Serve whatever is applied; the result carries a `stale` flag when
+    /// the replica knows the primary is ahead.
+    Any,
+    /// Serve only if the replica has applied at least this LSN;
+    /// otherwise a typed [`PlanarError::ReplicaLag`].
+    AtLeast(Lsn),
+    /// Serve only if the replica has caught up to the primary's
+    /// appended watermark as of the last heartbeat — a client that just
+    /// wrote to the primary sees its write or a typed error, never a
+    /// silently stale answer.
+    ReadYourWrites,
+}
+
+/// A consistency-checked follower read: a pinned epoch snapshot plus the
+/// provenance needed to interpret it.
+#[derive(Debug)]
+pub struct FollowerRead<S: KeyStore + Clone = VecStore> {
+    /// The pinned epoch — query it directly; it is frozen even while the
+    /// replica keeps applying.
+    pub snapshot: Snapshot<ShardedIndexSet<S>>,
+    /// The LSN this snapshot reflects.
+    pub applied_lsn: Lsn,
+    /// True when the primary was known (via heartbeat) to be ahead of
+    /// `applied_lsn` at read time.
+    pub stale: bool,
+}
+
+// ---------------------------------------------------------------------------
+// Replica
+// ---------------------------------------------------------------------------
+
+struct ReplicaState<S: KeyStore + Clone> {
+    set: ConcurrentShardedIndexSet<S>,
+    wals: Vec<WalWriter>,
+}
+
+impl<S: KeyStore + Clone> std::fmt::Debug for ReplicaState<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReplicaState")
+            .field("wals", &self.wals.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// The read side of a replication link: installs the primary's snapshot,
+/// tails its WAL, mirrors every frame into its own durable directory,
+/// and serves [`FollowerRead`]s with explicit staleness contracts. Can
+/// be [promoted](Replica::promote) to a [`Primary`] after the old
+/// primary dies.
+#[derive(Debug)]
+pub struct Replica<S: KeyStore + Clone = VecStore> {
+    dir: PathBuf,
+    id: u32,
+    down: Box<dyn Transport>,
+    up: Box<dyn Transport>,
+    opts: WalOptions,
+    cfg: FailoverConfig,
+    save_opts: SaveOptions,
+    state: Option<ReplicaState<S>>,
+    reorder: BTreeMap<Lsn, (u32, Vec<u8>)>,
+    term: u64,
+    generation: u64,
+    snapshot_watermark: Lsn,
+    applied: Lsn,
+    acked: Lsn,
+    hb_appended: Lsn,
+    hb_at_ms: Option<u64>,
+    diverged: Option<String>,
+    stats: ReplicationStats,
+}
+
+impl<S: KeyStore + Clone> Replica<S> {
+    /// A replica that will keep its durable mirror in `dir` (created on
+    /// snapshot install) and speak to the primary over `down`/`up`.
+    /// `id` must be unique within the replication group.
+    pub fn new(
+        dir: impl Into<PathBuf>,
+        id: u32,
+        down: Box<dyn Transport>,
+        up: Box<dyn Transport>,
+        opts: WalOptions,
+        cfg: FailoverConfig,
+    ) -> Self {
+        Self {
+            dir: dir.into(),
+            id,
+            down,
+            up,
+            opts,
+            cfg,
+            save_opts: SaveOptions::default(),
+            state: None,
+            reorder: BTreeMap::new(),
+            term: 0,
+            generation: 0,
+            snapshot_watermark: 0,
+            applied: 0,
+            acked: 0,
+            hb_appended: 0,
+            hb_at_ms: None,
+            diverged: None,
+            stats: ReplicationStats::default(),
+        }
+    }
+
+    /// True once a snapshot has been installed and reads can be served.
+    pub fn is_seeded(&self) -> bool {
+        self.state.is_some()
+    }
+
+    /// Highest LSN applied to the queryable set.
+    pub fn applied_lsn(&self) -> Lsn {
+        self.applied
+    }
+
+    /// Highest LSN mirrored into this replica's own WAL **and** fsynced
+    /// — what this replica can guarantee after promotion, and what
+    /// [`elect`] ranks by.
+    pub fn acked_lsn(&self) -> Lsn {
+        self.acked
+    }
+
+    /// The replication term this replica has adopted.
+    pub fn term(&self) -> u64 {
+        self.term
+    }
+
+    /// Endpoint counters.
+    pub fn stats(&self) -> ReplicationStats {
+        self.stats
+    }
+
+    /// The divergence provenance, if this replica has failed loudly.
+    pub fn divergence(&self) -> Option<&str> {
+        self.diverged.as_deref()
+    }
+
+    /// True while the primary's lease holds: a heartbeat arrived within
+    /// [`FailoverConfig::lease_ms`] of `now_ms`. A never-heartbeated
+    /// replica reports `false`.
+    pub fn primary_alive(&self, now_ms: u64) -> bool {
+        self.hb_at_ms
+            .is_some_and(|at| now_ms.saturating_sub(at) <= self.cfg.lease_ms)
+    }
+
+    /// One replication turn: drain the down pipe, stage/apply frames,
+    /// and ack progress. Returns the number of frames applied.
+    ///
+    /// # Errors
+    ///
+    /// [`PlanarError::Persist`] once the replica has **diverged** (a
+    /// replay divergence check fired, or the reorder buffer overflowed):
+    /// the error carries the provenance, every subsequent poll fails the
+    /// same way, and the replica never serves from the diverged state —
+    /// [`Replica::follower_read`] fails too.
+    pub fn poll(&mut self, now_ms: u64) -> Result<usize> {
+        self.check_diverged()?;
+        let mut progressed = false;
+        loop {
+            let raw = match self.down.recv() {
+                Ok(Some(raw)) => raw,
+                Ok(None) => break,
+                Err(_) => {
+                    self.stats.retries += 1;
+                    break;
+                }
+            };
+            let msg = match ShipMessage::decode(&raw) {
+                Ok(msg) => msg,
+                Err(_) => {
+                    // Torn or bit-flipped in flight: drop it and let the
+                    // ack-stall retransmit heal the gap.
+                    self.stats.corrupt_messages += 1;
+                    continue;
+                }
+            };
+            match msg {
+                ShipMessage::Snapshot {
+                    term,
+                    generation,
+                    watermark,
+                    bytes,
+                } => {
+                    if self.reject_stale_term(term) {
+                        continue;
+                    }
+                    self.adopt_term(term)?;
+                    if self.state.is_some() && watermark <= self.applied {
+                        // A re-seed we outran; nothing to do.
+                        continue;
+                    }
+                    match self.install_snapshot(generation, watermark, &bytes) {
+                        Ok(()) => {
+                            progressed = true;
+                            self.stats.snapshots += 1;
+                        }
+                        Err(_) => self.stats.corrupt_messages += 1,
+                    }
+                }
+                ShipMessage::Frames { term, frames } => {
+                    if self.reject_stale_term(term) {
+                        continue;
+                    }
+                    self.adopt_term(term)?;
+                    for (shard, bytes) in frames {
+                        self.stage(shard, bytes)?;
+                    }
+                }
+                ShipMessage::Heartbeat { term, appended, .. } => {
+                    if self.reject_stale_term(term) {
+                        continue;
+                    }
+                    self.adopt_term(term)?;
+                    self.hb_appended = self.hb_appended.max(appended);
+                    self.hb_at_ms = Some(now_ms);
+                    progressed = true;
+                }
+                ShipMessage::Ack { .. } | ShipMessage::Reject { .. } => {
+                    // Upstream-only message on the down pipe: a wiring
+                    // bug or corruption that still passed the CRC.
+                    self.stats.corrupt_messages += 1;
+                }
+            }
+        }
+        let applied = self.apply_ready()?;
+        if applied > 0 {
+            progressed = true;
+        }
+        if progressed && self.state.is_some() {
+            let ack = ShipMessage::Ack {
+                term: self.term,
+                replica: self.id,
+                acked: self.acked,
+                applied: self.applied,
+            };
+            if self.up.send(ack.encode()).is_err() {
+                self.stats.retries += 1;
+            }
+        }
+        Ok(applied)
+    }
+
+    /// Consistency-checked read against the latest applied epoch.
+    ///
+    /// # Errors
+    ///
+    /// [`PlanarError::ReplicaLag`] when the requested bound is not yet
+    /// applied, [`PlanarError::Persist`] when unseeded or diverged.
+    pub fn follower_read(&self, consistency: ReadConsistency) -> Result<FollowerRead<S>> {
+        self.check_diverged()?;
+        let state = self
+            .state
+            .as_ref()
+            .ok_or_else(|| shiperr("replica has not installed a snapshot yet"))?;
+        let required = match consistency {
+            ReadConsistency::Any => None,
+            ReadConsistency::AtLeast(lsn) => Some(lsn),
+            ReadConsistency::ReadYourWrites => Some(self.hb_appended),
+        };
+        if let Some(required) = required {
+            if self.applied < required {
+                return Err(PlanarError::ReplicaLag {
+                    required,
+                    applied: self.applied,
+                });
+            }
+        }
+        Ok(FollowerRead {
+            snapshot: state.set.snapshot(),
+            applied_lsn: self.applied,
+            stale: self.applied < self.hb_appended,
+        })
+    }
+
+    /// Promote this replica to a primary under `term + 1`: fsync the
+    /// mirrored WALs, stamp the new term into the manifest and future
+    /// segments, and reassemble a writable
+    /// [`ConcurrentDurableShardedIndexSet`] over the same directory.
+    /// Frames still in the reorder buffer (beyond the contiguous applied
+    /// prefix) are discarded — they were never acked.
+    ///
+    /// # Errors
+    ///
+    /// [`PlanarError::Persist`] when unseeded, diverged, or the final
+    /// fsync/manifest write fails.
+    pub fn promote(mut self, ccfg: ConcurrencyConfig) -> Result<Primary<S>> {
+        self.check_diverged()?;
+        let mut state = self
+            .state
+            .take()
+            .ok_or_else(|| shiperr("cannot promote a replica that was never seeded"))?;
+        let new_term = self.term + 1;
+        for wal in &mut state.wals {
+            wal.set_term(new_term);
+            wal.sync()?;
+        }
+        write_manifest(
+            &self.dir,
+            Manifest {
+                generation: self.generation,
+                watermark: self.snapshot_watermark,
+                term: new_term,
+            },
+        )?;
+        let durable = DurableShardedIndexSet::from_parts(
+            state.set.into_staged(),
+            state.wals,
+            self.dir,
+            self.generation,
+            self.applied + 1,
+            self.save_opts,
+        );
+        let store = ConcurrentDurableShardedIndexSet::from_durable(durable, ccfg);
+        Ok(Primary::new(store, self.cfg))
+    }
+
+    fn check_diverged(&self) -> Result<()> {
+        match &self.diverged {
+            Some(provenance) => Err(shiperr(format!("replica diverged: {provenance}"))),
+            None => Ok(()),
+        }
+    }
+
+    /// True (after sending `Reject`) when `term` is below ours — the
+    /// sender is a deposed primary and must be fenced.
+    fn reject_stale_term(&mut self, term: u64) -> bool {
+        if term >= self.term {
+            return false;
+        }
+        self.stats.rejects += 1;
+        let reject = ShipMessage::Reject { term: self.term };
+        if self.up.send(reject.encode()).is_err() {
+            self.stats.retries += 1;
+        }
+        true
+    }
+
+    fn adopt_term(&mut self, term: u64) -> Result<()> {
+        if term > self.term {
+            self.term = term;
+            if let Some(state) = &mut self.state {
+                for wal in &mut state.wals {
+                    wal.set_term(term);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn install_snapshot(&mut self, generation: u64, watermark: Lsn, bytes: &[u8]) -> Result<()> {
+        // Validate before anything touches disk: a bit-flipped image
+        // must never land.
+        let set = ShardedIndexSet::<S>::from_bytes(bytes)?;
+        let shards = set.num_shards();
+        fs::create_dir_all(&self.dir).map_err(|e| shipio("create replica dir", e))?;
+        install_snapshot_bytes(
+            &snapshot_path(&self.dir, generation),
+            bytes,
+            &self.save_opts,
+        )?;
+        write_manifest(
+            &self.dir,
+            Manifest {
+                generation,
+                watermark,
+                term: self.term,
+            },
+        )?;
+        // Reset the WAL subtree: a re-seed supersedes any mirrored
+        // history (the snapshot covers it).
+        let old_state = self.state.take();
+        drop(old_state);
+        let root = wal_root(&self.dir);
+        if root.exists() {
+            fs::remove_dir_all(&root).map_err(|e| shipio("reset replica wal", e))?;
+        }
+        init_shard_wals(&self.dir, shards, watermark + 1, self.term)?;
+        let mut wals = Vec::with_capacity(shards);
+        for shard in 0..shards {
+            let (wal, _) = WalWriter::open_repair(&shard_wal_dir(&self.dir, shard), self.opts)?;
+            wals.push(wal);
+        }
+        self.state = Some(ReplicaState {
+            set: ConcurrentShardedIndexSet::new(set, ConcurrencyConfig::default()),
+            wals,
+        });
+        self.generation = generation;
+        self.snapshot_watermark = watermark;
+        self.applied = watermark;
+        self.acked = watermark;
+        self.reorder = self.reorder.split_off(&(watermark + 1));
+        Ok(())
+    }
+
+    /// Stage one shipped frame by LSN. Duplicates are dropped; gaps park
+    /// in the bounded reorder buffer; overflow is loud divergence.
+    fn stage(&mut self, shard: u32, bytes: Vec<u8>) -> Result<()> {
+        let Some((consumed, lsn, _)) = parse_frame(&bytes) else {
+            self.stats.corrupt_frames += 1;
+            return Ok(());
+        };
+        if consumed != bytes.len() {
+            self.stats.corrupt_frames += 1;
+            return Ok(());
+        }
+        if lsn <= self.applied {
+            self.stats.duplicate_frames += 1;
+            return Ok(());
+        }
+        if lsn != self.applied + 1 + self.reorder.len() as Lsn {
+            self.stats.reordered_frames += 1;
+        }
+        if self.reorder.insert(lsn, (shard, bytes)).is_some() {
+            self.stats.duplicate_frames += 1;
+        }
+        if self.reorder.len() > self.cfg.reorder_cap {
+            let provenance = format!(
+                "reorder buffer overflowed ({} staged frames, cap {}) waiting for lsn {}; \
+                 shipped stream has an unhealed gap",
+                self.reorder.len(),
+                self.cfg.reorder_cap,
+                self.applied + 1
+            );
+            self.diverged = Some(provenance.clone());
+            return Err(shiperr(format!("replica diverged: {provenance}")));
+        }
+        Ok(())
+    }
+
+    /// Mirror and apply the contiguous staged run starting at
+    /// `applied + 1`: log-then-apply into this replica's own WAL (one
+    /// fsync per touched shard per batch), then replay into the set and
+    /// publish one epoch.
+    fn apply_ready(&mut self) -> Result<usize> {
+        let Some(state) = &mut self.state else {
+            return Ok(0);
+        };
+        let mut batch: Vec<(u32, Lsn, WalRecord)> = Vec::new();
+        while let Some(entry) = self.reorder.first_entry() {
+            let lsn = *entry.key();
+            if lsn != self.applied + batch.len() as Lsn + 1 {
+                break;
+            }
+            let (shard, bytes) = entry.remove();
+            let Some((_, _, rec)) = parse_frame(&bytes) else {
+                // Staged frames were parse-checked; an unparseable one
+                // here is memory corruption — fail loudly.
+                let provenance = format!("staged frame at lsn {lsn} no longer parses");
+                self.diverged = Some(provenance.clone());
+                return Err(shiperr(format!("replica diverged: {provenance}")));
+            };
+            batch.push((shard, lsn, rec));
+        }
+        if batch.is_empty() {
+            return Ok(0);
+        }
+        let shards = state.wals.len();
+        let mut touched = vec![false; shards];
+        let mut applies: Vec<(usize, Lsn, WalRecord)> = Vec::with_capacity(batch.len());
+        for (shard, lsn, rec) in &batch {
+            if *shard == BROADCAST_SHARD {
+                for (s, wal) in state.wals.iter_mut().enumerate() {
+                    wal.append_frame(*lsn, rec)?;
+                    touched[s] = true;
+                    applies.push((s, *lsn, rec.clone()));
+                }
+            } else {
+                let s = *shard as usize;
+                if s >= shards {
+                    let provenance = format!("frame at lsn {lsn} routed to unknown shard {shard}");
+                    self.diverged = Some(provenance.clone());
+                    return Err(shiperr(format!("replica diverged: {provenance}")));
+                }
+                state.wals[s].append_frame(*lsn, rec)?;
+                touched[s] = true;
+                applies.push((s, *lsn, rec.clone()));
+            }
+        }
+        for (s, wal) in state.wals.iter_mut().enumerate() {
+            if touched[s] {
+                wal.sync()?;
+            }
+        }
+        if let Err(e) = state.set.replay_replicated(&applies) {
+            // The same divergence checks recovery runs: two logs
+            // claiming one id, a gap placeholder filled twice. The
+            // replica must stop, loudly, with the provenance.
+            let provenance = format!("replay divergence: {e}");
+            self.diverged = Some(provenance.clone());
+            return Err(shiperr(format!("replica diverged: {provenance}")));
+        }
+        let applied_now = batch.len();
+        self.applied += applied_now as Lsn;
+        self.acked = self.applied;
+        self.stats.applied_frames += applies.len() as u64;
+        Ok(applied_now)
+    }
+}
+
+/// Pick the replica to promote: highest acked (mirrored + fsynced) LSN
+/// wins, ties break to the lowest index. Diverged and never-seeded
+/// replicas are not electable. Returns `None` when nothing is
+/// electable.
+pub fn elect<S: KeyStore + Clone>(replicas: &[Replica<S>]) -> Option<usize> {
+    replicas
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| r.is_seeded() && r.divergence().is_none())
+        .max_by_key(|(i, r)| (r.acked_lsn(), std::cmp::Reverse(*i)))
+        .map(|(i, _)| i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::concurrent::ConcurrencyConfig;
+    use crate::domain::ParameterDomain;
+    use crate::fault::TempDir;
+    use crate::multi::IndexConfig;
+    use crate::query::{Cmp, InequalityQuery};
+    use crate::shard::ShardConfig;
+    use crate::table::FeatureTable;
+    use crate::wal::FsyncPolicy;
+    use crate::VecStore;
+    use std::sync::Mutex;
+
+    /// WAL + transport fault triggers are process-global; replication
+    /// tests serialize like the wal tests do.
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    fn serialized() -> std::sync::MutexGuard<'static, ()> {
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn build_sharded(n: usize) -> ShardedIndexSet<VecStore> {
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| vec![1.0 + (i % 11) as f64, 1.0 + (i % 6) as f64])
+            .collect();
+        let table = FeatureTable::from_rows(2, rows).unwrap();
+        let domain = ParameterDomain::uniform_continuous(2, 0.5, 2.0).unwrap();
+        ShardedIndexSet::build(
+            table,
+            domain,
+            IndexConfig::with_budget(3),
+            ShardConfig::round_robin(3),
+        )
+        .unwrap()
+    }
+
+    fn probes() -> Vec<InequalityQuery> {
+        [10.0, 14.0, 18.0]
+            .iter()
+            .map(|&b| InequalityQuery::new(vec![1.0, 1.5], Cmp::Leq, b).unwrap())
+            .collect()
+    }
+
+    fn pipe() -> (Box<dyn Transport>, Box<dyn Transport>) {
+        let t = ChannelTransport::new();
+        (Box::new(t.clone()), Box::new(t))
+    }
+
+    /// A primary over a fresh temp dir plus one attached replica over
+    /// in-process channels.
+    fn primary_replica(n: usize) -> (TempDir, TempDir, Primary<VecStore>, Replica<VecStore>) {
+        let pdir = TempDir::new("repl_primary").unwrap();
+        let rdir = TempDir::new("repl_replica").unwrap();
+        let opts = WalOptions::default().fsync(FsyncPolicy::EveryN(4));
+        let store = ConcurrentDurableShardedIndexSet::create(
+            pdir.path(),
+            build_sharded(n),
+            opts,
+            ConcurrencyConfig::default(),
+        )
+        .unwrap();
+        let mut primary = Primary::new(store, FailoverConfig::default());
+        let (down_tx, down_rx) = pipe();
+        let (up_tx, up_rx) = pipe();
+        primary.add_replica(down_tx, up_rx);
+        let replica = Replica::new(
+            rdir.path().join("r0"),
+            0,
+            down_rx,
+            up_tx,
+            opts,
+            FailoverConfig::default(),
+        );
+        (pdir, rdir, primary, replica)
+    }
+
+    /// Pump/poll both ends until quiescent. Flushes the primary's
+    /// queues first: the tailer only ships what has reached the log.
+    fn settle(primary: &mut Primary<VecStore>, replica: &mut Replica<VecStore>, now: &mut u64) {
+        primary.store().sync().unwrap();
+        for _ in 0..64 {
+            *now += 200;
+            primary.pump(*now).unwrap();
+            let applied = replica.poll(*now).unwrap();
+            primary.pump(*now).unwrap();
+            if applied == 0 && replica.is_seeded() {
+                let appended = primary.store().wal_health().appended_lsn;
+                if replica.applied_lsn() >= appended {
+                    break;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn message_codec_roundtrips_and_rejects_corruption() {
+        let msgs = vec![
+            ShipMessage::Snapshot {
+                term: 3,
+                generation: 7,
+                watermark: 41,
+                bytes: vec![1, 2, 3, 4, 5],
+            },
+            ShipMessage::Frames {
+                term: 2,
+                frames: vec![(0, vec![9; 12]), (BROADCAST_SHARD, vec![7; 3])],
+            },
+            ShipMessage::Heartbeat {
+                term: 1,
+                appended: 99,
+                acked: 90,
+            },
+            ShipMessage::Ack {
+                term: 1,
+                replica: 4,
+                acked: 88,
+                applied: 87,
+            },
+            ShipMessage::Reject { term: 12 },
+        ];
+        for msg in msgs {
+            let enc = msg.encode();
+            assert_eq!(ShipMessage::decode(&enc).unwrap(), msg);
+            // Any single bit flip is detected.
+            for offset in [0, 8, 9, enc.len() / 2, enc.len() - 1] {
+                let mut bad = enc.clone();
+                bad[offset] ^= 0x10;
+                assert!(ShipMessage::decode(&bad).is_err(), "flip at {offset}");
+            }
+            // Truncation is detected.
+            assert!(ShipMessage::decode(&enc[..enc.len() - 3]).is_err());
+        }
+    }
+
+    #[test]
+    fn channel_and_dir_transports_are_fifo() {
+        let mut c = ChannelTransport::new();
+        c.send(vec![1]).unwrap();
+        c.send(vec![2]).unwrap();
+        assert_eq!(c.recv().unwrap(), Some(vec![1]));
+        assert_eq!(c.recv().unwrap(), Some(vec![2]));
+        assert_eq!(c.recv().unwrap(), None);
+
+        let tmp = TempDir::new("repl_dir_transport").unwrap();
+        let mut tx = DirTransport::new(tmp.path()).unwrap();
+        let mut rx = DirTransport::new(tmp.path()).unwrap();
+        tx.send(vec![7; 100]).unwrap();
+        tx.send(vec![8]).unwrap();
+        assert_eq!(rx.recv().unwrap(), Some(vec![7; 100]));
+        // A transport opened later resumes the sequence.
+        let mut tx2 = DirTransport::new(tmp.path()).unwrap();
+        tx2.send(vec![9]).unwrap();
+        assert_eq!(rx.recv().unwrap(), Some(vec![8]));
+        assert_eq!(rx.recv().unwrap(), Some(vec![9]));
+        assert_eq!(rx.recv().unwrap(), None);
+    }
+
+    #[test]
+    fn backoff_caps_and_resets() {
+        let mut b = Backoff::new(10, 100, 42);
+        assert!(b.ready(0));
+        let mut last = 0;
+        for i in 0..10 {
+            b.failure(1000 * i);
+            let delay = b.next_at_ms - 1000 * i;
+            assert!(delay >= 10, "delay {delay} below base");
+            assert!(delay <= 150, "delay {delay} above cap + jitter");
+            last = delay;
+        }
+        assert!(last >= 100, "exponential growth should reach the cap");
+        b.success();
+        assert!(b.ready(0));
+    }
+
+    #[test]
+    fn replica_bootstraps_and_follows() {
+        let _g = serialized();
+        let (_pd, _rd, mut primary, mut replica) = primary_replica(60);
+        let mut now = 0u64;
+        settle(&mut primary, &mut replica, &mut now);
+        assert!(replica.is_seeded());
+
+        for i in 0..25 {
+            primary
+                .store()
+                .insert_point(&[2.0 + (i % 5) as f64, 3.0])
+                .unwrap();
+        }
+        primary.store().update_point(3, &[4.0, 4.0]).unwrap();
+        primary.store().delete_point(5).unwrap();
+        settle(&mut primary, &mut replica, &mut now);
+
+        let appended = primary.store().wal_health().appended_lsn;
+        assert_eq!(replica.applied_lsn(), appended);
+        assert!(primary.replication_acked(appended));
+
+        // Follower reads are bit-identical to primary reads at the same
+        // LSN.
+        let read = replica
+            .follower_read(ReadConsistency::AtLeast(appended))
+            .unwrap();
+        let psnap = primary.store().snapshot();
+        for q in probes() {
+            assert_eq!(
+                read.snapshot.query(&q).unwrap().sorted_ids(),
+                psnap.query(&q).unwrap().sorted_ids()
+            );
+        }
+
+        // An unmet bound is a typed error, not a stale answer.
+        let err = replica
+            .follower_read(ReadConsistency::AtLeast(appended + 10))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            PlanarError::ReplicaLag { required, applied }
+                if required == appended + 10 && applied == appended
+        ));
+
+        // Health is coherent from one snapshot.
+        let health = primary.health();
+        assert_eq!(health.replicas, 1);
+        assert_eq!(health.min_acked_lsn, appended);
+        assert_eq!(health.max_lag, 0);
+        let mut agg = crate::stats::StatsAggregator::new();
+        agg.record_replication(&health);
+        agg.record_durable_sharded(primary.store());
+        let snap = agg.snapshot();
+        assert_eq!(snap.replication_lag, 0);
+        assert_eq!(snap.replication_min_acked_lsn, appended);
+        assert_eq!(snap.wal_ack_lag, snap.wal_appended_lsn - snap.wal_acked_lsn);
+    }
+
+    #[test]
+    fn broadcast_compact_replicates() {
+        let _g = serialized();
+        let (_pd, _rd, mut primary, mut replica) = primary_replica(40);
+        let mut now = 0u64;
+        settle(&mut primary, &mut replica, &mut now);
+        for id in [1u32, 2, 4, 7] {
+            primary.store().delete_point(id).unwrap();
+        }
+        primary.store().compact(0.01).unwrap();
+        settle(&mut primary, &mut replica, &mut now);
+        let read = replica.follower_read(ReadConsistency::Any).unwrap();
+        let psnap = primary.store().snapshot();
+        assert_eq!(read.snapshot.len(), psnap.len());
+        for q in probes() {
+            assert_eq!(
+                read.snapshot.query(&q).unwrap().sorted_ids(),
+                psnap.query(&q).unwrap().sorted_ids()
+            );
+        }
+    }
+
+    #[test]
+    fn checkpoint_truncation_reseeds_lagging_replica() {
+        let _g = serialized();
+        let (_pd, _rd, mut primary, mut replica) = primary_replica(40);
+        let mut now = 0u64;
+        settle(&mut primary, &mut replica, &mut now);
+        // Mutate while the replica is not polling, then checkpoint: the
+        // shipped-but-unacked frames vanish with the truncated segments.
+        for i in 0..10 {
+            primary
+                .store()
+                .insert_point(&[2.0 + i as f64, 3.0])
+                .unwrap();
+        }
+        primary.checkpoint().unwrap();
+        for i in 0..5 {
+            primary
+                .store()
+                .insert_point(&[3.0 + i as f64, 2.0])
+                .unwrap();
+        }
+        settle(&mut primary, &mut replica, &mut now);
+        let appended = primary.store().wal_health().appended_lsn;
+        assert_eq!(replica.applied_lsn(), appended);
+        let read = replica.follower_read(ReadConsistency::Any).unwrap();
+        let psnap = primary.store().snapshot();
+        assert_eq!(read.snapshot.len(), psnap.len());
+    }
+
+    #[test]
+    fn promotion_fences_the_old_primary() {
+        let _g = serialized();
+        let (_pd, _rd, mut primary, mut replica) = primary_replica(40);
+        let mut now = 0u64;
+        settle(&mut primary, &mut replica, &mut now);
+        for i in 0..8 {
+            primary
+                .store()
+                .insert_point(&[2.0 + i as f64, 3.0])
+                .unwrap();
+        }
+        settle(&mut primary, &mut replica, &mut now);
+        let old_term = primary.term();
+        assert!(!replica.primary_alive(now + 10_000), "lease must expire");
+
+        let acked = replica.acked_lsn();
+        let promoted = replica.promote(ConcurrencyConfig::default()).unwrap();
+        assert_eq!(promoted.term(), old_term + 1);
+        assert_eq!(promoted.store().wal_health().appended_lsn, acked);
+
+        // The promoted store keeps accepting writes under the new term.
+        promoted.store().insert_point(&[9.0, 9.0]).unwrap();
+
+        // The old primary's next ship is rejected by the promoted
+        // replica's peer... simulate with a fresh replica that adopted
+        // the new term via a heartbeat from the promoted primary.
+        let mut promoted = promoted;
+        let (down_tx, down_rx) = pipe();
+        let (up_tx, up_rx) = pipe();
+        promoted.add_replica(down_tx, up_rx);
+        let mut r2: Replica<VecStore> = Replica::new(
+            _rd.path().join("r2"),
+            2,
+            down_rx,
+            up_tx,
+            WalOptions::default().fsync(FsyncPolicy::EveryN(4)),
+            FailoverConfig::default(),
+        );
+        settle(&mut promoted, &mut r2, &mut now);
+        assert_eq!(r2.term(), old_term + 1);
+
+        // Rewire the old primary to r2: its stale-term traffic draws a
+        // Reject, and the old primary fences itself.
+        let (down_tx, down_rx) = pipe();
+        let (up_tx, up_rx) = pipe();
+        primary.add_replica(down_tx, up_rx);
+        let mut old_link_replica = r2;
+        old_link_replica.down = down_rx;
+        old_link_replica.up = up_tx;
+        primary.store().insert_point(&[8.0, 8.0]).unwrap();
+        let mut fenced = None;
+        for _ in 0..32 {
+            now += 200;
+            match primary.pump(now) {
+                Ok(()) => {}
+                Err(e) => {
+                    fenced = Some(e);
+                    break;
+                }
+            }
+            let _ = old_link_replica.poll(now);
+        }
+        match fenced {
+            Some(PlanarError::Fenced { term, observed }) => {
+                assert_eq!(term, old_term);
+                assert_eq!(observed, old_term + 1);
+            }
+            other => panic!("expected Fenced, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn elect_prefers_highest_acked_then_lowest_index() {
+        let _g = serialized();
+        let rdir = TempDir::new("repl_elect").unwrap();
+        let mk = |i: u32| -> Replica<VecStore> {
+            let (down, _) = pipe();
+            let (up, _) = pipe();
+            Replica::new(
+                rdir.path().join(format!("r{i}")),
+                i,
+                down,
+                up,
+                WalOptions::default(),
+                FailoverConfig::default(),
+            )
+        };
+        let replicas: Vec<Replica<VecStore>> = (0..3).map(mk).collect();
+        // None seeded: nothing electable.
+        assert_eq!(elect(&replicas), None);
+    }
+
+    #[test]
+    fn promoted_replica_serves_identically_and_accepts_reopen() {
+        let _g = serialized();
+        let (_pd, _rd, mut primary, mut replica) = primary_replica(50);
+        let mut now = 0u64;
+        settle(&mut primary, &mut replica, &mut now);
+        for i in 0..12 {
+            primary
+                .store()
+                .insert_point(&[2.0 + i as f64, 3.0])
+                .unwrap();
+        }
+        settle(&mut primary, &mut replica, &mut now);
+        let expected: Vec<Vec<u32>> = {
+            let snap = primary.store().snapshot();
+            probes()
+                .iter()
+                .map(|q| snap.query(q).unwrap().sorted_ids())
+                .collect()
+        };
+        let promoted = replica.promote(ConcurrencyConfig::default()).unwrap();
+        let snap = promoted.store().snapshot();
+        for (q, want) in probes().iter().zip(&expected) {
+            assert_eq!(&snap.query(q).unwrap().sorted_ids(), want);
+        }
+        // The promoted store is a fully working durable set.
+        promoted.store().insert_point(&[6.0, 6.0]).unwrap();
+        promoted.store().reopen_wal().unwrap();
+    }
+}

@@ -231,6 +231,11 @@ pub struct StatsAggregator {
     gc_fsyncs: u64,
     gc_committed_records: u64,
     gc_max_group: u64,
+    repl_recorded: bool,
+    repl_term: u64,
+    repl_replicas: usize,
+    repl_min_acked_lsn: u64,
+    repl_lag: u64,
 }
 
 impl StatsAggregator {
@@ -315,6 +320,35 @@ impl StatsAggregator {
         self.gc_max_group = stats.max_group;
     }
 
+    /// Stamp a durable sharded wrapper's **entire** lifecycle state in
+    /// one call: WAL health (including the group-commit
+    /// `appended`/`acked` watermarks), epoch ledger, and group-commit
+    /// counters. Before this existed callers stamped the three pieces
+    /// individually and durable *sharded* wrappers routinely missed one,
+    /// so replication lag could not be computed from a single
+    /// [`Self::snapshot`]; now `wal_ack_lag` and the epoch reclaim
+    /// counters are always coherent — they come from the same recording.
+    pub fn record_durable_sharded<S>(&mut self, set: &crate::ConcurrentDurableShardedIndexSet<S>)
+    where
+        S: crate::KeyStore + Clone,
+    {
+        self.record_wal(&set.wal_health());
+        self.record_epoch(&set.epoch_stats());
+        self.record_group_commit(&set.group_commit_stats());
+    }
+
+    /// Stamp the latest replication health (see
+    /// [`crate::replicate::ReplicationHealth`]) into the aggregate.
+    /// Point-in-time like [`Self::record_wal`]: the most recent recording
+    /// wins.
+    pub fn record_replication(&mut self, h: &crate::replicate::ReplicationHealth) {
+        self.repl_recorded = true;
+        self.repl_term = h.term;
+        self.repl_replicas = h.replicas;
+        self.repl_min_acked_lsn = h.min_acked_lsn;
+        self.repl_lag = h.max_lag;
+    }
+
     /// Fold another aggregator into this one — equivalent to having
     /// [`Self::add`]ed all of `other`'s queries here. Lets parallel batch
     /// workers aggregate locally and combine at the end.
@@ -353,6 +387,13 @@ impl StatsAggregator {
             self.gc_fsyncs = other.gc_fsyncs;
             self.gc_committed_records = other.gc_committed_records;
             self.gc_max_group = other.gc_max_group;
+        }
+        if other.repl_recorded {
+            self.repl_recorded = true;
+            self.repl_term = other.repl_term;
+            self.repl_replicas = other.repl_replicas;
+            self.repl_min_acked_lsn = other.repl_min_acked_lsn;
+            self.repl_lag = other.repl_lag;
         }
     }
 
@@ -453,6 +494,7 @@ impl StatsAggregator {
             wal_last_lsn: self.wal_last_lsn,
             wal_appended_lsn: self.wal_appended_lsn,
             wal_acked_lsn: self.wal_acked_lsn,
+            wal_ack_lag: self.wal_appended_lsn.saturating_sub(self.wal_acked_lsn),
             epoch: self.epoch,
             epochs_published: self.epochs_published,
             epochs_retired_live: self.epochs_retired_live,
@@ -460,6 +502,10 @@ impl StatsAggregator {
             group_commit_fsyncs: self.gc_fsyncs,
             group_commit_records: self.gc_committed_records,
             group_commit_max_group: self.gc_max_group,
+            replication_term: self.repl_term,
+            replication_replicas: self.repl_replicas,
+            replication_min_acked_lsn: self.repl_min_acked_lsn,
+            replication_lag: self.repl_lag,
             kernel: planar_geom::kernel_name(),
             fma_available: planar_geom::host_has_fma(),
             thread_clamp_events: crate::parallel::thread_clamp_events(),
@@ -513,6 +559,9 @@ pub struct StatsSnapshot {
     /// `wal_appended_lsn − wal_acked_lsn` is the observable group-commit
     /// lag.
     pub wal_acked_lsn: u64,
+    /// `wal_appended_lsn − wal_acked_lsn` precomputed (saturating), so
+    /// replication lag math needs no field arithmetic at call sites.
+    pub wal_ack_lag: u64,
     /// Published epoch at the last [`StatsAggregator::record_epoch`]
     /// (0 when never recorded).
     pub epoch: u64,
@@ -529,6 +578,17 @@ pub struct StatsSnapshot {
     pub group_commit_records: u64,
     /// Largest single commit group observed.
     pub group_commit_max_group: u64,
+    /// Replication term at the last
+    /// [`StatsAggregator::record_replication`] (0 when never recorded).
+    pub replication_term: u64,
+    /// Attached replicas at the last recording.
+    pub replication_replicas: usize,
+    /// Lowest replica acked LSN at the last recording — the durable
+    /// replication frontier.
+    pub replication_min_acked_lsn: u64,
+    /// Largest per-replica lag (primary appended − replica acked) at the
+    /// last recording.
+    pub replication_lag: u64,
     /// Dispatched scalar-product kernel (`"avx2"` or `"portable"`).
     pub kernel: &'static str,
     /// Whether the host advertises FMA (never used by the kernels — see the

@@ -23,8 +23,11 @@
 //!
 //! ## Frame format
 //!
-//! A segment file starts with the 8-byte magic `PLNRWAL1` followed by
-//! frames (all integers little-endian):
+//! A segment file starts with a 16-byte header — the 8-byte magic
+//! `PLNRWAL2` plus the **term** (a little-endian u64 fencing token, see
+//! `crate::replicate`) — followed by frames (all integers little-endian).
+//! Legacy `PLNRWAL1` segments (8-byte header, implicit term 0) are still
+//! readable:
 //!
 //! ```text
 //! | payload_len u32 | lsn u64 | tag u8 | payload | crc64 u64 |
@@ -70,8 +73,12 @@ use crate::{PlanarError, Result};
 /// set ever writes (shared across all shards of a sharded set).
 pub type Lsn = u64;
 
-const SEGMENT_MAGIC: &[u8; 8] = b"PLNRWAL1";
-const MANIFEST_MAGIC: &[u8; 8] = b"PLNRCKP1";
+const SEGMENT_MAGIC: &[u8; 8] = b"PLNRWAL2";
+const SEGMENT_MAGIC_V1: &[u8; 8] = b"PLNRWAL1";
+/// v2 segment header: magic + term.
+const SEGMENT_HEADER_LEN: usize = 16;
+const MANIFEST_MAGIC: &[u8; 8] = b"PLNRCKP2";
+const MANIFEST_MAGIC_V1: &[u8; 8] = b"PLNRCKP1";
 const MANIFEST_FILE: &str = "CHECKPOINT";
 const WAL_SUBDIR: &str = "wal";
 /// `payload_len u32 | lsn u64 | tag u8 | ... | crc64 u64`.
@@ -442,7 +449,7 @@ fn decode_payload(tag: u8, payload: &[u8]) -> Option<WalRecord> {
 /// Parse one frame at the start of `bytes`. Returns the frame's total
 /// length, its LSN, and the decoded record — or `None` on anything short,
 /// corrupt, or malformed (the caller treats that offset as the torn tail).
-fn parse_frame(bytes: &[u8]) -> Option<(usize, Lsn, WalRecord)> {
+pub(crate) fn parse_frame(bytes: &[u8]) -> Option<(usize, Lsn, WalRecord)> {
     if bytes.len() < FRAME_OVERHEAD {
         return None;
     }
@@ -494,12 +501,28 @@ pub(crate) struct WalScan {
     pub dropped_records: usize,
     /// Torn bytes (a partial frame / unparseable tail) truncated.
     pub torn_bytes: usize,
+    /// Highest replication term stamped into any surviving segment header
+    /// (0 for legacy `PLNRWAL1` segments).
+    pub term: u64,
     /// All segment files found, in LSN-name order.
     segments: Vec<PathBuf>,
     /// `segments[..keep]` survive repair; later ones are deleted.
     keep: usize,
     /// Valid byte length of `segments[keep - 1]` (tail truncation point).
     tail_valid_len: u64,
+}
+
+/// Parse a segment header: `(header_len, term)` for a valid v2 or legacy
+/// v1 header, `None` for a torn or foreign prefix.
+fn segment_header(bytes: &[u8]) -> Option<(usize, u64)> {
+    if bytes.len() >= SEGMENT_HEADER_LEN && &bytes[..8] == SEGMENT_MAGIC {
+        let term = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes checked"));
+        return Some((SEGMENT_HEADER_LEN, term));
+    }
+    if bytes.len() >= 8 && &bytes[..8] == SEGMENT_MAGIC_V1 {
+        return Some((8, 0));
+    }
+    None
 }
 
 fn list_segments(dir: &Path) -> Result<Vec<PathBuf>> {
@@ -538,17 +561,16 @@ fn scan_dir(dir: &Path) -> Result<WalScan> {
         let bytes = fs::read(seg).map_err(|e| walio("read segment", e))?;
         if broken {
             // Everything after the first break is dead; count it.
-            let body = if bytes.len() >= 8 && &bytes[..8] == SEGMENT_MAGIC {
-                &bytes[8..]
-            } else {
-                &bytes[..]
+            let body = match segment_header(&bytes) {
+                Some((header_len, _)) => &bytes[header_len..],
+                None => &bytes[..],
             };
             let (frames, torn) = structural_count(body);
             scan.dropped_records += frames;
             scan.torn_bytes += torn;
             continue;
         }
-        if bytes.len() < 8 || &bytes[..8] != SEGMENT_MAGIC {
+        let Some((header_len, term)) = segment_header(&bytes) else {
             // A segment creation torn mid-header; the file carries no
             // usable frames. The *torn* segment is the repair tail
             // (valid length 0, so it gets recreated in place) — earlier
@@ -559,8 +581,9 @@ fn scan_dir(dir: &Path) -> Result<WalScan> {
             scan.keep = i + 1;
             scan.tail_valid_len = 0;
             continue;
-        }
-        let mut pos = 8usize;
+        };
+        scan.term = scan.term.max(term);
+        let mut pos = header_len;
         loop {
             if pos == bytes.len() {
                 break;
@@ -617,6 +640,9 @@ pub(crate) struct WalWriter {
     appends: u64,
     #[cfg(any(test, feature = "fault-injection"))]
     crashed: bool,
+    /// Replication term stamped into every segment this writer creates
+    /// (see `crate::replicate`; 0 on a never-replicated set).
+    term: u64,
     opts: WalOptions,
 }
 
@@ -632,7 +658,7 @@ fn sync_dir(dir: &Path) {
     }
 }
 
-fn create_segment(dir: &Path, first_lsn: Lsn) -> Result<File> {
+fn create_segment(dir: &Path, first_lsn: Lsn, term: u64) -> Result<File> {
     let path = segment_path(dir, first_lsn);
     let mut f = OpenOptions::new()
         .create(true)
@@ -640,7 +666,10 @@ fn create_segment(dir: &Path, first_lsn: Lsn) -> Result<File> {
         .truncate(true)
         .open(&path)
         .map_err(|e| walio("create segment", e))?;
-    f.write_all(SEGMENT_MAGIC)
+    let mut header = [0u8; SEGMENT_HEADER_LEN];
+    header[..8].copy_from_slice(SEGMENT_MAGIC);
+    header[8..].copy_from_slice(&term.to_le_bytes());
+    f.write_all(&header)
         .and_then(|()| f.sync_data())
         .map_err(|e| walio("write segment header", e))?;
     sync_dir(dir);
@@ -652,20 +681,21 @@ impl WalWriter {
     /// physically truncate the torn tail, delete segments past the first
     /// break, and position after the last valid record. Returns the scan
     /// so the caller can replay it.
-    fn open_repair(dir: &Path, opts: WalOptions) -> Result<(Self, WalScan)> {
+    pub(crate) fn open_repair(dir: &Path, opts: WalOptions) -> Result<(Self, WalScan)> {
         fs::create_dir_all(dir).map_err(|e| walio("create wal dir", e))?;
         let scan = scan_dir(dir)?;
         for seg in &scan.segments[scan.keep..] {
             fs::remove_file(seg).map_err(|e| walio("remove dead segment", e))?;
         }
         let last_lsn = scan.frames.last().map(|&(lsn, _)| lsn).unwrap_or(0);
+        let term = scan.term;
         let (file, segment_len, segment_count) = if scan.keep > 0 {
             let tail = &scan.segments[scan.keep - 1];
             if scan.tail_valid_len < 8 {
                 // The tail never got a full header; recreate it in place.
                 fs::remove_file(tail).map_err(|e| walio("remove torn segment", e))?;
-                let f = create_segment(dir, last_lsn + 1)?;
-                (f, 8, scan.keep)
+                let f = create_segment(dir, last_lsn + 1, term)?;
+                (f, SEGMENT_HEADER_LEN as u64, scan.keep)
             } else {
                 let f = OpenOptions::new()
                     .write(true)
@@ -683,8 +713,8 @@ impl WalWriter {
                 (f, scan.tail_valid_len, scan.keep)
             }
         } else {
-            let f = create_segment(dir, last_lsn + 1)?;
-            (f, 8, 1)
+            let f = create_segment(dir, last_lsn + 1, term)?;
+            (f, SEGMENT_HEADER_LEN as u64, 1)
         };
         sync_dir(dir);
         let writer = Self {
@@ -700,9 +730,22 @@ impl WalWriter {
             appends: 0,
             #[cfg(any(test, feature = "fault-injection"))]
             crashed: false,
+            term,
             opts,
         };
         Ok((writer, scan))
+    }
+
+    /// The replication term stamped into segments this writer creates.
+    pub(crate) fn term(&self) -> u64 {
+        self.term
+    }
+
+    /// Raise the replication term (used by failover promotion). Future
+    /// segments — the next rotation or truncation — carry the new term;
+    /// the authoritative copy lives in the `CHECKPOINT` manifest.
+    pub(crate) fn set_term(&mut self, term: u64) {
+        self.term = self.term.max(term);
     }
 
     /// The options this writer was opened with.
@@ -730,8 +773,8 @@ impl WalWriter {
         }
         if self.segment_len >= self.opts.segment_max_bytes {
             self.sync()?;
-            self.file = create_segment(&self.dir, lsn)?;
-            self.segment_len = 8;
+            self.file = create_segment(&self.dir, lsn, self.term)?;
+            self.segment_len = SEGMENT_HEADER_LEN as u64;
             self.segment_count += 1;
         }
         let frame = encode_frame(lsn, rec);
@@ -811,8 +854,8 @@ impl WalWriter {
         for seg in list_segments(&self.dir)? {
             fs::remove_file(&seg).map_err(|e| walio("truncate segment", e))?;
         }
-        self.file = create_segment(&self.dir, next_lsn)?;
-        self.segment_len = 8;
+        self.file = create_segment(&self.dir, next_lsn, self.term)?;
+        self.segment_len = SEGMENT_HEADER_LEN as u64;
         self.segment_count = 1;
         self.unsynced = 0;
         self.last_lsn = next_lsn.saturating_sub(1);
@@ -827,6 +870,138 @@ impl WalWriter {
             last_lsn: self.last_lsn,
             appended_lsn: self.last_lsn,
             acked_lsn: self.synced_lsn,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Segment tailing (replication read path)
+// ---------------------------------------------------------------------------
+
+/// First LSN encoded in a segment file name, if it parses.
+fn segment_first_lsn(path: &Path) -> Option<Lsn> {
+    let name = path.file_name()?.to_str()?;
+    let digits = name.strip_prefix("wal-")?.strip_suffix(".log")?;
+    digits.parse().ok()
+}
+
+/// One frame lifted off a live segment by a [`WalTailer`]: the raw
+/// on-disk encoding (CRC included, so corruption introduced in transit is
+/// still detectable downstream) plus its LSN and the term of the segment
+/// it came from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct TailedFrame {
+    pub(crate) lsn: Lsn,
+    pub(crate) term: u64,
+    pub(crate) bytes: Vec<u8>,
+}
+
+/// An incremental reader over a live WAL directory: remembers which
+/// segment and byte offset it has shipped up to, follows rotations, and
+/// stops cleanly at an incomplete tail frame (an append may be mid-flight;
+/// the next poll retries it). The replication shipper drives one tailer
+/// per shard WAL.
+#[derive(Debug)]
+pub(crate) struct WalTailer {
+    dir: PathBuf,
+    /// First LSN (from the file name) of the segment the cursor is in.
+    seg_first: Option<Lsn>,
+    /// Byte offset of the first unshipped frame within that segment.
+    offset: u64,
+    /// Next LSN the tailer expects to emit (frames below it are skipped —
+    /// they are already covered by the snapshot or a prior poll).
+    next_lsn: Lsn,
+}
+
+impl WalTailer {
+    /// Tail `dir`, emitting frames with LSN ≥ `next_lsn`.
+    pub(crate) fn new(dir: impl Into<PathBuf>, next_lsn: Lsn) -> Self {
+        Self {
+            dir: dir.into(),
+            seg_first: None,
+            offset: 0,
+            next_lsn,
+        }
+    }
+
+    /// Drop the cursor and restart from `next_lsn` — required after a
+    /// checkpoint truncated the directory underneath the tailer.
+    pub(crate) fn reset(&mut self, next_lsn: Lsn) {
+        self.seg_first = None;
+        self.offset = 0;
+        self.next_lsn = next_lsn;
+    }
+
+    /// Collect every complete frame appended since the last poll, in LSN
+    /// order. An unparseable tail (a frame whose bytes or CRC are not yet
+    /// complete) ends the poll without error: on a live log it is an
+    /// append in flight and the next poll picks it up.
+    ///
+    /// # Errors
+    ///
+    /// [`PlanarError::Persist`] on real I/O failures, or if the directory
+    /// no longer covers `next_lsn` (it was truncated without a
+    /// [`Self::reset`] — shipped history is gone and the follower needs a
+    /// fresh snapshot).
+    pub(crate) fn poll(&mut self) -> Result<Vec<TailedFrame>> {
+        let mut out = Vec::new();
+        loop {
+            let segments = list_segments(&self.dir)?;
+            let firsts: Vec<Lsn> = segments
+                .iter()
+                .filter_map(|p| segment_first_lsn(p))
+                .collect();
+            if firsts.is_empty() {
+                return Ok(out);
+            }
+            // The segment that may contain `next_lsn`: the last one whose
+            // name does not start past it.
+            let Some(idx) = firsts.iter().rposition(|&f| f <= self.next_lsn) else {
+                return Err(walerr(format!(
+                    "tail gap: next lsn {} precedes the oldest segment (first lsn {}); \
+                     the log was truncated under the tailer",
+                    self.next_lsn, firsts[0]
+                )));
+            };
+            if self.seg_first != Some(firsts[idx]) {
+                self.seg_first = Some(firsts[idx]);
+                self.offset = 0;
+            }
+            let bytes = fs::read(&segments[idx]).map_err(|e| walio("read tailed segment", e))?;
+            let Some((header_len, term)) = segment_header(&bytes) else {
+                // Header still being written; retry next poll.
+                return Ok(out);
+            };
+            if self.offset < header_len as u64 {
+                self.offset = header_len as u64;
+            }
+            if (bytes.len() as u64) < self.offset {
+                return Err(walerr(
+                    "tailed segment shrank under the cursor (truncated without reset)",
+                ));
+            }
+            let mut pos = self.offset as usize;
+            while let Some((consumed, lsn, _rec)) = parse_frame(&bytes[pos..]) {
+                if lsn >= self.next_lsn {
+                    out.push(TailedFrame {
+                        lsn,
+                        term,
+                        bytes: bytes[pos..pos + consumed].to_vec(),
+                    });
+                    self.next_lsn = lsn + 1;
+                }
+                pos += consumed;
+            }
+            self.offset = pos as u64;
+            // If the writer rotated past this segment and we have consumed
+            // it fully, move the cursor into the next segment and keep
+            // going; otherwise we are at the live tail.
+            if idx + 1 < firsts.len() && pos == bytes.len() {
+                self.seg_first = Some(firsts[idx + 1]);
+                self.offset = 0;
+                continue;
+            }
+            return Ok(out);
         }
     }
 }
@@ -986,6 +1161,16 @@ impl GroupCommitQueue {
         self.lock().stats
     }
 
+    /// Replication term stamped into segments created by this queue's
+    /// writer (waits out an in-flight drain for a consistent read).
+    pub(crate) fn term(&self) -> u64 {
+        let mut st = self.lock();
+        while st.writer.is_none() {
+            st = self.durable.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        st.writer.as_ref().expect("writer present").term()
+    }
+
     /// Drain the pending queue as leader: take the writer, append every
     /// pending frame, fsync (if `durable` is requested or policy demands),
     /// publish the new synced watermark, and wake all waiters. Returns the
@@ -1034,12 +1219,96 @@ impl GroupCommitQueue {
             }
         }
         if let Some(msg) = error {
+            // Park the batch records the fsync did not cover: they may be
+            // partially on disk (a torn append) or not at all, but the
+            // staged in-memory state has already applied them, so
+            // [`Self::reopen`] can repair the tail and re-append them.
+            let mut parked: Vec<(Lsn, WalRecord)> = batch
+                .into_iter()
+                .filter(|(lsn, _)| *lsn > synced_to)
+                .collect();
+            parked.append(&mut st.pending);
+            st.pending = parked;
             st.failed = Some(msg);
         }
         // Records enqueued while we were draining stay in `pending` for
         // the next leader.
         self.durable.notify_all();
         st
+    }
+
+    /// Explicit recovery from the fail-stop state: re-scan and repair the
+    /// WAL directory (truncating any torn tail the failed append left),
+    /// re-append every parked record the repaired log is missing, fsync,
+    /// and rebase the watermarks. Acknowledgements issued **before** the
+    /// failure keep their durability promise — the repair never truncates
+    /// below the synced watermark, because every acknowledged record was
+    /// covered by an fsync that preceded the failure. On a healthy queue
+    /// this is a no-op returning current health.
+    ///
+    /// # Errors
+    ///
+    /// [`PlanarError::Persist`] if the directory repair or the re-append
+    /// fails; the queue then stays fail-stopped and `reopen` may be
+    /// retried.
+    pub(crate) fn reopen(&self) -> Result<WalHealth> {
+        let mut st = self.lock();
+        while st.draining || st.writer.is_none() {
+            st = self.durable.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        if st.failed.is_none() {
+            drop(st);
+            return Ok(self.health());
+        }
+        let (dir, opts) = {
+            let w = st
+                .writer
+                .as_ref()
+                .expect("writer parked while not draining");
+            (w.dir.clone(), w.opts)
+        };
+        let parked: Vec<(Lsn, WalRecord)> = std::mem::take(&mut st.pending);
+        // Hold `draining` so no other thread touches the writer slot while
+        // the repair runs without the lock. The old (failed) writer stays
+        // in place so `health()`/`fsync_count()` never hang if we fail.
+        st.draining = true;
+        drop(st);
+
+        let outcome = (|| {
+            let (mut writer, _scan) = WalWriter::open_repair(&dir, opts)?;
+            for (lsn, rec) in &parked {
+                if *lsn <= writer.last_lsn {
+                    // The record survived on disk intact (e.g. the crash
+                    // hit after its append); nothing to redo.
+                    continue;
+                }
+                writer.append_frame(*lsn, rec)?;
+            }
+            writer.sync()?;
+            Ok(writer)
+        })();
+
+        let mut st = self.lock();
+        st.draining = false;
+        let out = match outcome {
+            Ok(writer) => {
+                st.appended = st.appended.max(writer.last_lsn);
+                st.synced = writer.synced_lsn;
+                st.writer = Some(writer);
+                st.failed = None;
+                Ok(())
+            }
+            Err(e) => {
+                // Still fail-stopped; put the parked records back so a
+                // retry (or a post-mortem) still sees them.
+                st.pending = parked;
+                st.failed = Some(format!("reopen failed: {e}"));
+                Err(e)
+            }
+        };
+        drop(st);
+        self.durable.notify_all();
+        out.map(|()| self.health())
     }
 
     /// Run `f` with exclusive access to the underlying writer, after
@@ -1115,6 +1384,9 @@ impl Drop for GroupCommitQueue {
 pub(crate) struct Manifest {
     pub(crate) generation: u64,
     pub(crate) watermark: Lsn,
+    /// Replication term (fencing token); 0 on a never-replicated set and
+    /// when reading a legacy `PLNRCKP1` manifest.
+    pub(crate) term: u64,
 }
 
 pub(crate) fn write_manifest(dir: &Path, m: Manifest) -> Result<()> {
@@ -1122,6 +1394,7 @@ pub(crate) fn write_manifest(dir: &Path, m: Manifest) -> Result<()> {
     buf.put_slice(MANIFEST_MAGIC);
     buf.put_u64_le(m.generation);
     buf.put_u64_le(m.watermark);
+    buf.put_u64_le(m.term);
     let body = buf.freeze();
     let crc = crate::persist::crc64(body.as_slice());
     let mut out = body.to_vec();
@@ -1136,7 +1409,7 @@ pub(crate) fn write_manifest(dir: &Path, m: Manifest) -> Result<()> {
     )
 }
 
-fn read_manifest(dir: &Path) -> Result<Manifest> {
+pub(crate) fn read_manifest(dir: &Path) -> Result<Manifest> {
     let path = dir.join(MANIFEST_FILE);
     let bytes = fs::read(&path).map_err(|e| {
         if e.kind() == std::io::ErrorKind::NotFound {
@@ -1148,17 +1421,26 @@ fn read_manifest(dir: &Path) -> Result<Manifest> {
             walio("read manifest", e)
         }
     })?;
-    if bytes.len() != 32 || &bytes[..8] != MANIFEST_MAGIC {
+    let (body_len, v2) = if bytes.len() == 40 && &bytes[..8] == MANIFEST_MAGIC {
+        (32usize, true)
+    } else if bytes.len() == 32 && &bytes[..8] == MANIFEST_MAGIC_V1 {
+        (24usize, false)
+    } else {
         return Err(walerr("corrupt CHECKPOINT manifest"));
-    }
-    let stored = u64::from_le_bytes(bytes[24..32].try_into().expect("length checked"));
-    if crate::persist::crc64(&bytes[..24]) != stored {
+    };
+    let stored = u64::from_le_bytes(
+        bytes[body_len..body_len + 8]
+            .try_into()
+            .expect("length checked"),
+    );
+    if crate::persist::crc64(&bytes[..body_len]) != stored {
         return Err(walerr("CHECKPOINT manifest failed its CRC"));
     }
-    let mut buf = Bytes::copy_from_slice(&bytes[8..24]);
+    let mut buf = Bytes::copy_from_slice(&bytes[8..body_len]);
     Ok(Manifest {
         generation: buf.get_u64_le(),
         watermark: buf.get_u64_le(),
+        term: if v2 { buf.get_u64_le() } else { 0 },
     })
 }
 
@@ -1246,7 +1528,10 @@ impl<S: KeyStore> PlanarIndexSet<S> {
         let dir = dir.as_ref();
         let m = read_manifest(dir)?;
         let (mut set, mut report) = Self::load_or_recover(snapshot_path(dir, m.generation))?;
-        let (wal, scan) = WalWriter::open_repair(&dir.join(WAL_SUBDIR), opts)?;
+        let (mut wal, scan) = WalWriter::open_repair(&dir.join(WAL_SUBDIR), opts)?;
+        // The manifest carries the authoritative replication term; adopt
+        // it if it is ahead of anything the segments were stamped with.
+        wal.set_term(m.term);
         let mut watermark = m.watermark;
         let mut replayed = 0usize;
         for (lsn, rec) in &scan.frames {
@@ -1340,6 +1625,7 @@ impl<S: KeyStore> DurablePlanarIndexSet<S> {
             Manifest {
                 generation: 1,
                 watermark: 0,
+                term: 0,
             },
         )?;
         let (wal, _) = WalWriter::open_repair(&dir.join(WAL_SUBDIR), opts)?;
@@ -1553,6 +1839,7 @@ impl<S: KeyStore> DurablePlanarIndexSet<S> {
             Manifest {
                 generation,
                 watermark,
+                term: self.wal.term(),
             },
         )?;
         self.generation = generation;
@@ -1620,8 +1907,25 @@ pub struct DurableShardedIndexSet<S: KeyStore = VecStore> {
     save_opts: SaveOptions,
 }
 
-fn shard_wal_dir(dir: &Path, shard: usize) -> PathBuf {
+pub(crate) fn shard_wal_dir(dir: &Path, shard: usize) -> PathBuf {
     dir.join(WAL_SUBDIR).join(format!("shard-{shard:04}"))
+}
+
+/// The WAL subtree of a durable directory.
+pub(crate) fn wal_root(dir: &Path) -> PathBuf {
+    dir.join(WAL_SUBDIR)
+}
+
+/// Replication bootstrap: lay out fresh per-shard WAL directories for a
+/// just-installed snapshot — one empty segment per shard, named for the
+/// first LSN the replica will mirror and stamped with the primary's term.
+pub(crate) fn init_shard_wals(dir: &Path, shards: usize, next_lsn: Lsn, term: u64) -> Result<()> {
+    for shard in 0..shards {
+        let d = shard_wal_dir(dir, shard);
+        fs::create_dir_all(&d).map_err(|e| walio("create wal dir", e))?;
+        create_segment(&d, next_lsn, term)?;
+    }
+    Ok(())
 }
 
 impl<S: KeyStore> ShardedIndexSet<S> {
@@ -1648,7 +1952,8 @@ impl<S: KeyStore> ShardedIndexSet<S> {
         let mut watermarks = vec![m.watermark; shards];
         let mut max_lsn = m.watermark;
         for (shard, watermark) in watermarks.iter_mut().enumerate() {
-            let (wal, scan) = WalWriter::open_repair(&shard_wal_dir(dir, shard), opts)?;
+            let (mut wal, scan) = WalWriter::open_repair(&shard_wal_dir(dir, shard), opts)?;
+            wal.set_term(m.term);
             for (lsn, rec) in &scan.frames {
                 if *lsn <= m.watermark {
                     continue;
@@ -1702,6 +2007,7 @@ impl<S: KeyStore> DurableShardedIndexSet<S> {
             Manifest {
                 generation: 1,
                 watermark: 0,
+                term: 0,
             },
         )?;
         let mut wals = Vec::with_capacity(set.num_shards());
@@ -1978,6 +2284,29 @@ impl<S: KeyStore> DurableShardedIndexSet<S> {
         )
     }
 
+    /// Reassemble a durable sharded set from parts — the inverse of
+    /// [`Self::into_parts`], used by failover promotion to turn a
+    /// replica's mirrored WALs and applied state into a writable primary.
+    /// The caller guarantees the parts are mutually consistent (the set is
+    /// exactly the replay of the WALs over the snapshot at `generation`).
+    pub(crate) fn from_parts(
+        set: ShardedIndexSet<S>,
+        wals: Vec<WalWriter>,
+        dir: PathBuf,
+        generation: u64,
+        next_lsn: Lsn,
+        save_opts: SaveOptions,
+    ) -> Self {
+        Self {
+            set,
+            wals,
+            dir,
+            generation,
+            next_lsn,
+            save_opts,
+        }
+    }
+
     /// Checkpoint-then-truncate across every shard. See
     /// [`DurablePlanarIndexSet::checkpoint`].
     ///
@@ -2002,6 +2331,7 @@ impl<S: KeyStore> DurableShardedIndexSet<S> {
             Manifest {
                 generation,
                 watermark,
+                term: self.wals.iter().map(WalWriter::term).max().unwrap_or(0),
             },
         )?;
         self.generation = generation;
@@ -2275,7 +2605,7 @@ mod tests {
         let _g = serialized();
         let tmp = TempDir::new("wal_corrupt").unwrap();
         let (mut w, _) = WalWriter::open_repair(tmp.path(), WalOptions::default()).unwrap();
-        let mut offsets = vec![8u64]; // byte offset of each frame
+        let mut offsets = vec![SEGMENT_HEADER_LEN as u64]; // byte offset of each frame
         for lsn in 1..=10u64 {
             let rec = WalRecord::Delete { id: lsn as PointId };
             offsets.push(offsets.last().unwrap() + encode_frame(lsn, &rec).len() as u64);
@@ -2375,6 +2705,7 @@ mod tests {
         let m = Manifest {
             generation: 9,
             watermark: 1234,
+            term: 3,
         };
         write_manifest(tmp.path(), m).unwrap();
         assert_eq!(read_manifest(tmp.path()).unwrap(), m);
@@ -2925,5 +3256,114 @@ mod tests {
         let h = queue.health();
         assert_eq!(h.acked_lsn, 10);
         assert_eq!(h.ack_lag(), 0);
+    }
+
+    #[test]
+    fn group_commit_queue_reopen_restores_service_and_prior_acks() {
+        let _g = serialized();
+        let tmp = TempDir::new("wal_gcq_reopen").unwrap();
+        let (writer, _) = WalWriter::open_repair(tmp.path(), WalOptions::default()).unwrap();
+        let queue = GroupCommitQueue::new(writer);
+        for lsn in 1..=5u64 {
+            queue
+                .enqueue(lsn, WalRecord::Delete { id: lsn as u32 })
+                .unwrap();
+        }
+        queue.wait_durable(5).unwrap();
+        assert_eq!(queue.health().acked_lsn, 5);
+
+        // The sixth append (0-based #5) tears mid-frame and fail-stops
+        // the queue.
+        fault::arm_wal_fault(5, WalFaultKind::TornAppend { keep: 3 });
+        queue.enqueue(6, WalRecord::Delete { id: 6 }).unwrap();
+        assert!(queue.wait_durable(6).is_err(), "queue must fail-stop");
+        fault::disarm_wal_fault();
+        assert!(
+            queue.enqueue(7, WalRecord::Delete { id: 7 }).is_err(),
+            "fail-stopped queue refuses new work"
+        );
+
+        // Acks issued before the error still hold...
+        assert_eq!(queue.health().acked_lsn, 5);
+        // ...and reopen repairs the torn tail, re-appends the parked
+        // record, and restores service.
+        let h = queue.reopen().unwrap();
+        assert!(h.acked_lsn >= 6, "parked record re-appended durably");
+        queue.enqueue(7, WalRecord::Delete { id: 7 }).unwrap();
+        queue.wait_durable(7).unwrap();
+        drop(queue);
+        let scan = scan_dir(tmp.path()).unwrap();
+        let lsns: Vec<Lsn> = scan.frames.iter().map(|&(l, _)| l).collect();
+        assert_eq!(lsns, (1..=7).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn wal_tailer_follows_appends_rotation_and_detects_truncation() {
+        let _g = serialized();
+        let tmp = TempDir::new("wal_tailer").unwrap();
+        let opts = WalOptions::default().segment_max_bytes(4096);
+        let (mut writer, _) = WalWriter::open_repair(tmp.path(), opts).unwrap();
+        let mut tailer = WalTailer::new(tmp.path(), 1);
+        assert!(tailer.poll().unwrap().is_empty(), "nothing appended yet");
+
+        for lsn in 1..=3u64 {
+            writer
+                .append_frame(lsn, &WalRecord::Delete { id: lsn as u32 })
+                .unwrap();
+        }
+        writer.sync().unwrap();
+        let got = tailer.poll().unwrap();
+        assert_eq!(got.iter().map(|f| f.lsn).collect::<Vec<_>>(), vec![1, 2, 3]);
+        for f in &got {
+            let (consumed, lsn, rec) = parse_frame(&f.bytes).expect("shipped frame parses");
+            assert_eq!(consumed, f.bytes.len());
+            assert_eq!(lsn, f.lsn);
+            assert_eq!(rec, WalRecord::Delete { id: lsn as u32 });
+        }
+
+        // Big rows force a rotation; the tailer follows into the new
+        // segment, which carries the bumped term in its header.
+        writer.set_term(2);
+        for lsn in 4..=12u64 {
+            writer
+                .append_frame(
+                    lsn,
+                    &WalRecord::Insert {
+                        id: lsn as u32,
+                        row: vec![0.5; 64],
+                    },
+                )
+                .unwrap();
+        }
+        writer.sync().unwrap();
+        assert!(writer.health().segments >= 2, "rotation happened");
+        let got = tailer.poll().unwrap();
+        assert_eq!(
+            got.iter().map(|f| f.lsn).collect::<Vec<_>>(),
+            (4..=12).collect::<Vec<_>>()
+        );
+        assert!(
+            got.iter().any(|f| f.term == 2),
+            "rotated segment carries the bumped term"
+        );
+
+        // reset() replays from an earlier LSN.
+        tailer.reset(10);
+        let replay = tailer.poll().unwrap();
+        assert_eq!(
+            replay.iter().map(|f| f.lsn).collect::<Vec<_>>(),
+            vec![10, 11, 12]
+        );
+
+        // A tailer pointed below the oldest retained segment fails
+        // loudly instead of shipping a gapped stream.
+        drop(writer);
+        let segments = list_segments(tmp.path()).unwrap();
+        fs::remove_file(&segments[0]).unwrap();
+        let mut gapped = WalTailer::new(tmp.path(), 1);
+        assert!(
+            gapped.poll().is_err(),
+            "truncated history must not ship silently"
+        );
     }
 }

@@ -23,7 +23,8 @@ use proptest::prelude::*;
 /// (the encoder is private by design).
 const FRAME_HEADER: usize = 4 + 8 + 1;
 const FRAME_OVERHEAD: usize = FRAME_HEADER + 8;
-const SEGMENT_MAGIC_LEN: usize = 8;
+/// `PLNRWAL2` magic + term u64 — the v2 segment header length.
+const SEGMENT_MAGIC_LEN: usize = 16;
 
 /// One step of a mutation trace. `pick` indexes the live-id list modulo
 /// its length, so traces are valid by construction.

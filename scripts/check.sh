@@ -20,6 +20,10 @@ cargo test -p planar-core -q --features fault-injection \
 echo "== concurrency suite (snapshot isolation + group-commit crash sweep) =="
 cargo test -p planar-core -q --test concurrent_proptests
 
+echo "== replication suite (transport fault sweep + failover promotion) =="
+cargo test -p planar-core -q --features fault-injection \
+  --test replication_faults --test failover_proptests
+
 echo "== planar-core unit tests with fault injection compiled in =="
 cargo test -p planar-core -q --features fault-injection --lib
 

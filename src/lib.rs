@@ -43,13 +43,14 @@ pub use planar_relation;
 /// The types most programs need.
 pub mod prelude {
     pub use planar_core::{
-        Cmp, ConcurrencyConfig, ConcurrentDurablePlanarIndexSet, ConcurrentDurableShardedIndexSet,
-        ConcurrentPlanarIndexSet, ConcurrentShardedIndexSet, Domain, DurablePlanarIndexSet,
-        DurableShardedIndexSet, DynamicPlanarIndexSet, ExecutionConfig, FeatureMap, FeatureTable,
-        FnFeatureMap, FsyncPolicy, IdentityMap, IndexConfig, InequalityQuery, Mutation,
-        MutationAck, ParameterDomain, PartitionScheme, PlanarIndexSet, QueryScratch, ScratchPool,
-        SelectionStrategy, SeqScan, ServedBy, ShardConfig, ShardedIndexSet, TopKQuery, VecStore,
-        WalOptions,
+        elect, ChannelTransport, Cmp, ConcurrencyConfig, ConcurrentDurablePlanarIndexSet,
+        ConcurrentDurableShardedIndexSet, ConcurrentPlanarIndexSet, ConcurrentShardedIndexSet,
+        DirTransport, Domain, DurablePlanarIndexSet, DurableShardedIndexSet, DynamicPlanarIndexSet,
+        ExecutionConfig, FailoverConfig, FeatureMap, FeatureTable, FnFeatureMap, FsyncPolicy,
+        IdentityMap, IndexConfig, InequalityQuery, Mutation, MutationAck, ParameterDomain,
+        PartitionScheme, PlanarIndexSet, Primary, QueryScratch, ReadConsistency, Replica,
+        ScratchPool, SelectionStrategy, SeqScan, ServedBy, ShardConfig, ShardedIndexSet, TopKQuery,
+        VecStore, WalOptions,
     };
     pub use planar_geom::{Hyperplane, Normalizer, Octant, Vector};
 }
