@@ -6,6 +6,7 @@ pub mod extensions;
 pub mod fault;
 pub mod movingobj;
 pub mod parallel;
+pub mod quant;
 pub mod realworld;
 pub mod replication;
 pub mod shard;
@@ -161,6 +162,12 @@ pub fn registry() -> Vec<Experiment> {
             description:
                 "columnar SIMD verification vs row-major blocked scalar; intersection pruning on/off (BENCH_simd.json)",
             run: simd::simd,
+        },
+        Experiment {
+            name: "quant",
+            description:
+                "quantized filter tier: i8/i16 filter-pass speedup, end-to-end identity, band vs slack, per-shard autotuner (BENCH_quant.json)",
+            run: quant::quant,
         },
         Experiment {
             name: "fault",

@@ -55,6 +55,7 @@
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, RwLock};
+use std::time::Instant;
 
 use crate::multi::PlanarIndexSet;
 use crate::persist::{RecoveryReport, SaveOptions, ShardedRecoveryReport};
@@ -148,6 +149,16 @@ pub struct EpochStats {
     pub retired_live: usize,
     /// Retired epochs reclaimed after their grace period ended.
     pub reclaimed: u64,
+    /// Copy-on-publish clones of the staged set over the cell's lifetime.
+    /// Together with `clone_bytes`/`clone_micros` this measures the
+    /// write-path ceiling: every publish deep-copies the whole set today,
+    /// and a future dirty-shard republish must beat these numbers.
+    pub clones: u64,
+    /// Heap bytes deep-copied by those clones (the staged set's reported
+    /// memory usage at clone time).
+    pub clone_bytes: u64,
+    /// Wall-clock microseconds spent inside those clones.
+    pub clone_micros: u64,
 }
 
 /// The publish/retire/reclaim core: an atomically swappable `Arc` plus a
@@ -163,6 +174,9 @@ pub struct EpochCell<T> {
     retired: Mutex<Vec<Arc<Versioned<T>>>>,
     published: AtomicU64,
     reclaimed: AtomicU64,
+    clones: AtomicU64,
+    clone_bytes: AtomicU64,
+    clone_nanos: AtomicU64,
 }
 
 impl<T> EpochCell<T> {
@@ -173,7 +187,19 @@ impl<T> EpochCell<T> {
             retired: Mutex::new(Vec::new()),
             published: AtomicU64::new(0),
             reclaimed: AtomicU64::new(0),
+            clones: AtomicU64::new(0),
+            clone_bytes: AtomicU64::new(0),
+            clone_nanos: AtomicU64::new(0),
         }
+    }
+
+    /// Record one copy-on-publish clone's cost (called by the wrappers,
+    /// which know how to measure their set's heap footprint).
+    pub fn record_clone(&self, bytes: usize, elapsed: std::time::Duration) {
+        self.clones.fetch_add(1, Ordering::Relaxed);
+        self.clone_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+        self.clone_nanos
+            .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
     }
 
     fn read_current(&self) -> Arc<Versioned<T>> {
@@ -230,6 +256,9 @@ impl<T> EpochCell<T> {
             published: self.published.load(Ordering::Relaxed),
             retired_live,
             reclaimed: self.reclaimed.load(Ordering::Relaxed),
+            clones: self.clones.load(Ordering::Relaxed),
+            clone_bytes: self.clone_bytes.load(Ordering::Relaxed),
+            clone_micros: self.clone_nanos.load(Ordering::Relaxed) / 1_000,
         }
     }
 }
@@ -242,6 +271,15 @@ impl<T> EpochCell<T> {
 struct Staged<T> {
     set: T,
     dirty: usize,
+}
+
+/// Deep-copy the staged set for publication, charging the clone's bytes
+/// and wall-clock cost to the cell's ledger (see [`EpochStats::clones`]).
+fn timed_clone<T: Clone>(cell: &EpochCell<T>, set: &T, bytes: usize) -> T {
+    let start = Instant::now();
+    let copy = set.clone();
+    cell.record_clone(bytes, start.elapsed());
+    copy
 }
 
 /// A [`PlanarIndexSet`] behind an [`EpochCell`]: lock-free snapshot reads
@@ -281,7 +319,11 @@ impl<S: KeyStore + Clone> ConcurrentPlanarIndexSet<S> {
 
     fn maybe_publish(&self, staged: &mut Staged<PlanarIndexSet<S>>) {
         if staged.dirty >= self.publish_every {
-            self.cell.publish(staged.set.clone());
+            self.cell.publish(timed_clone(
+                &self.cell,
+                &staged.set,
+                staged.set.memory_usage(),
+            ));
             staged.dirty = 0;
         }
     }
@@ -343,7 +385,8 @@ impl<S: KeyStore + Clone> ConcurrentPlanarIndexSet<S> {
         }
         if !records.is_empty() {
             w.dirty += records.len();
-            self.cell.publish(w.set.clone());
+            self.cell
+                .publish(timed_clone(&self.cell, &w.set, w.set.memory_usage()));
             w.dirty = 0;
         }
         Ok(acks)
@@ -353,17 +396,59 @@ impl<S: KeyStore + Clone> ConcurrentPlanarIndexSet<S> {
     /// [`PlanarIndexSet::compact`]); always publishes.
     pub fn compact(&self) -> Vec<Option<PointId>> {
         let mut w = self.lock_writer();
+        // Reader observations land on the published epoch's tuner clone;
+        // fold them in so compact's internal retune sees the workload.
+        let snap = self.snapshot();
+        w.set.adopt_quant_window(&snap);
+        drop(snap);
         let remap = w.set.compact();
-        self.cell.publish(w.set.clone());
+        self.cell
+            .publish(timed_clone(&self.cell, &w.set, w.set.memory_usage()));
         w.dirty = 0;
         remap
+    }
+
+    /// The quantization policy active on the staged writer state (the
+    /// next publish carries it to readers).
+    pub fn quant_policy(&self) -> crate::quant::QuantPolicy {
+        self.lock_writer().set.quant_policy()
+    }
+
+    /// Install a quantization policy (see
+    /// [`PlanarIndexSet::set_quant_policy`]); always publishes so readers
+    /// get the re-encoded mirror immediately.
+    pub fn set_quant_policy(&self, policy: crate::quant::QuantPolicy) {
+        let mut w = self.lock_writer();
+        w.set.set_quant_policy(policy);
+        self.cell
+            .publish(timed_clone(&self.cell, &w.set, w.set.memory_usage()));
+        w.dirty = 0;
+    }
+
+    /// Fold reader observations into the staged tuner, retune (see
+    /// [`crate::quant::retune`]), and publish the chosen policy.
+    pub fn retune_quantization(
+        &self,
+        cfg: &crate::quant::QuantAutotuneConfig,
+    ) -> crate::quant::QuantPolicy {
+        let mut w = self.lock_writer();
+        let snap = self.snapshot();
+        w.set.adopt_quant_window(&snap);
+        drop(snap);
+        let policy = w.set.retune_quantization(cfg);
+        self.cell
+            .publish(timed_clone(&self.cell, &w.set, w.set.memory_usage()));
+        w.dirty = 0;
+        policy
     }
 
     /// Publish the staged state now, regardless of the dirty counter.
     /// Returns the published epoch.
     pub fn publish(&self) -> u64 {
         let mut w = self.lock_writer();
-        let epoch = self.cell.publish(w.set.clone());
+        let epoch = self
+            .cell
+            .publish(timed_clone(&self.cell, &w.set, w.set.memory_usage()));
         w.dirty = 0;
         epoch
     }
@@ -453,7 +538,11 @@ impl<S: KeyStore + Clone> ConcurrentShardedIndexSet<S> {
 
     fn maybe_publish(&self, staged: &mut Staged<ShardedIndexSet<S>>) {
         if staged.dirty >= self.publish_every {
-            self.cell.publish(staged.set.clone());
+            self.cell.publish(timed_clone(
+                &self.cell,
+                &staged.set,
+                staged.set.memory_usage(),
+            ));
             staged.dirty = 0;
         }
     }
@@ -502,16 +591,55 @@ impl<S: KeyStore + Clone> ConcurrentShardedIndexSet<S> {
     /// [`ShardedIndexSet::compact`].
     pub fn compact(&self, threshold: f64) -> Vec<usize> {
         let mut w = self.lock_writer();
+        // Fold reader observations in so each compacted shard's internal
+        // retune sees the workload (see the planar wrapper's `compact`).
+        let snap = self.snapshot();
+        w.set.adopt_quant_window(&snap);
+        drop(snap);
         let compacted = w.set.compact(threshold);
-        self.cell.publish(w.set.clone());
+        self.cell
+            .publish(timed_clone(&self.cell, &w.set, w.set.memory_usage()));
         w.dirty = 0;
         compacted
+    }
+
+    /// Per-shard quantization policies on the staged writer state.
+    pub fn quant_policies(&self) -> Vec<crate::quant::QuantPolicy> {
+        self.lock_writer().set.quant_policies()
+    }
+
+    /// Install one quantization policy on every shard; always publishes.
+    pub fn set_quant_policy(&self, policy: crate::quant::QuantPolicy) {
+        let mut w = self.lock_writer();
+        w.set.set_quant_policy(policy);
+        self.cell
+            .publish(timed_clone(&self.cell, &w.set, w.set.memory_usage()));
+        w.dirty = 0;
+    }
+
+    /// Fold reader observations into each shard's tuner, retune every
+    /// shard, and publish. Returns the policy now active per shard.
+    pub fn retune_quantization(
+        &self,
+        cfg: &crate::quant::QuantAutotuneConfig,
+    ) -> Vec<crate::quant::QuantPolicy> {
+        let mut w = self.lock_writer();
+        let snap = self.snapshot();
+        w.set.adopt_quant_window(&snap);
+        drop(snap);
+        let policies = w.set.retune_quantization(cfg);
+        self.cell
+            .publish(timed_clone(&self.cell, &w.set, w.set.memory_usage()));
+        w.dirty = 0;
+        policies
     }
 
     /// Publish the staged state now. Returns the published epoch.
     pub fn publish(&self) -> u64 {
         let mut w = self.lock_writer();
-        let epoch = self.cell.publish(w.set.clone());
+        let epoch = self
+            .cell
+            .publish(timed_clone(&self.cell, &w.set, w.set.memory_usage()));
         w.dirty = 0;
         epoch
     }
@@ -545,7 +673,8 @@ impl<S: KeyStore + Clone> ConcurrentShardedIndexSet<S> {
         for (shard, lsn, rec) in frames {
             w.set.replay_record(*shard, *lsn, rec)?;
         }
-        self.cell.publish(w.set.clone());
+        self.cell
+            .publish(timed_clone(&self.cell, &w.set, w.set.memory_usage()));
         w.dirty = 0;
         Ok(())
     }
@@ -661,7 +790,11 @@ impl<S: KeyStore + Clone> ConcurrentDurablePlanarIndexSet<S> {
 
     fn maybe_publish(&self, staged: &mut DurableStaged<S>) {
         if staged.dirty >= self.publish_every {
-            self.cell.publish(staged.set.clone());
+            self.cell.publish(timed_clone(
+                &self.cell,
+                &staged.set,
+                staged.set.memory_usage(),
+            ));
             staged.dirty = 0;
         }
     }
@@ -795,7 +928,8 @@ impl<S: KeyStore + Clone> ConcurrentDurablePlanarIndexSet<S> {
                 acks.push(apply_planar_record(&mut w.set, rec)?);
             }
             w.dirty += records.len();
-            self.cell.publish(w.set.clone());
+            self.cell
+                .publish(timed_clone(&self.cell, &w.set, w.set.memory_usage()));
             w.dirty = 0;
             (w.next_lsn - 1, acks)
         };
@@ -829,6 +963,16 @@ impl<S: KeyStore + Clone> ConcurrentDurablePlanarIndexSet<S> {
             .enqueue(watermark, WalRecord::Checkpoint { watermark })?;
         w.next_lsn = watermark + 1;
         self.queue.flush(true)?;
+        // Checkpoint cadence doubles as the autotuner's retune point;
+        // adopt reader observations from the published epoch first, and
+        // the snapshot below then carries the freshly chosen tier. The
+        // policy is derived state, so it needs no WAL record: replay
+        // without it yields identical answers, just unfiltered.
+        let snap = self.snapshot();
+        w.set.adopt_quant_window(&snap);
+        drop(snap);
+        w.set
+            .retune_quantization(&crate::quant::QuantAutotuneConfig::default());
         let generation = w.generation + 1;
         w.set.save_to_with(
             snapshot_path(&self.dir, generation),
@@ -850,10 +994,29 @@ impl<S: KeyStore + Clone> ConcurrentDurablePlanarIndexSet<S> {
         Ok(watermark)
     }
 
+    /// Install a quantization policy; always publishes. Derived state —
+    /// not WAL-logged, so a crash before the next checkpoint recovers
+    /// with the tier from the last snapshot (answers are identical under
+    /// any tier by contract).
+    pub fn set_quant_policy(&self, policy: crate::quant::QuantPolicy) {
+        let mut w = self.lock_writer();
+        w.set.set_quant_policy(policy);
+        self.cell
+            .publish(timed_clone(&self.cell, &w.set, w.set.memory_usage()));
+        w.dirty = 0;
+    }
+
+    /// The quantization policy active on the staged writer state.
+    pub fn quant_policy(&self) -> crate::quant::QuantPolicy {
+        self.lock_writer().set.quant_policy()
+    }
+
     /// Publish the staged state now. Returns the published epoch.
     pub fn publish(&self) -> u64 {
         let mut w = self.lock_writer();
-        let epoch = self.cell.publish(w.set.clone());
+        let epoch = self
+            .cell
+            .publish(timed_clone(&self.cell, &w.set, w.set.memory_usage()));
         w.dirty = 0;
         epoch
     }
@@ -1000,7 +1163,11 @@ impl<S: KeyStore + Clone> ConcurrentDurableShardedIndexSet<S> {
 
     fn maybe_publish(&self, staged: &mut DurableShardedStaged<S>) {
         if staged.dirty >= self.publish_every {
-            self.cell.publish(staged.set.clone());
+            self.cell.publish(timed_clone(
+                &self.cell,
+                &staged.set,
+                staged.set.memory_usage(),
+            ));
             staged.dirty = 0;
         }
     }
@@ -1176,7 +1343,8 @@ impl<S: KeyStore + Clone> ConcurrentDurableShardedIndexSet<S> {
                 acks.push(apply_sharded_record(&mut w.set, rec)?);
             }
             w.dirty += routed.len();
-            self.cell.publish(w.set.clone());
+            self.cell
+                .publish(timed_clone(&self.cell, &w.set, w.set.memory_usage()));
             w.dirty = 0;
             (acks, touched)
         };
@@ -1207,8 +1375,14 @@ impl<S: KeyStore + Clone> ConcurrentDurableShardedIndexSet<S> {
                 queue.enqueue(lsn, rec.clone())?;
             }
             w.next_lsn = lsn + 1;
+            // Fold reader observations in so each compacted shard's
+            // internal retune sees the workload.
+            let snap = self.snapshot();
+            w.set.adopt_quant_window(&snap);
+            drop(snap);
             let reclaimed = w.set.compact(threshold);
-            self.cell.publish(w.set.clone());
+            self.cell
+                .publish(timed_clone(&self.cell, &w.set, w.set.memory_usage()));
             w.dirty = 0;
             (reclaimed, lsn)
         };
@@ -1245,6 +1419,13 @@ impl<S: KeyStore + Clone> ConcurrentDurableShardedIndexSet<S> {
             queue.flush(true)?;
         }
         w.next_lsn = watermark + 1;
+        // Retune each shard's quantization tier at checkpoint cadence —
+        // see the durable planar twin above for why no WAL record exists.
+        let snap = self.snapshot();
+        w.set.adopt_quant_window(&snap);
+        drop(snap);
+        w.set
+            .retune_quantization(&crate::quant::QuantAutotuneConfig::default());
         let generation = w.generation + 1;
         w.set.save_to_with(
             snapshot_path(&self.dir, generation),
@@ -1272,10 +1453,27 @@ impl<S: KeyStore + Clone> ConcurrentDurableShardedIndexSet<S> {
         Ok(watermark)
     }
 
+    /// Install one quantization policy on every shard; always publishes.
+    /// Derived state — not WAL-logged (see the durable planar twin).
+    pub fn set_quant_policy(&self, policy: crate::quant::QuantPolicy) {
+        let mut w = self.lock_writer();
+        w.set.set_quant_policy(policy);
+        self.cell
+            .publish(timed_clone(&self.cell, &w.set, w.set.memory_usage()));
+        w.dirty = 0;
+    }
+
+    /// Per-shard quantization policies on the staged writer state.
+    pub fn quant_policies(&self) -> Vec<crate::quant::QuantPolicy> {
+        self.lock_writer().set.quant_policies()
+    }
+
     /// Publish the staged state now. Returns the published epoch.
     pub fn publish(&self) -> u64 {
         let mut w = self.lock_writer();
-        let epoch = self.cell.publish(w.set.clone());
+        let epoch = self
+            .cell
+            .publish(timed_clone(&self.cell, &w.set, w.set.memory_usage()));
         w.dirty = 0;
         epoch
     }

@@ -124,6 +124,7 @@ impl<S: KeyStore> PlanarIndexSet<S> {
         let mut matches = Vec::new();
         let mut verified = 0usize;
         let mut smaller = 0usize;
+        let mut quant = crate::quant::QuantFilterStats::default();
         if any_indexed {
             // Pick the *index position* whose intersected candidate range
             // is narrowest — constraints sharing an index (e.g. the two
@@ -173,6 +174,57 @@ impl<S: KeyStore> PlanarIndexSet<S> {
                     matches.push(id);
                 }
             }
+        } else if let Some(qcols) = self.table().quant() {
+            // No constraint can use an index, but the quantized tier can
+            // still wholesale-reject rows that provably fail the first
+            // constraint — a row out on any constraint is out of the
+            // conjunction. Survivors are checked exactly (skipping the
+            // first constraint for lanes the filter already proved), so
+            // answers match the plain scan bit for bit.
+            quant.tier = qcols.tier();
+            let c0 = &q.constraints()[0];
+            let mut filter = crate::quant::QuantFilter::new(c0, qcols);
+            let table = self.table();
+            let len = table.len() as PointId;
+            for seg in table.columns().segments(0, len) {
+                let lanes_mask = if seg.lanes == planar_geom::BLOCK_ROWS {
+                    u64::MAX
+                } else {
+                    (1u64 << seg.lanes) - 1
+                };
+                let (accept, reject) = match filter.classify(seg.first, seg.lanes) {
+                    crate::quant::BlockClass::Fallback => {
+                        quant.fallback += seg.lanes;
+                        (0u64, 0u64)
+                    }
+                    crate::quant::BlockClass::Classified { accept, reject } => {
+                        quant.lanes += seg.lanes;
+                        quant.accepted += accept.count_ones() as usize;
+                        quant.rejected += (reject & lanes_mask).count_ones() as usize;
+                        quant.reverified += (!(accept | reject) & lanes_mask).count_ones() as usize;
+                        (accept, reject)
+                    }
+                };
+                for l in 0..seg.lanes {
+                    if reject >> l & 1 == 1 {
+                        continue;
+                    }
+                    let id = seg.first + l as PointId;
+                    if !self.is_live(id) {
+                        continue;
+                    }
+                    verified += 1;
+                    let row = table.row(id);
+                    let ok = if accept >> l & 1 == 1 {
+                        q.constraints()[1..].iter().all(|c| c.satisfies(row))
+                    } else {
+                        q.satisfies(row)
+                    };
+                    if ok {
+                        matches.push(id);
+                    }
+                }
+            }
         } else {
             // No constraint can use an index: exact scan over live rows.
             for (id, row) in self.table().iter() {
@@ -191,6 +243,7 @@ impl<S: KeyStore> PlanarIndexSet<S> {
             verified,
             intersect_pruned: 0,
             matched: matches.len(),
+            quant,
             path: if any_indexed {
                 ExecutionPath::Index { index: 0 }
             } else {

@@ -507,15 +507,17 @@ impl<S: KeyStore> SingleIndex<S> {
         let intersect_pruned = candidates - scratch.ids.len();
         let verified = scratch.ids.len();
 
-        if scratch.accepted.is_empty() {
-            parallel::verify_ids(verify, table, &scratch.ids, exec, &mut matches);
+        let quant = if scratch.accepted.is_empty() {
+            parallel::verify_ids(verify, table, &scratch.ids, exec, &mut matches)
         } else {
             // Sibling-accepted ids never went through verification, so they
             // must be merged back to keep the ascending-id II match order.
             scratch.verified_out.clear();
-            parallel::verify_ids(verify, table, &scratch.ids, exec, &mut scratch.verified_out);
+            let quant =
+                parallel::verify_ids(verify, table, &scratch.ids, exec, &mut scratch.verified_out);
             merge_ascending(&scratch.accepted, &scratch.verified_out, &mut matches);
-        }
+            quant
+        };
 
         let stats = QueryStats {
             n,
@@ -525,6 +527,7 @@ impl<S: KeyStore> SingleIndex<S> {
             verified,
             intersect_pruned,
             matched: matches.len(),
+            quant,
             path: ExecutionPath::Index { index: index_pos },
         };
         (matches, stats)

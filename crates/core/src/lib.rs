@@ -96,6 +96,7 @@ pub mod memory;
 pub mod multi;
 pub mod parallel;
 pub mod persist;
+pub mod quant;
 pub mod query;
 pub mod replicate;
 pub mod router;
@@ -125,6 +126,10 @@ pub use memory::HeapSize;
 pub use multi::{DynamicPlanarIndexSet, IndexConfig, PlanarIndexSet, QueryOutcome, TopKOutcome};
 pub use parallel::{ExecutionConfig, QueryScratch, ScratchPool};
 pub use persist::{RecoveryReport, SaveOptions, ShardedRecoveryReport};
+pub use quant::{
+    retune, QuantAutotuneConfig, QuantFilterStats, QuantObservations, QuantPolicy, QuantTier,
+    QuantTuner, QuantizedColumns,
+};
 pub use query::{Cmp, InequalityQuery, InvalidQueryReason, TopKQuery};
 pub use replicate::{
     elect, ChannelTransport, DirTransport, FailoverConfig, FollowerRead, Primary, ReadConsistency,

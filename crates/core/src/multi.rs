@@ -158,6 +158,9 @@ pub struct PlanarIndexSet<S: KeyStore = VecStore> {
     /// Reused old-row buffer for `update_point`/`delete_point`, so the
     /// mutation path is allocation-free after the first call.
     row_scratch: Vec<f64>,
+    /// Workload counters feeding the quantization autotuner (see
+    /// [`crate::quant::retune`]); recorded from `&self` query paths.
+    quant_tuner: crate::quant::QuantTuner,
 }
 
 /// A [`PlanarIndexSet`] backed by the B+-tree store: `O(d'·log n)` dynamic
@@ -349,6 +352,7 @@ impl<S: KeyStore> PlanarIndexSet<S> {
             n_live: n,
             quarantined: vec![false; budget],
             row_scratch: Vec::new(),
+            quant_tuner: crate::quant::QuantTuner::default(),
         }
     }
 
@@ -408,6 +412,7 @@ impl<S: KeyStore> PlanarIndexSet<S> {
             n_live,
             quarantined,
             row_scratch: Vec::new(),
+            quant_tuner: crate::quant::QuantTuner::default(),
         })
     }
 
@@ -463,6 +468,61 @@ impl<S: KeyStore> PlanarIndexSet<S> {
     /// Change the selection strategy (no rebuild needed).
     pub fn set_strategy(&mut self, strategy: SelectionStrategy) {
         self.strategy = strategy;
+    }
+
+    /// The active quantization policy (tier + error-bound slack) of the
+    /// underlying table.
+    pub fn quant_policy(&self) -> crate::quant::QuantPolicy {
+        self.table.quant_policy()
+    }
+
+    /// Install a quantization policy, (re-)encoding the table's quantized
+    /// mirror as needed (`O(n · d')` on a tier or slack change) and
+    /// resetting the autotuner's observation window. Answers are
+    /// bit-identical under every policy — the tier only changes how many
+    /// candidates the filter pass can settle without full-precision work.
+    pub fn set_quant_policy(&mut self, policy: crate::quant::QuantPolicy) {
+        self.table.set_quant_policy(policy);
+        self.quant_tuner.reset_window();
+    }
+
+    /// The autotuner's current observation window (counters since the last
+    /// policy change).
+    pub fn quant_observations(&self) -> crate::quant::QuantObservations {
+        self.quant_tuner.observations()
+    }
+
+    /// Adopt another instance's tuner window (see
+    /// [`crate::quant::QuantTuner::adopt`]). The concurrent wrappers call
+    /// this with the published epoch's clone — where reader observations
+    /// actually land — before retuning the staged writer set.
+    pub fn adopt_quant_window(&self, other: &Self) {
+        self.quant_tuner.adopt(&other.quant_tuner);
+    }
+
+    /// Re-evaluate the quantization policy from the observed workload (see
+    /// [`crate::quant::retune`]), apply the result, and return it. Called
+    /// automatically by [`Self::compact`]; callers with checkpoint cadence
+    /// (e.g. the durable wrappers) invoke it there too.
+    pub fn retune_quantization(
+        &mut self,
+        cfg: &crate::quant::QuantAutotuneConfig,
+    ) -> crate::quant::QuantPolicy {
+        let current = self.table.quant_policy();
+        let obs = self.quant_tuner.observations();
+        let next = crate::quant::retune(current, self.table.len(), &obs, cfg);
+        if next.tier == crate::quant::QuantTier::Off
+            && current.tier != crate::quant::QuantTier::Off
+            && self.table.len() >= cfg.min_rows
+        {
+            // The tuner turned the tier off for band width, not table
+            // size: remember that, so it stays off until the data changes
+            // (compaction clears the flag).
+            self.quant_tuner.mark_demoted();
+        }
+        self.table.set_quant_policy(next);
+        self.quant_tuner.reset_window();
+        next
     }
 
     /// Heap bytes owned by the whole structure (table + all indices) — the
@@ -721,6 +781,7 @@ impl<S: KeyStore> PlanarIndexSet<S> {
             verified: 0,
             intersect_pruned: 0,
             matched: 0,
+            quant: crate::quant::QuantFilterStats::default(),
             path: ExecutionPath::ScanFallback(ScanReason::DeadlineExceeded),
         }
     }
@@ -793,6 +854,7 @@ impl<S: KeyStore> PlanarIndexSet<S> {
                     exec,
                     scratch,
                 );
+                self.quant_tuner.observe(&stats.quant);
                 QueryOutcome {
                     matches,
                     served_by: ServedBy::Index(pos),
@@ -814,12 +876,15 @@ impl<S: KeyStore> PlanarIndexSet<S> {
     }
 
     fn scan_fallback(&self, q: &InequalityQuery, reason: ScanReason) -> QueryOutcome {
-        let matches: Vec<PointId> = self
-            .table
-            .iter()
-            .filter(|(id, row)| !self.deleted[*id as usize] && q.satisfies(row))
-            .map(|(id, _)| id)
+        // Collect live ids and verify them through the blocked kernel, so
+        // the quantized tier (when active) wholesale-settles most rows on
+        // the scan path too. The kernel mask is bit-identical to the
+        // per-row `q.satisfies` predicate, so answers are unchanged.
+        let live: Vec<PointId> = (0..self.table.len() as PointId)
+            .filter(|&id| !self.deleted[id as usize])
             .collect();
+        let mut matches = Vec::new();
+        let quant = parallel::verify_ids_blocked(q, &self.table, &live, &mut matches);
         let stats = QueryStats {
             n: self.n_live,
             smaller: 0,
@@ -828,8 +893,10 @@ impl<S: KeyStore> PlanarIndexSet<S> {
             verified: self.n_live,
             intersect_pruned: 0,
             matched: matches.len(),
+            quant,
             path: ExecutionPath::ScanFallback(reason),
         };
+        self.quant_tuner.observe(&stats.quant);
         QueryOutcome {
             matches,
             served_by: ServedBy::from_path(&stats.path),
@@ -1199,7 +1266,13 @@ impl<S: KeyStore> PlanarIndexSet<S> {
                 remap[id as usize] = Some(new_id);
             }
         }
+        // Carry the quantization policy onto the fresh table (the mirror
+        // re-encodes over the compacted blocks), then let the autotuner
+        // re-evaluate: the data changed, so a previous for-band-width
+        // demotion no longer binds.
+        let policy = self.table.quant_policy();
         self.table = fresh;
+        self.table.set_quant_policy(policy);
         self.deleted = vec![false; self.table.len()];
         self.n_live = self.table.len();
         for idx in &mut self.indices {
@@ -1208,6 +1281,8 @@ impl<S: KeyStore> PlanarIndexSet<S> {
         for flag in &mut self.quarantined {
             *flag = false;
         }
+        self.quant_tuner.clear_demotion();
+        self.retune_quantization(&crate::quant::QuantAutotuneConfig::default());
         remap
     }
 

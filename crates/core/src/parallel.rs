@@ -23,14 +23,20 @@
 //! Work is distributed over `std::thread::scope` — no thread pool, no extra
 //! dependencies; workers borrow the index and table immutably.
 
+use crate::quant::{BlockClass, QuantFilter, QuantFilterStats};
 use crate::query::{Cmp, InequalityQuery};
 use crate::scan::TopKBuffer;
-use crate::table::{FeatureTable, PointId};
+use crate::table::{ColSegment, FeatureTable, PointId};
 use crate::{PlanarError, Result};
-use planar_geom::{dot_block_cols, dot_cmp_block, BLOCK_ROWS};
+use planar_geom::{dot_block_cols, dot_cmp_block, dot_slices, BLOCK_ROWS};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
+
+/// Minimum segment width (lanes) for the quantized filter to engage;
+/// shorter runs go straight to the exact kernel (see
+/// [`quant_segment_mask`]).
+const QUANT_MIN_SEGMENT_LANES: usize = 16;
 
 /// Default minimum II size before a single query's verification is split
 /// across threads. Below this, fan-out overhead exceeds the win.
@@ -359,16 +365,32 @@ where
 /// and [`dot_cmp_block`] evaluates the whole segment's predicate into a
 /// bitmask — the scalar products are never materialized.
 ///
+/// When a quantized tier is active, each segment first goes through the
+/// fixed-point classifier: lanes it proves in or out are settled without
+/// touching `f64` rows, and only the uncertainty band is re-verified at
+/// full precision (whole-segment kernel when the band is dense, per-lane
+/// [`dot_slices`] when sparse). The emitted mask is identical to the pure
+/// `f64` mask by the classifier's soundness contract, which the debug
+/// assertions below check directly.
+///
+/// Returns the quantized-filter counters for this call (all zeros when the
+/// tier is off).
+///
 /// [`ColSegment`]: crate::table::ColSegment
 pub(crate) fn verify_ids_blocked(
     query: &InequalityQuery,
     table: &FeatureTable,
     ids: &[PointId],
     out: &mut Vec<PointId>,
-) {
+) -> QuantFilterStats {
     let cols = table.columns();
     let stride = cols.stride();
     let leq = query.cmp() == Cmp::Leq;
+    let mut stats = QuantFilterStats::default();
+    let mut filter = table.quant().map(|q| {
+        stats.tier = q.tier();
+        QuantFilter::new(query, q)
+    });
     let mut s = 0;
     while s < ids.len() {
         // Maximal consecutive-id run starting at s.
@@ -379,13 +401,85 @@ pub(crate) fn verify_ids_blocked(
         }
         let run = (e - s) as PointId;
         for seg in cols.segments(first, first + run) {
-            let mut mask = dot_cmp_block(query.a(), seg.cols, stride, seg.lanes, query.b(), leq);
+            let mut mask = match &mut filter {
+                None => dot_cmp_block(query.a(), seg.cols, stride, seg.lanes, query.b(), leq),
+                Some(f) => quant_segment_mask(f, query, table, &seg, stride, leq, &mut stats),
+            };
             while mask != 0 {
                 out.push(seg.first + mask.trailing_zeros());
                 mask &= mask - 1;
             }
         }
         s = e;
+    }
+    stats
+}
+
+/// Evaluate one segment's predicate mask through the quantized filter,
+/// falling back to (or re-verifying the uncertainty band with) the exact
+/// `f64` path. The returned mask is bit-identical to
+/// [`dot_cmp_block`] on the same segment.
+fn quant_segment_mask(
+    filter: &mut QuantFilter<'_>,
+    query: &InequalityQuery,
+    table: &FeatureTable,
+    seg: &ColSegment<'_>,
+    stride: usize,
+    leq: bool,
+    stats: &mut QuantFilterStats,
+) -> u64 {
+    stats.lanes += seg.lanes;
+    // Short runs can't amortize the classify dispatch: the quantized scan
+    // only beats the exact kernel through memory traffic, and a few lanes
+    // move few bytes either way. Taking the exact path directly keeps
+    // scattered-candidate workloads at baseline cost, and counting the
+    // lanes as fallback tells the autotuner the filter isn't engaging.
+    if seg.lanes < QUANT_MIN_SEGMENT_LANES {
+        stats.fallback += seg.lanes;
+        return dot_cmp_block(query.a(), seg.cols, stride, seg.lanes, query.b(), leq);
+    }
+    let lanes_mask = if seg.lanes == BLOCK_ROWS {
+        u64::MAX
+    } else {
+        (1u64 << seg.lanes) - 1
+    };
+    match filter.classify(seg.first, seg.lanes) {
+        BlockClass::Fallback => {
+            stats.fallback += seg.lanes;
+            dot_cmp_block(query.a(), seg.cols, stride, seg.lanes, query.b(), leq)
+        }
+        BlockClass::Classified { accept, reject } => {
+            let band = !(accept | reject) & lanes_mask;
+            let band_lanes = band.count_ones() as usize;
+            stats.accepted += accept.count_ones() as usize;
+            stats.rejected += (reject & lanes_mask).count_ones() as usize;
+            stats.reverified += band_lanes;
+            if band_lanes == 0 {
+                return accept;
+            }
+            if band_lanes * 4 >= seg.lanes {
+                // Dense band: one whole-segment kernel pass costs less than
+                // gathering rows lane by lane. Soundness makes the results
+                // interchangeable: accept ⊆ exact and reject ∩ exact = ∅.
+                let exact = dot_cmp_block(query.a(), seg.cols, stride, seg.lanes, query.b(), leq);
+                debug_assert_eq!(accept & !exact, 0, "quant accept disagrees with f64 path");
+                debug_assert_eq!(reject & exact, 0, "quant reject disagrees with f64 path");
+                return exact;
+            }
+            // Sparse band: settle each uncertain lane with the row-wise
+            // reference dot (the definition of the exact answer).
+            let mut mask = accept;
+            let mut b = band;
+            while b != 0 {
+                let l = b.trailing_zeros();
+                let id = seg.first + l;
+                if query.satisfies_dot(dot_slices(query.a(), table.row(id))) {
+                    mask |= 1u64 << l;
+                }
+                b &= b - 1;
+            }
+            mask
+        }
     }
 }
 
@@ -399,19 +493,22 @@ pub(crate) fn verify_ids(
     ids: &[PointId],
     exec: &ExecutionConfig,
     out: &mut Vec<PointId>,
-) {
+) -> QuantFilterStats {
     if exec.is_parallel() && ids.len() >= exec.parallel_verify_threshold.max(2) {
         let workers = exec.threads.min(ids.len());
         let per_chunk = map_chunks(ids, workers, |chunk| {
             let mut local_out = Vec::with_capacity(chunk.len());
-            verify_ids_blocked(query, table, chunk, &mut local_out);
-            local_out
+            let stats = verify_ids_blocked(query, table, chunk, &mut local_out);
+            (local_out, stats)
         });
-        for part in per_chunk {
+        let mut stats = QuantFilterStats::default();
+        for (part, part_stats) in per_chunk {
             out.extend_from_slice(&part);
+            stats.merge(&part_stats);
         }
+        stats
     } else {
-        verify_ids_blocked(query, table, ids, out);
+        verify_ids_blocked(query, table, ids, out)
     }
 }
 

@@ -22,6 +22,7 @@
 //!     normals: count·dim f64
 //!     quarantine flags: count bytes (0/1)
 //!     index section lengths: count u64
+//!     quantization policy (only when flags bit 0x1): tier tag u8 | slack f64
 //! crc64 of the core section
 //! per index i: section of length lens[i] —
 //!     entry count u64 | entries (key f64, id u32)… | crc64 of the section
@@ -50,6 +51,7 @@
 use crate::domain::{Domain, ParameterDomain};
 use crate::fault::{SnapshotIo, StdIo};
 use crate::multi::PlanarIndexSet;
+use crate::quant::{QuantPolicy, QuantTier};
 use crate::selection::SelectionStrategy;
 use crate::shard::{Partitioner, ShardedIndexSet};
 use crate::store::{Entry, KeyStore};
@@ -67,6 +69,13 @@ const MAGIC_V2: &[u8; 8] = b"PLNRIDX2";
 const MAGIC_SHARD: &[u8; 8] = b"PLNRSHD1";
 /// magic + flags + core_len.
 const V2_PREAMBLE: usize = 8 + 4 + 8;
+/// Flags bit: the CRC-protected core ends with a quantization policy
+/// (tier tag `u8` + slack `f64`). Snapshots written before the quantized
+/// tier existed — and snapshots of sets with the tier off — clear the bit
+/// and omit the bytes, so both directions stay compatible: old readers
+/// never see the trailing bytes, new readers of old files default to
+/// [`QuantTier::Off`].
+const FLAG_QUANT_POLICY: u32 = 0x1;
 
 /// CRC-64/XZ for integrity checking (shared with `crate::wal` framing).
 pub(crate) fn crc64(data: &[u8]) -> u64 {
@@ -311,9 +320,10 @@ struct CoreParts {
     normals: Vec<Vec<f64>>,
     quarantined: Vec<bool>,
     section_lens: Vec<usize>,
+    quant: QuantPolicy,
 }
 
-fn parse_core(core: &[u8]) -> Result<CoreParts> {
+fn parse_core(core: &[u8], flags: u32) -> Result<CoreParts> {
     let mut buf = Bytes::copy_from_slice(core);
     need(&buf, 12, "core header")?;
     let dim = buf.get_u32_le() as usize;
@@ -375,6 +385,18 @@ fn parse_core(core: &[u8]) -> Result<CoreParts> {
         let len = buf.get_u64_le();
         section_lens.push(usize::try_from(len).map_err(|_| corrupt("section length overflows"))?);
     }
+    let quant = if flags & FLAG_QUANT_POLICY != 0 {
+        need(&buf, 9, "quantization policy")?;
+        let tier = QuantTier::from_tag(buf.get_u8())
+            .ok_or_else(|| corrupt("unknown quantization tier tag"))?;
+        let slack = buf.get_f64_le();
+        if !(slack.is_finite() && slack >= 1.0) {
+            return Err(corrupt("quantization slack must be finite and >= 1"));
+        }
+        QuantPolicy { tier, slack }
+    } else {
+        QuantPolicy::off()
+    };
     if buf.has_remaining() {
         return Err(corrupt("trailing bytes in core section"));
     }
@@ -386,6 +408,7 @@ fn parse_core(core: &[u8]) -> Result<CoreParts> {
         normals,
         quarantined,
         section_lens,
+        quant,
     })
 }
 
@@ -420,7 +443,7 @@ fn parse_index_section(section: &[u8]) -> Result<Vec<Entry>> {
 /// quarantines it and keeps going).
 fn load_v2<S: KeyStore>(data: &[u8], recover: bool) -> Result<(PlanarIndexSet<S>, RecoveryReport)> {
     let mut buf = Bytes::copy_from_slice(&data[8..V2_PREAMBLE]);
-    let _flags = buf.get_u32_le();
+    let flags = buf.get_u32_le();
     let core_len = buf.get_u64_le() as usize;
     let core_start = V2_PREAMBLE;
     let core_end = core_start
@@ -441,7 +464,7 @@ fn load_v2<S: KeyStore>(data: &[u8], recover: bool) -> Result<(PlanarIndexSet<S>
     if crc64(core) != stored_crc {
         return Err(corrupt("core section checksum mismatch"));
     }
-    let parts = parse_core(core)?;
+    let parts = parse_core(core, flags)?;
 
     let mut report = RecoveryReport {
         version: 2,
@@ -486,7 +509,7 @@ fn load_v2<S: KeyStore>(data: &[u8], recover: bool) -> Result<(PlanarIndexSet<S>
     }
     report.loaded = report.total_indices - report.quarantined.len();
 
-    let set = PlanarIndexSet::assemble(
+    let mut set = PlanarIndexSet::assemble(
         parts.table,
         parts.domain,
         parts.strategy,
@@ -495,6 +518,12 @@ fn load_v2<S: KeyStore>(data: &[u8], recover: bool) -> Result<(PlanarIndexSet<S>
         entry_lists,
         quarantined,
     )?;
+    if parts.quant.tier != QuantTier::Off {
+        // Re-encode the quantized mirror from the freshly parsed rows —
+        // only the policy is persisted, never the codes, so a bit flip in
+        // the mirror can't survive a round trip.
+        set.set_quant_policy(parts.quant);
+    }
     Ok((set, report))
 }
 
@@ -634,12 +663,19 @@ impl<S: KeyStore> PlanarIndexSet<S> {
         for sec in &sections {
             core.put_u64_le(sec.len() as u64);
         }
+        let policy = self.quant_policy();
+        let mut flags = 0u32;
+        if policy.tier != QuantTier::Off {
+            flags |= FLAG_QUANT_POLICY;
+            core.put_u8(policy.tier.tag());
+            core.put_f64_le(policy.slack);
+        }
 
         let total: usize =
             V2_PREAMBLE + core.len() + 8 + sections.iter().map(|s| s.len()).sum::<usize>();
         let mut buf = BytesMut::with_capacity(total);
         buf.put_slice(MAGIC_V2);
-        buf.put_u32_le(0); // flags, reserved
+        buf.put_u32_le(flags);
         buf.put_u64_le(core.len() as u64);
         let core_crc = crc64(&core);
         buf.put_slice(&core);
@@ -1422,6 +1458,53 @@ mod tests {
         assert_eq!(report.already_quarantined, vec![1]);
         assert!(report.quarantined.is_empty());
         assert_eq!(loaded.quarantined_positions(), vec![1]);
+    }
+
+    #[test]
+    fn quant_policy_survives_roundtrip() {
+        let mut set = sample_set();
+        set.set_quant_policy(QuantPolicy {
+            tier: QuantTier::I16,
+            slack: 2.0,
+        });
+        let bytes = set.to_bytes();
+        let loaded = PlanarIndexSet::<VecStore>::from_bytes(&bytes).unwrap();
+        assert_eq!(
+            loaded.quant_policy(),
+            QuantPolicy {
+                tier: QuantTier::I16,
+                slack: 2.0,
+            }
+        );
+        // The mirror is rebuilt from the parsed rows, never deserialized.
+        assert_eq!(loaded.table().quant(), set.table().quant());
+        // Tier Off clears the flag and writes no trailing bytes, so the
+        // file matches one written before the tier existed.
+        let mut plain = sample_set();
+        plain.set_quant_policy(QuantPolicy::off());
+        let bytes = plain.to_bytes();
+        assert_eq!(u32::from_le_bytes(bytes[8..12].try_into().unwrap()), 0);
+        let loaded = PlanarIndexSet::<VecStore>::from_bytes(&bytes).unwrap();
+        assert_eq!(loaded.quant_policy(), QuantPolicy::off());
+    }
+
+    #[test]
+    fn corrupt_quant_policy_is_rejected() {
+        let mut set = sample_set();
+        set.set_quant_policy(QuantPolicy {
+            tier: QuantTier::I8,
+            slack: 1.0,
+        });
+        let bytes = set.to_bytes();
+        let core_len = u64::from_le_bytes(bytes[12..20].try_into().unwrap()) as usize;
+        // The policy is the last 9 core bytes; smash the tier tag and
+        // re-seal the CRC so only the policy parse can object.
+        let mut bad = bytes.to_vec();
+        bad[V2_PREAMBLE + core_len - 9] = 0xEE;
+        let crc = crc64(&bad[V2_PREAMBLE..V2_PREAMBLE + core_len]);
+        bad[V2_PREAMBLE + core_len..V2_PREAMBLE + core_len + 8].copy_from_slice(&crc.to_le_bytes());
+        let err = PlanarIndexSet::<VecStore>::from_bytes(&bad).unwrap_err();
+        assert!(err.to_string().contains("quantization tier"), "{err}");
     }
 
     #[test]

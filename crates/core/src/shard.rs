@@ -524,6 +524,44 @@ impl<S: KeyStore> ShardedIndexSet<S> {
         &self.partitioner
     }
 
+    /// Quantization policies per shard, ascending by shard position. The
+    /// autotuner runs independently per shard (each sees its own slice of
+    /// the workload), so tiers can legitimately differ.
+    pub fn quant_policies(&self) -> Vec<crate::quant::QuantPolicy> {
+        self.shards.iter().map(|s| s.quant_policy()).collect()
+    }
+
+    /// Install one quantization policy on every shard (see
+    /// [`PlanarIndexSet::set_quant_policy`]). Subsequent compactions may
+    /// retune each shard independently.
+    pub fn set_quant_policy(&mut self, policy: crate::quant::QuantPolicy) {
+        for shard in &mut self.shards {
+            shard.set_quant_policy(policy);
+        }
+    }
+
+    /// Re-evaluate every shard's quantization policy from its observed
+    /// workload. Returns the policy now active on each shard.
+    pub fn retune_quantization(
+        &mut self,
+        cfg: &crate::quant::QuantAutotuneConfig,
+    ) -> Vec<crate::quant::QuantPolicy> {
+        self.shards
+            .iter_mut()
+            .map(|s| s.retune_quantization(cfg))
+            .collect()
+    }
+
+    /// Adopt another instance's per-shard tuner windows (see
+    /// [`PlanarIndexSet::adopt_quant_window`]). Shard counts always match:
+    /// the concurrent wrappers only pair a staged set with its own
+    /// published clone.
+    pub fn adopt_quant_window(&self, other: &Self) {
+        for (mine, theirs) in self.shards.iter().zip(&other.shards) {
+            mine.adopt_quant_window(theirs);
+        }
+    }
+
     /// The global→(shard, local) assignment (persistence support).
     pub(crate) fn assignment(&self) -> &[(u32, u32)] {
         &self.assignment

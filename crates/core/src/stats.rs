@@ -124,6 +124,9 @@ pub struct QueryStats {
     pub intersect_pruned: usize,
     /// Points in the answer set (`t` in the paper's complexity bounds).
     pub matched: usize,
+    /// What the quantized filter tier did during verification (all zeros
+    /// when the tier is off — see [`crate::QuantFilterStats`]).
+    pub quant: crate::quant::QuantFilterStats,
     /// Execution path taken.
     pub path: ExecutionPath,
 }
@@ -139,6 +142,7 @@ impl QueryStats {
             verified: n,
             intersect_pruned: 0,
             matched,
+            quant: crate::quant::QuantFilterStats::default(),
             path: ExecutionPath::ScanFallback(reason),
         }
     }
@@ -186,6 +190,7 @@ impl QueryStats {
             verified: 0,
             intersect_pruned: 0,
             matched: 0,
+            quant: crate::quant::QuantFilterStats::default(),
             path,
         };
         for s in per_shard {
@@ -196,6 +201,7 @@ impl QueryStats {
             merged.verified += s.verified;
             merged.intersect_pruned += s.intersect_pruned;
             merged.matched += s.matched;
+            merged.quant.merge(&s.quant);
         }
         merged
     }
@@ -222,11 +228,15 @@ pub struct StatsAggregator {
     wal_last_lsn: u64,
     wal_appended_lsn: u64,
     wal_acked_lsn: u64,
+    quant_sum: crate::quant::QuantFilterStats,
     epoch_recorded: bool,
     epoch: u64,
     epochs_published: u64,
     epochs_retired_live: usize,
     epochs_reclaimed: u64,
+    epoch_clones: u64,
+    epoch_clone_bytes: u64,
+    epoch_clone_micros: u64,
     gc_recorded: bool,
     gc_fsyncs: u64,
     gc_committed_records: u64,
@@ -252,6 +262,7 @@ impl StatsAggregator {
         self.matched_sum += s.matched;
         self.intermediate_sum += s.intermediate;
         self.intersect_pruned_sum += s.intersect_pruned;
+        self.quant_sum.merge(&s.quant);
         if matches!(
             s.path,
             ExecutionPath::ScanFallback(ScanReason::DeadlineExceeded)
@@ -308,6 +319,9 @@ impl StatsAggregator {
         self.epochs_published = stats.published;
         self.epochs_retired_live = stats.retired_live;
         self.epochs_reclaimed = stats.reclaimed;
+        self.epoch_clones = stats.clones;
+        self.epoch_clone_bytes = stats.clone_bytes;
+        self.epoch_clone_micros = stats.clone_micros;
     }
 
     /// Stamp the latest group-commit counters (see
@@ -359,6 +373,7 @@ impl StatsAggregator {
         self.matched_sum += other.matched_sum;
         self.intermediate_sum += other.intermediate_sum;
         self.intersect_pruned_sum += other.intersect_pruned_sum;
+        self.quant_sum.merge(&other.quant_sum);
         self.index_hits += other.index_hits;
         self.scan_fallbacks += other.scan_fallbacks;
         self.degraded += other.degraded;
@@ -381,6 +396,9 @@ impl StatsAggregator {
             self.epochs_published = other.epochs_published;
             self.epochs_retired_live = other.epochs_retired_live;
             self.epochs_reclaimed = other.epochs_reclaimed;
+            self.epoch_clones = other.epoch_clones;
+            self.epoch_clone_bytes = other.epoch_clone_bytes;
+            self.epoch_clone_micros = other.epoch_clone_micros;
         }
         if other.gc_recorded {
             self.gc_recorded = true;
@@ -495,10 +513,19 @@ impl StatsAggregator {
             wal_appended_lsn: self.wal_appended_lsn,
             wal_acked_lsn: self.wal_acked_lsn,
             wal_ack_lag: self.wal_appended_lsn.saturating_sub(self.wal_acked_lsn),
+            quant_lanes: self.quant_sum.lanes,
+            quant_accepted: self.quant_sum.accepted,
+            quant_rejected: self.quant_sum.rejected,
+            quant_reverified: self.quant_sum.reverified,
+            quant_fallback: self.quant_sum.fallback,
+            quant_kernel: self.quant_sum.tier.kernel_name(),
             epoch: self.epoch,
             epochs_published: self.epochs_published,
             epochs_retired_live: self.epochs_retired_live,
             epochs_reclaimed: self.epochs_reclaimed,
+            epoch_clones: self.epoch_clones,
+            epoch_clone_bytes: self.epoch_clone_bytes,
+            epoch_clone_micros: self.epoch_clone_micros,
             group_commit_fsyncs: self.gc_fsyncs,
             group_commit_records: self.gc_committed_records,
             group_commit_max_group: self.gc_max_group,
@@ -562,6 +589,23 @@ pub struct StatsSnapshot {
     /// `wal_appended_lsn − wal_acked_lsn` precomputed (saturating), so
     /// replication lag math needs no field arithmetic at call sites.
     pub wal_ack_lag: u64,
+    /// Candidate lanes that entered the quantized filter (sum over all
+    /// aggregated queries; 0 when the tier never ran).
+    pub quant_lanes: usize,
+    /// Lanes the quantized filter proved satisfying without touching `f64`
+    /// rows.
+    pub quant_accepted: usize,
+    /// Lanes the quantized filter proved failing.
+    pub quant_rejected: usize,
+    /// Lanes inside the uncertainty band, re-verified at full precision.
+    pub quant_reverified: usize,
+    /// Lanes classified by the exact fallback (unsound blocks / overflow
+    /// guards).
+    pub quant_fallback: usize,
+    /// Dispatched quantized kernel for the most recent non-off tier
+    /// observed (`"avx2-i8"`, `"portable-i16"`, …; `"off"` when the tier
+    /// never ran).
+    pub quant_kernel: &'static str,
     /// Published epoch at the last [`StatsAggregator::record_epoch`]
     /// (0 when never recorded).
     pub epoch: u64,
@@ -571,6 +615,14 @@ pub struct StatsSnapshot {
     pub epochs_retired_live: usize,
     /// Retired epochs reclaimed after their grace period ended.
     pub epochs_reclaimed: u64,
+    /// Copy-on-publish set clones over the recorded cell's lifetime — the
+    /// write-path ceiling ROADMAP item 1 names.
+    pub epoch_clones: u64,
+    /// Bytes deep-copied by those clones (heap footprint of the cloned
+    /// sets at clone time).
+    pub epoch_clone_bytes: u64,
+    /// Wall-clock microseconds spent inside those clones.
+    pub epoch_clone_micros: u64,
     /// Commit-group leader fsyncs at the last
     /// [`StatsAggregator::record_group_commit`] (0 when never recorded).
     pub group_commit_fsyncs: u64,
@@ -612,6 +664,7 @@ mod tests {
             verified: i,
             intersect_pruned: 0,
             matched,
+            quant: crate::quant::QuantFilterStats::default(),
             path: ExecutionPath::Index { index: 0 },
         }
     }
@@ -814,6 +867,9 @@ mod tests {
             published: 2,
             retired_live: 1,
             reclaimed: 1,
+            clones: 2,
+            clone_bytes: 4096,
+            clone_micros: 17,
         });
         agg.record_group_commit(&crate::wal::GroupCommitStats {
             fsyncs: 4,
@@ -825,6 +881,9 @@ mod tests {
         assert_eq!(snap.epochs_published, 2);
         assert_eq!(snap.epochs_retired_live, 1);
         assert_eq!(snap.epochs_reclaimed, 1);
+        assert_eq!(snap.epoch_clones, 2);
+        assert_eq!(snap.epoch_clone_bytes, 4096);
+        assert_eq!(snap.epoch_clone_micros, 17);
         assert_eq!(snap.group_commit_fsyncs, 4);
         assert_eq!(snap.group_commit_records, 32);
         assert_eq!(snap.group_commit_max_group, 12);
@@ -838,6 +897,9 @@ mod tests {
             published: 8,
             retired_live: 0,
             reclaimed: 8,
+            clones: 8,
+            clone_bytes: 1 << 20,
+            clone_micros: 400,
         });
         agg.merge(&other);
         let snap = agg.snapshot();

@@ -15,6 +15,7 @@
 //! row-major buffer remains the source of truth for single-row access.
 
 use crate::memory::HeapSize;
+use crate::quant::{QuantPolicy, QuantTier, QuantizedColumns};
 use crate::{PlanarError, Result};
 use planar_geom::BLOCK_ROWS;
 
@@ -22,12 +23,27 @@ use planar_geom::BLOCK_ROWS;
 pub type PointId = u32;
 
 /// An `n × d'` row-major table of feature values, with an always-in-sync
-/// columnar mirror for blocked verification (see [`Self::columns`]).
-#[derive(Debug, Clone, PartialEq)]
+/// columnar mirror for blocked verification (see [`Self::columns`]) and an
+/// optional quantized mirror for the fixed-point filter tier (see
+/// [`Self::set_quant_policy`]).
+#[derive(Debug, Clone)]
 pub struct FeatureTable {
     dim: usize,
     data: Vec<f64>,
     cols: ColumnMajorRows,
+    /// Quantized filter tier, present iff the active policy is not `Off`.
+    /// Kept in sync by `push_row`/`update_row`; derived state, excluded
+    /// from equality.
+    quant: Option<QuantizedColumns>,
+}
+
+impl PartialEq for FeatureTable {
+    /// Logical equality: same feature values. The quantized mirror is a
+    /// cache of `(data, policy)` — two tables holding identical rows are
+    /// equal even when their (possibly autotuner-chosen) tiers differ.
+    fn eq(&self, other: &Self) -> bool {
+        self.dim == other.dim && self.data == other.data && self.cols == other.cols
+    }
 }
 
 /// Interleaved-block columnar ("SoA") layout of the same `n × d'` matrix.
@@ -290,6 +306,7 @@ impl FeatureTable {
             dim,
             data: Vec::new(),
             cols: ColumnMajorRows::new(dim),
+            quant: None,
         })
     }
 
@@ -330,6 +347,9 @@ impl FeatureTable {
         let id = self.len() as PointId;
         self.data.extend_from_slice(row);
         self.cols.push_row(row);
+        if let Some(q) = &mut self.quant {
+            q.sync(&self.cols);
+        }
         Ok(id)
     }
 
@@ -344,6 +364,9 @@ impl FeatureTable {
         let start = self.offset_of(id)?;
         self.data[start..start + self.dim].copy_from_slice(row);
         self.cols.update_row(id as usize, row);
+        if let Some(q) = &mut self.quant {
+            q.reencode_row_block(&self.cols, id);
+        }
         Ok(())
     }
 
@@ -375,6 +398,48 @@ impl FeatureTable {
     #[inline]
     pub fn columns(&self) -> &ColumnMajorRows {
         &self.cols
+    }
+
+    /// The quantized filter mirror, when a tier is active.
+    #[inline]
+    pub fn quant(&self) -> Option<&QuantizedColumns> {
+        self.quant.as_ref()
+    }
+
+    /// The active quantization tier (`Off` when no mirror is held).
+    #[inline]
+    pub fn quant_tier(&self) -> QuantTier {
+        self.quant.as_ref().map_or(QuantTier::Off, |q| q.tier())
+    }
+
+    /// The active quantization policy (tier + error-bound slack).
+    pub fn quant_policy(&self) -> QuantPolicy {
+        match &self.quant {
+            None => QuantPolicy::off(),
+            Some(q) => QuantPolicy {
+                tier: q.tier(),
+                slack: q.slack(),
+            },
+        }
+    }
+
+    /// Install (or remove, for `Off`) the quantized filter mirror. A tier
+    /// or slack change re-encodes the whole table — `O(n · d')` — so
+    /// callers batch this behind build, load, and compaction boundaries.
+    /// A no-op when `policy` already matches the active mirror.
+    pub fn set_quant_policy(&mut self, policy: QuantPolicy) {
+        let slack = policy.slack.max(1.0);
+        match policy.tier {
+            QuantTier::Off => self.quant = None,
+            tier => {
+                let matches = self.quant.as_ref().is_some_and(|q| {
+                    q.tier() == tier && q.slack() == slack && q.len() == self.len()
+                });
+                if !matches {
+                    self.quant = Some(QuantizedColumns::encode(&self.cols, tier, slack));
+                }
+            }
+        }
     }
 
     /// Fallible row access.
@@ -462,9 +527,12 @@ impl FeatureTable {
 
 impl HeapSize for FeatureTable {
     fn heap_size(&self) -> usize {
-        // Row-major source of truth plus the columnar mirror: the 2× cost
-        // of the SoA layout is reported, not hidden.
-        self.data.heap_size() + self.cols.heap_size()
+        // Row-major source of truth plus the columnar mirror (the 2× cost
+        // of the SoA layout is reported, not hidden) plus the quantized
+        // mirror when a tier is active.
+        self.data.heap_size()
+            + self.cols.heap_size()
+            + self.quant.as_ref().map_or(0, HeapSize::heap_size)
     }
 }
 

@@ -1828,6 +1828,10 @@ impl<S: KeyStore> DurablePlanarIndexSet<S> {
             .append(watermark, &WalRecord::Checkpoint { watermark })?;
         self.next_lsn = watermark + 1;
         self.wal.sync()?;
+        // Checkpoint cadence doubles as the autotuner's retune point: the
+        // snapshot then carries the freshly chosen quantization tier.
+        self.set
+            .retune_quantization(&crate::quant::QuantAutotuneConfig::default());
         let generation = self.generation + 1;
         self.set.save_to_with(
             snapshot_path(&self.dir, generation),
@@ -2320,6 +2324,10 @@ impl<S: KeyStore> DurableShardedIndexSet<S> {
             wal.sync()?;
         }
         self.next_lsn = watermark + 1;
+        // Retune each shard's quantization tier at checkpoint cadence so
+        // the snapshot carries fresh policies (see the planar twin above).
+        self.set
+            .retune_quantization(&crate::quant::QuantAutotuneConfig::default());
         let generation = self.generation + 1;
         self.set.save_to_with(
             snapshot_path(&self.dir, generation),

@@ -1,0 +1,429 @@
+//! Property tests for the quantized filter tier: for arbitrary tables,
+//! queries, quarantine patterns, policies, and mutation interleavings, a
+//! store with quantization enabled must return **bit-identical** answers
+//! to its unquantized twin — on the planar, sharded, durable, and
+//! concurrent surfaces alike. The tier is a filter in front of exact
+//! re-verification, so any divergence at all is a soundness bug, not a
+//! precision tradeoff.
+
+use planar_core::{
+    Cmp, Domain, FeatureTable, IndexConfig, InequalityQuery, ParameterDomain, PlanarIndexSet,
+    QuantPolicy, QuantTier, TopKQuery, VecStore,
+};
+use planar_core::{
+    ConcurrencyConfig, ConcurrentPlanarIndexSet, DurablePlanarIndexSet, ShardConfig,
+    ShardedIndexSet, TempDir, WalOptions,
+};
+use proptest::prelude::*;
+
+/// One mutation against a store (ids are taken modulo the live range so
+/// every generated op applies cleanly to both twins).
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(Vec<f64>),
+    Update(usize, Vec<f64>),
+    Delete(usize),
+}
+
+#[derive(Debug, Clone)]
+struct Scenario {
+    dim: usize,
+    rows: Vec<Vec<f64>>,
+    signs: Vec<bool>,
+    queries: Vec<(Vec<f64>, f64, Cmp)>,
+    ops: Vec<Op>,
+    budget: usize,
+    quarantine_mask: u32,
+    policy: QuantPolicy,
+    k: usize,
+}
+
+/// Mixed magnitudes (1e-3 … 1e3) stress the per-dimension scale fitting;
+/// the sign fold keeps every row in one octant so the indexed path (not
+/// just the scan fallback) carries the filter.
+fn scenario() -> impl Strategy<Value = Scenario> {
+    (1..=4usize)
+        .prop_flat_map(|dim| {
+            (
+                Just(dim),
+                prop::collection::vec(prop::collection::vec(-1e3..1e3_f64, dim), 2..90),
+                prop::collection::vec(any::<bool>(), dim),
+                prop::collection::vec(
+                    (
+                        prop::collection::vec(0.001..10.0_f64, dim),
+                        -3e3..3e3_f64,
+                        any::<bool>(),
+                    ),
+                    1..8,
+                ),
+                prop::collection::vec(
+                    prop_oneof![
+                        prop::collection::vec(-1e3..1e3_f64, dim).prop_map(Op::Insert),
+                        (any::<usize>(), prop::collection::vec(-1e3..1e3_f64, dim))
+                            .prop_map(|(i, row)| Op::Update(i, row)),
+                        any::<usize>().prop_map(Op::Delete),
+                    ],
+                    0..12,
+                ),
+                1..6usize,
+                any::<u32>(),
+                prop_oneof![
+                    Just(QuantPolicy {
+                        tier: QuantTier::I8,
+                        slack: 1.0
+                    }),
+                    Just(QuantPolicy {
+                        tier: QuantTier::I16,
+                        slack: 1.0
+                    }),
+                    Just(QuantPolicy {
+                        tier: QuantTier::I16,
+                        slack: 4.0
+                    }),
+                ],
+                1..6usize,
+            )
+        })
+        .prop_map(
+            |(dim, mut rows, signs, raw_queries, mut ops, budget, quarantine_mask, policy, k)| {
+                let fold = |row: &mut Vec<f64>, signs: &[bool]| {
+                    for (v, &pos) in row.iter_mut().zip(signs) {
+                        *v = if pos { v.abs() } else { -v.abs() };
+                    }
+                };
+                for row in &mut rows {
+                    fold(row, &signs);
+                }
+                for op in &mut ops {
+                    match op {
+                        Op::Insert(row) | Op::Update(_, row) => fold(row, &signs),
+                        Op::Delete(_) => {}
+                    }
+                }
+                let queries = raw_queries
+                    .into_iter()
+                    .map(|(mag, b, leq)| {
+                        let a: Vec<f64> = mag
+                            .iter()
+                            .zip(&signs)
+                            .map(|(&m, &pos)| if pos { m } else { -m })
+                            .collect();
+                        (a, b, if leq { Cmp::Leq } else { Cmp::Geq })
+                    })
+                    .collect();
+                Scenario {
+                    dim,
+                    rows,
+                    signs,
+                    queries,
+                    ops,
+                    budget,
+                    quarantine_mask,
+                    policy,
+                    k,
+                }
+            },
+        )
+}
+
+fn domain(s: &Scenario) -> ParameterDomain {
+    ParameterDomain::new(
+        s.signs
+            .iter()
+            .map(|&pos| {
+                if pos {
+                    Domain::Continuous {
+                        lo: 0.001,
+                        hi: 10.0,
+                    }
+                } else {
+                    Domain::Continuous {
+                        lo: -10.0,
+                        hi: -0.001,
+                    }
+                }
+            })
+            .collect(),
+    )
+    .unwrap()
+}
+
+fn build_planar(s: &Scenario) -> PlanarIndexSet<VecStore> {
+    let table = FeatureTable::from_rows(s.dim, s.rows.clone()).unwrap();
+    let mut set: PlanarIndexSet<VecStore> =
+        PlanarIndexSet::build(table, domain(s), IndexConfig::with_budget(s.budget)).unwrap();
+    for pos in 0..set.num_indices() {
+        if s.quarantine_mask & (1 << (pos % 32)) != 0 {
+            set.quarantine(pos);
+        }
+    }
+    set
+}
+
+fn ineq_queries(s: &Scenario) -> Vec<InequalityQuery> {
+    s.queries
+        .iter()
+        .map(|(a, b, cmp)| InequalityQuery::new(a.clone(), *cmp, *b).unwrap())
+        .collect()
+}
+
+/// Apply one op to a planar set (ids folded into the current table range;
+/// deletes of dead ids are skipped the same way on both twins).
+fn apply_planar(set: &mut PlanarIndexSet<VecStore>, op: &Op) {
+    match op {
+        Op::Insert(row) => {
+            set.insert_point(row).unwrap();
+        }
+        Op::Update(i, row) => {
+            let id = (*i % set.table().len()) as u32;
+            if set.is_live(id) {
+                set.update_point(id, row).unwrap();
+            }
+        }
+        Op::Delete(i) => {
+            let id = (*i % set.table().len()) as u32;
+            if set.is_live(id) {
+                set.delete_point(id).unwrap();
+            }
+        }
+    }
+}
+
+fn assert_same_answers(
+    plain: &PlanarIndexSet<VecStore>,
+    quant: &PlanarIndexSet<VecStore>,
+    s: &Scenario,
+) {
+    let queries = ineq_queries(s);
+    for q in &queries {
+        let p = plain.query(q).unwrap();
+        let x = quant.query(q).unwrap();
+        assert_eq!(p.matches, x.matches, "inequality answers diverged");
+        // The filter never changes what counts as verified work: every
+        // lane it settles or re-verifies was a candidate either way.
+        assert_eq!(p.stats.matched, x.stats.matched);
+        // Scan oracle agrees with both (modulo traversal order).
+        assert_eq!(p.sorted_ids(), plain.query_scan(q).unwrap().sorted_ids());
+    }
+    let batch: Vec<TopKQuery> = queries
+        .iter()
+        .map(|q| TopKQuery::new(q.clone(), s.k).unwrap())
+        .collect();
+    for q in &batch {
+        let p = plain.top_k(q).unwrap();
+        let x = quant.top_k(q).unwrap();
+        assert_eq!(p.neighbors.len(), x.neighbors.len());
+        for (a, b) in p.neighbors.iter().zip(&x.neighbors) {
+            assert_eq!(a.0, b.0);
+            assert_eq!(
+                a.1.to_bits(),
+                b.1.to_bits(),
+                "margins must be bit-identical"
+            );
+        }
+    }
+    let p = plain
+        .query_batch(&queries, &planar_core::ExecutionConfig::serial())
+        .unwrap();
+    let x = quant
+        .query_batch(&queries, &planar_core::ExecutionConfig::serial())
+        .unwrap();
+    for (a, b) in p.iter().zip(&x) {
+        assert_eq!(a.matches, b.matches, "batch answers diverged");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Planar twins: identical builds, one quantized — identical answers
+    /// for inequality, top-k, and batches, before and after an arbitrary
+    /// mutation interleaving (which exercises incremental block re-encode
+    /// on update and appended-block sync on insert).
+    #[test]
+    fn quantized_planar_equals_unquantized(s in scenario()) {
+        let plain = build_planar(&s);
+        let mut quant = build_planar(&s);
+        quant.set_quant_policy(s.policy);
+        assert_same_answers(&plain, &quant, &s);
+
+        let mut plain = plain;
+        for op in &s.ops {
+            apply_planar(&mut plain, op);
+            apply_planar(&mut quant, op);
+        }
+        prop_assert_eq!(quant.quant_policy(), s.policy, "mutations must not drop the policy");
+        assert_same_answers(&plain, &quant, &s);
+    }
+
+    /// Sharded twins, including per-shard policies installed via the
+    /// sharded forwarding API and threshold-gated compaction (which
+    /// retunes each compacted shard independently).
+    #[test]
+    fn quantized_sharded_equals_unquantized(s in scenario()) {
+        let shards = 1 + s.budget % 3;
+        if s.rows.len() < shards * 2 {
+            return;
+        }
+        let build = || -> ShardedIndexSet<VecStore> {
+            ShardedIndexSet::build(
+                FeatureTable::from_rows(s.dim, s.rows.clone()).unwrap(),
+                domain(&s),
+                IndexConfig::with_budget(s.budget),
+                ShardConfig::round_robin(shards),
+            )
+            .unwrap()
+        };
+        let mut plain = build();
+        let mut quant = build();
+        quant.set_quant_policy(s.policy);
+
+        // Global ids are assigned sequentially from the initial row count,
+        // so tracking inserts locally reproduces the valid id range.
+        let mut total = s.rows.len();
+        for op in &s.ops {
+            match op {
+                Op::Insert(row) => {
+                    plain.insert_point(row).unwrap();
+                    quant.insert_point(row).unwrap();
+                    total += 1;
+                }
+                Op::Update(i, row) => {
+                    let id = (*i % total) as u32;
+                    if plain.is_live(id) {
+                        plain.update_point(id, row).unwrap();
+                        quant.update_point(id, row).unwrap();
+                    }
+                }
+                Op::Delete(i) => {
+                    let id = (*i % total) as u32;
+                    if plain.is_live(id) {
+                        plain.delete_point(id).unwrap();
+                        quant.delete_point(id).unwrap();
+                    }
+                }
+            }
+        }
+        plain.compact(0.3);
+        quant.compact(0.3);
+
+        for q in ineq_queries(&s) {
+            let p = plain.query(&q).unwrap();
+            let x = quant.query(&q).unwrap();
+            prop_assert_eq!(p.sorted_ids(), x.sorted_ids(), "sharded answers diverged");
+            let k = TopKQuery::new(q, s.k).unwrap();
+            let pt = plain.top_k(&k).unwrap();
+            let xt = quant.top_k(&k).unwrap();
+            prop_assert_eq!(pt.neighbors.len(), xt.neighbors.len());
+            for (a, b) in pt.neighbors.iter().zip(&xt.neighbors) {
+                prop_assert_eq!(a.0, b.0);
+                prop_assert_eq!(a.1.to_bits(), b.1.to_bits());
+            }
+        }
+    }
+
+    /// Durable twins: the policy survives checkpoint → reopen (persisted
+    /// as a core flag, mirror re-encoded from parsed rows), and answers
+    /// stay identical through WAL-logged mutations on both sides of the
+    /// restart.
+    #[test]
+    fn quantized_durable_equals_unquantized(s in scenario()) {
+        let dir_p = TempDir::new("quant-prop-plain").unwrap();
+        let dir_q = TempDir::new("quant-prop-quant").unwrap();
+        let mut plain =
+            DurablePlanarIndexSet::create(dir_p.path(), build_planar(&s), WalOptions::default())
+                .unwrap();
+        let mut quantized = build_planar(&s);
+        quantized.set_quant_policy(s.policy);
+        let mut quant =
+            DurablePlanarIndexSet::create(dir_q.path(), quantized, WalOptions::default()).unwrap();
+
+        for op in &s.ops {
+            match op {
+                Op::Insert(row) => {
+                    plain.insert_point(row).unwrap();
+                    quant.insert_point(row).unwrap();
+                }
+                Op::Update(i, row) => {
+                    let id = (*i % plain.set().table().len()) as u32;
+                    if plain.set().is_live(id) {
+                        plain.update_point(id, row).unwrap();
+                        quant.update_point(id, row).unwrap();
+                    }
+                }
+                Op::Delete(i) => {
+                    let id = (*i % plain.set().table().len()) as u32;
+                    if plain.set().is_live(id) {
+                        plain.delete_point(id).unwrap();
+                        quant.delete_point(id).unwrap();
+                    }
+                }
+            }
+        }
+        // Checkpoint retunes from the (empty-ish) window; whatever policy
+        // it lands on, answers must not move.
+        plain.checkpoint().unwrap();
+        quant.checkpoint().unwrap();
+        let (plain, _) =
+            PlanarIndexSet::<VecStore>::open_durable(dir_p.path(), WalOptions::default()).unwrap();
+        let (quant, _) =
+            PlanarIndexSet::<VecStore>::open_durable(dir_q.path(), WalOptions::default()).unwrap();
+        for q in ineq_queries(&s) {
+            let p = plain.set().query(&q).unwrap();
+            let x = quant.set().query(&q).unwrap();
+            prop_assert_eq!(p.matches, x.matches, "durable answers diverged after reopen");
+        }
+    }
+
+    /// Concurrent twins: policy installed through the epoch-published
+    /// wrapper (copy-on-publish clones carry the quantized mirror), with
+    /// mutations interleaved between query rounds.
+    #[test]
+    fn quantized_concurrent_equals_unquantized(s in scenario()) {
+        let plain = ConcurrentPlanarIndexSet::new(build_planar(&s), ConcurrencyConfig::default());
+        let quant = ConcurrentPlanarIndexSet::new(build_planar(&s), ConcurrencyConfig::default());
+        quant.set_quant_policy(s.policy);
+
+        let check = |round: &str| {
+            let ps = plain.snapshot();
+            let qs = quant.snapshot();
+            for q in ineq_queries(&s) {
+                let p = ps.query(&q).unwrap();
+                let x = qs.query(&q).unwrap();
+                assert_eq!(p.matches, x.matches, "concurrent answers diverged ({round})");
+            }
+        };
+        check("pre-mutation");
+        for op in &s.ops {
+            match op {
+                Op::Insert(row) => {
+                    plain.insert_point(row).unwrap();
+                    quant.insert_point(row).unwrap();
+                }
+                Op::Update(i, row) => {
+                    let len = plain.snapshot().table().len();
+                    let id = (*i % len) as u32;
+                    if plain.snapshot().is_live(id) {
+                        plain.update_point(id, row).unwrap();
+                        quant.update_point(id, row).unwrap();
+                    }
+                }
+                Op::Delete(i) => {
+                    let len = plain.snapshot().table().len();
+                    let id = (*i % len) as u32;
+                    if plain.snapshot().is_live(id) {
+                        plain.delete_point(id).unwrap();
+                        quant.delete_point(id).unwrap();
+                    }
+                }
+            }
+        }
+        plain.publish();
+        quant.publish();
+        check("post-mutation");
+        // Retune folds the published epoch's observations back in and
+        // re-publishes; whatever tier it picks, answers must hold.
+        quant.retune_quantization(&planar_core::QuantAutotuneConfig::default());
+        check("post-retune");
+    }
+}

@@ -24,6 +24,10 @@ echo "== replication suite (transport fault sweep + failover promotion) =="
 cargo test -p planar-core -q --features fault-injection \
   --test replication_faults --test failover_proptests
 
+echo "== quantization suite (quantized ≡ unquantized twins, both dispatches) =="
+cargo test -p planar-core -q --test quant_proptests
+PLANAR_FORCE_PORTABLE=1 cargo test -p planar-core -q --test quant_proptests
+
 echo "== planar-core unit tests with fault injection compiled in =="
 cargo test -p planar-core -q --features fault-injection --lib
 

@@ -48,9 +48,9 @@ pub mod prelude {
         DirTransport, Domain, DurablePlanarIndexSet, DurableShardedIndexSet, DynamicPlanarIndexSet,
         ExecutionConfig, FailoverConfig, FeatureMap, FeatureTable, FnFeatureMap, FsyncPolicy,
         IdentityMap, IndexConfig, InequalityQuery, Mutation, MutationAck, ParameterDomain,
-        PartitionScheme, PlanarIndexSet, Primary, QueryScratch, ReadConsistency, Replica,
-        ScratchPool, SelectionStrategy, SeqScan, ServedBy, ShardConfig, ShardedIndexSet, TopKQuery,
-        VecStore, WalOptions,
+        PartitionScheme, PlanarIndexSet, Primary, QuantAutotuneConfig, QuantPolicy, QuantTier,
+        QueryScratch, ReadConsistency, Replica, ScratchPool, SelectionStrategy, SeqScan, ServedBy,
+        ShardConfig, ShardedIndexSet, TopKQuery, VecStore, WalOptions,
     };
     pub use planar_geom::{Hyperplane, Normalizer, Octant, Vector};
 }
