@@ -9,6 +9,7 @@ pub mod parallel;
 pub mod quant;
 pub mod realworld;
 pub mod replication;
+pub mod serve;
 pub mod shard;
 pub mod simd;
 pub mod synthetic;
@@ -192,6 +193,12 @@ pub fn registry() -> Vec<Experiment> {
             description:
                 "WAL shipping: replica catch-up rate, steady-state lag, failover time (BENCH_replication.json)",
             run: replication::replication,
+        },
+        Experiment {
+            name: "serve",
+            description:
+                "network serving: coalesced vs per-request dispatch, latency vs load, typed overload degradation (BENCH_serve.json)",
+            run: serve::serve,
         },
         Experiment {
             name: "ablation-selection",

@@ -1,0 +1,124 @@
+//! Shared CRC-64 framing helpers.
+//!
+//! Every durable or wire format in this crate seals its bytes the same
+//! way: a body, then the CRC-64/XZ of everything before it, little-endian.
+//! The WAL frames (`crate::wal`), the `PLNRIDX2`/`PLNRSHD1` snapshot
+//! sections (`crate::persist`), the `PLNRSHP1` replication messages
+//! (`crate::replicate`), and the `PLNRQRY1` query-service protocol
+//! (`planar-serve`) all share the helpers here instead of hand-rolling
+//! the trailer arithmetic per format — one place to get the length
+//! bounds and the checksum right.
+
+use bytes::BufMut;
+
+/// CRC-64/XZ (reflected ECMA-182) of `data` — the integrity checksum every
+/// framed format in this workspace uses.
+pub fn crc64(data: &[u8]) -> u64 {
+    const POLY: u64 = 0xC96C_5795_D787_0F42; // reflected ECMA-182
+    let mut crc = !0u64;
+    for &byte in data {
+        crc ^= byte as u64;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (POLY & mask);
+        }
+    }
+    !crc
+}
+
+/// Number of bytes a CRC-64 seal appends.
+pub const CRC_LEN: usize = 8;
+
+/// Seal a byte buffer in place: append the little-endian CRC-64 of its
+/// current contents. The result round-trips through [`open_sealed`].
+pub fn seal_vec(buf: &mut Vec<u8>) {
+    let crc = crc64(buf);
+    buf.extend_from_slice(&crc.to_le_bytes());
+}
+
+/// Seal a [`bytes::BytesMut`]-style builder in place (same trailer as
+/// [`seal_vec`], for call sites that build with `BufMut`).
+pub fn seal_buf<B: BufMut + AsRef<[u8]>>(buf: &mut B) {
+    let crc = crc64(buf.as_ref());
+    buf.put_u64_le(crc);
+}
+
+/// Verify a sealed region and return its body, or `None` when the region
+/// is too short to hold a seal or its trailing CRC does not match the
+/// body. The caller decides whether `None` means "torn tail", "corrupt
+/// section", or "drop the message".
+pub fn open_sealed(bytes: &[u8]) -> Option<&[u8]> {
+    if bytes.len() < CRC_LEN {
+        return None;
+    }
+    let (body, tail) = bytes.split_at(bytes.len() - CRC_LEN);
+    let stored = u64::from_le_bytes(tail.try_into().ok()?);
+    (crc64(body) == stored).then_some(body)
+}
+
+/// Length-bounded end offset of a sealed region that starts at `start`
+/// and carries `body_len` body bytes inside a buffer of `total` bytes:
+/// `Some(end_of_seal)` only when `start + body_len + CRC_LEN` fits with
+/// no overflow. A corrupted length field can therefore never index past
+/// the buffer or wrap `usize`.
+pub fn sealed_end(start: usize, body_len: usize, total: usize) -> Option<usize> {
+    let end = start.checked_add(body_len)?.checked_add(CRC_LEN)?;
+    (end <= total).then_some(end)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc64_matches_known_vector() {
+        // CRC-64/XZ check value for "123456789".
+        assert_eq!(crc64(b"123456789"), 0x995D_C9BB_DF19_39FA);
+        assert_eq!(crc64(b""), 0);
+    }
+
+    #[test]
+    fn seal_then_open_round_trips() {
+        let mut buf = b"planar".to_vec();
+        seal_vec(&mut buf);
+        assert_eq!(buf.len(), 6 + CRC_LEN);
+        assert_eq!(open_sealed(&buf), Some(&b"planar"[..]));
+    }
+
+    #[test]
+    fn seal_buf_matches_seal_vec() {
+        let mut v = b"same bytes".to_vec();
+        seal_vec(&mut v);
+        let mut b = bytes::BytesMut::new();
+        b.put_slice(b"same bytes");
+        seal_buf(&mut b);
+        assert_eq!(v.as_slice(), b.as_ref());
+    }
+
+    #[test]
+    fn open_rejects_any_flip() {
+        let mut buf = b"payload".to_vec();
+        seal_vec(&mut buf);
+        for i in 0..buf.len() {
+            let mut bad = buf.clone();
+            bad[i] ^= 0x40;
+            assert!(open_sealed(&bad).is_none(), "flip at {i} accepted");
+        }
+        assert!(open_sealed(&buf[..CRC_LEN - 1]).is_none(), "short buffer");
+    }
+
+    #[test]
+    fn empty_body_seals() {
+        let mut buf = Vec::new();
+        seal_vec(&mut buf);
+        assert_eq!(open_sealed(&buf), Some(&[][..]));
+    }
+
+    #[test]
+    fn sealed_end_bounds() {
+        assert_eq!(sealed_end(4, 10, 22), Some(22));
+        assert_eq!(sealed_end(4, 10, 21), None, "one byte short");
+        assert_eq!(sealed_end(usize::MAX, 1, usize::MAX), None, "overflow");
+        assert_eq!(sealed_end(0, usize::MAX, usize::MAX), None, "overflow");
+    }
+}

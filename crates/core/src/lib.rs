@@ -73,6 +73,7 @@
 //! | [`feature`] | the `φ` feature-map abstraction |
 //! | [`stats`] | per-query pruning statistics and serving provenance |
 //! | [`memory`] | heap accounting for the memory experiments (Fig. 13b) |
+//! | [`frame`] | shared CRC-64 framing: the seal/verify helpers every on-disk and wire format uses |
 //! | [`persist`] | crash-safe snapshots: sectioned `PLNRIDX2` format, atomic saves, partial recovery |
 //! | [`wal`] | crash-consistent mutation durability: CRC-framed write-ahead log, group commit, checkpoints, point-in-time recovery |
 //! | [`concurrent`] | epoch-based snapshot isolation: lock-free concurrent reads under a single group-committing writer |
@@ -89,6 +90,7 @@ pub mod conjunction;
 pub mod domain;
 pub mod fault;
 pub mod feature;
+pub mod frame;
 pub mod halfspace;
 pub mod health;
 pub mod index;
@@ -142,7 +144,7 @@ pub use shard::{
     merge_top_k, PartitionScheme, Partitioner, ShardConfig, ShardedIndexSet, ShardedQueryOutcome,
     ShardedTopKOutcome,
 };
-pub use stats::{ExecutionPath, QueryStats, ServedBy, StatsAggregator, StatsSnapshot};
+pub use stats::{ExecutionPath, JsonObject, QueryStats, ServedBy, StatsAggregator, StatsSnapshot};
 pub use store::{BPlusTree, EytzingerStore, KeyStore, VecStore};
 pub use table::{ColSegment, ColumnMajorRows, FeatureTable};
 pub use wal::{

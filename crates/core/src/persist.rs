@@ -77,19 +77,9 @@ const V2_PREAMBLE: usize = 8 + 4 + 8;
 /// [`QuantTier::Off`].
 const FLAG_QUANT_POLICY: u32 = 0x1;
 
-/// CRC-64/XZ for integrity checking (shared with `crate::wal` framing).
-pub(crate) fn crc64(data: &[u8]) -> u64 {
-    const POLY: u64 = 0xC96C_5795_D787_0F42; // reflected ECMA-182
-    let mut crc = !0u64;
-    for &byte in data {
-        crc ^= byte as u64;
-        for _ in 0..8 {
-            let mask = (crc & 1).wrapping_neg();
-            crc = (crc >> 1) ^ (POLY & mask);
-        }
-    }
-    !crc
-}
+/// CRC-64/XZ for integrity checking — the shared framing checksum of
+/// [`crate::frame`], re-exported for this module's call sites.
+pub(crate) use crate::frame::crc64;
 
 fn corrupt(msg: impl Into<String>) -> PlanarError {
     PlanarError::Persist(msg.into())
@@ -418,11 +408,8 @@ fn parse_index_section(section: &[u8]) -> Result<Vec<Entry>> {
     if section.len() < 16 {
         return Err(corrupt("index section too short"));
     }
-    let (payload, tail) = section.split_at(section.len() - 8);
-    let stored_crc = u64::from_le_bytes(tail.try_into().map_err(|_| corrupt("bad section crc"))?);
-    if crc64(payload) != stored_crc {
-        return Err(corrupt("index section checksum mismatch"));
-    }
+    let payload = crate::frame::open_sealed(section)
+        .ok_or_else(|| corrupt("index section checksum mismatch"))?;
     let mut buf = Bytes::copy_from_slice(payload);
     let count = buf.get_u64_le() as usize;
     let total = check_fits(&buf, count, 12, "index entries")?;
@@ -446,24 +433,10 @@ fn load_v2<S: KeyStore>(data: &[u8], recover: bool) -> Result<(PlanarIndexSet<S>
     let flags = buf.get_u32_le();
     let core_len = buf.get_u64_le() as usize;
     let core_start = V2_PREAMBLE;
-    let core_end = core_start
-        .checked_add(core_len)
-        .ok_or_else(|| corrupt("core length overflows"))?;
-    let crc_end = core_end
-        .checked_add(8)
-        .ok_or_else(|| corrupt("core length overflows"))?;
-    if crc_end > data.len() {
-        return Err(corrupt("truncated core section"));
-    }
-    let core = &data[core_start..core_end];
-    let stored_crc = u64::from_le_bytes(
-        data[core_end..crc_end]
-            .try_into()
-            .map_err(|_| corrupt("bad core crc"))?,
-    );
-    if crc64(core) != stored_crc {
-        return Err(corrupt("core section checksum mismatch"));
-    }
+    let crc_end = crate::frame::sealed_end(core_start, core_len, data.len())
+        .ok_or_else(|| corrupt("truncated core section"))?;
+    let core = crate::frame::open_sealed(&data[core_start..crc_end])
+        .ok_or_else(|| corrupt("core section checksum mismatch"))?;
     let parts = parse_core(core, flags)?;
 
     let mut report = RecoveryReport {
@@ -529,11 +502,7 @@ fn load_v2<S: KeyStore>(data: &[u8], recover: bool) -> Result<(PlanarIndexSet<S>
 
 /// Load a `PLNRIDX1` (whole-file CRC) snapshot: all-or-nothing, as written.
 fn load_v1<S: KeyStore>(data: &[u8]) -> Result<(PlanarIndexSet<S>, RecoveryReport)> {
-    let (body, tail) = data.split_at(data.len() - 8);
-    let stored_crc = u64::from_le_bytes(tail.try_into().map_err(|_| corrupt("bad crc"))?);
-    if crc64(body) != stored_crc {
-        return Err(corrupt("checksum mismatch"));
-    }
+    let body = crate::frame::open_sealed(data).ok_or_else(|| corrupt("checksum mismatch"))?;
     let mut buf = Bytes::copy_from_slice(&body[8..]);
     need(&buf, 16, "header")?;
     let _flags = buf.get_u32_le();
@@ -629,8 +598,7 @@ impl<S: KeyStore> PlanarIndexSet<S> {
                 sec.put_f64_le(e.key);
                 sec.put_u32_le(e.id);
             }
-            let crc = crc64(&sec);
-            sec.put_u64_le(crc);
+            crate::frame::seal_buf(&mut sec);
             sections.push(sec);
         }
 
@@ -908,24 +876,10 @@ fn load_sharded<S: KeyStore>(
     let _flags = buf.get_u32_le();
     let core_len = buf.get_u64_le() as usize;
     let core_start = V2_PREAMBLE;
-    let core_end = core_start
-        .checked_add(core_len)
-        .ok_or_else(|| corrupt("core length overflows"))?;
-    let crc_end = core_end
-        .checked_add(8)
-        .ok_or_else(|| corrupt("core length overflows"))?;
-    if crc_end > data.len() {
-        return Err(corrupt("truncated shard core section"));
-    }
-    let core = &data[core_start..core_end];
-    let stored_crc = u64::from_le_bytes(
-        data[core_end..crc_end]
-            .try_into()
-            .map_err(|_| corrupt("bad shard core crc"))?,
-    );
-    if crc64(core) != stored_crc {
-        return Err(corrupt("shard core section checksum mismatch"));
-    }
+    let crc_end = crate::frame::sealed_end(core_start, core_len, data.len())
+        .ok_or_else(|| corrupt("truncated shard core section"))?;
+    let core = crate::frame::open_sealed(&data[core_start..crc_end])
+        .ok_or_else(|| corrupt("shard core section checksum mismatch"))?;
     let (partitioner, assignment) = parse_shard_core(core)?;
 
     let mut sets = Vec::with_capacity(partitioner.shards());
@@ -942,21 +896,10 @@ fn load_sharded<S: KeyStore>(
                 .map_err(|_| corrupt("bad shard section length"))?,
         );
         let len = usize::try_from(len).map_err(|_| corrupt("shard section length overflows"))?;
-        let body_end = header_end
-            .checked_add(len)
-            .filter(|&e| e <= data.len())
+        let sec_end = crate::frame::sealed_end(header_end, len, data.len())
             .ok_or_else(|| corrupt(format!("shard {s} section extends past EOF")))?;
-        let sec_end = body_end
-            .checked_add(8)
-            .filter(|&e| e <= data.len())
-            .ok_or_else(|| corrupt(format!("truncated shard {s} section crc")))?;
-        let body = &data[header_end..body_end];
-        let stored = u64::from_le_bytes(
-            data[body_end..sec_end]
-                .try_into()
-                .map_err(|_| corrupt("bad shard section crc"))?,
-        );
-        if crc64(body) != stored && !recover {
+        let body = &data[header_end..sec_end - crate::frame::CRC_LEN];
+        if crate::frame::open_sealed(&data[header_end..sec_end]).is_none() && !recover {
             return Err(corrupt(format!("shard {s} section checksum mismatch")));
         }
         // Even with a failed outer CRC, the wrapped PLNRIDX2 bytes carry

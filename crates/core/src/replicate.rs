@@ -89,7 +89,7 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 use crate::concurrent::{
     ConcurrencyConfig, ConcurrentDurableShardedIndexSet, ConcurrentShardedIndexSet, Snapshot,
 };
-use crate::persist::{crc64, install_snapshot_bytes, SaveOptions};
+use crate::persist::{install_snapshot_bytes, SaveOptions};
 use crate::shard::ShardedIndexSet;
 use crate::store::{KeyStore, VecStore};
 use crate::wal::{
@@ -423,8 +423,7 @@ impl ShipMessage {
                 buf.put_u64_le(*term);
             }
         }
-        let crc = crc64(&buf);
-        buf.put_u64_le(crc);
+        crate::frame::seal_buf(&mut buf);
         buf.to_vec()
     }
 
@@ -438,9 +437,8 @@ impl ShipMessage {
         if &bytes[..8] != SHIP_MAGIC {
             return Err(shiperr("bad message magic"));
         }
-        let body_end = bytes.len() - 8;
-        let stored = u64::from_le_bytes(bytes[body_end..].try_into().expect("8 bytes"));
-        if crc64(&bytes[..body_end]) != stored {
+        let body_end = bytes.len() - crate::frame::CRC_LEN;
+        if crate::frame::open_sealed(bytes).is_none() {
             return Err(shiperr("message failed its CRC"));
         }
         let kind = bytes[8];

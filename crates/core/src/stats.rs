@@ -651,6 +651,172 @@ pub struct StatsSnapshot {
     pub thread_clamp_events: u64,
 }
 
+/// A minimal serde-free JSON object builder: flat or nested objects with
+/// string, number, and boolean fields, correct escaping, and `null` for
+/// non-finite floats (JSON has no NaN/∞). The `/metrics` endpoint and the
+/// benchmark JSON writers compose their documents from this instead of a
+/// serialization framework the workspace cannot depend on.
+#[derive(Debug, Clone)]
+pub struct JsonObject {
+    buf: String,
+    first: bool,
+}
+
+impl Default for JsonObject {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl JsonObject {
+    /// Start an empty object.
+    pub fn new() -> Self {
+        Self {
+            buf: String::from("{"),
+            first: true,
+        }
+    }
+
+    fn key(&mut self, key: &str) {
+        if !self.first {
+            self.buf.push(',');
+        }
+        self.first = false;
+        self.buf.push('"');
+        self.buf.push_str(&json_escape(key));
+        self.buf.push_str("\":");
+    }
+
+    /// Add an unsigned integer field.
+    pub fn field_u64(mut self, key: &str, v: u64) -> Self {
+        self.key(key);
+        self.buf.push_str(&v.to_string());
+        self
+    }
+
+    /// Add a `usize` field.
+    pub fn field_usize(self, key: &str, v: usize) -> Self {
+        self.field_u64(key, v as u64)
+    }
+
+    /// Add a float field (`null` when not finite — JSON has no NaN/∞).
+    pub fn field_f64(mut self, key: &str, v: f64) -> Self {
+        self.key(key);
+        self.buf.push_str(&json_f64(v));
+        self
+    }
+
+    /// Add a boolean field.
+    pub fn field_bool(mut self, key: &str, v: bool) -> Self {
+        self.key(key);
+        self.buf.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    /// Add a string field (escaped).
+    pub fn field_str(mut self, key: &str, v: &str) -> Self {
+        self.key(key);
+        self.buf.push('"');
+        self.buf.push_str(&json_escape(v));
+        self.buf.push('"');
+        self
+    }
+
+    /// Add a pre-rendered JSON value verbatim (a nested object or array
+    /// the caller already built).
+    pub fn field_raw(mut self, key: &str, raw: &str) -> Self {
+        self.key(key);
+        self.buf.push_str(raw);
+        self
+    }
+
+    /// Close the object and return the JSON text.
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+/// Escape a string for a JSON string literal (quotes, backslashes, and
+/// control characters; everything else passes through as UTF-8).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render a float as a JSON number: Rust's shortest round-trip `Display`
+/// form for finite values, `null` otherwise.
+pub fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        v.to_string()
+    } else {
+        "null".to_string()
+    }
+}
+
+impl StatsSnapshot {
+    /// Serialize the snapshot as a flat JSON object — the `/metrics`
+    /// payload of `planar-serve` and the provenance block of the
+    /// benchmark JSON files. Hand-rolled (no serde in this workspace):
+    /// every field is a number, boolean, or string; field names match the
+    /// struct fields exactly.
+    pub fn to_json(&self) -> String {
+        JsonObject::new()
+            .field_usize("count", self.count)
+            .field_f64("mean_pruning_percentage", self.mean_pruning_percentage)
+            .field_f64("mean_verified", self.mean_verified)
+            .field_f64("mean_intermediate", self.mean_intermediate)
+            .field_f64("mean_matched", self.mean_matched)
+            .field_f64("mean_intersect_pruned", self.mean_intersect_pruned)
+            .field_f64("index_hit_rate", self.index_hit_rate)
+            .field_usize("scan_fallbacks", self.scan_fallbacks)
+            .field_usize("degraded", self.degraded)
+            .field_usize("quarantine_events", self.quarantine_events)
+            .field_usize("deadline_hits", self.deadline_hits)
+            .field_usize("wal_segments", self.wal_segments)
+            .field_u64("wal_unsynced_records", self.wal_unsynced_records)
+            .field_u64("wal_last_lsn", self.wal_last_lsn)
+            .field_u64("wal_appended_lsn", self.wal_appended_lsn)
+            .field_u64("wal_acked_lsn", self.wal_acked_lsn)
+            .field_u64("wal_ack_lag", self.wal_ack_lag)
+            .field_usize("quant_lanes", self.quant_lanes)
+            .field_usize("quant_accepted", self.quant_accepted)
+            .field_usize("quant_rejected", self.quant_rejected)
+            .field_usize("quant_reverified", self.quant_reverified)
+            .field_usize("quant_fallback", self.quant_fallback)
+            .field_str("quant_kernel", self.quant_kernel)
+            .field_u64("epoch", self.epoch)
+            .field_u64("epochs_published", self.epochs_published)
+            .field_usize("epochs_retired_live", self.epochs_retired_live)
+            .field_u64("epochs_reclaimed", self.epochs_reclaimed)
+            .field_u64("epoch_clones", self.epoch_clones)
+            .field_u64("epoch_clone_bytes", self.epoch_clone_bytes)
+            .field_u64("epoch_clone_micros", self.epoch_clone_micros)
+            .field_u64("group_commit_fsyncs", self.group_commit_fsyncs)
+            .field_u64("group_commit_records", self.group_commit_records)
+            .field_u64("group_commit_max_group", self.group_commit_max_group)
+            .field_u64("replication_term", self.replication_term)
+            .field_usize("replication_replicas", self.replication_replicas)
+            .field_u64("replication_min_acked_lsn", self.replication_min_acked_lsn)
+            .field_u64("replication_lag", self.replication_lag)
+            .field_str("kernel", self.kernel)
+            .field_bool("fma_available", self.fma_available)
+            .field_u64("thread_clamp_events", self.thread_clamp_events)
+            .finish()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -811,6 +977,60 @@ mod tests {
             ServedBy::from_path(&ExecutionPath::ScanFallback(ScanReason::DeadlineExceeded));
         assert!(partial.is_partial());
         assert!(!ServedBy::ScanFallback.is_partial());
+    }
+
+    #[test]
+    fn json_object_builder_escapes_and_nests() {
+        let inner = JsonObject::new().field_u64("x", 7).finish();
+        let doc = JsonObject::new()
+            .field_str("name", "a \"quoted\"\\\n\tpath\u{1}")
+            .field_f64("pi", 3.5)
+            .field_f64("nan", f64::NAN)
+            .field_f64("inf", f64::INFINITY)
+            .field_bool("on", true)
+            .field_raw("inner", &inner)
+            .finish();
+        assert_eq!(
+            doc,
+            "{\"name\":\"a \\\"quoted\\\"\\\\\\n\\tpath\\u0001\",\
+             \"pi\":3.5,\"nan\":null,\"inf\":null,\"on\":true,\
+             \"inner\":{\"x\":7}}"
+        );
+        assert_eq!(JsonObject::new().finish(), "{}");
+    }
+
+    #[test]
+    fn snapshot_json_is_complete_and_balanced() {
+        let mut agg = StatsAggregator::new();
+        agg.add(&indexed(100, 40, 20, 40, 30));
+        agg.add(&QueryStats::scan(100, 10, ScanReason::DeadlineExceeded));
+        agg.record_wal(&crate::wal::WalHealth {
+            segments: 2,
+            unsynced_records: 1,
+            last_lsn: 9,
+            appended_lsn: 9,
+            acked_lsn: 7,
+        });
+        let snap = agg.snapshot();
+        let json = snap.to_json();
+        // Structurally an object, no trailing comma, balanced quotes.
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(!json.contains(",}"));
+        assert_eq!(json.matches('"').count() % 2, 0);
+        // Every counter the aggregator computed is present verbatim.
+        assert!(json.contains("\"count\":2"));
+        assert!(json.contains("\"deadline_hits\":1"));
+        assert!(json.contains("\"wal_segments\":2"));
+        assert!(json.contains("\"wal_ack_lag\":2"));
+        assert!(json.contains(&format!("\"index_hit_rate\":{}", snap.index_hit_rate)));
+        assert!(json.contains(&format!("\"kernel\":\"{}\"", snap.kernel)));
+        assert!(json.contains(&format!(
+            "\"fma_available\":{}",
+            if snap.fma_available { "true" } else { "false" }
+        )));
+        // Field count matches the struct: one "key": per field.
+        let fields = json.matches("\":").count();
+        assert_eq!(fields, 40, "snapshot JSON should carry all 40 fields");
     }
 
     #[test]

@@ -384,10 +384,7 @@ fn encode_frame(lsn: Lsn, rec: &WalRecord) -> Vec<u8> {
     head.put_u8(tag);
     frame.extend_from_slice(head.freeze().as_slice());
     frame.extend_from_slice(payload.as_slice());
-    let crc = crate::persist::crc64(&frame);
-    let mut tail = BytesMut::new();
-    tail.put_u64_le(crc);
-    frame.extend_from_slice(tail.freeze().as_slice());
+    crate::frame::seal_vec(&mut frame);
     frame
 }
 
@@ -461,10 +458,7 @@ pub(crate) fn parse_frame(bytes: &[u8]) -> Option<(usize, Lsn, WalRecord)> {
         return None;
     }
     let crc_at = FRAME_HEADER + len;
-    let stored = u64::from_le_bytes(bytes[crc_at..crc_at + 8].try_into().ok()?);
-    if crate::persist::crc64(&bytes[..crc_at]) != stored {
-        return None;
-    }
+    crate::frame::open_sealed(&bytes[..crc_at + crate::frame::CRC_LEN])?;
     let rec = decode_payload(tag, &bytes[FRAME_HEADER..crc_at])?;
     Some((FRAME_OVERHEAD + len, lsn, rec))
 }
@@ -1395,12 +1389,8 @@ pub(crate) fn write_manifest(dir: &Path, m: Manifest) -> Result<()> {
     buf.put_u64_le(m.generation);
     buf.put_u64_le(m.watermark);
     buf.put_u64_le(m.term);
-    let body = buf.freeze();
-    let crc = crate::persist::crc64(body.as_slice());
-    let mut out = body.to_vec();
-    let mut tail = BytesMut::new();
-    tail.put_u64_le(crc);
-    out.extend_from_slice(tail.freeze().as_slice());
+    let mut out = buf.freeze().to_vec();
+    crate::frame::seal_vec(&mut out);
     crate::persist::atomic_save(
         &out,
         &dir.join(MANIFEST_FILE),
@@ -1428,12 +1418,7 @@ pub(crate) fn read_manifest(dir: &Path) -> Result<Manifest> {
     } else {
         return Err(walerr("corrupt CHECKPOINT manifest"));
     };
-    let stored = u64::from_le_bytes(
-        bytes[body_len..body_len + 8]
-            .try_into()
-            .expect("length checked"),
-    );
-    if crate::persist::crc64(&bytes[..body_len]) != stored {
+    if crate::frame::open_sealed(&bytes[..body_len + crate::frame::CRC_LEN]).is_none() {
         return Err(walerr("CHECKPOINT manifest failed its CRC"));
     }
     let mut buf = Bytes::copy_from_slice(&bytes[8..body_len]);

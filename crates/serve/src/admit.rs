@@ -1,0 +1,139 @@
+//! Admission control: bounded queueing and per-tenant token quotas.
+//!
+//! Overload must degrade to *typed* rejections — [`Response::Retry`] when
+//! a tenant outruns its quota, [`Response::Overload`] when the shared
+//! request queue is full — never to unbounded queue growth, latency
+//! collapse, or dropped connections. The checks run before a request is
+//! enqueued, so a rejected request costs the server one frame decode and
+//! nothing else.
+//!
+//! [`Response::Retry`]: crate::wire::Response::Retry
+//! [`Response::Overload`]: crate::wire::Response::Overload
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Admission-control configuration.
+#[derive(Debug, Clone)]
+pub struct AdmissionConfig {
+    /// Deepest the shared request queue may grow before new requests are
+    /// rejected with `Overload` (queue-depth backpressure).
+    pub max_queue: usize,
+    /// Most concurrent connections the server accepts; excess connections
+    /// receive an `Overload` response and are closed.
+    pub max_connections: usize,
+    /// Per-tenant sustained request rate (tokens per second);
+    /// `f64::INFINITY` disables quotas.
+    pub tenant_rate: f64,
+    /// Per-tenant burst capacity (bucket depth).
+    pub tenant_burst: f64,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        Self {
+            max_queue: 1024,
+            max_connections: 256,
+            tenant_rate: f64::INFINITY,
+            tenant_burst: 64.0,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Bucket {
+    tokens: f64,
+    last: Instant,
+}
+
+/// Token-bucket quota state, one bucket per tenant.
+#[derive(Debug)]
+pub struct Admission {
+    cfg: AdmissionConfig,
+    buckets: Mutex<HashMap<u32, Bucket>>,
+}
+
+impl Admission {
+    /// New controller with the given configuration.
+    pub fn new(cfg: AdmissionConfig) -> Self {
+        Self {
+            cfg,
+            buckets: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The configuration this controller enforces.
+    pub fn config(&self) -> &AdmissionConfig {
+        &self.cfg
+    }
+
+    /// Try to admit one request from `tenant`. `Ok(())` consumes one
+    /// token; `Err(backoff)` means the quota is exhausted and the tenant
+    /// should retry after `backoff` (when one token will have refilled).
+    pub fn admit(&self, tenant: u32) -> Result<(), Duration> {
+        if self.cfg.tenant_rate.is_infinite() {
+            return Ok(());
+        }
+        let now = Instant::now();
+        let mut buckets = self.buckets.lock().expect("admission lock poisoned");
+        let bucket = buckets.entry(tenant).or_insert(Bucket {
+            tokens: self.cfg.tenant_burst,
+            last: now,
+        });
+        let dt = now.saturating_duration_since(bucket.last).as_secs_f64();
+        bucket.tokens = (bucket.tokens + dt * self.cfg.tenant_rate).min(self.cfg.tenant_burst);
+        bucket.last = now;
+        if bucket.tokens >= 1.0 {
+            bucket.tokens -= 1.0;
+            Ok(())
+        } else {
+            let deficit = 1.0 - bucket.tokens;
+            Err(Duration::from_secs_f64(deficit / self.cfg.tenant_rate))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn infinite_rate_always_admits() {
+        let adm = Admission::new(AdmissionConfig::default());
+        for _ in 0..10_000 {
+            assert!(adm.admit(1).is_ok());
+        }
+    }
+
+    #[test]
+    fn burst_then_reject_then_refill() {
+        let adm = Admission::new(AdmissionConfig {
+            tenant_rate: 1000.0,
+            tenant_burst: 4.0,
+            ..AdmissionConfig::default()
+        });
+        for _ in 0..4 {
+            assert!(adm.admit(9).is_ok(), "burst should admit");
+        }
+        // The bucket is (almost) empty now; a 1000/s refill cannot have
+        // restored a whole token within this loop, so the next request
+        // is rejected with a sub-millisecond backoff.
+        let backoff = adm.admit(9).expect_err("burst exhausted");
+        assert!(backoff <= Duration::from_millis(1));
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(adm.admit(9).is_ok(), "tokens refill over time");
+    }
+
+    #[test]
+    fn tenants_are_isolated() {
+        let adm = Admission::new(AdmissionConfig {
+            tenant_rate: 0.001, // effectively no refill during the test
+            tenant_burst: 1.0,
+            ..AdmissionConfig::default()
+        });
+        assert!(adm.admit(1).is_ok());
+        assert!(adm.admit(1).is_err(), "tenant 1 exhausted");
+        assert!(adm.admit(2).is_ok(), "tenant 2 has its own bucket");
+    }
+}

@@ -1,0 +1,109 @@
+//! A small blocking client for the `PLNRQRY1` binary protocol.
+//!
+//! One request in flight per connection (the protocol is strictly
+//! request/response per frame); open several clients for concurrency —
+//! the server coalesces across connections, which is exactly what the
+//! micro-batcher exploits.
+
+use crate::wire::{self, Request, Response};
+use planar_core::Cmp;
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// A connected binary-protocol client.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    /// Connect and send the protocol preamble.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        let mut writer = BufWriter::new(stream);
+        writer.write_all(wire::MAGIC)?;
+        writer.flush()?;
+        Ok(Client { reader, writer })
+    }
+
+    /// Send one request and block for its response.
+    pub fn call(&mut self, req: &Request) -> io::Result<Response> {
+        wire::write_frame(&mut self.writer, &wire::encode_request(req))?;
+        let (kind, body) = wire::read_frame(&mut self.reader)?.ok_or_else(|| {
+            io::Error::new(io::ErrorKind::UnexpectedEof, "server closed mid-request")
+        })?;
+        wire::decode_response(kind, &body)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "malformed response frame"))
+    }
+
+    /// Inequality query as tenant 0 with no deadline.
+    pub fn query(&mut self, a: &[f64], cmp: Cmp, b: f64) -> io::Result<Response> {
+        self.query_as(0, None, a, cmp, b)
+    }
+
+    /// Inequality query with explicit tenant and deadline.
+    pub fn query_as(
+        &mut self,
+        tenant: u32,
+        deadline: Option<Duration>,
+        a: &[f64],
+        cmp: Cmp,
+        b: f64,
+    ) -> io::Result<Response> {
+        self.call(&Request::Query {
+            tenant,
+            deadline_us: deadline_us(deadline),
+            a: a.to_vec(),
+            cmp,
+            b,
+        })
+    }
+
+    /// Top-k query as tenant 0 with no deadline.
+    pub fn top_k(&mut self, a: &[f64], cmp: Cmp, b: f64, k: u32) -> io::Result<Response> {
+        self.top_k_as(0, None, a, cmp, b, k)
+    }
+
+    /// Top-k query with explicit tenant and deadline.
+    pub fn top_k_as(
+        &mut self,
+        tenant: u32,
+        deadline: Option<Duration>,
+        a: &[f64],
+        cmp: Cmp,
+        b: f64,
+        k: u32,
+    ) -> io::Result<Response> {
+        self.call(&Request::TopK {
+            tenant,
+            deadline_us: deadline_us(deadline),
+            a: a.to_vec(),
+            cmp,
+            b,
+            k,
+        })
+    }
+
+    /// Fetch the metrics document.
+    pub fn metrics(&mut self) -> io::Result<String> {
+        match self.call(&Request::Metrics)? {
+            Response::Metrics { json } => Ok(json),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected a metrics response, got {other:?}"),
+            )),
+        }
+    }
+}
+
+/// Deadline encoding: 0 = none, so a zero duration rounds up to 1µs
+/// (still "instantly expired" for any real batch).
+fn deadline_us(deadline: Option<Duration>) -> u32 {
+    match deadline {
+        None => 0,
+        Some(d) => (d.as_micros().min(u32::MAX as u128) as u32).max(1),
+    }
+}

@@ -1,0 +1,497 @@
+//! End-to-end serving tests over real loopback sockets: bit-identity
+//! with direct engine calls, deadline → partial propagation, typed
+//! admission rejections, both wire surfaces, and durable-engine metrics.
+
+use planar_core::{
+    Cmp, ConcurrencyConfig, ConcurrentDurableShardedIndexSet, ConcurrentShardedIndexSet,
+    ExecutionConfig, FeatureTable, FsyncPolicy, IndexConfig, InequalityQuery, ParameterDomain,
+    ShardConfig, ShardedIndexSet, TempDir, TopKQuery, VecStore, WalOptions,
+};
+use planar_serve::json::Json;
+use planar_serve::{
+    error_code, AdmissionConfig, BatchPolicy, Client, Request, Response, ServeConfig, Server,
+};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+/// A deterministic sharded engine: `n` rows in 2-d, 3 shards.
+fn build_sharded(n: usize) -> ShardedIndexSet<VecStore> {
+    let rows: Vec<Vec<f64>> = (0..n)
+        .map(|i| vec![1.0 + (i % 17) as f64 * 0.5, 1.0 + (i % 23) as f64 * 0.25])
+        .collect();
+    let table = FeatureTable::from_rows(2, rows).unwrap();
+    let domain = ParameterDomain::uniform_continuous(2, 0.25, 4.0).unwrap();
+    ShardedIndexSet::build(
+        table,
+        domain,
+        IndexConfig::with_budget(4),
+        ShardConfig::round_robin(3),
+    )
+    .unwrap()
+}
+
+fn engine(n: usize) -> Arc<ConcurrentShardedIndexSet<VecStore>> {
+    Arc::new(ConcurrentShardedIndexSet::new(
+        build_sharded(n),
+        ConcurrencyConfig::default(),
+    ))
+}
+
+fn query(b: f64) -> InequalityQuery {
+    InequalityQuery::new(vec![1.0, 1.5], Cmp::Leq, b).unwrap()
+}
+
+#[test]
+fn binary_loopback_is_bit_identical_to_direct_calls() {
+    let eng = engine(500);
+    let server = Server::start(Arc::clone(&eng), ServeConfig::default()).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    let thresholds = [4.0, 7.5, 11.0, 20.0];
+    let direct: Vec<Vec<u32>> = {
+        let qs: Vec<InequalityQuery> = thresholds.iter().map(|&b| query(b)).collect();
+        eng.snapshot()
+            .query_batch_isolated(&qs, &ExecutionConfig::default())
+            .into_iter()
+            .map(|r| r.unwrap().matches)
+            .collect()
+    };
+    for (&b, want) in thresholds.iter().zip(&direct) {
+        match client.query(&[1.0, 1.5], Cmp::Leq, b).unwrap() {
+            Response::Matches { ids, provenance } => {
+                assert_eq!(&ids, want, "served answer must match direct call at b={b}");
+                assert!(!provenance.partial);
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+
+    // Top-k: distances must be bit-exact, not just approximately equal.
+    let tq = TopKQuery::new(query(9.0), 5).unwrap();
+    let direct_nn = eng
+        .snapshot()
+        .top_k_batch_isolated(std::slice::from_ref(&tq), &ExecutionConfig::default())
+        .remove(0)
+        .unwrap()
+        .neighbors;
+    match client.top_k(&[1.0, 1.5], Cmp::Leq, 9.0, 5).unwrap() {
+        Response::Neighbors { neighbors, .. } => {
+            assert_eq!(neighbors.len(), direct_nn.len());
+            for ((id, d), (wid, wd)) in neighbors.iter().zip(&direct_nn) {
+                assert_eq!(id, wid);
+                assert_eq!(d.to_bits(), wd.to_bits(), "distance must be bit-exact");
+            }
+        }
+        other => panic!("unexpected response {other:?}"),
+    }
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_clients_coalesce_and_stay_correct() {
+    let eng = engine(400);
+    let clients = 8;
+    let per_client = 6;
+    let cfg = ServeConfig {
+        batch: BatchPolicy {
+            max_batch: clients,
+            max_wait: Duration::from_millis(200),
+        },
+        ..ServeConfig::default()
+    };
+    let server = Server::start(Arc::clone(&eng), cfg).unwrap();
+    let addr = server.addr();
+
+    // Ground truth per threshold, computed directly.
+    let direct: Vec<Vec<u32>> = (0..per_client)
+        .map(|r| {
+            let q = query(4.0 + r as f64);
+            eng.snapshot()
+                .query_batch_isolated(std::slice::from_ref(&q), &ExecutionConfig::default())
+                .remove(0)
+                .unwrap()
+                .matches
+        })
+        .collect();
+
+    let barrier = Arc::new(Barrier::new(clients));
+    let handles: Vec<_> = (0..clients)
+        .map(|_| {
+            let barrier = Arc::clone(&barrier);
+            let direct = direct.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                barrier.wait();
+                for (r, want) in direct.iter().enumerate() {
+                    match client.query(&[1.0, 1.5], Cmp::Leq, 4.0 + r as f64).unwrap() {
+                        Response::Matches { ids, .. } => assert_eq!(&ids, want),
+                        other => panic!("unexpected response {other:?}"),
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    let metrics = server.metrics();
+    let accepted = metrics.accepted.load(std::sync::atomic::Ordering::Relaxed);
+    let batches = metrics.batches.load(std::sync::atomic::Ordering::Relaxed);
+    let max_batch = metrics.max_batch.load(std::sync::atomic::Ordering::Relaxed);
+    assert_eq!(accepted, (clients * per_client) as u64);
+    assert!(batches > 0);
+    assert!(
+        max_batch >= 2,
+        "concurrent clients should coalesce (max batch {max_batch})"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn deadlines_propagate_to_partial_end_to_end() {
+    let eng = engine(2000);
+    let clients = 4;
+    let cfg = ServeConfig {
+        batch: BatchPolicy {
+            max_batch: clients,
+            max_wait: Duration::from_millis(500),
+        },
+        ..ServeConfig::default()
+    };
+    let server = Server::start(Arc::clone(&eng), cfg).unwrap();
+    let addr = server.addr();
+
+    // Fire a coalesced batch whose every member carries a ~zero deadline:
+    // the batch budget expires before the engine can start most slots.
+    let barrier = Arc::new(Barrier::new(clients));
+    let handles: Vec<_> = (0..clients)
+        .map(|_| {
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                barrier.wait();
+                match client
+                    .query_as(
+                        0,
+                        Some(Duration::from_micros(1)),
+                        &[1.0, 1.5],
+                        Cmp::Leq,
+                        20.0,
+                    )
+                    .unwrap()
+                {
+                    Response::Matches { ids, provenance } => (ids, provenance),
+                    other => panic!("unexpected response {other:?}"),
+                }
+            })
+        })
+        .collect();
+    let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    let served_partials = results.iter().filter(|(_, p)| p.partial).count();
+    assert!(
+        served_partials >= 1,
+        "a ~zero deadline through the server must yield partial answers"
+    );
+    for (ids, p) in &results {
+        if p.partial {
+            assert!(ids.is_empty(), "a deadline placeholder carries no matches");
+        }
+    }
+
+    // The same contract holds on a direct batch call with the same
+    // budget — the server adds transport, not semantics.
+    let qs: Vec<InequalityQuery> = (0..clients).map(|_| query(20.0)).collect();
+    let direct = eng.snapshot().query_batch_isolated(
+        &qs,
+        &ExecutionConfig::default().with_deadline(Duration::from_micros(1)),
+    );
+    let direct_partials = direct
+        .iter()
+        .filter(|r| {
+            r.as_ref().is_ok_and(|o| {
+                o.served_by
+                    .iter()
+                    .any(|sb| matches!(sb, planar_core::ServedBy::Partial { .. }))
+            })
+        })
+        .count();
+    assert!(
+        direct_partials >= 1,
+        "direct calls under the same budget also go partial"
+    );
+
+    // Without deadlines the same queries come back complete and
+    // identical to the direct answers.
+    let mut client = Client::connect(addr).unwrap();
+    let want = eng
+        .snapshot()
+        .query_batch_isolated(&qs[..1], &ExecutionConfig::default())
+        .remove(0)
+        .unwrap()
+        .matches;
+    match client.query(&[1.0, 1.5], Cmp::Leq, 20.0).unwrap() {
+        Response::Matches { ids, provenance } => {
+            assert!(!provenance.partial);
+            assert_eq!(ids, want);
+        }
+        other => panic!("unexpected response {other:?}"),
+    }
+
+    let partial_metric = server
+        .metrics()
+        .partials
+        .load(std::sync::atomic::Ordering::Relaxed);
+    assert!(partial_metric >= served_partials as u64);
+    server.shutdown();
+}
+
+#[test]
+fn tenant_quota_yields_typed_retry() {
+    let eng = engine(100);
+    let cfg = ServeConfig {
+        admission: AdmissionConfig {
+            tenant_rate: 0.001, // effectively no refill during the test
+            tenant_burst: 2.0,
+            ..AdmissionConfig::default()
+        },
+        ..ServeConfig::default()
+    };
+    let server = Server::start(eng, cfg).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    for _ in 0..2 {
+        match client
+            .query_as(5, None, &[1.0, 1.5], Cmp::Leq, 6.0)
+            .unwrap()
+        {
+            Response::Matches { .. } => {}
+            other => panic!("burst should be admitted, got {other:?}"),
+        }
+    }
+    match client
+        .query_as(5, None, &[1.0, 1.5], Cmp::Leq, 6.0)
+        .unwrap()
+    {
+        Response::Retry { retry_after_us } => assert!(retry_after_us >= 1),
+        other => panic!("expected a typed Retry, got {other:?}"),
+    }
+    // Another tenant is unaffected, on the same connection.
+    match client
+        .query_as(6, None, &[1.0, 1.5], Cmp::Leq, 6.0)
+        .unwrap()
+    {
+        Response::Matches { .. } => {}
+        other => panic!("tenant 6 has its own bucket, got {other:?}"),
+    }
+    server.shutdown();
+}
+
+#[test]
+fn full_queue_yields_typed_overload_and_connection_survives() {
+    let eng = engine(100);
+    let cfg = ServeConfig {
+        admission: AdmissionConfig {
+            max_queue: 0, // every enqueue rejected: deterministic overload
+            ..AdmissionConfig::default()
+        },
+        ..ServeConfig::default()
+    };
+    let server = Server::start(eng, cfg).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    match client.query(&[1.0, 1.5], Cmp::Leq, 6.0).unwrap() {
+        Response::Overload { .. } => {}
+        other => panic!("expected a typed Overload, got {other:?}"),
+    }
+    // The connection is still usable — overload is a response, not a hang
+    // or a dropped socket.
+    let json = client.metrics().unwrap();
+    let doc = Json::parse(&json).unwrap();
+    let rejected = doc
+        .get("server")
+        .and_then(|s| s.get("rejected_overload"))
+        .and_then(Json::as_u64)
+        .unwrap();
+    assert_eq!(rejected, 1);
+    server.shutdown();
+}
+
+#[test]
+fn invalid_query_yields_typed_error() {
+    let eng = engine(100);
+    let server = Server::start(eng, ServeConfig::default()).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    // NaN coefficients fail the engine's typed validation.
+    match client.query(&[f64::NAN, 1.0], Cmp::Leq, 1.0).unwrap() {
+        Response::Error { code, .. } => assert_eq!(code, error_code::INVALID_QUERY),
+        other => panic!("expected a typed error, got {other:?}"),
+    }
+    // Unknown frame kinds get a MALFORMED error and the connection
+    // stays framed (CRC was valid, so framing is intact).
+    match client.call(&Request::Metrics) {
+        Ok(Response::Metrics { .. }) => {}
+        other => panic!("connection should survive, got {other:?}"),
+    }
+    server.shutdown();
+}
+
+/// One blocking HTTP exchange over a fresh connection.
+fn http_roundtrip(addr: std::net::SocketAddr, request: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.write_all(request.as_bytes()).unwrap();
+    stream.flush().unwrap();
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).unwrap();
+    let text = String::from_utf8(raw).unwrap();
+    let status: u16 = text
+        .split_whitespace()
+        .nth(1)
+        .expect("status line")
+        .parse()
+        .unwrap();
+    let body = text
+        .split("\r\n\r\n")
+        .nth(1)
+        .unwrap_or_default()
+        .to_string();
+    (status, body)
+}
+
+#[test]
+fn http_surface_matches_binary_answers() {
+    let eng = engine(300);
+    let server = Server::start(Arc::clone(&eng), ServeConfig::default()).unwrap();
+    let addr = server.addr();
+
+    let want = eng
+        .snapshot()
+        .query_batch_isolated(
+            std::slice::from_ref(&query(8.0)),
+            &ExecutionConfig::default(),
+        )
+        .remove(0)
+        .unwrap()
+        .matches;
+
+    let body = r#"{"a": [1.0, 1.5], "cmp": "leq", "b": 8.0}"#;
+    let req = format!(
+        "POST /query HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        body.len(),
+        body
+    );
+    let (status, resp_body) = http_roundtrip(addr, &req);
+    assert_eq!(status, 200, "body: {resp_body}");
+    let doc = Json::parse(&resp_body).unwrap();
+    let ids: Vec<u32> = doc
+        .get("ids")
+        .and_then(Json::as_arr)
+        .unwrap()
+        .iter()
+        .map(|v| v.as_u64().unwrap() as u32)
+        .collect();
+    assert_eq!(ids, want, "HTTP answers must match direct calls");
+    assert_eq!(doc.get("partial"), Some(&Json::Bool(false)));
+
+    // Top-k over HTTP.
+    let body = r#"{"a": [1.0, 1.5], "cmp": "leq", "b": 8.0, "k": 3}"#;
+    let req = format!(
+        "POST /topk HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        body.len(),
+        body
+    );
+    let (status, resp_body) = http_roundtrip(addr, &req);
+    assert_eq!(status, 200, "body: {resp_body}");
+    let doc = Json::parse(&resp_body).unwrap();
+    assert_eq!(
+        doc.get("neighbors").and_then(Json::as_arr).unwrap().len(),
+        3
+    );
+
+    // Metrics scrape: a JSON document with both server and engine blocks.
+    let (status, resp_body) = http_roundtrip(
+        addr,
+        "GET /metrics HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n",
+    );
+    assert_eq!(status, 200);
+    let doc = Json::parse(&resp_body).unwrap();
+    assert!(doc.get("server").and_then(|s| s.get("accepted")).is_some());
+    assert!(doc.get("engine").and_then(|e| e.get("count")).is_some());
+
+    // Malformed body → 400 with a typed code; unknown route → 404.
+    let req = "POST /query HTTP/1.1\r\nHost: x\r\nContent-Length: 2\r\nConnection: close\r\n\r\n{]";
+    let (status, resp_body) = http_roundtrip(addr, req);
+    assert_eq!(status, 400, "body: {resp_body}");
+    let (status, _) = http_roundtrip(
+        addr,
+        "GET /nope HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n",
+    );
+    assert_eq!(status, 404);
+    server.shutdown();
+}
+
+#[test]
+fn http_quota_maps_to_429_with_retry_after() {
+    let eng = engine(100);
+    let cfg = ServeConfig {
+        admission: AdmissionConfig {
+            tenant_rate: 0.001,
+            tenant_burst: 1.0,
+            ..AdmissionConfig::default()
+        },
+        ..ServeConfig::default()
+    };
+    let server = Server::start(eng, cfg).unwrap();
+    let body = r#"{"a": [1.0, 1.5], "cmp": "leq", "b": 6.0, "tenant": 3}"#;
+    let req = format!(
+        "POST /query HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        body.len(),
+        body
+    );
+    let (status, _) = http_roundtrip(server.addr(), &req);
+    assert_eq!(status, 200);
+    let (status, resp_body) = http_roundtrip(server.addr(), &req);
+    assert_eq!(status, 429, "body: {resp_body}");
+    let doc = Json::parse(&resp_body).unwrap();
+    assert!(doc.get("retry_after_us").and_then(Json::as_u64).unwrap() >= 1);
+    server.shutdown();
+}
+
+#[test]
+fn durable_engine_serves_and_reports_lifecycle_metrics() {
+    let dir = TempDir::new("serve_durable").unwrap();
+    let store = ConcurrentDurableShardedIndexSet::create(
+        dir.path(),
+        build_sharded(200),
+        WalOptions::default().fsync(FsyncPolicy::EveryN(4)),
+        ConcurrencyConfig::default(),
+    )
+    .unwrap();
+    let eng = Arc::new(store);
+    let server = Server::start(Arc::clone(&eng), ServeConfig::default()).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    let want = eng
+        .snapshot()
+        .query_batch_isolated(
+            std::slice::from_ref(&query(7.0)),
+            &ExecutionConfig::default(),
+        )
+        .remove(0)
+        .unwrap()
+        .matches;
+    match client.query(&[1.0, 1.5], Cmp::Leq, 7.0).unwrap() {
+        Response::Matches { ids, .. } => assert_eq!(ids, want),
+        other => panic!("unexpected response {other:?}"),
+    }
+
+    // The durable engine's lifecycle hook stamps WAL/epoch state into the
+    // scrape: the engine block is the full 40-field snapshot.
+    let json = client.metrics().unwrap();
+    let doc = Json::parse(&json).unwrap();
+    let engine_block = doc.get("engine").expect("engine block present");
+    assert!(engine_block.get("count").is_some());
+    assert!(engine_block.get("wal_appended_lsn").is_some());
+    server.shutdown();
+}

@@ -28,6 +28,9 @@ echo "== quantization suite (quantized ≡ unquantized twins, both dispatches) =
 cargo test -p planar-core -q --test quant_proptests
 PLANAR_FORCE_PORTABLE=1 cargo test -p planar-core -q --test quant_proptests
 
+echo "== serving suite (loopback wire round trips, coalescing identity, overload) =="
+cargo test -p planar-serve -q
+
 echo "== planar-core unit tests with fault injection compiled in =="
 cargo test -p planar-core -q --features fault-injection --lib
 
