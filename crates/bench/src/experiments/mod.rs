@@ -5,6 +5,7 @@ pub mod concurrent;
 pub mod extensions;
 pub mod fault;
 pub mod movingobj;
+pub mod netrepl;
 pub mod parallel;
 pub mod quant;
 pub mod realworld;
@@ -193,6 +194,12 @@ pub fn registry() -> Vec<Experiment> {
             description:
                 "WAL shipping: replica catch-up rate, steady-state lag, failover time (BENCH_replication.json)",
             run: replication::replication,
+        },
+        Experiment {
+            name: "netrepl",
+            description:
+                "networked replication: TCP vs spool catch-up, quorum vs async ack latency, reconnect-storm recovery (BENCH_netrepl.json)",
+            run: netrepl::netrepl,
         },
         Experiment {
             name: "serve",

@@ -1,0 +1,133 @@
+//! Capped exponential backoff with deterministic jitter.
+//!
+//! One retry policy shared by every layer that heals by waiting:
+//! replication links ([`crate::replicate::Primary`]), the TCP transport's
+//! reconnect loop, and the serving layer's per-tenant `retry_after_us`
+//! hints. The jitter source is a per-instance LCG seeded by the caller,
+//! so many backing-off peers decorrelate their retry storms without any
+//! global randomness — and the same seed replays the same schedule,
+//! which the deterministic fault sweeps rely on.
+
+/// Capped exponential backoff with deterministic jitter.
+///
+/// `failure(now_ms)` schedules the next attempt at
+/// `now + base·2^failures + jitter` (capped at `cap_ms` before jitter,
+/// jitter uniform in `[0, delay/2]`); `ready(now_ms)` gates the attempt;
+/// `success()` resets the schedule. All times are caller-supplied
+/// milliseconds on any monotonic clock.
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    base_ms: u64,
+    cap_ms: u64,
+    failures: u32,
+    next_at_ms: u64,
+    rng: u64,
+}
+
+impl Backoff {
+    /// A fresh schedule: first retry after ~`base_ms`, ceiling `cap_ms`,
+    /// jitter stream seeded by `seed` (any value; 0 is fine).
+    pub fn new(base_ms: u64, cap_ms: u64, seed: u64) -> Self {
+        Self {
+            base_ms: base_ms.max(1),
+            cap_ms: cap_ms.max(base_ms.max(1)),
+            failures: 0,
+            next_at_ms: 0,
+            rng: seed | 1,
+        }
+    }
+
+    /// True when the next attempt is due.
+    pub fn ready(&self, now_ms: u64) -> bool {
+        now_ms >= self.next_at_ms
+    }
+
+    /// Record a successful attempt: the schedule resets to "retry
+    /// immediately".
+    pub fn success(&mut self) {
+        self.failures = 0;
+        self.next_at_ms = 0;
+    }
+
+    /// Record a failed attempt at `now_ms` and schedule the next one.
+    pub fn failure(&mut self, now_ms: u64) {
+        let exp = self.failures.min(16);
+        let delay = self.base_ms.saturating_mul(1u64 << exp).min(self.cap_ms);
+        self.rng = self
+            .rng
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let jitter = self.rng % (delay / 2 + 1);
+        self.next_at_ms = now_ms + delay + jitter;
+        self.failures = self.failures.saturating_add(1);
+    }
+
+    /// Consecutive failures since the last success.
+    pub fn failures(&self) -> u32 {
+        self.failures
+    }
+
+    /// The clock value at which the next attempt becomes ready.
+    pub fn next_at_ms(&self) -> u64 {
+        self.next_at_ms
+    }
+
+    /// Milliseconds left until the next attempt is ready (0 when ready
+    /// now) — the wait a rejected caller should be told to observe.
+    pub fn retry_after_ms(&self, now_ms: u64) -> u64 {
+        self.next_at_ms.saturating_sub(now_ms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn caps_and_resets() {
+        let mut b = Backoff::new(10, 100, 42);
+        assert!(b.ready(0));
+        let mut last = 0;
+        for i in 0..10 {
+            b.failure(1000 * i);
+            let delay = b.next_at_ms() - 1000 * i;
+            assert!(delay >= 10, "delay {delay} below base");
+            assert!(delay <= 150, "delay {delay} above cap + jitter");
+            last = delay;
+        }
+        assert!(last >= 100, "exponential growth should reach the cap");
+        assert_eq!(b.failures(), 10);
+        b.success();
+        assert!(b.ready(0));
+        assert_eq!(b.retry_after_ms(0), 0);
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let mut a = Backoff::new(5, 200, 7);
+        let mut b = Backoff::new(5, 200, 7);
+        for i in 0..8 {
+            a.failure(i * 50);
+            b.failure(i * 50);
+            assert_eq!(a.next_at_ms(), b.next_at_ms());
+        }
+        let mut c = Backoff::new(5, 200, 8);
+        let mut diverged = false;
+        for i in 0..8 {
+            c.failure(i * 50);
+            a.failure(i * 50);
+            diverged |= c.next_at_ms() != a.next_at_ms();
+        }
+        assert!(diverged, "different seeds should jitter differently");
+    }
+
+    #[test]
+    fn retry_after_counts_down() {
+        let mut b = Backoff::new(100, 100, 1);
+        b.failure(1_000);
+        let wait = b.retry_after_ms(1_000);
+        assert!(wait >= 100);
+        assert!(b.retry_after_ms(1_000 + wait) == 0);
+        assert!(b.ready(1_000 + wait));
+    }
+}

@@ -65,7 +65,7 @@ use crate::table::PointId;
 use crate::wal::{
     snapshot_path, sweep_snapshots, validate_batch, validate_row, write_manifest,
     DurablePlanarIndexSet, DurableShardedIndexSet, FsyncPolicy, GroupCommitQueue, GroupCommitStats,
-    Lsn, Manifest, Mutation, MutationAck, WalHealth, WalOptions, WalRecord,
+    Lsn, Manifest, Mutation, MutationAck, QuorumGate, WalHealth, WalOptions, WalRecord,
 };
 use crate::{PlanarError, Result};
 
@@ -1169,6 +1169,27 @@ impl<S: KeyStore + Clone> ConcurrentDurableShardedIndexSet<S> {
                 staged.set.memory_usage(),
             ));
             staged.dirty = 0;
+        }
+    }
+
+    /// Install a replication [`QuorumGate`] on every shard's commit
+    /// queue: `FsyncPolicy::Always` acknowledgements are then released
+    /// only once the gate confirms the covering LSN (or fail typed with
+    /// [`crate::PlanarError::QuorumTimeout`]). Installed by
+    /// [`crate::replicate::Primary::set_ack_policy`]; the same gate
+    /// instance must be the one the primary publishes replica
+    /// confirmations into.
+    pub fn install_quorum_gate(&self, gate: QuorumGate) {
+        for q in &self.queues {
+            q.set_gate(Some(gate.clone()));
+        }
+    }
+
+    /// Remove any installed quorum gate: acknowledgements revert to
+    /// local-durability-only.
+    pub fn clear_quorum_gate(&self) {
+        for q in &self.queues {
+            q.set_gate(None);
         }
     }
 

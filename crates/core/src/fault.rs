@@ -545,6 +545,321 @@ pub(crate) fn transport_fault_action(this_send: u64) -> Option<TransportFaultKin
     }
 }
 
+// ---------------------------------------------------------------------------
+// Socket-level chaos proxy.
+// ---------------------------------------------------------------------------
+
+/// A one-shot byte-stream fault a [`ChaosProxy`] injects into the
+/// primary→replica direction (see [`ChaosCtl::arm`]). Truncation,
+/// duplication, and silent byte loss all desynchronize the TCP framing
+/// downstream — the transport must detect it, reset, reconnect, and let
+/// retransmission heal the gap; none of them may corrupt applied state.
+#[cfg(any(test, feature = "fault-injection"))]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosFault {
+    /// Deliver only the first `keep` bytes of the chunk, then kill both
+    /// sides of the connection (a peer dying mid-frame).
+    Truncate {
+        /// Bytes of the chunk that arrive before the cut.
+        keep: usize,
+    },
+    /// Kill both sides of the connection without delivering the chunk
+    /// (connection reset).
+    Reset,
+    /// Deliver the chunk twice back to back (duplicate delivery at the
+    /// byte layer — desyncs the length-prefixed framing).
+    Duplicate,
+    /// Silently drop the chunk but keep the connection open (a hole in
+    /// the byte stream — the hardest desync to notice).
+    Drop,
+}
+
+#[cfg(any(test, feature = "fault-injection"))]
+#[derive(Debug)]
+struct ChaosState {
+    partitioned: bool,
+    delay_ms: u64,
+    armed: Option<(u64, ChaosFault)>,
+}
+
+/// Shared control handle for a running [`ChaosProxy`]: flip partitions,
+/// add latency, arm one-shot faults, and kill live connections, all
+/// while traffic flows.
+#[cfg(any(test, feature = "fault-injection"))]
+#[derive(Debug, Clone)]
+pub struct ChaosCtl {
+    state: std::sync::Arc<std::sync::Mutex<ChaosState>>,
+    /// Downstream (target→client) chunks relayed — the fault schedule's
+    /// clock.
+    chunks: std::sync::Arc<AtomicU64>,
+    /// Bumped by [`ChaosCtl::reset_all`]; relay threads die on mismatch.
+    generation: std::sync::Arc<AtomicU64>,
+    stop: std::sync::Arc<std::sync::atomic::AtomicBool>,
+}
+
+#[cfg(any(test, feature = "fault-injection"))]
+impl ChaosCtl {
+    fn lock(&self) -> std::sync::MutexGuard<'_, ChaosState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Stall delivery in both directions while `on` (TCP backpressure —
+    /// connections survive and traffic resumes on heal).
+    pub fn set_partitioned(&self, on: bool) {
+        self.lock().partitioned = on;
+    }
+
+    /// Delay every relayed chunk by `ms` milliseconds.
+    pub fn set_delay_ms(&self, ms: u64) {
+        self.lock().delay_ms = ms;
+    }
+
+    /// Arm `fault` to fire on downstream chunk number `at_chunk`
+    /// (0-based, see [`ChaosCtl::chunks`]); one-shot, like
+    /// [`arm_transport_fault`].
+    pub fn arm(&self, at_chunk: u64, fault: ChaosFault) {
+        self.lock().armed = Some((at_chunk, fault));
+    }
+
+    /// Downstream chunks relayed so far.
+    pub fn chunks(&self) -> u64 {
+        self.chunks.load(Ordering::Relaxed)
+    }
+
+    /// Kill every live proxied connection (both sides). New connections
+    /// keep being accepted — this is the reconnect-storm lever.
+    pub fn reset_all(&self) {
+        self.generation.fetch_add(1, Ordering::SeqCst);
+    }
+
+    fn stopped(&self) -> bool {
+        self.stop.load(Ordering::Acquire)
+    }
+
+    /// Consume the armed fault if `chunk` is its trigger.
+    fn take_fault(&self, chunk: u64) -> Option<ChaosFault> {
+        let mut st = self.lock();
+        match st.armed {
+            Some((at, fault)) if chunk >= at => {
+                st.armed = None;
+                Some(fault)
+            }
+            _ => None,
+        }
+    }
+}
+
+/// A TCP relay standing between a replica and its primary's serve
+/// listener, injecting socket-level chaos on command: partitions,
+/// latency, mid-frame truncation, connection resets, duplicated bytes,
+/// and silent byte loss (see [`ChaosFault`], [`ChaosCtl`]). Faults are
+/// injected on the primary→replica (downstream) direction, where the
+/// replication payload flows.
+///
+/// Point a `TcpTransport` at [`ChaosProxy::addr`] instead of the real
+/// listener; the proxy dials `target` once per inbound connection and
+/// relays both directions until told otherwise. Dropping the proxy stops
+/// the listener and kills live connections.
+#[cfg(any(test, feature = "fault-injection"))]
+#[derive(Debug)]
+pub struct ChaosProxy {
+    addr: std::net::SocketAddr,
+    ctl: ChaosCtl,
+    accept: Option<std::thread::JoinHandle<()>>,
+}
+
+#[cfg(any(test, feature = "fault-injection"))]
+impl ChaosProxy {
+    /// Start a proxy on an ephemeral localhost port relaying to
+    /// `target`.
+    ///
+    /// # Errors
+    ///
+    /// `PlanarError::Persist` when the listener cannot bind.
+    pub fn start(target: std::net::SocketAddr) -> crate::Result<Self> {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::{Arc, Mutex};
+        let listener = std::net::TcpListener::bind(("127.0.0.1", 0))
+            .map_err(|e| crate::PlanarError::Persist(format!("chaos proxy bind: {e}")))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| crate::PlanarError::Persist(format!("chaos proxy addr: {e}")))?;
+        let ctl = ChaosCtl {
+            state: Arc::new(Mutex::new(ChaosState {
+                partitioned: false,
+                delay_ms: 0,
+                armed: None,
+            })),
+            chunks: Arc::new(AtomicU64::new(0)),
+            generation: Arc::new(AtomicU64::new(0)),
+            stop: Arc::new(AtomicBool::new(false)),
+        };
+        let accept_ctl = ctl.clone();
+        let accept = std::thread::Builder::new()
+            .name("chaos-accept".into())
+            .spawn(move || accept_loop(&listener, target, &accept_ctl))
+            .map_err(|e| crate::PlanarError::Persist(format!("chaos proxy spawn: {e}")))?;
+        Ok(Self {
+            addr,
+            ctl,
+            accept: Some(accept),
+        })
+    }
+
+    /// The address replicas should dial.
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// The shared chaos control handle.
+    pub fn ctl(&self) -> ChaosCtl {
+        self.ctl.clone()
+    }
+}
+
+#[cfg(any(test, feature = "fault-injection"))]
+impl Drop for ChaosProxy {
+    fn drop(&mut self) {
+        self.ctl.stop.store(true, Ordering::Release);
+        self.ctl.reset_all();
+        // Unblock the accept loop with a throwaway connection.
+        let _ = std::net::TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(any(test, feature = "fault-injection"))]
+fn accept_loop(listener: &std::net::TcpListener, target: std::net::SocketAddr, ctl: &ChaosCtl) {
+    while !ctl.stopped() {
+        let Ok((client, _)) = listener.accept() else {
+            continue;
+        };
+        if ctl.stopped() {
+            break;
+        }
+        let Ok(upstream) =
+            std::net::TcpStream::connect_timeout(&target, std::time::Duration::from_secs(1))
+        else {
+            continue;
+        };
+        let gen = ctl.generation.load(Ordering::SeqCst);
+        // client→target carries replica hellos/acks; target→client
+        // carries the replicated payload and takes the injected faults.
+        spawn_relay(&client, &upstream, ctl, gen, false);
+        spawn_relay(&upstream, &client, ctl, gen, true);
+    }
+}
+
+#[cfg(any(test, feature = "fault-injection"))]
+fn spawn_relay(
+    from: &std::net::TcpStream,
+    to: &std::net::TcpStream,
+    ctl: &ChaosCtl,
+    gen: u64,
+    downstream: bool,
+) {
+    let (Ok(from), Ok(to)) = (from.try_clone(), to.try_clone()) else {
+        let _ = from.shutdown(std::net::Shutdown::Both);
+        let _ = to.shutdown(std::net::Shutdown::Both);
+        return;
+    };
+    let ctl = ctl.clone();
+    let name = if downstream { "chaos-down" } else { "chaos-up" };
+    let _ = std::thread::Builder::new()
+        .name(name.into())
+        .spawn(move || relay_pump(from, to, &ctl, gen, downstream));
+}
+
+/// Relay one direction chunk by chunk, applying the chaos schedule.
+/// Exits (shutting both sockets down so the sibling relay exits too) on
+/// EOF, socket error, injected kill, [`ChaosCtl::reset_all`], or proxy
+/// stop.
+#[cfg(any(test, feature = "fault-injection"))]
+fn relay_pump(
+    mut from: std::net::TcpStream,
+    mut to: std::net::TcpStream,
+    ctl: &ChaosCtl,
+    gen: u64,
+    downstream: bool,
+) {
+    use std::time::Duration;
+    let _ = from.set_read_timeout(Some(Duration::from_millis(20)));
+    let kill = |from: &std::net::TcpStream, to: &std::net::TcpStream| {
+        let _ = from.shutdown(std::net::Shutdown::Both);
+        let _ = to.shutdown(std::net::Shutdown::Both);
+    };
+    let mut buf = [0u8; 16 * 1024];
+    loop {
+        if ctl.stopped() || ctl.generation.load(Ordering::SeqCst) != gen {
+            kill(&from, &to);
+            return;
+        }
+        let n = match from.read(&mut buf) {
+            Ok(0) => {
+                kill(&from, &to);
+                return;
+            }
+            Ok(n) => n,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => {
+                kill(&from, &to);
+                return;
+            }
+        };
+        // A partition stalls delivery without closing anything: we stop
+        // relaying (and soon stop reading), and TCP backpressure does
+        // the rest. Healing resumes mid-stream with nothing lost.
+        while ctl.lock().partitioned {
+            if ctl.stopped() || ctl.generation.load(Ordering::SeqCst) != gen {
+                kill(&from, &to);
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let delay = ctl.lock().delay_ms;
+        if delay > 0 {
+            std::thread::sleep(Duration::from_millis(delay));
+        }
+        let fault = if downstream {
+            let chunk = ctl.chunks.fetch_add(1, Ordering::Relaxed);
+            ctl.take_fault(chunk)
+        } else {
+            None
+        };
+        let chunk = &buf[..n];
+        match fault {
+            None => {
+                if to.write_all(chunk).is_err() {
+                    kill(&from, &to);
+                    return;
+                }
+            }
+            Some(ChaosFault::Truncate { keep }) => {
+                let _ = to.write_all(&chunk[..keep.min(n)]);
+                kill(&from, &to);
+                return;
+            }
+            Some(ChaosFault::Reset) => {
+                kill(&from, &to);
+                return;
+            }
+            Some(ChaosFault::Duplicate) => {
+                if to.write_all(chunk).is_err() || to.write_all(chunk).is_err() {
+                    kill(&from, &to);
+                    return;
+                }
+            }
+            Some(ChaosFault::Drop) => {}
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

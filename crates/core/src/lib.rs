@@ -79,12 +79,14 @@
 //! | [`concurrent`] | epoch-based snapshot isolation: lock-free concurrent reads under a single group-committing writer |
 //! | [`replicate`] | WAL-shipping replication: snapshot install, segment tailing, LSN-bounded follower reads, failover promotion |
 //! | [`health`] | index self-verification and the quarantine-and-degrade lifecycle |
-//! | [`fault`] | fault injection: deterministic corruptions, a faulty IO layer, panic triggers |
+//! | [`backoff`] | shared capped-exponential retry backoff with deterministic jitter |
+//! | [`fault`] | fault injection: deterministic corruptions, a faulty IO layer, panic triggers, a socket-level chaos proxy |
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
 pub mod adaptive;
+pub mod backoff;
 pub mod concurrent;
 pub mod conjunction;
 pub mod domain;
@@ -111,6 +113,7 @@ pub mod table;
 pub mod wal;
 
 pub use adaptive::{AdaptiveConfig, AdaptivePlanarIndexSet};
+pub use backoff::Backoff;
 pub use concurrent::{
     ConcurrencyConfig, ConcurrentDurablePlanarIndexSet, ConcurrentDurableShardedIndexSet,
     ConcurrentPlanarIndexSet, ConcurrentShardedIndexSet, EpochCell, EpochStats, Snapshot,
@@ -118,7 +121,7 @@ pub use concurrent::{
 pub use conjunction::{ConjunctionOutcome, ConjunctionQuery};
 pub use domain::{Domain, DomainTracker, ParameterDomain};
 #[cfg(any(test, feature = "fault-injection"))]
-pub use fault::{Corruption, FaultyIo, IoFault, TempDir};
+pub use fault::{ChaosCtl, ChaosFault, ChaosProxy, Corruption, FaultyIo, IoFault, TempDir};
 pub use fault::{SnapshotIo, StdIo};
 pub use feature::{FeatureMap, FnFeatureMap, IdentityMap};
 pub use halfspace::{HalfSpace, HalfSpaceIndex};
@@ -134,8 +137,9 @@ pub use quant::{
 };
 pub use query::{Cmp, InequalityQuery, InvalidQueryReason, TopKQuery};
 pub use replicate::{
-    elect, ChannelTransport, DirTransport, FailoverConfig, FollowerRead, Primary, ReadConsistency,
-    Replica, ReplicaHealth, ReplicationHealth, ReplicationStats, Transport,
+    elect, endpoint_pair, AckPolicy, ChannelTransport, DirTransport, FailoverConfig, FollowerRead,
+    Primary, ReadConsistency, Replica, ReplicaHealth, ReplicationHealth, ReplicationStats,
+    ShipEndpoint, ShipEndpointDriver, TcpLinkOptions, TcpTransport, Transport, SHIP_MAGIC,
 };
 pub use router::AxisReductionRouter;
 pub use scan::SeqScan;
@@ -149,7 +153,7 @@ pub use store::{BPlusTree, EytzingerStore, KeyStore, VecStore};
 pub use table::{ColSegment, ColumnMajorRows, FeatureTable};
 pub use wal::{
     DurablePlanarIndexSet, DurableShardedIndexSet, FsyncPolicy, GroupCommitStats, Lsn, Mutation,
-    MutationAck, WalHealth, WalOptions, WalRecord,
+    MutationAck, QuorumGate, WalHealth, WalOptions, WalRecord,
 };
 
 use planar_geom::GeomError;
@@ -215,6 +219,18 @@ pub enum PlanarError {
         /// The higher term observed from a peer.
         observed: u64,
     },
+    /// A quorum-acknowledged write became locally durable but the required
+    /// number of replicas did not confirm the covering LSN in time (see
+    /// `crate::replicate::AckPolicy::Quorum`). The write IS applied and
+    /// durable on this node; only the quorum guarantee is unmet.
+    QuorumTimeout {
+        /// LSN the write needed confirmed.
+        lsn: Lsn,
+        /// Replicas required to confirm it.
+        required: usize,
+        /// Highest LSN the quorum had confirmed when time ran out.
+        frontier: Lsn,
+    },
 }
 
 impl core::fmt::Display for PlanarError {
@@ -243,6 +259,15 @@ impl core::fmt::Display for PlanarError {
             PlanarError::Fenced { term, observed } => write!(
                 f,
                 "fenced: this node's term {term} was deposed by term {observed}"
+            ),
+            PlanarError::QuorumTimeout {
+                lsn,
+                required,
+                frontier,
+            } => write!(
+                f,
+                "quorum timeout: lsn {lsn} durable locally but only confirmed up to \
+                 {frontier} by the {required} required replica(s)"
             ),
         }
     }

@@ -34,10 +34,15 @@
 //!    set, and publishes **once per batch** — per-record publishing
 //!    would cap catch-up far below the cold-replay rate.
 //! 4. **Heal** — transport sends retry under capped exponential backoff
-//!    with deterministic jitter; a link that stops making ack progress
-//!    is rewound to its acked LSN (duplicates are cheap), and a link
-//!    whose cursor precedes the oldest retained segment is re-seeded
-//!    with a fresh snapshot.
+//!    with deterministic jitter ([`crate::backoff::Backoff`]); a link
+//!    that stops making ack progress is rewound to its acked LSN
+//!    (duplicates are cheap), and a link whose cursor precedes the
+//!    oldest retained segment is re-seeded with a fresh snapshot. A
+//!    replica announces itself with `Hello { term, replica, acked }` on
+//!    attach and after every transport reconnect; a primary that can
+//!    still serve `acked + 1` from its retained log resumes frame
+//!    shipping there, and one that cannot (checkpoint truncation outran
+//!    the replica) re-seeds automatically.
 //! 5. **Fence** — every segment header and manifest carries a **term**.
 //!    A replica that has adopted a higher term rejects lower-term
 //!    traffic with `Reject { term }`; a primary that sees the rejection
@@ -73,6 +78,7 @@
 //! type 3 Heartbeat: term u64 | appended u64 | acked u64
 //! type 4 Ack:       term u64 | replica u32 | acked u64 | applied u64
 //! type 5 Reject:    term u64
+//! type 6 Hello:     term u64 | replica u32 | acked u64
 //! ```
 //!
 //! A `shard` of `u32::MAX` marks a broadcast record (`Compact` /
@@ -81,11 +87,16 @@
 
 use std::collections::{BTreeMap, VecDeque};
 use std::fs;
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpStream};
 use std::path::{Path, PathBuf};
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
+use crate::backoff::Backoff;
 use crate::concurrent::{
     ConcurrencyConfig, ConcurrentDurableShardedIndexSet, ConcurrentShardedIndexSet, Snapshot,
 };
@@ -94,17 +105,22 @@ use crate::shard::ShardedIndexSet;
 use crate::store::{KeyStore, VecStore};
 use crate::wal::{
     init_shard_wals, parse_frame, read_manifest, shard_wal_dir, snapshot_path, wal_root,
-    write_manifest, DurableShardedIndexSet, Lsn, Manifest, TailedFrame, WalOptions, WalRecord,
-    WalTailer, WalWriter,
+    write_manifest, DurableShardedIndexSet, Lsn, Manifest, Mutation, MutationAck, QuorumGate,
+    TailedFrame, WalOptions, WalRecord, WalTailer, WalWriter,
 };
 use crate::{PlanarError, Result};
 
-const SHIP_MAGIC: &[u8; 8] = b"PLNRSHP1";
+/// The 8-byte banner/magic of every ship-protocol message. A TCP client
+/// also writes it once per connection before its first framed message,
+/// which is how the serve listener's protocol sniff routes the
+/// connection to replication (see `planar-serve`).
+pub const SHIP_MAGIC: &[u8; 8] = b"PLNRSHP1";
 const MSG_SNAPSHOT: u8 = 1;
 const MSG_FRAMES: u8 = 2;
 const MSG_HEARTBEAT: u8 = 3;
 const MSG_ACK: u8 = 4;
 const MSG_REJECT: u8 = 5;
+const MSG_HELLO: u8 = 6;
 
 /// `shard` sentinel for records broadcast to every shard's WAL
 /// (`Compact`, `Checkpoint`): shipped once, expanded on apply.
@@ -144,6 +160,23 @@ pub trait Transport: Send + std::fmt::Debug {
     ///
     /// [`PlanarError::Persist`] on transport failure.
     fn recv(&mut self) -> Result<Option<Vec<u8>>>;
+
+    /// False once the pipe is permanently closed: the peer went away and
+    /// this transport will never deliver again. [`Primary::pump`] reaps
+    /// links whose transports report disconnection. In-process and spool
+    /// transports never close.
+    fn connected(&self) -> bool {
+        true
+    }
+
+    /// A counter that advances every time the transport transparently
+    /// re-established its underlying connection. A [`Replica`] watches
+    /// it to re-announce itself (`Hello`) after each reconnect, since the
+    /// remote end may have lost all per-connection state. Transports
+    /// that never reconnect return a constant.
+    fn reconnect_generation(&self) -> u64 {
+        0
+    }
 }
 
 /// In-process [`Transport`]: a shared FIFO. Clones address the same
@@ -331,6 +364,395 @@ impl<T: Transport> Transport for FaultyTransport<T> {
 }
 
 // ---------------------------------------------------------------------------
+// Served endpoints (the server side of a TCP ship connection)
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+struct EndpointShared {
+    inbound: Mutex<VecDeque<Vec<u8>>>,
+    outbound: Mutex<VecDeque<Vec<u8>>>,
+    /// Signaled when `outbound` gains a message or the endpoint closes.
+    wake: Condvar,
+    closed: AtomicBool,
+}
+
+/// The replication-facing half of a served ship connection: a
+/// [`Transport`] whose messages are ferried to/from the peer socket by a
+/// [`ShipEndpointDriver`] on the serving side. Clones share the
+/// connection, so one boxed clone serves as a link's `down` and another
+/// as its `up`. Once the driver closes (socket gone), the endpoint
+/// reports `connected() == false` and [`Primary::pump`] reaps the link.
+#[derive(Debug, Clone)]
+pub struct ShipEndpoint {
+    shared: Arc<EndpointShared>,
+}
+
+impl Transport for ShipEndpoint {
+    fn send(&mut self, msg: Vec<u8>) -> Result<()> {
+        if self.shared.closed.load(Ordering::Acquire) {
+            return Err(shiperr("ship connection closed"));
+        }
+        self.shared
+            .outbound
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push_back(msg);
+        self.shared.wake.notify_all();
+        Ok(())
+    }
+
+    fn recv(&mut self) -> Result<Option<Vec<u8>>> {
+        Ok(self
+            .shared
+            .inbound
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .pop_front())
+    }
+
+    fn connected(&self) -> bool {
+        // Drain what already arrived even after close; reap only when
+        // nothing is left to read.
+        !self.shared.closed.load(Ordering::Acquire)
+            || !self
+                .shared
+                .inbound
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .is_empty()
+    }
+}
+
+/// The socket-facing half of a served ship connection (see
+/// [`ShipEndpoint`]): the connection's reader thread pushes decoded
+/// messages in with [`ShipEndpointDriver::push_inbound`], its writer
+/// thread drains [`ShipEndpointDriver::wait_outbound`], and either side
+/// closes the pair when the socket dies.
+#[derive(Debug, Clone)]
+pub struct ShipEndpointDriver {
+    shared: Arc<EndpointShared>,
+}
+
+impl ShipEndpointDriver {
+    /// Deliver one message received from the socket.
+    pub fn push_inbound(&self, msg: Vec<u8>) {
+        self.shared
+            .inbound
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push_back(msg);
+    }
+
+    /// Take the next outbound message, waiting up to `timeout` for one.
+    /// Returns `None` on timeout or once closed with nothing queued —
+    /// check [`ShipEndpointDriver::is_closed`] to tell them apart.
+    pub fn wait_outbound(&self, timeout: Duration) -> Option<Vec<u8>> {
+        let deadline = Instant::now() + timeout;
+        let mut queue = self
+            .shared
+            .outbound
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(msg) = queue.pop_front() {
+                return Some(msg);
+            }
+            if self.shared.closed.load(Ordering::Acquire) {
+                return None;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (guard, _) = self
+                .shared
+                .wake
+                .wait_timeout(queue, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            queue = guard;
+        }
+    }
+
+    /// Mark the connection dead: senders start failing, the transport
+    /// reports disconnected, and any `wait_outbound` returns.
+    pub fn close(&self) {
+        self.shared.closed.store(true, Ordering::Release);
+        self.shared.wake.notify_all();
+    }
+
+    /// True once [`ShipEndpointDriver::close`] was called.
+    pub fn is_closed(&self) -> bool {
+        self.shared.closed.load(Ordering::Acquire)
+    }
+}
+
+/// Create the two halves of a served ship connection: the
+/// replication-facing [`ShipEndpoint`] (box clones of it as a link's
+/// `down` and `up`) and the socket-facing [`ShipEndpointDriver`].
+pub fn endpoint_pair() -> (ShipEndpoint, ShipEndpointDriver) {
+    let shared = Arc::new(EndpointShared {
+        inbound: Mutex::new(VecDeque::new()),
+        outbound: Mutex::new(VecDeque::new()),
+        wake: Condvar::new(),
+        closed: AtomicBool::new(false),
+    });
+    (
+        ShipEndpoint {
+            shared: Arc::clone(&shared),
+        },
+        ShipEndpointDriver { shared },
+    )
+}
+
+// ---------------------------------------------------------------------------
+// TCP transport (the client side of a TCP ship connection)
+// ---------------------------------------------------------------------------
+
+/// Timeouts and limits for a [`TcpTransport`] link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TcpLinkOptions {
+    /// TCP connect timeout.
+    pub connect_timeout: Duration,
+    /// Per-`recv` socket read timeout: an empty socket returns
+    /// `Ok(None)` after at most this long.
+    pub read_timeout: Duration,
+    /// Socket write timeout for `send`.
+    pub write_timeout: Duration,
+    /// First reconnect delay after a connection failure.
+    pub backoff_base_ms: u64,
+    /// Reconnect delay ceiling.
+    pub backoff_cap_ms: u64,
+    /// Largest acceptable framed message (snapshot seeds dominate).
+    /// An inbound length above this is treated as stream desync: the
+    /// connection is reset and re-established.
+    pub max_message: usize,
+}
+
+impl Default for TcpLinkOptions {
+    fn default() -> Self {
+        Self {
+            connect_timeout: Duration::from_secs(1),
+            read_timeout: Duration::from_millis(1),
+            write_timeout: Duration::from_secs(1),
+            backoff_base_ms: 10,
+            backoff_cap_ms: 1_000,
+            max_message: 1 << 30,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct TcpClient {
+    addr: SocketAddr,
+    opts: TcpLinkOptions,
+    stream: Option<TcpStream>,
+    /// Partial inbound frame accumulator.
+    rx: Vec<u8>,
+    backoff: Backoff,
+    epoch: Instant,
+    /// Successful connections so far — the reconnect generation.
+    connects: u64,
+}
+
+impl TcpClient {
+    fn now_ms(&self) -> u64 {
+        self.epoch.elapsed().as_millis() as u64
+    }
+
+    /// Drop the connection (and any partial inbound frame — the peer
+    /// will retransmit above the message layer) and schedule a retry.
+    fn reset(&mut self) {
+        self.stream = None;
+        self.rx.clear();
+        let now = self.now_ms();
+        self.backoff.failure(now);
+    }
+
+    fn ensure_connected(&mut self) -> Result<&mut TcpStream> {
+        if self.stream.is_none() {
+            if !self.backoff.ready(self.now_ms()) {
+                return Err(shiperr("tcp link backing off before reconnect"));
+            }
+            let attempt = (|| -> std::io::Result<TcpStream> {
+                let stream = TcpStream::connect_timeout(&self.addr, self.opts.connect_timeout)?;
+                stream.set_nodelay(true)?;
+                stream.set_read_timeout(Some(self.opts.read_timeout))?;
+                stream.set_write_timeout(Some(self.opts.write_timeout))?;
+                // The protocol banner: the serve listener sniffs these 8
+                // bytes to route this connection to replication.
+                let mut s = stream.try_clone()?;
+                s.write_all(SHIP_MAGIC)?;
+                Ok(stream)
+            })();
+            match attempt {
+                Ok(stream) => {
+                    self.stream = Some(stream);
+                    self.connects += 1;
+                    self.backoff.success();
+                }
+                Err(e) => {
+                    self.reset();
+                    return Err(shipio("tcp connect", e));
+                }
+            }
+        }
+        Ok(self.stream.as_mut().expect("connected above"))
+    }
+
+    fn send(&mut self, msg: Vec<u8>) -> Result<()> {
+        if msg.len() > self.opts.max_message {
+            return Err(shiperr(format!(
+                "message of {} bytes exceeds the {} byte link cap",
+                msg.len(),
+                self.opts.max_message
+            )));
+        }
+        self.ensure_connected()?;
+        let stream = self.stream.as_mut().expect("connected");
+        let mut framed = Vec::with_capacity(4 + msg.len());
+        framed.extend_from_slice(&(msg.len() as u32).to_le_bytes());
+        framed.extend_from_slice(&msg);
+        if let Err(e) = stream.write_all(&framed) {
+            self.reset();
+            return Err(shipio("tcp send", e));
+        }
+        Ok(())
+    }
+
+    /// Extract one complete framed message from `rx`, or detect desync.
+    fn take_frame(&mut self) -> Result<Option<Vec<u8>>> {
+        if self.rx.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(self.rx[..4].try_into().expect("4 bytes")) as usize;
+        if len < SHIP_MAGIC.len() + 1 || len > self.opts.max_message {
+            self.reset();
+            return Err(shiperr(format!(
+                "tcp stream desynced (framed length {len}); resetting connection"
+            )));
+        }
+        if self.rx.len() < 4 + len {
+            return Ok(None);
+        }
+        let msg: Vec<u8> = self.rx[4..4 + len].to_vec();
+        self.rx.drain(..4 + len);
+        if &msg[..SHIP_MAGIC.len()] != SHIP_MAGIC {
+            // Whatever this is, it is not the next ship message: the
+            // byte stream lost framing (e.g. a truncated write upstream).
+            // Resetting resynchronizes — retransmission heals the loss.
+            self.reset();
+            return Err(shiperr(
+                "tcp stream desynced (bad message magic); resetting connection",
+            ));
+        }
+        Ok(Some(msg))
+    }
+
+    fn recv(&mut self) -> Result<Option<Vec<u8>>> {
+        if let Some(msg) = self.take_frame()? {
+            return Ok(Some(msg));
+        }
+        if self.ensure_connected().is_err() {
+            // Between reconnect attempts an empty link is just empty.
+            return Ok(None);
+        }
+        let mut chunk = [0u8; 64 * 1024];
+        loop {
+            let stream = self.stream.as_mut().expect("connected");
+            match stream.read(&mut chunk) {
+                Ok(0) => {
+                    // Orderly close (or reset made visible as EOF).
+                    self.reset();
+                    return Ok(None);
+                }
+                Ok(n) => {
+                    self.rx.extend_from_slice(&chunk[..n]);
+                    if let Some(msg) = self.take_frame()? {
+                        return Ok(Some(msg));
+                    }
+                    // Keep reading: a partial frame is buffered and the
+                    // socket may already hold the rest.
+                }
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    return Ok(None);
+                }
+                Err(e) => {
+                    self.reset();
+                    return Err(shipio("tcp recv", e));
+                }
+            }
+        }
+    }
+}
+
+/// The client (dialing) side of a TCP ship link: connects to a
+/// `planar-serve` listener, announces itself with the [`SHIP_MAGIC`]
+/// banner, and exchanges `u32`-length-prefixed ship messages over one
+/// socket. Clones share the connection, so one boxed clone serves as a
+/// [`Replica`]'s `down` and another as its `up`.
+///
+/// The link self-heals: connection failures reconnect under capped
+/// exponential deterministic-jitter backoff, stream desync (bad framing
+/// after a fault) resets the connection, and every successful connect
+/// bumps [`Transport::reconnect_generation`] so the replica re-announces
+/// (`Hello`) and the primary resumes or re-seeds it.
+#[derive(Debug, Clone)]
+pub struct TcpTransport {
+    client: Arc<Mutex<TcpClient>>,
+}
+
+impl TcpTransport {
+    /// A lazily-connecting link to `addr` (nothing is dialed until the
+    /// first send/recv).
+    pub fn new(addr: SocketAddr, opts: TcpLinkOptions) -> Self {
+        Self {
+            client: Arc::new(Mutex::new(TcpClient {
+                addr,
+                opts,
+                stream: None,
+                rx: Vec::new(),
+                backoff: Backoff::new(
+                    opts.backoff_base_ms,
+                    opts.backoff_cap_ms,
+                    0xD1B5_4A32_D192_ED03 ^ u64::from(addr.port()),
+                ),
+                epoch: Instant::now(),
+                connects: 0,
+            })),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, TcpClient> {
+        self.client.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Successful connections so far (0 = never connected).
+    pub fn connects(&self) -> u64 {
+        self.lock().connects
+    }
+}
+
+impl Transport for TcpTransport {
+    fn send(&mut self, msg: Vec<u8>) -> Result<()> {
+        self.lock().send(msg)
+    }
+
+    fn recv(&mut self) -> Result<Option<Vec<u8>>> {
+        self.lock().recv()
+    }
+
+    // `connected` stays `true`: the link heals by reconnecting, so the
+    // peer should keep the logical link alive while it does.
+
+    fn reconnect_generation(&self) -> u64 {
+        self.lock().connects
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Wire messages
 // ---------------------------------------------------------------------------
 
@@ -366,6 +788,10 @@ enum ShipMessage {
     },
     /// Fencing: the sender holds `term` and refuses lower-term traffic.
     Reject { term: u64 },
+    /// Replica attach/re-attach announcement: "I have mirrored and
+    /// fsynced up to `acked`; resume me there or re-seed me." Sent on
+    /// first contact and after every transport reconnect.
+    Hello { term: u64, replica: u32, acked: Lsn },
 }
 
 impl ShipMessage {
@@ -421,6 +847,16 @@ impl ShipMessage {
             ShipMessage::Reject { term } => {
                 buf.put_u8(MSG_REJECT);
                 buf.put_u64_le(*term);
+            }
+            ShipMessage::Hello {
+                term,
+                replica,
+                acked,
+            } => {
+                buf.put_u8(MSG_HELLO);
+                buf.put_u64_le(*term);
+                buf.put_u32_le(*replica);
+                buf.put_u64_le(*acked);
             }
         }
         crate::frame::seal_buf(&mut buf);
@@ -508,57 +944,16 @@ impl ShipMessage {
                     term: buf.get_u64_le(),
                 })
             }
+            MSG_HELLO => {
+                need(&buf, 20, "hello")?;
+                Ok(ShipMessage::Hello {
+                    term: buf.get_u64_le(),
+                    replica: buf.get_u32_le(),
+                    acked: buf.get_u64_le(),
+                })
+            }
             other => Err(shiperr(format!("unknown message type {other}"))),
         }
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Backoff
-// ---------------------------------------------------------------------------
-
-/// Capped exponential backoff with deterministic jitter (an LCG seeded
-/// per link, so retry storms from many links decorrelate without any
-/// global randomness source).
-#[derive(Debug)]
-struct Backoff {
-    base_ms: u64,
-    cap_ms: u64,
-    failures: u32,
-    next_at_ms: u64,
-    rng: u64,
-}
-
-impl Backoff {
-    fn new(base_ms: u64, cap_ms: u64, seed: u64) -> Self {
-        Self {
-            base_ms: base_ms.max(1),
-            cap_ms: cap_ms.max(base_ms.max(1)),
-            failures: 0,
-            next_at_ms: 0,
-            rng: seed | 1,
-        }
-    }
-
-    fn ready(&self, now_ms: u64) -> bool {
-        now_ms >= self.next_at_ms
-    }
-
-    fn success(&mut self) {
-        self.failures = 0;
-        self.next_at_ms = 0;
-    }
-
-    fn failure(&mut self, now_ms: u64) {
-        let exp = self.failures.min(16);
-        let delay = self.base_ms.saturating_mul(1u64 << exp).min(self.cap_ms);
-        self.rng = self
-            .rng
-            .wrapping_mul(6364136223846793005)
-            .wrapping_add(1442695040888963407);
-        let jitter = self.rng % (delay / 2 + 1);
-        self.next_at_ms = now_ms + delay + jitter;
-        self.failures = self.failures.saturating_add(1);
     }
 }
 
@@ -682,6 +1077,10 @@ pub struct FailoverConfig {
     /// Replica reorder-buffer bound (staged frames): overflowing it is a
     /// loud divergence error, never silent loss.
     pub reorder_cap: usize,
+    /// How long a quorum-gated acknowledgement waits for replica
+    /// confirmations before failing typed with
+    /// [`PlanarError::QuorumTimeout`] (see [`AckPolicy::Quorum`]).
+    pub quorum_timeout_ms: u64,
 }
 
 impl Default for FailoverConfig {
@@ -693,8 +1092,25 @@ impl Default for FailoverConfig {
             backoff_base_ms: 10,
             backoff_cap_ms: 1_000,
             reorder_cap: 4_096,
+            quorum_timeout_ms: 2_000,
         }
     }
+}
+
+/// When a write on the [`Primary`] is acknowledged to its caller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AckPolicy {
+    /// Local durability only (the `FsyncPolicy` contract as before);
+    /// replication proceeds in the background.
+    #[default]
+    Async,
+    /// The group-commit acknowledgement of a write is additionally held
+    /// until at least `n` replicas confirm (mirror + fsync) the covering
+    /// LSN, or fails typed with [`PlanarError::QuorumTimeout`] after
+    /// [`FailoverConfig::quorum_timeout_ms`]. Gating applies to the
+    /// `FsyncPolicy::Always` acknowledgement path and to
+    /// [`Primary::write_quorum`].
+    Quorum(usize),
 }
 
 /// Counters for one replication endpoint (primary or replica).
@@ -722,6 +1138,10 @@ pub struct ReplicationStats {
     pub snapshots: u64,
     /// Links rewound to their acked LSN after an ack stall.
     pub rewinds: u64,
+    /// Quorum-gated acknowledgements that timed out typed.
+    pub quorum_timeouts: u64,
+    /// Links reaped because their transport disconnected permanently.
+    pub link_drops: u64,
 }
 
 /// Point-in-time replication health, as stamped into
@@ -739,6 +1159,9 @@ pub struct ReplicationHealth {
     pub min_acked_lsn: Lsn,
     /// Largest per-replica lag (`appended − acked`).
     pub max_lag: u64,
+    /// Highest LSN the quorum has confirmed (0 when [`AckPolicy::Async`]
+    /// or no quorum yet).
+    pub quorum_frontier: Lsn,
 }
 
 /// One attached replica as the primary sees it.
@@ -771,6 +1194,9 @@ struct Link {
     shipped: Lsn,
     last_progress_ms: u64,
     needs_seed: bool,
+    /// Ship nothing but heartbeats until the replica's `Hello` arrives
+    /// and tells us whether to resume its frame stream or re-seed it.
+    awaiting_hello: bool,
 }
 
 impl std::fmt::Debug for Link {
@@ -781,6 +1207,7 @@ impl std::fmt::Debug for Link {
             .field("applied", &self.applied)
             .field("shipped", &self.shipped)
             .field("needs_seed", &self.needs_seed)
+            .field("awaiting_hello", &self.awaiting_hello)
             .finish_non_exhaustive()
     }
 }
@@ -792,18 +1219,31 @@ impl std::fmt::Debug for Link {
 /// acks.
 #[derive(Debug)]
 pub struct Primary<S: KeyStore + Clone = VecStore> {
-    store: ConcurrentDurableShardedIndexSet<S>,
+    store: Arc<ConcurrentDurableShardedIndexSet<S>>,
     cfg: FailoverConfig,
     links: Vec<Link>,
     next_link_id: u32,
     last_heartbeat_ms: u64,
     fenced: Option<u64>,
     stats: ReplicationStats,
+    ack_policy: AckPolicy,
+    gate: Option<QuorumGate>,
 }
 
 impl<S: KeyStore + Clone> Primary<S> {
     /// Wrap `store` for replication. No replicas are attached yet.
     pub fn new(store: ConcurrentDurableShardedIndexSet<S>, cfg: FailoverConfig) -> Self {
+        Self::from_shared(Arc::new(store), cfg)
+    }
+
+    /// Wrap an already-shared store — the same `Arc` can simultaneously
+    /// serve queries (e.g. through `planar-serve`, whose `Engine` is
+    /// implemented for `Arc<ConcurrentDurableShardedIndexSet<_>>` via
+    /// deref) while this primary replicates it.
+    pub fn from_shared(
+        store: Arc<ConcurrentDurableShardedIndexSet<S>>,
+        cfg: FailoverConfig,
+    ) -> Self {
         Self {
             store,
             cfg,
@@ -812,6 +1252,8 @@ impl<S: KeyStore + Clone> Primary<S> {
             last_heartbeat_ms: 0,
             fenced: None,
             stats: ReplicationStats::default(),
+            ack_policy: AckPolicy::Async,
+            gate: None,
         }
     }
 
@@ -824,9 +1266,113 @@ impl<S: KeyStore + Clone> Primary<S> {
         &self.store
     }
 
-    /// Consume the wrapper and return the store.
-    pub fn into_store(self) -> ConcurrentDurableShardedIndexSet<S> {
+    /// A shared handle to the store, for serving reads/writes from other
+    /// threads while this primary pumps replication.
+    pub fn shared_store(&self) -> Arc<ConcurrentDurableShardedIndexSet<S>> {
+        Arc::clone(&self.store)
+    }
+
+    /// Consume the wrapper and return the (possibly still shared) store.
+    /// Any installed quorum gate is removed first — without a pump
+    /// publishing confirmations it could only time out.
+    pub fn into_store(self) -> Arc<ConcurrentDurableShardedIndexSet<S>> {
+        self.store.clear_quorum_gate();
         self.store
+    }
+
+    /// The current acknowledgement policy.
+    pub fn ack_policy(&self) -> AckPolicy {
+        self.ack_policy
+    }
+
+    /// Switch the acknowledgement policy. [`AckPolicy::Quorum`] installs
+    /// a [`QuorumGate`] on every shard commit queue: from then on,
+    /// `FsyncPolicy::Always` acknowledgements through the store are
+    /// released only after the quorum confirms the covering LSN (the
+    /// caller must keep [`Primary::pump`] running on some thread, or
+    /// those acks fail typed with [`PlanarError::QuorumTimeout`] —
+    /// that is the contract, not a deadlock). [`AckPolicy::Async`]
+    /// removes the gate.
+    pub fn set_ack_policy(&mut self, policy: AckPolicy) {
+        self.ack_policy = policy;
+        match policy {
+            AckPolicy::Async => {
+                self.gate = None;
+                self.store.clear_quorum_gate();
+            }
+            AckPolicy::Quorum(n) => {
+                let gate = QuorumGate::new(n, self.cfg.quorum_timeout_ms);
+                self.store.install_quorum_gate(gate.clone());
+                self.gate = Some(gate);
+            }
+        }
+    }
+
+    /// True once the quorum has confirmed `lsn` (always false under
+    /// [`AckPolicy::Async`]).
+    pub fn quorum_confirmed(&self, lsn: Lsn) -> bool {
+        self.gate.as_ref().is_some_and(|g| g.confirmed(lsn))
+    }
+
+    /// Highest quorum-confirmed LSN (0 under [`AckPolicy::Async`]).
+    pub fn quorum_frontier(&self) -> Lsn {
+        self.gate.as_ref().map_or(0, |g| g.frontier())
+    }
+
+    /// Apply one mutation and block until the quorum confirms it,
+    /// pumping replication inline — the single-threaded way to issue a
+    /// synchronously-replicated write (servers with a dedicated pump
+    /// thread can instead rely on the gated store acknowledgements).
+    ///
+    /// `now_ms` anchors the pump clock; the wait advances it by real
+    /// elapsed time, so transports with real latency (TCP) work and the
+    /// deterministic tests stay off wall clocks everywhere else.
+    ///
+    /// # Errors
+    ///
+    /// [`PlanarError::QuorumTimeout`] after
+    /// [`FailoverConfig::quorum_timeout_ms`] without confirmation (the
+    /// write **is** applied and locally durable), any store error from
+    /// the apply, [`PlanarError::Fenced`] if a pump observes deposition,
+    /// or [`PlanarError::Persist`] when the policy is not
+    /// [`AckPolicy::Quorum`].
+    pub fn write_quorum(&mut self, m: &Mutation, now_ms: u64) -> Result<MutationAck> {
+        let AckPolicy::Quorum(required) = self.ack_policy else {
+            return Err(shiperr("write_quorum requires AckPolicy::Quorum"));
+        };
+        let ack = match m {
+            Mutation::Insert { row } => MutationAck::Inserted(self.store.insert_point(row)?),
+            Mutation::Update { id, row } => {
+                self.store.update_point(*id, row)?;
+                MutationAck::Updated
+            }
+            Mutation::Delete { id } => {
+                self.store.delete_point(*id)?;
+                MutationAck::Deleted
+            }
+        };
+        // Quorum-acked writes are locally durable before the wait: the
+        // tailer only ships fsynced records, and the timeout contract
+        // promises "applied and durable on this node".
+        self.store.sync()?;
+        let lsn = self.store.wal_health().appended_lsn;
+        let started = Instant::now();
+        loop {
+            let elapsed = started.elapsed().as_millis() as u64;
+            self.pump(now_ms + elapsed)?;
+            if self.quorum_confirmed(lsn) {
+                return Ok(ack);
+            }
+            if elapsed >= self.cfg.quorum_timeout_ms {
+                self.stats.quorum_timeouts += 1;
+                return Err(PlanarError::QuorumTimeout {
+                    lsn,
+                    required,
+                    frontier: self.quorum_frontier(),
+                });
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
     }
 
     /// Attach a replica over a transport pair (`down` carries data to
@@ -834,6 +1380,19 @@ impl<S: KeyStore + Clone> Primary<S> {
     /// latest durable snapshot on the next [`Primary::pump`]. Returns
     /// the link id.
     pub fn add_replica(&mut self, down: Box<dyn Transport>, up: Box<dyn Transport>) -> u32 {
+        self.attach(down, up, false)
+    }
+
+    /// Attach a replica whose durable state is unknown — a network peer
+    /// that just (re)connected. Nothing but heartbeats is shipped until
+    /// its `Hello { acked }` arrives; then the primary either resumes
+    /// its frame stream at `acked + 1` (still retained) or re-seeds it
+    /// (checkpoint truncation outran it). Returns the link id.
+    pub fn add_replica_pending(&mut self, down: Box<dyn Transport>, up: Box<dyn Transport>) -> u32 {
+        self.attach(down, up, true)
+    }
+
+    fn attach(&mut self, down: Box<dyn Transport>, up: Box<dyn Transport>, pending: bool) -> u32 {
         let id = self.next_link_id;
         self.next_link_id += 1;
         let shards = self.store.num_queues();
@@ -853,7 +1412,8 @@ impl<S: KeyStore + Clone> Primary<S> {
             acked_any: false,
             shipped: 0,
             last_progress_ms: 0,
-            needs_seed: true,
+            needs_seed: !pending,
+            awaiting_hello: pending,
         });
         id
     }
@@ -916,12 +1476,18 @@ impl<S: KeyStore + Clone> Primary<S> {
                 .map(|l| appended.saturating_sub(l.acked))
                 .max()
                 .unwrap_or(0),
+            quorum_frontier: self.quorum_frontier(),
         }
     }
 
-    /// Endpoint counters.
+    /// Endpoint counters. `quorum_timeouts` folds in waits that expired
+    /// inside gated store acknowledgements on other threads.
     pub fn stats(&self) -> ReplicationStats {
-        self.stats
+        let mut stats = self.stats;
+        if let Some(gate) = &self.gate {
+            stats.quorum_timeouts += gate.timeouts();
+        }
+        stats
     }
 
     /// One replication turn: drain acks, detect fencing, ship new
@@ -936,6 +1502,10 @@ impl<S: KeyStore + Clone> Primary<S> {
     /// and the caller must stop writing. Transport errors are absorbed
     /// into backoff, not returned.
     pub fn pump(&mut self, now_ms: u64) -> Result<()> {
+        let before = self.links.len();
+        self.links
+            .retain(|l| l.down.connected() && l.up.connected());
+        self.stats.link_drops += (before - self.links.len()) as u64;
         self.drain_acks(now_ms);
         if let Some(observed) = self.fenced {
             return Err(PlanarError::Fenced {
@@ -951,7 +1521,10 @@ impl<S: KeyStore + Clone> Primary<S> {
         }
         let health = self.store.wal_health();
         for link in &mut self.links {
-            if link.needs_seed {
+            if link.awaiting_hello {
+                // Heartbeats only: the replica's Hello decides between
+                // resume and re-seed.
+            } else if link.needs_seed {
                 if link.backoff.ready(now_ms) {
                     match seed_link(&self.store, link, term) {
                         Ok(()) => {
@@ -1006,7 +1579,7 @@ impl<S: KeyStore + Clone> Primary<S> {
                     }
                 }
             }
-            if heartbeat_due && !link.needs_seed {
+            if heartbeat_due && (link.awaiting_hello || !link.needs_seed) {
                 link.outbox.push_back(
                     ShipMessage::Heartbeat {
                         term,
@@ -1038,6 +1611,7 @@ impl<S: KeyStore + Clone> Primary<S> {
 
     fn drain_acks(&mut self, now_ms: u64) {
         let my_term = self.term();
+        let dir = self.store.dir().to_path_buf();
         for link in &mut self.links {
             loop {
                 let raw = match link.up.recv() {
@@ -1071,9 +1645,43 @@ impl<S: KeyStore + Clone> Primary<S> {
                             self.fenced = Some(term);
                         }
                     }
+                    Ok(ShipMessage::Hello { term, acked, .. }) => {
+                        if term > my_term {
+                            self.fenced = Some(term);
+                            continue;
+                        }
+                        link.awaiting_hello = false;
+                        link.last_progress_ms = now_ms;
+                        // Resume the frame stream at acked + 1 when the
+                        // retained log still covers it; otherwise the
+                        // checkpoint truncation outran this replica and
+                        // only a fresh seed can catch it up.
+                        let resumable =
+                            acked > 0 && read_manifest(&dir).is_ok_and(|m| acked >= m.watermark);
+                        if resumable {
+                            link.outbox.clear();
+                            link.tailer.reset(acked + 1);
+                            link.shipped = acked;
+                            link.acked = link.acked.max(acked);
+                            link.acked_any = true;
+                            link.needs_seed = false;
+                        } else {
+                            link.needs_seed = true;
+                        }
+                    }
                     Ok(_) => {}
                     Err(_) => self.stats.corrupt_messages += 1,
                 }
+            }
+        }
+        if let Some(gate) = &self.gate {
+            // The n-th most caught-up replica's acked LSN is the
+            // quorum-confirmed frontier.
+            let required = gate.required();
+            if self.links.len() >= required {
+                let mut acked: Vec<Lsn> = self.links.iter().map(|l| l.acked).collect();
+                acked.sort_unstable_by(|a, b| b.cmp(a));
+                gate.publish(acked[required - 1]);
             }
         }
     }
@@ -1179,6 +1787,10 @@ pub struct Replica<S: KeyStore + Clone = VecStore> {
     hb_at_ms: Option<u64>,
     diverged: Option<String>,
     stats: ReplicationStats,
+    /// The transport reconnect generation our last `Hello` announced;
+    /// `None` before the first. A mismatch (first poll, or the transport
+    /// reconnected underneath us) re-announces.
+    hello_gen: Option<u64>,
 }
 
 impl<S: KeyStore + Clone> Replica<S> {
@@ -1212,7 +1824,20 @@ impl<S: KeyStore + Clone> Replica<S> {
             hb_at_ms: None,
             diverged: None,
             stats: ReplicationStats::default(),
+            hello_gen: None,
         }
+    }
+
+    /// Replace this replica's transports — the reconnect path for
+    /// network links whose connection object cannot heal in place (e.g.
+    /// a fresh server-side ship connection after a failover promotion).
+    /// All replication state (applied/acked watermarks, mirror, term) is
+    /// kept; the next [`Replica::poll`] re-announces with `Hello` so the
+    /// new primary resumes or re-seeds as needed.
+    pub fn rewire(&mut self, down: Box<dyn Transport>, up: Box<dyn Transport>) {
+        self.down = down;
+        self.up = up;
+        self.hello_gen = None;
     }
 
     /// True once a snapshot has been installed and reads can be served.
@@ -1267,6 +1892,26 @@ impl<S: KeyStore + Clone> Replica<S> {
     /// [`Replica::follower_read`] fails too.
     pub fn poll(&mut self, now_ms: u64) -> Result<usize> {
         self.check_diverged()?;
+        // (Re-)announce on first poll and after every transport
+        // reconnect: the primary-side connection state is gone, and the
+        // Hello tells the new one where to resume (or that we need a
+        // seed).
+        let gen = self
+            .down
+            .reconnect_generation()
+            .max(self.up.reconnect_generation());
+        if self.hello_gen != Some(gen) {
+            let hello = ShipMessage::Hello {
+                term: self.term,
+                replica: self.id,
+                acked: if self.state.is_some() { self.acked } else { 0 },
+            };
+            if self.up.send(hello.encode()).is_ok() {
+                self.hello_gen = Some(gen);
+            } else {
+                self.stats.retries += 1;
+            }
+        }
         let mut progressed = false;
         loop {
             let raw = match self.down.recv() {
@@ -1327,7 +1972,9 @@ impl<S: KeyStore + Clone> Replica<S> {
                     self.hb_at_ms = Some(now_ms);
                     progressed = true;
                 }
-                ShipMessage::Ack { .. } | ShipMessage::Reject { .. } => {
+                ShipMessage::Ack { .. }
+                | ShipMessage::Reject { .. }
+                | ShipMessage::Hello { .. } => {
                     // Upstream-only message on the down pipe: a wiring
                     // bug or corruption that still passed the CRC.
                     self.stats.corrupt_messages += 1;
@@ -1742,6 +2389,11 @@ mod tests {
                 applied: 87,
             },
             ShipMessage::Reject { term: 12 },
+            ShipMessage::Hello {
+                term: 5,
+                replica: 2,
+                acked: 77,
+            },
         ];
         for msg in msgs {
             let enc = msg.encode();
@@ -1755,6 +2407,228 @@ mod tests {
             // Truncation is detected.
             assert!(ShipMessage::decode(&enc[..enc.len() - 3]).is_err());
         }
+    }
+
+    #[test]
+    fn write_quorum_confirms_and_times_out_typed() {
+        let _g = serialized();
+        let (_pd, _rd, mut primary, mut replica) = primary_replica(40);
+        let mut now = 0u64;
+        settle(&mut primary, &mut replica, &mut now);
+        assert!(replica.is_seeded());
+
+        primary.set_ack_policy(AckPolicy::Quorum(1));
+        assert_eq!(primary.quorum_frontier(), 0);
+
+        // A quorum write with a responsive replica confirms: poll the
+        // replica on a sidecar thread while write_quorum pumps inline.
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let worker = {
+            let mut replica = replica;
+            std::thread::spawn(move || {
+                let mut now = 1_000_000u64;
+                while !stop2.load(Ordering::Acquire) {
+                    now += 5;
+                    let _ = replica.poll(now);
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                replica
+            })
+        };
+        let ack = primary
+            .write_quorum(
+                &Mutation::Insert {
+                    row: vec![5.0, 5.0],
+                },
+                now,
+            )
+            .unwrap();
+        assert!(matches!(ack, MutationAck::Inserted(_)));
+        let lsn = primary.store().wal_health().appended_lsn;
+        assert!(primary.quorum_confirmed(lsn));
+        assert!(primary.health().quorum_frontier >= lsn);
+        stop.store(true, Ordering::Release);
+        let mut replica = worker.join().unwrap();
+
+        // With the replica unresponsive the same write fails typed —
+        // and IS still applied and durable locally (no third state).
+        let before = primary.store().snapshot().len();
+        primary.cfg = FailoverConfig {
+            quorum_timeout_ms: 50,
+            ..Default::default()
+        };
+        primary.set_ack_policy(AckPolicy::Quorum(1));
+        let err = primary
+            .write_quorum(
+                &Mutation::Insert {
+                    row: vec![6.0, 6.0],
+                },
+                now,
+            )
+            .unwrap_err();
+        match err {
+            PlanarError::QuorumTimeout { lsn, required, .. } => {
+                assert_eq!(required, 1);
+                assert!(lsn > 0);
+            }
+            other => panic!("expected QuorumTimeout, got {other}"),
+        }
+        assert_eq!(primary.store().snapshot().len(), before + 1);
+        assert!(primary.stats().quorum_timeouts >= 1);
+
+        // The replica catches up later; reads heal to identical answers.
+        primary.cfg = FailoverConfig::default();
+        let mut now2 = 2_000_000u64;
+        settle(&mut primary, &mut replica, &mut now2);
+        let follower = replica.follower_read(ReadConsistency::Any).unwrap();
+        for q in probes() {
+            assert_eq!(
+                primary.store().snapshot().query(&q).unwrap().sorted_ids(),
+                follower.snapshot.query(&q).unwrap().sorted_ids()
+            );
+        }
+    }
+
+    #[test]
+    fn quorum_two_replicas_gate_on_slowest_of_quorum() {
+        let _g = serialized();
+        let pdir = TempDir::new("repl_quorum2").unwrap();
+        let rdir = TempDir::new("repl_quorum2_r").unwrap();
+        let opts = WalOptions::default().fsync(FsyncPolicy::EveryN(4));
+        let store = ConcurrentDurableShardedIndexSet::create(
+            pdir.path(),
+            build_sharded(30),
+            opts,
+            ConcurrencyConfig::default(),
+        )
+        .unwrap();
+        let mut primary = Primary::new(store, FailoverConfig::default());
+        let mut replicas = Vec::new();
+        for i in 0..2u32 {
+            let (down_tx, down_rx) = pipe();
+            let (up_tx, up_rx) = pipe();
+            primary.add_replica(down_tx, up_rx);
+            replicas.push(Replica::<VecStore>::new(
+                rdir.path().join(format!("r{i}")),
+                i,
+                down_rx,
+                up_tx,
+                opts,
+                FailoverConfig::default(),
+            ));
+        }
+        primary.set_ack_policy(AckPolicy::Quorum(2));
+        let mut now = 0u64;
+        for _ in 0..64 {
+            now += 200;
+            primary.pump(now).unwrap();
+            for r in &mut replicas {
+                r.poll(now).unwrap();
+            }
+        }
+        primary.store().insert_point(&[9.0, 9.0]).unwrap();
+        primary.store().sync().unwrap();
+        let lsn = primary.store().wal_health().appended_lsn;
+        // Only replica 0 polls: a quorum of 2 must NOT confirm.
+        for _ in 0..8 {
+            now += 200;
+            primary.pump(now).unwrap();
+            replicas[0].poll(now).unwrap();
+            primary.pump(now).unwrap();
+        }
+        assert!(!primary.quorum_confirmed(lsn));
+        // Replica 1 catches up: now it confirms.
+        for _ in 0..8 {
+            now += 200;
+            primary.pump(now).unwrap();
+            replicas[1].poll(now).unwrap();
+            primary.pump(now).unwrap();
+        }
+        assert!(primary.quorum_confirmed(lsn));
+        assert_eq!(primary.quorum_frontier(), lsn);
+    }
+
+    #[test]
+    fn hello_resumes_stream_without_reseed_and_reseeds_after_truncation() {
+        let _g = serialized();
+        let (_pd, rd, mut primary, mut replica) = primary_replica(40);
+        let mut now = 0u64;
+        settle(&mut primary, &mut replica, &mut now);
+        let seeds_before = primary.stats().snapshots;
+
+        for _ in 0..10 {
+            primary.store().insert_point(&[3.0, 3.0]).unwrap();
+        }
+        settle(&mut primary, &mut replica, &mut now);
+        let acked = replica.acked_lsn();
+
+        // Simulate a network reconnect: fresh pipes on both sides, the
+        // primary attaches the link pending and the replica re-wires.
+        let (down_tx, down_rx) = pipe();
+        let (up_tx, up_rx) = pipe();
+        primary.links.clear();
+        primary.add_replica_pending(down_tx, up_rx);
+        replica.rewire(down_rx, up_tx);
+
+        for _ in 0..4 {
+            primary.store().insert_point(&[4.0, 4.0]).unwrap();
+        }
+        settle(&mut primary, &mut replica, &mut now);
+        assert_eq!(
+            primary.stats().snapshots,
+            seeds_before,
+            "a resumable replica must not be re-seeded"
+        );
+        assert!(replica.acked_lsn() > acked);
+
+        // Now truncate history past the replica's watermark: the Hello
+        // can no longer resume and a re-seed must happen automatically.
+        let (down_tx, down_rx) = pipe();
+        let (up_tx, up_rx) = pipe();
+        primary.links.clear();
+        for _ in 0..6 {
+            primary.store().insert_point(&[5.0, 5.0]).unwrap();
+        }
+        primary.checkpoint().unwrap();
+        primary.add_replica_pending(down_tx, up_rx);
+        let stale = Replica::<VecStore>::new(
+            rd.path().join("stale"),
+            7,
+            down_rx,
+            up_tx,
+            WalOptions::default().fsync(FsyncPolicy::EveryN(4)),
+            FailoverConfig::default(),
+        );
+        let mut stale = stale;
+        settle(&mut primary, &mut stale, &mut now);
+        assert!(stale.is_seeded());
+        assert!(primary.stats().snapshots > seeds_before);
+        let follower = stale.follower_read(ReadConsistency::Any).unwrap();
+        for q in probes() {
+            assert_eq!(
+                primary.store().snapshot().query(&q).unwrap().sorted_ids(),
+                follower.snapshot.query(&q).unwrap().sorted_ids()
+            );
+        }
+    }
+
+    #[test]
+    fn disconnected_links_are_reaped() {
+        let _g = serialized();
+        let (_pd, _rd, mut primary, mut replica) = primary_replica(20);
+        let mut now = 0u64;
+        settle(&mut primary, &mut replica, &mut now);
+        assert_eq!(primary.replica_health().len(), 1);
+
+        let (endpoint, driver) = endpoint_pair();
+        primary.add_replica_pending(Box::new(endpoint.clone()), Box::new(endpoint));
+        assert_eq!(primary.replica_health().len(), 2);
+        driver.close();
+        now += 200;
+        primary.pump(now).unwrap();
+        assert_eq!(primary.replica_health().len(), 1);
+        assert_eq!(primary.stats().link_drops, 1);
     }
 
     #[test]
@@ -1778,23 +2652,6 @@ mod tests {
         assert_eq!(rx.recv().unwrap(), Some(vec![8]));
         assert_eq!(rx.recv().unwrap(), Some(vec![9]));
         assert_eq!(rx.recv().unwrap(), None);
-    }
-
-    #[test]
-    fn backoff_caps_and_resets() {
-        let mut b = Backoff::new(10, 100, 42);
-        assert!(b.ready(0));
-        let mut last = 0;
-        for i in 0..10 {
-            b.failure(1000 * i);
-            let delay = b.next_at_ms - 1000 * i;
-            assert!(delay >= 10, "delay {delay} below base");
-            assert!(delay <= 150, "delay {delay} above cap + jitter");
-            last = delay;
-        }
-        assert!(last >= 100, "exponential growth should reach the cap");
-        b.success();
-        assert!(b.ready(0));
     }
 
     #[test]

@@ -246,6 +246,10 @@ pub struct StatsAggregator {
     repl_replicas: usize,
     repl_min_acked_lsn: u64,
     repl_lag: u64,
+    repl_quorum_frontier: u64,
+    repl_quorum_timeouts: u64,
+    repl_link_drops: u64,
+    repl_link_acked: Vec<(u32, u64)>,
 }
 
 impl StatsAggregator {
@@ -361,6 +365,26 @@ impl StatsAggregator {
         self.repl_replicas = h.replicas;
         self.repl_min_acked_lsn = h.min_acked_lsn;
         self.repl_lag = h.max_lag;
+        self.repl_quorum_frontier = h.quorum_frontier;
+    }
+
+    /// Stamp the primary's endpoint counters that matter for quorum
+    /// health monitoring (see [`crate::replicate::ReplicationStats`]).
+    /// Point-in-time: the most recent recording wins.
+    pub fn record_replication_stats(&mut self, s: &crate::replicate::ReplicationStats) {
+        self.repl_recorded = true;
+        self.repl_quorum_timeouts = s.quorum_timeouts;
+        self.repl_link_drops = s.link_drops;
+    }
+
+    /// Stamp the per-link acked-LSN watermarks (see
+    /// [`crate::replicate::Primary::replica_health`]). Point-in-time: the
+    /// most recent recording wins; the snapshot carries them as
+    /// `(link id, acked LSN)` pairs so `/metrics` can expose which
+    /// replica is behind, not just the worst lag.
+    pub fn record_replica_links(&mut self, links: &[crate::replicate::ReplicaHealth]) {
+        self.repl_recorded = true;
+        self.repl_link_acked = links.iter().map(|l| (l.id, l.acked_lsn)).collect();
     }
 
     /// Fold another aggregator into this one — equivalent to having
@@ -412,6 +436,10 @@ impl StatsAggregator {
             self.repl_replicas = other.repl_replicas;
             self.repl_min_acked_lsn = other.repl_min_acked_lsn;
             self.repl_lag = other.repl_lag;
+            self.repl_quorum_frontier = other.repl_quorum_frontier;
+            self.repl_quorum_timeouts = other.repl_quorum_timeouts;
+            self.repl_link_drops = other.repl_link_drops;
+            self.repl_link_acked = other.repl_link_acked.clone();
         }
     }
 
@@ -533,6 +561,10 @@ impl StatsAggregator {
             replication_replicas: self.repl_replicas,
             replication_min_acked_lsn: self.repl_min_acked_lsn,
             replication_lag: self.repl_lag,
+            replication_quorum_frontier: self.repl_quorum_frontier,
+            replication_quorum_timeouts: self.repl_quorum_timeouts,
+            replication_link_drops: self.repl_link_drops,
+            replication_link_acked: self.repl_link_acked.clone(),
             kernel: planar_geom::kernel_name(),
             fma_available: planar_geom::host_has_fma(),
             thread_clamp_events: crate::parallel::thread_clamp_events(),
@@ -641,6 +673,18 @@ pub struct StatsSnapshot {
     /// Largest per-replica lag (primary appended − replica acked) at the
     /// last recording.
     pub replication_lag: u64,
+    /// Highest quorum-confirmed LSN at the last recording (0 under
+    /// `AckPolicy::Async` or before any quorum forms).
+    pub replication_quorum_frontier: u64,
+    /// Quorum-gated acknowledgements that expired typed at the last
+    /// [`StatsAggregator::record_replication_stats`].
+    pub replication_quorum_timeouts: u64,
+    /// Links reaped after their transport disconnected permanently.
+    pub replication_link_drops: u64,
+    /// Per-link `(id, acked LSN)` watermarks at the last
+    /// [`StatsAggregator::record_replica_links`] — which replica is
+    /// behind, not just the worst lag.
+    pub replication_link_acked: Vec<(u32, u64)>,
     /// Dispatched scalar-product kernel (`"avx2"` or `"portable"`).
     pub kernel: &'static str,
     /// Whether the host advertises FMA (never used by the kernels — see the
@@ -810,6 +854,26 @@ impl StatsSnapshot {
             .field_usize("replication_replicas", self.replication_replicas)
             .field_u64("replication_min_acked_lsn", self.replication_min_acked_lsn)
             .field_u64("replication_lag", self.replication_lag)
+            .field_u64(
+                "replication_quorum_frontier",
+                self.replication_quorum_frontier,
+            )
+            .field_u64(
+                "replication_quorum_timeouts",
+                self.replication_quorum_timeouts,
+            )
+            .field_u64("replication_link_drops", self.replication_link_drops)
+            .field_raw("replication_link_acked", &{
+                let mut arr = String::from("[");
+                for (i, (id, acked)) in self.replication_link_acked.iter().enumerate() {
+                    if i > 0 {
+                        arr.push(',');
+                    }
+                    arr.push_str(&format!("{{\"id\":{id},\"acked_lsn\":{acked}}}"));
+                }
+                arr.push(']');
+                arr
+            })
             .field_str("kernel", self.kernel)
             .field_bool("fma_available", self.fma_available)
             .field_u64("thread_clamp_events", self.thread_clamp_events)
@@ -1028,9 +1092,63 @@ mod tests {
             "\"fma_available\":{}",
             if snap.fma_available { "true" } else { "false" }
         )));
+        // No links recorded: the per-link array renders empty.
+        assert!(json.contains("\"replication_link_acked\":[]"));
         // Field count matches the struct: one "key": per field.
         let fields = json.matches("\":").count();
-        assert_eq!(fields, 40, "snapshot JSON should carry all 40 fields");
+        assert_eq!(fields, 44, "snapshot JSON should carry all 44 fields");
+    }
+
+    #[test]
+    fn replication_link_and_quorum_fields_render_and_merge() {
+        let mut agg = StatsAggregator::new();
+        agg.record_replication(&crate::replicate::ReplicationHealth {
+            term: 3,
+            appended_lsn: 20,
+            replicas: 2,
+            min_acked_lsn: 12,
+            max_lag: 8,
+            quorum_frontier: 15,
+        });
+        agg.record_replica_links(&[
+            crate::replicate::ReplicaHealth {
+                id: 0,
+                acked_lsn: 15,
+                applied_lsn: 15,
+                last_progress_ms: 100,
+            },
+            crate::replicate::ReplicaHealth {
+                id: 1,
+                acked_lsn: 12,
+                applied_lsn: 11,
+                last_progress_ms: 80,
+            },
+        ]);
+        let stats = crate::replicate::ReplicationStats {
+            quorum_timeouts: 2,
+            link_drops: 1,
+            ..Default::default()
+        };
+        agg.record_replication_stats(&stats);
+
+        let snap = agg.snapshot();
+        assert_eq!(snap.replication_quorum_frontier, 15);
+        assert_eq!(snap.replication_quorum_timeouts, 2);
+        assert_eq!(snap.replication_link_drops, 1);
+        assert_eq!(snap.replication_link_acked, vec![(0, 15), (1, 12)]);
+        let json = snap.to_json();
+        assert!(json.contains(
+            "\"replication_link_acked\":[{\"id\":0,\"acked_lsn\":15},{\"id\":1,\"acked_lsn\":12}]"
+        ));
+        assert!(json.contains("\"replication_quorum_frontier\":15"));
+
+        // Merge is latest-recording-wins, link vec included.
+        let mut other = StatsAggregator::new();
+        other.merge(&agg);
+        assert_eq!(
+            other.snapshot().replication_link_acked,
+            vec![(0, 15), (1, 12)]
+        );
     }
 
     #[test]

@@ -56,7 +56,9 @@
 use std::fs::{self, File, OpenOptions};
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
-use std::sync::{Condvar, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
@@ -1028,6 +1030,121 @@ impl GroupCommitStats {
     }
 }
 
+/// A shared replication-confirmation frontier that gates group-commit
+/// acknowledgements on quorum replication.
+///
+/// The primary publishes the highest LSN its n-th most caught-up replica
+/// has acknowledged ([`QuorumGate::publish`], monotone); the commit queue
+/// consults the gate in its `FsyncPolicy::Always` acknowledgement path
+/// **after** local durability, so a quorum write's ack is released only
+/// once the covering LSN is both fsynced locally and confirmed by the
+/// required replicas. A waiter that outlives the gate's timeout gets the
+/// typed [`PlanarError::QuorumTimeout`] — the write is applied and locally
+/// durable, only the quorum guarantee is unmet.
+///
+/// Clones share state: install the same gate in every shard queue and in
+/// the `Primary` that publishes confirmations.
+#[derive(Debug, Clone)]
+pub struct QuorumGate {
+    inner: Arc<GateInner>,
+}
+
+#[derive(Debug)]
+struct GateInner {
+    /// Highest LSN confirmed by the required number of replicas.
+    frontier: Mutex<Lsn>,
+    advanced: Condvar,
+    required: usize,
+    timeout: Duration,
+    timeouts: AtomicU64,
+}
+
+impl QuorumGate {
+    /// A gate requiring `required` replica confirmations, releasing
+    /// waiters with [`PlanarError::QuorumTimeout`] after `timeout_ms` of
+    /// no sufficient progress.
+    pub fn new(required: usize, timeout_ms: u64) -> Self {
+        Self {
+            inner: Arc::new(GateInner {
+                frontier: Mutex::new(0),
+                advanced: Condvar::new(),
+                required: required.max(1),
+                timeout: Duration::from_millis(timeout_ms.max(1)),
+                timeouts: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Replica confirmations required per LSN.
+    pub fn required(&self) -> usize {
+        self.inner.required
+    }
+
+    /// Advance the confirmed frontier (monotone; stale publishes are
+    /// ignored) and wake every gated waiter.
+    pub fn publish(&self, frontier: Lsn) {
+        let mut cur = self
+            .inner
+            .frontier
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        if frontier > *cur {
+            *cur = frontier;
+            self.inner.advanced.notify_all();
+        }
+    }
+
+    /// Highest quorum-confirmed LSN published so far.
+    pub fn frontier(&self) -> Lsn {
+        *self
+            .inner
+            .frontier
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// True once the quorum has confirmed `lsn`.
+    pub fn confirmed(&self, lsn: Lsn) -> bool {
+        self.frontier() >= lsn
+    }
+
+    /// Quorum waits that expired with [`PlanarError::QuorumTimeout`].
+    pub fn timeouts(&self) -> u64 {
+        self.inner.timeouts.load(Ordering::Relaxed)
+    }
+
+    /// Block until the quorum confirms `lsn`, or fail typed after the
+    /// gate's timeout.
+    pub fn wait_confirmed(&self, lsn: Lsn) -> Result<()> {
+        let deadline = Instant::now() + self.inner.timeout;
+        let mut cur = self
+            .inner
+            .frontier
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        loop {
+            if *cur >= lsn {
+                return Ok(());
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                self.inner.timeouts.fetch_add(1, Ordering::Relaxed);
+                return Err(PlanarError::QuorumTimeout {
+                    lsn,
+                    required: self.inner.required,
+                    frontier: *cur,
+                });
+            }
+            let (guard, _timed_out) = self
+                .inner
+                .advanced
+                .wait_timeout(cur, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            cur = guard;
+        }
+    }
+}
+
 #[derive(Debug)]
 struct GcState {
     /// Taken (`None`) by the drain leader while it does file I/O so
@@ -1061,6 +1178,10 @@ struct GcState {
 pub(crate) struct GroupCommitQueue {
     state: Mutex<GcState>,
     durable: Condvar,
+    /// Optional replication gate: when installed, the `Always` ack path
+    /// additionally waits for quorum confirmation of the LSN after local
+    /// durability (see [`QuorumGate`]).
+    gate: Mutex<Option<QuorumGate>>,
 }
 
 impl GroupCommitQueue {
@@ -1078,7 +1199,15 @@ impl GroupCommitQueue {
                 stats: GroupCommitStats::default(),
             }),
             durable: Condvar::new(),
+            gate: Mutex::new(None),
         }
+    }
+
+    /// Install (or with `None`, remove) the quorum gate consulted by
+    /// [`Self::wait_durable`]. In-flight waiters already past the local
+    /// durability check keep the gate they started with.
+    pub(crate) fn set_gate(&self, gate: Option<QuorumGate>) {
+        *self.gate.lock().unwrap_or_else(|e| e.into_inner()) = gate;
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, GcState> {
@@ -1114,7 +1243,7 @@ impl GroupCommitQueue {
         let mut st = self.lock();
         loop {
             if st.synced >= lsn {
-                return Ok(());
+                break;
             }
             if let Some(msg) = &st.failed {
                 return Err(walerr(format!("record at lsn {lsn} was lost: {msg}")));
@@ -1124,6 +1253,15 @@ impl GroupCommitQueue {
             } else {
                 st = self.drain(st, true);
             }
+        }
+        drop(st);
+        // Locally durable. A quorum gate (if installed) holds the ack
+        // until enough replicas confirm the LSN — waited with the state
+        // lock released so the queue keeps draining for other writers.
+        let gate = self.gate.lock().unwrap_or_else(|e| e.into_inner()).clone();
+        match gate {
+            Some(gate) => gate.wait_confirmed(lsn),
+            None => Ok(()),
         }
     }
 
@@ -3288,6 +3426,167 @@ mod tests {
         let scan = scan_dir(tmp.path()).unwrap();
         let lsns: Vec<Lsn> = scan.frames.iter().map(|&(l, _)| l).collect();
         assert_eq!(lsns, (1..=7).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn group_commit_reopen_with_quorum_gate_resolves_typed_or_confirmed() {
+        let _g = serialized();
+        let tmp = TempDir::new("wal_gcq_gate").unwrap();
+        let (writer, _) = WalWriter::open_repair(tmp.path(), WalOptions::default()).unwrap();
+        let queue = GroupCommitQueue::new(writer);
+        let gate = QuorumGate::new(1, 100);
+        queue.set_gate(Some(gate.clone()));
+
+        // Confirmed write: the gate releases the acknowledgement.
+        queue.enqueue(1, WalRecord::Delete { id: 1 }).unwrap();
+        gate.publish(1);
+        queue.wait_durable(1).unwrap();
+
+        // Unconfirmed write: locally durable, then a typed quorum
+        // timeout — never a silent ack.
+        queue.enqueue(2, WalRecord::Delete { id: 2 }).unwrap();
+        match queue.wait_durable(2) {
+            Err(PlanarError::QuorumTimeout {
+                lsn,
+                required,
+                frontier,
+            }) => {
+                assert_eq!(lsn, 2);
+                assert_eq!(required, 1);
+                assert_eq!(frontier, 1);
+            }
+            other => panic!("expected quorum timeout, got {other:?}"),
+        }
+        assert_eq!(queue.health().acked_lsn, 2, "locally durable regardless");
+
+        // Fail-stop mid-append with the gate installed: the in-flight
+        // acknowledgement resolves typed with the append error — it
+        // must not sit on the gate waiting for a record that never
+        // reached disk.
+        fault::arm_wal_fault(2, WalFaultKind::TornAppend { keep: 3 });
+        queue.enqueue(3, WalRecord::Delete { id: 3 }).unwrap();
+        let err = queue.wait_durable(3).expect_err("queue must fail-stop");
+        assert!(
+            !matches!(err, PlanarError::QuorumTimeout { .. }),
+            "fail-stop must surface the store error, not a quorum timeout: {err}"
+        );
+        fault::disarm_wal_fault();
+        assert_eq!(queue.health().acked_lsn, 2, "prior acks hold");
+
+        // Reopen repairs the torn tail and re-appends the parked
+        // record; the same gate keeps guarding fresh acknowledgements.
+        let h = queue.reopen().unwrap();
+        assert!(h.acked_lsn >= 3, "parked record re-appended durably");
+        queue.enqueue(4, WalRecord::Delete { id: 4 }).unwrap();
+        gate.publish(4);
+        queue.wait_durable(4).unwrap();
+        assert!(gate.confirmed(4));
+        assert_eq!(gate.timeouts(), 1, "exactly the lsn-2 wait timed out");
+    }
+
+    /// The quorum-gated write path across a WAL fail-stop, end to end:
+    /// `write_quorum` surfaces a typed store error (never a silent or
+    /// unacked-but-invisible apply), `reopen_wal` restores service, and
+    /// replication then ships the re-appended record until the quorum
+    /// confirms it and the replica reads back bit-identical.
+    #[test]
+    fn quorum_write_across_wal_fail_stop_reopens_and_heals() {
+        use crate::concurrent::{ConcurrencyConfig, ConcurrentDurableShardedIndexSet};
+        use crate::replicate::{AckPolicy, ChannelTransport, FailoverConfig, Primary, Replica};
+
+        let _g = serialized();
+        let pdir = TempDir::new("wal_quorum_p").unwrap();
+        let rdir = TempDir::new("wal_quorum_r").unwrap();
+        let opts = WalOptions::default().fsync(FsyncPolicy::EveryN(4));
+        let rows: Vec<Vec<f64>> = (0..20).map(|i| vec![1.0 + (i % 7) as f64, 2.0]).collect();
+        let table = FeatureTable::from_rows(2, rows).unwrap();
+        let domain = ParameterDomain::uniform_continuous(2, 0.5, 2.0).unwrap();
+        // Single shard: one WAL writer on the primary, so the armed
+        // append index below is deterministic.
+        let set = ShardedIndexSet::<VecStore>::build(
+            table,
+            domain,
+            IndexConfig::with_budget(3),
+            ShardConfig::round_robin(1),
+        )
+        .unwrap();
+        let store = ConcurrentDurableShardedIndexSet::create(
+            pdir.path(),
+            set,
+            opts,
+            ConcurrencyConfig::default(),
+        )
+        .unwrap();
+        let mut primary = Primary::new(store, FailoverConfig::default());
+        primary.set_ack_policy(AckPolicy::Quorum(1));
+        let down = ChannelTransport::new();
+        let up = ChannelTransport::new();
+        primary.add_replica(Box::new(down.clone()), Box::new(up.clone()));
+        let mut replica: Replica<VecStore> = Replica::new(
+            rdir.path().join("r0"),
+            0,
+            Box::new(down),
+            Box::new(up),
+            opts,
+            FailoverConfig::default(),
+        );
+        // Seed the replica before arming anything.
+        let mut now = 0u64;
+        for _ in 0..64 {
+            now += 100;
+            primary.pump(now).unwrap();
+            replica.poll(now).unwrap();
+            if replica.is_seeded() {
+                break;
+            }
+        }
+        assert!(replica.is_seeded());
+
+        // The next append on the primary's (only) writer is index 0 —
+        // the seed traveled by checkpoint, not the WAL. Tear it.
+        fault::arm_wal_fault(0, WalFaultKind::TornAppend { keep: 3 });
+        let err = primary
+            .write_quorum(
+                &Mutation::Insert {
+                    row: vec![5.0, 5.0],
+                },
+                now,
+            )
+            .expect_err("the WAL fail-stop must surface to the quorum writer");
+        fault::disarm_wal_fault();
+        assert!(
+            !matches!(err, PlanarError::QuorumTimeout { .. }),
+            "typed store error, not a quorum timeout: {err}"
+        );
+
+        // Reopen repairs the torn tail and re-appends the parked write;
+        // replication then ships it and the quorum confirms.
+        primary.store().reopen_wal().unwrap();
+        let appended = primary.store().wal_health().appended_lsn;
+        assert!(appended >= 1, "parked record re-appended");
+        for _ in 0..256 {
+            now += 100;
+            primary.pump(now).unwrap();
+            replica.poll(now).unwrap();
+            if replica.applied_lsn() >= appended && primary.quorum_confirmed(appended) {
+                break;
+            }
+        }
+        assert!(
+            primary.quorum_confirmed(appended),
+            "the re-appended write must reach the quorum"
+        );
+        assert_eq!(replica.applied_lsn(), appended);
+        assert_eq!(replica.divergence(), None);
+        let read = replica
+            .follower_read(crate::replicate::ReadConsistency::AtLeast(appended))
+            .unwrap();
+        let q = InequalityQuery::new(vec![1.0, 1.5], Cmp::Leq, 1e6).unwrap();
+        assert_eq!(
+            read.snapshot.query(&q).unwrap().sorted_ids(),
+            primary.store().snapshot().query(&q).unwrap().sorted_ids(),
+            "replica must converge on the reopened history"
+        );
     }
 
     #[test]

@@ -7,12 +7,25 @@
 //! enqueued, so a rejected request costs the server one frame decode and
 //! nothing else.
 //!
+//! The `Retry` hint escalates: consecutive rejections of one tenant walk
+//! the shared [`planar_core::Backoff`] schedule (capped exponential,
+//! deterministic jitter — the same policy replication links use to
+//! reconnect), so a client that ignores its hints is told to wait longer
+//! and longer instead of hammering the token bucket at a fixed cadence.
+//! One admitted request resets the schedule.
+//!
 //! [`Response::Retry`]: crate::wire::Response::Retry
 //! [`Response::Overload`]: crate::wire::Response::Overload
 
+use planar_core::Backoff;
 use std::collections::HashMap;
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// First escalation step for a rejected tenant's retry hint.
+const BACKOFF_BASE_MS: u64 = 1;
+/// Ceiling on the escalated retry hint.
+const BACKOFF_CAP_MS: u64 = 1_000;
 
 /// Admission-control configuration.
 #[derive(Debug, Clone)]
@@ -41,10 +54,12 @@ impl Default for AdmissionConfig {
     }
 }
 
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug)]
 struct Bucket {
     tokens: f64,
     last: Instant,
+    /// Escalates the retry hint across consecutive rejections.
+    backoff: Backoff,
 }
 
 /// Token-bucket quota state, one bucket per tenant.
@@ -52,6 +67,8 @@ struct Bucket {
 pub struct Admission {
     cfg: AdmissionConfig,
     buckets: Mutex<HashMap<u32, Bucket>>,
+    /// Process-local clock origin for the backoff schedules.
+    origin: Instant,
 }
 
 impl Admission {
@@ -60,6 +77,7 @@ impl Admission {
         Self {
             cfg,
             buckets: Mutex::new(HashMap::new()),
+            origin: Instant::now(),
         }
     }
 
@@ -70,26 +88,38 @@ impl Admission {
 
     /// Try to admit one request from `tenant`. `Ok(())` consumes one
     /// token; `Err(backoff)` means the quota is exhausted and the tenant
-    /// should retry after `backoff` (when one token will have refilled).
+    /// should retry after `backoff` — at least the single-token refill
+    /// time, escalating under the shared [`Backoff`] schedule while the
+    /// tenant keeps getting rejected.
     pub fn admit(&self, tenant: u32) -> Result<(), Duration> {
         if self.cfg.tenant_rate.is_infinite() {
             return Ok(());
         }
         let now = Instant::now();
+        let now_ms = now.saturating_duration_since(self.origin).as_millis() as u64;
         let mut buckets = self.buckets.lock().expect("admission lock poisoned");
-        let bucket = buckets.entry(tenant).or_insert(Bucket {
+        let bucket = buckets.entry(tenant).or_insert_with(|| Bucket {
             tokens: self.cfg.tenant_burst,
             last: now,
+            backoff: Backoff::new(
+                BACKOFF_BASE_MS,
+                BACKOFF_CAP_MS,
+                0xADA1_77C0 ^ u64::from(tenant),
+            ),
         });
         let dt = now.saturating_duration_since(bucket.last).as_secs_f64();
         bucket.tokens = (bucket.tokens + dt * self.cfg.tenant_rate).min(self.cfg.tenant_burst);
         bucket.last = now;
         if bucket.tokens >= 1.0 {
             bucket.tokens -= 1.0;
+            bucket.backoff.success();
             Ok(())
         } else {
             let deficit = 1.0 - bucket.tokens;
-            Err(Duration::from_secs_f64(deficit / self.cfg.tenant_rate))
+            let refill = Duration::from_secs_f64(deficit / self.cfg.tenant_rate);
+            bucket.backoff.failure(now_ms);
+            let escalated = Duration::from_millis(bucket.backoff.retry_after_ms(now_ms));
+            Err(refill.max(escalated))
         }
     }
 }
@@ -123,6 +153,33 @@ mod tests {
         assert!(backoff <= Duration::from_millis(1));
         std::thread::sleep(Duration::from_millis(5));
         assert!(adm.admit(9).is_ok(), "tokens refill over time");
+    }
+
+    #[test]
+    fn rejection_hints_escalate_then_reset() {
+        let adm = Admission::new(AdmissionConfig {
+            tenant_rate: 100.0, // 10 ms refill — small next to the escalated hints
+            tenant_burst: 1.0,
+            ..AdmissionConfig::default()
+        });
+        assert!(adm.admit(3).is_ok());
+        let first = adm.admit(3).expect_err("bucket exhausted");
+        let mut last = first;
+        for _ in 0..8 {
+            last = adm.admit(3).expect_err("still exhausted");
+        }
+        assert!(
+            last > first,
+            "hints should escalate across consecutive rejections ({first:?} → {last:?})"
+        );
+        // One admitted request resets the schedule.
+        std::thread::sleep(Duration::from_millis(15));
+        assert!(adm.admit(3).is_ok(), "tokens refilled");
+        let after = adm.admit(3).expect_err("exhausted again");
+        assert!(
+            after < last,
+            "an admit should reset the escalation ({after:?} vs {last:?})"
+        );
     }
 
     #[test]

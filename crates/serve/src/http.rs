@@ -16,8 +16,13 @@
 //! is `429` with a `Retry-After` header, queue-depth backpressure is
 //! `503`. Both carry the same typed JSON bodies the binary protocol
 //! returns, so a load balancer and a binary client see one overload
-//! story. Keep-alive is honored (`Connection: close` respected); header
-//! and body sizes are bounded before allocation.
+//! story. Keep-alive is honored (`Connection: close` respected) but
+//! bounded: a connection serves at most
+//! [`crate::ServeConfig::http_max_requests`] requests (the final
+//! response carries `Connection: close`) and is dropped after
+//! [`crate::ServeConfig::http_idle_timeout`] without a new request, so
+//! no client pins a connection slot forever. Header and body sizes are
+//! bounded before allocation.
 
 use crate::json::Json;
 use crate::wire::{error_code, Request, Response};
@@ -27,6 +32,7 @@ use planar_core::{Cmp, JsonObject};
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
 use std::sync::atomic::Ordering::Relaxed;
+use std::time::Instant;
 
 /// Bound on the request head (request line + headers).
 const MAX_HEAD: usize = 8 * 1024;
@@ -41,11 +47,19 @@ pub(crate) fn serve_conn<E: Engine>(
     inner: &Inner<E>,
 ) -> io::Result<()> {
     let mut buf = carry;
+    let mut served = 0usize;
     loop {
-        // Accumulate the request head.
+        // Accumulate the request head. Between requests (empty buffer,
+        // nothing in flight) an idle deadline applies: a keep-alive
+        // connection that sends nothing for http_idle_timeout is closed
+        // so it cannot pin a connection slot forever.
+        let mut idle_deadline = Some(Instant::now() + inner.http_idle_timeout);
         let head_end = loop {
             if let Some(pos) = find_double_crlf(&buf) {
                 break pos;
+            }
+            if !buf.is_empty() {
+                idle_deadline = None; // a request started arriving
             }
             if buf.len() > MAX_HEAD {
                 write_response(
@@ -54,10 +68,11 @@ pub(crate) fn serve_conn<E: Engine>(
                     "Request Header Fields Too Large",
                     &[],
                     "{}",
+                    true,
                 )?;
                 return Ok(());
             }
-            match fill(&mut stream, &mut buf, inner)? {
+            match fill(&mut stream, &mut buf, inner, idle_deadline)? {
                 Filled::Data => {}
                 Filled::Eof => {
                     if buf.is_empty() {
@@ -69,22 +84,26 @@ pub(crate) fn serve_conn<E: Engine>(
                     ));
                 }
                 Filled::Shutdown => return Ok(()),
+                Filled::Idle => {
+                    inner.metrics.http_idle_closed.fetch_add(1, Relaxed);
+                    return Ok(());
+                }
             }
         };
 
         let head = match std::str::from_utf8(&buf[..head_end]) {
             Ok(h) => h.to_string(),
             Err(_) => {
-                write_response(&mut stream, 400, "Bad Request", &[], "{}")?;
+                write_response(&mut stream, 400, "Bad Request", &[], "{}", true)?;
                 return Ok(());
             }
         };
         let Some(parsed) = ParsedHead::parse(&head) else {
-            write_response(&mut stream, 400, "Bad Request", &[], "{}")?;
+            write_response(&mut stream, 400, "Bad Request", &[], "{}", true)?;
             return Ok(());
         };
         if parsed.content_length > MAX_BODY {
-            write_response(&mut stream, 413, "Payload Too Large", &[], "{}")?;
+            write_response(&mut stream, 413, "Payload Too Large", &[], "{}", true)?;
             return Ok(());
         }
 
@@ -92,7 +111,7 @@ pub(crate) fn serve_conn<E: Engine>(
         let body_start = head_end + 4;
         let total = body_start + parsed.content_length;
         while buf.len() < total {
-            match fill(&mut stream, &mut buf, inner)? {
+            match fill(&mut stream, &mut buf, inner, None)? {
                 Filled::Data => {}
                 Filled::Eof => {
                     return Err(io::Error::new(
@@ -101,14 +120,21 @@ pub(crate) fn serve_conn<E: Engine>(
                     ))
                 }
                 Filled::Shutdown => return Ok(()),
+                Filled::Idle => unreachable!("no idle deadline inside a request"),
             }
         }
         let body = buf[body_start..total].to_vec();
         buf.drain(..total);
 
-        let keep_alive = parsed.keep_alive;
-        route(&mut stream, &parsed, &body, inner)?;
-        if !keep_alive {
+        served += 1;
+        // The final keep-alive response on a connection that hit the
+        // per-connection request cap announces the close.
+        let close = !parsed.keep_alive || served >= inner.http_max_requests;
+        route(&mut stream, &parsed, &body, inner, close)?;
+        if close {
+            if parsed.keep_alive {
+                inner.metrics.http_recycled.fetch_add(1, Relaxed);
+            }
             return Ok(());
         }
     }
@@ -118,13 +144,17 @@ enum Filled {
     Data,
     Eof,
     Shutdown,
+    /// The idle deadline passed with no request bytes in flight.
+    Idle,
 }
 
-/// Read more bytes, tolerating read timeouts while watching shutdown.
+/// Read more bytes, tolerating read timeouts while watching shutdown —
+/// and, when `idle_deadline` is set, the keep-alive idle cutoff.
 fn fill<E: Engine>(
     stream: &mut TcpStream,
     buf: &mut Vec<u8>,
     inner: &Inner<E>,
+    idle_deadline: Option<Instant>,
 ) -> io::Result<Filled> {
     let mut chunk = [0u8; 4096];
     loop {
@@ -143,6 +173,9 @@ fn fill<E: Engine>(
             {
                 if inner.shutdown.load(Relaxed) {
                     return Ok(Filled::Shutdown);
+                }
+                if idle_deadline.is_some_and(|d| Instant::now() >= d) {
+                    return Ok(Filled::Idle);
                 }
                 continue;
             }
@@ -203,12 +236,15 @@ impl ParsedHead {
     }
 }
 
-/// Dispatch one parsed HTTP request and write the response.
+/// Dispatch one parsed HTTP request and write the response. `close`
+/// announces `Connection: close` on the response (last request the
+/// server will serve on this connection).
 fn route<E: Engine>(
     stream: &mut TcpStream,
     head: &ParsedHead,
     body: &[u8],
     inner: &Inner<E>,
+    close: bool,
 ) -> io::Result<()> {
     match (head.method.as_str(), head.path.as_str()) {
         ("GET", "/metrics") => {
@@ -216,24 +252,24 @@ fn route<E: Engine>(
             let Response::Metrics { json } = json else {
                 unreachable!("metrics request always yields a metrics response");
             };
-            write_response(stream, 200, "OK", &[], &json)
+            write_response(stream, 200, "OK", &[], &json, close)
         }
         ("POST", "/query") => match parse_query_body(body, false) {
-            Ok(req) => respond(stream, crate::process(inner, req)),
+            Ok(req) => respond(stream, crate::process(inner, req), close),
             Err(msg) => {
                 inner.metrics.malformed.fetch_add(1, Relaxed);
-                bad_request(stream, &msg)
+                bad_request(stream, &msg, close)
             }
         },
         ("POST", "/topk") => match parse_query_body(body, true) {
-            Ok(req) => respond(stream, crate::process(inner, req)),
+            Ok(req) => respond(stream, crate::process(inner, req), close),
             Err(msg) => {
                 inner.metrics.malformed.fetch_add(1, Relaxed);
-                bad_request(stream, &msg)
+                bad_request(stream, &msg, close)
             }
         },
-        ("GET" | "POST", _) => write_response(stream, 404, "Not Found", &[], "{}"),
-        _ => write_response(stream, 405, "Method Not Allowed", &[], "{}"),
+        ("GET" | "POST", _) => write_response(stream, 404, "Not Found", &[], "{}", close),
+        _ => write_response(stream, 405, "Method Not Allowed", &[], "{}", close),
     }
 }
 
@@ -278,7 +314,7 @@ fn parse_query_body(body: &[u8], want_k: bool) -> Result<Request, String> {
 }
 
 /// Map a wire response onto HTTP status + JSON body.
-fn respond(stream: &mut TcpStream, resp: Response) -> io::Result<()> {
+fn respond(stream: &mut TcpStream, resp: Response, close: bool) -> io::Result<()> {
     match resp {
         Response::Matches { ids, provenance } => {
             let ids_json = format!(
@@ -294,7 +330,7 @@ fn respond(stream: &mut TcpStream, resp: Response) -> io::Result<()> {
                 .field_bool("degraded", provenance.degraded)
                 .field_u64("completed", provenance.completed as u64)
                 .finish();
-            write_response(stream, 200, "OK", &[], &body)
+            write_response(stream, 200, "OK", &[], &body, close)
         }
         Response::Neighbors {
             neighbors,
@@ -314,7 +350,7 @@ fn respond(stream: &mut TcpStream, resp: Response) -> io::Result<()> {
                 .field_bool("degraded", provenance.degraded)
                 .field_u64("completed", provenance.completed as u64)
                 .finish();
-            write_response(stream, 200, "OK", &[], &body)
+            write_response(stream, 200, "OK", &[], &body, close)
         }
         Response::Retry { retry_after_us } => {
             let secs = (retry_after_us as u64).div_ceil(1_000_000).max(1);
@@ -328,6 +364,7 @@ fn respond(stream: &mut TcpStream, resp: Response) -> io::Result<()> {
                 "Too Many Requests",
                 &[("Retry-After", &secs.to_string())],
                 &body,
+                close,
             )
         }
         Response::Overload { queue_depth } => {
@@ -335,7 +372,7 @@ fn respond(stream: &mut TcpStream, resp: Response) -> io::Result<()> {
                 .field_str("error", "overloaded")
                 .field_u64("queue_depth", queue_depth as u64)
                 .finish();
-            write_response(stream, 503, "Service Unavailable", &[], &body)
+            write_response(stream, 503, "Service Unavailable", &[], &body, close)
         }
         Response::Error { code, message } => {
             let body = JsonObject::new()
@@ -347,32 +384,38 @@ fn respond(stream: &mut TcpStream, resp: Response) -> io::Result<()> {
             } else {
                 (400, "Bad Request")
             };
-            write_response(stream, status, reason, &[], &body)
+            write_response(stream, status, reason, &[], &body, close)
         }
-        Response::Metrics { json } => write_response(stream, 200, "OK", &[], &json),
+        Response::Metrics { json } => write_response(stream, 200, "OK", &[], &json, close),
     }
 }
 
-fn bad_request(stream: &mut TcpStream, msg: &str) -> io::Result<()> {
+fn bad_request(stream: &mut TcpStream, msg: &str, close: bool) -> io::Result<()> {
     let body = JsonObject::new()
         .field_u64("code", error_code::MALFORMED as u64)
         .field_str("error", msg)
         .finish();
-    write_response(stream, 400, "Bad Request", &[], &body)
+    write_response(stream, 400, "Bad Request", &[], &body, close)
 }
 
-/// Write one HTTP/1.1 response with a JSON body.
+/// Write one HTTP/1.1 response with a JSON body. `close` adds
+/// `Connection: close` — the server stops reading this connection after
+/// the write, and the client should too.
 fn write_response(
     stream: &mut TcpStream,
     status: u16,
     reason: &str,
     extra: &[(&str, &str)],
     body: &str,
+    close: bool,
 ) -> io::Result<()> {
     let mut out = format!(
         "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n",
         body.len()
     );
+    if close {
+        out.push_str("Connection: close\r\n");
+    }
     for (name, value) in extra {
         out.push_str(name);
         out.push_str(": ");

@@ -2,13 +2,18 @@
 //!
 //! A std-only, long-running query service wrapping the concurrent engine
 //! ([`planar_core::ConcurrentShardedIndexSet`] or its durable sibling):
-//! thread-per-connection on [`std::net::TcpListener`], one port, two wire
-//! surfaces sniffed from the first eight bytes —
+//! thread-per-connection on [`std::net::TcpListener`], one port, three
+//! wire surfaces sniffed from the first eight bytes —
 //!
 //! * the compact [`wire`] binary protocol (`PLNRQRY1` preamble, CRC-64
 //!   sealed frames via the shared [`planar_core::frame`] helpers);
 //! * a minimal [`http`] JSON surface (`GET /metrics`, `POST /query`,
-//!   `POST /topk`).
+//!   `POST /topk`);
+//! * the `PLNRSHP1` replication ship protocol ([`planar_core::SHIP_MAGIC`]
+//!   banner): the connection becomes a [`planar_core::ShipEndpoint`] the
+//!   embedding process attaches to its [`planar_core::Primary`] (or
+//!   [`planar_core::Replica`]) via [`ServerHandle::accept_replica`], so
+//!   queries, metrics, and replication share one port.
 //!
 //! The performance core is the [`batcher`]: concurrent clients' decoded
 //! requests coalesce into `query_batch` / `top_k_batch` calls against a
@@ -65,15 +70,17 @@ pub use metrics::{LatencyHistogram, ServerMetrics};
 pub use wire::{error_code, Provenance, Request, Response};
 
 use planar_core::{
-    ConcurrentDurableShardedIndexSet, ConcurrentShardedIndexSet, ExecutionConfig, InequalityQuery,
-    ShardedIndexSet, Snapshot, StatsAggregator, TopKQuery, VecStore,
+    endpoint_pair, ConcurrentDurableShardedIndexSet, ConcurrentShardedIndexSet, ExecutionConfig,
+    InequalityQuery, ShardedIndexSet, ShipEndpoint, ShipEndpointDriver, Snapshot, StatsAggregator,
+    TopKQuery, VecStore, SHIP_MAGIC,
 };
+use std::collections::VecDeque;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering::Relaxed};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Poll interval for shutdown checks on idle connections.
 const IDLE_POLL: Duration = Duration::from_millis(50);
@@ -122,6 +129,17 @@ pub struct ServeConfig {
     /// Dispatcher threads draining the batcher queue. One is right for
     /// almost everything — the engine parallelizes inside a batch.
     pub dispatchers: usize,
+    /// Most requests served on one HTTP keep-alive connection before the
+    /// server answers with `Connection: close` and recycles it — bounds
+    /// how long one client can pin a connection slot.
+    pub http_max_requests: usize,
+    /// How long an HTTP keep-alive connection may sit idle between
+    /// requests before the server closes it.
+    pub http_idle_timeout: Duration,
+    /// Largest framed ship message accepted on a replication connection.
+    /// A length above this is stream desync: the connection is closed
+    /// (the dialing [`planar_core::TcpTransport`] reconnects and heals).
+    pub ship_max_message: usize,
 }
 
 impl Default for ServeConfig {
@@ -132,6 +150,9 @@ impl Default for ServeConfig {
             admission: AdmissionConfig::default(),
             exec: ExecutionConfig::default(),
             dispatchers: 1,
+            http_max_requests: 1024,
+            http_idle_timeout: Duration::from_secs(30),
+            ship_max_message: 1 << 30,
         }
     }
 }
@@ -143,6 +164,15 @@ pub(crate) struct Inner<E: Engine> {
     pub(crate) metrics: Arc<ServerMetrics>,
     pub(crate) shutdown: AtomicBool,
     pub(crate) active: AtomicUsize,
+    pub(crate) http_max_requests: usize,
+    pub(crate) http_idle_timeout: Duration,
+    ship_max_message: usize,
+    /// Replication endpoints sniffed off the listener, waiting for the
+    /// embedding process to claim them ([`ServerHandle::accept_replica`]).
+    ships: Mutex<VecDeque<ShipEndpoint>>,
+    /// Live ship-connection drivers: closed on shutdown so their relay
+    /// loops drain and exit instead of waiting out a dead socket.
+    ship_drivers: Mutex<Vec<ShipEndpointDriver>>,
 }
 
 /// Decode-independent request handling shared by both wire surfaces:
@@ -233,6 +263,11 @@ impl Server {
             metrics,
             shutdown: AtomicBool::new(false),
             active: AtomicUsize::new(0),
+            http_max_requests: cfg.http_max_requests.max(1),
+            http_idle_timeout: cfg.http_idle_timeout,
+            ship_max_message: cfg.ship_max_message,
+            ships: Mutex::new(VecDeque::new()),
+            ship_drivers: Mutex::new(Vec::new()),
         });
 
         let mut dispatchers = Vec::with_capacity(cfg.dispatchers.max(1));
@@ -278,6 +313,25 @@ impl ServerHandle {
         self.control.metrics_handle()
     }
 
+    /// Claim the next replication connection sniffed off the listener
+    /// (a peer dialed with the `PLNRSHP1` banner), waiting up to
+    /// `timeout`. Box clones of the returned endpoint as a link's `down`
+    /// and `up` — e.g. `primary.add_replica_pending(...)` for an inbound
+    /// replica, or `Replica::rewire` when following an upstream primary
+    /// through this port. `None` on timeout or shutdown.
+    pub fn accept_replica(&self, timeout: Duration) -> Option<ShipEndpoint> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Some(ep) = self.control.take_ship() {
+                return Some(ep);
+            }
+            if Instant::now() >= deadline {
+                return None;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
     /// Stop accepting, drain the batcher, join the worker threads.
     /// Connection handler threads observe the flag within one poll
     /// interval and exit on their own.
@@ -314,6 +368,8 @@ trait Control: Send + Sync {
     /// Set the shutdown flag and wake the dispatchers; returns whether it
     /// was already set.
     fn signal_shutdown(&self) -> bool;
+    /// Pop the next unclaimed replication endpoint, if any.
+    fn take_ship(&self) -> Option<ShipEndpoint>;
 }
 
 impl<E: Engine> Control for Inner<E> {
@@ -325,8 +381,27 @@ impl<E: Engine> Control for Inner<E> {
         let was = self.shutdown.swap(true, Relaxed);
         if !was {
             self.batcher.shutdown();
+            // Close every live ship connection so its relay threads
+            // drain queued outbound messages and exit within one poll
+            // interval — a long-lived replication link must not pin
+            // shutdown the way it pins a connection slot.
+            for driver in self
+                .ship_drivers
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .drain(..)
+            {
+                driver.close();
+            }
         }
         was
+    }
+
+    fn take_ship(&self) -> Option<ShipEndpoint> {
+        self.ships
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .pop_front()
     }
 }
 
@@ -368,7 +443,10 @@ fn reject_conn<E: Engine>(mut stream: TcpStream, inner: &Inner<E>) {
         return;
     };
     let depth = inner.batcher.depth() as u32;
-    if &preamble == wire::MAGIC {
+    if &preamble == SHIP_MAGIC {
+        // A replication peer over the connection cap: closing without a
+        // banner response makes its TcpTransport back off and redial.
+    } else if &preamble == wire::MAGIC {
         let frame = wire::encode_response(&Response::Overload { queue_depth: depth });
         let _ = stream.write_all(&frame);
     } else {
@@ -423,8 +501,116 @@ fn handle_conn<E: Engine>(mut stream: TcpStream, inner: &Inner<E>) -> io::Result
     };
     if &preamble == wire::MAGIC {
         binary_loop(stream, inner)
+    } else if &preamble == SHIP_MAGIC {
+        ship_loop(stream, inner)
     } else {
         http::serve_conn(stream, preamble.to_vec(), inner)
+    }
+}
+
+/// The replication relay: ferry `u32`-length-prefixed ship messages
+/// between this socket and a [`ShipEndpoint`] the embedding process
+/// claims via [`ServerHandle::accept_replica`]. The reader runs on the
+/// connection thread under the 50 ms poll timeout (so shutdown is
+/// observed on an idle link); one writer thread drains the endpoint's
+/// outbound queue. Framing violations close the connection — the dialing
+/// [`planar_core::TcpTransport`] reconnects and the replication layer
+/// heals by `Hello`/resume or re-seed.
+fn ship_loop<E: Engine>(mut stream: TcpStream, inner: &Inner<E>) -> io::Result<()> {
+    inner.metrics.ship_connections.fetch_add(1, Relaxed);
+    let (endpoint, driver) = endpoint_pair();
+    {
+        let mut ships = inner.ships.lock().unwrap_or_else(|e| e.into_inner());
+        ships.push_back(endpoint);
+    }
+    {
+        let mut drivers = inner.ship_drivers.lock().unwrap_or_else(|e| e.into_inner());
+        // Compact out connections that already finished.
+        drivers.retain(|d| !d.is_closed());
+        drivers.push(driver.clone());
+    }
+
+    let writer = {
+        let stream = stream.try_clone()?;
+        let driver = driver.clone();
+        let metrics = Arc::clone(&inner.metrics);
+        std::thread::Builder::new()
+            .name("planar-ship-writer".to_string())
+            .spawn(move || ship_writer(stream, &driver, &metrics))?
+    };
+
+    // Reader loop. The socket inherited handle_conn's IDLE_POLL read
+    // timeout, so every 50 ms it re-checks shutdown and driver state.
+    let max_message = inner.ship_max_message;
+    let mut rx: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 64 * 1024];
+    'conn: loop {
+        if inner.shutdown.load(Relaxed) || driver.is_closed() {
+            break;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => break, // peer closed
+            Ok(n) => {
+                rx.extend_from_slice(&chunk[..n]);
+                // Drain every complete frame that arrived.
+                loop {
+                    if rx.len() < 4 {
+                        break;
+                    }
+                    let len = u32::from_le_bytes(rx[..4].try_into().expect("4 bytes")) as usize;
+                    if len < SHIP_MAGIC.len() + 1 || len > max_message {
+                        break 'conn; // stream desync: close, peer reconnects
+                    }
+                    if rx.len() < 4 + len {
+                        break;
+                    }
+                    let msg: Vec<u8> = rx[4..4 + len].to_vec();
+                    rx.drain(..4 + len);
+                    if &msg[..SHIP_MAGIC.len()] != SHIP_MAGIC {
+                        break 'conn; // not a ship message: desync
+                    }
+                    inner.metrics.ship_messages_in.fetch_add(1, Relaxed);
+                    driver.push_inbound(msg);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) => {}
+            Err(_) => break,
+        }
+    }
+    driver.close();
+    let _ = writer.join();
+    inner.metrics.ship_disconnects.fetch_add(1, Relaxed);
+    Ok(())
+}
+
+/// Writer half of a ship relay: frame and send outbound messages until
+/// the connection closes, then drain whatever is still queued so a clean
+/// shutdown never drops acknowledged progress.
+fn ship_writer(mut stream: TcpStream, driver: &ShipEndpointDriver, metrics: &ServerMetrics) {
+    loop {
+        match driver.wait_outbound(IDLE_POLL) {
+            Some(msg) => {
+                let mut framed = Vec::with_capacity(4 + msg.len());
+                framed.extend_from_slice(&(msg.len() as u32).to_le_bytes());
+                framed.extend_from_slice(&msg);
+                if stream.write_all(&framed).is_err() {
+                    driver.close();
+                    return;
+                }
+                metrics.ship_messages_out.fetch_add(1, Relaxed);
+            }
+            None => {
+                if driver.is_closed() {
+                    let _ = stream.flush();
+                    return;
+                }
+            }
+        }
     }
 }
 

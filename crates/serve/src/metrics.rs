@@ -105,6 +105,20 @@ pub struct ServerMetrics {
     pub queue_depth: AtomicU64,
     /// Responses flagged partial (deadline placeholders).
     pub partials: AtomicU64,
+    /// Replication (`PLNRSHP1`) connections sniffed off the listener.
+    pub ship_connections: AtomicU64,
+    /// Ship messages relayed inbound (socket → endpoint).
+    pub ship_messages_in: AtomicU64,
+    /// Ship messages relayed outbound (endpoint → socket).
+    pub ship_messages_out: AtomicU64,
+    /// Replication connections torn down (peer close, desync, shutdown).
+    pub ship_disconnects: AtomicU64,
+    /// HTTP keep-alive connections recycled at the per-connection request
+    /// cap (`Connection: close` on the final response).
+    pub http_recycled: AtomicU64,
+    /// HTTP keep-alive connections closed for sitting idle past the
+    /// configured timeout.
+    pub http_idle_closed: AtomicU64,
     /// Enqueue→response latency of inequality queries.
     pub query_latency: LatencyHistogram,
     /// Enqueue→response latency of top-k queries.
@@ -140,6 +154,12 @@ impl ServerMetrics {
             .field_u64("max_batch", self.max_batch.load(load))
             .field_u64("queue_depth", self.queue_depth.load(load))
             .field_u64("partials", self.partials.load(load))
+            .field_u64("ship_connections", self.ship_connections.load(load))
+            .field_u64("ship_messages_in", self.ship_messages_in.load(load))
+            .field_u64("ship_messages_out", self.ship_messages_out.load(load))
+            .field_u64("ship_disconnects", self.ship_disconnects.load(load))
+            .field_u64("http_recycled", self.http_recycled.load(load))
+            .field_u64("http_idle_closed", self.http_idle_closed.load(load))
             .field_raw("query_latency", &self.query_latency.to_json())
             .field_raw("topk_latency", &self.topk_latency.to_json())
             .finish()

@@ -495,3 +495,214 @@ fn durable_engine_serves_and_reports_lifecycle_metrics() {
     assert!(engine_block.get("wal_appended_lsn").is_some());
     server.shutdown();
 }
+
+// ---------------------------------------------------------------------------
+// Replication over the serve listener (PLNRSHP1 sniffing)
+// ---------------------------------------------------------------------------
+
+/// Read one HTTP response (status + raw head) off a keep-alive
+/// connection, consuming exactly its Content-Length body.
+fn read_one_response(stream: &mut TcpStream) -> (u16, String) {
+    let mut raw = Vec::new();
+    let mut chunk = [0u8; 4096];
+    let head_end = loop {
+        if let Some(pos) = raw.windows(4).position(|w| w == b"\r\n\r\n") {
+            break pos;
+        }
+        let n = stream.read(&mut chunk).unwrap();
+        assert!(n > 0, "EOF before a full response head");
+        raw.extend_from_slice(&chunk[..n]);
+    };
+    let head = String::from_utf8(raw[..head_end].to_vec()).unwrap();
+    let status: u16 = head.split_whitespace().nth(1).unwrap().parse().unwrap();
+    let content_length: usize = head
+        .lines()
+        .find_map(|l| {
+            let (name, value) = l.split_once(':')?;
+            name.trim()
+                .eq_ignore_ascii_case("content-length")
+                .then(|| value.trim().parse().unwrap())
+        })
+        .unwrap_or(0);
+    let mut have = raw.len() - head_end - 4;
+    while have < content_length {
+        let n = stream.read(&mut chunk).unwrap();
+        assert!(n > 0, "EOF inside a response body");
+        have += n;
+    }
+    (status, head)
+}
+
+#[test]
+fn replication_queries_and_metrics_share_one_port() {
+    use planar_core::{
+        FailoverConfig, Primary, ReadConsistency, Replica, TcpLinkOptions, TcpTransport,
+    };
+
+    let pdir = TempDir::new("serve_ship_p").unwrap();
+    let rdir = TempDir::new("serve_ship_r").unwrap();
+    let opts = WalOptions::default().fsync(FsyncPolicy::EveryN(4));
+    let store = Arc::new(
+        ConcurrentDurableShardedIndexSet::create(
+            pdir.path(),
+            build_sharded(200),
+            opts,
+            ConcurrencyConfig::default(),
+        )
+        .unwrap(),
+    );
+    let server = Server::start(Arc::clone(&store), ServeConfig::default()).unwrap();
+    let mut primary = Primary::from_shared(Arc::clone(&store), FailoverConfig::default());
+
+    // The replica dials the same port every query client uses; the
+    // PLNRSHP1 banner routes it to replication.
+    let link = TcpTransport::new(server.addr(), TcpLinkOptions::default());
+    let mut replica = Replica::<VecStore>::new(
+        rdir.path().join("r0"),
+        0,
+        Box::new(link.clone()),
+        Box::new(link),
+        opts,
+        FailoverConfig::default(),
+    );
+    let _ = replica.poll(0); // dials and sends the banner
+    let ep = server
+        .accept_replica(Duration::from_secs(5))
+        .expect("ship connection routed to the embedder");
+    primary.add_replica_pending(Box::new(ep.clone()), Box::new(ep));
+
+    for _ in 0..40 {
+        store.insert_point(&[2.0, 2.0]).unwrap();
+    }
+    store.sync().unwrap();
+    let target = store.wal_health().appended_lsn;
+    let mut now = 0u64;
+    for _ in 0..5000 {
+        now += 10;
+        let _ = primary.pump(now);
+        let _ = replica.poll(now);
+        if replica.is_seeded() && replica.applied_lsn() >= target {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    assert!(
+        replica.is_seeded() && replica.applied_lsn() >= target,
+        "replica must catch up over TCP (applied {} of {})",
+        replica.applied_lsn(),
+        target
+    );
+
+    // Follower answers are bit-identical to the primary's.
+    let follower = replica.follower_read(ReadConsistency::Any).unwrap();
+    let q = query(8.0);
+    assert_eq!(
+        follower.snapshot.query(&q).unwrap().sorted_ids(),
+        store.snapshot().query(&q).unwrap().sorted_ids(),
+        "follower must serve the primary's answers"
+    );
+
+    // Query clients still work on the same port, both surfaces.
+    let mut client = Client::connect(server.addr()).unwrap();
+    match client.query(&[1.0, 1.5], Cmp::Leq, 8.0).unwrap() {
+        Response::Matches { .. } => {}
+        other => panic!("unexpected response {other:?}"),
+    }
+    let (status, body) = http_roundtrip(
+        server.addr(),
+        "GET /metrics HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n",
+    );
+    assert_eq!(status, 200);
+    let doc = Json::parse(&body).unwrap();
+    let ships = doc
+        .get("server")
+        .and_then(|s| s.get("ship_connections"))
+        .and_then(Json::as_u64)
+        .unwrap();
+    assert!(ships >= 1, "metrics must report the replication connection");
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_drains_attached_ship_connection_promptly() {
+    let eng = engine(50);
+    let server = Server::start(eng, ServeConfig::default()).unwrap();
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    stream.write_all(planar_core::SHIP_MAGIC).unwrap();
+    stream.flush().unwrap();
+    let ep = server
+        .accept_replica(Duration::from_secs(5))
+        .expect("ship connection routed");
+    drop(ep);
+
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let started = std::time::Instant::now();
+    server.shutdown();
+    assert!(
+        started.elapsed() < Duration::from_secs(2),
+        "shutdown must not hang on a live replication link"
+    );
+    // The relay observed shutdown, drained, and closed the socket: the
+    // peer sees EOF, not a hang.
+    let mut buf = [0u8; 16];
+    let n = stream.read(&mut buf).unwrap();
+    assert_eq!(n, 0, "server should close the drained ship connection");
+}
+
+#[test]
+fn http_keepalive_is_bounded_by_request_cap_and_idle_timeout() {
+    use std::sync::atomic::Ordering;
+
+    let eng = engine(50);
+    let cfg = ServeConfig {
+        http_max_requests: 2,
+        http_idle_timeout: Duration::from_millis(150),
+        ..ServeConfig::default()
+    };
+    let server = Server::start(eng, cfg).unwrap();
+    let metrics = server.metrics();
+    let req = "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n";
+
+    // Request cap: the final allowed response announces the close.
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    stream.write_all(req.as_bytes()).unwrap();
+    let (status, head) = read_one_response(&mut stream);
+    assert_eq!(status, 200);
+    assert!(
+        !head.to_ascii_lowercase().contains("connection: close"),
+        "first response keeps the connection alive: {head}"
+    );
+    stream.write_all(req.as_bytes()).unwrap();
+    let (status, head) = read_one_response(&mut stream);
+    assert_eq!(status, 200);
+    assert!(
+        head.to_ascii_lowercase().contains("connection: close"),
+        "response at http_max_requests must announce the close: {head}"
+    );
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    let mut rest = Vec::new();
+    let n = stream.read_to_end(&mut rest).unwrap();
+    assert_eq!(n, 0, "connection recycled after the request cap");
+    assert_eq!(metrics.http_recycled.load(Ordering::Relaxed), 1);
+
+    // Idle timeout: a keep-alive connection that goes quiet is closed.
+    let mut idle = TcpStream::connect(server.addr()).unwrap();
+    idle.write_all(req.as_bytes()).unwrap();
+    let (status, _) = read_one_response(&mut idle);
+    assert_eq!(status, 200);
+    idle.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let started = std::time::Instant::now();
+    let mut buf = Vec::new();
+    let n = idle.read_to_end(&mut buf).unwrap();
+    assert_eq!(n, 0, "idle keep-alive connection should be closed");
+    assert!(
+        started.elapsed() >= Duration::from_millis(100),
+        "the idle close should wait out the timeout"
+    );
+    assert!(metrics.http_idle_closed.load(Ordering::Relaxed) >= 1);
+    server.shutdown();
+}

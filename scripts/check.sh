@@ -24,6 +24,10 @@ echo "== replication suite (transport fault sweep + failover promotion) =="
 cargo test -p planar-core -q --features fault-injection \
   --test replication_faults --test failover_proptests
 
+echo "== chaos suite (socket-level chaos proxy sweep + quorum crash/reopen) =="
+cargo test -p planar-serve -q --test netrepl_chaos
+cargo test -p planar-core -q --features fault-injection --lib quorum
+
 echo "== quantization suite (quantized ≡ unquantized twins, both dispatches) =="
 cargo test -p planar-core -q --test quant_proptests
 PLANAR_FORCE_PORTABLE=1 cargo test -p planar-core -q --test quant_proptests
